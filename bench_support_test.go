@@ -1,0 +1,38 @@
+package gpustream
+
+import (
+	"fmt"
+	"testing"
+
+	"gpustream/internal/gpu"
+	"gpustream/internal/gpusort"
+	"gpustream/internal/stream"
+)
+
+// benchRowBlocks drives one PBSN step with the optimized full-height quads
+// and with naive per-row quads over the same texture.
+func benchRowBlocks(b *testing.B) {
+	const W, H = 256, 256
+	data := stream.Uniform(W*H, 14)
+	variants := map[string]func(*gpu.Device, *gpu.Texture, int){
+		"row-block-quads": gpusort.SortStep,
+		"per-row-quads":   gpusort.SortStepPerRow,
+	}
+	for name, step := range variants {
+		b.Run(name, func(b *testing.B) {
+			tex := gpu.NewTexture(W, H)
+			tex.LoadChannel(0, data)
+			dev := gpu.NewDevice(W, H)
+			gpusort.Copy(dev, tex)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for blk := 2; blk <= W; blk *= 2 {
+					step(dev, tex, blk)
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(dev.Stats().DrawCalls)/float64(b.N), "draw-calls/op")
+		})
+	}
+	_ = fmt.Sprintf
+}

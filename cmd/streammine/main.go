@@ -1,0 +1,175 @@
+// Command streammine runs epsilon-approximate stream-mining queries over a
+// synthetic data stream, exercising the full public API: frequency and
+// quantile estimation over the whole history or over a sliding window, on
+// any sorting backend.
+//
+// Usage:
+//
+//	streammine -query frequency -n 10000000 -eps 0.0001 -support 0.001
+//	streammine -query quantile  -n 10000000 -eps 0.001 -phis 0.25,0.5,0.75
+//	streammine -query frequency -window 100000 ...   (sliding window)
+//	streammine -backend cpu ...                       (default gpu)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"gpustream"
+	"gpustream/internal/stream"
+)
+
+func main() {
+	query := flag.String("query", "frequency", "query type: frequency|quantile")
+	n := flag.Int("n", 1_000_000, "stream length")
+	eps := flag.Float64("eps", 0.001, "approximation error")
+	support := flag.Float64("support", 0.01, "frequency query support threshold")
+	phis := flag.String("phis", "0.01,0.25,0.5,0.75,0.99", "quantile probes")
+	dist := flag.String("dist", "zipf", "stream distribution: zipf|uniform|gauss|bursty")
+	backendName := flag.String("backend", "gpu", "sorting backend: gpu|gpu-bitonic|cpu|cpu-parallel")
+	windowSize := flag.Int("window", 0, "sliding window size (0 = whole stream)")
+	seed := flag.Uint64("seed", 1, "generator seed")
+	tracePath := flag.String("trace", "", "replay this trace file instead of generating")
+	top := flag.Int("top", 10, "max frequency items to print")
+	flag.Parse()
+
+	var backend gpustream.Backend
+	switch *backendName {
+	case "gpu":
+		backend = gpustream.BackendGPU
+	case "gpu-bitonic":
+		backend = gpustream.BackendGPUBitonic
+	case "cpu":
+		backend = gpustream.BackendCPU
+	case "cpu-parallel":
+		backend = gpustream.BackendCPUParallel
+	default:
+		fatalf("unknown backend %q", *backendName)
+	}
+
+	var data []float32
+	if *tracePath != "" {
+		f, err := os.Open(*tracePath)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		defer f.Close()
+		data, err = stream.ReadTrace(f)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		*n = len(data)
+		*dist = "trace:" + *tracePath
+	} else {
+		data = generate(*dist, *n, *seed)
+	}
+
+	eng := gpustream.New(backend)
+	fmt.Printf("stream: %d %s values, eps=%g, backend=%v\n", *n, *dist, *eps, backend)
+
+	start := time.Now()
+	switch *query {
+	case "frequency":
+		if *windowSize > 0 {
+			est := eng.NewSlidingFrequency(*eps, *windowSize)
+			est.ProcessSlice(data)
+			items := est.Query(*support)
+			fmt.Printf("processed in %v; heavy hitters over last %d elements (support %g):\n",
+				time.Since(start), *windowSize, *support)
+			printWindowItems(items, *top)
+		} else {
+			est := eng.NewFrequencyEstimator(*eps)
+			est.ProcessSlice(data)
+			items := est.Query(*support)
+			fmt.Printf("processed in %v; %d summary entries; heavy hitters (support %g):\n",
+				time.Since(start), est.SummarySize(), *support)
+			printItems(items, *top)
+			t := est.Timings()
+			fmt.Printf("phase time: sort %v, merge %v, compress %v\n", t.Sort, t.Merge, t.Compress)
+		}
+	case "quantile":
+		probes := parsePhis(*phis)
+		if *windowSize > 0 {
+			est := eng.NewSlidingQuantile(*eps, *windowSize)
+			est.ProcessSlice(data)
+			fmt.Printf("processed in %v; quantiles over last %d elements:\n",
+				time.Since(start), *windowSize)
+			for _, phi := range probes {
+				fmt.Printf("  phi=%.3f -> %v\n", phi, est.Query(phi))
+			}
+		} else {
+			est := eng.NewQuantileEstimator(*eps, int64(*n))
+			est.ProcessSlice(data)
+			fmt.Printf("processed in %v; %d summary entries in %d buckets; quantiles:\n",
+				time.Since(start), est.SummaryEntries(), est.Buckets())
+			for _, phi := range probes {
+				fmt.Printf("  phi=%.3f -> %v\n", phi, est.Query(phi))
+			}
+			t := est.Timings()
+			fmt.Printf("phase time: sort %v, merge %v, compress %v\n", t.Sort, t.Merge, t.Compress)
+		}
+	default:
+		fatalf("unknown query %q", *query)
+	}
+
+	if b, ok := eng.LastSortBreakdown(); ok {
+		fmt.Printf("last GPU sort (modeled 2004 testbed): compute %v, transfer %v, setup %v, merge %v\n",
+			b.Compute, b.Transfer, b.Setup, b.Merge)
+	}
+}
+
+func generate(dist string, n int, seed uint64) []float32 {
+	switch dist {
+	case "zipf":
+		return stream.Zipf(n, 1.1, n/100+10, seed)
+	case "uniform":
+		return stream.Uniform(n, seed)
+	case "gauss":
+		return stream.Gaussian(n, 0, 1, seed)
+	case "bursty":
+		return stream.Bursty(n, n/100+10, 1000, 0.001, seed)
+	}
+	fatalf("unknown distribution %q", dist)
+	return nil
+}
+
+func printItems(items []gpustream.Item, top int) {
+	for i, it := range items {
+		if i >= top {
+			fmt.Printf("  ... and %d more\n", len(items)-top)
+			return
+		}
+		fmt.Printf("  value %v: freq >= %d\n", it.Value, it.Freq)
+	}
+}
+
+func printWindowItems(items []gpustream.WindowItem, top int) {
+	for i, it := range items {
+		if i >= top {
+			fmt.Printf("  ... and %d more\n", len(items)-top)
+			return
+		}
+		fmt.Printf("  value %v: freq ~ %d\n", it.Value, it.Freq)
+	}
+}
+
+func parsePhis(s string) []float64 {
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil || v < 0 || v > 1 {
+			fatalf("bad phi %q", part)
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "streammine: "+format+"\n", args...)
+	os.Exit(2)
+}

@@ -1,0 +1,110 @@
+// Command tracegen writes a synthetic stream to a trace file that
+// streammine (or any stream.TraceSource user) can replay, and can also
+// externally sort an existing trace with bounded memory — the disk-spilling
+// path the paper's introduction describes.
+//
+// Usage:
+//
+//	tracegen -o stream.trace -n 10000000 -dist zipf -seed 1
+//	tracegen -sort stream.trace -o sorted.trace -runsize 1048576 -backend gpu
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"gpustream/internal/cpusort"
+	"gpustream/internal/extsort"
+	"gpustream/internal/gpusort"
+	"gpustream/internal/half"
+	"gpustream/internal/sorter"
+	"gpustream/internal/stream"
+)
+
+func main() {
+	out := flag.String("o", "stream.trace", "output trace path")
+	n := flag.Int("n", 1_000_000, "number of values")
+	dist := flag.String("dist", "zipf", "distribution: zipf|uniform|gauss|bursty|sorted")
+	seed := flag.Uint64("seed", 1, "generator seed")
+	quantize := flag.Bool("half", false, "quantize values through 16-bit floats (paper's stream precision)")
+	sortIn := flag.String("sort", "", "externally sort this existing trace instead of generating")
+	runSize := flag.Int("runsize", 1<<20, "external-sort in-memory run size")
+	backend := flag.String("backend", "cpu", "external-sort run backend: cpu|gpu")
+	flag.Parse()
+
+	if *sortIn != "" {
+		externalSort(*sortIn, *out, *runSize, *backend)
+		return
+	}
+
+	var data []float32
+	switch *dist {
+	case "zipf":
+		data = stream.Zipf(*n, 1.1, *n/100+10, *seed)
+	case "uniform":
+		data = stream.Uniform(*n, *seed)
+	case "gauss":
+		data = stream.Gaussian(*n, 0, 1, *seed)
+	case "bursty":
+		data = stream.Bursty(*n, *n/100+10, 1000, 0.001, *seed)
+	case "sorted":
+		data = stream.Sorted(*n)
+	default:
+		fatalf("unknown distribution %q", *dist)
+	}
+	if *quantize {
+		half.Quantize(data)
+	}
+
+	f, err := os.Create(*out)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if err := stream.WriteTrace(f, data); err != nil {
+		fatalf("%v", err)
+	}
+	if err := f.Close(); err != nil {
+		fatalf("%v", err)
+	}
+	fmt.Printf("wrote %d %s values to %s\n", *n, *dist, *out)
+}
+
+func externalSort(in, out string, runSize int, backend string) {
+	var srt sorter.Sorter
+	switch backend {
+	case "cpu":
+		srt = cpusort.QuicksortSorter{}
+	case "gpu":
+		srt = gpusort.NewSorter()
+	default:
+		fatalf("unknown backend %q", backend)
+	}
+	inF, err := os.Open(in)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	defer inF.Close()
+	src, err := stream.NewTraceSource(inF)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	outF, err := os.Create(out)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	st, err := extsort.Sort(src, outF, extsort.Config{RunSize: runSize, Sorter: srt})
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if err := outF.Close(); err != nil {
+		fatalf("%v", err)
+	}
+	fmt.Printf("externally sorted %d values: %d runs, %d extra merge passes, %.1f MB spilled\n",
+		st.Values, st.InitialRuns, st.MergePasses, float64(st.SpilledBytes)/1e6)
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "tracegen: "+format+"\n", args...)
+	os.Exit(2)
+}

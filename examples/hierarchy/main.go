@@ -1,0 +1,65 @@
+// Hierarchy: the two extension queries the paper names in Section 1.2 —
+// hierarchical heavy hitters and correlated sum aggregates — on a synthetic
+// web-tracking workload. Requests carry a 24-bit client id (aggregated like
+// /24, /16, /8 prefixes) and a byte count; we ask (1) which prefixes
+// dominate request volume even when no single client does, and (2) how many
+// bytes the slowest half of clients account for.
+package main
+
+import (
+	"fmt"
+
+	"gpustream"
+	"gpustream/internal/stream"
+)
+
+const (
+	requests = 1_000_000
+	eps      = 0.001
+)
+
+func main() {
+	eng := gpustream.New(gpustream.BackendGPU)
+	r := stream.NewRNG(99)
+
+	// Workload: background traffic over the whole 24-bit space, one hot
+	// client (a crawler), and one collectively-hot /16 prefix (a campus
+	// NAT block) whose individual clients stay small.
+	hier := gpustream.NewBitHierarchy(24, 8)
+	hhh := eng.NewHHHEstimator(hier, eps)
+	bytesBelow := eng.NewCorrelatedSum(eps, requests)
+
+	for i := 0; i < requests; i++ {
+		var client uint32
+		switch {
+		case i%10 == 0: // 10%: the crawler
+			client = 0x00C0FFEE & 0xFFFFFF
+		case i%10 < 4: // 30%: spread over a /16 block (256 hosts used)
+			client = 0xAB0000 | uint32(r.Intn(256))
+		default: // background
+			client = uint32(r.Intn(1 << 24))
+		}
+		hhh.Process(client)
+		// Response size correlates with client id in this synthetic world.
+		respBytes := 200 + float64(client%1000)
+		bytesBelow.Process(gpustream.Pair{X: float32(client), Y: respBytes})
+	}
+
+	fmt.Printf("processed %d requests (eps=%g)\n\n", requests, eps)
+
+	fmt.Println("hierarchical heavy hitters at 8% support:")
+	for _, p := range hhh.Query(0.08) {
+		bits := 24 - p.Level*8
+		fmt.Printf("  prefix 0x%06X/%d  level=%d  count~%d (%.1f%%)\n",
+			p.Value, bits, p.Level, p.Count, 100*float64(p.Count)/float64(requests))
+	}
+
+	fmt.Println("\ncorrelated sums (bytes served to clients with id <= t):")
+	total := bytesBelow.Total()
+	for _, t := range []float32{1 << 20, 1 << 22, 1 << 23, 1 << 24} {
+		s := bytesBelow.Sum(t)
+		fmt.Printf("  t=0x%06X: %.0f bytes (%.1f%% of %.0f)\n", uint32(t), s, 100*s/total, total)
+	}
+	fmt.Printf("\nbytes at or below the median client id (by traffic weight): %.0f (%.1f%%)\n",
+		bytesBelow.SumAtQuantile(0.5), 100*bytesBelow.SumAtQuantile(0.5)/total)
+}

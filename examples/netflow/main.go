@@ -1,0 +1,63 @@
+// Netflow: sliding-window heavy-hitter detection on a synthetic network
+// traffic stream — the high-speed networking use case the paper's
+// introduction motivates. A bursty generator injects hot destinations
+// (think a flash crowd or a DDoS target) into background traffic; the
+// sliding-window frequency estimator surfaces them as they happen and
+// forgets them as the window slides past.
+package main
+
+import (
+	"fmt"
+
+	"gpustream"
+	"gpustream/internal/stream"
+)
+
+const (
+	flows      = 2_000_000 // packets in the replayed trace
+	hosts      = 50_000    // distinct destination hosts
+	windowSize = 200_000   // "recent traffic" horizon in packets
+	eps        = 0.002     // approximation error
+	support    = 0.05      // alert threshold: 5% of window traffic
+)
+
+func main() {
+	// Background traffic with bursts: during a burst nearly every packet
+	// hits one destination.
+	packets := stream.Bursty(flows, hosts, 30_000, 0.00002, 7)
+
+	eng := gpustream.New(gpustream.BackendGPU)
+	detector := eng.NewSlidingFrequency(eps, windowSize)
+
+	fmt.Printf("replaying %d packets over %d hosts; window=%d, alert at %.0f%% of window\n",
+		flows, hosts, windowSize, support*100)
+
+	// Replay in chunks, checking for hot destinations periodically, the
+	// way a monitoring loop would.
+	const chunk = 100_000
+	for off := 0; off < len(packets); off += chunk {
+		end := off + chunk
+		if end > len(packets) {
+			end = len(packets)
+		}
+		detector.ProcessSlice(packets[off:end])
+
+		alerts := detector.Query(support)
+		if len(alerts) > 0 {
+			fmt.Printf("t=%-9d ALERT:", end)
+			for _, a := range alerts {
+				fmt.Printf(" host %v (~%d pkts, %.1f%% of window)",
+					a.Value, a.Freq, 100*float64(a.Freq)/float64(windowSize))
+			}
+			fmt.Println()
+		} else {
+			fmt.Printf("t=%-9d ok (no host above %.0f%% of recent traffic)\n", end, support*100)
+		}
+	}
+
+	// Variable-size window: zoom into just the last 50K packets.
+	fmt.Println("\nzoomed query over the most recent 50000 packets:")
+	for _, a := range detector.QueryWindow(support, 50_000) {
+		fmt.Printf("  host %v: ~%d pkts\n", a.Value, a.Freq)
+	}
+}

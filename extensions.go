@@ -1,0 +1,106 @@
+package gpustream
+
+// The paper states (Section 1.2) that its approach "is also applicable to
+// hierarchical heavy hitter and correlated sum aggregate queries"; this file
+// exposes those two extensions plus the sensor-network aggregation model the
+// quantile algorithm builds on, all bound to the engine's sorting backend.
+
+import (
+	"gpustream/internal/corrsum"
+	"gpustream/internal/dsms"
+	"gpustream/internal/gpusort"
+	"gpustream/internal/half"
+	"gpustream/internal/hhh"
+	"gpustream/internal/sensortree"
+)
+
+// Re-exported extension types.
+type (
+	// HHHEstimator answers hierarchical heavy hitter queries.
+	HHHEstimator = hhh.Estimator
+	// HHHPrefix is one reported hierarchical heavy hitter.
+	HHHPrefix = hhh.Prefix
+	// BitHierarchy is a fixed-stride prefix hierarchy over integer items.
+	BitHierarchy = hhh.BitHierarchy
+	// Pair is one (key, value) element of a correlated-sum stream.
+	Pair = corrsum.Pair
+	// CorrelatedSum answers SUM(value) WHERE key <= t queries.
+	CorrelatedSum = corrsum.Estimator
+	// SensorNode is one sensor in an aggregation tree.
+	SensorNode = sensortree.Node
+	// SensorStats reports aggregation communication cost.
+	SensorStats = sensortree.Stats
+)
+
+// NewBitHierarchy returns a prefix hierarchy over items of the given bit
+// width (<= 24, so prefixes stay exact in float32) aggregated stride bits
+// at a time.
+func NewBitHierarchy(bits, stride int) BitHierarchy {
+	return hhh.NewBitHierarchy(bits, stride)
+}
+
+// NewHHHEstimator returns an eps-approximate hierarchical heavy hitter
+// estimator over the given hierarchy, backed by this engine's sorter.
+func (e *Engine) NewHHHEstimator(h hhh.Hierarchy, eps float64) *HHHEstimator {
+	return hhh.NewEstimator(h, eps, e.srt)
+}
+
+// NewCorrelatedSum returns an eps-approximate correlated-sum estimator for
+// streams of up to capacity pairs, backed by this engine's sorter.
+func (e *Engine) NewCorrelatedSum(eps float64, capacity int64) *CorrelatedSum {
+	return corrsum.NewEstimator(eps, capacity, e.srt)
+}
+
+// AggregateSensorTree runs a Greenwald-Khanna sensor-network aggregation
+// over the tree rooted at root with error eps, sorting each node's local
+// observations on this engine's backend. It returns the root quantile
+// summary (queryable via Query/QueryRank) and communication statistics.
+func (e *Engine) AggregateSensorTree(root *SensorNode, eps float64) (*QuantileSummary, SensorStats) {
+	return sensortree.NewAggregator(eps, e.srt).Aggregate(root)
+}
+
+// KthLargest returns the k-th largest value of data (k = 1 is the maximum)
+// using GPU occlusion-query selection: at most 32 counting passes, no sort.
+// The computation always runs on the GPU simulator regardless of the
+// engine's sorting backend, since it is a GPU-native primitive.
+func KthLargest(data []float32, k int) float32 {
+	return gpusort.KthLargest(data, k)
+}
+
+// Quantize16 rounds data in place through IEEE half precision, emulating
+// the paper's 16-bit input streams and render targets. Order is preserved,
+// so every estimator guarantee survives quantization (values simply
+// coarsen to ~3 decimal digits).
+func Quantize16(data []float32) { half.Quantize(data) }
+
+// NewExecutor returns a miniature DSMS around this engine's backend:
+// register continuous queries, push arriving batches, read results.
+// budget caps the elements processed per Push; excess arrivals are
+// load-shed (0 disables shedding).
+func (e *Engine) NewExecutor(budget int) *Executor {
+	return dsms.NewExecutor(e.srt, budget)
+}
+
+// DSMS re-exports.
+type (
+	// Executor runs registered continuous queries over arriving batches.
+	Executor = dsms.Executor
+	// QuerySpec declares one continuous query for an Executor.
+	QuerySpec = dsms.QuerySpec
+	// QueryResult is one evaluated continuous-query snapshot.
+	QueryResult = dsms.Result
+	// ExecutorStats accounts executor ingest and load shedding.
+	ExecutorStats = dsms.Stats
+)
+
+// Continuous-query kinds.
+const (
+	// FrequencyAbove reports items above a support threshold.
+	FrequencyAbove = dsms.FrequencyAbove
+	// QuantileAt reports the phi-quantile.
+	QuantileAt = dsms.QuantileAt
+	// SlidingFrequencyAbove is FrequencyAbove over the last W elements.
+	SlidingFrequencyAbove = dsms.SlidingFrequencyAbove
+	// SlidingQuantileAt is QuantileAt over the last W elements.
+	SlidingQuantileAt = dsms.SlidingQuantileAt
+)

@@ -1,0 +1,3 @@
+module gpustream
+
+go 1.22

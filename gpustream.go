@@ -1,0 +1,185 @@
+// Package gpustream is a reproduction of "Fast and Approximate Stream
+// Mining of Quantiles and Frequencies Using Graphics Processors"
+// (Govindaraju, Raghuvanshi, Manocha; SIGMOD 2005): epsilon-approximate
+// quantile and frequency estimation over large data streams, with the
+// dominant sorting step executed on a (simulated) GPU via the paper's
+// rasterization-based periodic balanced sorting network.
+//
+// The entry point is Engine, which binds a sorting backend — the GPU PBSN
+// sorter, the prior-work GPU bitonic sorter, or CPU quicksorts — to the
+// stream-mining estimators:
+//
+//	eng := gpustream.New(gpustream.BackendGPU)
+//	freq := eng.NewFrequencyEstimator(0.001)
+//	freq.ProcessSlice(values)
+//	heavy := freq.Query(0.01) // items above 1% support, no false negatives
+//
+//	quant := eng.NewQuantileEstimator(0.001, int64(len(values)))
+//	quant.ProcessSlice(values)
+//	median := quant.Query(0.5)
+//
+// Sliding-window variants (NewSlidingFrequency, NewSlidingQuantile) answer
+// the same queries over the most recent W elements, for fixed and
+// variable-sized windows.
+//
+// Because no real 2004 GPU is attached, the GPU backend runs against a
+// functional simulator that executes the paper's rasterization routines
+// with real data and counts every primitive operation; the perfmodel
+// converts those counts into modeled GeForce-6800-Ultra time (see DESIGN.md
+// for the substitution argument and EXPERIMENTS.md for paper-vs-measured
+// results).
+package gpustream
+
+import (
+	"fmt"
+
+	"gpustream/internal/cpusort"
+	"gpustream/internal/frequency"
+	"gpustream/internal/gpusort"
+	"gpustream/internal/perfmodel"
+	"gpustream/internal/quantile"
+	"gpustream/internal/sorter"
+	"gpustream/internal/summary"
+	"gpustream/internal/window"
+)
+
+// Sorter sorts float32 slices ascending in place; all backends satisfy it.
+type Sorter = sorter.Sorter
+
+// Backend selects the sorting hardware path.
+type Backend int
+
+const (
+	// BackendGPU is the paper's contribution: the PBSN sorter on the GPU
+	// simulator (4-channel packing, blending comparators).
+	BackendGPU Backend = iota
+	// BackendGPUBitonic is the prior-work GPU baseline (fragment-program
+	// bitonic sort).
+	BackendGPUBitonic
+	// BackendCPU is a serial median-of-3 quicksort (the MSVC analog).
+	BackendCPU
+	// BackendCPUParallel is a multi-threaded quicksort (the Intel
+	// hyper-threaded analog).
+	BackendCPUParallel
+)
+
+// String implements fmt.Stringer.
+func (b Backend) String() string {
+	switch b {
+	case BackendGPU:
+		return "gpu"
+	case BackendGPUBitonic:
+		return "gpu-bitonic"
+	case BackendCPU:
+		return "cpu"
+	case BackendCPUParallel:
+		return "cpu-parallel"
+	}
+	return fmt.Sprintf("Backend(%d)", int(b))
+}
+
+// Re-exported result and instrumentation types.
+type (
+	// Item is a frequency-query result: a value and its estimated count.
+	Item = frequency.Item
+	// WindowItem is a sliding-window frequency-query result.
+	WindowItem = window.Item
+	// FrequencyEstimator answers eps-approximate frequency queries over
+	// the whole stream history (Manku-Motwani lossy counting).
+	FrequencyEstimator = frequency.Estimator
+	// QuantileEstimator answers eps-approximate quantile queries over the
+	// whole stream history (Greenwald-Khanna + exponential histogram).
+	QuantileEstimator = quantile.Estimator
+	// SlidingFrequency answers frequency queries over the most recent W
+	// elements.
+	SlidingFrequency = window.SlidingFrequency
+	// SlidingQuantile answers quantile queries over the most recent W
+	// elements.
+	SlidingQuantile = window.SlidingQuantile
+	// QuantileSummary is a mergeable Greenwald-Khanna quantile summary
+	// with rank bounds, as returned by sensor-tree aggregation.
+	QuantileSummary = summary.Summary
+	// PerfModel converts operation counts to modeled 2004-testbed time.
+	PerfModel = perfmodel.Model
+	// SortBreakdown decomposes one modeled GPU sort (Figure 4).
+	SortBreakdown = perfmodel.SortBreakdown
+)
+
+// Engine binds a sorting backend to the stream-mining algorithms.
+type Engine struct {
+	backend Backend
+	srt     Sorter
+	model   perfmodel.Model
+}
+
+// New returns an Engine using the given backend.
+func New(backend Backend) *Engine {
+	e := &Engine{backend: backend, model: perfmodel.Default()}
+	switch backend {
+	case BackendGPU:
+		e.srt = gpusort.NewSorter()
+	case BackendGPUBitonic:
+		e.srt = gpusort.NewBitonicSorter()
+	case BackendCPU:
+		e.srt = cpusort.QuicksortSorter{}
+	case BackendCPUParallel:
+		e.srt = cpusort.ParallelSorter{}
+	default:
+		panic(fmt.Sprintf("gpustream: unknown backend %v", backend))
+	}
+	return e
+}
+
+// Backend reports the engine's configured backend.
+func (e *Engine) Backend() Backend { return e.backend }
+
+// Sorter exposes the engine's sorting backend.
+func (e *Engine) Sorter() Sorter { return e.srt }
+
+// Model exposes the 2004-testbed performance model.
+func (e *Engine) Model() PerfModel { return e.model }
+
+// Sort orders data ascending in place using the configured backend.
+func (e *Engine) Sort(data []float32) { e.srt.Sort(data) }
+
+// LastSortBreakdown models the cost of the most recent GPU-backed Sort call
+// on the paper's testbed. It returns ok=false for CPU backends, which have
+// no transfer/setup decomposition.
+func (e *Engine) LastSortBreakdown() (SortBreakdown, bool) {
+	switch s := e.srt.(type) {
+	case *gpusort.Sorter:
+		st := s.LastStats()
+		return e.model.GPUSortFromStats(st.GPU, st.MergeCmps), true
+	case *gpusort.BitonicSorter:
+		st := s.LastStats()
+		return e.model.GPUSortFromStats(st.GPU, st.MergeCmps), true
+	}
+	return SortBreakdown{}, false
+}
+
+// NewFrequencyEstimator returns an eps-approximate frequency estimator
+// backed by this engine's sorter. Estimated counts undercount true ones by
+// at most eps*N; Query(s) reports every item above support s with no false
+// negatives.
+func (e *Engine) NewFrequencyEstimator(eps float64) *FrequencyEstimator {
+	return frequency.NewEstimator(eps, e.srt)
+}
+
+// NewQuantileEstimator returns an eps-approximate quantile estimator for
+// streams of up to capacity elements (capacity <= 0 picks a generous
+// default), backed by this engine's sorter.
+func (e *Engine) NewQuantileEstimator(eps float64, capacity int64) *QuantileEstimator {
+	return quantile.NewEstimator(eps, capacity, e.srt)
+}
+
+// NewSlidingFrequency returns an eps-approximate frequency estimator over
+// sliding windows of w elements, backed by this engine's sorter.
+func (e *Engine) NewSlidingFrequency(eps float64, w int) *SlidingFrequency {
+	return window.NewSlidingFrequency(eps, w, e.srt)
+}
+
+// NewSlidingQuantile returns an eps-approximate quantile estimator over
+// sliding windows of w elements, backed by this engine's sorter.
+func (e *Engine) NewSlidingQuantile(eps float64, w int) *SlidingQuantile {
+	return window.NewSlidingQuantile(eps, w, e.srt)
+}

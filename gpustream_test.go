@@ -1,0 +1,176 @@
+package gpustream
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"gpustream/internal/cpusort"
+	"gpustream/internal/stream"
+)
+
+func TestAllBackendsSortIdentically(t *testing.T) {
+	data := stream.Zipf(20000, 1.1, 1000, 1)
+	want := append([]float32(nil), data...)
+	sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+	for _, b := range []Backend{BackendGPU, BackendGPUBitonic, BackendCPU, BackendCPUParallel} {
+		eng := New(b)
+		got := append([]float32(nil), data...)
+		eng.Sort(got)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("%v: mismatch at %d", b, i)
+			}
+		}
+		if eng.Backend() != b {
+			t.Fatalf("Backend() = %v, want %v", eng.Backend(), b)
+		}
+		if eng.Sorter() == nil {
+			t.Fatalf("%v: nil sorter", b)
+		}
+	}
+}
+
+func TestBackendStrings(t *testing.T) {
+	cases := map[Backend]string{
+		BackendGPU:         "gpu",
+		BackendGPUBitonic:  "gpu-bitonic",
+		BackendCPU:         "cpu",
+		BackendCPUParallel: "cpu-parallel",
+	}
+	for b, want := range cases {
+		if b.String() != want {
+			t.Fatalf("%d.String() = %q, want %q", int(b), b.String(), want)
+		}
+	}
+	if Backend(99).String() == "" {
+		t.Fatal("unknown backend should still stringify")
+	}
+}
+
+func TestNewPanicsOnUnknownBackend(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	New(Backend(42))
+}
+
+func TestLastSortBreakdown(t *testing.T) {
+	eng := New(BackendGPU)
+	eng.Sort(stream.Uniform(10000, 2))
+	b, ok := eng.LastSortBreakdown()
+	if !ok {
+		t.Fatal("GPU backend must expose a breakdown")
+	}
+	if b.Compute <= 0 || b.Transfer <= 0 || b.Setup <= 0 {
+		t.Fatalf("breakdown = %+v", b)
+	}
+	if b.Total() != b.Compute+b.Transfer+b.Setup+b.Merge {
+		t.Fatal("Total mismatch")
+	}
+
+	cpu := New(BackendCPU)
+	cpu.Sort(stream.Uniform(100, 3))
+	if _, ok := cpu.LastSortBreakdown(); ok {
+		t.Fatal("CPU backend should not expose a GPU breakdown")
+	}
+
+	bit := New(BackendGPUBitonic)
+	bit.Sort(stream.Uniform(4096, 4))
+	bb, ok := bit.LastSortBreakdown()
+	if !ok || bb.Compute <= 0 {
+		t.Fatalf("bitonic breakdown = %+v ok=%v", bb, ok)
+	}
+}
+
+func TestEndToEndFrequency(t *testing.T) {
+	const eps, support = 0.005, 0.03
+	data := stream.Zipf(50000, 1.3, 2000, 5)
+	exact := map[float32]int64{}
+	for _, v := range data {
+		exact[v]++
+	}
+	for _, b := range []Backend{BackendGPU, BackendCPU} {
+		eng := New(b)
+		est := eng.NewFrequencyEstimator(eps)
+		est.ProcessSlice(data)
+		items := est.Query(support)
+		reported := map[float32]bool{}
+		for _, it := range items {
+			reported[it.Value] = true
+		}
+		for v, c := range exact {
+			if float64(c) >= support*float64(len(data)) && !reported[v] {
+				t.Fatalf("%v: false negative on %v (count %d)", b, v, c)
+			}
+		}
+	}
+}
+
+func TestEndToEndQuantile(t *testing.T) {
+	const eps = 0.01
+	data := stream.Gaussian(40000, 50, 10, 6)
+	ref := append([]float32(nil), data...)
+	cpusort.Quicksort(ref)
+	for _, b := range []Backend{BackendGPU, BackendCPU} {
+		eng := New(b)
+		est := eng.NewQuantileEstimator(eps, int64(len(data)))
+		est.ProcessSlice(data)
+		for _, phi := range []float64{0.1, 0.5, 0.9} {
+			got := est.Query(phi)
+			r := int(math.Ceil(phi * float64(len(ref))))
+			lo := sort.Search(len(ref), func(i int) bool { return ref[i] >= got }) + 1
+			hi := sort.Search(len(ref), func(i int) bool { return ref[i] > got })
+			var d int
+			switch {
+			case r < lo:
+				d = lo - r
+			case r > hi:
+				d = r - hi
+			}
+			if float64(d) > eps*float64(len(ref))+1 {
+				t.Fatalf("%v phi=%v: rank error %d", b, phi, d)
+			}
+		}
+	}
+}
+
+func TestEndToEndSlidingWindows(t *testing.T) {
+	const eps = 0.02
+	const W = 5000
+	data := stream.Zipf(20000, 1.2, 300, 7)
+	eng := New(BackendGPU)
+	sf := eng.NewSlidingFrequency(eps, W)
+	sq := eng.NewSlidingQuantile(eps, W)
+	sf.ProcessSlice(data)
+	sq.ProcessSlice(data)
+
+	exact := map[float32]int64{}
+	for _, v := range data[len(data)-W:] {
+		exact[v]++
+	}
+	for v, c := range exact {
+		est := sf.Estimate(v)
+		if math.Abs(float64(est-c)) > eps*float64(W)+1e-9 {
+			t.Fatalf("sliding frequency error on %v: est %d true %d", v, est, c)
+		}
+	}
+	med := sq.Query(0.5)
+	win := append([]float32(nil), data[len(data)-W:]...)
+	cpusort.Quicksort(win)
+	r := W / 2
+	lo := sort.Search(len(win), func(i int) bool { return win[i] >= med }) + 1
+	hi := sort.Search(len(win), func(i int) bool { return win[i] > med })
+	var d int
+	switch {
+	case r < lo:
+		d = lo - r
+	case r > hi:
+		d = r - hi
+	}
+	if float64(d) > eps*float64(W)+1 {
+		t.Fatalf("sliding median rank error %d", d)
+	}
+}

@@ -1,0 +1,47 @@
+package cachesim
+
+import "math"
+
+// Analytic cache-miss models in the style of LaMarca and Ladner ("The
+// influence of caches on the performance of sorting"), the study the paper
+// cites for CPU sorting behaviour (Section 3.2). The predictions are
+// first-order — capacity misses only, fully associative approximation —
+// and the tests compare them against the simulator's measured counts.
+
+// PredictQuicksortMisses estimates cache misses for quicksorting n
+// float32 values with a cache of cacheBytes and lineBytes lines.
+//
+// LaMarca-Ladner: while a partition fits in cache it incurs one miss per
+// line (compulsory); each partitioning pass over data that exceeds the
+// cache streams it through memory once, costing n/B misses per pass, with
+// ~log2(n/M) such passes until partitions fit.
+func PredictQuicksortMisses(n int, cacheBytes, lineBytes int) float64 {
+	if n <= 0 {
+		return 0
+	}
+	valsPerLine := float64(lineBytes) / 4
+	lines := float64(n) / valsPerLine
+	capacity := float64(cacheBytes) / 4
+	if float64(n) <= capacity {
+		return lines // compulsory only
+	}
+	passes := math.Log2(float64(n) / capacity)
+	return lines * (1 + passes)
+}
+
+// PredictMergesortMisses estimates cache misses for a top-down mergesort
+// of n float32 values: every merge level beyond cache residency streams
+// both the source and destination arrays through memory.
+func PredictMergesortMisses(n int, cacheBytes, lineBytes int) float64 {
+	if n <= 0 {
+		return 0
+	}
+	valsPerLine := float64(lineBytes) / 4
+	lines := 2 * float64(n) / valsPerLine // data + scratch
+	capacity := float64(cacheBytes) / 8   // both arrays must fit
+	if float64(n) <= capacity {
+		return lines
+	}
+	levels := math.Log2(float64(n) / capacity)
+	return lines * (1 + levels)
+}

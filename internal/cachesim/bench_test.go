@@ -1,0 +1,27 @@
+package cachesim
+
+import (
+	"testing"
+
+	"gpustream/internal/stream"
+)
+
+func BenchmarkTracedQuicksort(b *testing.B) {
+	data := stream.Uniform(1<<15, 1)
+	buf := make([]float32, len(data))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(buf, data)
+		TracedQuicksort(buf, PentiumIV())
+	}
+}
+
+func BenchmarkTracedMergesort(b *testing.B) {
+	data := stream.Uniform(1<<15, 2)
+	buf := make([]float32, len(data))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(buf, data)
+		TracedMergesort(buf, PentiumIV())
+	}
+}

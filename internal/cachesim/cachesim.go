@@ -1,0 +1,117 @@
+// Package cachesim models the CPU memory hierarchy whose behaviour the paper
+// identifies as the main bottleneck of CPU sorting (Section 3.2, citing
+// LaMarca and Ladner): a set-associative L1 and L2 cache in front of slow
+// main memory. Instrumented sorts replay their exact element-access traces
+// through the hierarchy, yielding miss counts and a cycle estimate that feed
+// the Pentium-IV side of the performance model and the cache ablation bench.
+package cachesim
+
+// Config describes one cache level.
+type Config struct {
+	Size    int   // total bytes
+	Line    int   // line size in bytes
+	Assoc   int   // ways per set
+	Latency int64 // access latency in cycles on a hit at this level
+}
+
+// Cache is a set-associative cache with LRU replacement.
+type Cache struct {
+	cfg      Config
+	sets     int
+	tags     []uint64 // sets x assoc, tag+1 (0 = invalid)
+	stamps   []int64  // LRU timestamps parallel to tags
+	clock    int64
+	accesses int64
+	misses   int64
+}
+
+// NewCache builds a cache from cfg. Size must be divisible by Line*Assoc.
+func NewCache(cfg Config) *Cache {
+	if cfg.Size <= 0 || cfg.Line <= 0 || cfg.Assoc <= 0 {
+		panic("cachesim: invalid cache config")
+	}
+	sets := cfg.Size / (cfg.Line * cfg.Assoc)
+	if sets == 0 || cfg.Size%(cfg.Line*cfg.Assoc) != 0 {
+		panic("cachesim: size must be a multiple of line*assoc")
+	}
+	return &Cache{
+		cfg:    cfg,
+		sets:   sets,
+		tags:   make([]uint64, sets*cfg.Assoc),
+		stamps: make([]int64, sets*cfg.Assoc),
+	}
+}
+
+// Access touches addr and reports whether it hit.
+func (c *Cache) Access(addr uint64) bool {
+	c.accesses++
+	c.clock++
+	line := addr / uint64(c.cfg.Line)
+	set := int(line % uint64(c.sets))
+	tag := line/uint64(c.sets) + 1
+	base := set * c.cfg.Assoc
+	victim := base
+	for i := base; i < base+c.cfg.Assoc; i++ {
+		if c.tags[i] == tag {
+			c.stamps[i] = c.clock
+			return true
+		}
+		if c.stamps[i] < c.stamps[victim] {
+			victim = i
+		}
+	}
+	c.misses++
+	c.tags[victim] = tag
+	c.stamps[victim] = c.clock
+	return false
+}
+
+// Accesses reports the number of Access calls.
+func (c *Cache) Accesses() int64 { return c.accesses }
+
+// Misses reports the number of misses.
+func (c *Cache) Misses() int64 { return c.misses }
+
+// MissRate reports misses/accesses, or 0 before any access.
+func (c *Cache) MissRate() float64 {
+	if c.accesses == 0 {
+		return 0
+	}
+	return float64(c.misses) / float64(c.accesses)
+}
+
+// Hierarchy is a two-level cache in front of main memory.
+type Hierarchy struct {
+	L1, L2 *Cache
+	MemLat int64 // main-memory latency in cycles
+	cycles int64
+}
+
+// PentiumIV builds the hierarchy of the paper's 3.4 GHz Pentium IV testbed:
+// 16 KB 8-way L1 and 1 MB 8-way L2 with 64-byte lines, and the latencies the
+// paper quotes in Section 3.2 — 1-2 cycles for L1, ~10 for L2 and ~100 for
+// main memory.
+func PentiumIV() *Hierarchy {
+	return &Hierarchy{
+		L1:     NewCache(Config{Size: 16 << 10, Line: 64, Assoc: 8, Latency: 2}),
+		L2:     NewCache(Config{Size: 1 << 20, Line: 64, Assoc: 8, Latency: 10}),
+		MemLat: 100,
+	}
+}
+
+// Access touches addr through the hierarchy and returns the cycles spent.
+func (h *Hierarchy) Access(addr uint64) int64 {
+	var cost int64
+	if h.L1.Access(addr) {
+		cost = h.L1.cfg.Latency
+	} else if h.L2.Access(addr) {
+		cost = h.L2.cfg.Latency
+	} else {
+		cost = h.MemLat
+	}
+	h.cycles += cost
+	return cost
+}
+
+// Cycles reports total memory-access cycles so far.
+func (h *Hierarchy) Cycles() int64 { return h.cycles }

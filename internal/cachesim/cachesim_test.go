@@ -1,0 +1,162 @@
+package cachesim
+
+import (
+	"testing"
+
+	"gpustream/internal/cpusort"
+	"gpustream/internal/stream"
+)
+
+func TestCacheHitsOnRepeatedAccess(t *testing.T) {
+	c := NewCache(Config{Size: 1024, Line: 64, Assoc: 2, Latency: 1})
+	if c.Access(0) {
+		t.Fatal("cold access hit")
+	}
+	if !c.Access(0) {
+		t.Fatal("repeated access missed")
+	}
+	if !c.Access(63) {
+		t.Fatal("same-line access missed")
+	}
+	if c.Access(64) {
+		t.Fatal("next-line cold access hit")
+	}
+	if c.Accesses() != 4 || c.Misses() != 2 {
+		t.Fatalf("accesses=%d misses=%d", c.Accesses(), c.Misses())
+	}
+	if c.MissRate() != 0.5 {
+		t.Fatalf("MissRate = %v", c.MissRate())
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	// 2-way, 1 set: capacity two lines.
+	c := NewCache(Config{Size: 128, Line: 64, Assoc: 2, Latency: 1})
+	c.Access(0)       // line A
+	c.Access(64)      // line B
+	c.Access(0)       // touch A -> B is LRU
+	c.Access(128)     // line C evicts B
+	if !c.Access(0) { // A still resident
+		t.Fatal("LRU evicted the recently used line")
+	}
+	if c.Access(64) { // B was evicted
+		t.Fatal("LRU kept the least recently used line")
+	}
+}
+
+func TestCacheConfigValidation(t *testing.T) {
+	for _, cfg := range []Config{
+		{Size: 0, Line: 64, Assoc: 1},
+		{Size: 100, Line: 64, Assoc: 2}, // not a multiple
+		{Size: 64, Line: 64, Assoc: 0},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("config %+v accepted", cfg)
+				}
+			}()
+			NewCache(cfg)
+		}()
+	}
+}
+
+func TestHierarchyLatencies(t *testing.T) {
+	h := PentiumIV()
+	if got := h.Access(0); got != h.MemLat {
+		t.Fatalf("cold access cost %d, want %d", got, h.MemLat)
+	}
+	if got := h.Access(0); got != 2 {
+		t.Fatalf("L1 hit cost %d, want 2", got)
+	}
+	if h.Cycles() != h.MemLat+2 {
+		t.Fatalf("Cycles = %d", h.Cycles())
+	}
+}
+
+func TestHierarchyL2Hit(t *testing.T) {
+	h := PentiumIV()
+	// Touch enough distinct lines to evict from the 16 KB L1 but stay in
+	// the 1 MB L2, then re-touch the first line: should cost 10 (L2).
+	for addr := uint64(0); addr < 64<<10; addr += 64 {
+		h.Access(addr)
+	}
+	if got := h.Access(0); got != 10 {
+		t.Fatalf("expected L2 hit cost 10, got %d", got)
+	}
+}
+
+func TestTracedQuicksortSortsAndCounts(t *testing.T) {
+	data := stream.Uniform(20000, 21)
+	h := PentiumIV()
+	TracedQuicksort(data, h)
+	if !cpusort.IsSorted(data) {
+		t.Fatal("TracedQuicksort did not sort")
+	}
+	if h.L1.Accesses() == 0 || h.Cycles() == 0 {
+		t.Fatal("no accesses recorded")
+	}
+}
+
+func TestTracedMergesortSortsAndCounts(t *testing.T) {
+	data := stream.Uniform(20000, 22)
+	h := PentiumIV()
+	TracedMergesort(data, h)
+	if !cpusort.IsSorted(data) {
+		t.Fatal("TracedMergesort did not sort")
+	}
+	if h.L1.Accesses() == 0 {
+		t.Fatal("no accesses recorded")
+	}
+}
+
+// TestQuicksortMissGrowth reproduces the LaMarca-Ladner observation the
+// paper cites: once the input outgrows the cache, quicksort's misses per
+// element rise substantially.
+func TestQuicksortMissGrowth(t *testing.T) {
+	missesPerElem := func(n int) float64 {
+		data := stream.Uniform(n, uint64(n))
+		h := PentiumIV()
+		TracedQuicksort(data, h)
+		return float64(h.L2.Misses()) / float64(n)
+	}
+	small := missesPerElem(32 << 10)  // 128 KB of data: fits L2
+	large := missesPerElem(512 << 10) // 2 MB of data: exceeds L2
+	if large < 2*small {
+		t.Fatalf("expected miss growth beyond cache: small=%.4f large=%.4f", small, large)
+	}
+}
+
+// TestAnalyticModelTracksSimulatedQuicksort checks the LaMarca-Ladner-style
+// prediction against the full simulation within a factor of three across
+// two orders of magnitude of input size — first-order agreement, which is
+// all the model claims.
+func TestAnalyticModelTracksSimulatedQuicksort(t *testing.T) {
+	for _, n := range []int{1 << 14, 1 << 17, 1 << 19} {
+		data := stream.Uniform(n, uint64(n))
+		h := PentiumIV()
+		TracedQuicksort(data, h)
+		measured := float64(h.L2.Misses())
+		predicted := PredictQuicksortMisses(n, 1<<20, 64)
+		ratio := measured / predicted
+		if ratio < 1/3.0 || ratio > 3 {
+			t.Fatalf("n=%d: measured %v vs predicted %v (ratio %.2f)", n, measured, predicted, ratio)
+		}
+	}
+}
+
+func TestAnalyticModelsGrowSuperlinearly(t *testing.T) {
+	small := PredictQuicksortMisses(1<<16, 1<<20, 64)
+	large := PredictQuicksortMisses(1<<22, 1<<20, 64)
+	if large < 64*small*1.2 {
+		t.Fatalf("beyond-cache misses should grow superlinearly: %v -> %v", small, large)
+	}
+	if PredictQuicksortMisses(0, 1<<20, 64) != 0 || PredictMergesortMisses(0, 1<<20, 64) != 0 {
+		t.Fatal("zero input should predict zero misses")
+	}
+	ms := PredictMergesortMisses(1<<20, 1<<20, 64)
+	qs := PredictQuicksortMisses(1<<20, 1<<20, 64)
+	if ms <= qs {
+		t.Fatalf("mergesort (two arrays) should predict more misses: %v vs %v", ms, qs)
+	}
+}

@@ -1,0 +1,117 @@
+package cachesim
+
+// tracedData wraps a float32 slice so every element access is replayed
+// through a cache hierarchy at its real (simulated) address.
+type tracedData struct {
+	data []float32
+	h    *Hierarchy
+	base uint64
+}
+
+func (t *tracedData) get(i int) float32 {
+	t.h.Access(t.base + uint64(i)*4)
+	return t.data[i]
+}
+
+func (t *tracedData) set(i int, v float32) {
+	t.h.Access(t.base + uint64(i)*4)
+	t.data[i] = v
+}
+
+func (t *tracedData) swap(i, j int) {
+	a, b := t.get(i), t.get(j)
+	t.set(i, b)
+	t.set(j, a)
+}
+
+// TracedQuicksort sorts data in place, replaying every element access
+// through h. It mirrors cpusort.Quicksort's structure (median-of-3,
+// insertion cutoff) so the measured cache behaviour is representative of the
+// real baseline.
+func TracedQuicksort(data []float32, h *Hierarchy) {
+	t := &tracedData{data: data, h: h}
+	tracedQuicksort(t, 0, len(data))
+}
+
+func tracedQuicksort(t *tracedData, lo, hi int) {
+	for hi-lo > 16 {
+		p := tracedPartition(t, lo, hi)
+		if p-lo < hi-p-1 {
+			tracedQuicksort(t, lo, p)
+			lo = p + 1
+		} else {
+			tracedQuicksort(t, p+1, hi)
+			hi = p
+		}
+	}
+	// Insertion sort tail.
+	for i := lo + 1; i < hi; i++ {
+		v := t.get(i)
+		j := i - 1
+		for j >= lo && t.get(j) > v {
+			t.set(j+1, t.get(j))
+			j--
+		}
+		t.set(j+1, v)
+	}
+}
+
+func tracedPartition(t *tracedData, lo, hi int) int {
+	mid := lo + (hi-lo)/2
+	if t.get(mid) < t.get(lo) {
+		t.swap(mid, lo)
+	}
+	if t.get(hi-1) < t.get(mid) {
+		t.swap(hi-1, mid)
+		if t.get(mid) < t.get(lo) {
+			t.swap(mid, lo)
+		}
+	}
+	t.swap(mid, hi-2)
+	pivot := t.get(hi - 2)
+	i, j := lo, hi-2
+	for {
+		for i++; t.get(i) < pivot; i++ {
+		}
+		for j--; t.get(j) > pivot; j-- {
+		}
+		if i >= j {
+			break
+		}
+		t.swap(i, j)
+	}
+	t.swap(i, hi-2)
+	return i
+}
+
+// TracedMergesort sorts data in place via a top-down mergesort with a traced
+// scratch buffer, the cache-friendlier comparison point LaMarca and Ladner
+// analyze against quicksort.
+func TracedMergesort(data []float32, h *Hierarchy) {
+	scratch := make([]float32, len(data))
+	src := &tracedData{data: data, h: h}
+	dst := &tracedData{data: scratch, h: h, base: uint64(len(data)) * 4}
+	tracedMergesort(src, dst, 0, len(data))
+}
+
+func tracedMergesort(src, scratch *tracedData, lo, hi int) {
+	if hi-lo <= 1 {
+		return
+	}
+	mid := lo + (hi-lo)/2
+	tracedMergesort(src, scratch, lo, mid)
+	tracedMergesort(src, scratch, mid, hi)
+	i, j := lo, mid
+	for k := lo; k < hi; k++ {
+		if i < mid && (j >= hi || src.get(i) <= src.get(j)) {
+			scratch.set(k, src.get(i))
+			i++
+		} else {
+			scratch.set(k, src.get(j))
+			j++
+		}
+	}
+	for k := lo; k < hi; k++ {
+		src.set(k, scratch.get(k))
+	}
+}

@@ -1,0 +1,25 @@
+package corrsum
+
+import (
+	"testing"
+
+	"gpustream/internal/cpusort"
+)
+
+func BenchmarkCorrelatedSumProcess(b *testing.B) {
+	pairs := randomPairs(1<<15, 1)
+	b.SetBytes(int64(len(pairs) * 12))
+	for i := 0; i < b.N; i++ {
+		e := NewEstimator(0.005, int64(len(pairs)), cpusort.QuicksortSorter{})
+		e.ProcessSlice(pairs)
+	}
+}
+
+func BenchmarkCorrelatedSumQuery(b *testing.B) {
+	e := NewEstimator(0.005, 1<<16, cpusort.QuicksortSorter{})
+	e.ProcessSlice(randomPairs(1<<16, 2))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = e.Sum(50)
+	}
+}

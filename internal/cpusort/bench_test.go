@@ -1,0 +1,29 @@
+package cpusort
+
+import (
+	"fmt"
+	"testing"
+
+	"gpustream/internal/stream"
+)
+
+func benchSort(b *testing.B, fn func([]float32)) {
+	for _, n := range []int{1 << 12, 1 << 18} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			data := stream.Uniform(n, uint64(n))
+			buf := make([]float32, n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				copy(buf, data)
+				fn(buf)
+			}
+		})
+	}
+}
+
+func BenchmarkQuicksort(b *testing.B) { benchSort(b, Quicksort) }
+func BenchmarkParallelQuicksort(b *testing.B) {
+	benchSort(b, func(d []float32) { ParallelQuicksort(d, 2) })
+}
+func BenchmarkHeapsort(b *testing.B)  { benchSort(b, Heapsort) }
+func BenchmarkRadixSort(b *testing.B) { benchSort(b, RadixSort) }

@@ -1,0 +1,84 @@
+package cpusort
+
+// Merge2 merges two ascending runs into dst, which must have capacity for
+// both. It returns the filled dst.
+func Merge2(dst, a, b []float32) []float32 {
+	dst = dst[:0]
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		if a[i] <= b[j] {
+			dst = append(dst, a[i])
+			i++
+		} else {
+			dst = append(dst, b[j])
+			j++
+		}
+	}
+	dst = append(dst, a[i:]...)
+	dst = append(dst, b[j:]...)
+	return dst
+}
+
+// Merge4 merges four ascending runs into one ascending slice. This is the
+// CPU-side combine of the paper's sorter: the GPU sorts the four texture
+// channels independently and the CPU merges them with O(n) comparisons
+// (Section 4.4). It merges pairwise (a+b, c+d, then the two halves), which
+// is branch-friendlier than a 4-way tournament for runs of similar length.
+func Merge4(a, b, c, d []float32) []float32 {
+	ab := Merge2(make([]float32, 0, len(a)+len(b)), a, b)
+	cd := Merge2(make([]float32, 0, len(c)+len(d)), c, d)
+	return Merge2(make([]float32, 0, len(ab)+len(cd)), ab, cd)
+}
+
+// KWayMerge merges any number of ascending runs into one ascending slice
+// using a simple loser-tree-free heap of run heads.
+func KWayMerge(runs [][]float32) []float32 {
+	total := 0
+	for _, r := range runs {
+		total += len(r)
+	}
+	out := make([]float32, 0, total)
+
+	// heads[i] is the next unconsumed index in runs[i].
+	type head struct{ run, idx int }
+	heap := make([]head, 0, len(runs))
+	val := func(h head) float32 { return runs[h.run][h.idx] }
+	less := func(i, j int) bool { return val(heap[i]) < val(heap[j]) }
+	down := func(i int) {
+		for {
+			l, r := 2*i+1, 2*i+2
+			m := i
+			if l < len(heap) && less(l, m) {
+				m = l
+			}
+			if r < len(heap) && less(r, m) {
+				m = r
+			}
+			if m == i {
+				return
+			}
+			heap[i], heap[m] = heap[m], heap[i]
+			i = m
+		}
+	}
+	for i, r := range runs {
+		if len(r) > 0 {
+			heap = append(heap, head{i, 0})
+		}
+	}
+	for i := len(heap)/2 - 1; i >= 0; i-- {
+		down(i)
+	}
+	for len(heap) > 0 {
+		h := heap[0]
+		out = append(out, val(h))
+		if h.idx+1 < len(runs[h.run]) {
+			heap[0].idx++
+		} else {
+			heap[0] = heap[len(heap)-1]
+			heap = heap[:len(heap)-1]
+		}
+		down(0)
+	}
+	return out
+}

@@ -1,0 +1,76 @@
+package cpusort
+
+import (
+	"math"
+
+	"gpustream/internal/sorter"
+)
+
+// RadixSort sorts float32 values ascending with a 4-pass LSD byte radix
+// sort over order-preserving key transforms. It is the non-comparison CPU
+// baseline from the database sorting literature the paper's related work
+// cites: O(n) passes, but each pass streams the whole array through memory,
+// so its cache behaviour differs sharply from quicksort's.
+func RadixSort(data []float32) {
+	n := len(data)
+	if n < 2 {
+		return
+	}
+	// Order-preserving bijection float32 -> uint32: flip all bits of
+	// negatives, flip only the sign bit of non-negatives.
+	keys := make([]uint32, n)
+	for i, v := range data {
+		b := math.Float32bits(v)
+		if b&0x80000000 != 0 {
+			b = ^b
+		} else {
+			b |= 0x80000000
+		}
+		keys[i] = b
+	}
+	buf := make([]uint32, n)
+	var counts [256]int
+	for shift := uint(0); shift < 32; shift += 8 {
+		for i := range counts {
+			counts[i] = 0
+		}
+		for _, k := range keys {
+			counts[(k>>shift)&0xFF]++
+		}
+		// Skip passes where every key shares the byte.
+		if counts[keys[0]>>shift&0xFF] == n {
+			continue
+		}
+		pos := 0
+		for i := 0; i < 256; i++ {
+			c := counts[i]
+			counts[i] = pos
+			pos += c
+		}
+		for _, k := range keys {
+			b := (k >> shift) & 0xFF
+			buf[counts[b]] = k
+			counts[b]++
+		}
+		keys, buf = buf, keys
+	}
+	for i, k := range keys {
+		if k&0x80000000 != 0 {
+			k &^= 0x80000000
+		} else {
+			k = ^k
+		}
+		data[i] = math.Float32frombits(k)
+	}
+}
+
+// RadixSorter exposes RadixSort behind the sorter.Sorter interface.
+type RadixSorter struct{}
+
+// Sort implements sorter.Sorter.
+func (RadixSorter) Sort(data []float32) { RadixSort(data) }
+
+// Name implements sorter.Sorter.
+func (RadixSorter) Name() string { return "cpu-radix" }
+
+var _ sorter.Sorter = RadixSorter{}

@@ -1,0 +1,37 @@
+package cpusort
+
+import "gpustream/internal/sorter"
+
+// QuicksortSorter is the serial quicksort baseline ("MSVC qsort" analog in
+// the paper's Figure 3).
+type QuicksortSorter struct{}
+
+// Sort implements sorter.Sorter.
+func (QuicksortSorter) Sort(data []float32) { Quicksort(data) }
+
+// Name implements sorter.Sorter.
+func (QuicksortSorter) Name() string { return "cpu-quicksort" }
+
+// ParallelSorter is the multi-threaded quicksort baseline (the "Intel
+// compiler with Hyper-Threading" analog in the paper's Figure 3).
+type ParallelSorter struct {
+	// Workers is the goroutine budget; 0 means DefaultWorkers().
+	Workers int
+}
+
+// Sort implements sorter.Sorter.
+func (s ParallelSorter) Sort(data []float32) {
+	w := s.Workers
+	if w == 0 {
+		w = DefaultWorkers()
+	}
+	ParallelQuicksort(data, w)
+}
+
+// Name implements sorter.Sorter.
+func (s ParallelSorter) Name() string { return "cpu-quicksort-ht" }
+
+var (
+	_ sorter.Sorter = QuicksortSorter{}
+	_ sorter.Sorter = ParallelSorter{}
+)

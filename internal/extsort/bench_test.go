@@ -1,0 +1,21 @@
+package extsort
+
+import (
+	"io"
+	"testing"
+
+	"gpustream/internal/cpusort"
+	"gpustream/internal/stream"
+)
+
+func BenchmarkExternalSort(b *testing.B) {
+	data := stream.Uniform(1<<17, 1)
+	b.SetBytes(int64(len(data) * 4))
+	for i := 0; i < b.N; i++ {
+		_, err := Sort(stream.NewSliceSource(data), io.Discard,
+			Config{RunSize: 1 << 14, Sorter: cpusort.QuicksortSorter{}})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,111 @@
+package extsort
+
+import (
+	"bytes"
+	"testing"
+
+	"gpustream/internal/cpusort"
+	"gpustream/internal/gpusort"
+	"gpustream/internal/sorter"
+	"gpustream/internal/stream"
+)
+
+func sortToSlice(t *testing.T, data []float32, cfg Config) ([]float32, Stats) {
+	t.Helper()
+	var buf bytes.Buffer
+	st, err := Sort(stream.NewSliceSource(data), &buf, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := stream.ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out, st
+}
+
+func checkSorted(t *testing.T, got, original []float32) {
+	t.Helper()
+	if len(got) != len(original) {
+		t.Fatalf("length %d, want %d", len(got), len(original))
+	}
+	want := append([]float32(nil), original...)
+	cpusort.Quicksort(want)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("mismatch at %d: %v vs %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestSortSingleRun(t *testing.T) {
+	data := stream.Uniform(5000, 1)
+	got, st := sortToSlice(t, data, Config{RunSize: 10000, Sorter: cpusort.QuicksortSorter{}})
+	checkSorted(t, got, data)
+	if st.InitialRuns != 1 || st.MergePasses != 0 || st.Values != 5000 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestSortManyRuns(t *testing.T) {
+	data := stream.Zipf(50000, 1.1, 3000, 2)
+	got, st := sortToSlice(t, data, Config{RunSize: 1000, Sorter: cpusort.QuicksortSorter{}})
+	checkSorted(t, got, data)
+	if st.InitialRuns != 50 {
+		t.Fatalf("runs = %d", st.InitialRuns)
+	}
+	if st.SpilledBytes < 50000*4 {
+		t.Fatalf("spilled = %d", st.SpilledBytes)
+	}
+}
+
+func TestSortMultiPassMerge(t *testing.T) {
+	data := stream.Uniform(20000, 3)
+	got, st := sortToSlice(t, data, Config{RunSize: 500, FanIn: 4, Sorter: cpusort.QuicksortSorter{}})
+	checkSorted(t, got, data)
+	// 40 runs at fan-in 4 need at least two intermediate passes.
+	if st.MergePasses < 2 {
+		t.Fatalf("merge passes = %d", st.MergePasses)
+	}
+}
+
+func TestSortWithGPUBackend(t *testing.T) {
+	// Disk-to-disk sorting with GPU run formation: the paper's Section 2.3
+	// configuration.
+	data := stream.Uniform(20000, 4)
+	got, st := sortToSlice(t, data, Config{RunSize: 4096, Sorter: gpusort.NewSorter()})
+	checkSorted(t, got, data)
+	if st.InitialRuns != 5 {
+		t.Fatalf("runs = %d", st.InitialRuns)
+	}
+}
+
+func TestSortEmptyStream(t *testing.T) {
+	got, st := sortToSlice(t, nil, Config{Sorter: cpusort.QuicksortSorter{}})
+	if len(got) != 0 || st.Values != 0 || st.InitialRuns != 0 {
+		t.Fatalf("empty sort: got %v stats %+v", got, st)
+	}
+}
+
+func TestSortNilSorterFallback(t *testing.T) {
+	data := stream.Uniform(2000, 5)
+	got, _ := sortToSlice(t, data, Config{RunSize: 500})
+	checkSorted(t, got, data)
+}
+
+func TestSortDuplicatesAcrossRuns(t *testing.T) {
+	data := stream.UniformInts(10000, 7, 6)
+	got, _ := sortToSlice(t, data, Config{RunSize: 300, FanIn: 3, Sorter: cpusort.QuicksortSorter{}})
+	checkSorted(t, got, data)
+}
+
+func TestSortBadSpillDir(t *testing.T) {
+	var buf bytes.Buffer
+	_, err := Sort(stream.NewSliceSource([]float32{1}), &buf,
+		Config{Dir: "/nonexistent/definitely/not/here", Sorter: cpusort.QuicksortSorter{}})
+	if err == nil {
+		t.Fatal("expected error for unusable spill dir")
+	}
+}
+
+var _ sorter.Sorter = cpusort.QuicksortSorter{} // keep the import honest

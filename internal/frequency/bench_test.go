@@ -1,0 +1,43 @@
+package frequency
+
+import (
+	"testing"
+
+	"gpustream/internal/cpusort"
+	"gpustream/internal/stream"
+)
+
+var benchData = stream.Zipf(1<<16, 1.1, 1<<12, 1)
+
+func BenchmarkLossyCounting(b *testing.B) {
+	b.SetBytes(int64(len(benchData) * 4))
+	for i := 0; i < b.N; i++ {
+		e := NewEstimator(0.001, cpusort.QuicksortSorter{})
+		e.ProcessSlice(benchData)
+		e.Flush()
+	}
+}
+
+func BenchmarkMisraGries(b *testing.B) {
+	b.SetBytes(int64(len(benchData) * 4))
+	for i := 0; i < b.N; i++ {
+		m := NewMisraGries(999)
+		m.ProcessSlice(benchData)
+	}
+}
+
+func BenchmarkSpaceSaving(b *testing.B) {
+	b.SetBytes(int64(len(benchData) * 4))
+	for i := 0; i < b.N; i++ {
+		s := NewSpaceSaving(1000)
+		s.ProcessSlice(benchData)
+	}
+}
+
+func BenchmarkCountMin(b *testing.B) {
+	b.SetBytes(int64(len(benchData) * 4))
+	for i := 0; i < b.N; i++ {
+		c := NewCountMin(0.001, 0.01)
+		c.ProcessSlice(benchData)
+	}
+}

@@ -1,0 +1,96 @@
+package frequency
+
+import (
+	"fmt"
+	"math"
+)
+
+// CountMin is the hash-based frequency sketch of Cormode and Muthukrishnan,
+// representing the hash-based family the paper's related work surveys
+// (Section 2.1). Unlike the counter-based summaries it supports deletions
+// (processing an item with negative multiplicity), at the cost of
+// overcounting by at most eps*N with probability 1-delta.
+type CountMin struct {
+	width  int
+	depth  int
+	counts []int64 // depth x width
+	seeds  []uint64
+	n      int64
+}
+
+// NewCountMin returns a sketch with error eps and failure probability
+// delta: width = ceil(e/eps), depth = ceil(ln(1/delta)).
+func NewCountMin(eps, delta float64) *CountMin {
+	if eps <= 0 || eps >= 1 || delta <= 0 || delta >= 1 {
+		panic(fmt.Sprintf("frequency: CountMin eps=%v delta=%v out of range", eps, delta))
+	}
+	width := int(math.Ceil(math.E / eps))
+	depth := int(math.Ceil(math.Log(1 / delta)))
+	if depth < 1 {
+		depth = 1
+	}
+	cm := &CountMin{
+		width:  width,
+		depth:  depth,
+		counts: make([]int64, width*depth),
+		seeds:  make([]uint64, depth),
+	}
+	s := uint64(0x9E3779B97F4A7C15)
+	for i := range cm.seeds {
+		s ^= s << 13
+		s ^= s >> 7
+		s ^= s << 17
+		cm.seeds[i] = s
+	}
+	return cm
+}
+
+// Width reports the sketch row width.
+func (c *CountMin) Width() int { return c.width }
+
+// Depth reports the number of hash rows.
+func (c *CountMin) Depth() int { return c.depth }
+
+// Count reports the net number of processed elements.
+func (c *CountMin) Count() int64 { return c.n }
+
+// hash maps v into row r.
+func (c *CountMin) hash(v float32, r int) int {
+	bits := uint64(math.Float32bits(v))
+	x := bits*0x2545F4914F6CDD1D + c.seeds[r]
+	x ^= x >> 33
+	x *= 0xFF51AFD7ED558CCD
+	x ^= x >> 33
+	return int(x % uint64(c.width))
+}
+
+// Process consumes one occurrence of v.
+func (c *CountMin) Process(v float32) { c.Update(v, 1) }
+
+// ProcessSlice consumes a batch of elements.
+func (c *CountMin) ProcessSlice(data []float32) {
+	for _, v := range data {
+		c.Process(v)
+	}
+}
+
+// Update adds multiplicity delta (negative deletes) for v.
+func (c *CountMin) Update(v float32, delta int64) {
+	c.n += delta
+	for r := 0; r < c.depth; r++ {
+		c.counts[r*c.width+c.hash(v, r)] += delta
+	}
+}
+
+// Estimate returns the point estimate for v: the minimum over rows, which
+// never undercounts (for non-negative streams) and overcounts by at most
+// eps*N with probability 1-delta.
+func (c *CountMin) Estimate(v float32) int64 {
+	min := int64(math.MaxInt64)
+	for r := 0; r < c.depth; r++ {
+		if cnt := c.counts[r*c.width+c.hash(v, r)]; cnt < min {
+			min = cnt
+		}
+	}
+	return min
+}

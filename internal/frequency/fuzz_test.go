@@ -1,0 +1,33 @@
+package frequency
+
+import (
+	"testing"
+
+	"gpustream/internal/cpusort"
+)
+
+func FuzzLossyCounting(f *testing.F) {
+	f.Add([]byte{1, 1, 2, 3, 1})
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		const eps = 0.1
+		e := NewEstimator(eps, cpusort.QuicksortSorter{})
+		x := NewExact()
+		for _, b := range raw {
+			v := float32(b % 32)
+			e.Process(v)
+			x.Process(v)
+		}
+		e.Flush()
+		n := float64(x.Count())
+		for v := 0; v < 32; v++ {
+			truth := x.Estimate(float32(v))
+			est := e.Estimate(float32(v))
+			if est > truth {
+				t.Fatalf("overcount on %d", v)
+			}
+			if float64(truth-est) > eps*n+1e-9 {
+				t.Fatalf("undercount beyond eps*N on %d: est %d true %d", v, est, truth)
+			}
+		}
+	})
+}

@@ -1,0 +1,246 @@
+// Package frequency implements the paper's epsilon-approximate frequency
+// estimation over data streams (Section 5.1): Manku and Motwani's
+// window-based lossy counting, with the per-window histogram computed by
+// sorting — the step the GPU accelerates — followed by the merge and
+// compress operations on the summary. Misra-Gries and Space-Saving counters
+// are provided as the sample-based baselines the related work surveys.
+package frequency
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"gpustream/internal/histogram"
+	"gpustream/internal/sorter"
+)
+
+// Item is a reported stream element with its estimated frequency.
+type Item struct {
+	Value float32
+	Freq  int64
+}
+
+// entry is one summary element: estimated frequency f and maximum
+// undercount delta (the element may have appeared up to delta times before
+// it entered the summary).
+type entry struct {
+	value float32
+	freq  int64
+	delta int64
+}
+
+// Counts instruments the pipeline in backend-independent units, matching
+// the three operations of Section 3.2. The perfmodel package converts these
+// to modeled testbed time.
+type Counts struct {
+	Windows      int64
+	SortedValues int64
+	MergeOps     int64 // summary + histogram elements visited during merges
+	CompressOps  int64 // summary elements visited during compress scans
+}
+
+// Timings records measured host wall time per phase; its proportions
+// reproduce Figure 6's cost breakdown directly on the host.
+type Timings struct {
+	Sort, Merge, Compress time.Duration
+}
+
+// Total sums the phases.
+func (t Timings) Total() time.Duration { return t.Sort + t.Merge + t.Compress }
+
+// Estimator is the lossy-counting frequency summary. For a user-specified
+// eps it buffers windows of ceil(1/eps) elements; each full window is
+// sorted, collapsed to a histogram, merged into the summary and compressed.
+// Estimated frequencies undercount true ones by at most eps*N and the
+// summary holds O((1/eps) log(eps*N)) entries.
+type Estimator struct {
+	eps     float64
+	window  int
+	sorter  sorter.Sorter
+	n       int64
+	bucket  int64
+	entries []entry
+	buf     []float32
+	counts  Counts
+	timings Timings
+}
+
+// NewEstimator returns a lossy-counting estimator with error eps, sorting
+// windows with s.
+func NewEstimator(eps float64, s sorter.Sorter) *Estimator {
+	if eps <= 0 || eps >= 1 {
+		panic(fmt.Sprintf("frequency: eps %v out of (0, 1)", eps))
+	}
+	w := int(math.Ceil(1 / eps))
+	return &Estimator{eps: eps, window: w, sorter: s, buf: make([]float32, 0, w)}
+}
+
+// Eps reports the configured error bound.
+func (e *Estimator) Eps() float64 { return e.eps }
+
+// WindowSize reports the buffered window length, ceil(1/eps).
+func (e *Estimator) WindowSize() int { return e.window }
+
+// Count reports the number of stream elements processed, including buffered
+// ones.
+func (e *Estimator) Count() int64 { return e.n + int64(len(e.buf)) }
+
+// SummarySize reports the number of summary entries (excluding the buffer).
+func (e *Estimator) SummarySize() int { return len(e.entries) }
+
+// Counts returns the pipeline instrumentation counters.
+func (e *Estimator) Counts() Counts { return e.counts }
+
+// Timings returns measured per-phase host wall time.
+func (e *Estimator) Timings() Timings { return e.timings }
+
+// Process consumes one stream element.
+func (e *Estimator) Process(v float32) {
+	e.buf = append(e.buf, v)
+	if len(e.buf) == e.window {
+		e.flush()
+	}
+}
+
+// ProcessSlice consumes a batch of stream elements.
+func (e *Estimator) ProcessSlice(data []float32) {
+	for len(data) > 0 {
+		room := e.window - len(e.buf)
+		if room > len(data) {
+			room = len(data)
+		}
+		e.buf = append(e.buf, data[:room]...)
+		data = data[room:]
+		if len(e.buf) == e.window {
+			e.flush()
+		}
+	}
+}
+
+// Flush forces the buffered partial window into the summary. Queries call
+// it implicitly so buffered elements are always visible.
+func (e *Estimator) Flush() {
+	if len(e.buf) > 0 {
+		e.flush()
+	}
+}
+
+// flush runs the histogram -> merge -> compress pipeline on the buffer.
+func (e *Estimator) flush() {
+	// Histogram computation: sort the window (GPU or CPU backend) and
+	// collapse to (value, count) bins.
+	t0 := time.Now()
+	e.sorter.Sort(e.buf)
+	bins := histogram.FromSorted(e.buf)
+	e.timings.Sort += time.Since(t0)
+	e.counts.Windows++
+	e.counts.SortedValues += int64(len(e.buf))
+
+	// New entries may have been deleted any time up to the last completed
+	// bucket before this window, so their undercount is bounded by that
+	// bucket index; compress below may drop entries only up to the number
+	// of buckets completed *after* this window, keeping the undercount
+	// within eps*N even when a partial window is flushed early.
+	newDelta := e.n / int64(e.window)
+	e.n += int64(len(e.buf))
+	e.bucket = e.n / int64(e.window)
+
+	// Merge: both the summary and the histogram are value-ascending, so a
+	// single linear pass inserts or updates every bin.
+	t1 := time.Now()
+	merged := make([]entry, 0, len(e.entries)+len(bins))
+	i, j := 0, 0
+	for i < len(e.entries) && j < len(bins) {
+		switch {
+		case e.entries[i].value < bins[j].Value:
+			merged = append(merged, e.entries[i])
+			i++
+		case e.entries[i].value > bins[j].Value:
+			merged = append(merged, entry{value: bins[j].Value, freq: bins[j].Count, delta: newDelta})
+			j++
+		default:
+			ent := e.entries[i]
+			ent.freq += bins[j].Count
+			merged = append(merged, ent)
+			i++
+			j++
+		}
+	}
+	merged = append(merged, e.entries[i:]...)
+	for ; j < len(bins); j++ {
+		merged = append(merged, entry{value: bins[j].Value, freq: bins[j].Count, delta: newDelta})
+	}
+	e.counts.MergeOps += int64(len(e.entries)) + int64(len(bins))
+	e.timings.Merge += time.Since(t1)
+
+	// Compress: drop entries whose possible true frequency cannot exceed
+	// the bucket threshold; this bounds the summary size.
+	t2 := time.Now()
+	kept := merged[:0]
+	for _, ent := range merged {
+		if ent.freq+ent.delta > e.bucket {
+			kept = append(kept, ent)
+		}
+	}
+	e.counts.CompressOps += int64(len(merged))
+	e.entries = kept
+	e.timings.Compress += time.Since(t2)
+
+	e.buf = e.buf[:0]
+}
+
+// Query returns every element whose estimated frequency is at least
+// (s - eps) * N, ordered by decreasing frequency — the paper's
+// epsilon-approximate frequency query. The result has no false negatives:
+// any element with true frequency >= s*N is present. Estimated frequencies
+// undercount by at most eps*N.
+func (e *Estimator) Query(s float64) []Item {
+	e.Flush()
+	if s < 0 || s > 1 {
+		panic(fmt.Sprintf("frequency: support %v out of [0, 1]", s))
+	}
+	thresh := (s - e.eps) * float64(e.n)
+	var out []Item
+	for _, ent := range e.entries {
+		if float64(ent.freq) >= thresh {
+			out = append(out, Item{Value: ent.value, Freq: ent.freq})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Freq != out[j].Freq {
+			return out[i].Freq > out[j].Freq
+		}
+		return out[i].Value < out[j].Value
+	})
+	return out
+}
+
+// Estimate returns the estimated frequency of v (0 if not tracked).
+func (e *Estimator) Estimate(v float32) int64 {
+	e.Flush()
+	lo, hi := 0, len(e.entries)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if e.entries[mid].value < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(e.entries) && e.entries[lo].value == v {
+		return e.entries[lo].freq
+	}
+	return 0
+}
+
+// TopK returns the k elements with the highest estimated frequencies (fewer
+// if the summary tracks fewer), ordered by decreasing frequency.
+func (e *Estimator) TopK(k int) []Item {
+	items := e.Query(0)
+	if len(items) > k {
+		items = items[:k]
+	}
+	return items
+}

@@ -1,0 +1,43 @@
+package gpu
+
+import "testing"
+
+func BenchmarkDrawQuadCopy(b *testing.B) {
+	tex := randomTexture(256, 256, 1)
+	d := NewDevice(256, 256)
+	d.BindTexture(tex)
+	d.SetBlend(BlendReplace)
+	quad := [4]Point{{0, 0}, {256, 0}, {256, 256}, {0, 256}}
+	b.SetBytes(256 * 256 * Channels * 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.DrawQuad(quad, quad)
+	}
+}
+
+func BenchmarkDrawQuadBlendMin(b *testing.B) {
+	tex := randomTexture(256, 256, 2)
+	d := NewDevice(256, 256)
+	copyQuad(d, tex)
+	d.SetBlend(BlendMin)
+	v := [4]Point{{0, 0}, {256, 0}, {256, 128}, {0, 128}}
+	tc := [4]Point{{256, 256}, {0, 256}, {0, 128}, {256, 128}}
+	b.SetBytes(256 * 128 * Channels * 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.DrawQuad(v, tc)
+	}
+}
+
+func BenchmarkFragmentPass(b *testing.B) {
+	tex := randomTexture(128, 128, 3)
+	d := NewDevice(128, 128)
+	d.BindTexture(tex)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.RunFragmentPass(0, 0, 128, 128, 53, func(x, y int, s func(int, int) [4]float32, out []float32) {
+			v := s(x, y)
+			copy(out, v[:])
+		})
+	}
+}

@@ -1,0 +1,44 @@
+package gpu
+
+// Stats counts the primitive operations a Device has executed. The counters
+// are exact — every fragment, blend and bus byte of the simulated run is
+// recorded — and feed the perfmodel package's GeForce-6800 timing model.
+type Stats struct {
+	DrawCalls    int64 // quads submitted
+	Passes       int64 // programmable fragment passes (bitonic baseline path)
+	Fragments    int64 // fragments shaded by fixed-function rasterization
+	BlendOps     int64 // 4-wide vector blend operations (one per fragment with blending on)
+	TexelFetches int64 // texture samples
+	ProgramInstr int64 // fragment-program instructions (programmable path)
+	BytesUp      int64 // CPU -> GPU bus traffic
+	BytesDown    int64 // GPU -> CPU bus traffic
+	Transfers    int64 // individual bus transfers (each pays fixed latency)
+}
+
+// Add accumulates o into s.
+func (s *Stats) Add(o Stats) {
+	s.DrawCalls += o.DrawCalls
+	s.Passes += o.Passes
+	s.Fragments += o.Fragments
+	s.BlendOps += o.BlendOps
+	s.TexelFetches += o.TexelFetches
+	s.ProgramInstr += o.ProgramInstr
+	s.BytesUp += o.BytesUp
+	s.BytesDown += o.BytesDown
+	s.Transfers += o.Transfers
+}
+
+// Sub returns s - o, useful for measuring a region of work.
+func (s Stats) Sub(o Stats) Stats {
+	return Stats{
+		DrawCalls:    s.DrawCalls - o.DrawCalls,
+		Passes:       s.Passes - o.Passes,
+		Fragments:    s.Fragments - o.Fragments,
+		BlendOps:     s.BlendOps - o.BlendOps,
+		TexelFetches: s.TexelFetches - o.TexelFetches,
+		ProgramInstr: s.ProgramInstr - o.ProgramInstr,
+		BytesUp:      s.BytesUp - o.BytesUp,
+		BytesDown:    s.BytesDown - o.BytesDown,
+		Transfers:    s.Transfers - o.Transfers,
+	}
+}

@@ -1,0 +1,103 @@
+package gpu
+
+// The paper notes that "the performance of texture mapping is enhanced on
+// GPUs by using fast texture caches to save the memory bandwidth"
+// (Section 4.2.1). This file models that effect: texel fetches are grouped
+// into cache lines, and only line misses cost video-memory bandwidth. The
+// sorter's accesses are unit-stride spans, so the model is streaming — each
+// distinct line touched by a span is one miss — which matches the behaviour
+// of a small cache under a working set that never revisits lines within a
+// pass.
+
+// TexCacheConfig sizes the modeled texture cache.
+type TexCacheConfig struct {
+	// LineTexels is the number of texels per cache line. A 64-byte line
+	// holds 4 RGBA float32 texels, the default.
+	LineTexels int
+}
+
+// TexCacheStats reports modeled texture-cache behaviour.
+type TexCacheStats struct {
+	Fetches         int64 // texel fetches observed
+	LineMisses      int64 // cache-line fills
+	BytesFromMemory int64 // LineMisses * line bytes
+}
+
+// HitRate reports the fraction of fetches served from the cache.
+func (s TexCacheStats) HitRate() float64 {
+	if s.Fetches == 0 {
+		return 0
+	}
+	return 1 - float64(s.LineMisses)/float64(s.Fetches)
+}
+
+// texCache accumulates the modeled stats.
+type texCache struct {
+	cfg      TexCacheConfig
+	stats    TexCacheStats
+	lastLine int64
+}
+
+// EnableTextureCache turns on texture-cache modeling with the given line
+// size (0 selects the 4-texel default). Fetch accounting happens at span
+// granularity, so it adds negligible simulation cost.
+func (d *Device) EnableTextureCache(cfg TexCacheConfig) {
+	if cfg.LineTexels <= 0 {
+		cfg.LineTexels = 4
+	}
+	d.texcache = &texCache{cfg: cfg, lastLine: -1}
+}
+
+// TextureCacheStats returns the modeled stats; the zero value is returned
+// when the cache model is disabled.
+func (d *Device) TextureCacheStats() TexCacheStats {
+	if d.texcache == nil {
+		return TexCacheStats{}
+	}
+	return d.texcache.stats
+}
+
+// noteSpan records a unit-stride fetch span of n texels starting at linear
+// texel index start, stepping by step texels.
+func (c *texCache) noteSpan(start, n, step int) {
+	if c == nil || n <= 0 {
+		return
+	}
+	c.stats.Fetches += int64(n)
+	lt := int64(c.cfg.LineTexels)
+	lo := int64(start)
+	hi := int64(start + (n-1)*step)
+	if hi < lo {
+		lo, hi = hi, lo
+	}
+	first := lo / lt
+	last := hi / lt
+	lines := last - first + 1
+	// The adjacent span of the previous draw often continues on the same
+	// line (e.g. the max pass resuming where the min pass mirrored).
+	if c.lastLine == first {
+		lines--
+		first++
+	}
+	if lines > 0 {
+		c.stats.LineMisses += lines
+		c.lastLine = last
+	}
+	lineBytes := lt * Channels * 4
+	c.stats.BytesFromMemory = c.stats.LineMisses * int64(lineBytes)
+}
+
+// noteFetch records a single (non-span) texel fetch.
+func (c *texCache) noteFetch(index int) {
+	if c == nil {
+		return
+	}
+	c.stats.Fetches++
+	line := int64(index) / int64(c.cfg.LineTexels)
+	if line != c.lastLine {
+		c.stats.LineMisses++
+		c.lastLine = line
+	}
+	lineBytes := c.cfg.LineTexels * Channels * 4
+	c.stats.BytesFromMemory = c.stats.LineMisses * int64(lineBytes)
+}

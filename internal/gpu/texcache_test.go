@@ -1,0 +1,73 @@
+package gpu
+
+import "testing"
+
+func TestTexCacheUnitSpanHitRate(t *testing.T) {
+	// A full-texture copy reads every texel once in unit stride: with
+	// 4-texel lines the hit rate must be exactly 3/4.
+	tex := randomTexture(64, 64, 41)
+	d := NewDevice(64, 64)
+	d.EnableTextureCache(TexCacheConfig{})
+	copyQuad(d, tex)
+	st := d.TextureCacheStats()
+	if st.Fetches != 64*64 {
+		t.Fatalf("Fetches = %d", st.Fetches)
+	}
+	if got := st.HitRate(); got < 0.74 || got > 0.76 {
+		t.Fatalf("HitRate = %v, want ~0.75", got)
+	}
+	if st.BytesFromMemory != st.LineMisses*4*Channels*4 {
+		t.Fatalf("BytesFromMemory inconsistent: %+v", st)
+	}
+}
+
+func TestTexCacheDisabledZero(t *testing.T) {
+	tex := randomTexture(8, 8, 42)
+	d := NewDevice(8, 8)
+	copyQuad(d, tex)
+	if d.TextureCacheStats() != (TexCacheStats{}) {
+		t.Fatal("stats nonzero with cache disabled")
+	}
+}
+
+func TestTexCacheFunctionalUnchanged(t *testing.T) {
+	tex := randomTexture(32, 32, 43)
+	plain := NewDevice(32, 32)
+	cached := NewDevice(32, 32)
+	cached.EnableTextureCache(TexCacheConfig{LineTexels: 8})
+	for _, d := range []*Device{plain, cached} {
+		copyQuad(d, tex)
+		d.SetBlend(BlendMin)
+		v := [4]Point{{0, 0}, {32, 0}, {32, 16}, {0, 16}}
+		tc := [4]Point{{32, 32}, {0, 32}, {0, 16}, {32, 16}}
+		d.DrawQuad(v, tc)
+	}
+	for i := range plain.fb.Data {
+		if plain.fb.Data[i] != cached.fb.Data[i] {
+			t.Fatal("texture cache changed rendering output")
+		}
+	}
+	if cached.TextureCacheStats().Fetches == 0 {
+		t.Fatal("cache recorded nothing")
+	}
+}
+
+func TestTexCacheProgrammablePath(t *testing.T) {
+	tex := randomTexture(8, 8, 44)
+	d := NewDevice(8, 8)
+	d.EnableTextureCache(TexCacheConfig{})
+	d.BindTexture(tex)
+	d.RunFragmentPass(0, 0, 8, 8, 1, func(x, y int, sample func(int, int) [4]float32, out []float32) {
+		v := sample(x, y)
+		copy(out, v[:])
+	})
+	if d.TextureCacheStats().Fetches != 64 {
+		t.Fatalf("programmable-path fetches = %d", d.TextureCacheStats().Fetches)
+	}
+}
+
+func TestTexCacheEmptyHitRate(t *testing.T) {
+	if (TexCacheStats{}).HitRate() != 0 {
+		t.Fatal("zero-stats HitRate should be 0")
+	}
+}

@@ -1,0 +1,136 @@
+// Package gpu is a functional simulator of the fixed-function GPU subset the
+// paper's algorithms use: RGBA float32 textures, a framebuffer, REPLACE /
+// MIN / MAX color blending, and rasterization of axis-aligned textured quads
+// with affine texture-coordinate interpolation (Section 4.2 of the paper).
+//
+// The simulator plays the role of the NVIDIA GeForce 6800 Ultra the paper
+// runs on. It executes the paper's routines (Copy, ComputeMin, ComputeMax,
+// SortStep, ...) with real data so correctness is checked for real, and it
+// counts every primitive operation — fragments shaded, blend operations,
+// texel fetches, bytes across the CPU<->GPU bus — so that the companion
+// perfmodel package can convert counts to modeled GeForce-6800 time.
+package gpu
+
+import "fmt"
+
+// Channels is the number of color channels per texel (RGBA).
+const Channels = 4
+
+// Texture is a W x H array of RGBA float32 texels, the GPU's only data
+// container (paper Section 4.1). Texels are stored row-major, channels
+// interleaved: texel (x, y) channel c lives at ((y*W)+x)*4 + c.
+type Texture struct {
+	W, H int
+	Data []float32
+}
+
+// NewTexture allocates a zeroed texture of the given dimensions.
+func NewTexture(w, h int) *Texture {
+	if w <= 0 || h <= 0 {
+		panic(fmt.Sprintf("gpu: invalid texture size %dx%d", w, h))
+	}
+	return &Texture{W: w, H: h, Data: make([]float32, w*h*Channels)}
+}
+
+// Texels reports the number of texels (W*H).
+func (t *Texture) Texels() int { return t.W * t.H }
+
+// Bytes reports the texture's size in bytes (4 channels x 4 bytes).
+func (t *Texture) Bytes() int { return t.W * t.H * Channels * 4 }
+
+// At returns the value of channel c at texel (x, y).
+func (t *Texture) At(x, y, c int) float32 {
+	return t.Data[(y*t.W+x)*Channels+c]
+}
+
+// Set stores v into channel c at texel (x, y).
+func (t *Texture) Set(x, y, c int, v float32) {
+	t.Data[(y*t.W+x)*Channels+c] = v
+}
+
+// Fill sets every channel of every texel to v.
+func (t *Texture) Fill(v float32) {
+	for i := range t.Data {
+		t.Data[i] = v
+	}
+}
+
+// Clone returns a deep copy of the texture.
+func (t *Texture) Clone() *Texture {
+	c := NewTexture(t.W, t.H)
+	copy(c.Data, t.Data)
+	return c
+}
+
+// CopyFrom copies src's contents into t. The dimensions must match.
+func (t *Texture) CopyFrom(src *Texture) {
+	if t.W != src.W || t.H != src.H {
+		panic("gpu: CopyFrom dimension mismatch")
+	}
+	copy(t.Data, src.Data)
+}
+
+// PackChannels distributes data across the four color channels of a W x H
+// texture: the first W*H values go to channel 0, the next W*H to channel 1,
+// and so on. This is the paper's trick of buffering four windows of data and
+// sorting them in parallel with the GPU's 4-wide vector blend units
+// (Section 4.1). Unfilled positions are set to pad, which for sorting is
+// +Inf so padding migrates to the end of each sorted channel.
+//
+// It panics unless 4*W*H >= len(data).
+func PackChannels(data []float32, w, h int, pad float32) *Texture {
+	t := NewTexture(w, h)
+	per := w * h
+	if len(data) > Channels*per {
+		panic(fmt.Sprintf("gpu: cannot pack %d values into %dx%dx4 texture", len(data), w, h))
+	}
+	for i := range t.Data {
+		t.Data[i] = pad
+	}
+	for i, v := range data {
+		c := i / per
+		p := i % per
+		t.Data[p*Channels+c] = v
+	}
+	return t
+}
+
+// UnpackChannel extracts channel c as a contiguous slice of W*H values in
+// texel order.
+func (t *Texture) UnpackChannel(c int) []float32 {
+	out := make([]float32, t.Texels())
+	for p := range out {
+		out[p] = t.Data[p*Channels+c]
+	}
+	return out
+}
+
+// LoadChannel stores data into channel c in texel order. It panics if data
+// is longer than W*H; shorter data leaves the tail untouched.
+func (t *Texture) LoadChannel(c int, data []float32) {
+	if len(data) > t.Texels() {
+		panic("gpu: LoadChannel data larger than texture")
+	}
+	for p, v := range data {
+		t.Data[p*Channels+c] = v
+	}
+}
+
+// TextureDims returns the width and height of the texture used to hold n
+// values in a single channel, following the paper's layout: a power-of-two
+// square-ish texture with W = 2^ceil(log4 n) style splitting. Width and
+// height are each powers of two and W*H is the smallest such product >= n.
+func TextureDims(n int) (w, h int) {
+	if n <= 0 {
+		return 1, 1
+	}
+	w, h = 1, 1
+	for w*h < n {
+		if w <= h {
+			w *= 2
+		} else {
+			h *= 2
+		}
+	}
+	return w, h
+}

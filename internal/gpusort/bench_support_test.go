@@ -1,0 +1,7 @@
+package gpusort
+
+import "gpustream/internal/cpusort"
+
+func mergeBench(runs [][]float32) []float32 {
+	return cpusort.Merge4(runs[0], runs[1], runs[2], runs[3])
+}

@@ -1,0 +1,52 @@
+package gpusort
+
+import (
+	"fmt"
+	"testing"
+
+	"gpustream/internal/stream"
+)
+
+func BenchmarkPBSNSorter(b *testing.B) {
+	for _, n := range []int{1 << 12, 1 << 16} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			data := stream.Uniform(n, uint64(n))
+			s := NewSorter()
+			buf := make([]float32, n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				copy(buf, data)
+				s.Sort(buf)
+			}
+		})
+	}
+}
+
+func BenchmarkBitonicSorter(b *testing.B) {
+	for _, n := range []int{1 << 12, 1 << 14} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			data := stream.Uniform(n, uint64(n))
+			s := NewBitonicSorter()
+			buf := make([]float32, n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				copy(buf, data)
+				s.Sort(buf)
+			}
+		})
+	}
+}
+
+func BenchmarkMerge4(b *testing.B) {
+	n := 1 << 16
+	runs := make([][]float32, 4)
+	for c := range runs {
+		runs[c] = stream.Sorted(n / 4)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := Sorter{}
+		_ = s
+		_ = mergeBench(runs)
+	}
+}

@@ -1,0 +1,57 @@
+package gpusort
+
+import (
+	"encoding/binary"
+	"math"
+	"sort"
+	"testing"
+)
+
+// bytesToFloats decodes an arbitrary byte string into float32s, mapping NaN
+// payloads to a large finite value (the sorter's comparisons, like the
+// GPU's, are only defined for ordered values).
+func bytesToFloats(raw []byte) []float32 {
+	out := make([]float32, 0, len(raw)/4)
+	for i := 0; i+4 <= len(raw); i += 4 {
+		f := math.Float32frombits(binary.LittleEndian.Uint32(raw[i:]))
+		if f != f {
+			f = math.MaxFloat32
+		}
+		out = append(out, f)
+	}
+	return out
+}
+
+func FuzzPBSNSorter(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{1, 2, 3, 4})
+	f.Add([]byte{0xFF, 0xFF, 0x7F, 0x7F, 0, 0, 0x80, 0xFF}) // MaxFloat32, -Inf
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		data := bytesToFloats(raw)
+		want := append([]float32(nil), data...)
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		s := NewSorter()
+		s.Sort(data)
+		for i := range want {
+			if data[i] != want[i] {
+				t.Fatalf("mismatch at %d: %v vs %v", i, data[i], want[i])
+			}
+		}
+	})
+}
+
+func FuzzKthLargest(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8}, uint8(1))
+	f.Fuzz(func(t *testing.T, raw []byte, kRaw uint8) {
+		data := bytesToFloats(raw)
+		if len(data) == 0 {
+			return
+		}
+		k := int(kRaw)%len(data) + 1
+		ref := append([]float32(nil), data...)
+		sort.Slice(ref, func(i, j int) bool { return ref[i] > ref[j] })
+		if got := KthLargest(data, k); got != ref[k-1] {
+			t.Fatalf("KthLargest(%d) = %v, want %v", k, got, ref[k-1])
+		}
+	})
+}

@@ -1,0 +1,414 @@
+package gpusort
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"gpustream/internal/cpusort"
+	"gpustream/internal/gpu"
+	"gpustream/internal/half"
+	"gpustream/internal/sortnet"
+	"gpustream/internal/stream"
+)
+
+// loadAllChannels loads data into every channel of a fresh texture so the
+// four channels sort the same sequence, simplifying verification.
+func loadAllChannels(data []float32, w, h int) *gpu.Texture {
+	tex := gpu.NewTexture(w, h)
+	for c := 0; c < gpu.Channels; c++ {
+		tex.LoadChannel(c, data)
+	}
+	return tex
+}
+
+func TestSortStepMatchesNetworkStage(t *testing.T) {
+	// One GPU SortStep must apply exactly the comparator stage
+	// sortnet.PBSNStep produces, for every block size, in both the
+	// row-block and multi-row regimes.
+	const W, H = 8, 4 // 32 texels
+	n := W * H
+	base := stream.Uniform(n, 42)
+	for block := 2; block <= n; block *= 2 {
+		tex := loadAllChannels(base, W, H)
+		dev := gpu.NewDevice(W, H)
+		Copy(dev, tex)
+		SortStep(dev, tex, block)
+
+		want := append([]float32(nil), base...)
+		for _, c := range sortnet.PBSNStep(n, block) {
+			if want[c.I] > want[c.J] {
+				want[c.I], want[c.J] = want[c.J], want[c.I]
+			}
+		}
+		got := dev.Framebuffer().UnpackChannel(0)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("block %d texel %d: gpu=%v net=%v", block, i, got[i], want[i])
+			}
+		}
+		// All four channels must have been processed identically.
+		for c := 1; c < gpu.Channels; c++ {
+			chData := dev.Framebuffer().UnpackChannel(c)
+			for i := range want {
+				if chData[i] != want[i] {
+					t.Fatalf("block %d channel %d diverged at %d", block, c, i)
+				}
+			}
+		}
+	}
+}
+
+func TestPBSNSortsAllChannels(t *testing.T) {
+	shapes := []struct{ w, h int }{{1, 1}, {2, 1}, {2, 2}, {8, 4}, {16, 16}, {64, 32}}
+	for _, sh := range shapes {
+		n := sh.w * sh.h
+		data := stream.Uniform(n, uint64(n))
+		tex := loadAllChannels(data, sh.w, sh.h)
+		dev := gpu.NewDevice(sh.w, sh.h)
+		PBSN(dev, tex)
+		want := append([]float32(nil), data...)
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		for c := 0; c < gpu.Channels; c++ {
+			got := dev.Framebuffer().UnpackChannel(c)
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("%dx%d channel %d index %d: got %v want %v",
+						sh.w, sh.h, c, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestPBSNDifferentDataPerChannel(t *testing.T) {
+	const W, H = 8, 8
+	n := W * H
+	tex := gpu.NewTexture(W, H)
+	var wants [gpu.Channels][]float32
+	for c := 0; c < gpu.Channels; c++ {
+		data := stream.Uniform(n, uint64(c+1))
+		tex.LoadChannel(c, data)
+		w := append([]float32(nil), data...)
+		sort.Slice(w, func(i, j int) bool { return w[i] < w[j] })
+		wants[c] = w
+	}
+	dev := gpu.NewDevice(W, H)
+	PBSN(dev, tex)
+	for c := 0; c < gpu.Channels; c++ {
+		got := dev.Framebuffer().UnpackChannel(c)
+		for i := range wants[c] {
+			if got[i] != wants[c][i] {
+				t.Fatalf("channel %d not sorted independently (index %d)", c, i)
+			}
+		}
+	}
+}
+
+func TestPBSNRejectsNonPow2(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for 3-texel texture")
+		}
+	}()
+	tex := gpu.NewTexture(3, 1)
+	PBSN(gpu.NewDevice(3, 1), tex)
+}
+
+func TestSortStepRejectsBadBlock(t *testing.T) {
+	tex := gpu.NewTexture(4, 4)
+	dev := gpu.NewDevice(4, 4)
+	for _, b := range []int{0, 1, 3, 32} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("block %d accepted", b)
+				}
+			}()
+			SortStep(dev, tex, b)
+		}()
+	}
+}
+
+func checkSorterQuick(t *testing.T, s interface {
+	Sort([]float32)
+	Name() string
+}) {
+	t.Helper()
+	prop := func(raw []int32) bool {
+		data := make([]float32, len(raw))
+		for i, v := range raw {
+			data[i] = float32(v)
+		}
+		want := append([]float32(nil), data...)
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		s.Sort(data)
+		for i := range want {
+			if data[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatalf("%s: %v", s.Name(), err)
+	}
+}
+
+func TestSorterQuick(t *testing.T)        { checkSorterQuick(t, NewSorter()) }
+func TestSorter1ChQuick(t *testing.T)     { checkSorterQuick(t, &Sorter{ChannelsUsed: 1}) }
+func TestBitonicSorterQuick(t *testing.T) { checkSorterQuick(t, NewBitonicSorter()) }
+
+func TestSorterSizesSweep(t *testing.T) {
+	s := NewSorter()
+	for _, n := range []int{0, 1, 2, 3, 4, 5, 7, 8, 63, 64, 65, 1000, 4096, 10000} {
+		data := stream.Uniform(n, uint64(n)+7)
+		want := append([]float32(nil), data...)
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		s.Sort(data)
+		for i := range want {
+			if data[i] != want[i] {
+				t.Fatalf("n=%d mismatch at %d", n, i)
+			}
+		}
+	}
+}
+
+func TestSorterHandlesInfAndDuplicates(t *testing.T) {
+	inf := float32(math.Inf(1))
+	data := []float32{inf, 1, 1, -1, inf, 0, -inf, 1}
+	want := append([]float32(nil), data...)
+	sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+	s := NewSorter()
+	s.Sort(data)
+	for i := range want {
+		if data[i] != want[i] {
+			t.Fatalf("got %v want %v", data, want)
+		}
+	}
+}
+
+func TestSorterStats(t *testing.T) {
+	s := NewSorter()
+	data := stream.Uniform(4096, 3)
+	s.Sort(data)
+	st := s.LastStats()
+	if st.N != 4096 {
+		t.Fatalf("N = %d", st.N)
+	}
+	// 4096 values over 4 channels -> 1024 texels -> 32x32.
+	if st.ChannelLen != 1024 {
+		t.Fatalf("ChannelLen = %d", st.ChannelLen)
+	}
+	// PBSN over 1024 texels: log^2(1024) = 100 steps, each step shades
+	// every texel exactly once (half by the min quads, half by the max).
+	wantFrag := int64(1024 * 100)
+	// Plus the initial Copy pass of 1024 fragments.
+	if st.GPU.Fragments != wantFrag+1024 {
+		t.Fatalf("Fragments = %d, want %d", st.GPU.Fragments, wantFrag+1024)
+	}
+	if st.GPU.BlendOps != wantFrag {
+		t.Fatalf("BlendOps = %d, want %d", st.GPU.BlendOps, wantFrag)
+	}
+	wantBytes := int64(1024 * 16)
+	if st.GPU.BytesUp != wantBytes || st.GPU.BytesDown != wantBytes {
+		t.Fatalf("bus bytes = %d/%d, want %d", st.GPU.BytesUp, st.GPU.BytesDown, wantBytes)
+	}
+	if st.MergeCmps == 0 {
+		t.Fatal("merge comparisons not recorded")
+	}
+	// Cumulative counter grows across sorts.
+	before := s.TotalGPU().Fragments
+	s.Sort(stream.Uniform(1024, 4))
+	if s.TotalGPU().Fragments <= before {
+		t.Fatal("TotalGPU did not accumulate")
+	}
+}
+
+func TestBitonicStats(t *testing.T) {
+	s := NewBitonicSorter()
+	data := stream.Uniform(2048, 5)
+	s.Sort(data)
+	if !cpusort.IsSorted(data) {
+		t.Fatal("bitonic output not sorted")
+	}
+	st := s.LastStats()
+	// 2048 values over 2 channels -> 1024 texels; bitonic over 1024 has
+	// 10*11/2 = 55 stages, each a full-texture pass.
+	if st.GPU.Passes != 55 {
+		t.Fatalf("Passes = %d, want 55", st.GPU.Passes)
+	}
+	if st.GPU.Fragments != 55*1024 {
+		t.Fatalf("Fragments = %d", st.GPU.Fragments)
+	}
+	if st.GPU.ProgramInstr != 55*1024*BitonicInstrPerFragment {
+		t.Fatalf("ProgramInstr = %d", st.GPU.ProgramInstr)
+	}
+}
+
+// TestPBSNAgainstQuicksortLarge cross-checks the full GPU pipeline against
+// the CPU baseline on a larger input.
+func TestPBSNAgainstQuicksortLarge(t *testing.T) {
+	data := stream.Zipf(100000, 1.1, 5000, 17)
+	want := append([]float32(nil), data...)
+	cpusort.Quicksort(want)
+	s := NewSorter()
+	s.Sort(data)
+	for i := range want {
+		if data[i] != want[i] {
+			t.Fatalf("mismatch at %d: %v vs %v", i, data[i], want[i])
+		}
+	}
+}
+
+func TestSortStepPerRowMatchesOptimized(t *testing.T) {
+	const W, H = 8, 4
+	base := stream.Uniform(W*H, 77)
+	for _, block := range []int{2, 4, 8, 16, 32} {
+		texA := loadAllChannels(base, W, H)
+		texB := loadAllChannels(base, W, H)
+		devA := gpu.NewDevice(W, H)
+		devB := gpu.NewDevice(W, H)
+		Copy(devA, texA)
+		Copy(devB, texB)
+		SortStep(devA, texA, block)
+		SortStepPerRow(devB, texB, block)
+		fa, fb := devA.Framebuffer(), devB.Framebuffer()
+		for i := range fa.Data {
+			if fa.Data[i] != fb.Data[i] {
+				t.Fatalf("block %d: per-row variant diverged at %d", block, i)
+			}
+		}
+		if block <= W && devB.Stats().DrawCalls <= devA.Stats().DrawCalls {
+			t.Fatalf("block %d: per-row variant should issue more draw calls (%d vs %d)",
+				block, devB.Stats().DrawCalls, devA.Stats().DrawCalls)
+		}
+	}
+}
+
+func TestSortBatchIndependentSequences(t *testing.T) {
+	s := NewSorter()
+	batch := [][]float32{
+		stream.Uniform(1000, 1),
+		stream.Zipf(700, 1.2, 50, 2),
+		stream.ReverseSorted(1024),
+		{5, 1, 3},
+	}
+	wants := make([][]float32, len(batch))
+	for i, seq := range batch {
+		w := append([]float32(nil), seq...)
+		cpusort.Quicksort(w)
+		wants[i] = w
+	}
+	s.SortBatch(batch)
+	for i, want := range wants {
+		for j := range want {
+			if batch[i][j] != want[j] {
+				t.Fatalf("sequence %d mismatch at %d", i, j)
+			}
+		}
+	}
+	if st := s.LastStats(); st.N != 1000+700+1024+3 {
+		t.Fatalf("batch N = %d", st.N)
+	}
+}
+
+func TestSortBatchAmortizesOverhead(t *testing.T) {
+	// Sorting four windows in one batch must cost one upload/readback and
+	// exactly the fragment work of one padded PBSN run — a quarter of four
+	// separate invocations at equal padded size.
+	const n = 4096
+	windows := make([][]float32, 4)
+	for i := range windows {
+		windows[i] = stream.Uniform(n, uint64(i+10))
+	}
+	batched := NewSorter()
+	batched.SortBatch(windows)
+	bst := batched.LastStats().GPU
+
+	single := NewSorter()
+	var sst gpu.Stats
+	for i := 0; i < 4; i++ {
+		single.Sort(stream.Uniform(n, uint64(i+20)))
+		sst.Add(single.LastStats().GPU)
+	}
+	if bst.Transfers != 2 || sst.Transfers != 8 {
+		t.Fatalf("transfers: batch %d, singles %d", bst.Transfers, sst.Transfers)
+	}
+	// Singles pack each 4096-value window across 4 channels (1024 texels);
+	// the batch packs one window per channel (4096 texels): same total
+	// values but the batch pays log^2 of a 4x larger texture, traded
+	// against 4x fewer invocations (setup) and transfers.
+	if bst.Fragments >= sst.Fragments*2 {
+		t.Fatalf("batch fragments %d unreasonably high vs singles %d", bst.Fragments, sst.Fragments)
+	}
+}
+
+func TestSortBatchEdgeCases(t *testing.T) {
+	s := NewSorter()
+	s.SortBatch(nil) // no-op
+	one := [][]float32{{2, 1}}
+	s.SortBatch(one)
+	if one[0][0] != 1 || one[0][1] != 2 {
+		t.Fatalf("single-sequence batch = %v", one[0])
+	}
+	empty := [][]float32{{}, {1}}
+	s.SortBatch(empty)
+	if len(empty[0]) != 0 || empty[1][0] != 1 {
+		t.Fatal("empty sequence mishandled")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("oversized batch accepted")
+		}
+	}()
+	s.SortBatch(make([][]float32, 5))
+}
+
+func TestSortBatchQuick(t *testing.T) {
+	prop := func(a, b, c, d []int16) bool {
+		raws := [][]int16{a, b, c, d}
+		batch := make([][]float32, 4)
+		wants := make([][]float32, 4)
+		for i, raw := range raws {
+			batch[i] = make([]float32, len(raw))
+			for j, v := range raw {
+				batch[i][j] = float32(v)
+			}
+			wants[i] = append([]float32(nil), batch[i]...)
+			cpusort.Quicksort(wants[i])
+		}
+		s := NewSorter()
+		s.SortBatch(batch)
+		for i := range wants {
+			for j := range wants[i] {
+				if batch[i][j] != wants[i][j] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSorterHalfTargets(t *testing.T) {
+	data := stream.Uniform(4096, 99)
+	s := &Sorter{ChannelsUsed: 4, HalfTargets: true}
+	got := append([]float32(nil), data...)
+	s.Sort(got)
+	// Output is the sorted sequence of half-quantized inputs.
+	want := make([]float32, len(data))
+	for i, v := range data {
+		want[i] = half.FromFloat32(v).ToFloat32()
+	}
+	cpusort.Quicksort(want)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("half-target sort mismatch at %d: %v vs %v", i, got[i], want[i])
+		}
+	}
+}

@@ -1,0 +1,206 @@
+// Package gpusort implements the paper's GPU sorting algorithm (Section 4):
+// a periodic balanced sorting network executed entirely with fixed-function
+// rasterization. Texture mapping expresses the comparator mapping of each
+// network stage and blend-min/blend-max perform the comparisons; four
+// sub-sequences packed into the RGBA channels sort in parallel and a CPU
+// merge combines them. A Purcell-style GPU bitonic sorter is included as the
+// prior-work baseline of Figure 3.
+package gpusort
+
+import (
+	"fmt"
+
+	"gpustream/internal/gpu"
+)
+
+// Copy implements the paper's Routine 4.1: render tex into the framebuffer
+// one-to-one with blending disabled.
+func Copy(d *gpu.Device, tex *gpu.Texture) {
+	w, h := float64(tex.W), float64(tex.H)
+	quad := [4]gpu.Point{{X: 0, Y: 0}, {X: w, Y: 0}, {X: w, Y: h}, {X: 0, Y: h}}
+	d.BindTexture(tex)
+	d.SetBlend(gpu.BlendReplace)
+	d.DrawQuad(quad, quad)
+}
+
+// ComputeMin implements the paper's Routine 4.2 generalized to a block of
+// rows: for the block of blockRows*W values starting at row rowOff, each
+// value in the top half of the block is compared against its 2D mirror in
+// the bottom half and the minimum is kept in place. Used when the PBSN block
+// size exceeds the texture width.
+func ComputeMin(d *gpu.Device, tex *gpu.Texture, rowOff, blockRows int) {
+	d.BindTexture(tex)
+	d.SetBlend(gpu.BlendMin)
+	drawMirrorRows(d, tex, rowOff, blockRows, false)
+}
+
+// ComputeMax is the max-keeping counterpart of ComputeMin, covering the
+// bottom half of the block.
+func ComputeMax(d *gpu.Device, tex *gpu.Texture, rowOff, blockRows int) {
+	d.BindTexture(tex)
+	d.SetBlend(gpu.BlendMax)
+	drawMirrorRows(d, tex, rowOff, blockRows, true)
+}
+
+// drawMirrorRows draws the half-block quad whose texture coordinates mirror
+// the opposite half in both x and y. With the block occupying rows
+// [rowOff, rowOff+blockRows), value index i within the block (row-major)
+// pairs with blockSize-1-i, exactly the PBSN comparator.
+func drawMirrorRows(d *gpu.Device, tex *gpu.Texture, rowOff, blockRows int, upper bool) {
+	w := float64(tex.W)
+	half := float64(blockRows) / 2
+	base := float64(rowOff)
+	var y0, y1 float64
+	if upper {
+		y0, y1 = base+half, base+float64(blockRows)
+	} else {
+		y0, y1 = base, base+half
+	}
+	v := [4]gpu.Point{{X: 0, Y: y0}, {X: w, Y: y0}, {X: w, Y: y1}, {X: 0, Y: y1}}
+	// Mirror: u(x) = W - x, v(y) = 2*rowOff + blockRows - y.
+	ty0 := 2*base + float64(blockRows) - y0
+	ty1 := 2*base + float64(blockRows) - y1
+	t := [4]gpu.Point{{X: w, Y: ty0}, {X: 0, Y: ty0}, {X: 0, Y: ty1}, {X: w, Y: ty1}}
+	d.DrawQuad(v, t)
+}
+
+// ComputeRowMin keeps, for every row, the minimum of each value in columns
+// [colOff, colOff+blockW/2) and its x-mirror within the width-blockW block
+// at colOff. One quad of full texture height covers the block across all
+// rows (paper Figure 2, left case). Used when the PBSN block size fits
+// within the texture width.
+func ComputeRowMin(d *gpu.Device, tex *gpu.Texture, colOff, blockW int) {
+	d.BindTexture(tex)
+	d.SetBlend(gpu.BlendMin)
+	drawMirrorCols(d, tex, colOff, blockW, false)
+}
+
+// ComputeRowMax is the max-keeping counterpart of ComputeRowMin, covering
+// the right half of each block.
+func ComputeRowMax(d *gpu.Device, tex *gpu.Texture, colOff, blockW int) {
+	d.BindTexture(tex)
+	d.SetBlend(gpu.BlendMax)
+	drawMirrorCols(d, tex, colOff, blockW, true)
+}
+
+// drawMirrorCols draws the half-block-wide, full-height quad whose texture
+// coordinates mirror the opposite half of the column block: u(x) =
+// 2*colOff + blockW - x, v(y) = y.
+func drawMirrorCols(d *gpu.Device, tex *gpu.Texture, colOff, blockW int, right bool) {
+	h := float64(tex.H)
+	base := float64(colOff)
+	half := float64(blockW) / 2
+	var x0, x1 float64
+	if right {
+		x0, x1 = base+half, base+float64(blockW)
+	} else {
+		x0, x1 = base, base+half
+	}
+	v := [4]gpu.Point{{X: x0, Y: 0}, {X: x1, Y: 0}, {X: x1, Y: h}, {X: x0, Y: h}}
+	tx0 := 2*base + float64(blockW) - x0
+	tx1 := 2*base + float64(blockW) - x1
+	t := [4]gpu.Point{{X: tx0, Y: 0}, {X: tx1, Y: 0}, {X: tx1, Y: h}, {X: tx0, Y: h}}
+	d.DrawQuad(v, t)
+}
+
+// SortStep implements the paper's Routine 4.4: one PBSN step with the given
+// block size over the texture. Blocks that fit within a row are handled with
+// full-height column quads (one min and one max quad per row block); larger
+// blocks use the 2D mirror quads.
+//
+// blockSize must be a power of two in [2, W*H]; the texture dimensions must
+// be powers of two.
+func SortStep(d *gpu.Device, tex *gpu.Texture, blockSize int) {
+	n := tex.Texels()
+	if blockSize < 2 || blockSize > n || blockSize&(blockSize-1) != 0 {
+		panic(fmt.Sprintf("gpusort: invalid block size %d for %d texels", blockSize, n))
+	}
+	if blockSize <= tex.W {
+		numRowBlocks := tex.W / blockSize
+		for j := 0; j < numRowBlocks; j++ {
+			off := j * blockSize
+			ComputeRowMin(d, tex, off, blockSize)
+			ComputeRowMax(d, tex, off, blockSize)
+		}
+		return
+	}
+	blockRows := blockSize / tex.W
+	numBlocks := n / blockSize
+	for j := 0; j < numBlocks; j++ {
+		off := j * blockRows
+		ComputeMin(d, tex, off, blockRows)
+		ComputeMax(d, tex, off, blockRows)
+	}
+}
+
+// SortStepPerRow is the unoptimized variant of SortStep used by the
+// row-block ablation: when a block fits within a row it issues one min and
+// one max quad per (row, block) pair instead of one full-height quad per
+// column block (the optimization of the paper's Figure 2). The shaded
+// fragments are identical; only the draw-call count differs, which is the
+// per-quad submission overhead the optimization removes.
+func SortStepPerRow(d *gpu.Device, tex *gpu.Texture, blockSize int) {
+	n := tex.Texels()
+	if blockSize < 2 || blockSize > n || blockSize&(blockSize-1) != 0 {
+		panic(fmt.Sprintf("gpusort: invalid block size %d for %d texels", blockSize, n))
+	}
+	if blockSize > tex.W {
+		SortStep(d, tex, blockSize)
+		return
+	}
+	w := float64(tex.W)
+	_ = w
+	numRowBlocks := tex.W / blockSize
+	for y := 0; y < tex.H; y++ {
+		for j := 0; j < numRowBlocks; j++ {
+			base := float64(j * blockSize)
+			half := float64(blockSize) / 2
+			y0, y1 := float64(y), float64(y+1)
+			for side := 0; side < 2; side++ {
+				var x0, x1 float64
+				if side == 0 {
+					d.BindTexture(tex)
+					d.SetBlend(gpu.BlendMin)
+					x0, x1 = base, base+half
+				} else {
+					d.BindTexture(tex)
+					d.SetBlend(gpu.BlendMax)
+					x0, x1 = base+half, base+float64(blockSize)
+				}
+				tx0 := 2*base + float64(blockSize) - x0
+				tx1 := 2*base + float64(blockSize) - x1
+				v := [4]gpu.Point{{X: x0, Y: y0}, {X: x1, Y: y0}, {X: x1, Y: y1}, {X: x0, Y: y1}}
+				t := [4]gpu.Point{{X: tx0, Y: y0}, {X: tx1, Y: y0}, {X: tx1, Y: y1}, {X: tx0, Y: y1}}
+				d.DrawQuad(v, t)
+			}
+		}
+	}
+}
+
+// PBSN implements the paper's Routine 4.3: run log(n) stages of log(n)
+// SortSteps with block sizes n, n/2, ..., 2, ping-ponging the framebuffer
+// back into the texture after every step. On return each channel of tex
+// (and the framebuffer) is sorted ascending in texel (row-major) order.
+//
+// The caller is responsible for Upload/readback accounting; PBSN itself
+// performs only GPU-side work.
+func PBSN(d *gpu.Device, tex *gpu.Texture) {
+	n := tex.Texels()
+	if n&(n-1) != 0 {
+		panic(fmt.Sprintf("gpusort: PBSN requires power-of-two texel count, got %d", n))
+	}
+	Copy(d, tex)
+	if n == 1 {
+		return
+	}
+	L := 0
+	for 1<<L < n {
+		L++
+	}
+	for stage := 0; stage < L; stage++ {
+		for b := L; b >= 1; b-- {
+			SortStep(d, tex, 1<<b)
+			d.SwapToTexture(tex)
+		}
+	}
+}

@@ -1,0 +1,81 @@
+package gpusort
+
+import (
+	"fmt"
+	"math"
+
+	"gpustream/internal/gpu"
+)
+
+// KthLargest returns the k-th largest value of data (k = 1 is the maximum)
+// using the occlusion-query selection algorithm of the authors' companion
+// database-operations work: binary search over the float32 key space, one
+// GPU counting pass per probe. It runs in at most 32 passes of n fragments
+// each — O(n log |domain|) fragment work with no sorting — and is the
+// primitive behind the paper's claim that its machinery extends to k-th
+// largest queries.
+//
+// It panics unless 1 <= k <= len(data).
+func KthLargest(data []float32, k int) float32 {
+	v, _ := KthLargestWithStats(data, k)
+	return v
+}
+
+// KthLargestWithStats is KthLargest, also returning the GPU counters of the
+// selection for the performance model.
+func KthLargestWithStats(data []float32, k int) (float32, gpu.Stats) {
+	n := len(data)
+	if k < 1 || k > n {
+		panic(fmt.Sprintf("gpusort: k=%d out of [1, %d]", k, n))
+	}
+	// Pack into a single channel; the counting pass tests all four
+	// channels at once, so the other three are parked at -Inf where they
+	// can never outrank real data.
+	w, h := gpu.TextureDims(n)
+	tex := gpu.NewTexture(w, h)
+	tex.Fill(float32(math.Inf(-1)))
+	tex.LoadChannel(0, data)
+	dev := gpu.NewDevice(w, h)
+	dev.Upload(tex)
+	dev.BindTexture(tex)
+
+	// Binary search on the order-preserving uint32 key space: find the
+	// smallest key u whose value has fewer than k strictly-greater
+	// elements; that value is the k-th largest.
+	count := func(v float32) int64 { return dev.CountGreater(v)[0] }
+	lo, hi := uint32(0), uint32(math.MaxUint32)
+	for lo < hi {
+		mid := lo + (hi-lo)/2
+		if count(keyToFloat(mid)) <= int64(k-1) {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return keyToFloat(lo), dev.Stats()
+}
+
+// floatToKey maps float32 to uint32 preserving order.
+func floatToKey(f float32) uint32 {
+	b := math.Float32bits(f)
+	if b&0x80000000 != 0 {
+		return ^b
+	}
+	return b | 0x80000000
+}
+
+// keyToFloat inverts floatToKey.
+func keyToFloat(u uint32) float32 {
+	if u&0x80000000 != 0 {
+		return math.Float32frombits(u &^ 0x80000000)
+	}
+	return math.Float32frombits(^u)
+}
+
+// Median returns the n/2-th largest element via KthLargest.
+func Median(data []float32) float32 {
+	if len(data) == 0 {
+		panic("gpusort: Median of empty data")
+	}
+	return KthLargest(data, (len(data)+1)/2)
+}

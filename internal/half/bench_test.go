@@ -1,0 +1,14 @@
+package half
+
+import "testing"
+
+func BenchmarkQuantize(b *testing.B) {
+	data := make([]float32, 1<<16)
+	for i := range data {
+		data[i] = float32(i) * 0.1
+	}
+	b.SetBytes(int64(len(data) * 4))
+	for i := 0; i < b.N; i++ {
+		Quantize(data)
+	}
+}

@@ -1,0 +1,22 @@
+package half
+
+import "testing"
+
+func FuzzHalfRoundTrip(f *testing.F) {
+	f.Add(float32(1.5))
+	f.Add(float32(-0.0001))
+	f.Fuzz(func(t *testing.T, v float32) {
+		if v != v {
+			return
+		}
+		once := FromFloat32(v).ToFloat32()
+		twice := FromFloat32(once).ToFloat32()
+		if once != twice {
+			t.Fatalf("not idempotent: %v -> %v -> %v", v, once, twice)
+		}
+		// Quantization never inverts sign for nonzero results.
+		if once != 0 && (once > 0) != (v > 0) {
+			t.Fatalf("sign flipped: %v -> %v", v, once)
+		}
+	})
+}

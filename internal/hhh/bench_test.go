@@ -1,0 +1,25 @@
+package hhh
+
+import (
+	"testing"
+
+	"gpustream/internal/cpusort"
+)
+
+func BenchmarkHHHProcess(b *testing.B) {
+	items := syntheticTraffic(1<<15, 1)
+	b.SetBytes(int64(len(items) * 4))
+	for i := 0; i < b.N; i++ {
+		e := NewEstimator(NewBitHierarchy(16, 8), 0.005, cpusort.QuicksortSorter{})
+		e.ProcessSlice(items)
+	}
+}
+
+func BenchmarkHHHQuery(b *testing.B) {
+	e := NewEstimator(NewBitHierarchy(16, 8), 0.005, cpusort.QuicksortSorter{})
+	e.ProcessSlice(syntheticTraffic(1<<16, 2))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = e.Query(0.05)
+	}
+}

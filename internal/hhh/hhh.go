@@ -1,0 +1,161 @@
+// Package hhh implements epsilon-approximate hierarchical heavy hitter
+// queries, one of the two extensions the paper states its approach applies
+// to (Section 1.2). Items live in a prefix hierarchy (IP addresses are the
+// canonical case); a hierarchical heavy hitter is a prefix whose count,
+// after discounting the counts of its heavy-hitter descendants, still
+// exceeds the support threshold.
+//
+// The estimator keeps one window-based lossy-counting summary per hierarchy
+// level — each fed through the configured sorting backend, so the GPU
+// acceleration applies at every level — and answers queries bottom-up with
+// the standard discounting rule.
+package hhh
+
+import (
+	"fmt"
+	"sort"
+
+	"gpustream/internal/frequency"
+	"gpustream/internal/sorter"
+)
+
+// Hierarchy maps items to their ancestors. Level 0 is the item itself;
+// higher levels are coarser prefixes, with level Levels()-1 the root.
+type Hierarchy interface {
+	// Levels reports the number of levels including the leaf level.
+	Levels() int
+	// Ancestor returns the item's enclosing prefix at the given level.
+	Ancestor(item uint32, level int) uint32
+}
+
+// BitHierarchy is a prefix hierarchy over fixed-width integer items:
+// level l masks off l*Stride low bits. With Bits=24, Stride=8 it mimics
+// the /24, /16, /8, /0 aggregation of IPv4 prefixes while keeping every
+// prefix exactly representable in a float32 stream value.
+type BitHierarchy struct {
+	Bits   int
+	Stride int
+}
+
+// NewBitHierarchy returns a hierarchy over items of the given bit width
+// aggregated stride bits at a time. Bits must be at most 24 so prefixes
+// survive the float32 stream representation exactly.
+func NewBitHierarchy(bits, stride int) BitHierarchy {
+	if bits <= 0 || bits > 24 || stride <= 0 || stride > bits {
+		panic(fmt.Sprintf("hhh: invalid hierarchy bits=%d stride=%d", bits, stride))
+	}
+	return BitHierarchy{Bits: bits, Stride: stride}
+}
+
+// Levels implements Hierarchy.
+func (h BitHierarchy) Levels() int { return h.Bits/h.Stride + 1 }
+
+// Ancestor implements Hierarchy.
+func (h BitHierarchy) Ancestor(item uint32, level int) uint32 {
+	shift := level * h.Stride
+	if shift >= h.Bits {
+		return 0
+	}
+	return item >> shift << shift
+}
+
+// Prefix is one reported hierarchical heavy hitter.
+type Prefix struct {
+	Value uint32 // the prefix, low Stride*Level bits zero
+	Level int    // 0 = leaf
+	Count int64  // discounted estimated count
+}
+
+// Estimator answers eps-approximate HHH queries.
+type Estimator struct {
+	h      Hierarchy
+	eps    float64
+	levels []*frequency.Estimator
+	n      int64
+}
+
+// NewEstimator returns an HHH estimator with per-level error eps, sorting
+// windows with s.
+func NewEstimator(h Hierarchy, eps float64, s sorter.Sorter) *Estimator {
+	e := &Estimator{h: h, eps: eps}
+	for l := 0; l < h.Levels(); l++ {
+		e.levels = append(e.levels, frequency.NewEstimator(eps, s))
+	}
+	return e
+}
+
+// Count reports the number of processed items.
+func (e *Estimator) Count() int64 { return e.n }
+
+// SummarySize reports total summary entries across all levels.
+func (e *Estimator) SummarySize() int {
+	total := 0
+	for _, lv := range e.levels {
+		lv.Flush()
+		total += lv.SummarySize()
+	}
+	return total
+}
+
+// Process consumes one item.
+func (e *Estimator) Process(item uint32) {
+	e.n++
+	for l, lv := range e.levels {
+		lv.Process(float32(e.h.Ancestor(item, l)))
+	}
+}
+
+// ProcessSlice consumes a batch of items.
+func (e *Estimator) ProcessSlice(items []uint32) {
+	for _, it := range items {
+		e.Process(it)
+	}
+}
+
+// Query returns the hierarchical heavy hitters at support s: prefixes whose
+// estimated count, discounted by the counts of already-reported descendant
+// HHHs, is at least (s - eps) * N. Results are ordered leaf-most first,
+// then by descending count.
+func (e *Estimator) Query(s float64) []Prefix {
+	if s < 0 || s > 1 {
+		panic(fmt.Sprintf("hhh: support %v out of [0, 1]", s))
+	}
+	thresh := (s - e.eps) * float64(e.n)
+	var out []Prefix
+	for l, lv := range e.levels {
+		// Candidates at this level: everything the level summary reports
+		// at the (s - eps) threshold.
+		for _, it := range lv.Query(s) {
+			p := uint32(it.Value)
+			count := it.Freq
+			// Discount descendants already chosen.
+			for _, d := range out {
+				if d.Level < l && e.h.Ancestor(d.Value, l) == p {
+					count -= d.Count
+				}
+			}
+			if float64(count) >= thresh {
+				out = append(out, Prefix{Value: p, Level: l, Count: count})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Level != out[j].Level {
+			return out[i].Level < out[j].Level
+		}
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Value < out[j].Value
+	})
+	return out
+}
+
+// EstimateLevel returns the (undiscounted) estimated count of the given
+// prefix at the given level.
+func (e *Estimator) EstimateLevel(prefix uint32, level int) int64 {
+	if level < 0 || level >= len(e.levels) {
+		panic(fmt.Sprintf("hhh: level %d out of range", level))
+	}
+	return e.levels[level].Estimate(float32(prefix))
+}

@@ -1,0 +1,176 @@
+package hhh
+
+import (
+	"testing"
+
+	"gpustream/internal/cpusort"
+	"gpustream/internal/gpusort"
+	"gpustream/internal/stream"
+)
+
+// syntheticTraffic builds a trace over a 16-bit item space where one /8
+// prefix is collectively heavy without any single heavy leaf, plus one
+// genuinely heavy leaf elsewhere — the classic HHH separation case.
+func syntheticTraffic(n int, seed uint64) []uint32 {
+	r := stream.NewRNG(seed)
+	out := make([]uint32, 0, n)
+	for i := 0; i < n; i++ {
+		switch {
+		case i%10 < 3:
+			// 30%: spread across the 0xAB00 prefix, 200 distinct leaves.
+			out = append(out, 0xAB00|uint32(r.Intn(200)%256))
+		case i%10 < 5:
+			// 20%: one hot leaf.
+			out = append(out, 0x1234)
+		default:
+			// Background noise over the whole space.
+			out = append(out, uint32(r.Intn(1<<16)))
+		}
+	}
+	return out
+}
+
+func TestBitHierarchy(t *testing.T) {
+	h := NewBitHierarchy(16, 8)
+	if h.Levels() != 3 {
+		t.Fatalf("Levels = %d", h.Levels())
+	}
+	if h.Ancestor(0xABCD, 0) != 0xABCD {
+		t.Fatal("level 0 must be identity")
+	}
+	if h.Ancestor(0xABCD, 1) != 0xAB00 {
+		t.Fatalf("level 1 ancestor = %x", h.Ancestor(0xABCD, 1))
+	}
+	if h.Ancestor(0xABCD, 2) != 0 {
+		t.Fatalf("root ancestor = %x", h.Ancestor(0xABCD, 2))
+	}
+}
+
+func TestBitHierarchyPanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewBitHierarchy(0, 8) },
+		func() { NewBitHierarchy(32, 8) }, // beyond float32 exactness
+		func() { NewBitHierarchy(16, 0) },
+		func() { NewBitHierarchy(8, 16) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("no panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestHHHFindsPrefixAndLeaf(t *testing.T) {
+	items := syntheticTraffic(100000, 1)
+	e := NewEstimator(NewBitHierarchy(16, 8), 0.001, cpusort.QuicksortSorter{})
+	e.ProcessSlice(items)
+
+	hits := e.Query(0.1)
+	var foundLeaf, foundPrefix bool
+	for _, p := range hits {
+		if p.Level == 0 && p.Value == 0x1234 {
+			foundLeaf = true
+		}
+		if p.Level == 1 && p.Value == 0xAB00 {
+			foundPrefix = true
+		}
+	}
+	if !foundLeaf {
+		t.Fatalf("hot leaf 0x1234 not reported: %v", hits)
+	}
+	if !foundPrefix {
+		t.Fatalf("collectively-heavy prefix 0xAB00 not reported: %v", hits)
+	}
+	// The individual leaves under 0xAB00 must NOT appear: none reaches
+	// the 10% support alone.
+	for _, p := range hits {
+		if p.Level == 0 && p.Value&0xFF00 == 0xAB00 {
+			t.Fatalf("leaf %x under the prefix wrongly reported", p.Value)
+		}
+	}
+}
+
+func TestHHHDiscounting(t *testing.T) {
+	// A stream where one leaf is heavy; its ancestors' discounted counts
+	// must not re-report the same mass.
+	items := make([]uint32, 0, 10000)
+	for i := 0; i < 5000; i++ {
+		items = append(items, 0x4242)
+	}
+	r := stream.NewRNG(2)
+	for i := 0; i < 5000; i++ {
+		items = append(items, uint32(r.Intn(1<<16)))
+	}
+	e := NewEstimator(NewBitHierarchy(16, 8), 0.001, cpusort.QuicksortSorter{})
+	e.ProcessSlice(items)
+	hits := e.Query(0.3)
+	for _, p := range hits {
+		if p.Level == 1 && p.Value == 0x4200 {
+			t.Fatalf("ancestor 0x4200 reported despite discounting: %v", hits)
+		}
+	}
+	if len(hits) == 0 || hits[0].Value != 0x4242 {
+		t.Fatalf("hot leaf missing: %v", hits)
+	}
+}
+
+func TestHHHRootAccountsForEverything(t *testing.T) {
+	items := syntheticTraffic(20000, 3)
+	e := NewEstimator(NewBitHierarchy(16, 8), 0.01, cpusort.QuicksortSorter{})
+	e.ProcessSlice(items)
+	root := e.EstimateLevel(0, 2)
+	if float64(root) < 0.99*float64(len(items)) {
+		t.Fatalf("root count %d misses stream mass %d", root, len(items))
+	}
+	if e.Count() != int64(len(items)) {
+		t.Fatalf("Count = %d", e.Count())
+	}
+}
+
+func TestHHHGPUBackendMatchesCPU(t *testing.T) {
+	items := syntheticTraffic(20000, 4)
+	cpu := NewEstimator(NewBitHierarchy(16, 8), 0.005, cpusort.QuicksortSorter{})
+	gpu := NewEstimator(NewBitHierarchy(16, 8), 0.005, gpusort.NewSorter())
+	cpu.ProcessSlice(items)
+	gpu.ProcessSlice(items)
+	ch, gh := cpu.Query(0.1), gpu.Query(0.1)
+	if len(ch) != len(gh) {
+		t.Fatalf("backend results differ: %v vs %v", ch, gh)
+	}
+	for i := range ch {
+		if ch[i] != gh[i] {
+			t.Fatalf("backend results differ at %d: %v vs %v", i, ch[i], gh[i])
+		}
+	}
+}
+
+func TestHHHQueryPanics(t *testing.T) {
+	e := NewEstimator(NewBitHierarchy(16, 8), 0.01, cpusort.QuicksortSorter{})
+	for _, fn := range []func(){
+		func() { e.Query(-1) },
+		func() { e.EstimateLevel(0, 99) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("no panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestHHHSummarySizeBounded(t *testing.T) {
+	items := syntheticTraffic(200000, 5)
+	e := NewEstimator(NewBitHierarchy(16, 8), 0.001, cpusort.QuicksortSorter{})
+	e.ProcessSlice(items)
+	// Three lossy-counting summaries, each O((1/eps) log(eps N)).
+	if e.SummarySize() > 3*20000 {
+		t.Fatalf("summary size %d not bounded", e.SummarySize())
+	}
+}

@@ -1,0 +1,99 @@
+// Package histogram computes the per-window histograms at the heart of the
+// paper's summary construction (Section 3.2): for each window the elements
+// are ordered by sorting, equal values are collapsed into (value, frequency)
+// bins, and either the full histogram (frequency estimation) or a sampled
+// subset with rank bounds (quantile estimation) feeds the merge step.
+package histogram
+
+import (
+	"gpustream/internal/sorter"
+)
+
+// Bin is one histogram entry: a distinct value and its occurrence count.
+type Bin struct {
+	Value float32
+	Count int64
+}
+
+// FromSorted collapses an ascending slice into bins. It panics if data is
+// not sorted, since that indicates the sorting backend is broken.
+func FromSorted(data []float32) []Bin {
+	if len(data) == 0 {
+		return nil
+	}
+	bins := make([]Bin, 0, 64)
+	cur := Bin{Value: data[0], Count: 1}
+	for i := 1; i < len(data); i++ {
+		if data[i] < data[i-1] {
+			panic("histogram: input not sorted")
+		}
+		if data[i] == cur.Value {
+			cur.Count++
+			continue
+		}
+		bins = append(bins, cur)
+		cur = Bin{Value: data[i], Count: 1}
+	}
+	return append(bins, cur)
+}
+
+// Compute sorts window in place with s and returns its histogram. This is
+// the paper's "histogram computation" operation; the sort inside it is where
+// 70-95% of the CPU pipeline's time goes, and what the GPU accelerates.
+func Compute(window []float32, s sorter.Sorter) []Bin {
+	s.Sort(window)
+	return FromSorted(window)
+}
+
+// Total reports the number of stream elements the bins represent.
+func Total(bins []Bin) int64 {
+	var n int64
+	for _, b := range bins {
+		n += b.Count
+	}
+	return n
+}
+
+// Merge combines two value-ascending bin lists into one, summing counts of
+// equal values. Both inputs must be sorted by value; the result is too.
+func Merge(a, b []Bin) []Bin {
+	out := make([]Bin, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i].Value < b[j].Value:
+			out = append(out, a[i])
+			i++
+		case a[i].Value > b[j].Value:
+			out = append(out, b[j])
+			j++
+		default:
+			out = append(out, Bin{Value: a[i].Value, Count: a[i].Count + b[j].Count})
+			i++
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
+}
+
+// EquiDepth returns k bucket boundaries that split the sorted data into
+// approximately equal-count ranges — the classic database histogram the
+// paper's Section 3.2 references for tracking data distributions. The
+// boundaries are the values at ranks i*n/k for i = 1..k.
+func EquiDepth(sorted []float32, k int) []float32 {
+	if k <= 0 || len(sorted) == 0 {
+		return nil
+	}
+	out := make([]float32, k)
+	n := len(sorted)
+	for i := 1; i <= k; i++ {
+		idx := i*n/k - 1
+		if idx < 0 {
+			idx = 0
+		}
+		out[i-1] = sorted[idx]
+	}
+	return out
+}

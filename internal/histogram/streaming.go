@@ -1,0 +1,89 @@
+package histogram
+
+import (
+	"fmt"
+
+	"gpustream/internal/quantile"
+	"gpustream/internal/sorter"
+)
+
+// StreamingEquiDepth maintains an approximate k-bucket equi-depth histogram
+// over a data stream — the "dynamic histogram structures in a continuous
+// data stream" the paper's Section 3.2 describes as a major consumer of
+// quantile machinery. Bucket boundaries are the k-quantiles of the stream
+// so far, answered by the library's window-based quantile estimator, which
+// means every histogram refresh is a batch of quantile queries over the
+// same GPU-sorted summary.
+type StreamingEquiDepth struct {
+	k   int
+	eps float64
+	est *quantile.Estimator
+}
+
+// Bucket is one range of a streaming equi-depth histogram.
+type Bucket struct {
+	Lo, Hi float32
+	Count  int64 // approximate element count (N/k by construction)
+}
+
+// NewStreamingEquiDepth returns a k-bucket histogram with boundary rank
+// error eps, sorting windows with s.
+func NewStreamingEquiDepth(k int, eps float64, s sorter.Sorter) *StreamingEquiDepth {
+	if k <= 0 {
+		panic(fmt.Sprintf("histogram: k=%d buckets", k))
+	}
+	return &StreamingEquiDepth{k: k, eps: eps, est: quantile.NewEstimator(eps, 0, s)}
+}
+
+// Process consumes one stream element.
+func (h *StreamingEquiDepth) Process(v float32) { h.est.Process(v) }
+
+// ProcessSlice consumes a batch of elements.
+func (h *StreamingEquiDepth) ProcessSlice(data []float32) { h.est.ProcessSlice(data) }
+
+// Count reports the number of processed elements.
+func (h *StreamingEquiDepth) Count() int64 { return h.est.Count() }
+
+// Buckets materializes the current histogram: k buckets whose boundaries
+// are the stream's eps-approximate i/k quantiles and whose counts are N/k
+// (exact up to boundary rounding). It panics on an empty stream.
+func (h *StreamingEquiDepth) Buckets() []Bucket {
+	n := h.est.Count()
+	if n == 0 {
+		panic("histogram: Buckets on empty stream")
+	}
+	out := make([]Bucket, h.k)
+	lo := h.est.Query(0)
+	per := n / int64(h.k)
+	for i := 0; i < h.k; i++ {
+		hi := h.est.Query(float64(i+1) / float64(h.k))
+		count := per
+		if i == h.k-1 {
+			count = n - per*int64(h.k-1) // absorb rounding in the last bucket
+		}
+		out[i] = Bucket{Lo: lo, Hi: hi, Count: count}
+		lo = hi
+	}
+	return out
+}
+
+// Selectivity estimates the fraction of stream elements with value <= t,
+// the classic histogram use in query optimization. Error is bounded by
+// eps plus one bucket width of probability mass (1/k).
+func (h *StreamingEquiDepth) Selectivity(t float32) float64 {
+	buckets := h.Buckets()
+	n := float64(h.est.Count())
+	cum := 0.0
+	for _, b := range buckets {
+		if t >= b.Hi {
+			cum += float64(b.Count)
+			continue
+		}
+		if t > b.Lo && b.Hi > b.Lo {
+			frac := float64(t-b.Lo) / float64(b.Hi-b.Lo)
+			cum += frac * float64(b.Count)
+		}
+		break
+	}
+	return cum / n
+}

@@ -1,0 +1,215 @@
+package perfmodel
+
+import (
+	"math"
+	"time"
+
+	"gpustream/internal/gpu"
+)
+
+// Closed-form cost formulas. They predict the same quantities the simulator
+// counts, without running it, so the figure harness can sweep to the paper's
+// full 8M-element and 100M-value scales quickly. TestClosedFormMatchesSim
+// verifies the formulas agree exactly with the simulator's counters.
+
+// pbsnChannels is the channel packing of the paper's sorter.
+const pbsnChannels = 4
+
+// bitonicPackedChannels mirrors gpusort's bitonic baseline packing.
+const bitonicPackedChannels = 2
+
+// log2ceil returns ceil(log2(n)) for n >= 1.
+func log2ceil(n int) int {
+	l := 0
+	for 1<<l < n {
+		l++
+	}
+	return l
+}
+
+// texelsFor reproduces the sorter's texture sizing: per-channel count padded
+// to a power-of-two W*H product.
+func texelsFor(n, channels int) int {
+	per := (n + channels - 1) / channels
+	w, h := gpu.TextureDims(per)
+	return w * h
+}
+
+// PBSNStats predicts the simulator counters for sorting n values with the
+// paper's 4-channel PBSN sorter.
+func PBSNStats(n int) gpu.Stats {
+	if n <= 1 {
+		return gpu.Stats{}
+	}
+	per := texelsFor(n, pbsnChannels)
+	L := log2ceil(per)
+	steps := int64(L) * int64(L)
+	texels := int64(per)
+	frag := texels * steps
+	var drawCalls int64 = 1 // the initial Copy
+	// Per step: 2 quads per block when blocks span rows, 2 per row block
+	// otherwise. Count them exactly as SortStep issues them.
+	w, _ := gpu.TextureDims((n + pbsnChannels - 1) / pbsnChannels)
+	for s := 0; s < L; s++ {
+		for b := L; b >= 1; b-- {
+			B := 1 << b
+			if B <= w {
+				drawCalls += 2 * int64(w/B)
+			} else {
+				drawCalls += 2 * int64(per/B)
+			}
+		}
+	}
+	bytes := int64(per) * gpu.Channels * 4
+	return gpu.Stats{
+		DrawCalls:    drawCalls,
+		Fragments:    frag + texels, // + initial Copy pass
+		BlendOps:     frag,
+		TexelFetches: frag + texels,
+		BytesUp:      bytes,
+		BytesDown:    bytes,
+		Transfers:    2,
+	}
+}
+
+// BitonicStats predicts the simulator counters for the prior-work GPU
+// bitonic sorter on n values (2-channel packing, one fragment pass per
+// stage, 53 instructions per fragment).
+func BitonicStats(n int) gpu.Stats {
+	if n <= 1 {
+		return gpu.Stats{}
+	}
+	per := texelsFor(n, bitonicPackedChannels)
+	L := log2ceil(per)
+	stages := int64(L) * int64(L+1) / 2
+	frag := int64(per) * stages
+	bytes := int64(per) * gpu.Channels * 4
+	return gpu.Stats{
+		Passes:       stages,
+		Fragments:    frag,
+		ProgramInstr: frag * 53,
+		TexelFetches: frag * 2,
+		BytesUp:      bytes,
+		BytesDown:    bytes,
+		Transfers:    2,
+	}
+}
+
+// PBSNSortTime models a full GPU PBSN sort of n values, including transfer,
+// setup and the CPU channel merge (2n comparisons across two merge levels).
+func (m Model) PBSNSortTime(n int) SortBreakdown {
+	if n <= 1 {
+		return SortBreakdown{}
+	}
+	return m.GPUSortFromStats(PBSNStats(n), int64(2*n))
+}
+
+// BitonicSortTime models a full prior-work GPU bitonic sort of n values.
+func (m Model) BitonicSortTime(n int) SortBreakdown {
+	if n <= 1 {
+		return SortBreakdown{}
+	}
+	return m.GPUSortFromStats(BitonicStats(n), int64(n))
+}
+
+// CPUVariant selects a CPU quicksort build.
+type CPUVariant int
+
+const (
+	// IntelHT is the Intel-compiled hyper-threaded quicksort.
+	IntelHT CPUVariant = iota
+	// MSVC is the plain qsort build.
+	MSVC
+)
+
+// String implements fmt.Stringer.
+func (v CPUVariant) String() string {
+	if v == MSVC {
+		return "cpu-msvc"
+	}
+	return "cpu-intel-ht"
+}
+
+// QuicksortTime models sorting n uniform values on the Pentium IV:
+// ~1.386 n log2 n expected comparisons at the calibrated per-comparison
+// cost.
+func (m Model) QuicksortTime(n int, v CPUVariant) time.Duration {
+	if n <= 1 {
+		return 0
+	}
+	cmps := 1.386 * float64(n) * math.Log2(float64(n))
+	cyc := cmps * m.CPU.CyclesPerCmp
+	if v == MSVC {
+		cyc *= m.CPU.MSVCFactor
+	}
+	return secondsToDuration(cyc / m.CPU.ClockHz)
+}
+
+// PipelineCounts summarizes the work an instrumented summary-construction
+// pipeline performed, in backend-independent units.
+type PipelineCounts struct {
+	Windows      int64 // windows processed (each one sorted)
+	WindowSize   int   // values per full window
+	SortedValues int64 // total values sorted across windows
+	MergeOps     int64 // summary elements visited by merges
+	CompressOps  int64 // summary elements visited by compress scans
+}
+
+// Backend selects how window sorting is costed in PipelineTime.
+type Backend int
+
+const (
+	// BackendGPU sorts windows with the GPU PBSN sorter.
+	BackendGPU Backend = iota
+	// BackendCPU sorts windows with the Intel quicksort.
+	BackendCPU
+)
+
+// String implements fmt.Stringer.
+func (b Backend) String() string {
+	if b == BackendCPU {
+		return "cpu"
+	}
+	return "gpu"
+}
+
+// PipelineBreakdown is the modeled cost of a summary-construction pipeline,
+// decomposed into the paper's three operations (Figure 6).
+type PipelineBreakdown struct {
+	Sort     time.Duration
+	Merge    time.Duration
+	Compress time.Duration
+}
+
+// Total sums the components.
+func (b PipelineBreakdown) Total() time.Duration { return b.Sort + b.Merge + b.Compress }
+
+// SortShare reports the fraction of total time spent sorting.
+func (b PipelineBreakdown) SortShare() float64 {
+	t := b.Total()
+	if t == 0 {
+		return 0
+	}
+	return float64(b.Sort) / float64(t)
+}
+
+// PipelineTime models a full frequency- or quantile-estimation run from its
+// instrumented operation counts.
+func (m Model) PipelineTime(c PipelineCounts, backend Backend) PipelineBreakdown {
+	var sortTime time.Duration
+	if c.Windows > 0 {
+		avg := int(c.SortedValues / c.Windows)
+		if avg < 2 {
+			avg = 2
+		}
+		switch backend {
+		case BackendGPU:
+			sortTime = time.Duration(c.Windows) * m.PBSNSortTime(avg).Total()
+		default:
+			sortTime = time.Duration(c.Windows) * m.QuicksortTime(avg, IntelHT)
+		}
+	}
+	merge := secondsToDuration(float64(c.MergeOps) * m.CPU.SummaryMergeCycles / m.CPU.ClockHz)
+	compress := secondsToDuration(float64(c.CompressOps) * m.CPU.CompressCycles / m.CPU.ClockHz)
+	return PipelineBreakdown{Sort: sortTime, Merge: merge, Compress: compress}
+}

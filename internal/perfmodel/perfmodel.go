@@ -1,0 +1,165 @@
+// Package perfmodel converts the exact operation counts produced by the GPU
+// simulator and the instrumented stream-mining pipelines into modeled wall
+// time on the paper's 2004 testbed: an NVIDIA GeForce 6800 Ultra GPU, an AGP
+// 8X bus, and a 3.4 GHz Pentium IV CPU.
+//
+// Every constant below is either stated in the paper or derived from a claim
+// it makes:
+//
+//   - 400 MHz GPU core clock, 1.2 GHz memory clock, 35.2 GB/s video memory
+//     bandwidth, 16 fragment pipes each with 4-wide vector units (Section 3.3);
+//   - 6-7 GPU clock cycles per blend operation and >= 53 fragment-program
+//     instructions per pixel for the prior bitonic sort (Section 4.5);
+//   - ~800 MB/s effective AGP 8X transfer rate (Section 4.1);
+//   - a fixed per-sort setup overhead that makes the GPU ~3x slower than the
+//     CPU below n ~ 16K (Section 4.5);
+//   - Pentium IV quicksort cost per comparison calibrated so the Intel
+//     hyper-threaded quicksort is comparable to the GPU sort at n = 8M
+//     (Figure 3), with the MSVC build ~2x slower (Figure 3).
+//
+// Absolute values are a model, not a measurement; the figures they reproduce
+// should be read for shape (who wins, by what factor, where the crossover
+// falls), exactly as EXPERIMENTS.md does.
+package perfmodel
+
+import (
+	"time"
+
+	"gpustream/internal/gpu"
+)
+
+// GPUSpec describes the modeled graphics processor.
+type GPUSpec struct {
+	CoreClockHz      float64 // fragment-pipeline clock
+	MemBandwidth     float64 // video memory bandwidth, bytes/sec
+	Pipes            int     // parallel fragment processors
+	CyclesPerBlend   float64 // core cycles per 4-wide blend operation
+	BytesPerFragment float64 // effective video-memory traffic per blended fragment
+	SetupOverhead    time.Duration
+}
+
+// GeForce6800Ultra returns the spec of the paper's GPU.
+func GeForce6800Ultra() GPUSpec {
+	return GPUSpec{
+		CoreClockHz:    400e6,
+		MemBandwidth:   35.2e9,
+		Pipes:          16,
+		CyclesPerBlend: 6.5,
+		// 16 B texel fetch + framebuffer read-modify-write, discounted
+		// for the texture caches the paper credits with saving bandwidth.
+		BytesPerFragment: 32,
+		SetupOverhead:    2500 * time.Microsecond,
+	}
+}
+
+// BusSpec describes the CPU<->GPU interconnect.
+type BusSpec struct {
+	BytesPerSec float64
+	PerTransfer time.Duration // fixed latency per transfer
+}
+
+// AGP8X returns the paper's bus: ~800 MB/s effective out of the 2.1 GB/s
+// theoretical peak (Section 4.1).
+func AGP8X() BusSpec {
+	return BusSpec{BytesPerSec: 800e6, PerTransfer: 50 * time.Microsecond}
+}
+
+// CPUSpec describes the modeled host processor.
+type CPUSpec struct {
+	ClockHz float64
+	// CyclesPerCmp is the effective cost of one quicksort comparison on
+	// the Intel hyper-threaded build, amortizing branch mispredicts (17
+	// cycles each, Section 3.2) and cache misses.
+	CyclesPerCmp float64
+	// MSVCFactor scales CyclesPerCmp for the plain MSVC qsort build.
+	MSVCFactor float64
+	// MergeCyclesPerCmp is the cost of one comparison in the streaming
+	// 4-way merge, which is branch-predictable and cache-friendly.
+	MergeCyclesPerCmp float64
+	// SummaryMergeCycles is the per-element cost of merging histogram
+	// entries into an eps-approximate summary.
+	SummaryMergeCycles float64
+	// CompressCycles is the per-element cost of a compress scan.
+	CompressCycles float64
+}
+
+// PentiumIV34 returns the spec of the paper's 3.4 GHz CPU.
+func PentiumIV34() CPUSpec {
+	return CPUSpec{
+		ClockHz:            3.4e9,
+		CyclesPerCmp:       14,
+		MSVCFactor:         2.0,
+		MergeCyclesPerCmp:  6,
+		SummaryMergeCycles: 40,
+		CompressCycles:     12,
+	}
+}
+
+// Model bundles the three component specs.
+type Model struct {
+	GPU GPUSpec
+	Bus BusSpec
+	CPU CPUSpec
+}
+
+// Default returns the paper's testbed model.
+func Default() Model {
+	return Model{GPU: GeForce6800Ultra(), Bus: AGP8X(), CPU: PentiumIV34()}
+}
+
+// secondsToDuration converts float seconds, saturating at the extremes.
+func secondsToDuration(s float64) time.Duration {
+	return time.Duration(s * float64(time.Second))
+}
+
+// GPUCompute converts simulator counters to GPU execution time: the maximum
+// of the compute-bound estimate (blend cycles and program instructions
+// spread over the fragment pipes) and the memory-bound estimate (fragment
+// traffic over the video-memory bandwidth).
+func (m Model) GPUCompute(s gpu.Stats) time.Duration {
+	blendCycles := float64(s.BlendOps) * m.GPU.CyclesPerBlend
+	instrCycles := float64(s.ProgramInstr)
+	compute := (blendCycles + instrCycles) / float64(m.GPU.Pipes) / m.GPU.CoreClockHz
+	memBytes := float64(s.Fragments) * m.GPU.BytesPerFragment
+	mem := memBytes / m.GPU.MemBandwidth
+	if mem > compute {
+		compute = mem
+	}
+	return secondsToDuration(compute)
+}
+
+// BusTime converts simulator counters to CPU<->GPU transfer time.
+func (m Model) BusTime(s gpu.Stats) time.Duration {
+	t := secondsToDuration(float64(s.BytesUp+s.BytesDown) / m.Bus.BytesPerSec)
+	return t + time.Duration(s.Transfers)*m.Bus.PerTransfer
+}
+
+// MergeTime models the CPU-side k-way merge of channel-sorted runs.
+func (m Model) MergeTime(cmps int64) time.Duration {
+	return secondsToDuration(float64(cmps) * m.CPU.MergeCyclesPerCmp / m.CPU.ClockHz)
+}
+
+// SortBreakdown is the modeled cost of one GPU sort, the decomposition
+// Figure 4 plots.
+type SortBreakdown struct {
+	Compute  time.Duration // GPU rasterization/blending
+	Transfer time.Duration // bus traffic both ways
+	Setup    time.Duration // fixed invocation overhead
+	Merge    time.Duration // CPU channel merge
+}
+
+// Total sums the components.
+func (b SortBreakdown) Total() time.Duration {
+	return b.Compute + b.Transfer + b.Setup + b.Merge
+}
+
+// GPUSortFromStats models a completed simulated sort from its exact
+// counters.
+func (m Model) GPUSortFromStats(s gpu.Stats, mergeCmps int64) SortBreakdown {
+	return SortBreakdown{
+		Compute:  m.GPUCompute(s),
+		Transfer: m.BusTime(s),
+		Setup:    m.GPU.SetupOverhead,
+		Merge:    m.MergeTime(mergeCmps),
+	}
+}

@@ -1,0 +1,48 @@
+package perfmodel
+
+import (
+	"math"
+	"time"
+)
+
+// The paper closes its sorting analysis (Section 4.5) predicting that
+// because GPU performance "has been growing at a rate of 2-3 times a year,
+// which is faster than Moore's Law for CPUs", the gap between the GPU
+// sorter and CPU quicksort "would increase on future generations". This
+// file models that projection.
+
+// GrowthRates captures annual performance multipliers.
+type GrowthRates struct {
+	GPU float64 // per-year GPU throughput growth (paper: 2-3x)
+	CPU float64 // per-year CPU throughput growth (Moore's-law pace)
+	Bus float64 // per-year interconnect bandwidth growth
+}
+
+// PaperGrowthRates returns the rates the paper assumes: GPUs at the low end
+// of the quoted 2-3x per year, CPUs at the classic Moore's-law ~1.5x, buses
+// on the slower AGP->PCIe cadence.
+func PaperGrowthRates() GrowthRates {
+	return GrowthRates{GPU: 2.0, CPU: 1.5, Bus: 1.3}
+}
+
+// Project returns a model whose component speeds have grown for the given
+// number of years at the given rates. Fixed per-invocation overheads (sort
+// setup, transfer latency) shrink with their component's growth too, a
+// generous assumption for both sides.
+func (m Model) Project(years float64, r GrowthRates) Model {
+	g := math.Pow(r.GPU, years)
+	c := math.Pow(r.CPU, years)
+	b := math.Pow(r.Bus, years)
+	out := m
+	out.GPU.CoreClockHz *= g
+	out.GPU.MemBandwidth *= g
+	out.GPU.SetupOverhead = scaleDuration(out.GPU.SetupOverhead, 1/g)
+	out.CPU.ClockHz *= c
+	out.Bus.BytesPerSec *= b
+	out.Bus.PerTransfer = scaleDuration(out.Bus.PerTransfer, 1/b)
+	return out
+}
+
+func scaleDuration(d time.Duration, f float64) time.Duration {
+	return time.Duration(float64(d) * f)
+}

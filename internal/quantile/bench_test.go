@@ -1,0 +1,31 @@
+package quantile
+
+import (
+	"testing"
+
+	"gpustream/internal/cpusort"
+	"gpustream/internal/stream"
+	"gpustream/internal/summary"
+)
+
+var benchData = stream.Uniform(1<<16, 1)
+
+func BenchmarkWindowedEstimator(b *testing.B) {
+	b.SetBytes(int64(len(benchData) * 4))
+	for i := 0; i < b.N; i++ {
+		e := NewEstimator(0.001, int64(len(benchData)), cpusort.QuicksortSorter{})
+		e.ProcessSlice(benchData)
+		_ = e.Query(0.5)
+	}
+}
+
+func BenchmarkGKSingleElement(b *testing.B) {
+	b.SetBytes(int64(len(benchData) * 4))
+	for i := 0; i < b.N; i++ {
+		g := summary.NewGK(0.001)
+		for _, v := range benchData {
+			g.Insert(v)
+		}
+		_ = g.Query(0.5)
+	}
+}

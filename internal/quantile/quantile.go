@@ -1,0 +1,258 @@
+// Package quantile implements the paper's epsilon-approximate quantile
+// estimation over data streams (Section 5.2): Greenwald-Khanna's
+// sensor-network algorithm extended to the stream model with an exponential
+// histogram of summaries. Each incoming window is sorted (the GPU-
+// accelerated step), reduced to an (eps/2)-approximate summary with exact
+// ranks, and inserted as a bucket of id 1; whenever two buckets share an id
+// they are combined by a merge and a prune whose error budget grows with the
+// bucket id, so the total error never exceeds eps.
+package quantile
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"gpustream/internal/sorter"
+	"gpustream/internal/summary"
+)
+
+// Counts instruments the pipeline in backend-independent units (same shape
+// as the frequency pipeline's counters).
+type Counts struct {
+	Windows      int64
+	SortedValues int64
+	MergeOps     int64 // summary entries visited during bucket combines
+	CompressOps  int64 // summary entries visited during prunes
+}
+
+// Timings records measured host wall time per phase.
+type Timings struct {
+	Sort, Merge, Compress time.Duration
+}
+
+// Total sums the phases.
+func (t Timings) Total() time.Duration { return t.Sort + t.Merge + t.Compress }
+
+// Estimator answers eps-approximate quantile queries over a stream whose
+// maximum length is known a priori (as the paper assumes); Capacity may be
+// generous without much cost since only its logarithm matters.
+type Estimator struct {
+	eps      float64
+	window   int
+	levels   int
+	pruneB   int
+	sorter   sorter.Sorter
+	buckets  map[int]*summary.Summary
+	buf      []float32
+	n        int64
+	counts   Counts
+	timings  Timings
+	capacity int64
+
+	// snapshot cache: queries against an unchanged stream reuse the merged
+	// summary instead of re-merging every bucket.
+	snapCache *summary.Summary
+	snapState [2]int64 // (n, len(buf)) the cache was built at
+}
+
+// Option configures an Estimator.
+type Option func(*Estimator)
+
+// WithWindow overrides the buffered window size (default ceil(1/eps)).
+func WithWindow(w int) Option {
+	return func(e *Estimator) {
+		if w <= 0 {
+			panic("quantile: window must be positive")
+		}
+		e.window = w
+	}
+}
+
+// NewEstimator returns an eps-approximate quantile estimator for streams of
+// up to capacity elements, sorting windows with s. capacity <= 0 selects a
+// generous default (2^40).
+func NewEstimator(eps float64, capacity int64, s sorter.Sorter, opts ...Option) *Estimator {
+	if eps <= 0 || eps >= 1 {
+		panic(fmt.Sprintf("quantile: eps %v out of (0, 1)", eps))
+	}
+	if capacity <= 0 {
+		capacity = 1 << 40
+	}
+	e := &Estimator{
+		eps:      eps,
+		window:   int(math.Ceil(1 / eps)),
+		sorter:   s,
+		buckets:  make(map[int]*summary.Summary),
+		capacity: capacity,
+	}
+	for _, o := range opts {
+		o(e)
+	}
+	// L bounds the bucket id: windows cascade like a binary counter, so at
+	// most log2(capacity/window)+1 combines happen along any chain.
+	maxWindows := capacity/int64(e.window) + 1
+	e.levels = 1
+	for int64(1)<<e.levels < maxWindows {
+		e.levels++
+	}
+	e.levels++ // slack for the final partial window
+	// Each combine adds 1/(2B) error; choose B so that is eps/(2L).
+	e.pruneB = int(math.Ceil(float64(e.levels) / eps))
+	e.buf = make([]float32, 0, e.window)
+	return e
+}
+
+// Eps reports the configured error bound.
+func (e *Estimator) Eps() float64 { return e.eps }
+
+// WindowSize reports the buffered window length.
+func (e *Estimator) WindowSize() int { return e.window }
+
+// Count reports the number of stream elements processed, including buffered
+// ones.
+func (e *Estimator) Count() int64 { return e.n + int64(len(e.buf)) }
+
+// Counts returns the pipeline instrumentation counters.
+func (e *Estimator) Counts() Counts { return e.counts }
+
+// Timings returns measured per-phase host wall time.
+func (e *Estimator) Timings() Timings { return e.timings }
+
+// SummaryEntries reports the total entries retained across all buckets, the
+// estimator's memory footprint.
+func (e *Estimator) SummaryEntries() int {
+	total := 0
+	for _, b := range e.buckets {
+		total += b.Size()
+	}
+	return total
+}
+
+// Buckets reports the number of live exponential-histogram buckets.
+func (e *Estimator) Buckets() int { return len(e.buckets) }
+
+// Process consumes one stream element.
+func (e *Estimator) Process(v float32) {
+	e.buf = append(e.buf, v)
+	if len(e.buf) == e.window {
+		e.flush()
+	}
+}
+
+// ProcessSlice consumes a batch of stream elements.
+func (e *Estimator) ProcessSlice(data []float32) {
+	for len(data) > 0 {
+		room := e.window - len(e.buf)
+		if room > len(data) {
+			room = len(data)
+		}
+		e.buf = append(e.buf, data[:room]...)
+		data = data[room:]
+		if len(e.buf) == e.window {
+			e.flush()
+		}
+	}
+}
+
+// flush turns the buffered window into a bucket and cascades combines.
+func (e *Estimator) flush() {
+	t0 := time.Now()
+	e.sorter.Sort(e.buf)
+	s := summary.FromSortedWindow(e.buf, e.eps)
+	e.timings.Sort += time.Since(t0)
+	e.counts.Windows++
+	e.counts.SortedValues += int64(len(e.buf))
+	e.n += int64(len(e.buf))
+	e.buf = e.buf[:0]
+
+	id := 1
+	for {
+		old, ok := e.buckets[id]
+		if !ok {
+			e.buckets[id] = s
+			return
+		}
+		delete(e.buckets, id)
+		t1 := time.Now()
+		m := summary.Merge(old, s)
+		e.counts.MergeOps += int64(m.Size())
+		e.timings.Merge += time.Since(t1)
+		t2 := time.Now()
+		s = m.Prune(e.pruneB)
+		e.counts.CompressOps += int64(m.Size())
+		e.timings.Compress += time.Since(t2)
+		id++
+		if id > e.levels+1 {
+			// Beyond the provisioned depth the error budget no longer
+			// grows; park the summary at the top level.
+			if top, ok := e.buckets[id]; ok {
+				s = summary.Merge(top, s).Prune(e.pruneB)
+			}
+			e.buckets[id] = s
+			return
+		}
+	}
+}
+
+// snapshot merges the live buckets and the buffered partial window into one
+// queryable summary without disturbing the estimator state. The result is
+// cached until more elements arrive.
+func (e *Estimator) snapshot() *summary.Summary {
+	state := [2]int64{e.n, int64(len(e.buf))}
+	if e.snapCache != nil && e.snapState == state {
+		return e.snapCache
+	}
+	var partial *summary.Summary
+	if len(e.buf) > 0 {
+		tmp := append([]float32(nil), e.buf...)
+		t0 := time.Now()
+		e.sorter.Sort(tmp)
+		partial = summary.FromSortedWindow(tmp, e.eps)
+		e.timings.Sort += time.Since(t0)
+	}
+	ids := make([]int, 0, len(e.buckets))
+	for id := range e.buckets {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	var acc *summary.Summary
+	for _, id := range ids {
+		if acc == nil {
+			acc = e.buckets[id]
+		} else {
+			acc = summary.Merge(acc, e.buckets[id])
+		}
+	}
+	switch {
+	case acc == nil:
+		acc = partial
+	case partial != nil:
+		acc = summary.Merge(acc, partial)
+	}
+	e.snapCache, e.snapState = acc, state
+	return acc
+}
+
+// Query returns an eps-approximate phi-quantile of everything processed so
+// far. It panics if the stream is empty.
+func (e *Estimator) Query(phi float64) float32 {
+	s := e.snapshot()
+	if s == nil || s.N == 0 {
+		panic("quantile: query on empty stream")
+	}
+	return s.Query(phi)
+}
+
+// QueryRank returns a value whose rank is within eps*N of r.
+func (e *Estimator) QueryRank(r int64) float32 {
+	s := e.snapshot()
+	if s == nil || s.N == 0 {
+		panic("quantile: query on empty stream")
+	}
+	return s.QueryRank(r)
+}
+
+// Summary exposes the merged snapshot, mainly for validation harnesses.
+func (e *Estimator) Summary() *summary.Summary { return e.snapshot() }

@@ -1,0 +1,113 @@
+// Package sensortree implements Greenwald and Khanna's sensor-network
+// quantile aggregation, the algorithm the paper's Section 5.2 starts from
+// before extending it to streams: sensors in a routing tree of height h
+// each summarize their local observations by sorting and sampling; interior
+// nodes merge their children's summaries and prune them to a fixed message
+// budget before forwarding, so a node at height i holds an
+// (eps/2 + i*eps/(2h))-approximate summary and the root answers quantile
+// queries within eps — while every message stays O(h/eps) entries.
+package sensortree
+
+import (
+	"fmt"
+	"math"
+
+	"gpustream/internal/sorter"
+	"gpustream/internal/summary"
+)
+
+// Node is one sensor in the routing tree. Interior nodes may also carry
+// their own observations.
+type Node struct {
+	Observations []float32
+	Children     []*Node
+}
+
+// Height reports the length of the longest downward path from n (a leaf
+// has height 0).
+func (n *Node) Height() int {
+	h := 0
+	for _, c := range n.Children {
+		if ch := c.Height() + 1; ch > h {
+			h = ch
+		}
+	}
+	return h
+}
+
+// Stats describes the communication cost of one aggregation.
+type Stats struct {
+	Nodes          int   // sensors visited
+	MessageEntries int   // total summary entries transmitted upward
+	MaxMessage     int   // largest single message, in entries
+	Observations   int64 // raw readings summarized
+}
+
+// Aggregator runs tree aggregations with a given error budget and sorting
+// backend (local sorts are the per-node cost the paper's GPU offload
+// targets on gateway-class nodes).
+type Aggregator struct {
+	eps    float64
+	sorter sorter.Sorter
+}
+
+// NewAggregator returns an eps-approximate tree aggregator sorting local
+// observations with s.
+func NewAggregator(eps float64, s sorter.Sorter) *Aggregator {
+	if eps <= 0 || eps >= 1 {
+		panic(fmt.Sprintf("sensortree: eps %v out of (0, 1)", eps))
+	}
+	return &Aggregator{eps: eps, sorter: s}
+}
+
+// Aggregate summarizes the whole tree rooted at root and returns the root
+// summary (answering quantile queries within eps of the union of all
+// observations) along with communication statistics.
+func (a *Aggregator) Aggregate(root *Node) (*summary.Summary, Stats) {
+	if root == nil {
+		panic("sensortree: nil root")
+	}
+	h := root.Height()
+	if h == 0 {
+		h = 1 // degenerate single-node tree still needs a budget
+	}
+	// Each prune adds eps/(2h); budget B chosen so 1/(2B) <= eps/(2h).
+	budget := int(math.Ceil(float64(h) / a.eps))
+	var st Stats
+	s := a.aggregate(root, budget, &st)
+	return s, st
+}
+
+func (a *Aggregator) aggregate(n *Node, budget int, st *Stats) *summary.Summary {
+	st.Nodes++
+	var acc *summary.Summary
+	if len(n.Observations) > 0 {
+		local := append([]float32(nil), n.Observations...)
+		a.sorter.Sort(local)
+		acc = summary.FromSortedWindow(local, a.eps)
+		st.Observations += int64(len(local))
+	}
+	for _, c := range n.Children {
+		child := a.aggregate(c, budget, st)
+		if size := child.Size(); size > 0 {
+			st.MessageEntries += size
+			if size > st.MaxMessage {
+				st.MaxMessage = size
+			}
+		}
+		if acc == nil {
+			acc = child
+		} else {
+			acc = summary.Merge(acc, child)
+		}
+	}
+	if acc == nil {
+		return &summary.Summary{Eps: a.eps / 2}
+	}
+	// Leaves forward their summary unpruned (it is already small);
+	// interior nodes prune after merging, paying eps/(2h) once per level.
+	if len(n.Children) > 0 && acc.Size() > budget+1 {
+		acc = acc.Prune(budget)
+	}
+	return acc
+}

@@ -1,0 +1,26 @@
+// Package sorter defines the interface between the stream-mining algorithms
+// and the sorting backends. Sorting dominates the runtime of the paper's
+// summary construction (70-95% on the CPU, Section 3.2), so the estimators
+// are parameterized over a Sorter: the GPU-simulated PBSN sorter, the GPU
+// bitonic baseline, or the CPU quicksorts.
+package sorter
+
+// Sorter sorts a slice of float32 values in ascending order, in place.
+type Sorter interface {
+	// Sort orders data ascending in place.
+	Sort(data []float32)
+	// Name identifies the backend in benchmark output.
+	Name() string
+}
+
+// Func adapts a plain function to the Sorter interface.
+type Func struct {
+	SortFunc func([]float32)
+	Label    string
+}
+
+// Sort implements Sorter.
+func (f Func) Sort(data []float32) { f.SortFunc(data) }
+
+// Name implements Sorter.
+func (f Func) Name() string { return f.Label }

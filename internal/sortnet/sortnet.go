@@ -1,0 +1,244 @@
+// Package sortnet builds comparator schedules for the sorting networks the
+// paper uses: the periodic balanced sorting network (PBSN, Dowd et al.),
+// which the paper's GPU algorithm implements with rasterization, and the
+// bitonic network (Batcher), which the prior GPU sorters it compares against
+// implement as fragment programs.
+//
+// The schedules are pure data — stages of (i, j) comparators — so the same
+// network can be executed on the CPU (for reference and testing) or mapped
+// onto GPU quads.
+package sortnet
+
+import "fmt"
+
+// Comparator orders the pair (I, J): after it fires, position I holds the
+// smaller value and position J the larger.
+type Comparator struct{ I, J int }
+
+// Stage is a set of comparators that fire simultaneously. Within a valid
+// stage no position appears twice.
+type Stage []Comparator
+
+// Network is a full sorting network over N inputs.
+type Network struct {
+	N      int
+	Stages []Stage
+}
+
+// Comparators reports the total comparator count across all stages.
+func (n *Network) Comparators() int {
+	total := 0
+	for _, s := range n.Stages {
+		total += len(s)
+	}
+	return total
+}
+
+// Apply executes the network on data in place. It panics if len(data) != N.
+func (n *Network) Apply(data []float32) {
+	if len(data) != n.N {
+		panic(fmt.Sprintf("sortnet: Apply on %d values with a %d-input network", len(data), n.N))
+	}
+	for _, stage := range n.Stages {
+		for _, c := range stage {
+			if data[c.I] > data[c.J] {
+				data[c.I], data[c.J] = data[c.J], data[c.I]
+			}
+		}
+	}
+}
+
+// applyBits executes the network on a 0/1 vector, used by the 0-1 principle
+// verifier.
+func (n *Network) applyBits(bits []uint8) {
+	for _, stage := range n.Stages {
+		for _, c := range stage {
+			if bits[c.I] > bits[c.J] {
+				bits[c.I], bits[c.J] = bits[c.J], bits[c.I]
+			}
+		}
+	}
+}
+
+// Validate checks structural sanity: indices in range, I != J, and no
+// position touched twice within a stage (so the stage is truly parallel).
+func (n *Network) Validate() error {
+	for si, stage := range n.Stages {
+		seen := make(map[int]bool, 2*len(stage))
+		for _, c := range stage {
+			if c.I < 0 || c.I >= n.N || c.J < 0 || c.J >= n.N {
+				return fmt.Errorf("sortnet: stage %d comparator %v out of range [0,%d)", si, c, n.N)
+			}
+			if c.I == c.J {
+				return fmt.Errorf("sortnet: stage %d has degenerate comparator %v", si, c)
+			}
+			if seen[c.I] || seen[c.J] {
+				return fmt.Errorf("sortnet: stage %d touches a position twice (%v)", si, c)
+			}
+			seen[c.I], seen[c.J] = true, true
+		}
+	}
+	return nil
+}
+
+// SortsAllZeroOne exhaustively verifies the network against the 0-1
+// principle: a comparator network sorts every input iff it sorts every
+// binary input. Exponential in N — use only for small networks.
+func (n *Network) SortsAllZeroOne() bool {
+	if n.N > 24 {
+		panic("sortnet: SortsAllZeroOne is exponential; N too large")
+	}
+	bits := make([]uint8, n.N)
+	for mask := 0; mask < 1<<n.N; mask++ {
+		for i := range bits {
+			bits[i] = uint8(mask >> i & 1)
+		}
+		n.applyBits(bits)
+		for i := 1; i < n.N; i++ {
+			if bits[i-1] > bits[i] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// log2 returns ceil(log2(n)) for n >= 1.
+func log2(n int) int {
+	l := 0
+	for 1<<l < n {
+		l++
+	}
+	return l
+}
+
+// isPow2 reports whether n is a positive power of two.
+func isPow2(n int) bool { return n > 0 && n&(n-1) == 0 }
+
+// PBSN constructs the periodic balanced sorting network over n inputs
+// (n a power of two). The network runs log n identical periods; each period
+// has log n stages with block sizes n, n/2, ..., 2. A stage with block size
+// B partitions the input into contiguous blocks and, within each block,
+// compares position i against its mirror B-1-i, keeping the minimum in the
+// lower half (paper Section 4.4).
+func PBSN(n int) *Network {
+	if !isPow2(n) {
+		panic(fmt.Sprintf("sortnet: PBSN requires a power-of-two size, got %d", n))
+	}
+	net := &Network{N: n}
+	L := log2(n)
+	for period := 0; period < L; period++ {
+		for b := L; b >= 1; b-- {
+			B := 1 << b
+			stage := make(Stage, 0, n/2)
+			for block := 0; block < n; block += B {
+				for i := 0; i < B/2; i++ {
+					stage = append(stage, Comparator{block + i, block + B - 1 - i})
+				}
+			}
+			net.Stages = append(net.Stages, stage)
+		}
+	}
+	return net
+}
+
+// PBSNStep returns the comparator stage for one step of PBSN with the given
+// block size over n inputs, the unit of work that maps to a set of quads on
+// the GPU.
+func PBSNStep(n, blockSize int) Stage {
+	if !isPow2(n) || !isPow2(blockSize) || blockSize > n || blockSize < 2 {
+		panic(fmt.Sprintf("sortnet: invalid PBSN step n=%d block=%d", n, blockSize))
+	}
+	stage := make(Stage, 0, n/2)
+	for block := 0; block < n; block += blockSize {
+		for i := 0; i < blockSize/2; i++ {
+			stage = append(stage, Comparator{block + i, block + blockSize - 1 - i})
+		}
+	}
+	return stage
+}
+
+// Bitonic constructs Batcher's bitonic sorting network over n inputs
+// (n a power of two): log n phases; phase k merges bitonic runs of length
+// 2^k with stages of XOR-partner comparators. This is the network the prior
+// GPU sorters the paper benchmarks against implement.
+func Bitonic(n int) *Network {
+	if !isPow2(n) {
+		panic(fmt.Sprintf("sortnet: Bitonic requires a power-of-two size, got %d", n))
+	}
+	net := &Network{N: n}
+	for k := 2; k <= n; k <<= 1 {
+		for j := k >> 1; j > 0; j >>= 1 {
+			stage := make(Stage, 0, n/2)
+			for i := 0; i < n; i++ {
+				partner := i ^ j
+				if partner <= i {
+					continue
+				}
+				// Ascending if the k-block of i has bit clear.
+				if i&k == 0 {
+					stage = append(stage, Comparator{i, partner})
+				} else {
+					stage = append(stage, Comparator{partner, i})
+				}
+			}
+			net.Stages = append(net.Stages, stage)
+		}
+	}
+	return net
+}
+
+// PadPow2 pads data up to the next power of two with pad (typically +Inf so
+// padding sorts to the end) and returns the padded slice and original length.
+func PadPow2(data []float32, pad float32) []float32 {
+	n := len(data)
+	if isPow2(n) {
+		return data
+	}
+	m := 1
+	for m < n {
+		m <<= 1
+	}
+	out := make([]float32, m)
+	copy(out, data)
+	for i := n; i < m; i++ {
+		out[i] = pad
+	}
+	return out
+}
+
+// OddEvenMerge constructs Batcher's odd-even merge sorting network over n
+// inputs (n a power of two). It uses fewer comparators than both PBSN and
+// bitonic — the classic comparator-count optimum among practical networks —
+// but its irregular stage structure maps poorly to full-quad rasterization,
+// which is why the paper builds on PBSN instead; the ablation benches
+// quantify that trade.
+func OddEvenMerge(n int) *Network {
+	if !isPow2(n) {
+		panic(fmt.Sprintf("sortnet: OddEvenMerge requires a power-of-two size, got %d", n))
+	}
+	net := &Network{N: n}
+	// Iterative Batcher construction: p is the sorted-block size being
+	// merged, k the comparison distance within the merge.
+	for p := 1; p < n; p <<= 1 {
+		for k := p; k >= 1; k >>= 1 {
+			stage := Stage{}
+			for j := k % p; j <= n-1-k; j += 2 * k {
+				for i := 0; i <= min(k-1, n-j-k-1); i++ {
+					if (i+j)/(2*p) == (i+j+k)/(2*p) {
+						stage = append(stage, Comparator{i + j, i + j + k})
+					}
+				}
+			}
+			net.Stages = append(net.Stages, stage)
+		}
+	}
+	return net
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,225 @@
+package sortnet
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestPBSNZeroOnePrinciple(t *testing.T) {
+	for _, n := range []int{2, 4, 8, 16} {
+		net := PBSN(n)
+		if err := net.Validate(); err != nil {
+			t.Fatalf("PBSN(%d): %v", n, err)
+		}
+		if !net.SortsAllZeroOne() {
+			t.Fatalf("PBSN(%d) fails the 0-1 principle", n)
+		}
+	}
+}
+
+func TestBitonicZeroOnePrinciple(t *testing.T) {
+	for _, n := range []int{2, 4, 8, 16} {
+		net := Bitonic(n)
+		if err := net.Validate(); err != nil {
+			t.Fatalf("Bitonic(%d): %v", n, err)
+		}
+		if !net.SortsAllZeroOne() {
+			t.Fatalf("Bitonic(%d) fails the 0-1 principle", n)
+		}
+	}
+}
+
+func TestPBSNStageCounts(t *testing.T) {
+	for _, n := range []int{2, 8, 64, 256} {
+		net := PBSN(n)
+		L := log2(n)
+		if got, want := len(net.Stages), L*L; got != want {
+			t.Fatalf("PBSN(%d) stages = %d, want log^2 n = %d", n, got, want)
+		}
+		if got, want := net.Comparators(), L*L*n/2; got != want {
+			t.Fatalf("PBSN(%d) comparators = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestBitonicStageCounts(t *testing.T) {
+	for _, n := range []int{2, 8, 64, 256} {
+		net := Bitonic(n)
+		L := log2(n)
+		if got, want := len(net.Stages), L*(L+1)/2; got != want {
+			t.Fatalf("Bitonic(%d) stages = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestNetworksSortRandomInputs(t *testing.T) {
+	builders := map[string]func(int) *Network{"pbsn": PBSN, "bitonic": Bitonic}
+	for name, build := range builders {
+		for _, n := range []int{32, 128, 1024} {
+			net := build(n)
+			prop := func(seed int64) bool {
+				data := make([]float32, n)
+				s := uint64(seed) | 1
+				for i := range data {
+					s ^= s << 13
+					s ^= s >> 7
+					s ^= s << 17
+					data[i] = float32(int32(s))
+				}
+				net.Apply(data)
+				return sort.SliceIsSorted(data, func(i, j int) bool { return data[i] < data[j] })
+			}
+			if err := quick.Check(prop, &quick.Config{MaxCount: 20}); err != nil {
+				t.Fatalf("%s(%d): %v", name, n, err)
+			}
+		}
+	}
+}
+
+func TestNetworksSortDuplicatesAndExtremes(t *testing.T) {
+	data := []float32{3, 3, 1, float32(math.Inf(1)), -2, 3, float32(math.Inf(-1)), 0}
+	for _, build := range []func(int) *Network{PBSN, Bitonic} {
+		d := append([]float32(nil), data...)
+		build(len(d)).Apply(d)
+		if !sort.SliceIsSorted(d, func(i, j int) bool { return d[i] < d[j] }) {
+			t.Fatalf("network failed on duplicates/extremes: %v", d)
+		}
+	}
+}
+
+func TestPBSNStepMatchesFullNetwork(t *testing.T) {
+	n := 16
+	net := PBSN(n)
+	// The first log n stages of the network must equal the per-step
+	// construction with block sizes n, n/2, ..., 2.
+	idx := 0
+	for b := n; b >= 2; b /= 2 {
+		step := PBSNStep(n, b)
+		full := net.Stages[idx]
+		if len(step) != len(full) {
+			t.Fatalf("block %d: step size %d != stage size %d", b, len(step), len(full))
+		}
+		for i := range step {
+			if step[i] != full[i] {
+				t.Fatalf("block %d comparator %d: %v != %v", b, i, step[i], full[i])
+			}
+		}
+		idx++
+	}
+}
+
+func TestPBSNStepPairsMirrors(t *testing.T) {
+	stage := PBSNStep(8, 4)
+	want := Stage{{0, 3}, {1, 2}, {4, 7}, {5, 6}}
+	if len(stage) != len(want) {
+		t.Fatalf("stage = %v", stage)
+	}
+	for i := range want {
+		if stage[i] != want[i] {
+			t.Fatalf("stage = %v, want %v", stage, want)
+		}
+	}
+}
+
+func TestApplyPanicsOnSizeMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	PBSN(8).Apply(make([]float32, 7))
+}
+
+func TestBuildersPanicOnNonPow2(t *testing.T) {
+	for _, fn := range []func(){
+		func() { PBSN(6) },
+		func() { Bitonic(12) },
+		func() { PBSNStep(8, 3) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("no panic for non-power-of-two size")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestValidateCatchesBadNetworks(t *testing.T) {
+	bad := []*Network{
+		{N: 4, Stages: []Stage{{{0, 4}}}},         // out of range
+		{N: 4, Stages: []Stage{{{2, 2}}}},         // degenerate
+		{N: 4, Stages: []Stage{{{0, 1}, {1, 2}}}}, // position reused in stage
+	}
+	for i, n := range bad {
+		if n.Validate() == nil {
+			t.Fatalf("bad network %d validated", i)
+		}
+	}
+}
+
+func TestPadPow2(t *testing.T) {
+	inf := float32(math.Inf(1))
+	out := PadPow2([]float32{1, 2, 3}, inf)
+	if len(out) != 4 || out[3] != inf {
+		t.Fatalf("PadPow2 = %v", out)
+	}
+	same := []float32{1, 2, 3, 4}
+	if got := PadPow2(same, inf); &got[0] != &same[0] {
+		t.Fatal("PadPow2 copied an already power-of-two slice")
+	}
+}
+
+func TestOddEvenMergeZeroOnePrinciple(t *testing.T) {
+	for _, n := range []int{2, 4, 8, 16} {
+		net := OddEvenMerge(n)
+		if err := net.Validate(); err != nil {
+			t.Fatalf("OddEvenMerge(%d): %v", n, err)
+		}
+		if !net.SortsAllZeroOne() {
+			t.Fatalf("OddEvenMerge(%d) fails the 0-1 principle", n)
+		}
+	}
+}
+
+func TestOddEvenMergeSortsRandom(t *testing.T) {
+	for _, n := range []int{32, 256, 1024} {
+		net := OddEvenMerge(n)
+		data := make([]float32, n)
+		s := uint64(n) | 1
+		for i := range data {
+			s ^= s << 13
+			s ^= s >> 7
+			s ^= s << 17
+			data[i] = float32(int32(s))
+		}
+		net.Apply(data)
+		if !sort.SliceIsSorted(data, func(i, j int) bool { return data[i] < data[j] }) {
+			t.Fatalf("OddEvenMerge(%d) failed to sort", n)
+		}
+	}
+}
+
+func TestOddEvenFewerComparatorsThanPBSN(t *testing.T) {
+	for _, n := range []int{64, 1024} {
+		oe := OddEvenMerge(n).Comparators()
+		pb := PBSN(n).Comparators()
+		bi := Bitonic(n).Comparators()
+		if oe >= bi || bi >= pb {
+			t.Fatalf("n=%d: comparator ordering violated: oddeven=%d bitonic=%d pbsn=%d", n, oe, bi, pb)
+		}
+	}
+}
+
+func TestOddEvenPanicsOnNonPow2(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	OddEvenMerge(6)
+}

@@ -1,0 +1,17 @@
+package stream
+
+import "testing"
+
+func BenchmarkUniform(b *testing.B) {
+	b.SetBytes(1 << 18 * 4)
+	for i := 0; i < b.N; i++ {
+		Uniform(1<<18, uint64(i))
+	}
+}
+
+func BenchmarkZipf(b *testing.B) {
+	b.SetBytes(1 << 16 * 4)
+	for i := 0; i < b.N; i++ {
+		Zipf(1<<16, 1.1, 10000, uint64(i))
+	}
+}

@@ -1,0 +1,29 @@
+package stream
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func FuzzTraceReader(f *testing.F) {
+	var good bytes.Buffer
+	_ = WriteTrace(&good, []float32{1, 2, 3})
+	f.Add(good.Bytes())
+	f.Add([]byte("garbage"))
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		// The reader must never panic and must either succeed or report
+		// ErrBadTrace on arbitrary input.
+		data, err := ReadTrace(bytes.NewReader(raw))
+		if err != nil && !errors.Is(err, ErrBadTrace) {
+			t.Fatalf("unexpected error type: %v", err)
+		}
+		if err == nil {
+			// A successful parse round-trips.
+			var buf bytes.Buffer
+			if werr := WriteTrace(&buf, data); werr != nil {
+				t.Fatal(werr)
+			}
+		}
+	})
+}

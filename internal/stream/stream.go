@@ -1,0 +1,257 @@
+// Package stream provides data-stream sources and synthetic workload
+// generators used throughout the library.
+//
+// The paper evaluates on streams of "more than 100 million values" produced
+// by a "random database". Since the original traces are not available, this
+// package generates deterministic synthetic equivalents: uniform, Zipfian,
+// Gaussian, sorted, nearly-sorted and bursty value streams. All generators
+// are seeded so experiments are reproducible run to run.
+package stream
+
+import (
+	"math"
+)
+
+// Source is a pull-based stream of float32 values. Next reports the next
+// element and whether one was available; once it returns false the stream is
+// exhausted and further calls keep returning false.
+type Source interface {
+	Next() (float32, bool)
+}
+
+// SliceSource adapts an in-memory slice to a Source.
+type SliceSource struct {
+	data []float32
+	pos  int
+}
+
+// NewSliceSource returns a Source that yields the elements of data in order.
+// The slice is not copied.
+func NewSliceSource(data []float32) *SliceSource {
+	return &SliceSource{data: data}
+}
+
+// Next implements Source.
+func (s *SliceSource) Next() (float32, bool) {
+	if s.pos >= len(s.data) {
+		return 0, false
+	}
+	v := s.data[s.pos]
+	s.pos++
+	return v, true
+}
+
+// Remaining reports how many elements have not yet been consumed.
+func (s *SliceSource) Remaining() int { return len(s.data) - s.pos }
+
+// Collect drains up to max elements from src into a new slice. A negative max
+// drains the entire source.
+func Collect(src Source, max int) []float32 {
+	var out []float32
+	for max < 0 || len(out) < max {
+		v, ok := src.Next()
+		if !ok {
+			break
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+// FuncSource adapts a generator function to a Source. The function is called
+// once per element until the configured count is exhausted.
+type FuncSource struct {
+	n   int
+	pos int
+	fn  func(i int) float32
+}
+
+// NewFuncSource returns a Source yielding fn(0), fn(1), ..., fn(n-1).
+func NewFuncSource(n int, fn func(i int) float32) *FuncSource {
+	return &FuncSource{n: n, fn: fn}
+}
+
+// Next implements Source.
+func (s *FuncSource) Next() (float32, bool) {
+	if s.pos >= s.n {
+		return 0, false
+	}
+	v := s.fn(s.pos)
+	s.pos++
+	return v, true
+}
+
+// RNG is a small, fast, deterministic xorshift64* generator. It is used
+// instead of math/rand so that streams are bit-reproducible across Go
+// versions (math/rand's algorithm is unspecified across releases).
+type RNG struct{ state uint64 }
+
+// NewRNG returns a generator seeded with seed. A zero seed is replaced with a
+// fixed non-zero constant, as xorshift has an all-zero fixed point.
+func NewRNG(seed uint64) *RNG {
+	if seed == 0 {
+		seed = 0x9E3779B97F4A7C15
+	}
+	return &RNG{state: seed}
+}
+
+// Uint64 returns the next 64 pseudo-random bits.
+func (r *RNG) Uint64() uint64 {
+	x := r.state
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	r.state = x
+	return x * 0x2545F4914F6CDD1D
+}
+
+// Float64 returns a pseudo-random number in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a pseudo-random number in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("stream: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// NormFloat64 returns a normally distributed value with mean 0 and standard
+// deviation 1, using the Box-Muller transform.
+func (r *RNG) NormFloat64() float64 {
+	u1 := r.Float64()
+	for u1 == 0 {
+		u1 = r.Float64()
+	}
+	u2 := r.Float64()
+	return math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+}
+
+// Uniform generates n values drawn uniformly from [0, 1).
+func Uniform(n int, seed uint64) []float32 {
+	r := NewRNG(seed)
+	out := make([]float32, n)
+	for i := range out {
+		out[i] = float32(r.Float64())
+	}
+	return out
+}
+
+// UniformInts generates n values drawn uniformly from {0, 1, ..., vocab-1},
+// stored as float32 item identifiers. This is the workload used for
+// frequency-estimation experiments, where streams carry discrete items.
+func UniformInts(n, vocab int, seed uint64) []float32 {
+	r := NewRNG(seed)
+	out := make([]float32, n)
+	for i := range out {
+		out[i] = float32(r.Intn(vocab))
+	}
+	return out
+}
+
+// Gaussian generates n values from a normal distribution with the given mean
+// and standard deviation.
+func Gaussian(n int, mean, stddev float64, seed uint64) []float32 {
+	r := NewRNG(seed)
+	out := make([]float32, n)
+	for i := range out {
+		out[i] = float32(mean + stddev*r.NormFloat64())
+	}
+	return out
+}
+
+// Sorted generates n strictly increasing values, an adversarial input for
+// naive quicksort pivoting and a best case for nearly-sorted-aware sorts.
+func Sorted(n int) []float32 {
+	out := make([]float32, n)
+	for i := range out {
+		out[i] = float32(i)
+	}
+	return out
+}
+
+// ReverseSorted generates n strictly decreasing values.
+func ReverseSorted(n int) []float32 {
+	out := make([]float32, n)
+	for i := range out {
+		out[i] = float32(n - i)
+	}
+	return out
+}
+
+// NearlySorted generates an ascending sequence in which a fraction frac of
+// randomly chosen pairs have been swapped.
+func NearlySorted(n int, frac float64, seed uint64) []float32 {
+	out := Sorted(n)
+	r := NewRNG(seed)
+	swaps := int(frac * float64(n))
+	for s := 0; s < swaps; s++ {
+		i, j := r.Intn(n), r.Intn(n)
+		out[i], out[j] = out[j], out[i]
+	}
+	return out
+}
+
+// Zipf generates n item identifiers from a Zipfian distribution with exponent
+// s over a vocabulary of the given size. Identifier 0 is the most frequent.
+// This is the canonical skewed workload for heavy-hitter queries: a small
+// number of items dominate the stream, as in network-traffic and web logs.
+func Zipf(n int, s float64, vocab int, seed uint64) []float32 {
+	if vocab <= 0 {
+		panic("stream: Zipf with non-positive vocabulary")
+	}
+	// Build the CDF once; inversion sampling afterwards is O(log vocab).
+	cdf := make([]float64, vocab)
+	sum := 0.0
+	for k := 1; k <= vocab; k++ {
+		sum += 1 / math.Pow(float64(k), s)
+		cdf[k-1] = sum
+	}
+	for i := range cdf {
+		cdf[i] /= sum
+	}
+	r := NewRNG(seed)
+	out := make([]float32, n)
+	for i := range out {
+		u := r.Float64()
+		lo, hi := 0, vocab-1
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if cdf[mid] < u {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		out[i] = float32(lo)
+	}
+	return out
+}
+
+// Bursty generates a stream whose value distribution shifts between periods:
+// long stretches of uniform background traffic interrupted by bursts during
+// which a single "hot" item dominates. It models the irregular arrival
+// patterns the paper cites as a motivation for faster stream processing.
+func Bursty(n, vocab, burstLen int, burstProb float64, seed uint64) []float32 {
+	r := NewRNG(seed)
+	out := make([]float32, n)
+	i := 0
+	for i < n {
+		if r.Float64() < burstProb {
+			hot := float32(r.Intn(vocab))
+			end := i + burstLen
+			if end > n {
+				end = n
+			}
+			for ; i < end; i++ {
+				out[i] = hot
+			}
+			continue
+		}
+		out[i] = float32(r.Intn(vocab))
+		i++
+	}
+	return out
+}

@@ -1,0 +1,159 @@
+package stream
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Trace files hold recorded streams — the "finance logs" and packet traces
+// of the paper's motivating applications — in a minimal binary format:
+// an 8-byte magic, a little-endian uint64 element count, then count
+// little-endian float32 values.
+
+var traceMagic = [8]byte{'g', 'p', 'u', 's', 't', 'r', 'm', '1'}
+
+// ErrBadTrace reports a malformed trace header or truncated body.
+var ErrBadTrace = errors.New("stream: malformed trace")
+
+// WriteTrace records data to w in trace format.
+func WriteTrace(w io.Writer, data []float32) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(traceMagic[:]); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint64(len(data))); err != nil {
+		return err
+	}
+	for _, v := range data {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadTrace loads a whole trace from r.
+func ReadTrace(r io.Reader) ([]float32, error) {
+	src, err := NewTraceSource(r)
+	if err != nil {
+		return nil, err
+	}
+	// Cap the preallocation: the declared count is untrusted input and a
+	// forged header must not allocate unbounded memory. A truncated body
+	// is detected below regardless.
+	capHint := src.Len()
+	if capHint > 1<<20 {
+		capHint = 1 << 20
+	}
+	out := make([]float32, 0, capHint)
+	for {
+		v, ok := src.Next()
+		if !ok {
+			break
+		}
+		out = append(out, v)
+	}
+	if err := src.Err(); err != nil {
+		return nil, err
+	}
+	if uint64(len(out)) != src.Len() {
+		return nil, fmt.Errorf("%w: expected %d values, got %d", ErrBadTrace, src.Len(), len(out))
+	}
+	return out, nil
+}
+
+// TraceSource streams a trace incrementally, so replays never need the
+// whole stream in memory — the constraint that motivates streaming
+// algorithms in the first place.
+type TraceSource struct {
+	r      *bufio.Reader
+	total  uint64
+	read   uint64
+	err    error
+	buf    [4]byte
+	closed bool
+}
+
+// NewTraceSource validates the header of r and returns a streaming Source.
+func NewTraceSource(r io.Reader) (*TraceSource, error) {
+	br := bufio.NewReader(r)
+	var magic [8]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadTrace, err)
+	}
+	if magic != traceMagic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrBadTrace, magic[:])
+	}
+	var count uint64
+	if err := binary.Read(br, binary.LittleEndian, &count); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadTrace, err)
+	}
+	return &TraceSource{r: br, total: count}, nil
+}
+
+// Len reports the declared element count.
+func (t *TraceSource) Len() uint64 { return t.total }
+
+// Err reports the first read error encountered (nil on clean EOF).
+func (t *TraceSource) Err() error { return t.err }
+
+// Next implements Source.
+func (t *TraceSource) Next() (float32, bool) {
+	if t.closed || t.read >= t.total {
+		return 0, false
+	}
+	if _, err := io.ReadFull(t.r, t.buf[:]); err != nil {
+		t.closed = true
+		t.err = fmt.Errorf("%w: body truncated at %d/%d: %v", ErrBadTrace, t.read, t.total, err)
+		return 0, false
+	}
+	t.read++
+	bits := binary.LittleEndian.Uint32(t.buf[:])
+	return math.Float32frombits(bits), true
+}
+
+// TraceWriter streams a trace incrementally. The element count must be
+// declared up front (the format stores it in the header); Flush verifies
+// the declaration was honored.
+type TraceWriter struct {
+	w        *bufio.Writer
+	declared uint64
+	written  uint64
+	buf      [4]byte
+}
+
+// NewTraceWriter writes the trace header for count elements to w and
+// returns a writer for the body.
+func NewTraceWriter(w io.Writer, count uint64) (*TraceWriter, error) {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(traceMagic[:]); err != nil {
+		return nil, err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, count); err != nil {
+		return nil, err
+	}
+	return &TraceWriter{w: bw, declared: count}, nil
+}
+
+// Write appends one value. Writing more than the declared count fails.
+func (t *TraceWriter) Write(v float32) error {
+	if t.written >= t.declared {
+		return fmt.Errorf("%w: write beyond declared count %d", ErrBadTrace, t.declared)
+	}
+	t.written++
+	binary.LittleEndian.PutUint32(t.buf[:], math.Float32bits(v))
+	_, err := t.w.Write(t.buf[:])
+	return err
+}
+
+// Flush completes the trace, verifying the declared count was written.
+func (t *TraceWriter) Flush() error {
+	if t.written != t.declared {
+		return fmt.Errorf("%w: wrote %d of %d declared values", ErrBadTrace, t.written, t.declared)
+	}
+	return t.w.Flush()
+}

@@ -1,0 +1,148 @@
+package stream
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestTraceRoundTrip(t *testing.T) {
+	data := Uniform(10000, 55)
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, data); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(data) {
+		t.Fatalf("len = %d", len(got))
+	}
+	for i := range data {
+		if got[i] != data[i] {
+			t.Fatalf("mismatch at %d", i)
+		}
+	}
+}
+
+func TestTraceRoundTripQuick(t *testing.T) {
+	prop := func(raw []float32) bool {
+		var buf bytes.Buffer
+		if err := WriteTrace(&buf, raw); err != nil {
+			return false
+		}
+		got, err := ReadTrace(&buf)
+		if err != nil || len(got) != len(raw) {
+			return false
+		}
+		for i := range raw {
+			// NaN != NaN; compare bit patterns via equality where possible.
+			if got[i] != raw[i] && !(got[i] != got[i] && raw[i] != raw[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTraceEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTrace(&buf)
+	if err != nil || len(got) != 0 {
+		t.Fatalf("empty trace: %v %v", got, err)
+	}
+}
+
+func TestTraceBadMagic(t *testing.T) {
+	buf := bytes.NewBufferString("not a trace file at all")
+	if _, err := ReadTrace(buf); !errors.Is(err, ErrBadTrace) {
+		t.Fatalf("err = %v, want ErrBadTrace", err)
+	}
+}
+
+func TestTraceTruncatedHeader(t *testing.T) {
+	buf := bytes.NewBufferString("gpu")
+	if _, err := ReadTrace(buf); !errors.Is(err, ErrBadTrace) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestTraceTruncatedBody(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, []float32{1, 2, 3, 4}); err != nil {
+		t.Fatal(err)
+	}
+	short := buf.Bytes()[:buf.Len()-5]
+	if _, err := ReadTrace(bytes.NewReader(short)); !errors.Is(err, ErrBadTrace) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestTraceSourceStreams(t *testing.T) {
+	data := Sorted(100)
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, data); err != nil {
+		t.Fatal(err)
+	}
+	src, err := NewTraceSource(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if src.Len() != 100 {
+		t.Fatalf("Len = %d", src.Len())
+	}
+	got := Collect(src, -1)
+	if len(got) != 100 || got[42] != 42 {
+		t.Fatalf("streamed = %v...", got[:5])
+	}
+	if src.Err() != nil {
+		t.Fatal(src.Err())
+	}
+	if _, ok := src.Next(); ok {
+		t.Fatal("Next after end reported ok")
+	}
+}
+
+func TestTraceWriterStreams(t *testing.T) {
+	var buf bytes.Buffer
+	tw, err := NewTraceWriter(&buf, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []float32{3, 1, 2} {
+		if err := tw.Write(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTrace(&buf)
+	if err != nil || len(got) != 3 || got[0] != 3 {
+		t.Fatalf("round trip = %v, %v", got, err)
+	}
+}
+
+func TestTraceWriterCountEnforced(t *testing.T) {
+	var buf bytes.Buffer
+	tw, _ := NewTraceWriter(&buf, 1)
+	if err := tw.Write(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := tw.Write(2); !errors.Is(err, ErrBadTrace) {
+		t.Fatalf("overflow write err = %v", err)
+	}
+	tw2, _ := NewTraceWriter(&buf, 5)
+	_ = tw2.Write(1)
+	if err := tw2.Flush(); !errors.Is(err, ErrBadTrace) {
+		t.Fatalf("short flush err = %v", err)
+	}
+}

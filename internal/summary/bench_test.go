@@ -1,0 +1,42 @@
+package summary
+
+import (
+	"testing"
+
+	"gpustream/internal/stream"
+)
+
+func BenchmarkFromSortedWindow(b *testing.B) {
+	win := sortedCopy(stream.Uniform(1<<16, 1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		FromSortedWindow(win, 0.001)
+	}
+}
+
+func BenchmarkMerge(b *testing.B) {
+	s1 := FromSortedWindow(sortedCopy(stream.Uniform(1<<16, 2)), 0.001)
+	s2 := FromSortedWindow(sortedCopy(stream.Uniform(1<<16, 3)), 0.001)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Merge(s1, s2)
+	}
+}
+
+func BenchmarkPrune(b *testing.B) {
+	s := FromSortedWindow(sortedCopy(stream.Uniform(1<<18, 4)), 0.0001)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Prune(1000)
+	}
+}
+
+func BenchmarkGKInsert(b *testing.B) {
+	data := stream.Uniform(1<<16, 5)
+	b.SetBytes(4)
+	b.ResetTimer()
+	g := NewGK(0.01)
+	for i := 0; i < b.N; i++ {
+		g.Insert(data[i%len(data)])
+	}
+}

@@ -1,0 +1,266 @@
+// Package summary implements the epsilon-approximate quantile summaries the
+// paper builds on (Greenwald and Khanna): the windowed summary of the
+// sensor-network model — construct from a sorted window, merge, prune — and
+// the classic streaming GK summary used as the single-element-insertion
+// baseline. These are the tuples-with-rank-bounds structures of Section 3.2
+// and Section 5.2.
+package summary
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Entry is one summary tuple: a value and bounds on its rank in the
+// underlying (conceptual) sorted stream.
+type Entry struct {
+	V          float32
+	RMin, RMax int64
+}
+
+// Summary is an eps-approximate quantile summary over N observed elements:
+// a value-ascending list of entries with rank bounds such that any rank
+// query can be answered within Eps*N.
+type Summary struct {
+	Entries []Entry
+	N       int64
+	Eps     float64
+}
+
+// FromSortedWindow builds an (eps/2)-approximate summary from an ascending
+// window, the per-node construction of the paper's Section 5.2: select the
+// elements at ranks 1, ceil(eps*W), 2*ceil(eps*W), ..., W, recording each
+// element's exact rank. Consecutive selected ranks are at most eps*W apart,
+// so any rank query lands within eps*W/2 of a kept element.
+//
+// It panics if window is not sorted.
+func FromSortedWindow(window []float32, eps float64) *Summary {
+	w := int64(len(window))
+	if w == 0 {
+		return &Summary{Eps: eps / 2}
+	}
+	if eps <= 0 || eps > 1 {
+		panic(fmt.Sprintf("summary: eps %v out of (0, 1]", eps))
+	}
+	step := int64(eps * float64(w))
+	if step < 1 {
+		step = 1
+	}
+	s := &Summary{N: w}
+	prev := float32(math.Inf(-1))
+	lastRank := int64(0)
+	// Each kept element is one instance with an exact rank; duplicates of
+	// the same value stay separate entries, preserving GK tuple semantics
+	// (an entry's [RMin, RMax] is rank uncertainty, never multiplicity).
+	add := func(rank int64) {
+		if rank == lastRank {
+			return
+		}
+		lastRank = rank
+		v := window[rank-1]
+		if v < prev {
+			panic("summary: window not sorted")
+		}
+		prev = v
+		s.Entries = append(s.Entries, Entry{V: v, RMin: rank, RMax: rank})
+	}
+	add(1)
+	for r := step; r <= w; r += step {
+		add(r)
+	}
+	add(w)
+	s.Eps = float64(step) / (2 * float64(w))
+	if half := eps / 2; s.Eps < half {
+		s.Eps = half
+	}
+	return s
+}
+
+// Size reports the number of entries.
+func (s *Summary) Size() int { return len(s.Entries) }
+
+// Merge combines two summaries over disjoint substreams into one over their
+// union, using the rank-combination rules of Greenwald and Khanna's
+// sensor-network algorithm: for an entry from A with value v, bracketed in B
+// by predecessor p and successor q,
+//
+//	rmin'(v) = rminA(v) + rminB(p)        (0 if no predecessor)
+//	rmax'(v) = rmaxA(v) + rmaxB(q) - 1    (rmaxA(v) + NB if no successor)
+//
+// The merged summary is max(epsA, epsB)-approximate over NA + NB elements.
+func Merge(a, b *Summary) *Summary {
+	if a.N == 0 {
+		return clone(b)
+	}
+	if b.N == 0 {
+		return clone(a)
+	}
+	out := &Summary{N: a.N + b.N, Eps: math.Max(a.Eps, b.Eps)}
+	out.Entries = make([]Entry, 0, len(a.Entries)+len(b.Entries))
+	i, j := 0, 0
+	for i < len(a.Entries) || j < len(b.Entries) {
+		var e Entry
+		var from, other *Summary
+		var oi int
+		if j >= len(b.Entries) || (i < len(a.Entries) && a.Entries[i].V <= b.Entries[j].V) {
+			e, from, other, oi = a.Entries[i], a, b, j
+			i++
+		} else {
+			e, from, other, oi = b.Entries[j], b, a, i
+			j++
+		}
+		_ = from
+		// other.Entries[oi-1] is the predecessor (last entry with value
+		// <= e.V already consumed or smaller), other.Entries[oi] the
+		// successor.
+		var predRMin, succRMax int64
+		if oi > 0 {
+			predRMin = other.Entries[oi-1].RMin
+		}
+		if oi < len(other.Entries) {
+			succRMax = other.Entries[oi].RMax - 1
+		} else {
+			succRMax = other.N
+		}
+		out.Entries = append(out.Entries, Entry{
+			V:    e.V,
+			RMin: e.RMin + predRMin,
+			RMax: e.RMax + succRMax,
+		})
+	}
+	return out
+}
+
+func clone(s *Summary) *Summary {
+	c := &Summary{N: s.N, Eps: s.Eps}
+	c.Entries = append([]Entry(nil), s.Entries...)
+	return c
+}
+
+// Prune shrinks the summary to at most b+1 entries by querying the ranks
+// 1, N/b, 2N/b, ..., N and keeping the selected entries with their original
+// rank bounds. The pruned summary is (eps + 1/(2b))-approximate — the
+// compress operation of the paper's Section 5.2.
+func (s *Summary) Prune(b int) *Summary {
+	if b <= 0 {
+		panic("summary: Prune with non-positive budget")
+	}
+	if len(s.Entries) <= b+1 {
+		out := clone(s)
+		out.Eps = s.Eps + 1/(2*float64(b))
+		return out
+	}
+	out := &Summary{N: s.N, Eps: s.Eps + 1/(2*float64(b))}
+	// Grid ranks increase monotonically and entry rank bounds are
+	// non-decreasing, so the best-scoring entry index is non-decreasing
+	// too: a two-pointer sweep replaces b+1 linear scans (O(b + m) total).
+	score := func(idx int, r int64) int64 {
+		e := s.Entries[idx]
+		sc := e.RMax - r
+		if d := r - e.RMin; d > sc {
+			sc = d
+		}
+		return sc
+	}
+	idx, lastIdx := 0, -1
+	for i := 0; i <= b; i++ {
+		r := int64(math.Ceil(float64(i) * float64(s.N) / float64(b)))
+		if r < 1 {
+			r = 1
+		}
+		if r > s.N {
+			r = s.N
+		}
+		for idx+1 < len(s.Entries) && score(idx+1, r) <= score(idx, r) {
+			idx++
+		}
+		if idx != lastIdx {
+			out.Entries = append(out.Entries, s.Entries[idx])
+			lastIdx = idx
+		}
+	}
+	return out
+}
+
+// queryIndex returns the index of the entry answering rank r: the one
+// minimizing max(r - RMin, RMax - r). Any value whose true rank lies within
+// [RMin, RMax] then differs from r by at most that score, and the GK
+// coverage invariant guarantees some entry scores <= Eps*N.
+func (s *Summary) queryIndex(r int64) int {
+	best, bestScore := 0, int64(math.MaxInt64)
+	for i, e := range s.Entries {
+		score := e.RMax - r
+		if d := r - e.RMin; d > score {
+			score = d
+		}
+		if score < bestScore {
+			best, bestScore = i, score
+		}
+	}
+	return best
+}
+
+// QueryRank returns a value whose rank in the underlying stream is within
+// Eps*N of r. r is clamped to [1, N]. Querying an empty summary panics.
+func (s *Summary) QueryRank(r int64) float32 {
+	if len(s.Entries) == 0 {
+		panic("summary: query on empty summary")
+	}
+	if r < 1 {
+		r = 1
+	}
+	if r > s.N {
+		r = s.N
+	}
+	return s.Entries[s.queryIndex(r)].V
+}
+
+// Query returns an Eps-approximate phi-quantile, phi in [0, 1].
+func (s *Summary) Query(phi float64) float32 {
+	r := int64(math.Ceil(phi * float64(s.N)))
+	return s.QueryRank(r)
+}
+
+// Validate checks structural invariants: ascending values, sane rank bounds.
+func (s *Summary) Validate() error {
+	for i, e := range s.Entries {
+		if e.RMin < 1 || e.RMax > s.N || e.RMin > e.RMax {
+			return fmt.Errorf("summary: entry %d has bad ranks [%d,%d] with N=%d", i, e.RMin, e.RMax, s.N)
+		}
+		if i > 0 && e.V < s.Entries[i-1].V {
+			return fmt.Errorf("summary: entries not value-ascending at %d", i)
+		}
+	}
+	return nil
+}
+
+// TrueRankError computes, for validation in tests and experiments, the
+// worst-case normalized rank error of the summary against the full sorted
+// reference data: max over probe ranks r of dist(r, true rank range of
+// QueryRank(r)) / N.
+func (s *Summary) TrueRankError(sortedRef []float32) float64 {
+	n := int64(len(sortedRef))
+	if n == 0 || len(s.Entries) == 0 {
+		return 0
+	}
+	worst := 0.0
+	probes := int64(100)
+	for p := int64(0); p <= probes; p++ {
+		r := 1 + p*(n-1)/probes
+		v := s.QueryRank(r)
+		lo := int64(sort.Search(len(sortedRef), func(i int) bool { return sortedRef[i] >= v })) + 1
+		hi := int64(sort.Search(len(sortedRef), func(i int) bool { return sortedRef[i] > v }))
+		var d int64
+		switch {
+		case r < lo:
+			d = lo - r
+		case r > hi:
+			d = r - hi
+		}
+		if e := float64(d) / float64(n); e > worst {
+			worst = e
+		}
+	}
+	return worst
+}

@@ -1,0 +1,44 @@
+package window
+
+import (
+	"testing"
+
+	"gpustream/internal/cpusort"
+	"gpustream/internal/stream"
+)
+
+var benchData = stream.Zipf(1<<16, 1.1, 1<<12, 1)
+
+func BenchmarkSlidingFrequency(b *testing.B) {
+	b.SetBytes(int64(len(benchData) * 4))
+	for i := 0; i < b.N; i++ {
+		f := NewSlidingFrequency(0.01, 1<<14, cpusort.QuicksortSorter{})
+		f.ProcessSlice(benchData)
+		_ = f.Query(0.05)
+	}
+}
+
+func BenchmarkSlidingQuantile(b *testing.B) {
+	b.SetBytes(int64(len(benchData) * 4))
+	for i := 0; i < b.N; i++ {
+		q := NewSlidingQuantile(0.01, 1<<14, cpusort.QuicksortSorter{})
+		q.ProcessSlice(benchData)
+		_ = q.Query(0.5)
+	}
+}
+
+func BenchmarkCountEH(b *testing.B) {
+	r := stream.NewRNG(2)
+	bits := make([]bool, 1<<16)
+	for i := range bits {
+		bits[i] = r.Float64() < 0.5
+	}
+	b.SetBytes(int64(len(bits)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eh := NewCountEH(1<<12, 8)
+		for _, bit := range bits {
+			eh.Process(bit)
+		}
+	}
+}

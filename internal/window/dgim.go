@@ -1,0 +1,92 @@
+package window
+
+import "fmt"
+
+// CountEH is an exponential histogram for counting ones over a sliding
+// window (Datar, Gionis, Indyk, Motwani), the structure the paper cites as
+// the basis for sliding-window statistics [13] and which Section 5.2 adapts
+// for quantile summaries. It maintains buckets of exponentially growing
+// sizes with at most k buckets per size, answering "how many ones in the
+// last W elements" within a 1/k relative error in O(k log W) space.
+type CountEH struct {
+	w       int
+	k       int
+	time    int64
+	buckets []ehBucket // newest first
+}
+
+type ehBucket struct {
+	stamp int64 // arrival time of the most recent one in the bucket
+	size  int64
+}
+
+// NewCountEH returns an exponential histogram over windows of w elements
+// with at most k buckets per size (relative error <= 1/k).
+func NewCountEH(w, k int) *CountEH {
+	if w <= 0 || k <= 0 {
+		panic(fmt.Sprintf("window: CountEH with w=%d k=%d", w, k))
+	}
+	return &CountEH{w: w, k: k}
+}
+
+// Process consumes one bit of the stream.
+func (c *CountEH) Process(one bool) {
+	c.time++
+	// Expire buckets that fell out of the window.
+	for len(c.buckets) > 0 {
+		last := c.buckets[len(c.buckets)-1]
+		if last.stamp <= c.time-int64(c.w) {
+			c.buckets = c.buckets[:len(c.buckets)-1]
+		} else {
+			break
+		}
+	}
+	if !one {
+		return
+	}
+	c.buckets = append([]ehBucket{{stamp: c.time, size: 1}}, c.buckets...)
+	// Cascade merges: allow at most k buckets of each size; merging two
+	// oldest buckets of a size doubles them.
+	size := int64(1)
+	for {
+		count := 0
+		firstIdx, secondIdx := -1, -1
+		for i, b := range c.buckets {
+			if b.size == size {
+				count++
+				if count == c.k+1 {
+					secondIdx = i
+				}
+				if count == c.k+2 {
+					firstIdx = i
+				}
+			}
+		}
+		if firstIdx < 0 {
+			return
+		}
+		// Merge the two oldest buckets of this size (they are the ones at
+		// the larger indices: secondIdx and firstIdx with firstIdx older).
+		merged := ehBucket{stamp: c.buckets[secondIdx].stamp, size: 2 * size}
+		c.buckets[secondIdx] = merged
+		c.buckets = append(c.buckets[:firstIdx], c.buckets[firstIdx+1:]...)
+		size *= 2
+	}
+}
+
+// Buckets reports the number of live buckets.
+func (c *CountEH) Buckets() int { return len(c.buckets) }
+
+// Estimate returns the approximate number of ones in the last W elements:
+// the full sizes of all but the oldest bucket plus half the oldest.
+func (c *CountEH) Estimate() int64 {
+	if len(c.buckets) == 0 {
+		return 0
+	}
+	var total int64
+	for _, b := range c.buckets {
+		total += b.size
+	}
+	oldest := c.buckets[len(c.buckets)-1].size
+	return total - oldest + (oldest+1)/2
+}

@@ -1,0 +1,155 @@
+package window
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"gpustream/internal/sorter"
+	"gpustream/internal/summary"
+)
+
+// SlidingQuantile answers eps-approximate quantile queries over the most
+// recent W elements. Panes of ceil(eps*W/2) elements are sorted and reduced
+// to (eps/2)-approximate GK summaries; a query merges the summaries of the
+// panes covering the requested suffix. The merged summary's rank error plus
+// the boundary quantization of the oldest pane stays within eps*W.
+type SlidingQuantile struct {
+	eps     float64
+	w       int
+	pane    int
+	sorter  sorter.Sorter
+	panes   []*summary.Summary // oldest first
+	buf     []float32
+	n       int64
+	timings Timings
+	sorted  int64
+}
+
+// NewSlidingQuantile returns a sliding-window quantile estimator of window
+// size w and error eps, sorting panes with s.
+func NewSlidingQuantile(eps float64, w int, s sorter.Sorter) *SlidingQuantile {
+	if eps <= 0 || eps >= 1 {
+		panic(fmt.Sprintf("window: eps %v out of (0, 1)", eps))
+	}
+	if w <= 0 {
+		panic("window: window size must be positive")
+	}
+	pane := int(math.Ceil(eps * float64(w) / 2))
+	if pane < 1 {
+		pane = 1
+	}
+	if pane > w {
+		pane = w
+	}
+	return &SlidingQuantile{eps: eps, w: w, pane: pane, sorter: s, buf: make([]float32, 0, pane)}
+}
+
+// Eps reports the configured error bound.
+func (q *SlidingQuantile) Eps() float64 { return q.eps }
+
+// WindowSize reports W.
+func (q *SlidingQuantile) WindowSize() int { return q.w }
+
+// PaneSize reports the pane length.
+func (q *SlidingQuantile) PaneSize() int { return q.pane }
+
+// Count reports the number of elements processed so far (whole stream).
+func (q *SlidingQuantile) Count() int64 { return q.n }
+
+// Timings returns measured per-phase host wall time.
+func (q *SlidingQuantile) Timings() Timings { return q.timings }
+
+// SortedValues reports how many values have passed through the sorter.
+func (q *SlidingQuantile) SortedValues() int64 { return q.sorted }
+
+// Panes reports the number of retained panes.
+func (q *SlidingQuantile) Panes() int { return len(q.panes) }
+
+// SummaryEntries reports the total retained summary entries, the
+// estimator's memory footprint.
+func (q *SlidingQuantile) SummaryEntries() int {
+	total := len(q.buf)
+	for _, p := range q.panes {
+		total += p.Size()
+	}
+	return total
+}
+
+// Process consumes one stream element.
+func (q *SlidingQuantile) Process(v float32) {
+	q.n++
+	q.buf = append(q.buf, v)
+	if len(q.buf) == q.pane {
+		q.sealPane()
+	}
+}
+
+// ProcessSlice consumes a batch of elements.
+func (q *SlidingQuantile) ProcessSlice(data []float32) {
+	for _, v := range data {
+		q.Process(v)
+	}
+}
+
+func (q *SlidingQuantile) sealPane() {
+	t0 := time.Now()
+	q.sorter.Sort(q.buf)
+	s := summary.FromSortedWindow(q.buf, q.eps)
+	q.timings.Sort += time.Since(t0)
+	q.sorted += int64(len(q.buf))
+	q.panes = append(q.panes, s)
+	q.buf = q.buf[:0]
+
+	maxPanes := (q.w + q.pane - 1) / q.pane
+	if len(q.panes) > maxPanes {
+		q.panes = q.panes[len(q.panes)-maxPanes:]
+	}
+}
+
+// snapshot merges the newest panes covering span elements with the partial
+// pane buffer into one queryable summary.
+func (q *SlidingQuantile) snapshot(span int) *summary.Summary {
+	t1 := time.Now()
+	var acc *summary.Summary
+	covered := int64(0)
+	if len(q.buf) > 0 {
+		tmp := append([]float32(nil), q.buf...)
+		q.sorter.Sort(tmp)
+		acc = summary.FromSortedWindow(tmp, q.eps)
+		covered = acc.N
+	}
+	for i := len(q.panes) - 1; i >= 0 && covered < int64(span); i-- {
+		if acc == nil {
+			acc = q.panes[i]
+		} else {
+			acc = summary.Merge(acc, q.panes[i])
+		}
+		covered += q.panes[i].N
+	}
+	q.timings.Merge += time.Since(t1)
+	return acc
+}
+
+// Query returns an eps-approximate phi-quantile of the most recent W
+// elements. It panics if nothing has been processed.
+func (q *SlidingQuantile) Query(phi float64) float32 {
+	return q.QueryWindow(phi, q.w)
+}
+
+// QueryWindow answers the variable-size query over the most recent w
+// elements, w <= W. Rank error is bounded by eps*W (absolute).
+func (q *SlidingQuantile) QueryWindow(phi float64, w int) float32 {
+	if w <= 0 || w > q.w {
+		panic(fmt.Sprintf("window: query window %d out of (0, %d]", w, q.w))
+	}
+	s := q.snapshot(w)
+	if s == nil || s.N == 0 {
+		panic("window: quantile query on empty window")
+	}
+	return s.Query(phi)
+}
+
+// WindowSummary exposes the merged snapshot over the most recent w
+// elements, for validation harnesses.
+func (q *SlidingQuantile) WindowSummary(w int) *summary.Summary { return q.snapshot(w) }

@@ -1,0 +1,220 @@
+// Package window implements the paper's sliding-window variants of the
+// epsilon-approximate frequency and quantile queries (Section 5.3): queries
+// over the most recent W stream elements, for both fixed-size windows and
+// variable-size ("any suffix up to W") queries.
+//
+// The published text truncates partway through Section 5.3; the
+// reconstruction here follows the setup it describes — the stream is cut
+// into panes whose per-pane summaries are built by sorting (the GPU-
+// accelerated step, identical to the whole-stream algorithms) and a ring of
+// recent panes answers queries, with the pane size chosen so that boundary
+// quantization and per-pane summarization each cost at most eps*W/2.
+// DESIGN.md records this assumption.
+package window
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"gpustream/internal/histogram"
+	"gpustream/internal/sorter"
+)
+
+// Item is a reported element with its estimated in-window frequency.
+type Item struct {
+	Value float32
+	Freq  int64
+}
+
+// Timings records measured host wall time per phase, matching the
+// whole-stream estimators.
+type Timings struct {
+	Sort, Merge, Compress time.Duration
+}
+
+// Total sums the phases.
+func (t Timings) Total() time.Duration { return t.Sort + t.Merge + t.Compress }
+
+// freqPane is one completed pane: its filtered histogram and total count.
+type freqPane struct {
+	bins  []histogram.Bin
+	total int64
+}
+
+// SlidingFrequency answers eps-approximate frequency queries over the most
+// recent W elements. The stream is split into panes of ceil(eps*W/2)
+// elements; each completed pane is sorted, collapsed to a histogram, and
+// compressed by dropping bins with count <= eps*pane/2. Estimates are within
+// eps*W of the true frequency over the window, with no false negatives at
+// support s when querying with threshold (s-eps)*W.
+type SlidingFrequency struct {
+	eps     float64
+	w       int
+	pane    int
+	sorter  sorter.Sorter
+	panes   []freqPane // oldest first
+	buf     []float32
+	n       int64
+	timings Timings
+	sorted  int64 // values sorted, for instrumentation
+}
+
+// NewSlidingFrequency returns a sliding-window frequency estimator of window
+// size w and error eps, sorting panes with s.
+func NewSlidingFrequency(eps float64, w int, s sorter.Sorter) *SlidingFrequency {
+	if eps <= 0 || eps >= 1 {
+		panic(fmt.Sprintf("window: eps %v out of (0, 1)", eps))
+	}
+	if w <= 0 {
+		panic("window: window size must be positive")
+	}
+	pane := int(math.Ceil(eps * float64(w) / 2))
+	if pane < 1 {
+		pane = 1
+	}
+	if pane > w {
+		pane = w
+	}
+	return &SlidingFrequency{eps: eps, w: w, pane: pane, sorter: s, buf: make([]float32, 0, pane)}
+}
+
+// Eps reports the configured error bound.
+func (f *SlidingFrequency) Eps() float64 { return f.eps }
+
+// WindowSize reports W.
+func (f *SlidingFrequency) WindowSize() int { return f.w }
+
+// PaneSize reports the pane length.
+func (f *SlidingFrequency) PaneSize() int { return f.pane }
+
+// Count reports the number of elements processed so far (whole stream).
+func (f *SlidingFrequency) Count() int64 { return f.n }
+
+// Timings returns measured per-phase host wall time.
+func (f *SlidingFrequency) Timings() Timings { return f.timings }
+
+// SortedValues reports how many values have passed through the sorter.
+func (f *SlidingFrequency) SortedValues() int64 { return f.sorted }
+
+// Panes reports the number of retained panes.
+func (f *SlidingFrequency) Panes() int { return len(f.panes) }
+
+// Process consumes one stream element.
+func (f *SlidingFrequency) Process(v float32) {
+	f.n++
+	f.buf = append(f.buf, v)
+	if len(f.buf) == f.pane {
+		f.sealPane()
+	}
+}
+
+// ProcessSlice consumes a batch of elements.
+func (f *SlidingFrequency) ProcessSlice(data []float32) {
+	for _, v := range data {
+		f.Process(v)
+	}
+}
+
+// sealPane summarizes the buffered pane and expires old panes.
+func (f *SlidingFrequency) sealPane() {
+	t0 := time.Now()
+	f.sorter.Sort(f.buf)
+	bins := histogram.FromSorted(f.buf)
+	f.timings.Sort += time.Since(t0)
+	f.sorted += int64(len(f.buf))
+
+	// Compress: drop light bins; each drop undercounts an item by at most
+	// eps*pane/2, and with <= 2/eps panes in a window the total stays
+	// under eps*W/2.
+	t2 := time.Now()
+	thresh := int64(f.eps * float64(len(f.buf)) / 2)
+	kept := bins[:0]
+	var total int64
+	for _, b := range bins {
+		total += b.Count
+		if b.Count > thresh {
+			kept = append(kept, b)
+		}
+	}
+	f.timings.Compress += time.Since(t2)
+
+	f.panes = append(f.panes, freqPane{bins: append([]histogram.Bin(nil), kept...), total: total})
+	f.buf = f.buf[:0]
+
+	// Keep enough panes to cover W elements beyond the buffer.
+	maxPanes := (f.w + f.pane - 1) / f.pane
+	if len(f.panes) > maxPanes {
+		f.panes = f.panes[len(f.panes)-maxPanes:]
+	}
+}
+
+// merged returns the combined histogram over the newest panes covering at
+// least span elements, plus the current partial pane, along with the element
+// count it represents.
+func (f *SlidingFrequency) merged(span int) ([]histogram.Bin, int64) {
+	t1 := time.Now()
+	var bins []histogram.Bin
+	covered := int64(len(f.buf))
+	if len(f.buf) > 0 {
+		tmp := append([]float32(nil), f.buf...)
+		f.sorter.Sort(tmp)
+		bins = histogram.FromSorted(tmp)
+	}
+	for i := len(f.panes) - 1; i >= 0 && covered < int64(span); i-- {
+		bins = histogram.Merge(bins, f.panes[i].bins)
+		covered += f.panes[i].total
+	}
+	f.timings.Merge += time.Since(t1)
+	return bins, covered
+}
+
+// Query returns the elements whose estimated frequency over the most recent
+// W elements is at least (s - eps) * min(W, N), ordered by decreasing
+// frequency.
+func (f *SlidingFrequency) Query(s float64) []Item {
+	return f.QueryWindow(s, f.w)
+}
+
+// QueryWindow answers the variable-size query over the most recent w
+// elements, w <= W. Error is bounded by eps*W (absolute, in elements).
+func (f *SlidingFrequency) QueryWindow(s float64, w int) []Item {
+	if s < 0 || s > 1 {
+		panic(fmt.Sprintf("window: support %v out of [0, 1]", s))
+	}
+	if w <= 0 || w > f.w {
+		panic(fmt.Sprintf("window: query window %d out of (0, %d]", w, f.w))
+	}
+	bins, covered := f.merged(w)
+	span := int64(w)
+	if covered < span {
+		span = covered
+	}
+	thresh := (s - f.eps) * float64(span)
+	var out []Item
+	for _, b := range bins {
+		if float64(b.Count) >= thresh {
+			out = append(out, Item{Value: b.Value, Freq: b.Count})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Freq != out[j].Freq {
+			return out[i].Freq > out[j].Freq
+		}
+		return out[i].Value < out[j].Value
+	})
+	return out
+}
+
+// Estimate returns the estimated frequency of v over the most recent W
+// elements.
+func (f *SlidingFrequency) Estimate(v float32) int64 {
+	bins, _ := f.merged(f.w)
+	for _, b := range bins {
+		if b.Value == v {
+			return b.Count
+		}
+	}
+	return 0
+}

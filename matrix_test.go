@@ -1,0 +1,123 @@
+package gpustream
+
+// The acceptance matrix: every estimator family, on every backend, across
+// distributions and epsilon values, checked against exact ground truth.
+// This is the library's broadest single guarantee check; cmd/validate is
+// its runnable, report-producing sibling.
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"gpustream/internal/cpusort"
+	"gpustream/internal/stream"
+)
+
+func matrixDistributions(n int) map[string][]float32 {
+	return map[string][]float32{
+		"uniform": stream.Uniform(n, 1),
+		"zipf":    stream.Zipf(n, 1.2, n/100+5, 2),
+		"sorted":  stream.Sorted(n),
+		"bursty":  stream.Bursty(n, n/50+5, n/100+1, 0.01, 3),
+	}
+}
+
+func TestAcceptanceMatrix(t *testing.T) {
+	const n = 20000
+	backends := []Backend{BackendGPU, BackendCPU, BackendCPUParallel}
+	epsilons := []float64{0.02, 0.005}
+
+	for name, data := range matrixDistributions(n) {
+		ref := append([]float32(nil), data...)
+		cpusort.Quicksort(ref)
+		exact := map[float32]int64{}
+		for _, v := range data {
+			exact[v]++
+		}
+
+		for _, backend := range backends {
+			for _, eps := range epsilons {
+				t.Run(name+"/"+backend.String(), func(t *testing.T) {
+					eng := New(backend)
+
+					// Frequency: undercount within eps*N, never over.
+					fe := eng.NewFrequencyEstimator(eps)
+					fe.ProcessSlice(data)
+					for v, truth := range exact {
+						got := fe.Estimate(v)
+						if got > truth || float64(truth-got) > eps*n+1e-9 {
+							t.Fatalf("eps=%v frequency(%v) = %d, true %d", eps, v, got, truth)
+						}
+					}
+
+					// Quantile: rank error within eps*N at a probe grid.
+					qe := eng.NewQuantileEstimator(eps, n)
+					qe.ProcessSlice(data)
+					for p := 0; p <= 10; p++ {
+						phi := float64(p) / 10
+						r := int(math.Ceil(phi * n))
+						if r < 1 {
+							r = 1
+						}
+						got := qe.Query(phi)
+						lo := sort.Search(len(ref), func(i int) bool { return ref[i] >= got }) + 1
+						hi := sort.Search(len(ref), func(i int) bool { return ref[i] > got })
+						var d int
+						switch {
+						case r < lo:
+							d = lo - r
+						case r > hi:
+							d = r - hi
+						}
+						if float64(d) > eps*n+1 {
+							t.Fatalf("eps=%v phi=%v rank error %d", eps, phi, d)
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+func TestAcceptanceMatrixSliding(t *testing.T) {
+	const n, w = 20000, 4000
+	const eps = 0.01
+	for name, data := range matrixDistributions(n) {
+		for _, backend := range []Backend{BackendGPU, BackendCPU} {
+			t.Run(name+"/"+backend.String(), func(t *testing.T) {
+				eng := New(backend)
+				sf := eng.NewSlidingFrequency(eps, w)
+				sq := eng.NewSlidingQuantile(eps, w)
+				sf.ProcessSlice(data)
+				sq.ProcessSlice(data)
+
+				win := append([]float32(nil), data[n-w:]...)
+				exact := map[float32]int64{}
+				for _, v := range win {
+					exact[v]++
+				}
+				for v, truth := range exact {
+					if got := sf.Estimate(v); math.Abs(float64(got-truth)) > eps*w+1e-9 {
+						t.Fatalf("sliding frequency(%v) = %d, true %d", v, got, truth)
+					}
+				}
+				cpusort.Quicksort(win)
+				med := sq.Query(0.5)
+				r := w / 2
+				lo := sort.Search(len(win), func(i int) bool { return win[i] >= med }) + 1
+				hi := sort.Search(len(win), func(i int) bool { return win[i] > med })
+				var d int
+				switch {
+				case r < lo:
+					d = lo - r
+				case r > hi:
+					d = r - hi
+				}
+				if float64(d) > eps*w+1 {
+					t.Fatalf("sliding median rank error %d", d)
+				}
+			})
+		}
+	}
+}

@@ -1,0 +1,69 @@
+package gpustream
+
+// Supporting toolkit re-exports: baselines, streaming histograms, external
+// sorting and trace I/O, so downstream users need only the root package.
+
+import (
+	"io"
+
+	"gpustream/internal/extsort"
+	"gpustream/internal/frequency"
+	"gpustream/internal/histogram"
+	"gpustream/internal/stream"
+)
+
+// Baseline summaries from the paper's related work (Section 2.1).
+type (
+	// MisraGries is the deterministic k-counter frequent-items baseline.
+	MisraGries = frequency.MisraGries
+	// SpaceSaving is the overcounting k-counter baseline.
+	SpaceSaving = frequency.SpaceSaving
+	// CountMin is the hash-based sketch baseline (supports deletions).
+	CountMin = frequency.CountMin
+	// StreamingHistogram maintains an approximate equi-depth histogram
+	// over a stream (the dynamic histograms of Section 3.2).
+	StreamingHistogram = histogram.StreamingEquiDepth
+	// HistogramBucket is one range of a StreamingHistogram.
+	HistogramBucket = histogram.Bucket
+	// ExternalSortConfig controls a bounded-memory external sort.
+	ExternalSortConfig = extsort.Config
+	// ExternalSortStats reports external-sort work.
+	ExternalSortStats = extsort.Stats
+	// Source is a pull-based stream of values.
+	Source = stream.Source
+)
+
+// NewMisraGries returns a k-counter Misra-Gries summary.
+func NewMisraGries(k int) *MisraGries { return frequency.NewMisraGries(k) }
+
+// NewSpaceSaving returns a k-counter Space-Saving summary.
+func NewSpaceSaving(k int) *SpaceSaving { return frequency.NewSpaceSaving(k) }
+
+// NewCountMin returns a Count-Min sketch with error eps and failure
+// probability delta.
+func NewCountMin(eps, delta float64) *CountMin { return frequency.NewCountMin(eps, delta) }
+
+// NewStreamingHistogram returns a k-bucket approximate equi-depth histogram
+// with boundary rank error eps, backed by this engine's sorter.
+func (e *Engine) NewStreamingHistogram(k int, eps float64) *StreamingHistogram {
+	return histogram.NewStreamingEquiDepth(k, eps, e.srt)
+}
+
+// ExternalSort sorts the values of src with bounded memory — runs formed on
+// this engine's backend, spilled to disk, k-way merged — writing the
+// ascending result to out in trace format.
+func (e *Engine) ExternalSort(src Source, out io.Writer, cfg ExternalSortConfig) (ExternalSortStats, error) {
+	if cfg.Sorter == nil {
+		cfg.Sorter = e.srt
+	}
+	return extsort.Sort(src, out, cfg)
+}
+
+// WriteTrace records data to w in the library's binary trace format.
+func WriteTrace(w io.Writer, data []float32) error { return stream.WriteTrace(w, data) }
+
+// ReadTrace loads a whole trace from r.
+func ReadTrace(r io.Reader) ([]float32, error) { return stream.ReadTrace(r) }
+
+// NewSliceSource adapts an in-memory slice to a Source.
+func NewSliceSource(data []float32) Source { return stream.NewSliceSource(data) }
