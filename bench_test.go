@@ -207,6 +207,75 @@ func BenchmarkFig8Sliding(b *testing.B) {
 	}
 }
 
+// BenchmarkParallelQuantileIngest compares serial ProcessSlice against
+// K-way sharded ingestion of the same stream, per backend. On multi-core
+// hosts the sharded path wins at K >= 4 because per-window sorting — 70-95%
+// of pipeline time — runs concurrently; the ns/op ratio is the measured
+// speedup.
+func BenchmarkParallelQuantileIngest(b *testing.B) {
+	const eps = 1e-3
+	for _, backend := range []Backend{BackendCPU, BackendGPU} {
+		n := 1 << 20
+		if backend == BackendGPU {
+			n = 1 << 18 // the simulator is orders of magnitude slower
+		}
+		data := stream.UniformInts(n, 1<<20, 21)
+		eng := New(backend)
+		b.Run(fmt.Sprintf("serial/%v/n=%d", backend, n), func(b *testing.B) {
+			b.SetBytes(int64(n) * 4)
+			for i := 0; i < b.N; i++ {
+				est := eng.NewQuantileEstimator(eps, int64(n))
+				est.ProcessSlice(data)
+				_ = est.Query(0.5)
+			}
+		})
+		for _, k := range []int{1, 2, 4, 8} {
+			b.Run(fmt.Sprintf("sharded/%v/n=%d/k=%d", backend, n, k), func(b *testing.B) {
+				b.SetBytes(int64(n) * 4)
+				for i := 0; i < b.N; i++ {
+					est := eng.NewParallelQuantileEstimator(eps, int64(n), k)
+					est.ProcessSlice(data)
+					_ = est.Query(0.5)
+					est.Close()
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkParallelFrequencyIngest is the frequency-pipeline counterpart of
+// BenchmarkParallelQuantileIngest.
+func BenchmarkParallelFrequencyIngest(b *testing.B) {
+	const eps = 1e-3
+	for _, backend := range []Backend{BackendCPU, BackendGPU} {
+		n := 1 << 20
+		if backend == BackendGPU {
+			n = 1 << 18
+		}
+		data := stream.UniformInts(n, 1<<20, 22)
+		eng := New(backend)
+		b.Run(fmt.Sprintf("serial/%v/n=%d", backend, n), func(b *testing.B) {
+			b.SetBytes(int64(n) * 4)
+			for i := 0; i < b.N; i++ {
+				est := eng.NewFrequencyEstimator(eps)
+				est.ProcessSlice(data)
+				_ = est.Query(0.01)
+			}
+		})
+		for _, k := range []int{1, 2, 4, 8} {
+			b.Run(fmt.Sprintf("sharded/%v/n=%d/k=%d", backend, n, k), func(b *testing.B) {
+				b.SetBytes(int64(n) * 4)
+				for i := 0; i < b.N; i++ {
+					est := eng.NewParallelFrequencyEstimator(eps, k)
+					est.ProcessSlice(data)
+					_ = est.Query(0.01)
+					est.Close()
+				}
+			})
+		}
+	}
+}
+
 // BenchmarkAblationChannels isolates the paper's 4-channel vector packing:
 // the same PBSN sort with all data in one channel (no vector parallelism,
 // 4x the texels) versus the 4-channel configuration.

@@ -9,6 +9,8 @@
 //	streammine -query quantile  -n 10000000 -eps 0.001 -phis 0.25,0.5,0.75
 //	streammine -query frequency -window 100000 ...   (sliding window)
 //	streammine -backend cpu ...                       (default gpu)
+//	streammine -shards 4 ...                          (parallel ingestion;
+//	                                                   -shards -1 = GOMAXPROCS)
 package main
 
 import (
@@ -20,6 +22,7 @@ import (
 	"time"
 
 	"gpustream"
+	"gpustream/internal/perfmodel"
 	"gpustream/internal/stream"
 )
 
@@ -32,6 +35,7 @@ func main() {
 	dist := flag.String("dist", "zipf", "stream distribution: zipf|uniform|gauss|bursty")
 	backendName := flag.String("backend", "gpu", "sorting backend: gpu|gpu-bitonic|cpu|cpu-parallel")
 	windowSize := flag.Int("window", 0, "sliding window size (0 = whole stream)")
+	shards := flag.Int("shards", 0, "parallel ingestion shards (0 = serial, <0 = GOMAXPROCS)")
 	seed := flag.Uint64("seed", 1, "generator seed")
 	tracePath := flag.String("trace", "", "replay this trace file instead of generating")
 	top := flag.Int("top", 10, "max frequency items to print")
@@ -71,10 +75,23 @@ func main() {
 	eng := gpustream.New(backend)
 	fmt.Printf("stream: %d %s values, eps=%g, backend=%v\n", *n, *dist, *eps, backend)
 
+	if *shards != 0 && *windowSize > 0 {
+		fatalf("-shards does not combine with -window (sliding estimators are serial)")
+	}
+
 	start := time.Now()
 	switch *query {
 	case "frequency":
-		if *windowSize > 0 {
+		if *shards != 0 {
+			est := eng.NewParallelFrequencyEstimator(*eps, *shards)
+			est.ProcessSlice(data)
+			est.Close()
+			items := est.Query(*support)
+			fmt.Printf("processed in %v across %d shards; %d summary entries; heavy hitters (support %g):\n",
+				time.Since(start), est.Shards(), est.SummarySize(), *support)
+			printItems(items, *top)
+			printSharded(est.ModeledTime(eng.Model(), backend.PipelineBackend()), est.Shards())
+		} else if *windowSize > 0 {
 			est := eng.NewSlidingFrequency(*eps, *windowSize)
 			est.ProcessSlice(data)
 			items := est.Query(*support)
@@ -93,7 +110,17 @@ func main() {
 		}
 	case "quantile":
 		probes := parsePhis(*phis)
-		if *windowSize > 0 {
+		if *shards != 0 {
+			est := eng.NewParallelQuantileEstimator(*eps, int64(*n), *shards)
+			est.ProcessSlice(data)
+			est.Close()
+			fmt.Printf("processed in %v across %d shards; %d summary entries; quantiles:\n",
+				time.Since(start), est.Shards(), est.SummaryEntries())
+			for _, phi := range probes {
+				fmt.Printf("  phi=%.3f -> %v\n", phi, est.Query(phi))
+			}
+			printSharded(est.ModeledTime(eng.Model(), backend.PipelineBackend()), est.Shards())
+		} else if *windowSize > 0 {
 			est := eng.NewSlidingQuantile(*eps, *windowSize)
 			est.ProcessSlice(data)
 			fmt.Printf("processed in %v; quantiles over last %d elements:\n",
@@ -145,6 +172,11 @@ func printItems(items []gpustream.Item, top int) {
 		}
 		fmt.Printf("  value %v: freq >= %d\n", it.Value, it.Freq)
 	}
+}
+
+func printSharded(bd perfmodel.PipelineBreakdown, shards int) {
+	fmt.Printf("modeled %d-shard pipeline (2004 testbed): sort %v, merge %v, compress %v\n",
+		shards, bd.Sort, bd.Merge, bd.Compress)
 }
 
 func printWindowItems(items []gpustream.WindowItem, top int) {

@@ -38,6 +38,7 @@ import (
 	"gpustream/internal/gpusort"
 	"gpustream/internal/perfmodel"
 	"gpustream/internal/quantile"
+	"gpustream/internal/shard"
 	"gpustream/internal/sorter"
 	"gpustream/internal/summary"
 	"gpustream/internal/window"
@@ -62,6 +63,16 @@ const (
 	// hyper-threaded analog).
 	BackendCPUParallel
 )
+
+// PipelineBackend maps the engine backend to the perfmodel's sort-costing
+// backend, for modeled-time reporting of instrumented pipelines.
+func (b Backend) PipelineBackend() perfmodel.Backend {
+	switch b {
+	case BackendGPU, BackendGPUBitonic:
+		return perfmodel.BackendGPU
+	}
+	return perfmodel.BackendCPU
+}
 
 // String implements fmt.Stringer.
 func (b Backend) String() string {
@@ -99,6 +110,14 @@ type (
 	// QuantileSummary is a mergeable Greenwald-Khanna quantile summary
 	// with rank bounds, as returned by sensor-tree aggregation.
 	QuantileSummary = summary.Summary
+	// ParallelQuantileEstimator answers eps-approximate quantile queries
+	// over a stream ingested concurrently by K shard workers.
+	ParallelQuantileEstimator = shard.Quantile
+	// ParallelFrequencyEstimator answers eps-approximate frequency queries
+	// over a stream ingested concurrently by K shard workers.
+	ParallelFrequencyEstimator = shard.Frequency
+	// ParallelOption configures sharded ingestion (e.g. WithBatchSize).
+	ParallelOption = shard.Option
 	// PerfModel converts operation counts to modeled 2004-testbed time.
 	PerfModel = perfmodel.Model
 	// SortBreakdown decomposes one modeled GPU sort (Figure 4).
@@ -115,20 +134,31 @@ type Engine struct {
 // New returns an Engine using the given backend.
 func New(backend Backend) *Engine {
 	e := &Engine{backend: backend, model: perfmodel.Default()}
-	switch backend {
-	case BackendGPU:
-		e.srt = gpusort.NewSorter()
-	case BackendGPUBitonic:
-		e.srt = gpusort.NewBitonicSorter()
-	case BackendCPU:
-		e.srt = cpusort.QuicksortSorter{}
-	case BackendCPUParallel:
-		e.srt = cpusort.ParallelSorter{}
-	default:
-		panic(fmt.Sprintf("gpustream: unknown backend %v", backend))
-	}
+	e.srt = e.newBackendSorter()
 	return e
 }
+
+// newBackendSorter constructs a fresh sorter instance for the configured
+// backend. Parallel estimators call it once per shard: the GPU simulator
+// keeps per-sort state (LastStats), so sorter instances must never be
+// shared across goroutines.
+func (e *Engine) newBackendSorter() Sorter {
+	switch e.backend {
+	case BackendGPU:
+		return gpusort.NewSorter()
+	case BackendGPUBitonic:
+		return gpusort.NewBitonicSorter()
+	case BackendCPU:
+		return cpusort.QuicksortSorter{}
+	case BackendCPUParallel:
+		return cpusort.ParallelSorter{}
+	}
+	panic(fmt.Sprintf("gpustream: unknown backend %v", e.backend))
+}
+
+// WithBatchSize overrides the parallel estimators' ingestion hand-off batch
+// size (default ~64K values).
+func WithBatchSize(n int) ParallelOption { return shard.WithBatchSize(n) }
 
 // Backend reports the engine's configured backend.
 func (e *Engine) Backend() Backend { return e.backend }
@@ -170,6 +200,28 @@ func (e *Engine) NewFrequencyEstimator(eps float64) *FrequencyEstimator {
 // default), backed by this engine's sorter.
 func (e *Engine) NewQuantileEstimator(eps float64, capacity int64) *QuantileEstimator {
 	return quantile.NewEstimator(eps, capacity, e.srt)
+}
+
+// NewParallelQuantileEstimator returns an eps-approximate quantile
+// estimator that partitions ingestion across `shards` goroutine workers
+// (shards <= 0 selects runtime.GOMAXPROCS(0)), each with its own sorter
+// instance of this engine's backend. Per-shard summaries carry an eps/2
+// budget and queries merge them, so answers stay eps-approximate; with one
+// shard the output is bit-identical to NewQuantileEstimator. Call Flush to
+// make buffered values queryable and Close when ingestion ends.
+func (e *Engine) NewParallelQuantileEstimator(eps float64, capacity int64, shards int, opts ...ParallelOption) *ParallelQuantileEstimator {
+	return shard.NewQuantile(eps, capacity, shards, e.newBackendSorter, opts...)
+}
+
+// NewParallelFrequencyEstimator returns an eps-approximate frequency
+// estimator that partitions ingestion across `shards` goroutine workers
+// (shards <= 0 selects runtime.GOMAXPROCS(0)), each with its own sorter
+// instance of this engine's backend. Lossy-counting undercounts are
+// additive across shards, so merged answers keep the serial estimator's
+// no-false-negative guarantee; with one shard the output is bit-identical
+// to NewFrequencyEstimator.
+func (e *Engine) NewParallelFrequencyEstimator(eps float64, shards int, opts ...ParallelOption) *ParallelFrequencyEstimator {
+	return shard.NewFrequency(eps, shards, e.newBackendSorter, opts...)
 }
 
 // NewSlidingFrequency returns an eps-approximate frequency estimator over

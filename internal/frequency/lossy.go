@@ -244,3 +244,25 @@ func (e *Estimator) TopK(k int) []Item {
 	}
 	return items
 }
+
+// SummaryEntry is an exported view of one lossy-counting summary entry: an
+// estimated frequency Freq that undercounts the true one by at most Delta.
+type SummaryEntry struct {
+	Value float32
+	Freq  int64
+	Delta int64
+}
+
+// Snapshot flushes any buffered values and returns a copy of the summary in
+// ascending value order. Sharded ingestion merges these per-shard snapshots
+// by summing Freq and Delta for equal values: undercounts are additive
+// across disjoint substreams, so the merged summary stays eps-approximate
+// over the combined stream.
+func (e *Estimator) Snapshot() []SummaryEntry {
+	e.Flush()
+	out := make([]SummaryEntry, len(e.entries))
+	for i, ent := range e.entries {
+		out[i] = SummaryEntry{Value: ent.value, Freq: ent.freq, Delta: ent.delta}
+	}
+	return out
+}

@@ -193,6 +193,22 @@ func (b PipelineBreakdown) SortShare() float64 {
 	return float64(b.Sort) / float64(t)
 }
 
+// ShardedPipelineTime models a K-way sharded ingestion run from per-shard
+// operation counts: shards ingest concurrently, so modeled ingest time is
+// the slowest shard's pipeline, while the query-time merge of the K shard
+// summaries is serial and costed at SummaryMergeCycles per visited entry.
+func (m Model) ShardedPipelineTime(perShard []PipelineCounts, backend Backend, queryMergeOps int64) PipelineBreakdown {
+	var worst PipelineBreakdown
+	for _, c := range perShard {
+		b := m.PipelineTime(c, backend)
+		if b.Total() > worst.Total() {
+			worst = b
+		}
+	}
+	worst.Merge += secondsToDuration(float64(queryMergeOps) * m.CPU.SummaryMergeCycles / m.CPU.ClockHz)
+	return worst
+}
+
 // PipelineTime models a full frequency- or quantile-estimation run from its
 // instrumented operation counts.
 func (m Model) PipelineTime(c PipelineCounts, backend Backend) PipelineBreakdown {

@@ -1,0 +1,217 @@
+package shard
+
+import (
+	"fmt"
+	"sort"
+	"sync/atomic"
+
+	"gpustream/internal/frequency"
+	"gpustream/internal/perfmodel"
+	"gpustream/internal/sorter"
+)
+
+// Frequency answers eps-approximate frequency queries over a stream
+// ingested in parallel by K shard workers, each running an independent
+// lossy-counting estimator at the full eps budget. Lossy-counting error is
+// additive across disjoint substreams — each shard undercounts by at most
+// eps*N_i, so the merged estimate undercounts by at most eps*N — which
+// preserves the no-false-negative guarantee of the serial estimator
+// (DESIGN.md section 7).
+//
+// With a single shard, queries delegate directly to the underlying
+// estimator, so K=1 output is bit-identical to the serial
+// frequency.Estimator fed the same stream.
+type Frequency struct {
+	pool *pool
+	eps  float64
+	ests []*frequency.Estimator
+
+	queryMergeOps atomic.Int64
+}
+
+// NewFrequency returns a sharded eps-approximate frequency estimator.
+// shards <= 0 selects runtime.GOMAXPROCS(0). newSorter is invoked once per
+// shard so stateful backends (the GPU simulator) are never shared across
+// goroutines.
+func NewFrequency(eps float64, shards int, newSorter func() sorter.Sorter, opts ...Option) *Frequency {
+	if eps <= 0 || eps >= 1 {
+		panic(fmt.Sprintf("shard: eps %v out of (0, 1)", eps))
+	}
+	k := Resolve(shards)
+	fq := &Frequency{eps: eps}
+	procs := make([]func([]float32), k)
+	for i := 0; i < k; i++ {
+		est := frequency.NewEstimator(eps, newSorter())
+		fq.ests = append(fq.ests, est)
+		procs[i] = est.ProcessSlice
+	}
+	fq.pool = newPool(procs, opts...)
+	return fq
+}
+
+// Eps reports the configured error bound.
+func (fq *Frequency) Eps() float64 { return fq.eps }
+
+// Shards reports the number of shard workers.
+func (fq *Frequency) Shards() int { return fq.pool.Shards() }
+
+// Count reports the number of stream elements ingested.
+func (fq *Frequency) Count() int64 { return fq.pool.Count() }
+
+// Process ingests one stream element.
+func (fq *Frequency) Process(v float32) { fq.pool.Process(v) }
+
+// ProcessSlice ingests a batch of stream elements.
+func (fq *Frequency) ProcessSlice(data []float32) { fq.pool.ProcessSlice(data) }
+
+// Flush dispatches buffered values and waits until every shard has absorbed
+// its in-flight batches.
+func (fq *Frequency) Flush() { fq.pool.Flush() }
+
+// Close flushes and stops the shard workers. The estimator remains
+// queryable; further ingestion panics.
+func (fq *Frequency) Close() { fq.pool.Close() }
+
+// mergedEntries flushes, snapshots every shard under its worker lock, and
+// merges the per-shard summaries by value, summing estimated frequencies
+// and undercount bounds. It returns the merged entries (value-ascending)
+// and the total stream length.
+func (fq *Frequency) mergedEntries() ([]frequency.SummaryEntry, int64) {
+	fq.pool.Flush()
+	var all []frequency.SummaryEntry
+	var n int64
+	for i, est := range fq.ests {
+		w := fq.pool.workers[i]
+		w.mu.Lock()
+		all = append(all, est.Snapshot()...)
+		n += est.Count()
+		w.mu.Unlock()
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].Value < all[j].Value })
+	merged := all[:0]
+	for _, e := range all {
+		if len(merged) > 0 && merged[len(merged)-1].Value == e.Value {
+			merged[len(merged)-1].Freq += e.Freq
+			merged[len(merged)-1].Delta += e.Delta
+			continue
+		}
+		merged = append(merged, e)
+	}
+	fq.queryMergeOps.Add(int64(len(all)))
+	return merged, n
+}
+
+// Query returns every element whose merged estimated frequency is at least
+// (s - eps) * N, ordered by decreasing frequency. The result has no false
+// negatives: any element with true frequency >= s*N is present.
+func (fq *Frequency) Query(s float64) []frequency.Item {
+	if s < 0 || s > 1 {
+		panic(fmt.Sprintf("shard: support %v out of [0, 1]", s))
+	}
+	if len(fq.ests) == 1 {
+		fq.pool.Flush()
+		w := fq.pool.workers[0]
+		w.mu.Lock()
+		defer w.mu.Unlock()
+		return fq.ests[0].Query(s)
+	}
+	entries, n := fq.mergedEntries()
+	thresh := (s - fq.eps) * float64(n)
+	var out []frequency.Item
+	for _, e := range entries {
+		if float64(e.Freq) >= thresh {
+			out = append(out, frequency.Item{Value: e.Value, Freq: e.Freq})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Freq != out[j].Freq {
+			return out[i].Freq > out[j].Freq
+		}
+		return out[i].Value < out[j].Value
+	})
+	return out
+}
+
+// Estimate returns the merged estimated frequency of v (0 if no shard
+// tracks it). Estimates never exceed the true count and undercount it by at
+// most eps*N.
+func (fq *Frequency) Estimate(v float32) int64 {
+	fq.pool.Flush()
+	var total int64
+	for i, est := range fq.ests {
+		w := fq.pool.workers[i]
+		w.mu.Lock()
+		total += est.Estimate(v)
+		w.mu.Unlock()
+	}
+	return total
+}
+
+// TopK returns the k elements with the highest merged estimated
+// frequencies, ordered by decreasing frequency.
+func (fq *Frequency) TopK(k int) []frequency.Item {
+	items := fq.Query(0)
+	if len(items) > k {
+		items = items[:k]
+	}
+	return items
+}
+
+// SummarySize reports the total summary entries retained across shards.
+func (fq *Frequency) SummarySize() int {
+	total := 0
+	for i, est := range fq.ests {
+		w := fq.pool.workers[i]
+		w.mu.Lock()
+		total += est.SummarySize()
+		w.mu.Unlock()
+	}
+	return total
+}
+
+// Timings sums measured per-phase host wall time across shards. Because
+// shards run concurrently, the sum reflects total work, not wall clock.
+func (fq *Frequency) Timings() frequency.Timings {
+	var t frequency.Timings
+	for i, est := range fq.ests {
+		w := fq.pool.workers[i]
+		w.mu.Lock()
+		st := est.Timings()
+		w.mu.Unlock()
+		t.Sort += st.Sort
+		t.Merge += st.Merge
+		t.Compress += st.Compress
+	}
+	return t
+}
+
+// PerShardCounts exposes each shard's pipeline instrumentation in the
+// perfmodel's backend-independent units.
+func (fq *Frequency) PerShardCounts() []perfmodel.PipelineCounts {
+	out := make([]perfmodel.PipelineCounts, len(fq.ests))
+	for i, est := range fq.ests {
+		w := fq.pool.workers[i]
+		w.mu.Lock()
+		c := est.Counts()
+		out[i] = perfmodel.PipelineCounts{
+			Windows:      c.Windows,
+			WindowSize:   est.WindowSize(),
+			SortedValues: c.SortedValues,
+			MergeOps:     c.MergeOps,
+			CompressOps:  c.CompressOps,
+		}
+		w.mu.Unlock()
+	}
+	return out
+}
+
+// QueryMergeOps reports the cumulative summary entries visited by
+// query-time cross-shard merges.
+func (fq *Frequency) QueryMergeOps() int64 { return fq.queryMergeOps.Load() }
+
+// ModeledTime converts the per-shard counters into modeled 2004-testbed
+// time for a K-way sharded run: concurrent shard ingestion plus the serial
+// query-time merge.
+func (fq *Frequency) ModeledTime(m perfmodel.Model, backend perfmodel.Backend) perfmodel.PipelineBreakdown {
+	return m.ShardedPipelineTime(fq.PerShardCounts(), backend, fq.QueryMergeOps())
+}

@@ -1,0 +1,57 @@
+package shard
+
+import (
+	"math"
+	"sort"
+	"testing"
+)
+
+// FuzzShardedQuantile feeds arbitrary byte streams through sharded
+// ingestion (shard count and batch size derived from the input) and checks
+// the merged rank guarantee against a full sort, mirroring the package's
+// other fuzz harnesses (internal/frequency, internal/stream).
+func FuzzShardedQuantile(f *testing.F) {
+	f.Add([]byte{4, 1, 2, 3, 4, 5, 6, 7, 8, 9})
+	f.Add([]byte{1, 0, 0, 0})
+	f.Add([]byte{255, 9, 9, 9, 9, 1, 2, 3})
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		if len(raw) < 2 {
+			return
+		}
+		k := int(raw[0])%8 + 1
+		batch := int(raw[1])%16 + 1
+		vals := make([]float32, 0, len(raw)-2)
+		for _, b := range raw[2:] {
+			vals = append(vals, float32(b%64))
+		}
+		if len(vals) == 0 {
+			return
+		}
+		const eps = 0.1
+		n := int64(len(vals))
+		q := NewQuantile(eps, n, k, cpuSorter, WithBatchSize(batch))
+		q.ProcessSlice(vals)
+		q.Close()
+		if q.Count() != n {
+			t.Fatalf("Count=%d want %d", q.Count(), n)
+		}
+		if s := q.Summary(); s == nil || s.N != n {
+			t.Fatalf("merged summary N mismatch")
+		} else if err := s.Validate(); err != nil {
+			t.Fatalf("merged summary invalid: %v", err)
+		}
+		sorted := append([]float32(nil), vals...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		for _, phi := range []float64{0, 0.25, 0.5, 0.75, 1} {
+			r := int64(math.Ceil(phi * float64(n)))
+			if r < 1 {
+				r = 1
+			}
+			v := q.Query(phi)
+			if d := rankDist(sorted, v, r); float64(d) > eps*float64(n)+1e-9 {
+				t.Fatalf("k=%d batch=%d phi=%g: rank error %d > eps*N=%g",
+					k, batch, phi, d, eps*float64(n))
+			}
+		}
+	})
+}

@@ -1,0 +1,194 @@
+package shard
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"gpustream/internal/perfmodel"
+	"gpustream/internal/quantile"
+	"gpustream/internal/sorter"
+	"gpustream/internal/summary"
+)
+
+// Quantile answers eps-approximate quantile queries over a stream ingested
+// in parallel by K shard workers. Each shard runs the exponential-histogram
+// GK estimator with an eps/2 budget; queries merge the shard summaries,
+// which by the GK merge rule stay eps/2-approximate over the union — within
+// the user's eps with headroom to spare (DESIGN.md section 7).
+//
+// With a single shard the estimator runs at the full eps and delegates
+// queries directly, so K=1 output is bit-identical to the serial
+// quantile.Estimator fed the same stream.
+type Quantile struct {
+	pool *pool
+	eps  float64
+	ests []*quantile.Estimator
+
+	queryMergeOps atomic.Int64
+}
+
+// NewQuantile returns a sharded eps-approximate quantile estimator for
+// streams of up to capacity elements. shards <= 0 selects
+// runtime.GOMAXPROCS(0). newSorter is invoked once per shard so stateful
+// backends (the GPU simulator) are never shared across goroutines.
+func NewQuantile(eps float64, capacity int64, shards int, newSorter func() sorter.Sorter, opts ...Option) *Quantile {
+	if eps <= 0 || eps >= 1 {
+		panic(fmt.Sprintf("shard: eps %v out of (0, 1)", eps))
+	}
+	k := Resolve(shards)
+	shardEps := eps
+	if k > 1 {
+		shardEps = eps / 2
+	}
+	q := &Quantile{eps: eps}
+	procs := make([]func([]float32), k)
+	for i := 0; i < k; i++ {
+		est := quantile.NewEstimator(shardEps, capacity, newSorter())
+		q.ests = append(q.ests, est)
+		procs[i] = est.ProcessSlice
+	}
+	q.pool = newPool(procs, opts...)
+	return q
+}
+
+// Eps reports the configured end-to-end error bound.
+func (q *Quantile) Eps() float64 { return q.eps }
+
+// ShardEps reports the per-shard error budget (eps/2 for K > 1).
+func (q *Quantile) ShardEps() float64 { return q.ests[0].Eps() }
+
+// Shards reports the number of shard workers.
+func (q *Quantile) Shards() int { return q.pool.Shards() }
+
+// Count reports the number of stream elements ingested.
+func (q *Quantile) Count() int64 { return q.pool.Count() }
+
+// Process ingests one stream element.
+func (q *Quantile) Process(v float32) { q.pool.Process(v) }
+
+// ProcessSlice ingests a batch of stream elements.
+func (q *Quantile) ProcessSlice(data []float32) { q.pool.ProcessSlice(data) }
+
+// Flush dispatches buffered values and waits until every shard has absorbed
+// its in-flight batches.
+func (q *Quantile) Flush() { q.pool.Flush() }
+
+// Close flushes and stops the shard workers. The estimator remains
+// queryable; further ingestion panics.
+func (q *Quantile) Close() { q.pool.Close() }
+
+// Summary flushes and returns the merged cross-shard summary (nil before
+// any data arrives), mainly for validation harnesses.
+func (q *Quantile) Summary() *summary.Summary { return q.snapshot() }
+
+// snapshot flushes the pipeline and merges the per-shard summaries under
+// their worker locks, so it is safe against concurrent ingestion.
+func (q *Quantile) snapshot() *summary.Summary {
+	q.pool.Flush()
+	if len(q.ests) == 1 {
+		w := q.pool.workers[0]
+		w.mu.Lock()
+		defer w.mu.Unlock()
+		return q.ests[0].Summary()
+	}
+	var acc *summary.Summary
+	var mergeOps int64
+	for i, est := range q.ests {
+		w := q.pool.workers[i]
+		w.mu.Lock()
+		s := est.Summary()
+		w.mu.Unlock()
+		if s == nil || s.N == 0 {
+			continue
+		}
+		if acc == nil {
+			acc = s
+			continue
+		}
+		acc = summary.Merge(acc, s)
+		mergeOps += int64(acc.Size())
+	}
+	if mergeOps > 0 {
+		q.queryMergeOps.Add(mergeOps)
+	}
+	return acc
+}
+
+// Query returns an eps-approximate phi-quantile of everything ingested so
+// far. It panics if the stream is empty.
+func (q *Quantile) Query(phi float64) float32 {
+	s := q.snapshot()
+	if s == nil || s.N == 0 {
+		panic("shard: quantile query on empty stream")
+	}
+	return s.Query(phi)
+}
+
+// QueryRank returns a value whose rank is within eps*N of r.
+func (q *Quantile) QueryRank(r int64) float32 {
+	s := q.snapshot()
+	if s == nil || s.N == 0 {
+		panic("shard: quantile query on empty stream")
+	}
+	return s.QueryRank(r)
+}
+
+// SummaryEntries reports the total summary entries retained across shards,
+// the estimator's memory footprint.
+func (q *Quantile) SummaryEntries() int {
+	total := 0
+	for i, est := range q.ests {
+		w := q.pool.workers[i]
+		w.mu.Lock()
+		total += est.SummaryEntries()
+		w.mu.Unlock()
+	}
+	return total
+}
+
+// Timings sums measured per-phase host wall time across shards. Because
+// shards run concurrently, the sum reflects total work, not wall clock.
+func (q *Quantile) Timings() quantile.Timings {
+	var t quantile.Timings
+	for i, est := range q.ests {
+		w := q.pool.workers[i]
+		w.mu.Lock()
+		st := est.Timings()
+		w.mu.Unlock()
+		t.Sort += st.Sort
+		t.Merge += st.Merge
+		t.Compress += st.Compress
+	}
+	return t
+}
+
+// PerShardCounts exposes each shard's pipeline instrumentation in the
+// perfmodel's backend-independent units.
+func (q *Quantile) PerShardCounts() []perfmodel.PipelineCounts {
+	out := make([]perfmodel.PipelineCounts, len(q.ests))
+	for i, est := range q.ests {
+		w := q.pool.workers[i]
+		w.mu.Lock()
+		c := est.Counts()
+		out[i] = perfmodel.PipelineCounts{
+			Windows:      c.Windows,
+			WindowSize:   est.WindowSize(),
+			SortedValues: c.SortedValues,
+			MergeOps:     c.MergeOps,
+			CompressOps:  c.CompressOps,
+		}
+		w.mu.Unlock()
+	}
+	return out
+}
+
+// QueryMergeOps reports the cumulative summary entries visited by
+// query-time cross-shard merges.
+func (q *Quantile) QueryMergeOps() int64 { return q.queryMergeOps.Load() }
+
+// ModeledTime converts the per-shard counters into modeled 2004-testbed
+// time for a K-way sharded run: concurrent shard ingestion plus the serial
+// query-time merge.
+func (q *Quantile) ModeledTime(m perfmodel.Model, backend perfmodel.Backend) perfmodel.PipelineBreakdown {
+	return m.ShardedPipelineTime(q.PerShardCounts(), backend, q.QueryMergeOps())
+}

@@ -1,0 +1,214 @@
+// Package shard implements worker-parallel sharded ingestion for the
+// stream-mining estimators: an incoming stream is partitioned across K
+// goroutine workers, each running an independent per-shard estimator, and
+// queries are answered by merging the shard states.
+//
+// The correctness argument is the MERGE/COMPRESS error-budget calculus of
+// Greenwald and Khanna's sensor-network algorithm (the same calculus XGBoost
+// uses for distributed sketch construction): merging eps'-approximate
+// summaries over disjoint substreams yields an eps'-approximate summary over
+// the union, so giving each shard a budget of eps/2 leaves half the user's
+// budget as headroom for downstream compression while the merged answer stays
+// eps-approximate. For lossy counting the budget is additive instead of
+// max-composed — per-shard undercounts of at most eps*N_i sum to at most
+// eps*N — so frequency shards run at the full eps. DESIGN.md section 7 states
+// both arguments precisely.
+//
+// Ingestion is batched: values accumulate in a hand-off buffer and full
+// batches (DefaultBatchSize values unless overridden) are dispatched
+// round-robin to the shard channels, amortizing synchronization exactly the
+// way the paper's window batching amortizes GPU invocation overhead.
+package shard
+
+import (
+	"runtime"
+	"sync"
+)
+
+// DefaultBatchSize is the ingestion hand-off batch size: large enough that
+// channel synchronization is amortized over ~64K values (mirroring the
+// paper's practice of batching four windows per GPU invocation), small
+// enough that shards stay busy on multi-window streams.
+const DefaultBatchSize = 1 << 16
+
+// Option configures a sharded estimator.
+type Option func(*config)
+
+type config struct {
+	batch int
+}
+
+// WithBatchSize overrides the hand-off batch size (default
+// DefaultBatchSize). Smaller batches spread short streams across more
+// shards at higher synchronization cost.
+func WithBatchSize(n int) Option {
+	return func(c *config) {
+		if n <= 0 {
+			panic("shard: batch size must be positive")
+		}
+		c.batch = n
+	}
+}
+
+// Resolve normalizes a user-supplied shard count: values <= 0 select
+// runtime.GOMAXPROCS(0).
+func Resolve(shards int) int {
+	if shards <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return shards
+}
+
+// worker is one shard: a channel feeding a goroutine that owns a per-shard
+// estimator. mu guards every access to the estimator, both the worker's own
+// ProcessSlice calls and query-time snapshots from other goroutines.
+type worker struct {
+	ch      chan []float32
+	mu      sync.Mutex
+	process func([]float32)
+}
+
+// pool fans batches out to the shard workers. Safe for concurrent use by
+// multiple producers; Flush and queries may run concurrently with ingestion.
+type pool struct {
+	batch   int
+	workers []*worker
+	wg      sync.WaitGroup
+
+	mu       sync.Mutex // guards cur, next, inflight, total, closed
+	cond     *sync.Cond // signaled when inflight reaches zero
+	cur      []float32
+	next     int
+	inflight int
+	total    int64
+	closed   bool
+}
+
+// newPool starts one worker goroutine per processor.
+func newPool(processors []func([]float32), opts ...Option) *pool {
+	cfg := config{batch: DefaultBatchSize}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	p := &pool{batch: cfg.batch}
+	p.cond = sync.NewCond(&p.mu)
+	p.cur = make([]float32, 0, p.batch)
+	for _, proc := range processors {
+		w := &worker{ch: make(chan []float32, 2), process: proc}
+		p.workers = append(p.workers, w)
+		p.wg.Add(1)
+		go p.run(w)
+	}
+	return p
+}
+
+func (p *pool) run(w *worker) {
+	defer p.wg.Done()
+	for batch := range w.ch {
+		w.mu.Lock()
+		w.process(batch)
+		w.mu.Unlock()
+		p.mu.Lock()
+		p.inflight--
+		if p.inflight == 0 {
+			p.cond.Broadcast()
+		}
+		p.mu.Unlock()
+	}
+}
+
+// dispatchLocked hands the current buffer to the next worker round-robin.
+// The channel send happens with p.mu released: a full channel would
+// otherwise deadlock against workers that need p.mu to decrement inflight.
+func (p *pool) dispatchLocked() {
+	b := p.cur
+	p.cur = make([]float32, 0, p.batch)
+	w := p.workers[p.next]
+	p.next = (p.next + 1) % len(p.workers)
+	p.inflight++
+	p.mu.Unlock()
+	w.ch <- b
+	p.mu.Lock()
+}
+
+// Process ingests one value.
+func (p *pool) Process(v float32) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		panic("shard: ingestion after Close")
+	}
+	p.total++
+	p.cur = append(p.cur, v)
+	if len(p.cur) >= p.batch {
+		p.dispatchLocked()
+	}
+}
+
+// ProcessSlice ingests a batch of values. The slice is copied into the
+// hand-off buffer, so the caller may reuse it immediately.
+func (p *pool) ProcessSlice(data []float32) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		panic("shard: ingestion after Close")
+	}
+	p.total += int64(len(data))
+	for len(data) > 0 {
+		room := p.batch - len(p.cur)
+		if room > len(data) {
+			room = len(data)
+		}
+		p.cur = append(p.cur, data[:room]...)
+		data = data[room:]
+		if len(p.cur) >= p.batch {
+			p.dispatchLocked()
+		}
+	}
+}
+
+// Flush dispatches any buffered values and blocks until every dispatched
+// batch has been absorbed by its shard estimator. While Flush holds the
+// ingest lock new producers stall, so the drain is guaranteed to terminate.
+func (p *pool) Flush() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if len(p.cur) > 0 && !p.closed {
+		p.dispatchLocked()
+	}
+	for p.inflight > 0 {
+		p.cond.Wait()
+	}
+}
+
+// Close flushes, stops the worker goroutines, and waits for them to exit.
+// The estimator remains queryable after Close; further ingestion panics.
+// Close must not race with Process/ProcessSlice; it is idempotent.
+func (p *pool) Close() {
+	p.Flush()
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	p.mu.Unlock()
+	for _, w := range p.workers {
+		close(w.ch)
+	}
+	p.wg.Wait()
+}
+
+// Count reports the number of values ingested, including any still buffered
+// or in flight.
+func (p *pool) Count() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.total
+}
+
+// Shards reports the number of shard workers.
+func (p *pool) Shards() int { return len(p.workers) }
+
+// BatchSize reports the hand-off batch size.
+func (p *pool) BatchSize() int { return p.batch }

@@ -1,0 +1,104 @@
+package gpustream
+
+import (
+	"sort"
+	"testing"
+
+	"gpustream/internal/stream"
+)
+
+// TestParallelQuantileAPI drives the public sharded-quantile API on every
+// backend and checks merged answers against a full sort.
+func TestParallelQuantileAPI(t *testing.T) {
+	t.Parallel()
+	data := stream.Uniform(40_000, 41)
+	sorted := append([]float32(nil), data...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	const eps = 0.02
+	for _, backend := range []Backend{BackendCPU, BackendGPU} {
+		eng := New(backend)
+		est := eng.NewParallelQuantileEstimator(eps, int64(len(data)), 4, WithBatchSize(2048))
+		est.ProcessSlice(data)
+		est.Close()
+		if est.Shards() != 4 {
+			t.Fatalf("%v: Shards=%d want 4", backend, est.Shards())
+		}
+		for _, phi := range []float64{0.1, 0.5, 0.9} {
+			v := est.Query(phi)
+			r := int(phi * float64(len(sorted)))
+			lo := sorted[max(0, r-int(2*eps*float64(len(sorted))))]
+			hi := sorted[min(len(sorted)-1, r+int(2*eps*float64(len(sorted))))]
+			if v < lo || v > hi {
+				t.Errorf("%v phi=%g: %v outside [%v, %v]", backend, phi, v, lo, hi)
+			}
+		}
+		bd := est.ModeledTime(eng.Model(), backend.PipelineBackend())
+		if bd.Total() <= 0 {
+			t.Errorf("%v: modeled sharded time not positive", backend)
+		}
+	}
+}
+
+// TestParallelFrequencyAPI drives the public sharded-frequency API and
+// checks the no-false-negative guarantee end to end.
+func TestParallelFrequencyAPI(t *testing.T) {
+	t.Parallel()
+	data := stream.Zipf(40_000, 1.2, 500, 42)
+	exact := make(map[float32]int64)
+	for _, v := range data {
+		exact[v]++
+	}
+	const eps, support = 0.005, 0.02
+	eng := New(BackendCPU)
+	est := eng.NewParallelFrequencyEstimator(eps, 4, WithBatchSize(2048))
+	est.ProcessSlice(data)
+	est.Close()
+	reported := make(map[float32]bool)
+	for _, it := range est.Query(support) {
+		reported[it.Value] = true
+	}
+	n := float64(len(data))
+	for v, f := range exact {
+		if float64(f) >= support*n && !reported[v] {
+			t.Errorf("false negative for %v (freq %d)", v, f)
+		}
+	}
+	if top := est.TopK(5); len(top) == 0 || exact[top[0].Value] < exact[top[len(top)-1].Value] {
+		t.Errorf("TopK not ordered by frequency: %v", top)
+	}
+}
+
+// TestParallelSingleShardMatchesSerialAPI pins the K=1 contract at the
+// public API level: identical output to the serial estimators.
+func TestParallelSingleShardMatchesSerialAPI(t *testing.T) {
+	t.Parallel()
+	data := stream.UniformInts(30_000, 1<<10, 43)
+	const eps = 0.01
+	eng := New(BackendCPU)
+
+	sq := eng.NewQuantileEstimator(eps, int64(len(data)))
+	sq.ProcessSlice(data)
+	pq := eng.NewParallelQuantileEstimator(eps, int64(len(data)), 1)
+	pq.ProcessSlice(data)
+	pq.Close()
+	for _, phi := range []float64{0, 0.25, 0.5, 0.75, 1} {
+		if got, want := pq.Query(phi), sq.Query(phi); got != want {
+			t.Errorf("quantile phi=%g: sharded %v != serial %v", phi, got, want)
+		}
+	}
+
+	sf := eng.NewFrequencyEstimator(eps)
+	sf.ProcessSlice(data)
+	pf := eng.NewParallelFrequencyEstimator(eps, 1)
+	pf.ProcessSlice(data)
+	pf.Close()
+	got, want := pf.Query(0.01), sf.Query(0.01)
+	if len(got) != len(want) {
+		t.Fatalf("item count: sharded %d != serial %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Errorf("item %d: sharded %v != serial %v", i, got[i], want[i])
+		}
+	}
+}
