@@ -119,7 +119,7 @@ func BenchmarkFig5Frequency(b *testing.B) {
 					est := eng.NewFrequencyEstimator(eps)
 					est.ProcessSlice(data)
 					est.Flush()
-					tm := est.Timings()
+					tm := est.Stats()
 					if tm.Total() == 0 {
 						return 0
 					}
@@ -143,7 +143,7 @@ func BenchmarkFig6SummaryOps(b *testing.B) {
 				est := eng.NewFrequencyEstimator(eps)
 				est.ProcessSlice(data)
 				est.Flush()
-				t := est.Timings()
+				t := est.Stats()
 				tot := float64(t.Total())
 				if tot > 0 {
 					sortP = 100 * float64(t.Sort) / tot
@@ -168,7 +168,7 @@ func BenchmarkFig7Quantile(b *testing.B) {
 					est := eng.NewQuantileEstimator(eps, int64(len(data)))
 					est.ProcessSlice(data)
 					_ = est.Query(0.5)
-					tm := est.Timings()
+					tm := est.Stats()
 					if tm.Total() == 0 {
 						return 0
 					}

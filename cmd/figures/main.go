@@ -169,7 +169,7 @@ func pipelineRow(eps float64, scale int, quantile bool, backend gpustream.Backen
 	data := stream.UniformInts(n, 1<<22, uint64(n))
 	eng := gpustream.New(backend)
 
-	var counts perfmodel.PipelineCounts
+	var counts gpustream.Stats
 	var hostTime time.Duration
 	if quantile {
 		est := eng.NewQuantileEstimator(eps, int64(n))
@@ -177,22 +177,14 @@ func pipelineRow(eps float64, scale int, quantile bool, backend gpustream.Backen
 		est.ProcessSlice(data)
 		_ = est.Query(0.5)
 		hostTime = time.Since(t0)
-		c := est.Counts()
-		counts = perfmodel.PipelineCounts{
-			Windows: c.Windows, WindowSize: est.WindowSize(),
-			SortedValues: c.SortedValues, MergeOps: c.MergeOps, CompressOps: c.CompressOps,
-		}
+		counts = est.Stats()
 	} else {
 		est := eng.NewFrequencyEstimator(eps)
 		t0 := time.Now()
 		est.ProcessSlice(data)
 		est.Flush()
 		hostTime = time.Since(t0)
-		c := est.Counts()
-		counts = perfmodel.PipelineCounts{
-			Windows: c.Windows, WindowSize: est.WindowSize(),
-			SortedValues: c.SortedValues, MergeOps: c.MergeOps, CompressOps: c.CompressOps,
-		}
+		counts = est.Stats()
 	}
 	// Counts scale linearly with stream length.
 	factor := float64(paperStream) / float64(n)
@@ -236,21 +228,17 @@ func remodel(eps float64, scale int, quantile bool, backend perfmodel.Backend) p
 	}
 	data := stream.UniformInts(n, 1<<22, uint64(n))
 	eng := gpustream.New(gpustream.BackendCPU)
-	var counts perfmodel.PipelineCounts
+	var counts gpustream.Stats
 	if quantile {
 		est := eng.NewQuantileEstimator(eps, int64(n))
 		est.ProcessSlice(data)
 		_ = est.Query(0.5)
-		c := est.Counts()
-		counts = perfmodel.PipelineCounts{Windows: c.Windows, WindowSize: est.WindowSize(),
-			SortedValues: c.SortedValues, MergeOps: c.MergeOps, CompressOps: c.CompressOps}
+		counts = est.Stats()
 	} else {
 		est := eng.NewFrequencyEstimator(eps)
 		est.ProcessSlice(data)
 		est.Flush()
-		c := est.Counts()
-		counts = perfmodel.PipelineCounts{Windows: c.Windows, WindowSize: est.WindowSize(),
-			SortedValues: c.SortedValues, MergeOps: c.MergeOps, CompressOps: c.CompressOps}
+		counts = est.Stats()
 	}
 	factor := float64(paperStream) / float64(n)
 	counts.Windows = int64(float64(counts.Windows) * factor)
@@ -274,7 +262,7 @@ func figure6(scale int) {
 		est := gpustream.New(gpustream.BackendCPU).NewFrequencyEstimator(eps)
 		est.ProcessSlice(data)
 		est.Flush()
-		t := est.Timings()
+		t := est.Stats()
 		tot := float64(t.Total())
 		fmt.Fprintf(w, "%g\t%d\t%.0f\t%.0f\t%.0f\t%s\t\n",
 			eps, est.WindowSize(),

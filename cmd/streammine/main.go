@@ -11,6 +11,7 @@
 //	streammine -backend cpu ...                       (default gpu)
 //	streammine -shards 4 ...                          (parallel ingestion;
 //	                                                   -shards -1 = GOMAXPROCS)
+//	streammine -stats ...                             (per-stage pipeline report)
 package main
 
 import (
@@ -39,6 +40,7 @@ func main() {
 	seed := flag.Uint64("seed", 1, "generator seed")
 	tracePath := flag.String("trace", "", "replay this trace file instead of generating")
 	top := flag.Int("top", 10, "max frequency items to print")
+	showStats := flag.Bool("stats", false, "print the per-stage pipeline telemetry report")
 	flag.Parse()
 
 	var backend gpustream.Backend
@@ -105,7 +107,7 @@ func main() {
 			fmt.Printf("processed in %v; %d summary entries; heavy hitters (support %g):\n",
 				time.Since(start), est.SummarySize(), *support)
 			printItems(items, *top)
-			t := est.Timings()
+			t := est.Stats()
 			fmt.Printf("phase time: sort %v, merge %v, compress %v\n", t.Sort, t.Merge, t.Compress)
 		}
 	case "quantile":
@@ -136,11 +138,15 @@ func main() {
 			for _, phi := range probes {
 				fmt.Printf("  phi=%.3f -> %v\n", phi, est.Query(phi))
 			}
-			t := est.Timings()
+			t := est.Stats()
 			fmt.Printf("phase time: sort %v, merge %v, compress %v\n", t.Sort, t.Merge, t.Compress)
 		}
 	default:
 		fatalf("unknown query %q", *query)
+	}
+
+	if *showStats {
+		printStats(eng.Stats())
 	}
 
 	if b, ok := eng.LastSortBreakdown(); ok {
@@ -177,6 +183,19 @@ func printItems(items []gpustream.Item, top int) {
 func printSharded(bd perfmodel.PipelineBreakdown, shards int) {
 	fmt.Printf("modeled %d-shard pipeline (2004 testbed): sort %v, merge %v, compress %v\n",
 		shards, bd.Sort, bd.Merge, bd.Compress)
+}
+
+// printStats reports the unified per-stage telemetry of every estimator the
+// engine created, one line of counters and one of measured wall clock each.
+func printStats(all []gpustream.EstimatorStats) {
+	fmt.Println("pipeline stats (measured host time):")
+	for _, es := range all {
+		st := es.Stats
+		fmt.Printf("  %-18s windows=%d sorted=%d mergeOps=%d compressOps=%d\n",
+			es.Kind, st.Windows, st.SortedValues, st.MergeOps, st.CompressOps)
+		fmt.Printf("  %-18s sort=%v merge=%v compress=%v idle=%v total=%v\n",
+			"", st.Sort, st.Merge, st.Compress, st.Idle, st.Total())
+	}
 }
 
 func printWindowItems(items []gpustream.WindowItem, top int) {

@@ -32,11 +32,13 @@ package gpustream
 
 import (
 	"fmt"
+	"sync"
 
 	"gpustream/internal/cpusort"
 	"gpustream/internal/frequency"
 	"gpustream/internal/gpusort"
 	"gpustream/internal/perfmodel"
+	"gpustream/internal/pipeline"
 	"gpustream/internal/quantile"
 	"gpustream/internal/shard"
 	"gpustream/internal/sorter"
@@ -122,13 +124,60 @@ type (
 	PerfModel = perfmodel.Model
 	// SortBreakdown decomposes one modeled GPU sort (Figure 4).
 	SortBreakdown = perfmodel.SortBreakdown
+	// Stats is the unified per-stage pipeline telemetry every estimator
+	// reports: operation counters plus wall clock for sort, merge,
+	// compress, and (for sharded ingestion) worker idle time.
+	Stats = pipeline.Stats
 )
+
+// EstimatorStats is one engine-created estimator's telemetry snapshot, as
+// returned by Engine.Stats.
+type EstimatorStats struct {
+	// Kind identifies the estimator family: "frequency", "quantile",
+	// "sliding-frequency", "sliding-quantile", "parallel-frequency", or
+	// "parallel-quantile".
+	Kind  string
+	Stats Stats
+}
 
 // Engine binds a sorting backend to the stream-mining algorithms.
 type Engine struct {
 	backend Backend
 	srt     Sorter
 	model   perfmodel.Model
+
+	mu       sync.Mutex
+	trackers []tracker
+}
+
+// tracker is one registered estimator: its kind and a closure reading its
+// live telemetry.
+type tracker struct {
+	kind  string
+	stats func() Stats
+}
+
+// track registers an estimator's stats reader, in creation order.
+func (e *Engine) track(kind string, fn func() Stats) {
+	e.mu.Lock()
+	e.trackers = append(e.trackers, tracker{kind: kind, stats: fn})
+	e.mu.Unlock()
+}
+
+// Stats snapshots the unified pipeline telemetry of every estimator this
+// engine has created, in creation order. Reading a serial estimator's stats
+// is not synchronized with its ingestion; snapshot between batches (or
+// after Flush) for consistent numbers. Parallel estimators are safe to
+// snapshot at any time.
+func (e *Engine) Stats() []EstimatorStats {
+	e.mu.Lock()
+	trackers := append([]tracker(nil), e.trackers...)
+	e.mu.Unlock()
+	out := make([]EstimatorStats, len(trackers))
+	for i, t := range trackers {
+		out[i] = EstimatorStats{Kind: t.kind, Stats: t.stats()}
+	}
+	return out
 }
 
 // New returns an Engine using the given backend.
@@ -172,17 +221,21 @@ func (e *Engine) Model() PerfModel { return e.model }
 // Sort orders data ascending in place using the configured backend.
 func (e *Engine) Sort(data []float32) { e.srt.Sort(data) }
 
-// LastSortBreakdown models the cost of the most recent GPU-backed Sort call
-// on the paper's testbed. It returns ok=false for CPU backends, which have
-// no transfer/setup decomposition.
+// LastSortBreakdown models the cost of the most recent GPU-backed
+// Engine.Sort call on the paper's testbed. It returns ok=false for CPU
+// backends, which have no transfer/setup decomposition, and before any Sort
+// call. Estimators sort through their own sorter instances and report
+// through Stats instead.
 func (e *Engine) LastSortBreakdown() (SortBreakdown, bool) {
 	switch s := e.srt.(type) {
 	case *gpusort.Sorter:
-		st := s.LastStats()
-		return e.model.GPUSortFromStats(st.GPU, st.MergeCmps), true
+		if st := s.LastStats(); st.GPU.Transfers > 0 {
+			return e.model.GPUSortFromStats(st.GPU, st.MergeCmps), true
+		}
 	case *gpusort.BitonicSorter:
-		st := s.LastStats()
-		return e.model.GPUSortFromStats(st.GPU, st.MergeCmps), true
+		if st := s.LastStats(); st.GPU.Transfers > 0 {
+			return e.model.GPUSortFromStats(st.GPU, st.MergeCmps), true
+		}
 	}
 	return SortBreakdown{}, false
 }
@@ -191,15 +244,23 @@ func (e *Engine) LastSortBreakdown() (SortBreakdown, bool) {
 // backed by this engine's sorter. Estimated counts undercount true ones by
 // at most eps*N; Query(s) reports every item above support s with no false
 // negatives.
+// Each estimator gets its own sorter instance: stateful backends (the GPU
+// simulator's LastStats) must not be shared between estimators, and this
+// also keeps Engine.Sort's LastSortBreakdown isolated from estimator
+// ingestion.
 func (e *Engine) NewFrequencyEstimator(eps float64) *FrequencyEstimator {
-	return frequency.NewEstimator(eps, e.srt)
+	est := frequency.NewEstimator(eps, e.newBackendSorter())
+	e.track("frequency", est.Stats)
+	return est
 }
 
 // NewQuantileEstimator returns an eps-approximate quantile estimator for
 // streams of up to capacity elements (capacity <= 0 picks a generous
 // default), backed by this engine's sorter.
 func (e *Engine) NewQuantileEstimator(eps float64, capacity int64) *QuantileEstimator {
-	return quantile.NewEstimator(eps, capacity, e.srt)
+	est := quantile.NewEstimator(eps, capacity, e.newBackendSorter())
+	e.track("quantile", est.Stats)
+	return est
 }
 
 // NewParallelQuantileEstimator returns an eps-approximate quantile
@@ -210,7 +271,9 @@ func (e *Engine) NewQuantileEstimator(eps float64, capacity int64) *QuantileEsti
 // shard the output is bit-identical to NewQuantileEstimator. Call Flush to
 // make buffered values queryable and Close when ingestion ends.
 func (e *Engine) NewParallelQuantileEstimator(eps float64, capacity int64, shards int, opts ...ParallelOption) *ParallelQuantileEstimator {
-	return shard.NewQuantile(eps, capacity, shards, e.newBackendSorter, opts...)
+	est := shard.NewQuantile(eps, capacity, shards, e.newBackendSorter, opts...)
+	e.track("parallel-quantile", est.Stats)
+	return est
 }
 
 // NewParallelFrequencyEstimator returns an eps-approximate frequency
@@ -221,17 +284,23 @@ func (e *Engine) NewParallelQuantileEstimator(eps float64, capacity int64, shard
 // no-false-negative guarantee; with one shard the output is bit-identical
 // to NewFrequencyEstimator.
 func (e *Engine) NewParallelFrequencyEstimator(eps float64, shards int, opts ...ParallelOption) *ParallelFrequencyEstimator {
-	return shard.NewFrequency(eps, shards, e.newBackendSorter, opts...)
+	est := shard.NewFrequency(eps, shards, e.newBackendSorter, opts...)
+	e.track("parallel-frequency", est.Stats)
+	return est
 }
 
 // NewSlidingFrequency returns an eps-approximate frequency estimator over
 // sliding windows of w elements, backed by this engine's sorter.
 func (e *Engine) NewSlidingFrequency(eps float64, w int) *SlidingFrequency {
-	return window.NewSlidingFrequency(eps, w, e.srt)
+	est := window.NewSlidingFrequency(eps, w, e.newBackendSorter())
+	e.track("sliding-frequency", est.Stats)
+	return est
 }
 
 // NewSlidingQuantile returns an eps-approximate quantile estimator over
 // sliding windows of w elements, backed by this engine's sorter.
 func (e *Engine) NewSlidingQuantile(eps float64, w int) *SlidingQuantile {
-	return window.NewSlidingQuantile(eps, w, e.srt)
+	est := window.NewSlidingQuantile(eps, w, e.newBackendSorter())
+	e.track("sliding-quantile", est.Stats)
+	return est
 }

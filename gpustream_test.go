@@ -174,3 +174,46 @@ func TestEndToEndSlidingWindows(t *testing.T) {
 		t.Fatalf("sliding median rank error %d", d)
 	}
 }
+
+func TestEngineStatsRegistry(t *testing.T) {
+	eng := New(BackendCPU)
+	fe := eng.NewFrequencyEstimator(0.01)
+	qe := eng.NewQuantileEstimator(0.01, 10_000)
+	data := stream.Uniform(5000, 21)
+	fe.ProcessSlice(data)
+	qe.ProcessSlice(data)
+	fe.Flush()
+
+	all := eng.Stats()
+	if len(all) != 2 {
+		t.Fatalf("Stats() len = %d, want 2", len(all))
+	}
+	if all[0].Kind != "frequency" || all[1].Kind != "quantile" {
+		t.Fatalf("kinds = %q, %q", all[0].Kind, all[1].Kind)
+	}
+	for _, es := range all {
+		if es.Stats.SortedValues != 5000 || es.Stats.Windows == 0 || es.Stats.Sort <= 0 {
+			t.Fatalf("%s stats = %+v", es.Kind, es.Stats)
+		}
+	}
+}
+
+func TestEngineEstimatorsGetOwnSorters(t *testing.T) {
+	// Estimator ingestion must not disturb the engine's own sorter: the
+	// GPU LastSortBreakdown reflects Engine.Sort calls only, and two
+	// estimators never share simulator state.
+	eng := New(BackendGPU)
+	if _, ok := eng.LastSortBreakdown(); ok {
+		t.Fatal("breakdown before any Engine.Sort call")
+	}
+	fe := eng.NewFrequencyEstimator(0.01)
+	fe.ProcessSlice(stream.Uniform(2000, 22))
+	fe.Flush()
+	if _, ok := eng.LastSortBreakdown(); ok {
+		t.Fatal("estimator ingestion leaked into the engine sorter")
+	}
+	eng.Sort(stream.Uniform(4096, 23))
+	if _, ok := eng.LastSortBreakdown(); !ok {
+		t.Fatal("no breakdown after Engine.Sort")
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"sort"
 	"time"
 
+	"gpustream/internal/pipeline"
 	"gpustream/internal/sorter"
 	"gpustream/internal/summary"
 )
@@ -26,14 +27,6 @@ type Pair struct {
 	X float32
 	Y float64
 }
-
-// Timings records measured host wall time per phase.
-type Timings struct {
-	Sort, Merge, Compress time.Duration
-}
-
-// Total sums the phases.
-func (t Timings) Total() time.Duration { return t.Sort + t.Merge + t.Compress }
 
 // Estimator answers correlated-sum queries within
 // eps * totalWeight + O(levels) * maxWeight.
@@ -46,8 +39,7 @@ type Estimator struct {
 	buckets map[int]*summary.Weighted
 	buf     []Pair
 	n       int64
-	sorted  int64
-	timings Timings
+	stats   pipeline.Stats
 }
 
 // NewEstimator returns a correlated-sum estimator with error eps for
@@ -84,10 +76,12 @@ func (e *Estimator) Eps() float64 { return e.eps }
 func (e *Estimator) Count() int64 { return e.n + int64(len(e.buf)) }
 
 // SortedValues reports how many keys have passed through the sorter.
-func (e *Estimator) SortedValues() int64 { return e.sorted }
+func (e *Estimator) SortedValues() int64 { return e.stats.SortedValues }
 
-// Timings returns measured per-phase host wall time.
-func (e *Estimator) Timings() Timings { return e.timings }
+// Stats returns the unified per-stage pipeline telemetry. Pairs buffer in
+// this package (the shared float32 core cannot hold (key, value) tuples),
+// but the telemetry schema is the same one every other estimator reports.
+func (e *Estimator) Stats() pipeline.Stats { return e.stats }
 
 // SummaryEntries reports total retained entries across buckets.
 func (e *Estimator) SummaryEntries() int {
@@ -130,7 +124,7 @@ func (e *Estimator) summarizeBuf(buf []Pair) *summary.Weighted {
 		byKey[p.X] = append(byKey[p.X], p.Y)
 	}
 	e.sorter.Sort(xs)
-	e.sorted += int64(len(xs))
+	e.stats.SortedValues += int64(len(xs))
 	ys := make([]float64, len(xs))
 	for i, x := range xs {
 		vals := byKey[x]
@@ -138,12 +132,13 @@ func (e *Estimator) summarizeBuf(buf []Pair) *summary.Weighted {
 		byKey[x] = vals[:len(vals)-1]
 	}
 	w := summary.WeightedFromSortedPairs(xs, ys, e.eps)
-	e.timings.Sort += time.Since(t0)
+	e.stats.Sort += time.Since(t0)
 	return w
 }
 
 // flush turns the buffered window into a bucket and cascades combines.
 func (e *Estimator) flush() {
+	e.stats.Windows++
 	s := e.summarizeBuf(e.buf)
 	e.n += int64(len(e.buf))
 	e.buf = e.buf[:0]
@@ -158,10 +153,12 @@ func (e *Estimator) flush() {
 		delete(e.buckets, id)
 		t1 := time.Now()
 		m := summary.MergeWeighted(old, s)
-		e.timings.Merge += time.Since(t1)
+		e.stats.Merge += time.Since(t1)
+		e.stats.MergeOps += int64(m.Size())
 		t2 := time.Now()
 		s = m.Prune(e.pruneB)
-		e.timings.Compress += time.Since(t2)
+		e.stats.Compress += time.Since(t2)
+		e.stats.CompressOps += int64(m.Size())
 		id++
 		if id > e.levels+1 {
 			if top, ok := e.buckets[id]; ok {

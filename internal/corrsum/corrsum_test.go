@@ -167,7 +167,7 @@ func TestSpaceAndInstrumentation(t *testing.T) {
 	if e.SummaryEntries() > 40000 {
 		t.Fatalf("summary entries %d not sublinear", e.SummaryEntries())
 	}
-	if e.SortedValues() == 0 || e.Timings().Sort <= 0 {
+	if e.SortedValues() == 0 || e.Stats().Sort <= 0 {
 		t.Fatal("instrumentation missing")
 	}
 	if e.Count() != 50000 {
@@ -205,8 +205,8 @@ func TestAccessors(t *testing.T) {
 		t.Fatal("Eps accessor")
 	}
 	e.ProcessSlice(randomPairs(500, 9))
-	if e.Timings().Total() <= 0 {
-		t.Fatal("Timings accessor")
+	if e.Stats().Total() <= 0 || e.Stats().Windows == 0 {
+		t.Fatal("Stats accessor")
 	}
 	// Deep stream exercises the top-level parking branch of flush.
 	deep := NewEstimator(0.2, 10, cpusort.QuicksortSorter{})

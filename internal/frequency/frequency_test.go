@@ -115,20 +115,19 @@ func TestEstimatorSpaceBound(t *testing.T) {
 	}
 }
 
-func TestEstimatorCountsAndTimings(t *testing.T) {
+func TestEstimatorStats(t *testing.T) {
 	e := newCPU(0.01)
 	e.ProcessSlice(stream.Uniform(1000, 5))
 	e.Flush()
-	c := e.Counts()
-	if c.Windows != 10 || c.SortedValues != 1000 {
-		t.Fatalf("counts = %+v", c)
+	st := e.Stats()
+	if st.Windows != 10 || st.SortedValues != 1000 {
+		t.Fatalf("stats = %+v", st)
 	}
-	if c.MergeOps == 0 || c.CompressOps == 0 {
-		t.Fatalf("merge/compress not instrumented: %+v", c)
+	if st.MergeOps == 0 || st.CompressOps == 0 {
+		t.Fatalf("merge/compress not instrumented: %+v", st)
 	}
-	tm := e.Timings()
-	if tm.Total() <= 0 || tm.Sort <= 0 {
-		t.Fatalf("timings = %+v", tm)
+	if st.Total() <= 0 || st.Sort <= 0 {
+		t.Fatalf("stats = %+v", st)
 	}
 }
 

@@ -4,6 +4,10 @@
 // sorting — the step the GPU accelerates — followed by the merge and
 // compress operations on the summary. Misra-Gries and Space-Saving counters
 // are provided as the sample-based baselines the related work surveys.
+//
+// Windowing, buffering, lifecycle, and telemetry come from the shared
+// internal/pipeline core; this package contributes only the
+// sort -> histogram -> merge -> compress sink.
 package frequency
 
 import (
@@ -13,6 +17,7 @@ import (
 	"time"
 
 	"gpustream/internal/histogram"
+	"gpustream/internal/pipeline"
 	"gpustream/internal/sorter"
 )
 
@@ -31,40 +36,22 @@ type entry struct {
 	delta int64
 }
 
-// Counts instruments the pipeline in backend-independent units, matching
-// the three operations of Section 3.2. The perfmodel package converts these
-// to modeled testbed time.
-type Counts struct {
-	Windows      int64
-	SortedValues int64
-	MergeOps     int64 // summary + histogram elements visited during merges
-	CompressOps  int64 // summary elements visited during compress scans
-}
-
-// Timings records measured host wall time per phase; its proportions
-// reproduce Figure 6's cost breakdown directly on the host.
-type Timings struct {
-	Sort, Merge, Compress time.Duration
-}
-
-// Total sums the phases.
-func (t Timings) Total() time.Duration { return t.Sort + t.Merge + t.Compress }
-
 // Estimator is the lossy-counting frequency summary. For a user-specified
 // eps it buffers windows of ceil(1/eps) elements; each full window is
 // sorted, collapsed to a histogram, merged into the summary and compressed.
 // Estimated frequencies undercount true ones by at most eps*N and the
 // summary holds O((1/eps) log(eps*N)) entries.
 type Estimator struct {
-	eps     float64
-	window  int
-	sorter  sorter.Sorter
-	n       int64
-	bucket  int64
+	eps    float64
+	core   *pipeline.Core
+	sorter sorter.Sorter
+	n      int64 // elements folded into the summary (excludes buffered)
+	bucket int64
+	// entries and scratch swap roles every window so the merge pass writes
+	// into recycled storage; bins is the reusable histogram scratch.
 	entries []entry
-	buf     []float32
-	counts  Counts
-	timings Timings
+	scratch []entry
+	bins    []histogram.Bin
 }
 
 // NewEstimator returns a lossy-counting estimator with error eps, sorting
@@ -73,84 +60,66 @@ func NewEstimator(eps float64, s sorter.Sorter) *Estimator {
 	if eps <= 0 || eps >= 1 {
 		panic(fmt.Sprintf("frequency: eps %v out of (0, 1)", eps))
 	}
-	w := int(math.Ceil(1 / eps))
-	return &Estimator{eps: eps, window: w, sorter: s, buf: make([]float32, 0, w)}
+	e := &Estimator{eps: eps, sorter: s}
+	e.core = pipeline.NewCore(int(math.Ceil(1/eps)), e.flushWindow)
+	return e
 }
 
 // Eps reports the configured error bound.
 func (e *Estimator) Eps() float64 { return e.eps }
 
 // WindowSize reports the buffered window length, ceil(1/eps).
-func (e *Estimator) WindowSize() int { return e.window }
+func (e *Estimator) WindowSize() int { return e.core.WindowSize() }
 
 // Count reports the number of stream elements processed, including buffered
 // ones.
-func (e *Estimator) Count() int64 { return e.n + int64(len(e.buf)) }
+func (e *Estimator) Count() int64 { return e.core.Count() }
 
 // SummarySize reports the number of summary entries (excluding the buffer).
 func (e *Estimator) SummarySize() int { return len(e.entries) }
 
-// Counts returns the pipeline instrumentation counters.
-func (e *Estimator) Counts() Counts { return e.counts }
-
-// Timings returns measured per-phase host wall time.
-func (e *Estimator) Timings() Timings { return e.timings }
+// Stats returns the unified per-stage pipeline telemetry.
+func (e *Estimator) Stats() pipeline.Stats { return e.core.Stats() }
 
 // Process consumes one stream element.
-func (e *Estimator) Process(v float32) {
-	e.buf = append(e.buf, v)
-	if len(e.buf) == e.window {
-		e.flush()
-	}
-}
+func (e *Estimator) Process(v float32) { e.core.Process(v) }
 
 // ProcessSlice consumes a batch of stream elements.
-func (e *Estimator) ProcessSlice(data []float32) {
-	for len(data) > 0 {
-		room := e.window - len(e.buf)
-		if room > len(data) {
-			room = len(data)
-		}
-		e.buf = append(e.buf, data[:room]...)
-		data = data[room:]
-		if len(e.buf) == e.window {
-			e.flush()
-		}
-	}
-}
+func (e *Estimator) ProcessSlice(data []float32) { e.core.ProcessSlice(data) }
 
 // Flush forces the buffered partial window into the summary. Queries call
 // it implicitly so buffered elements are always visible.
-func (e *Estimator) Flush() {
-	if len(e.buf) > 0 {
-		e.flush()
-	}
-}
+func (e *Estimator) Flush() { e.core.Flush() }
 
-// flush runs the histogram -> merge -> compress pipeline on the buffer.
-func (e *Estimator) flush() {
+// Close flushes and releases the window buffer back to the shared pool.
+// The estimator remains queryable; further ingestion panics.
+func (e *Estimator) Close() { e.core.Close() }
+
+// flushWindow runs the histogram -> merge -> compress pipeline on one
+// window handed over by the core.
+func (e *Estimator) flushWindow(win []float32) {
 	// Histogram computation: sort the window (GPU or CPU backend) and
 	// collapse to (value, count) bins.
 	t0 := time.Now()
-	e.sorter.Sort(e.buf)
-	bins := histogram.FromSorted(e.buf)
-	e.timings.Sort += time.Since(t0)
-	e.counts.Windows++
-	e.counts.SortedValues += int64(len(e.buf))
+	e.sorter.Sort(win)
+	e.bins = histogram.AppendSorted(e.bins[:0], win)
+	bins := e.bins
+	e.core.AddSort(time.Since(t0), int64(len(win)))
 
 	// New entries may have been deleted any time up to the last completed
 	// bucket before this window, so their undercount is bounded by that
 	// bucket index; compress below may drop entries only up to the number
 	// of buckets completed *after* this window, keeping the undercount
 	// within eps*N even when a partial window is flushed early.
-	newDelta := e.n / int64(e.window)
-	e.n += int64(len(e.buf))
-	e.bucket = e.n / int64(e.window)
+	newDelta := e.n / int64(e.core.WindowSize())
+	e.n += int64(len(win))
+	e.bucket = e.n / int64(e.core.WindowSize())
 
 	// Merge: both the summary and the histogram are value-ascending, so a
-	// single linear pass inserts or updates every bin.
+	// single linear pass inserts or updates every bin. The pass writes into
+	// the recycled scratch array, which then swaps with entries.
 	t1 := time.Now()
-	merged := make([]entry, 0, len(e.entries)+len(bins))
+	merged := e.scratch[:0]
 	i, j := 0, 0
 	for i < len(e.entries) && j < len(bins) {
 		switch {
@@ -172,8 +141,7 @@ func (e *Estimator) flush() {
 	for ; j < len(bins); j++ {
 		merged = append(merged, entry{value: bins[j].Value, freq: bins[j].Count, delta: newDelta})
 	}
-	e.counts.MergeOps += int64(len(e.entries)) + int64(len(bins))
-	e.timings.Merge += time.Since(t1)
+	e.core.AddMerge(time.Since(t1), int64(len(e.entries))+int64(len(bins)))
 
 	// Compress: drop entries whose possible true frequency cannot exceed
 	// the bucket threshold; this bounds the summary size.
@@ -184,11 +152,9 @@ func (e *Estimator) flush() {
 			kept = append(kept, ent)
 		}
 	}
-	e.counts.CompressOps += int64(len(merged))
+	e.core.AddCompress(time.Since(t2), int64(len(merged)))
+	e.scratch = e.entries[:0]
 	e.entries = kept
-	e.timings.Compress += time.Since(t2)
-
-	e.buf = e.buf[:0]
 }
 
 // Query returns every element whose estimated frequency is at least

@@ -21,7 +21,16 @@ func FromSorted(data []float32) []Bin {
 	if len(data) == 0 {
 		return nil
 	}
-	bins := make([]Bin, 0, 64)
+	return AppendSorted(make([]Bin, 0, 64), data)
+}
+
+// AppendSorted collapses an ascending slice into bins appended to dst,
+// which callers on the hot ingestion path reuse (dst[:0]) so steady-state
+// windows allocate nothing. Like FromSorted it panics on unsorted input.
+func AppendSorted(dst []Bin, data []float32) []Bin {
+	if len(data) == 0 {
+		return dst
+	}
 	cur := Bin{Value: data[0], Count: 1}
 	for i := 1; i < len(data); i++ {
 		if data[i] < data[i-1] {
@@ -31,10 +40,10 @@ func FromSorted(data []float32) []Bin {
 			cur.Count++
 			continue
 		}
-		bins = append(bins, cur)
+		dst = append(dst, cur)
 		cur = Bin{Value: data[i], Count: 1}
 	}
-	return append(bins, cur)
+	return append(dst, cur)
 }
 
 // Compute sorts window in place with s and returns its histogram. This is

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"gpustream/internal/gpu"
+	"gpustream/internal/pipeline"
 )
 
 // Closed-form cost formulas. They predict the same quantities the simulator
@@ -145,16 +146,6 @@ func (m Model) QuicksortTime(n int, v CPUVariant) time.Duration {
 	return secondsToDuration(cyc / m.CPU.ClockHz)
 }
 
-// PipelineCounts summarizes the work an instrumented summary-construction
-// pipeline performed, in backend-independent units.
-type PipelineCounts struct {
-	Windows      int64 // windows processed (each one sorted)
-	WindowSize   int   // values per full window
-	SortedValues int64 // total values sorted across windows
-	MergeOps     int64 // summary elements visited by merges
-	CompressOps  int64 // summary elements visited by compress scans
-}
-
 // Backend selects how window sorting is costed in PipelineTime.
 type Backend int
 
@@ -194,10 +185,10 @@ func (b PipelineBreakdown) SortShare() float64 {
 }
 
 // ShardedPipelineTime models a K-way sharded ingestion run from per-shard
-// operation counts: shards ingest concurrently, so modeled ingest time is
+// pipeline stats: shards ingest concurrently, so modeled ingest time is
 // the slowest shard's pipeline, while the query-time merge of the K shard
 // summaries is serial and costed at SummaryMergeCycles per visited entry.
-func (m Model) ShardedPipelineTime(perShard []PipelineCounts, backend Backend, queryMergeOps int64) PipelineBreakdown {
+func (m Model) ShardedPipelineTime(perShard []pipeline.Stats, backend Backend, queryMergeOps int64) PipelineBreakdown {
 	var worst PipelineBreakdown
 	for _, c := range perShard {
 		b := m.PipelineTime(c, backend)
@@ -209,9 +200,10 @@ func (m Model) ShardedPipelineTime(perShard []PipelineCounts, backend Backend, q
 	return worst
 }
 
-// PipelineTime models a full frequency- or quantile-estimation run from its
-// instrumented operation counts.
-func (m Model) PipelineTime(c PipelineCounts, backend Backend) PipelineBreakdown {
+// PipelineTime models a full frequency- or quantile-estimation run from the
+// unified pipeline telemetry's operation counters (the measured durations in
+// c are ignored — the model re-costs the counted work on the 2004 testbed).
+func (m Model) PipelineTime(c pipeline.Stats, backend Backend) PipelineBreakdown {
 	var sortTime time.Duration
 	if c.Windows > 0 {
 		avg := int(c.SortedValues / c.Windows)

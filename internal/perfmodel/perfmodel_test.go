@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"gpustream/internal/gpusort"
+	"gpustream/internal/pipeline"
 	"gpustream/internal/stream"
 )
 
@@ -122,9 +123,8 @@ func TestBusTime(t *testing.T) {
 func TestPipelineShapeFigure6(t *testing.T) {
 	m := Default()
 	// A typical frequency run: 100M values, eps = 1e-5 -> windows of 100K.
-	c := PipelineCounts{
+	c := pipeline.Stats{
 		Windows:      1000,
-		WindowSize:   100000,
 		SortedValues: 100e6,
 		MergeOps:     100e6,
 		CompressOps:  10e6,
@@ -140,11 +140,10 @@ func TestPipelineShapeFigure6(t *testing.T) {
 
 func TestPipelineGPUWinsAtLargeWindows(t *testing.T) {
 	m := Default()
-	mk := func(w int) PipelineCounts {
+	mk := func(w int) pipeline.Stats {
 		total := int64(16 << 20) // multiple of both window sizes below
-		return PipelineCounts{
+		return pipeline.Stats{
 			Windows:      total / int64(w),
-			WindowSize:   w,
 			SortedValues: total,
 			MergeOps:     total,
 			CompressOps:  total / 10,

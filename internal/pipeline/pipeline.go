@@ -1,0 +1,224 @@
+// Package pipeline implements the shared windowed-ingestion machinery that
+// every estimator family in this repository is built on. The paper's whole
+// pipeline is one repeated shape — fill a window, sort it, merge the result
+// into a running summary, compress (Sections 4.1 and 5.1) — and Core is that
+// shape extracted once: batched Process/ProcessSlice buffering, a sink
+// callback invoked per full window, an explicit Flush/Close lifecycle, and
+// window-buffer reuse through a sync.Pool so steady-state ingestion does not
+// allocate per window.
+//
+// Telemetry is unified in Stats: per-stage operation counters plus measured
+// wall clock for the paper's three operations (sort, merge, compress) and
+// the idle time of parallel shard workers. Estimator sinks record into the
+// Core's Stats via AddSort/AddMerge/AddCompress; Core itself counts windows.
+//
+// Lifecycle contract (tested in core_test.go):
+//
+//   - Flush seals the buffered partial window through the sink; on an empty
+//     buffer it is a no-op, so double Flush is safe and idempotent.
+//   - Close flushes, returns the window buffer to the pool, and marks the
+//     core closed. Close is idempotent.
+//   - Process and ProcessSlice after Close panic with ErrClosed's message —
+//     ingestion after shutdown is a programming error, matching the
+//     established behavior of the sharded pool.
+package pipeline
+
+import (
+	"sync"
+	"time"
+)
+
+// ErrClosed is the panic message used when ingesting into a closed Core.
+const ErrClosed = "pipeline: Process after Close"
+
+// Stats is the unified per-stage telemetry of a windowed summary pipeline,
+// in backend-independent units. It subsumes the Timings/Counts pairs the
+// estimator packages used to duplicate: counters match the three operations
+// of the paper's Section 3.2 and feed the perfmodel, durations are measured
+// host wall clock whose proportions reproduce Figure 6 directly.
+type Stats struct {
+	Windows      int64 // windows (or panes) flushed through the sink
+	SortedValues int64 // stream values that passed through the sort stage
+	MergeOps     int64 // summary/histogram elements visited by merges
+	CompressOps  int64 // summary elements visited by compress scans
+
+	Sort     time.Duration // wall clock in the sort (histogram) stage
+	Merge    time.Duration // wall clock in the merge stage
+	Compress time.Duration // wall clock in the compress stage
+	Idle     time.Duration // wall clock spent waiting for input (shard workers)
+}
+
+// Total sums the active processing stages. Idle is excluded: it measures
+// starvation, not work, and would double-count against other shards' stages.
+func (s Stats) Total() time.Duration { return s.Sort + s.Merge + s.Compress }
+
+// Add accumulates o into s, for aggregating per-shard or per-estimator
+// stats into one report.
+func (s *Stats) Add(o Stats) {
+	s.Windows += o.Windows
+	s.SortedValues += o.SortedValues
+	s.MergeOps += o.MergeOps
+	s.CompressOps += o.CompressOps
+	s.Sort += o.Sort
+	s.Merge += o.Merge
+	s.Compress += o.Compress
+	s.Idle += o.Idle
+}
+
+// bufPool recycles window buffers across estimator lifetimes. Entries whose
+// capacity does not fit the requested window are dropped back to the
+// allocator rather than grown, keeping the pool self-sizing.
+var bufPool sync.Pool
+
+func getBuf(capacity int) []float32 {
+	if p, _ := bufPool.Get().(*[]float32); p != nil && cap(*p) >= capacity {
+		return (*p)[:0]
+	}
+	return make([]float32, 0, capacity)
+}
+
+func putBuf(b []float32) {
+	b = b[:0]
+	bufPool.Put(&b)
+}
+
+// Core is the windowed-ingestion engine shared by the estimator families:
+// it owns the window buffer, the ingestion loop, the lifecycle, and the
+// Stats. Each full window (and each Flush-forced partial window) is handed
+// to the sink, which performs the estimator-specific sort/merge/compress
+// work; the slice passed to the sink is only valid for the duration of the
+// call and is reused for the next window.
+//
+// Core is not goroutine-safe; concurrent ingestion goes through
+// internal/shard, which gives each worker its own Core-backed estimator.
+type Core struct {
+	window  int
+	sink    func(win []float32)
+	buf     []float32
+	count   int64
+	closed  bool
+	stats   Stats
+	scratch []float32
+}
+
+// NewCore returns a core buffering windows of the given size. The window
+// buffer comes from a shared pool and returns to it on Close.
+func NewCore(window int, sink func(win []float32)) *Core {
+	if window <= 0 {
+		panic("pipeline: window must be positive")
+	}
+	return &Core{window: window, sink: sink, buf: getBuf(window)}
+}
+
+// WindowSize reports the buffered window length.
+func (c *Core) WindowSize() int { return c.window }
+
+// Count reports the total values ingested, including buffered ones.
+func (c *Core) Count() int64 { return c.count }
+
+// Buffered reports the number of values in the current partial window.
+func (c *Core) Buffered() int { return len(c.buf) }
+
+// Partial exposes the current partial window for query-time snapshots. The
+// returned slice aliases the live buffer: callers must copy before mutating
+// (Scratch provides a reusable destination).
+func (c *Core) Partial() []float32 { return c.buf }
+
+// Scratch returns a reusable zero-length scratch slice with capacity at
+// least n, for query-time copies of the partial window. The same backing
+// array is handed out on every call, so at most one scratch use may be live
+// at a time.
+func (c *Core) Scratch(n int) []float32 {
+	if cap(c.scratch) < n {
+		c.scratch = make([]float32, 0, n)
+	}
+	return c.scratch[:0]
+}
+
+// Closed reports whether Close has been called.
+func (c *Core) Closed() bool { return c.closed }
+
+// Process ingests one value. It panics if the core is closed.
+func (c *Core) Process(v float32) {
+	if c.closed {
+		panic(ErrClosed)
+	}
+	c.count++
+	c.buf = append(c.buf, v)
+	if len(c.buf) == c.window {
+		c.emit()
+	}
+}
+
+// ProcessSlice ingests a batch of values, copying them into the window
+// buffer chunk-wise so full windows flush as they complete. It panics if
+// the core is closed. The caller may reuse data immediately.
+func (c *Core) ProcessSlice(data []float32) {
+	if c.closed {
+		panic(ErrClosed)
+	}
+	c.count += int64(len(data))
+	for len(data) > 0 {
+		room := c.window - len(c.buf)
+		if room > len(data) {
+			room = len(data)
+		}
+		c.buf = append(c.buf, data[:room]...)
+		data = data[room:]
+		if len(c.buf) == c.window {
+			c.emit()
+		}
+	}
+}
+
+// Flush seals the buffered partial window through the sink. On an empty
+// buffer — including immediately after a previous Flush — it is a no-op.
+func (c *Core) Flush() {
+	if len(c.buf) > 0 {
+		c.emit()
+	}
+}
+
+// Close flushes, returns the window buffer to the shared pool, and marks
+// the core closed. Further Process/ProcessSlice calls panic; Flush and the
+// accessors remain safe. Close is idempotent.
+func (c *Core) Close() {
+	if c.closed {
+		return
+	}
+	c.Flush()
+	c.closed = true
+	putBuf(c.buf)
+	c.buf = nil
+}
+
+// emit hands the buffered window to the sink and resets the buffer.
+func (c *Core) emit() {
+	c.stats.Windows++
+	c.sink(c.buf)
+	c.buf = c.buf[:0]
+}
+
+// AddSort records d spent in the sort stage over values sorted elements.
+func (c *Core) AddSort(d time.Duration, values int64) {
+	c.stats.Sort += d
+	c.stats.SortedValues += values
+}
+
+// AddMerge records d spent in the merge stage visiting ops elements.
+func (c *Core) AddMerge(d time.Duration, ops int64) {
+	c.stats.Merge += d
+	c.stats.MergeOps += ops
+}
+
+// AddCompress records d spent in the compress stage visiting ops elements.
+func (c *Core) AddCompress(d time.Duration, ops int64) {
+	c.stats.Compress += d
+	c.stats.CompressOps += ops
+}
+
+// AddIdle records d spent waiting for input.
+func (c *Core) AddIdle(d time.Duration) { c.stats.Idle += d }
+
+// Stats returns a snapshot of the unified telemetry.
+func (c *Core) Stats() Stats { return c.stats }

@@ -6,6 +6,10 @@
 // ranks, and inserted as a bucket of id 1; whenever two buckets share an id
 // they are combined by a merge and a prune whose error budget grows with the
 // bucket id, so the total error never exceeds eps.
+//
+// Windowing, buffering, lifecycle, and telemetry come from the shared
+// internal/pipeline core; this package contributes the
+// sort -> summarize -> cascade-combine sink.
 package quantile
 
 import (
@@ -14,26 +18,10 @@ import (
 	"sort"
 	"time"
 
+	"gpustream/internal/pipeline"
 	"gpustream/internal/sorter"
 	"gpustream/internal/summary"
 )
-
-// Counts instruments the pipeline in backend-independent units (same shape
-// as the frequency pipeline's counters).
-type Counts struct {
-	Windows      int64
-	SortedValues int64
-	MergeOps     int64 // summary entries visited during bucket combines
-	CompressOps  int64 // summary entries visited during prunes
-}
-
-// Timings records measured host wall time per phase.
-type Timings struct {
-	Sort, Merge, Compress time.Duration
-}
-
-// Total sums the phases.
-func (t Timings) Total() time.Duration { return t.Sort + t.Merge + t.Compress }
 
 // Estimator answers eps-approximate quantile queries over a stream whose
 // maximum length is known a priori (as the paper assumes); Capacity may be
@@ -43,18 +31,21 @@ type Estimator struct {
 	window   int
 	levels   int
 	pruneB   int
+	core     *pipeline.Core
 	sorter   sorter.Sorter
 	buckets  map[int]*summary.Summary
-	buf      []float32
-	n        int64
-	counts   Counts
-	timings  Timings
+	n        int64 // elements folded into buckets (excludes buffered)
 	capacity int64
+
+	// mergeTmp is the reusable scratch for the cascade's intermediate
+	// merged summaries, which never escape flushWindow: reusing it removes
+	// the dominant per-combine allocation.
+	mergeTmp *summary.Summary
 
 	// snapshot cache: queries against an unchanged stream reuse the merged
 	// summary instead of re-merging every bucket.
 	snapCache *summary.Summary
-	snapState [2]int64 // (n, len(buf)) the cache was built at
+	snapState [2]int64 // (n, buffered) the cache was built at
 }
 
 // Option configures an Estimator.
@@ -86,6 +77,7 @@ func NewEstimator(eps float64, capacity int64, s sorter.Sorter, opts ...Option) 
 		sorter:   s,
 		buckets:  make(map[int]*summary.Summary),
 		capacity: capacity,
+		mergeTmp: &summary.Summary{},
 	}
 	for _, o := range opts {
 		o(e)
@@ -100,7 +92,7 @@ func NewEstimator(eps float64, capacity int64, s sorter.Sorter, opts ...Option) 
 	e.levels++ // slack for the final partial window
 	// Each combine adds 1/(2B) error; choose B so that is eps/(2L).
 	e.pruneB = int(math.Ceil(float64(e.levels) / eps))
-	e.buf = make([]float32, 0, e.window)
+	e.core = pipeline.NewCore(e.window, e.flushWindow)
 	return e
 }
 
@@ -112,13 +104,10 @@ func (e *Estimator) WindowSize() int { return e.window }
 
 // Count reports the number of stream elements processed, including buffered
 // ones.
-func (e *Estimator) Count() int64 { return e.n + int64(len(e.buf)) }
+func (e *Estimator) Count() int64 { return e.core.Count() }
 
-// Counts returns the pipeline instrumentation counters.
-func (e *Estimator) Counts() Counts { return e.counts }
-
-// Timings returns measured per-phase host wall time.
-func (e *Estimator) Timings() Timings { return e.timings }
+// Stats returns the unified per-stage pipeline telemetry.
+func (e *Estimator) Stats() pipeline.Stats { return e.core.Stats() }
 
 // SummaryEntries reports the total entries retained across all buckets, the
 // estimator's memory footprint.
@@ -134,38 +123,28 @@ func (e *Estimator) SummaryEntries() int {
 func (e *Estimator) Buckets() int { return len(e.buckets) }
 
 // Process consumes one stream element.
-func (e *Estimator) Process(v float32) {
-	e.buf = append(e.buf, v)
-	if len(e.buf) == e.window {
-		e.flush()
-	}
-}
+func (e *Estimator) Process(v float32) { e.core.Process(v) }
 
 // ProcessSlice consumes a batch of stream elements.
-func (e *Estimator) ProcessSlice(data []float32) {
-	for len(data) > 0 {
-		room := e.window - len(e.buf)
-		if room > len(data) {
-			room = len(data)
-		}
-		e.buf = append(e.buf, data[:room]...)
-		data = data[room:]
-		if len(e.buf) == e.window {
-			e.flush()
-		}
-	}
-}
+func (e *Estimator) ProcessSlice(data []float32) { e.core.ProcessSlice(data) }
 
-// flush turns the buffered window into a bucket and cascades combines.
-func (e *Estimator) flush() {
+// Flush forces the buffered partial window into the bucket cascade. Queries
+// do not need it — snapshots already include buffered elements — but it
+// makes the estimator's state self-contained before Close or hand-off.
+func (e *Estimator) Flush() { e.core.Flush() }
+
+// Close flushes and releases the window buffer back to the shared pool.
+// The estimator remains queryable; further ingestion panics.
+func (e *Estimator) Close() { e.core.Close() }
+
+// flushWindow turns one window handed over by the core into a bucket and
+// cascades combines.
+func (e *Estimator) flushWindow(win []float32) {
 	t0 := time.Now()
-	e.sorter.Sort(e.buf)
-	s := summary.FromSortedWindow(e.buf, e.eps)
-	e.timings.Sort += time.Since(t0)
-	e.counts.Windows++
-	e.counts.SortedValues += int64(len(e.buf))
-	e.n += int64(len(e.buf))
-	e.buf = e.buf[:0]
+	e.sorter.Sort(win)
+	s := summary.FromSortedWindow(win, e.eps)
+	e.core.AddSort(time.Since(t0), int64(len(win)))
+	e.n += int64(len(win))
 
 	id := 1
 	for {
@@ -176,19 +155,17 @@ func (e *Estimator) flush() {
 		}
 		delete(e.buckets, id)
 		t1 := time.Now()
-		m := summary.Merge(old, s)
-		e.counts.MergeOps += int64(m.Size())
-		e.timings.Merge += time.Since(t1)
+		m := summary.MergeInto(e.mergeTmp, old, s)
+		e.core.AddMerge(time.Since(t1), int64(m.Size()))
 		t2 := time.Now()
 		s = m.Prune(e.pruneB)
-		e.counts.CompressOps += int64(m.Size())
-		e.timings.Compress += time.Since(t2)
+		e.core.AddCompress(time.Since(t2), int64(m.Size()))
 		id++
 		if id > e.levels+1 {
 			// Beyond the provisioned depth the error budget no longer
 			// grows; park the summary at the top level.
 			if top, ok := e.buckets[id]; ok {
-				s = summary.Merge(top, s).Prune(e.pruneB)
+				s = summary.MergeInto(e.mergeTmp, top, s).Prune(e.pruneB)
 			}
 			e.buckets[id] = s
 			return
@@ -200,17 +177,17 @@ func (e *Estimator) flush() {
 // queryable summary without disturbing the estimator state. The result is
 // cached until more elements arrive.
 func (e *Estimator) snapshot() *summary.Summary {
-	state := [2]int64{e.n, int64(len(e.buf))}
+	state := [2]int64{e.n, int64(e.core.Buffered())}
 	if e.snapCache != nil && e.snapState == state {
 		return e.snapCache
 	}
 	var partial *summary.Summary
-	if len(e.buf) > 0 {
-		tmp := append([]float32(nil), e.buf...)
+	if e.core.Buffered() > 0 {
+		tmp := append(e.core.Scratch(e.core.Buffered()), e.core.Partial()...)
 		t0 := time.Now()
 		e.sorter.Sort(tmp)
 		partial = summary.FromSortedWindow(tmp, e.eps)
-		e.timings.Sort += time.Since(t0)
+		e.core.AddSort(time.Since(t0), 0)
 	}
 	ids := make([]int, 0, len(e.buckets))
 	for id := range e.buckets {

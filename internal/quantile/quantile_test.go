@@ -126,18 +126,18 @@ func TestEstimatorMedianAccuracy(t *testing.T) {
 	}
 }
 
-func TestEstimatorCountsAndTimings(t *testing.T) {
+func TestEstimatorStats(t *testing.T) {
 	e := newCPU(0.01, 10000)
 	e.ProcessSlice(stream.Uniform(1000, 8))
-	c := e.Counts()
-	if c.Windows != 10 || c.SortedValues != 1000 {
-		t.Fatalf("counts = %+v", c)
+	st := e.Stats()
+	if st.Windows != 10 || st.SortedValues != 1000 {
+		t.Fatalf("stats = %+v", st)
 	}
-	if c.MergeOps == 0 || c.CompressOps == 0 {
-		t.Fatalf("merge/compress not instrumented: %+v", c)
+	if st.MergeOps == 0 || st.CompressOps == 0 {
+		t.Fatalf("merge/compress not instrumented: %+v", st)
 	}
-	if e.Timings().Sort <= 0 {
-		t.Fatalf("timings = %+v", e.Timings())
+	if st.Sort <= 0 {
+		t.Fatalf("stats = %+v", st)
 	}
 }
 
@@ -178,8 +178,8 @@ func TestWindowOptionHonored(t *testing.T) {
 		t.Fatalf("WindowSize = %d", e.WindowSize())
 	}
 	e.ProcessSlice(stream.Uniform(1000, 10))
-	if e.Counts().Windows != 4 {
-		t.Fatalf("windows = %d, want 4", e.Counts().Windows)
+	if e.Stats().Windows != 4 {
+		t.Fatalf("windows = %d, want 4", e.Stats().Windows)
 	}
 }
 

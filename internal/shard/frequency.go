@@ -7,6 +7,7 @@ import (
 
 	"gpustream/internal/frequency"
 	"gpustream/internal/perfmodel"
+	"gpustream/internal/pipeline"
 	"gpustream/internal/sorter"
 )
 
@@ -169,38 +170,28 @@ func (fq *Frequency) SummarySize() int {
 	return total
 }
 
-// Timings sums measured per-phase host wall time across shards. Because
-// shards run concurrently, the sum reflects total work, not wall clock.
-func (fq *Frequency) Timings() frequency.Timings {
-	var t frequency.Timings
-	for i, est := range fq.ests {
-		w := fq.pool.workers[i]
-		w.mu.Lock()
-		st := est.Timings()
-		w.mu.Unlock()
-		t.Sort += st.Sort
-		t.Merge += st.Merge
-		t.Compress += st.Compress
+// Stats sums the unified pipeline telemetry across shards, including each
+// worker's channel-wait time as Idle. Because shards run concurrently, the
+// stage durations reflect total work, not wall clock.
+func (fq *Frequency) Stats() pipeline.Stats {
+	var agg pipeline.Stats
+	for _, st := range fq.PerShardStats() {
+		agg.Add(st)
 	}
-	return t
+	return agg
 }
 
-// PerShardCounts exposes each shard's pipeline instrumentation in the
-// perfmodel's backend-independent units.
-func (fq *Frequency) PerShardCounts() []perfmodel.PipelineCounts {
-	out := make([]perfmodel.PipelineCounts, len(fq.ests))
+// PerShardStats exposes each shard's unified pipeline telemetry; the shard
+// worker's channel-wait time is folded in as Idle.
+func (fq *Frequency) PerShardStats() []pipeline.Stats {
+	out := make([]pipeline.Stats, len(fq.ests))
 	for i, est := range fq.ests {
 		w := fq.pool.workers[i]
 		w.mu.Lock()
-		c := est.Counts()
-		out[i] = perfmodel.PipelineCounts{
-			Windows:      c.Windows,
-			WindowSize:   est.WindowSize(),
-			SortedValues: c.SortedValues,
-			MergeOps:     c.MergeOps,
-			CompressOps:  c.CompressOps,
-		}
+		st := est.Stats()
+		st.Idle += w.idle
 		w.mu.Unlock()
+		out[i] = st
 	}
 	return out
 }
@@ -213,5 +204,5 @@ func (fq *Frequency) QueryMergeOps() int64 { return fq.queryMergeOps.Load() }
 // time for a K-way sharded run: concurrent shard ingestion plus the serial
 // query-time merge.
 func (fq *Frequency) ModeledTime(m perfmodel.Model, backend perfmodel.Backend) perfmodel.PipelineBreakdown {
-	return m.ShardedPipelineTime(fq.PerShardCounts(), backend, fq.QueryMergeOps())
+	return m.ShardedPipelineTime(fq.PerShardStats(), backend, fq.QueryMergeOps())
 }

@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 
 	"gpustream/internal/perfmodel"
+	"gpustream/internal/pipeline"
 	"gpustream/internal/quantile"
 	"gpustream/internal/sorter"
 	"gpustream/internal/summary"
@@ -146,38 +147,28 @@ func (q *Quantile) SummaryEntries() int {
 	return total
 }
 
-// Timings sums measured per-phase host wall time across shards. Because
-// shards run concurrently, the sum reflects total work, not wall clock.
-func (q *Quantile) Timings() quantile.Timings {
-	var t quantile.Timings
-	for i, est := range q.ests {
-		w := q.pool.workers[i]
-		w.mu.Lock()
-		st := est.Timings()
-		w.mu.Unlock()
-		t.Sort += st.Sort
-		t.Merge += st.Merge
-		t.Compress += st.Compress
+// Stats sums the unified pipeline telemetry across shards, including each
+// worker's channel-wait time as Idle. Because shards run concurrently, the
+// stage durations reflect total work, not wall clock.
+func (q *Quantile) Stats() pipeline.Stats {
+	var agg pipeline.Stats
+	for _, st := range q.PerShardStats() {
+		agg.Add(st)
 	}
-	return t
+	return agg
 }
 
-// PerShardCounts exposes each shard's pipeline instrumentation in the
-// perfmodel's backend-independent units.
-func (q *Quantile) PerShardCounts() []perfmodel.PipelineCounts {
-	out := make([]perfmodel.PipelineCounts, len(q.ests))
+// PerShardStats exposes each shard's unified pipeline telemetry; the shard
+// worker's channel-wait time is folded in as Idle.
+func (q *Quantile) PerShardStats() []pipeline.Stats {
+	out := make([]pipeline.Stats, len(q.ests))
 	for i, est := range q.ests {
 		w := q.pool.workers[i]
 		w.mu.Lock()
-		c := est.Counts()
-		out[i] = perfmodel.PipelineCounts{
-			Windows:      c.Windows,
-			WindowSize:   est.WindowSize(),
-			SortedValues: c.SortedValues,
-			MergeOps:     c.MergeOps,
-			CompressOps:  c.CompressOps,
-		}
+		st := est.Stats()
+		st.Idle += w.idle
 		w.mu.Unlock()
+		out[i] = st
 	}
 	return out
 }
@@ -190,5 +181,5 @@ func (q *Quantile) QueryMergeOps() int64 { return q.queryMergeOps.Load() }
 // time for a K-way sharded run: concurrent shard ingestion plus the serial
 // query-time merge.
 func (q *Quantile) ModeledTime(m perfmodel.Model, backend perfmodel.Backend) perfmodel.PipelineBreakdown {
-	return m.ShardedPipelineTime(q.PerShardCounts(), backend, q.QueryMergeOps())
+	return m.ShardedPipelineTime(q.PerShardStats(), backend, q.QueryMergeOps())
 }

@@ -23,6 +23,7 @@ package shard
 import (
 	"runtime"
 	"sync"
+	"time"
 )
 
 // DefaultBatchSize is the ingestion hand-off batch size: large enough that
@@ -66,6 +67,10 @@ type worker struct {
 	ch      chan []float32
 	mu      sync.Mutex
 	process func([]float32)
+	// idle accumulates the time the worker goroutine spent blocked waiting
+	// for a batch, guarded by mu. It feeds pipeline.Stats.Idle so shard
+	// starvation is visible in the unified telemetry.
+	idle time.Duration
 }
 
 // pool fans batches out to the shard workers. Safe for concurrent use by
@@ -104,8 +109,15 @@ func newPool(processors []func([]float32), opts ...Option) *pool {
 
 func (p *pool) run(w *worker) {
 	defer p.wg.Done()
-	for batch := range w.ch {
+	for {
+		t0 := time.Now()
+		batch, ok := <-w.ch
+		wait := time.Since(t0)
+		if !ok {
+			return
+		}
 		w.mu.Lock()
+		w.idle += wait
 		w.process(batch)
 		w.mu.Unlock()
 		p.mu.Lock()

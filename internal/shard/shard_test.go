@@ -231,10 +231,10 @@ func TestShardedSmallStream(t *testing.T) {
 	q.Close()
 }
 
-// TestShardedCounters checks the perfmodel threading: per-shard counters
+// TestShardedStats checks the perfmodel threading: per-shard stats
 // reflect the ingested work and modeled time is positive and decreases as
 // shards spread the sorting.
-func TestShardedCounters(t *testing.T) {
+func TestShardedStats(t *testing.T) {
 	t.Parallel()
 	rng := rand.New(rand.NewSource(4))
 	data := genStream(rng, 60_000, 2)
@@ -243,13 +243,13 @@ func TestShardedCounters(t *testing.T) {
 	q.Close()
 	_ = q.Query(0.5)
 
-	counts := q.PerShardCounts()
-	if len(counts) != 4 {
-		t.Fatalf("PerShardCounts len %d want 4", len(counts))
+	stats := q.PerShardStats()
+	if len(stats) != 4 {
+		t.Fatalf("PerShardStats len %d want 4", len(stats))
 	}
 	var sorted int64
 	busy := 0
-	for _, c := range counts {
+	for _, c := range stats {
 		sorted += c.SortedValues
 		if c.SortedValues > 0 {
 			busy++
@@ -260,6 +260,9 @@ func TestShardedCounters(t *testing.T) {
 	}
 	if busy < 2 {
 		t.Fatalf("only %d shards did work; batches not spreading", busy)
+	}
+	if agg := q.Stats(); agg.SortedValues != int64(len(data)) || agg.Idle <= 0 {
+		t.Fatalf("aggregate Stats = %+v; want full SortedValues and positive Idle", agg)
 	}
 	if q.QueryMergeOps() <= 0 {
 		t.Fatal("query-time merges not counted")

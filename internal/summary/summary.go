@@ -47,7 +47,9 @@ func FromSortedWindow(window []float32, eps float64) *Summary {
 	if step < 1 {
 		step = 1
 	}
-	s := &Summary{N: w}
+	// Sized exactly for the selected ranks (1, step, 2*step, ..., w) so the
+	// per-window construction is a single allocation on the ingestion path.
+	s := &Summary{N: w, Entries: make([]Entry, 0, w/step+2)}
 	prev := float32(math.Inf(-1))
 	lastRank := int64(0)
 	// Each kept element is one instance with an exact rank; duplicates of
@@ -90,14 +92,31 @@ func (s *Summary) Size() int { return len(s.Entries) }
 //
 // The merged summary is max(epsA, epsB)-approximate over NA + NB elements.
 func Merge(a, b *Summary) *Summary {
+	return MergeInto(&Summary{Entries: make([]Entry, 0, len(a.Entries)+len(b.Entries))}, a, b)
+}
+
+// MergeInto is Merge writing its result into dst, whose entry storage is
+// reused across calls — the ingestion hot path holds one scratch summary
+// per estimator so cascading bucket combines allocate nothing at steady
+// state. dst must not alias a or b; any prior contents are discarded. A nil
+// dst allocates a fresh summary. Returns dst.
+func MergeInto(dst, a, b *Summary) *Summary {
+	if dst == nil {
+		dst = &Summary{}
+	}
+	dst.Entries = dst.Entries[:0]
 	if a.N == 0 {
-		return clone(b)
+		dst.N, dst.Eps = b.N, b.Eps
+		dst.Entries = append(dst.Entries, b.Entries...)
+		return dst
 	}
 	if b.N == 0 {
-		return clone(a)
+		dst.N, dst.Eps = a.N, a.Eps
+		dst.Entries = append(dst.Entries, a.Entries...)
+		return dst
 	}
-	out := &Summary{N: a.N + b.N, Eps: math.Max(a.Eps, b.Eps)}
-	out.Entries = make([]Entry, 0, len(a.Entries)+len(b.Entries))
+	out := dst
+	out.N, out.Eps = a.N+b.N, math.Max(a.Eps, b.Eps)
 	i, j := 0, 0
 	for i < len(a.Entries) || j < len(b.Entries) {
 		var e Entry
@@ -151,7 +170,7 @@ func (s *Summary) Prune(b int) *Summary {
 		out.Eps = s.Eps + 1/(2*float64(b))
 		return out
 	}
-	out := &Summary{N: s.N, Eps: s.Eps + 1/(2*float64(b))}
+	out := &Summary{N: s.N, Eps: s.Eps + 1/(2*float64(b)), Entries: make([]Entry, 0, b+1)}
 	// Grid ranks increase monotonically and entry rank bounds are
 	// non-decreasing, so the best-scoring entry index is non-decreasing
 	// too: a two-pointer sweep replaces b+1 linear scans (O(b + m) total).

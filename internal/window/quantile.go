@@ -2,9 +2,9 @@ package window
 
 import (
 	"fmt"
-	"math"
 	"time"
 
+	"gpustream/internal/pipeline"
 	"gpustream/internal/sorter"
 	"gpustream/internal/summary"
 )
@@ -14,35 +14,23 @@ import (
 // to (eps/2)-approximate GK summaries; a query merges the summaries of the
 // panes covering the requested suffix. The merged summary's rank error plus
 // the boundary quantization of the oldest pane stays within eps*W.
+//
+// Pane summaries are retained (and may be exposed through WindowSummary),
+// so unlike SlidingFrequency their storage is not recycled on expiry.
 type SlidingQuantile struct {
-	eps     float64
-	w       int
-	pane    int
-	sorter  sorter.Sorter
-	panes   []*summary.Summary // oldest first
-	buf     []float32
-	n       int64
-	timings Timings
-	sorted  int64
+	eps    float64
+	w      int
+	core   *pipeline.Core
+	sorter sorter.Sorter
+	panes  []*summary.Summary // oldest first
 }
 
 // NewSlidingQuantile returns a sliding-window quantile estimator of window
 // size w and error eps, sorting panes with s.
 func NewSlidingQuantile(eps float64, w int, s sorter.Sorter) *SlidingQuantile {
-	if eps <= 0 || eps >= 1 {
-		panic(fmt.Sprintf("window: eps %v out of (0, 1)", eps))
-	}
-	if w <= 0 {
-		panic("window: window size must be positive")
-	}
-	pane := int(math.Ceil(eps * float64(w) / 2))
-	if pane < 1 {
-		pane = 1
-	}
-	if pane > w {
-		pane = w
-	}
-	return &SlidingQuantile{eps: eps, w: w, pane: pane, sorter: s, buf: make([]float32, 0, pane)}
+	q := &SlidingQuantile{eps: eps, w: w, sorter: s}
+	q.core = pipeline.NewCore(paneSize(eps, w), q.sealPane)
+	return q
 }
 
 // Eps reports the configured error bound.
@@ -52,16 +40,16 @@ func (q *SlidingQuantile) Eps() float64 { return q.eps }
 func (q *SlidingQuantile) WindowSize() int { return q.w }
 
 // PaneSize reports the pane length.
-func (q *SlidingQuantile) PaneSize() int { return q.pane }
+func (q *SlidingQuantile) PaneSize() int { return q.core.WindowSize() }
 
 // Count reports the number of elements processed so far (whole stream).
-func (q *SlidingQuantile) Count() int64 { return q.n }
+func (q *SlidingQuantile) Count() int64 { return q.core.Count() }
 
-// Timings returns measured per-phase host wall time.
-func (q *SlidingQuantile) Timings() Timings { return q.timings }
+// Stats returns the unified per-stage pipeline telemetry.
+func (q *SlidingQuantile) Stats() pipeline.Stats { return q.core.Stats() }
 
 // SortedValues reports how many values have passed through the sorter.
-func (q *SlidingQuantile) SortedValues() int64 { return q.sorted }
+func (q *SlidingQuantile) SortedValues() int64 { return q.core.Stats().SortedValues }
 
 // Panes reports the number of retained panes.
 func (q *SlidingQuantile) Panes() int { return len(q.panes) }
@@ -69,7 +57,7 @@ func (q *SlidingQuantile) Panes() int { return len(q.panes) }
 // SummaryEntries reports the total retained summary entries, the
 // estimator's memory footprint.
 func (q *SlidingQuantile) SummaryEntries() int {
-	total := len(q.buf)
+	total := q.core.Buffered()
 	for _, p := range q.panes {
 		total += p.Size()
 	}
@@ -77,31 +65,30 @@ func (q *SlidingQuantile) SummaryEntries() int {
 }
 
 // Process consumes one stream element.
-func (q *SlidingQuantile) Process(v float32) {
-	q.n++
-	q.buf = append(q.buf, v)
-	if len(q.buf) == q.pane {
-		q.sealPane()
-	}
-}
+func (q *SlidingQuantile) Process(v float32) { q.core.Process(v) }
 
 // ProcessSlice consumes a batch of elements.
-func (q *SlidingQuantile) ProcessSlice(data []float32) {
-	for _, v := range data {
-		q.Process(v)
-	}
-}
+func (q *SlidingQuantile) ProcessSlice(data []float32) { q.core.ProcessSlice(data) }
 
-func (q *SlidingQuantile) sealPane() {
+// Flush seals the buffered partial pane. Queries do not need it — the
+// partial pane is always visible — but it makes the state self-contained
+// before Close or hand-off.
+func (q *SlidingQuantile) Flush() { q.core.Flush() }
+
+// Close flushes and releases the pane buffer back to the shared pool. The
+// estimator remains queryable; further ingestion panics.
+func (q *SlidingQuantile) Close() { q.core.Close() }
+
+// sealPane summarizes one full pane handed over by the core and expires old
+// panes.
+func (q *SlidingQuantile) sealPane(win []float32) {
 	t0 := time.Now()
-	q.sorter.Sort(q.buf)
-	s := summary.FromSortedWindow(q.buf, q.eps)
-	q.timings.Sort += time.Since(t0)
-	q.sorted += int64(len(q.buf))
+	q.sorter.Sort(win)
+	s := summary.FromSortedWindow(win, q.eps)
+	q.core.AddSort(time.Since(t0), int64(len(win)))
 	q.panes = append(q.panes, s)
-	q.buf = q.buf[:0]
 
-	maxPanes := (q.w + q.pane - 1) / q.pane
+	maxPanes := (q.w + q.core.WindowSize() - 1) / q.core.WindowSize()
 	if len(q.panes) > maxPanes {
 		q.panes = q.panes[len(q.panes)-maxPanes:]
 	}
@@ -113,8 +100,8 @@ func (q *SlidingQuantile) snapshot(span int) *summary.Summary {
 	t1 := time.Now()
 	var acc *summary.Summary
 	covered := int64(0)
-	if len(q.buf) > 0 {
-		tmp := append([]float32(nil), q.buf...)
+	if q.core.Buffered() > 0 {
+		tmp := append(q.core.Scratch(q.core.Buffered()), q.core.Partial()...)
 		q.sorter.Sort(tmp)
 		acc = summary.FromSortedWindow(tmp, q.eps)
 		covered = acc.N
@@ -127,7 +114,7 @@ func (q *SlidingQuantile) snapshot(span int) *summary.Summary {
 		}
 		covered += q.panes[i].N
 	}
-	q.timings.Merge += time.Since(t1)
+	q.core.AddMerge(time.Since(t1), 0)
 	return acc
 }
 

@@ -10,6 +10,11 @@
 // recent panes answers queries, with the pane size chosen so that boundary
 // quantization and per-pane summarization each cost at most eps*W/2.
 // DESIGN.md records this assumption.
+//
+// Pane buffering, lifecycle, and telemetry come from the shared
+// internal/pipeline core (a pane is just a window by another name); this
+// file contributes the sort -> histogram -> compress pane sink and the
+// pane ring.
 package window
 
 import (
@@ -19,6 +24,7 @@ import (
 	"time"
 
 	"gpustream/internal/histogram"
+	"gpustream/internal/pipeline"
 	"gpustream/internal/sorter"
 )
 
@@ -28,14 +34,23 @@ type Item struct {
 	Freq  int64
 }
 
-// Timings records measured host wall time per phase, matching the
-// whole-stream estimators.
-type Timings struct {
-	Sort, Merge, Compress time.Duration
+// paneSize derives the pane length from eps and W, clamped to [1, W].
+func paneSize(eps float64, w int) int {
+	if eps <= 0 || eps >= 1 {
+		panic(fmt.Sprintf("window: eps %v out of (0, 1)", eps))
+	}
+	if w <= 0 {
+		panic("window: window size must be positive")
+	}
+	pane := int(math.Ceil(eps * float64(w) / 2))
+	if pane < 1 {
+		pane = 1
+	}
+	if pane > w {
+		pane = w
+	}
+	return pane
 }
-
-// Total sums the phases.
-func (t Timings) Total() time.Duration { return t.Sort + t.Merge + t.Compress }
 
 // freqPane is one completed pane: its filtered histogram and total count.
 type freqPane struct {
@@ -50,34 +65,23 @@ type freqPane struct {
 // eps*W of the true frequency over the window, with no false negatives at
 // support s when querying with threshold (s-eps)*W.
 type SlidingFrequency struct {
-	eps     float64
-	w       int
-	pane    int
-	sorter  sorter.Sorter
-	panes   []freqPane // oldest first
-	buf     []float32
-	n       int64
-	timings Timings
-	sorted  int64 // values sorted, for instrumentation
+	eps    float64
+	w      int
+	core   *pipeline.Core
+	sorter sorter.Sorter
+	panes  []freqPane // oldest first
+	// binScratch is the reusable histogram scratch; binFree recycles the
+	// bins storage of expired panes so steady-state panes allocate nothing.
+	binScratch []histogram.Bin
+	binFree    [][]histogram.Bin
 }
 
 // NewSlidingFrequency returns a sliding-window frequency estimator of window
 // size w and error eps, sorting panes with s.
 func NewSlidingFrequency(eps float64, w int, s sorter.Sorter) *SlidingFrequency {
-	if eps <= 0 || eps >= 1 {
-		panic(fmt.Sprintf("window: eps %v out of (0, 1)", eps))
-	}
-	if w <= 0 {
-		panic("window: window size must be positive")
-	}
-	pane := int(math.Ceil(eps * float64(w) / 2))
-	if pane < 1 {
-		pane = 1
-	}
-	if pane > w {
-		pane = w
-	}
-	return &SlidingFrequency{eps: eps, w: w, pane: pane, sorter: s, buf: make([]float32, 0, pane)}
+	f := &SlidingFrequency{eps: eps, w: w, sorter: s}
+	f.core = pipeline.NewCore(paneSize(eps, w), f.sealPane)
+	return f
 }
 
 // Eps reports the configured error bound.
@@ -87,49 +91,49 @@ func (f *SlidingFrequency) Eps() float64 { return f.eps }
 func (f *SlidingFrequency) WindowSize() int { return f.w }
 
 // PaneSize reports the pane length.
-func (f *SlidingFrequency) PaneSize() int { return f.pane }
+func (f *SlidingFrequency) PaneSize() int { return f.core.WindowSize() }
 
 // Count reports the number of elements processed so far (whole stream).
-func (f *SlidingFrequency) Count() int64 { return f.n }
+func (f *SlidingFrequency) Count() int64 { return f.core.Count() }
 
-// Timings returns measured per-phase host wall time.
-func (f *SlidingFrequency) Timings() Timings { return f.timings }
+// Stats returns the unified per-stage pipeline telemetry.
+func (f *SlidingFrequency) Stats() pipeline.Stats { return f.core.Stats() }
 
 // SortedValues reports how many values have passed through the sorter.
-func (f *SlidingFrequency) SortedValues() int64 { return f.sorted }
+func (f *SlidingFrequency) SortedValues() int64 { return f.core.Stats().SortedValues }
 
 // Panes reports the number of retained panes.
 func (f *SlidingFrequency) Panes() int { return len(f.panes) }
 
 // Process consumes one stream element.
-func (f *SlidingFrequency) Process(v float32) {
-	f.n++
-	f.buf = append(f.buf, v)
-	if len(f.buf) == f.pane {
-		f.sealPane()
-	}
-}
+func (f *SlidingFrequency) Process(v float32) { f.core.Process(v) }
 
 // ProcessSlice consumes a batch of elements.
-func (f *SlidingFrequency) ProcessSlice(data []float32) {
-	for _, v := range data {
-		f.Process(v)
-	}
-}
+func (f *SlidingFrequency) ProcessSlice(data []float32) { f.core.ProcessSlice(data) }
 
-// sealPane summarizes the buffered pane and expires old panes.
-func (f *SlidingFrequency) sealPane() {
+// Flush seals the buffered partial pane. Queries do not need it — the
+// partial pane is always visible — but it makes the state self-contained
+// before Close or hand-off.
+func (f *SlidingFrequency) Flush() { f.core.Flush() }
+
+// Close flushes and releases the pane buffer back to the shared pool. The
+// estimator remains queryable; further ingestion panics.
+func (f *SlidingFrequency) Close() { f.core.Close() }
+
+// sealPane summarizes one full pane handed over by the core and expires old
+// panes.
+func (f *SlidingFrequency) sealPane(win []float32) {
 	t0 := time.Now()
-	f.sorter.Sort(f.buf)
-	bins := histogram.FromSorted(f.buf)
-	f.timings.Sort += time.Since(t0)
-	f.sorted += int64(len(f.buf))
+	f.sorter.Sort(win)
+	f.binScratch = histogram.AppendSorted(f.binScratch[:0], win)
+	bins := f.binScratch
+	f.core.AddSort(time.Since(t0), int64(len(win)))
 
 	// Compress: drop light bins; each drop undercounts an item by at most
 	// eps*pane/2, and with <= 2/eps panes in a window the total stays
 	// under eps*W/2.
 	t2 := time.Now()
-	thresh := int64(f.eps * float64(len(f.buf)) / 2)
+	thresh := int64(f.eps * float64(len(win)) / 2)
 	kept := bins[:0]
 	var total int64
 	for _, b := range bins {
@@ -138,14 +142,22 @@ func (f *SlidingFrequency) sealPane() {
 			kept = append(kept, b)
 		}
 	}
-	f.timings.Compress += time.Since(t2)
+	f.core.AddCompress(time.Since(t2), int64(len(bins)))
 
-	f.panes = append(f.panes, freqPane{bins: append([]histogram.Bin(nil), kept...), total: total})
-	f.buf = f.buf[:0]
+	// The pane copy reuses storage recycled from expired panes.
+	var paneBins []histogram.Bin
+	if n := len(f.binFree); n > 0 {
+		paneBins = f.binFree[n-1][:0]
+		f.binFree = f.binFree[:n-1]
+	}
+	f.panes = append(f.panes, freqPane{bins: append(paneBins, kept...), total: total})
 
 	// Keep enough panes to cover W elements beyond the buffer.
-	maxPanes := (f.w + f.pane - 1) / f.pane
+	maxPanes := (f.w + f.core.WindowSize() - 1) / f.core.WindowSize()
 	if len(f.panes) > maxPanes {
+		for _, p := range f.panes[:len(f.panes)-maxPanes] {
+			f.binFree = append(f.binFree, p.bins)
+		}
 		f.panes = f.panes[len(f.panes)-maxPanes:]
 	}
 }
@@ -156,9 +168,9 @@ func (f *SlidingFrequency) sealPane() {
 func (f *SlidingFrequency) merged(span int) ([]histogram.Bin, int64) {
 	t1 := time.Now()
 	var bins []histogram.Bin
-	covered := int64(len(f.buf))
-	if len(f.buf) > 0 {
-		tmp := append([]float32(nil), f.buf...)
+	covered := int64(f.core.Buffered())
+	if f.core.Buffered() > 0 {
+		tmp := append(f.core.Scratch(f.core.Buffered()), f.core.Partial()...)
 		f.sorter.Sort(tmp)
 		bins = histogram.FromSorted(tmp)
 	}
@@ -166,7 +178,7 @@ func (f *SlidingFrequency) merged(span int) ([]histogram.Bin, int64) {
 		bins = histogram.Merge(bins, f.panes[i].bins)
 		covered += f.panes[i].total
 	}
-	f.timings.Merge += time.Since(t1)
+	f.core.AddMerge(time.Since(t1), 0)
 	return bins, covered
 }
 

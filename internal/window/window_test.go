@@ -348,7 +348,7 @@ func TestCountEHPanics(t *testing.T) {
 	NewCountEH(0, 1)
 }
 
-func TestAccessorsAndTimings(t *testing.T) {
+func TestAccessorsAndStats(t *testing.T) {
 	sf := NewSlidingFrequency(0.05, 1000, cpusort.QuicksortSorter{})
 	sq := NewSlidingQuantile(0.05, 1000, cpusort.QuicksortSorter{})
 	data := stream.Uniform(3000, 30)
@@ -372,8 +372,11 @@ func TestAccessorsAndTimings(t *testing.T) {
 	}
 	_ = sf.Query(0.1)
 	_ = sq.Query(0.5)
-	if sf.Timings().Total() <= 0 || sq.Timings().Total() <= 0 {
-		t.Fatal("Timings accessor")
+	if sf.Stats().Total() <= 0 || sq.Stats().Total() <= 0 {
+		t.Fatal("Stats accessor")
+	}
+	if sf.Stats().Windows == 0 || sq.Stats().Windows == 0 {
+		t.Fatal("Stats window count")
 	}
 	ws := sq.WindowSummary(500)
 	if ws == nil || ws.N == 0 {

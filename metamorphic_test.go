@@ -1,0 +1,158 @@
+package gpustream_test
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"gpustream"
+	"gpustream/internal/stream"
+)
+
+// The ingestion metamorphic property: how a stream is chunked across
+// Process/ProcessSlice calls is invisible to queries. The pipeline core
+// re-batches everything into windows, so feeding the whole stream in one
+// slice, one element at a time, or in random-size chunks must produce
+// bit-identical answers for every estimator family.
+
+// chunkPlans returns the three ingestion plans as chunk-length sequences.
+func chunkPlans(n int, seed int64) [][]int {
+	whole := []int{n}
+	ones := make([]int, n)
+	for i := range ones {
+		ones[i] = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var random []int
+	for left := n; left > 0; {
+		c := 1 + rng.Intn(2500)
+		if c > left {
+			c = left
+		}
+		random = append(random, c)
+		left -= c
+	}
+	return [][]int{whole, ones, random}
+}
+
+// ingest feeds data according to plan, using Process for 1-chunks and
+// ProcessSlice otherwise, so both entry points are exercised.
+func ingest(est interface {
+	Process(float32)
+	ProcessSlice([]float32)
+}, data []float32, plan []int) {
+	off := 0
+	for _, c := range plan {
+		if c == 1 {
+			est.Process(data[off])
+		} else {
+			est.ProcessSlice(data[off : off+c])
+		}
+		off += c
+	}
+}
+
+func metamorphicStream(n int) []float32 {
+	return stream.Zipf(n, 1.2, n/50+10, 99)
+}
+
+// answersEqual fails the test when any two plans' answers differ.
+func answersEqual(t *testing.T, name string, answers []any) {
+	t.Helper()
+	for i := 1; i < len(answers); i++ {
+		if !reflect.DeepEqual(answers[0], answers[i]) {
+			t.Fatalf("%s: ingestion plan %d disagrees with plan 0:\n  plan 0: %v\n  plan %d: %v",
+				name, i, answers[0], i, answers[i])
+		}
+	}
+}
+
+func TestMetamorphicFrequency(t *testing.T) {
+	const n = 30_000
+	data := metamorphicStream(n)
+	var answers []any
+	for _, plan := range chunkPlans(n, 7) {
+		est := gpustream.New(gpustream.BackendCPU).NewFrequencyEstimator(0.002)
+		ingest(est, data, plan)
+		ans := struct {
+			Items []gpustream.Item
+			Est   []int64
+			Size  int
+		}{Items: est.Query(0.01), Size: est.SummarySize()}
+		for _, v := range []float32{0, 1, 5, 17, 1e6} {
+			ans.Est = append(ans.Est, est.Estimate(v))
+		}
+		answers = append(answers, any(ans))
+	}
+	answersEqual(t, "frequency", answers)
+}
+
+func TestMetamorphicQuantile(t *testing.T) {
+	const n = 30_000
+	data := metamorphicStream(n)
+	var answers []any
+	for _, plan := range chunkPlans(n, 8) {
+		est := gpustream.New(gpustream.BackendCPU).NewQuantileEstimator(0.005, n)
+		ingest(est, data, plan)
+		var qs []float32
+		for _, phi := range []float64{0, 0.01, 0.25, 0.5, 0.75, 0.99, 1} {
+			qs = append(qs, est.Query(phi))
+		}
+		answers = append(answers, any(qs))
+	}
+	answersEqual(t, "quantile", answers)
+}
+
+func TestMetamorphicSlidingFrequency(t *testing.T) {
+	const n = 30_000
+	data := metamorphicStream(n)
+	var answers []any
+	for _, plan := range chunkPlans(n, 9) {
+		est := gpustream.New(gpustream.BackendCPU).NewSlidingFrequency(0.01, 8_000)
+		ingest(est, data, plan)
+		ans := struct {
+			Full []gpustream.WindowItem
+			Sub  []gpustream.WindowItem
+			Est  int64
+		}{Full: est.Query(0.02), Sub: est.QueryWindow(0.02, 3_000), Est: est.Estimate(1)}
+		answers = append(answers, any(ans))
+	}
+	answersEqual(t, "sliding-frequency", answers)
+}
+
+func TestMetamorphicSlidingQuantile(t *testing.T) {
+	const n = 30_000
+	data := metamorphicStream(n)
+	var answers []any
+	for _, plan := range chunkPlans(n, 10) {
+		est := gpustream.New(gpustream.BackendCPU).NewSlidingQuantile(0.01, 8_000)
+		ingest(est, data, plan)
+		var qs []float32
+		for _, phi := range []float64{0.1, 0.5, 0.9} {
+			qs = append(qs, est.Query(phi), est.QueryWindow(phi, 3_000))
+		}
+		answers = append(answers, any(qs))
+	}
+	answersEqual(t, "sliding-quantile", answers)
+}
+
+// TestMetamorphicParallelK1 pins the K=1 sharded estimators to the same
+// property: batching through the shard pool must not change answers either.
+func TestMetamorphicParallelK1(t *testing.T) {
+	const n = 30_000
+	data := metamorphicStream(n)
+	var freqAns, quantAns []any
+	for _, plan := range chunkPlans(n, 11) {
+		eng := gpustream.New(gpustream.BackendCPU)
+		fe := eng.NewParallelFrequencyEstimator(0.002, 1, gpustream.WithBatchSize(1000))
+		qe := eng.NewParallelQuantileEstimator(0.005, n, 1, gpustream.WithBatchSize(1000))
+		ingest(fe, data, plan)
+		ingest(qe, data, plan)
+		fe.Close()
+		qe.Close()
+		freqAns = append(freqAns, any(fe.Query(0.01)))
+		quantAns = append(quantAns, any([]float32{qe.Query(0.25), qe.Query(0.5), qe.Query(0.75)}))
+	}
+	answersEqual(t, "parallel-frequency", freqAns)
+	answersEqual(t, "parallel-quantile", quantAns)
+}
