@@ -26,6 +26,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"text/tabwriter"
 	"time"
 
@@ -42,11 +43,21 @@ func main() {
 	fig := flag.Int("fig", 0, "figure to regenerate (3-10; 9 = growth projection, 10 = sustained throughput), 0 = all")
 	scale := flag.Int("scale", 50, "divisor applied to the paper's 100M stream for measured runs")
 	measure := flag.Bool("measure", false, "run slow host measurements too")
+	backendsFlag := flag.String("backends", "gpu,cpu", "comma-separated backends for the measured sliding-window runs")
 	flag.Parse()
 
 	if *scale < 1 {
 		fmt.Fprintln(os.Stderr, "figures: -scale must be >= 1")
 		os.Exit(2)
+	}
+	var backends []gpustream.Backend
+	for _, name := range strings.Split(*backendsFlag, ",") {
+		b, err := gpustream.ParseBackend(name)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "figures: %v\n", err)
+			os.Exit(2)
+		}
+		backends = append(backends, b)
 	}
 	run := func(n int) bool { return *fig == 0 || *fig == n }
 	if run(3) {
@@ -65,7 +76,7 @@ func main() {
 		figure7(*scale)
 	}
 	if run(8) {
-		figure8(*scale)
+		figure8(*scale, backends)
 	}
 	if run(9) {
 		figure9()
@@ -292,7 +303,7 @@ func figure7(scale int) {
 }
 
 // figure8 prints the sliding-window experiment (Section 5.3).
-func figure8(scale int) {
+func figure8(scale int, backends []gpustream.Backend) {
 	fmt.Println("== Section 5.3: sliding-window queries (measured host ms at reduced scale) ==")
 	n := paperStream / (scale * 10)
 	if n < 1<<20 {
@@ -305,7 +316,7 @@ func figure8(scale int) {
 		if win > n {
 			continue
 		}
-		for _, backend := range []gpustream.Backend{gpustream.BackendGPU, gpustream.BackendCPU} {
+		for _, backend := range backends {
 			eng := gpustream.New(backend)
 			sf := eng.NewSlidingFrequency(0.001, win)
 			t0 := time.Now()

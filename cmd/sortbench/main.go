@@ -17,6 +17,7 @@ import (
 	"text/tabwriter"
 	"time"
 
+	"gpustream"
 	"gpustream/internal/cpusort"
 	"gpustream/internal/gpusort"
 	"gpustream/internal/perfmodel"
@@ -55,20 +56,12 @@ func main() {
 	for _, name := range strings.Split(*backends, ",") {
 		buf := append([]float32(nil), data...)
 		var modelTotal, modelCompute, modelTransfer time.Duration
-		var s sorter.Sorter
-		switch name {
-		case "gpu":
-			s = gpusort.NewSorter()
-		case "bitonic":
-			s = gpusort.NewBitonicSorter()
-		case "cpu":
-			s = cpusort.QuicksortSorter{}
-		case "cpu-ht":
-			s = cpusort.ParallelSorter{}
-		default:
-			fmt.Fprintf(os.Stderr, "sortbench: unknown backend %q\n", name)
+		backend, err := gpustream.ParseBackend(name)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sortbench: %v\n", err)
 			os.Exit(2)
 		}
+		var s sorter.Sorter = gpustream.New(backend).Sorter()
 		t0 := time.Now()
 		s.Sort(buf)
 		host := time.Since(t0)

@@ -43,18 +43,9 @@ func main() {
 	showStats := flag.Bool("stats", false, "print the per-stage pipeline telemetry report")
 	flag.Parse()
 
-	var backend gpustream.Backend
-	switch *backendName {
-	case "gpu":
-		backend = gpustream.BackendGPU
-	case "gpu-bitonic":
-		backend = gpustream.BackendGPUBitonic
-	case "cpu":
-		backend = gpustream.BackendCPU
-	case "cpu-parallel":
-		backend = gpustream.BackendCPUParallel
-	default:
-		fatalf("unknown backend %q", *backendName)
+	backend, err := gpustream.ParseBackend(*backendName)
+	if err != nil {
+		fatalf("%v", err)
 	}
 
 	var data []float32

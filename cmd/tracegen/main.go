@@ -14,11 +14,9 @@ import (
 	"fmt"
 	"os"
 
-	"gpustream/internal/cpusort"
+	"gpustream"
 	"gpustream/internal/extsort"
-	"gpustream/internal/gpusort"
 	"gpustream/internal/half"
-	"gpustream/internal/sorter"
 	"gpustream/internal/stream"
 )
 
@@ -30,7 +28,7 @@ func main() {
 	quantize := flag.Bool("half", false, "quantize values through 16-bit floats (paper's stream precision)")
 	sortIn := flag.String("sort", "", "externally sort this existing trace instead of generating")
 	runSize := flag.Int("runsize", 1<<20, "external-sort in-memory run size")
-	backend := flag.String("backend", "cpu", "external-sort run backend: cpu|gpu")
+	backend := flag.String("backend", "cpu", "external-sort run backend: gpu|gpu-bitonic|cpu|cpu-parallel")
 	flag.Parse()
 
 	if *sortIn != "" {
@@ -71,15 +69,11 @@ func main() {
 }
 
 func externalSort(in, out string, runSize int, backend string) {
-	var srt sorter.Sorter
-	switch backend {
-	case "cpu":
-		srt = cpusort.QuicksortSorter{}
-	case "gpu":
-		srt = gpusort.NewSorter()
-	default:
-		fatalf("unknown backend %q", backend)
+	b, err := gpustream.ParseBackend(backend)
+	if err != nil {
+		fatalf("%v", err)
 	}
+	srt := gpustream.New(b).Sorter()
 	inF, err := os.Open(in)
 	if err != nil {
 		fatalf("%v", err)

@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	validate [-n 200000] [-seed 1]
+//	validate [-n 200000] [-seed 1] [-backend gpu|gpu-bitonic|cpu|cpu-parallel]
 package main
 
 import (
@@ -27,7 +27,14 @@ var failed bool
 func main() {
 	n := flag.Int("n", 200_000, "stream length per experiment")
 	seed := flag.Uint64("seed", 1, "generator seed")
+	backendName := flag.String("backend", "gpu", "sorting backend: gpu|gpu-bitonic|cpu|cpu-parallel")
 	flag.Parse()
+
+	backend, err := gpustream.ParseBackend(*backendName)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "validate: %v\n", err)
+		os.Exit(2)
+	}
 
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(w, "estimator\tdistribution\teps\tmeasured-max-error\tbound\tok\t")
@@ -41,7 +48,7 @@ func main() {
 		}
 	}
 
-	eng := gpustream.New(gpustream.BackendGPU)
+	eng := gpustream.New(backend)
 	for _, eps := range []float64{0.01, 0.001} {
 		for name, data := range dists(*seed) {
 			validateFrequency(w, eng, name, eps, data)

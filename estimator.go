@@ -1,0 +1,66 @@
+package gpustream
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Estimator is the surface shared by all six estimator families:
+// FrequencyEstimator, QuantileEstimator, SlidingFrequency, SlidingQuantile,
+// ParallelFrequencyEstimator, and ParallelQuantileEstimator. Callers that
+// do not care which sketch they are driving can program against it alone.
+//
+// The lifecycle is error-based: Process and ProcessSlice return an error
+// wrapping ErrClosed once Close has been called; Flush and Close are
+// idempotent and report nil on the serial families (the parallel families'
+// CloseContext can fail on context expiry). Every method is safe under
+// concurrent use — one writer and any number of query/snapshot goroutines
+// is the intended pattern — and Snapshot returns an immutable view that
+// keeps answering after the stream moves on or the estimator closes.
+type Estimator interface {
+	// Process ingests one stream value.
+	Process(v float32) error
+	// ProcessSlice ingests a batch; the caller may reuse the slice
+	// immediately.
+	ProcessSlice(data []float32) error
+	// Flush forces buffered values into the summary state.
+	Flush() error
+	// Close flushes, releases pooled buffers, and stops ingestion. The
+	// estimator remains queryable.
+	Close() error
+	// Count reports the stream length ingested so far.
+	Count() int64
+	// Stats reports the unified per-stage pipeline telemetry.
+	Stats() Stats
+	// Snapshot returns an immutable point-in-time queryable view.
+	Snapshot() Snapshot
+}
+
+// Compile-time assertions that every estimator family satisfies Estimator.
+var (
+	_ Estimator = (*FrequencyEstimator)(nil)
+	_ Estimator = (*QuantileEstimator)(nil)
+	_ Estimator = (*SlidingFrequency)(nil)
+	_ Estimator = (*SlidingQuantile)(nil)
+	_ Estimator = (*ParallelFrequencyEstimator)(nil)
+	_ Estimator = (*ParallelQuantileEstimator)(nil)
+)
+
+// ParseBackend resolves a backend name — as accepted by the cmd tools'
+// -backend flags — to a Backend. The canonical names are the Backend.String
+// forms ("gpu", "gpu-bitonic", "cpu", "cpu-parallel"); the legacy aliases
+// "bitonic" (for gpu-bitonic) and "cpu-ht" (the hyper-threaded analog,
+// cpu-parallel) are accepted too. Matching is case-insensitive.
+func ParseBackend(name string) (Backend, error) {
+	switch strings.ToLower(strings.TrimSpace(name)) {
+	case "gpu":
+		return BackendGPU, nil
+	case "gpu-bitonic", "bitonic":
+		return BackendGPUBitonic, nil
+	case "cpu":
+		return BackendCPU, nil
+	case "cpu-parallel", "cpu-ht":
+		return BackendCPUParallel, nil
+	}
+	return 0, fmt.Errorf("gpustream: unknown backend %q (want gpu, gpu-bitonic, cpu, or cpu-parallel)", name)
+}

@@ -128,7 +128,27 @@ type (
 	// reports: operation counters plus wall clock for sort, merge,
 	// compress, and (for sharded ingestion) worker idle time.
 	Stats = pipeline.Stats
+	// Snapshot is an immutable point-in-time queryable view of an
+	// estimator, as returned by Snapshot() on every family. See Estimator.
+	Snapshot = pipeline.View
+	// FrequencySnapshot is the concrete view of a FrequencyEstimator (and
+	// of a K=1 ParallelFrequencyEstimator).
+	FrequencySnapshot = frequency.Snapshot
+	// QuantileSnapshot is the concrete view of a QuantileEstimator or
+	// ParallelQuantileEstimator.
+	QuantileSnapshot = quantile.Snapshot
+	// SlidingFrequencySnapshot is the concrete view of a SlidingFrequency,
+	// answering variable-span window queries.
+	SlidingFrequencySnapshot = window.FrequencySnapshot
+	// SlidingQuantileSnapshot is the concrete view of a SlidingQuantile,
+	// answering variable-span window queries.
+	SlidingQuantileSnapshot = window.QuantileSnapshot
 )
+
+// ErrClosed is the sentinel error for ingestion after Close. Every
+// estimator's Process/ProcessSlice returns an error wrapping it once the
+// estimator is closed; test with errors.Is(err, gpustream.ErrClosed).
+var ErrClosed = pipeline.ErrClosed
 
 // EstimatorStats is one engine-created estimator's telemetry snapshot, as
 // returned by Engine.Stats.
@@ -165,10 +185,10 @@ func (e *Engine) track(kind string, fn func() Stats) {
 }
 
 // Stats snapshots the unified pipeline telemetry of every estimator this
-// engine has created, in creation order. Reading a serial estimator's stats
-// is not synchronized with its ingestion; snapshot between batches (or
-// after Flush) for consistent numbers. Parallel estimators are safe to
-// snapshot at any time.
+// engine has created, in creation order. It is safe to call at any time,
+// including mid-ingestion: every estimator synchronizes its stats reads
+// with its ingestion, so each report's counters are internally consistent
+// (no torn sort/merge/compress totals).
 func (e *Engine) Stats() []EstimatorStats {
 	e.mu.Lock()
 	trackers := append([]tracker(nil), e.trackers...)

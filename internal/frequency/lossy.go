@@ -5,9 +5,11 @@
 // compress operations on the summary. Misra-Gries and Space-Saving counters
 // are provided as the sample-based baselines the related work surveys.
 //
-// Windowing, buffering, lifecycle, and telemetry come from the shared
-// internal/pipeline core; this package contributes only the
-// sort -> histogram -> merge -> compress sink.
+// Windowing, buffering, lifecycle, locking, and telemetry come from the
+// shared internal/pipeline core; this package contributes only the
+// sort -> histogram -> merge -> compress sink. Queries are safe under
+// concurrent ingestion, and Snapshot returns an immutable view that keeps
+// answering after the stream moves on.
 package frequency
 
 import (
@@ -22,10 +24,7 @@ import (
 )
 
 // Item is a reported stream element with its estimated frequency.
-type Item struct {
-	Value float32
-	Freq  int64
-}
+type Item = pipeline.Item
 
 // entry is one summary element: estimated frequency f and maximum
 // undercount delta (the element may have appeared up to delta times before
@@ -41,6 +40,10 @@ type entry struct {
 // sorted, collapsed to a histogram, merged into the summary and compressed.
 // Estimated frequencies undercount true ones by at most eps*N and the
 // summary holds O((1/eps) log(eps*N)) entries.
+//
+// One writer and any number of query goroutines may use an Estimator
+// concurrently; queries flush the partial window and answer over a
+// consistent summary state.
 type Estimator struct {
 	eps    float64
 	core   *pipeline.Core
@@ -48,9 +51,12 @@ type Estimator struct {
 	n      int64 // elements folded into the summary (excludes buffered)
 	bucket int64
 	// entries and scratch swap roles every window so the merge pass writes
-	// into recycled storage; bins is the reusable histogram scratch.
+	// into recycled storage; bins is the reusable histogram scratch. shared
+	// marks entries as aliased by a Snapshot: the next swap then abandons
+	// the array to the snapshot instead of recycling it (copy-on-write).
 	entries []entry
 	scratch []entry
+	shared  bool
 	bins    []histogram.Bin
 }
 
@@ -76,27 +82,35 @@ func (e *Estimator) WindowSize() int { return e.core.WindowSize() }
 func (e *Estimator) Count() int64 { return e.core.Count() }
 
 // SummarySize reports the number of summary entries (excluding the buffer).
-func (e *Estimator) SummarySize() int { return len(e.entries) }
+func (e *Estimator) SummarySize() int {
+	e.core.Lock()
+	defer e.core.Unlock()
+	return len(e.entries)
+}
 
-// Stats returns the unified per-stage pipeline telemetry.
+// Stats returns the unified per-stage pipeline telemetry. Safe to call
+// mid-ingestion; counters are internally consistent.
 func (e *Estimator) Stats() pipeline.Stats { return e.core.Stats() }
 
-// Process consumes one stream element.
-func (e *Estimator) Process(v float32) { e.core.Process(v) }
+// Process consumes one stream element. After Close it returns an error
+// wrapping pipeline.ErrClosed.
+func (e *Estimator) Process(v float32) error { return e.core.Process(v) }
 
-// ProcessSlice consumes a batch of stream elements.
-func (e *Estimator) ProcessSlice(data []float32) { e.core.ProcessSlice(data) }
+// ProcessSlice consumes a batch of stream elements. After Close it returns
+// an error wrapping pipeline.ErrClosed.
+func (e *Estimator) ProcessSlice(data []float32) error { return e.core.ProcessSlice(data) }
 
 // Flush forces the buffered partial window into the summary. Queries call
 // it implicitly so buffered elements are always visible.
-func (e *Estimator) Flush() { e.core.Flush() }
+func (e *Estimator) Flush() error { return e.core.Flush() }
 
 // Close flushes and releases the window buffer back to the shared pool.
-// The estimator remains queryable; further ingestion panics.
-func (e *Estimator) Close() { e.core.Close() }
+// The estimator remains queryable; further ingestion reports
+// pipeline.ErrClosed. Close is idempotent.
+func (e *Estimator) Close() error { return e.core.Close() }
 
 // flushWindow runs the histogram -> merge -> compress pipeline on one
-// window handed over by the core.
+// window handed over by the core (which holds the lock).
 func (e *Estimator) flushWindow(win []float32) {
 	// Histogram computation: sort the window (GPU or CPU backend) and
 	// collapse to (value, count) bins.
@@ -153,23 +167,28 @@ func (e *Estimator) flushWindow(win []float32) {
 		}
 	}
 	e.core.AddCompress(time.Since(t2), int64(len(merged)))
-	e.scratch = e.entries[:0]
+	// Copy-on-write hand-off: if a Snapshot aliases the outgoing entries
+	// array, abandon it to the snapshot and let the next merge allocate
+	// fresh storage; otherwise recycle it as the next scratch.
+	if e.shared {
+		e.scratch = nil
+		e.shared = false
+	} else {
+		e.scratch = e.entries[:0]
+	}
 	e.entries = kept
 }
 
-// Query returns every element whose estimated frequency is at least
-// (s - eps) * N, ordered by decreasing frequency — the paper's
-// epsilon-approximate frequency query. The result has no false negatives:
-// any element with true frequency >= s*N is present. Estimated frequencies
-// undercount by at most eps*N.
-func (e *Estimator) Query(s float64) []Item {
-	e.Flush()
+// queryEntries answers the epsilon-approximate frequency query over a
+// value-ascending summary: every entry with estimated frequency at least
+// (s - eps) * n, ordered by decreasing frequency.
+func queryEntries(entries []entry, n int64, eps, s float64) []Item {
 	if s < 0 || s > 1 {
 		panic(fmt.Sprintf("frequency: support %v out of [0, 1]", s))
 	}
-	thresh := (s - e.eps) * float64(e.n)
+	thresh := (s - eps) * float64(n)
 	var out []Item
-	for _, ent := range e.entries {
+	for _, ent := range entries {
 		if float64(ent.freq) >= thresh {
 			out = append(out, Item{Value: ent.value, Freq: ent.freq})
 		}
@@ -183,22 +202,42 @@ func (e *Estimator) Query(s float64) []Item {
 	return out
 }
 
-// Estimate returns the estimated frequency of v (0 if not tracked).
-func (e *Estimator) Estimate(v float32) int64 {
-	e.Flush()
-	lo, hi := 0, len(e.entries)
+// estimateEntries binary-searches a value-ascending summary for v.
+func estimateEntries(entries []entry, v float32) int64 {
+	lo, hi := 0, len(entries)
 	for lo < hi {
 		mid := (lo + hi) / 2
-		if e.entries[mid].value < v {
+		if entries[mid].value < v {
 			lo = mid + 1
 		} else {
 			hi = mid
 		}
 	}
-	if lo < len(e.entries) && e.entries[lo].value == v {
-		return e.entries[lo].freq
+	if lo < len(entries) && entries[lo].value == v {
+		return entries[lo].freq
 	}
 	return 0
+}
+
+// Query returns every element whose estimated frequency is at least
+// (s - eps) * N, ordered by decreasing frequency — the paper's
+// epsilon-approximate frequency query. The result has no false negatives:
+// any element with true frequency >= s*N is present. Estimated frequencies
+// undercount by at most eps*N. Safe under concurrent ingestion.
+func (e *Estimator) Query(s float64) []Item {
+	e.core.Lock()
+	defer e.core.Unlock()
+	e.core.FlushLocked()
+	return queryEntries(e.entries, e.n, e.eps, s)
+}
+
+// Estimate returns the estimated frequency of v (0 if not tracked). Safe
+// under concurrent ingestion.
+func (e *Estimator) Estimate(v float32) int64 {
+	e.core.Lock()
+	defer e.core.Unlock()
+	e.core.FlushLocked()
+	return estimateEntries(e.entries, v)
 }
 
 // TopK returns the k elements with the highest estimated frequencies (fewer
@@ -219,16 +258,82 @@ type SummaryEntry struct {
 	Delta int64
 }
 
-// Snapshot flushes any buffered values and returns a copy of the summary in
-// ascending value order. Sharded ingestion merges these per-shard snapshots
-// by summing Freq and Delta for equal values: undercounts are additive
-// across disjoint substreams, so the merged summary stays eps-approximate
-// over the combined stream.
-func (e *Estimator) Snapshot() []SummaryEntry {
-	e.Flush()
-	out := make([]SummaryEntry, len(e.entries))
-	for i, ent := range e.entries {
+// Snapshot is an immutable point-in-time view of a lossy-counting summary.
+// It aliases the live estimator's entries array under the copy-on-write
+// discipline (the estimator abandons shared storage at its next window),
+// so taking one costs O(partial window) for the flush and O(1) beyond it.
+// A Snapshot is safe for concurrent use and implements pipeline.View.
+type Snapshot struct {
+	entries []entry
+	n       int64
+	eps     float64
+}
+
+// Snapshot flushes any buffered values and returns an immutable view of the
+// summary. The view answers HeavyHitters/Frequency queries and never sees
+// ingestion that happens after this call.
+func (e *Estimator) Snapshot() pipeline.View {
+	e.core.Lock()
+	defer e.core.Unlock()
+	e.core.FlushLocked()
+	e.shared = true
+	return &Snapshot{entries: e.entries, n: e.n, eps: e.eps}
+}
+
+// SnapshotFromEntries builds a Snapshot from exported summary entries in
+// ascending value order covering n stream elements. Sharded ingestion uses
+// it to publish a merged per-shard view; the entries slice is owned by the
+// snapshot from here on.
+func SnapshotFromEntries(entries []SummaryEntry, n int64, eps float64) *Snapshot {
+	conv := make([]entry, len(entries))
+	for i, ent := range entries {
+		conv[i] = entry{value: ent.Value, freq: ent.Freq, delta: ent.Delta}
+	}
+	return &Snapshot{entries: conv, n: n, eps: eps}
+}
+
+// Count reports the stream length the snapshot covers.
+func (s *Snapshot) Count() int64 { return s.n }
+
+// Size reports the retained summary entries.
+func (s *Snapshot) Size() int { return len(s.entries) }
+
+// Eps reports the snapshot's error bound.
+func (s *Snapshot) Eps() float64 { return s.eps }
+
+// Query answers the epsilon-approximate frequency query at support sp.
+func (s *Snapshot) Query(sp float64) []Item { return queryEntries(s.entries, s.n, s.eps, sp) }
+
+// Estimate returns the estimated frequency of v (0 if not tracked).
+func (s *Snapshot) Estimate(v float32) int64 { return estimateEntries(s.entries, v) }
+
+// TopK returns the k highest-frequency entries.
+func (s *Snapshot) TopK(k int) []Item {
+	items := s.Query(0)
+	if len(items) > k {
+		items = items[:k]
+	}
+	return items
+}
+
+// Entries exports a copy of the summary in ascending value order. Sharded
+// ingestion merges per-shard entries by summing Freq and Delta for equal
+// values: undercounts are additive across disjoint substreams, so the
+// merged summary stays eps-approximate over the combined stream.
+func (s *Snapshot) Entries() []SummaryEntry {
+	out := make([]SummaryEntry, len(s.entries))
+	for i, ent := range s.entries {
 		out[i] = SummaryEntry{Value: ent.value, Freq: ent.freq, Delta: ent.delta}
 	}
 	return out
 }
+
+// Quantile implements pipeline.View; frequency sketches do not answer
+// quantile queries.
+func (s *Snapshot) Quantile(float64) (float32, bool) { return 0, false }
+
+// HeavyHitters implements pipeline.View.
+func (s *Snapshot) HeavyHitters(support float64) ([]Item, bool) { return s.Query(support), true }
+
+// Frequency implements pipeline.View.
+func (s *Snapshot) Frequency(v float32) (int64, bool) { return s.Estimate(v), true }

@@ -18,18 +18,30 @@
 //     buffer it is a no-op, so double Flush is safe and idempotent.
 //   - Close flushes, returns the window buffer to the pool, and marks the
 //     core closed. Close is idempotent.
-//   - Process and ProcessSlice after Close panic with ErrClosed's message —
-//     ingestion after shutdown is a programming error, matching the
-//     established behavior of the sharded pool.
+//   - Process and ProcessSlice after Close return an error wrapping
+//     ErrClosed — ingestion after shutdown is a recoverable caller mistake,
+//     not a panic.
+//
+// Concurrency contract: Core owns one mutex that serializes ingestion
+// against queries. The stream model of the paper answers queries while the
+// stream is still arriving, so estimator query paths take Lock/Unlock
+// around their multi-step read (flush partial window, walk summary state)
+// and the sink always runs with the lock already held. Public entry points
+// (Process, ProcessSlice, Flush, Close, Stats, Count, Buffered, Closed)
+// lock internally; the *Locked variants and the query-time accessors
+// (Partial, Scratch, Add*) require the caller to hold the lock.
 package pipeline
 
 import (
+	"errors"
 	"sync"
 	"time"
 )
 
-// ErrClosed is the panic message used when ingesting into a closed Core.
-const ErrClosed = "pipeline: Process after Close"
+// ErrClosed is the sentinel error reported when ingesting into a closed
+// estimator. Errors returned by Process/ProcessSlice after Close wrap it, so
+// callers test with errors.Is(err, pipeline.ErrClosed).
+var ErrClosed = errors.New("pipeline: estimator is closed")
 
 // Stats is the unified per-stage telemetry of a windowed summary pipeline,
 // in backend-independent units. It subsumes the Timings/Counts pairs the
@@ -83,15 +95,20 @@ func putBuf(b []float32) {
 }
 
 // Core is the windowed-ingestion engine shared by the estimator families:
-// it owns the window buffer, the ingestion loop, the lifecycle, and the
-// Stats. Each full window (and each Flush-forced partial window) is handed
-// to the sink, which performs the estimator-specific sort/merge/compress
-// work; the slice passed to the sink is only valid for the duration of the
-// call and is reused for the next window.
+// it owns the window buffer, the ingestion loop, the lifecycle, the Stats,
+// and the mutex that makes live queries safe against concurrent ingestion.
+// Each full window (and each Flush-forced partial window) is handed to the
+// sink, which performs the estimator-specific sort/merge/compress work; the
+// slice passed to the sink is only valid for the duration of the call and
+// is reused for the next window. The sink is always invoked with the core's
+// lock held, so it may touch estimator state and the Add* recorders freely.
 //
-// Core is not goroutine-safe; concurrent ingestion goes through
-// internal/shard, which gives each worker its own Core-backed estimator.
+// One writer and any number of query goroutines may use a Core-backed
+// estimator concurrently; multiple concurrent writers are also safe but
+// serialize on the lock (internal/shard partitions the stream across
+// per-worker estimators instead).
 type Core struct {
+	mu      sync.Mutex
 	window  int
 	sink    func(win []float32)
 	buf     []float32
@@ -110,24 +127,48 @@ func NewCore(window int, sink func(win []float32)) *Core {
 	return &Core{window: window, sink: sink, buf: getBuf(window)}
 }
 
-// WindowSize reports the buffered window length.
+// Lock acquires the core's ingestion/query mutex. Estimator query paths
+// hold it across their multi-step reads so answers are snapshot-consistent
+// against a concurrent writer.
+func (c *Core) Lock() { c.mu.Lock() }
+
+// Unlock releases the core's ingestion/query mutex.
+func (c *Core) Unlock() { c.mu.Unlock() }
+
+// WindowSize reports the buffered window length. It is immutable, so no
+// locking is needed.
 func (c *Core) WindowSize() int { return c.window }
 
 // Count reports the total values ingested, including buffered ones.
-func (c *Core) Count() int64 { return c.count }
+func (c *Core) Count() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.count
+}
+
+// CountLocked is Count for callers already holding the lock.
+func (c *Core) CountLocked() int64 { return c.count }
 
 // Buffered reports the number of values in the current partial window.
-func (c *Core) Buffered() int { return len(c.buf) }
+func (c *Core) Buffered() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.buf)
+}
+
+// BufferedLocked is Buffered for callers already holding the lock.
+func (c *Core) BufferedLocked() int { return len(c.buf) }
 
 // Partial exposes the current partial window for query-time snapshots. The
-// returned slice aliases the live buffer: callers must copy before mutating
-// (Scratch provides a reusable destination).
+// caller must hold the lock; the returned slice aliases the live buffer, so
+// callers copy before the lock is released (Scratch provides a reusable
+// destination).
 func (c *Core) Partial() []float32 { return c.buf }
 
 // Scratch returns a reusable zero-length scratch slice with capacity at
-// least n, for query-time copies of the partial window. The same backing
-// array is handed out on every call, so at most one scratch use may be live
-// at a time.
+// least n, for query-time copies of the partial window. The caller must
+// hold the lock; the same backing array is handed out on every call, so the
+// copy must not outlive the locked region.
 func (c *Core) Scratch(n int) []float32 {
 	if cap(c.scratch) < n {
 		c.scratch = make([]float32, 0, n)
@@ -136,26 +177,37 @@ func (c *Core) Scratch(n int) []float32 {
 }
 
 // Closed reports whether Close has been called.
-func (c *Core) Closed() bool { return c.closed }
+func (c *Core) Closed() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.closed
+}
 
-// Process ingests one value. It panics if the core is closed.
-func (c *Core) Process(v float32) {
+// Process ingests one value. After Close it returns an error wrapping
+// ErrClosed.
+func (c *Core) Process(v float32) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	if c.closed {
-		panic(ErrClosed)
+		return ErrClosed
 	}
 	c.count++
 	c.buf = append(c.buf, v)
 	if len(c.buf) == c.window {
 		c.emit()
 	}
+	return nil
 }
 
 // ProcessSlice ingests a batch of values, copying them into the window
-// buffer chunk-wise so full windows flush as they complete. It panics if
-// the core is closed. The caller may reuse data immediately.
-func (c *Core) ProcessSlice(data []float32) {
+// buffer chunk-wise so full windows flush as they complete. After Close it
+// returns an error wrapping ErrClosed. The caller may reuse data
+// immediately.
+func (c *Core) ProcessSlice(data []float32) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	if c.closed {
-		panic(ErrClosed)
+		return ErrClosed
 	}
 	c.count += int64(len(data))
 	for len(data) > 0 {
@@ -169,30 +221,47 @@ func (c *Core) ProcessSlice(data []float32) {
 			c.emit()
 		}
 	}
+	return nil
 }
 
 // Flush seals the buffered partial window through the sink. On an empty
-// buffer — including immediately after a previous Flush — it is a no-op.
-func (c *Core) Flush() {
+// buffer — including immediately after a previous Flush or after Close —
+// it is a no-op, so the returned error is always nil today; the signature
+// matches the estimator lifecycle so callers program against one surface.
+func (c *Core) Flush() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.FlushLocked()
+	return nil
+}
+
+// FlushLocked is Flush for callers already holding the lock (query paths
+// that seal the partial window before walking summary state).
+func (c *Core) FlushLocked() {
 	if len(c.buf) > 0 {
 		c.emit()
 	}
 }
 
 // Close flushes, returns the window buffer to the shared pool, and marks
-// the core closed. Further Process/ProcessSlice calls panic; Flush and the
-// accessors remain safe. Close is idempotent.
-func (c *Core) Close() {
+// the core closed. Further Process/ProcessSlice calls return an error
+// wrapping ErrClosed; Flush and the accessors remain safe. Close is
+// idempotent and always returns nil.
+func (c *Core) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	if c.closed {
-		return
+		return nil
 	}
-	c.Flush()
+	c.FlushLocked()
 	c.closed = true
 	putBuf(c.buf)
 	c.buf = nil
+	return nil
 }
 
-// emit hands the buffered window to the sink and resets the buffer.
+// emit hands the buffered window to the sink and resets the buffer. The
+// lock is already held on every path that reaches here.
 func (c *Core) emit() {
 	c.stats.Windows++
 	c.sink(c.buf)
@@ -200,25 +269,37 @@ func (c *Core) emit() {
 }
 
 // AddSort records d spent in the sort stage over values sorted elements.
+// Caller must hold the lock (sinks and query paths do).
 func (c *Core) AddSort(d time.Duration, values int64) {
 	c.stats.Sort += d
 	c.stats.SortedValues += values
 }
 
 // AddMerge records d spent in the merge stage visiting ops elements.
+// Caller must hold the lock.
 func (c *Core) AddMerge(d time.Duration, ops int64) {
 	c.stats.Merge += d
 	c.stats.MergeOps += ops
 }
 
 // AddCompress records d spent in the compress stage visiting ops elements.
+// Caller must hold the lock.
 func (c *Core) AddCompress(d time.Duration, ops int64) {
 	c.stats.Compress += d
 	c.stats.CompressOps += ops
 }
 
-// AddIdle records d spent waiting for input.
+// AddIdle records d spent waiting for input. Caller must hold the lock.
 func (c *Core) AddIdle(d time.Duration) { c.stats.Idle += d }
 
-// Stats returns a snapshot of the unified telemetry.
-func (c *Core) Stats() Stats { return c.stats }
+// Stats returns a snapshot of the unified telemetry. The counters are read
+// under the lock, so a concurrent reader never observes a torn report
+// (e.g. a window counted whose sort time has not landed yet).
+func (c *Core) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// StatsLocked is Stats for callers already holding the lock.
+func (c *Core) StatsLocked() Stats { return c.stats }

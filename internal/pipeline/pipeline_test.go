@@ -1,6 +1,7 @@
 package pipeline
 
 import (
+	"errors"
 	"testing"
 	"time"
 )
@@ -91,25 +92,27 @@ func TestCloseFlushesAndIsIdempotent(t *testing.T) {
 	}
 }
 
-func TestProcessAfterClosePanics(t *testing.T) {
-	for name, fn := range map[string]func(c *Core){
-		"Process":      func(c *Core) { c.Process(1) },
-		"ProcessSlice": func(c *Core) { c.ProcessSlice([]float32{1}) },
+func TestProcessAfterCloseErrors(t *testing.T) {
+	for name, fn := range map[string]func(c *Core) error{
+		"Process":      func(c *Core) error { return c.Process(1) },
+		"ProcessSlice": func(c *Core) error { return c.ProcessSlice([]float32{1}) },
 	} {
-		c, _ := collect(4)
-		c.Close()
-		func() {
-			defer func() {
-				r := recover()
-				if r == nil {
-					t.Fatalf("%s after Close did not panic", name)
-				}
-				if msg, ok := r.(string); !ok || msg != ErrClosed {
-					t.Fatalf("%s panic = %v, want %q", name, r, ErrClosed)
-				}
-			}()
-			fn(c)
-		}()
+		c, wins := collect(4)
+		if err := fn(c); err != nil {
+			t.Fatalf("%s before Close: %v", name, err)
+		}
+		if err := c.Close(); err != nil {
+			t.Fatalf("Close: %v", err)
+		}
+		before := len(*wins)
+		err := fn(c)
+		if !errors.Is(err, ErrClosed) {
+			t.Fatalf("%s after Close = %v, want ErrClosed", name, err)
+		}
+		if len(*wins) != before || c.Count() != 1 {
+			t.Fatalf("%s after Close mutated state: windows %d->%d count %d",
+				name, before, len(*wins), c.Count())
+		}
 	}
 }
 

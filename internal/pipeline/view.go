@@ -1,0 +1,46 @@
+package pipeline
+
+// Item is one reported heavy hitter: a stream value and its estimated
+// frequency. It is the common currency of every frequency-flavoured result
+// in the module (the frequency and window packages alias it).
+type Item struct {
+	Value float32
+	Freq  int64
+}
+
+// View is an immutable, point-in-time queryable snapshot of an estimator.
+// Every estimator family returns one from Snapshot(): the view keeps
+// answering — without locks and without seeing later ingestion — after the
+// live estimator moves on, is safe for concurrent use from any number of
+// goroutines, and stays valid after the estimator is closed.
+//
+// Views are cheap: they share summary storage with the live estimator under
+// a copy-on-write discipline (the estimator allocates fresh storage the
+// next time it would have overwritten shared state), so taking one is O(1)
+// to O(partial window), never O(stream).
+//
+// Not every family answers every query shape, so the query methods report
+// ok=false when the underlying sketch does not support them: quantile
+// estimators answer Quantile, frequency estimators answer HeavyHitters and
+// Frequency. Type-assert to the concrete snapshot type
+// (frequency.Snapshot, quantile.Snapshot, window.FrequencySnapshot,
+// window.QuantileSnapshot) for the family-specific surface, including
+// sliding-window variable-span queries.
+type View interface {
+	// Count reports the number of stream values the snapshot covers.
+	Count() int64
+	// Size reports the retained summary entries (or histogram bins), the
+	// snapshot's memory footprint in elements.
+	Size() int
+	// Quantile returns an eps-approximate phi-quantile, phi in [0, 1].
+	// ok is false if the family does not answer quantile queries or the
+	// snapshot covers an empty stream.
+	Quantile(phi float64) (float32, bool)
+	// HeavyHitters returns all values with estimated relative frequency
+	// at least support. ok is false if the family does not answer
+	// frequency queries.
+	HeavyHitters(support float64) ([]Item, bool)
+	// Frequency returns the estimated absolute count of v. ok is false if
+	// the family does not answer point-frequency queries.
+	Frequency(v float32) (int64, bool)
+}

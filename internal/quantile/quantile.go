@@ -7,9 +7,13 @@
 // they are combined by a merge and a prune whose error budget grows with the
 // bucket id, so the total error never exceeds eps.
 //
-// Windowing, buffering, lifecycle, and telemetry come from the shared
-// internal/pipeline core; this package contributes the
-// sort -> summarize -> cascade-combine sink.
+// Windowing, buffering, lifecycle, locking, and telemetry come from the
+// shared internal/pipeline core; this package contributes the
+// sort -> summarize -> cascade-combine sink. Queries are safe under
+// concurrent ingestion, and Snapshot returns an immutable view: bucket
+// summaries are never mutated once published (MergeInto writes only the
+// cascade scratch, Prune and FromSortedWindow allocate fresh entries), so a
+// view is just a handle on the merged summary of the moment.
 package quantile
 
 import (
@@ -26,6 +30,9 @@ import (
 // Estimator answers eps-approximate quantile queries over a stream whose
 // maximum length is known a priori (as the paper assumes); Capacity may be
 // generous without much cost since only its logarithm matters.
+//
+// One writer and any number of query goroutines may use an Estimator
+// concurrently.
 type Estimator struct {
 	eps      float64
 	window   int
@@ -106,12 +113,15 @@ func (e *Estimator) WindowSize() int { return e.window }
 // ones.
 func (e *Estimator) Count() int64 { return e.core.Count() }
 
-// Stats returns the unified per-stage pipeline telemetry.
+// Stats returns the unified per-stage pipeline telemetry. Safe to call
+// mid-ingestion; counters are internally consistent.
 func (e *Estimator) Stats() pipeline.Stats { return e.core.Stats() }
 
 // SummaryEntries reports the total entries retained across all buckets, the
 // estimator's memory footprint.
 func (e *Estimator) SummaryEntries() int {
+	e.core.Lock()
+	defer e.core.Unlock()
 	total := 0
 	for _, b := range e.buckets {
 		total += b.Size()
@@ -120,25 +130,32 @@ func (e *Estimator) SummaryEntries() int {
 }
 
 // Buckets reports the number of live exponential-histogram buckets.
-func (e *Estimator) Buckets() int { return len(e.buckets) }
+func (e *Estimator) Buckets() int {
+	e.core.Lock()
+	defer e.core.Unlock()
+	return len(e.buckets)
+}
 
-// Process consumes one stream element.
-func (e *Estimator) Process(v float32) { e.core.Process(v) }
+// Process consumes one stream element. After Close it returns an error
+// wrapping pipeline.ErrClosed.
+func (e *Estimator) Process(v float32) error { return e.core.Process(v) }
 
-// ProcessSlice consumes a batch of stream elements.
-func (e *Estimator) ProcessSlice(data []float32) { e.core.ProcessSlice(data) }
+// ProcessSlice consumes a batch of stream elements. After Close it returns
+// an error wrapping pipeline.ErrClosed.
+func (e *Estimator) ProcessSlice(data []float32) error { return e.core.ProcessSlice(data) }
 
 // Flush forces the buffered partial window into the bucket cascade. Queries
 // do not need it — snapshots already include buffered elements — but it
 // makes the estimator's state self-contained before Close or hand-off.
-func (e *Estimator) Flush() { e.core.Flush() }
+func (e *Estimator) Flush() error { return e.core.Flush() }
 
 // Close flushes and releases the window buffer back to the shared pool.
-// The estimator remains queryable; further ingestion panics.
-func (e *Estimator) Close() { e.core.Close() }
+// The estimator remains queryable; further ingestion reports
+// pipeline.ErrClosed. Close is idempotent.
+func (e *Estimator) Close() error { return e.core.Close() }
 
 // flushWindow turns one window handed over by the core into a bucket and
-// cascades combines.
+// cascades combines. The core holds the lock.
 func (e *Estimator) flushWindow(win []float32) {
 	t0 := time.Now()
 	e.sorter.Sort(win)
@@ -173,17 +190,20 @@ func (e *Estimator) flushWindow(win []float32) {
 	}
 }
 
-// snapshot merges the live buckets and the buffered partial window into one
-// queryable summary without disturbing the estimator state. The result is
-// cached until more elements arrive.
-func (e *Estimator) snapshot() *summary.Summary {
-	state := [2]int64{e.n, int64(e.core.Buffered())}
+// snapshotLocked merges the live buckets and the buffered partial window
+// into one queryable summary without disturbing the estimator state. The
+// result is cached until more elements arrive; the caller must hold the
+// core lock. The returned summary is immutable — flushWindow only ever
+// replaces buckets with freshly allocated summaries — so it may safely
+// outlive the locked region.
+func (e *Estimator) snapshotLocked() *summary.Summary {
+	state := [2]int64{e.n, int64(e.core.BufferedLocked())}
 	if e.snapCache != nil && e.snapState == state {
 		return e.snapCache
 	}
 	var partial *summary.Summary
-	if e.core.Buffered() > 0 {
-		tmp := append(e.core.Scratch(e.core.Buffered()), e.core.Partial()...)
+	if e.core.BufferedLocked() > 0 {
+		tmp := append(e.core.Scratch(e.core.BufferedLocked()), e.core.Partial()...)
 		t0 := time.Now()
 		e.sorter.Sort(tmp)
 		partial = summary.FromSortedWindow(tmp, e.eps)
@@ -212,19 +232,27 @@ func (e *Estimator) snapshot() *summary.Summary {
 	return acc
 }
 
+// merged returns the current merged summary under the lock.
+func (e *Estimator) merged() *summary.Summary {
+	e.core.Lock()
+	defer e.core.Unlock()
+	return e.snapshotLocked()
+}
+
 // Query returns an eps-approximate phi-quantile of everything processed so
-// far. It panics if the stream is empty.
+// far. It panics if the stream is empty. Safe under concurrent ingestion.
 func (e *Estimator) Query(phi float64) float32 {
-	s := e.snapshot()
+	s := e.merged()
 	if s == nil || s.N == 0 {
 		panic("quantile: query on empty stream")
 	}
 	return s.Query(phi)
 }
 
-// QueryRank returns a value whose rank is within eps*N of r.
+// QueryRank returns a value whose rank is within eps*N of r. Safe under
+// concurrent ingestion.
 func (e *Estimator) QueryRank(r int64) float32 {
-	s := e.snapshot()
+	s := e.merged()
 	if s == nil || s.N == 0 {
 		panic("quantile: query on empty stream")
 	}
@@ -232,4 +260,83 @@ func (e *Estimator) QueryRank(r int64) float32 {
 }
 
 // Summary exposes the merged snapshot, mainly for validation harnesses.
-func (e *Estimator) Summary() *summary.Summary { return e.snapshot() }
+func (e *Estimator) Summary() *summary.Summary { return e.merged() }
+
+// Snapshot is an immutable point-in-time view of a quantile estimator: a
+// handle on the merged GK summary of the moment. It is safe for concurrent
+// use and implements pipeline.View.
+type Snapshot struct {
+	sum *summary.Summary // nil when the snapshot covers an empty stream
+	eps float64
+}
+
+// Snapshot returns an immutable view covering everything processed so far,
+// including the buffered partial window. The view never sees ingestion that
+// happens after this call.
+func (e *Estimator) Snapshot() pipeline.View {
+	return &Snapshot{sum: e.merged(), eps: e.eps}
+}
+
+// NewSnapshot wraps an already-merged summary (may be nil for an empty
+// stream) as an immutable view. Sharded ingestion uses it to publish the
+// cross-shard merge.
+func NewSnapshot(sum *summary.Summary, eps float64) *Snapshot {
+	return &Snapshot{sum: sum, eps: eps}
+}
+
+// Count reports the stream length the snapshot covers.
+func (s *Snapshot) Count() int64 {
+	if s.sum == nil {
+		return 0
+	}
+	return s.sum.N
+}
+
+// Size reports the retained summary entries.
+func (s *Snapshot) Size() int {
+	if s.sum == nil {
+		return 0
+	}
+	return s.sum.Size()
+}
+
+// Eps reports the snapshot's error bound.
+func (s *Snapshot) Eps() float64 { return s.eps }
+
+// Query returns an eps-approximate phi-quantile. It panics if the snapshot
+// covers an empty stream (use Quantile for the non-panicking form).
+func (s *Snapshot) Query(phi float64) float32 {
+	if s.sum == nil || s.sum.N == 0 {
+		panic("quantile: query on empty stream")
+	}
+	return s.sum.Query(phi)
+}
+
+// QueryRank returns a value whose rank is within eps*N of r. It panics if
+// the snapshot covers an empty stream.
+func (s *Snapshot) QueryRank(r int64) float32 {
+	if s.sum == nil || s.sum.N == 0 {
+		panic("quantile: query on empty stream")
+	}
+	return s.sum.QueryRank(r)
+}
+
+// Summary exposes the underlying merged summary (nil for an empty stream).
+// Callers must treat it as read-only.
+func (s *Snapshot) Summary() *summary.Summary { return s.sum }
+
+// Quantile implements pipeline.View; ok is false on an empty stream.
+func (s *Snapshot) Quantile(phi float64) (float32, bool) {
+	if s.sum == nil || s.sum.N == 0 {
+		return 0, false
+	}
+	return s.sum.Query(phi), true
+}
+
+// HeavyHitters implements pipeline.View; quantile sketches do not answer
+// frequency queries.
+func (s *Snapshot) HeavyHitters(float64) ([]pipeline.Item, bool) { return nil, false }
+
+// Frequency implements pipeline.View; quantile sketches do not answer
+// point-frequency queries.
+func (s *Snapshot) Frequency(float32) (int64, bool) { return 0, false }

@@ -1,6 +1,7 @@
 package shard
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync/atomic"
@@ -22,6 +23,9 @@ import (
 // With a single shard, queries delegate directly to the underlying
 // estimator, so K=1 output is bit-identical to the serial
 // frequency.Estimator fed the same stream.
+//
+// Queries and snapshots are safe against concurrent ingestion: each shard
+// estimator is internally synchronized by its pipeline core.
 type Frequency struct {
 	pool *pool
 	eps  float64
@@ -44,7 +48,9 @@ func NewFrequency(eps float64, shards int, newSorter func() sorter.Sorter, opts 
 	for i := 0; i < k; i++ {
 		est := frequency.NewEstimator(eps, newSorter())
 		fq.ests = append(fq.ests, est)
-		procs[i] = est.ProcessSlice
+		// The pool never closes shard estimators while workers still hand
+		// them batches, so ingestion here cannot fail.
+		procs[i] = func(b []float32) { _ = est.ProcessSlice(b) }
 	}
 	fq.pool = newPool(procs, opts...)
 	return fq
@@ -59,34 +65,39 @@ func (fq *Frequency) Shards() int { return fq.pool.Shards() }
 // Count reports the number of stream elements ingested.
 func (fq *Frequency) Count() int64 { return fq.pool.Count() }
 
-// Process ingests one stream element.
-func (fq *Frequency) Process(v float32) { fq.pool.Process(v) }
+// Process ingests one stream element. After Close it returns an error
+// wrapping pipeline.ErrClosed.
+func (fq *Frequency) Process(v float32) error { return fq.pool.Process(v) }
 
-// ProcessSlice ingests a batch of stream elements.
-func (fq *Frequency) ProcessSlice(data []float32) { fq.pool.ProcessSlice(data) }
+// ProcessSlice ingests a batch of stream elements. After Close it returns
+// an error wrapping pipeline.ErrClosed.
+func (fq *Frequency) ProcessSlice(data []float32) error { return fq.pool.ProcessSlice(data) }
 
 // Flush dispatches buffered values and waits until every shard has absorbed
 // its in-flight batches.
-func (fq *Frequency) Flush() { fq.pool.Flush() }
+func (fq *Frequency) Flush() error { return fq.pool.Flush() }
 
-// Close flushes and stops the shard workers. The estimator remains
-// queryable; further ingestion panics.
-func (fq *Frequency) Close() { fq.pool.Close() }
+// Close drains and stops the shard workers with no deadline. The estimator
+// remains queryable; further ingestion reports pipeline.ErrClosed.
+func (fq *Frequency) Close() error { return fq.pool.Close() }
 
-// mergedEntries flushes, snapshots every shard under its worker lock, and
-// merges the per-shard summaries by value, summing estimated frequencies
-// and undercount bounds. It returns the merged entries (value-ascending)
-// and the total stream length.
+// CloseContext is Close with a deadline: if ctx expires while the shards
+// are still absorbing backpressure, the remaining hand-off is abandoned and
+// the context error is returned wrapped. See pool.CloseContext.
+func (fq *Frequency) CloseContext(ctx context.Context) error { return fq.pool.CloseContext(ctx) }
+
+// mergedEntries flushes, snapshots every shard, and merges the per-shard
+// summaries by value, summing estimated frequencies and undercount bounds.
+// It returns the merged entries (value-ascending) and the total stream
+// length.
 func (fq *Frequency) mergedEntries() ([]frequency.SummaryEntry, int64) {
 	fq.pool.Flush()
 	var all []frequency.SummaryEntry
 	var n int64
-	for i, est := range fq.ests {
-		w := fq.pool.workers[i]
-		w.mu.Lock()
-		all = append(all, est.Snapshot()...)
-		n += est.Count()
-		w.mu.Unlock()
+	for _, est := range fq.ests {
+		snap := est.Snapshot().(*frequency.Snapshot)
+		all = append(all, snap.Entries()...)
+		n += snap.Count()
 	}
 	sort.Slice(all, func(i, j int) bool { return all[i].Value < all[j].Value })
 	merged := all[:0]
@@ -102,6 +113,17 @@ func (fq *Frequency) mergedEntries() ([]frequency.SummaryEntry, int64) {
 	return merged, n
 }
 
+// Snapshot returns an immutable point-in-time view over the merged shard
+// summaries. With K=1 the view is bit-identical to the serial estimator's.
+func (fq *Frequency) Snapshot() pipeline.View {
+	if len(fq.ests) == 1 {
+		fq.pool.Flush()
+		return fq.ests[0].Snapshot()
+	}
+	entries, n := fq.mergedEntries()
+	return frequency.SnapshotFromEntries(entries, n, fq.eps)
+}
+
 // Query returns every element whose merged estimated frequency is at least
 // (s - eps) * N, ordered by decreasing frequency. The result has no false
 // negatives: any element with true frequency >= s*N is present.
@@ -111,9 +133,6 @@ func (fq *Frequency) Query(s float64) []frequency.Item {
 	}
 	if len(fq.ests) == 1 {
 		fq.pool.Flush()
-		w := fq.pool.workers[0]
-		w.mu.Lock()
-		defer w.mu.Unlock()
 		return fq.ests[0].Query(s)
 	}
 	entries, n := fq.mergedEntries()
@@ -139,11 +158,8 @@ func (fq *Frequency) Query(s float64) []frequency.Item {
 func (fq *Frequency) Estimate(v float32) int64 {
 	fq.pool.Flush()
 	var total int64
-	for i, est := range fq.ests {
-		w := fq.pool.workers[i]
-		w.mu.Lock()
+	for _, est := range fq.ests {
 		total += est.Estimate(v)
-		w.mu.Unlock()
 	}
 	return total
 }
@@ -161,11 +177,8 @@ func (fq *Frequency) TopK(k int) []frequency.Item {
 // SummarySize reports the total summary entries retained across shards.
 func (fq *Frequency) SummarySize() int {
 	total := 0
-	for i, est := range fq.ests {
-		w := fq.pool.workers[i]
-		w.mu.Lock()
+	for _, est := range fq.ests {
 		total += est.SummarySize()
-		w.mu.Unlock()
 	}
 	return total
 }
@@ -186,11 +199,8 @@ func (fq *Frequency) Stats() pipeline.Stats {
 func (fq *Frequency) PerShardStats() []pipeline.Stats {
 	out := make([]pipeline.Stats, len(fq.ests))
 	for i, est := range fq.ests {
-		w := fq.pool.workers[i]
-		w.mu.Lock()
 		st := est.Stats()
-		st.Idle += w.idle
-		w.mu.Unlock()
+		st.Idle += fq.pool.workers[i].idleTime()
 		out[i] = st
 	}
 	return out

@@ -1,6 +1,7 @@
 package shard
 
 import (
+	"context"
 	"fmt"
 	"sync/atomic"
 
@@ -20,6 +21,9 @@ import (
 // With a single shard the estimator runs at the full eps and delegates
 // queries directly, so K=1 output is bit-identical to the serial
 // quantile.Estimator fed the same stream.
+//
+// Queries and snapshots are safe against concurrent ingestion: each shard
+// estimator is internally synchronized by its pipeline core.
 type Quantile struct {
 	pool *pool
 	eps  float64
@@ -46,7 +50,9 @@ func NewQuantile(eps float64, capacity int64, shards int, newSorter func() sorte
 	for i := 0; i < k; i++ {
 		est := quantile.NewEstimator(shardEps, capacity, newSorter())
 		q.ests = append(q.ests, est)
-		procs[i] = est.ProcessSlice
+		// The pool never closes shard estimators while workers still hand
+		// them batches, so ingestion here cannot fail.
+		procs[i] = func(b []float32) { _ = est.ProcessSlice(b) }
 	}
 	q.pool = newPool(procs, opts...)
 	return q
@@ -64,41 +70,43 @@ func (q *Quantile) Shards() int { return q.pool.Shards() }
 // Count reports the number of stream elements ingested.
 func (q *Quantile) Count() int64 { return q.pool.Count() }
 
-// Process ingests one stream element.
-func (q *Quantile) Process(v float32) { q.pool.Process(v) }
+// Process ingests one stream element. After Close it returns an error
+// wrapping pipeline.ErrClosed.
+func (q *Quantile) Process(v float32) error { return q.pool.Process(v) }
 
-// ProcessSlice ingests a batch of stream elements.
-func (q *Quantile) ProcessSlice(data []float32) { q.pool.ProcessSlice(data) }
+// ProcessSlice ingests a batch of stream elements. After Close it returns
+// an error wrapping pipeline.ErrClosed.
+func (q *Quantile) ProcessSlice(data []float32) error { return q.pool.ProcessSlice(data) }
 
 // Flush dispatches buffered values and waits until every shard has absorbed
 // its in-flight batches.
-func (q *Quantile) Flush() { q.pool.Flush() }
+func (q *Quantile) Flush() error { return q.pool.Flush() }
 
-// Close flushes and stops the shard workers. The estimator remains
-// queryable; further ingestion panics.
-func (q *Quantile) Close() { q.pool.Close() }
+// Close drains and stops the shard workers with no deadline. The estimator
+// remains queryable; further ingestion reports pipeline.ErrClosed.
+func (q *Quantile) Close() error { return q.pool.Close() }
+
+// CloseContext is Close with a deadline: if ctx expires while the shards
+// are still absorbing backpressure, the remaining hand-off is abandoned and
+// the context error is returned wrapped. See pool.CloseContext.
+func (q *Quantile) CloseContext(ctx context.Context) error { return q.pool.CloseContext(ctx) }
 
 // Summary flushes and returns the merged cross-shard summary (nil before
 // any data arrives), mainly for validation harnesses.
 func (q *Quantile) Summary() *summary.Summary { return q.snapshot() }
 
-// snapshot flushes the pipeline and merges the per-shard summaries under
-// their worker locks, so it is safe against concurrent ingestion.
+// snapshot flushes the pipeline and merges the per-shard summaries. Each
+// shard estimator synchronizes internally, so this is safe against
+// concurrent ingestion; the result is immutable.
 func (q *Quantile) snapshot() *summary.Summary {
 	q.pool.Flush()
 	if len(q.ests) == 1 {
-		w := q.pool.workers[0]
-		w.mu.Lock()
-		defer w.mu.Unlock()
 		return q.ests[0].Summary()
 	}
 	var acc *summary.Summary
 	var mergeOps int64
-	for i, est := range q.ests {
-		w := q.pool.workers[i]
-		w.mu.Lock()
+	for _, est := range q.ests {
 		s := est.Summary()
-		w.mu.Unlock()
 		if s == nil || s.N == 0 {
 			continue
 		}
@@ -113,6 +121,12 @@ func (q *Quantile) snapshot() *summary.Summary {
 		q.queryMergeOps.Add(mergeOps)
 	}
 	return acc
+}
+
+// Snapshot returns an immutable point-in-time view over the merged shard
+// summaries. With K=1 the view is bit-identical to the serial estimator's.
+func (q *Quantile) Snapshot() pipeline.View {
+	return quantile.NewSnapshot(q.snapshot(), q.eps)
 }
 
 // Query returns an eps-approximate phi-quantile of everything ingested so
@@ -138,11 +152,8 @@ func (q *Quantile) QueryRank(r int64) float32 {
 // the estimator's memory footprint.
 func (q *Quantile) SummaryEntries() int {
 	total := 0
-	for i, est := range q.ests {
-		w := q.pool.workers[i]
-		w.mu.Lock()
+	for _, est := range q.ests {
 		total += est.SummaryEntries()
-		w.mu.Unlock()
 	}
 	return total
 }
@@ -163,11 +174,8 @@ func (q *Quantile) Stats() pipeline.Stats {
 func (q *Quantile) PerShardStats() []pipeline.Stats {
 	out := make([]pipeline.Stats, len(q.ests))
 	for i, est := range q.ests {
-		w := q.pool.workers[i]
-		w.mu.Lock()
 		st := est.Stats()
-		st.Idle += w.idle
-		w.mu.Unlock()
+		st.Idle += q.pool.workers[i].idleTime()
 		out[i] = st
 	}
 	return out

@@ -18,12 +18,23 @@
 // batches (DefaultBatchSize values unless overridden) are dispatched
 // round-robin to the shard channels, amortizing synchronization exactly the
 // way the paper's window batching amortizes GPU invocation overhead.
+//
+// Lifecycle is error-based: ingestion after Close reports an error wrapping
+// pipeline.ErrClosed, and CloseContext drains the in-flight batches with a
+// deadline — if the context expires while shards are still absorbing
+// backpressure, the remaining hand-off is abandoned and the context error
+// is returned, leaving the estimator queryable over what was absorbed.
 package shard
 
 import (
+	"context"
+	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
+
+	"gpustream/internal/pipeline"
 )
 
 // DefaultBatchSize is the ingestion hand-off batch size: large enough that
@@ -31,6 +42,10 @@ import (
 // paper's practice of batching four windows per GPU invocation), small
 // enough that shards stay busy on multi-window streams.
 const DefaultBatchSize = 1 << 16
+
+// errClosed is what ingestion into a closed pool reports; it wraps
+// pipeline.ErrClosed so callers test with errors.Is.
+var errClosed = fmt.Errorf("shard: ingestion after Close: %w", pipeline.ErrClosed)
 
 // Option configures a sharded estimator.
 type Option func(*config)
@@ -61,17 +76,19 @@ func Resolve(shards int) int {
 }
 
 // worker is one shard: a channel feeding a goroutine that owns a per-shard
-// estimator. mu guards every access to the estimator, both the worker's own
-// ProcessSlice calls and query-time snapshots from other goroutines.
+// estimator. The estimator is internally synchronized (its pipeline core
+// carries the lock), so the worker needs no mutex of its own — query-time
+// snapshots from other goroutines interleave safely with ProcessSlice.
 type worker struct {
 	ch      chan []float32
-	mu      sync.Mutex
 	process func([]float32)
-	// idle accumulates the time the worker goroutine spent blocked waiting
-	// for a batch, guarded by mu. It feeds pipeline.Stats.Idle so shard
-	// starvation is visible in the unified telemetry.
-	idle time.Duration
+	// idle accumulates nanoseconds the worker goroutine spent blocked
+	// waiting for a batch. It feeds pipeline.Stats.Idle so shard starvation
+	// is visible in the unified telemetry.
+	idle atomic.Int64
 }
+
+func (w *worker) idleTime() time.Duration { return time.Duration(w.idle.Load()) }
 
 // pool fans batches out to the shard workers. Safe for concurrent use by
 // multiple producers; Flush and queries may run concurrently with ingestion.
@@ -112,14 +129,11 @@ func (p *pool) run(w *worker) {
 	for {
 		t0 := time.Now()
 		batch, ok := <-w.ch
-		wait := time.Since(t0)
 		if !ok {
 			return
 		}
-		w.mu.Lock()
-		w.idle += wait
+		w.idle.Add(int64(time.Since(t0)))
 		w.process(batch)
-		w.mu.Unlock()
 		p.mu.Lock()
 		p.inflight--
 		if p.inflight == 0 {
@@ -132,38 +146,62 @@ func (p *pool) run(w *worker) {
 // dispatchLocked hands the current buffer to the next worker round-robin.
 // The channel send happens with p.mu released: a full channel would
 // otherwise deadlock against workers that need p.mu to decrement inflight.
-func (p *pool) dispatchLocked() {
+// A nil (or Done-less) ctx blocks until the shard accepts the batch; with a
+// cancellable ctx the send is abandoned on expiry — the batch's values are
+// dropped and subtracted from the ingest total — and the context error is
+// returned.
+func (p *pool) dispatchLocked(ctx context.Context) error {
 	b := p.cur
 	p.cur = make([]float32, 0, p.batch)
 	w := p.workers[p.next]
 	p.next = (p.next + 1) % len(p.workers)
 	p.inflight++
 	p.mu.Unlock()
-	w.ch <- b
+	var err error
+	if ctx == nil || ctx.Done() == nil {
+		w.ch <- b
+	} else {
+		select {
+		case w.ch <- b:
+		case <-ctx.Done():
+			err = ctx.Err()
+		}
+	}
 	p.mu.Lock()
+	if err != nil {
+		p.inflight--
+		p.total -= int64(len(b))
+		if p.inflight == 0 {
+			p.cond.Broadcast()
+		}
+	}
+	return err
 }
 
-// Process ingests one value.
-func (p *pool) Process(v float32) {
+// Process ingests one value. After Close it returns an error wrapping
+// pipeline.ErrClosed.
+func (p *pool) Process(v float32) error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if p.closed {
-		panic("shard: ingestion after Close")
+		return errClosed
 	}
 	p.total++
 	p.cur = append(p.cur, v)
 	if len(p.cur) >= p.batch {
-		p.dispatchLocked()
+		p.dispatchLocked(nil)
 	}
+	return nil
 }
 
 // ProcessSlice ingests a batch of values. The slice is copied into the
-// hand-off buffer, so the caller may reuse it immediately.
-func (p *pool) ProcessSlice(data []float32) {
+// hand-off buffer, so the caller may reuse it immediately. After Close it
+// returns an error wrapping pipeline.ErrClosed.
+func (p *pool) ProcessSlice(data []float32) error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if p.closed {
-		panic("shard: ingestion after Close")
+		return errClosed
 	}
 	p.total += int64(len(data))
 	for len(data) > 0 {
@@ -174,41 +212,90 @@ func (p *pool) ProcessSlice(data []float32) {
 		p.cur = append(p.cur, data[:room]...)
 		data = data[room:]
 		if len(p.cur) >= p.batch {
-			p.dispatchLocked()
+			p.dispatchLocked(nil)
 		}
 	}
+	return nil
 }
 
 // Flush dispatches any buffered values and blocks until every dispatched
 // batch has been absorbed by its shard estimator. While Flush holds the
 // ingest lock new producers stall, so the drain is guaranteed to terminate.
-func (p *pool) Flush() {
+func (p *pool) Flush() error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if len(p.cur) > 0 && !p.closed {
-		p.dispatchLocked()
+		p.dispatchLocked(nil)
 	}
 	for p.inflight > 0 {
 		p.cond.Wait()
 	}
+	return nil
 }
 
-// Close flushes, stops the worker goroutines, and waits for them to exit.
-// The estimator remains queryable after Close; further ingestion panics.
-// Close must not race with Process/ProcessSlice; it is idempotent.
-func (p *pool) Close() {
-	p.Flush()
+// Close drains and stops the workers with no deadline; it never fails.
+func (p *pool) Close() error { return p.CloseContext(context.Background()) }
+
+// CloseContext drains buffered and in-flight batches into the shard
+// estimators, stops the worker goroutines, and waits for them to exit. The
+// drain is backpressure-aware: if ctx expires while shard channels are
+// still full, the un-handed-off values are dropped (and subtracted from
+// Count), the workers are left to finish their queued batches
+// asynchronously, and the context error is returned wrapped. Either way
+// the pool is closed afterwards — the estimator remains queryable and
+// further ingestion reports pipeline.ErrClosed. CloseContext is idempotent
+// and must not race with Process/ProcessSlice.
+func (p *pool) CloseContext(ctx context.Context) error {
 	p.mu.Lock()
 	if p.closed {
 		p.mu.Unlock()
-		return
+		return nil
+	}
+	// A watcher turns context expiry into a cond broadcast so the drain
+	// wait below can observe it.
+	var stop chan struct{}
+	if d := ctx.Done(); d != nil {
+		stop = make(chan struct{})
+		go func() {
+			select {
+			case <-d:
+				p.mu.Lock()
+				p.cond.Broadcast()
+				p.mu.Unlock()
+			case <-stop:
+			}
+		}()
+	}
+	var err error
+	for len(p.cur) > 0 || p.inflight > 0 {
+		if err = ctx.Err(); err != nil {
+			if len(p.cur) > 0 {
+				p.total -= int64(len(p.cur))
+				p.cur = p.cur[:0]
+			}
+			break
+		}
+		if len(p.cur) > 0 {
+			if err = p.dispatchLocked(ctx); err != nil {
+				break
+			}
+			continue
+		}
+		p.cond.Wait()
 	}
 	p.closed = true
 	p.mu.Unlock()
+	if stop != nil {
+		close(stop)
+	}
 	for _, w := range p.workers {
 		close(w.ch)
 	}
+	if err != nil {
+		return fmt.Errorf("shard: Close abandoned drain: %w", err)
+	}
 	p.wg.Wait()
+	return nil
 }
 
 // Count reports the number of values ingested, including any still buffered

@@ -1,6 +1,7 @@
 package shard
 
 import (
+	"errors"
 	"math"
 	"math/rand"
 	"sort"
@@ -8,6 +9,7 @@ import (
 
 	"gpustream/internal/cpusort"
 	"gpustream/internal/frequency"
+	"gpustream/internal/pipeline"
 	"gpustream/internal/quantile"
 	"gpustream/internal/sorter"
 )
@@ -204,12 +206,15 @@ func TestShardedLifecycle(t *testing.T) {
 	if q.SummaryEntries() <= 0 {
 		t.Fatal("no summary entries retained")
 	}
-	defer func() {
-		if recover() == nil {
-			t.Fatal("ingestion after Close did not panic")
-		}
-	}()
-	q.Process(1)
+	if err := q.Process(1); !errors.Is(err, pipeline.ErrClosed) {
+		t.Fatalf("Process after Close = %v, want pipeline.ErrClosed", err)
+	}
+	if err := q.ProcessSlice([]float32{1, 2}); !errors.Is(err, pipeline.ErrClosed) {
+		t.Fatalf("ProcessSlice after Close = %v, want pipeline.ErrClosed", err)
+	}
+	if q.Count() != 200 {
+		t.Fatalf("rejected ingestion changed Count to %d", q.Count())
+	}
 }
 
 // TestShardedSmallStream keeps every value in the hand-off buffer (fewer

@@ -15,8 +15,12 @@ import (
 // panes covering the requested suffix. The merged summary's rank error plus
 // the boundary quantization of the oldest pane stays within eps*W.
 //
-// Pane summaries are retained (and may be exposed through WindowSummary),
-// so unlike SlidingFrequency their storage is not recycled on expiry.
+// Pane summaries are immutable once sealed (and may be exposed through
+// WindowSummary or a QuantileSnapshot), so unlike SlidingFrequency their
+// storage is never recycled on expiry — snapshots alias them for free.
+//
+// One writer and any number of query goroutines may use the estimator
+// concurrently.
 type SlidingQuantile struct {
 	eps    float64
 	w      int
@@ -45,42 +49,52 @@ func (q *SlidingQuantile) PaneSize() int { return q.core.WindowSize() }
 // Count reports the number of elements processed so far (whole stream).
 func (q *SlidingQuantile) Count() int64 { return q.core.Count() }
 
-// Stats returns the unified per-stage pipeline telemetry.
+// Stats returns the unified per-stage pipeline telemetry. Safe to call
+// mid-ingestion; counters are internally consistent.
 func (q *SlidingQuantile) Stats() pipeline.Stats { return q.core.Stats() }
 
 // SortedValues reports how many values have passed through the sorter.
 func (q *SlidingQuantile) SortedValues() int64 { return q.core.Stats().SortedValues }
 
 // Panes reports the number of retained panes.
-func (q *SlidingQuantile) Panes() int { return len(q.panes) }
+func (q *SlidingQuantile) Panes() int {
+	q.core.Lock()
+	defer q.core.Unlock()
+	return len(q.panes)
+}
 
 // SummaryEntries reports the total retained summary entries, the
 // estimator's memory footprint.
 func (q *SlidingQuantile) SummaryEntries() int {
-	total := q.core.Buffered()
+	q.core.Lock()
+	defer q.core.Unlock()
+	total := q.core.BufferedLocked()
 	for _, p := range q.panes {
 		total += p.Size()
 	}
 	return total
 }
 
-// Process consumes one stream element.
-func (q *SlidingQuantile) Process(v float32) { q.core.Process(v) }
+// Process consumes one stream element. After Close it returns an error
+// wrapping pipeline.ErrClosed.
+func (q *SlidingQuantile) Process(v float32) error { return q.core.Process(v) }
 
-// ProcessSlice consumes a batch of elements.
-func (q *SlidingQuantile) ProcessSlice(data []float32) { q.core.ProcessSlice(data) }
+// ProcessSlice consumes a batch of elements. After Close it returns an
+// error wrapping pipeline.ErrClosed.
+func (q *SlidingQuantile) ProcessSlice(data []float32) error { return q.core.ProcessSlice(data) }
 
 // Flush seals the buffered partial pane. Queries do not need it — the
 // partial pane is always visible — but it makes the state self-contained
 // before Close or hand-off.
-func (q *SlidingQuantile) Flush() { q.core.Flush() }
+func (q *SlidingQuantile) Flush() error { return q.core.Flush() }
 
 // Close flushes and releases the pane buffer back to the shared pool. The
-// estimator remains queryable; further ingestion panics.
-func (q *SlidingQuantile) Close() { q.core.Close() }
+// estimator remains queryable; further ingestion reports
+// pipeline.ErrClosed. Close is idempotent.
+func (q *SlidingQuantile) Close() error { return q.core.Close() }
 
 // sealPane summarizes one full pane handed over by the core and expires old
-// panes.
+// panes. The core holds the lock.
 func (q *SlidingQuantile) sealPane(win []float32) {
 	t0 := time.Now()
 	q.sorter.Sort(win)
@@ -94,43 +108,64 @@ func (q *SlidingQuantile) sealPane(win []float32) {
 	}
 }
 
-// snapshot merges the newest panes covering span elements with the partial
-// pane buffer into one queryable summary.
-func (q *SlidingQuantile) snapshot(span int) *summary.Summary {
-	t1 := time.Now()
-	var acc *summary.Summary
+// mergePaneSummaries merges the newest panes covering span elements with an
+// already-summarized partial pane into one queryable summary. All inputs
+// are immutable; summary.Merge allocates fresh output.
+func mergePaneSummaries(panes []*summary.Summary, partial *summary.Summary, span int) *summary.Summary {
+	acc := partial
 	covered := int64(0)
-	if q.core.Buffered() > 0 {
-		tmp := append(q.core.Scratch(q.core.Buffered()), q.core.Partial()...)
-		q.sorter.Sort(tmp)
-		acc = summary.FromSortedWindow(tmp, q.eps)
+	if acc != nil {
 		covered = acc.N
 	}
-	for i := len(q.panes) - 1; i >= 0 && covered < int64(span); i-- {
+	for i := len(panes) - 1; i >= 0 && covered < int64(span); i-- {
 		if acc == nil {
-			acc = q.panes[i]
+			acc = panes[i]
 		} else {
-			acc = summary.Merge(acc, q.panes[i])
+			acc = summary.Merge(acc, panes[i])
 		}
-		covered += q.panes[i].N
+		covered += panes[i].N
 	}
+	return acc
+}
+
+// partialSummaryLocked summarizes a copy of the buffered partial pane.
+// Caller must hold the core lock.
+func (q *SlidingQuantile) partialSummaryLocked() *summary.Summary {
+	if q.core.BufferedLocked() == 0 {
+		return nil
+	}
+	tmp := append(q.core.Scratch(q.core.BufferedLocked()), q.core.Partial()...)
+	q.sorter.Sort(tmp)
+	return summary.FromSortedWindow(tmp, q.eps)
+}
+
+// snapshot merges the newest panes covering span elements with the partial
+// pane buffer into one queryable summary. Caller must hold the core lock;
+// the result is immutable and may outlive the locked region.
+func (q *SlidingQuantile) snapshot(span int) *summary.Summary {
+	t1 := time.Now()
+	acc := mergePaneSummaries(q.panes, q.partialSummaryLocked(), span)
 	q.core.AddMerge(time.Since(t1), 0)
 	return acc
 }
 
 // Query returns an eps-approximate phi-quantile of the most recent W
-// elements. It panics if nothing has been processed.
+// elements. It panics if nothing has been processed. Safe under concurrent
+// ingestion.
 func (q *SlidingQuantile) Query(phi float64) float32 {
 	return q.QueryWindow(phi, q.w)
 }
 
 // QueryWindow answers the variable-size query over the most recent w
-// elements, w <= W. Rank error is bounded by eps*W (absolute).
+// elements, w <= W. Rank error is bounded by eps*W (absolute). Safe under
+// concurrent ingestion.
 func (q *SlidingQuantile) QueryWindow(phi float64, w int) float32 {
 	if w <= 0 || w > q.w {
 		panic(fmt.Sprintf("window: query window %d out of (0, %d]", w, q.w))
 	}
+	q.core.Lock()
 	s := q.snapshot(w)
+	q.core.Unlock()
 	if s == nil || s.N == 0 {
 		panic("window: quantile query on empty window")
 	}
@@ -139,4 +174,91 @@ func (q *SlidingQuantile) QueryWindow(phi float64, w int) float32 {
 
 // WindowSummary exposes the merged snapshot over the most recent w
 // elements, for validation harnesses.
-func (q *SlidingQuantile) WindowSummary(w int) *summary.Summary { return q.snapshot(w) }
+func (q *SlidingQuantile) WindowSummary(w int) *summary.Summary {
+	q.core.Lock()
+	defer q.core.Unlock()
+	return q.snapshot(w)
+}
+
+// QuantileSnapshot is an immutable point-in-time view of a sliding-window
+// quantile estimator. Pane summaries are aliased directly — they are never
+// mutated or recycled — so taking one costs O(partial pane). A
+// QuantileSnapshot is safe for concurrent use and implements pipeline.View.
+type QuantileSnapshot struct {
+	eps     float64
+	w       int
+	count   int64
+	panes   []*summary.Summary // oldest first
+	partial *summary.Summary   // nil when the pane buffer was empty
+}
+
+// Snapshot returns an immutable view of the current window state. The view
+// answers Quantile (and variable-span QueryWindow) queries and never sees
+// ingestion that happens after this call.
+func (q *SlidingQuantile) Snapshot() pipeline.View {
+	q.core.Lock()
+	defer q.core.Unlock()
+	return &QuantileSnapshot{
+		eps:     q.eps,
+		w:       q.w,
+		count:   q.core.CountLocked(),
+		panes:   append([]*summary.Summary(nil), q.panes...),
+		partial: q.partialSummaryLocked(),
+	}
+}
+
+// Count reports the whole-stream length the snapshot was taken at.
+func (s *QuantileSnapshot) Count() int64 { return s.count }
+
+// Size reports the total retained summary entries.
+func (s *QuantileSnapshot) Size() int {
+	total := 0
+	if s.partial != nil {
+		total += s.partial.Size()
+	}
+	for _, p := range s.panes {
+		total += p.Size()
+	}
+	return total
+}
+
+// Eps reports the snapshot's error bound.
+func (s *QuantileSnapshot) Eps() float64 { return s.eps }
+
+// WindowSize reports W.
+func (s *QuantileSnapshot) WindowSize() int { return s.w }
+
+// Query returns an eps-approximate phi-quantile over the most recent W
+// elements as of the snapshot. It panics on an empty window (use Quantile
+// for the non-panicking form).
+func (s *QuantileSnapshot) Query(phi float64) float32 { return s.QueryWindow(phi, s.w) }
+
+// QueryWindow answers the variable-size query over the most recent w
+// elements as of the snapshot, w <= W.
+func (s *QuantileSnapshot) QueryWindow(phi float64, w int) float32 {
+	if w <= 0 || w > s.w {
+		panic(fmt.Sprintf("window: query window %d out of (0, %d]", w, s.w))
+	}
+	m := mergePaneSummaries(s.panes, s.partial, w)
+	if m == nil || m.N == 0 {
+		panic("window: quantile query on empty window")
+	}
+	return m.Query(phi)
+}
+
+// Quantile implements pipeline.View; ok is false on an empty window.
+func (s *QuantileSnapshot) Quantile(phi float64) (float32, bool) {
+	m := mergePaneSummaries(s.panes, s.partial, s.w)
+	if m == nil || m.N == 0 {
+		return 0, false
+	}
+	return m.Query(phi), true
+}
+
+// HeavyHitters implements pipeline.View; quantile sketches do not answer
+// frequency queries.
+func (s *QuantileSnapshot) HeavyHitters(float64) ([]pipeline.Item, bool) { return nil, false }
+
+// Frequency implements pipeline.View; quantile sketches do not answer
+// point-frequency queries.
+func (s *QuantileSnapshot) Frequency(float32) (int64, bool) { return 0, false }

@@ -11,10 +11,12 @@
 // quantization and per-pane summarization each cost at most eps*W/2.
 // DESIGN.md records this assumption.
 //
-// Pane buffering, lifecycle, and telemetry come from the shared
+// Pane buffering, lifecycle, locking, and telemetry come from the shared
 // internal/pipeline core (a pane is just a window by another name); this
 // file contributes the sort -> histogram -> compress pane sink and the
-// pane ring.
+// pane ring. Queries are safe under concurrent ingestion; Snapshot returns
+// an immutable view whose pane histograms are protected from the expiry
+// freelist by a copy-on-write mark.
 package window
 
 import (
@@ -29,10 +31,7 @@ import (
 )
 
 // Item is a reported element with its estimated in-window frequency.
-type Item struct {
-	Value float32
-	Freq  int64
-}
+type Item = pipeline.Item
 
 // paneSize derives the pane length from eps and W, clamped to [1, W].
 func paneSize(eps float64, w int) int {
@@ -53,9 +52,13 @@ func paneSize(eps float64, w int) int {
 }
 
 // freqPane is one completed pane: its filtered histogram and total count.
+// shared marks the bins as aliased by a FrequencySnapshot, which excludes
+// them from the expiry freelist (copy-on-write: the ring allocates fresh
+// storage instead of overwriting what a snapshot still reads).
 type freqPane struct {
-	bins  []histogram.Bin
-	total int64
+	bins   []histogram.Bin
+	total  int64
+	shared bool
 }
 
 // SlidingFrequency answers eps-approximate frequency queries over the most
@@ -64,6 +67,9 @@ type freqPane struct {
 // compressed by dropping bins with count <= eps*pane/2. Estimates are within
 // eps*W of the true frequency over the window, with no false negatives at
 // support s when querying with threshold (s-eps)*W.
+//
+// One writer and any number of query goroutines may use the estimator
+// concurrently.
 type SlidingFrequency struct {
 	eps    float64
 	w      int
@@ -96,32 +102,40 @@ func (f *SlidingFrequency) PaneSize() int { return f.core.WindowSize() }
 // Count reports the number of elements processed so far (whole stream).
 func (f *SlidingFrequency) Count() int64 { return f.core.Count() }
 
-// Stats returns the unified per-stage pipeline telemetry.
+// Stats returns the unified per-stage pipeline telemetry. Safe to call
+// mid-ingestion; counters are internally consistent.
 func (f *SlidingFrequency) Stats() pipeline.Stats { return f.core.Stats() }
 
 // SortedValues reports how many values have passed through the sorter.
 func (f *SlidingFrequency) SortedValues() int64 { return f.core.Stats().SortedValues }
 
 // Panes reports the number of retained panes.
-func (f *SlidingFrequency) Panes() int { return len(f.panes) }
+func (f *SlidingFrequency) Panes() int {
+	f.core.Lock()
+	defer f.core.Unlock()
+	return len(f.panes)
+}
 
-// Process consumes one stream element.
-func (f *SlidingFrequency) Process(v float32) { f.core.Process(v) }
+// Process consumes one stream element. After Close it returns an error
+// wrapping pipeline.ErrClosed.
+func (f *SlidingFrequency) Process(v float32) error { return f.core.Process(v) }
 
-// ProcessSlice consumes a batch of elements.
-func (f *SlidingFrequency) ProcessSlice(data []float32) { f.core.ProcessSlice(data) }
+// ProcessSlice consumes a batch of elements. After Close it returns an
+// error wrapping pipeline.ErrClosed.
+func (f *SlidingFrequency) ProcessSlice(data []float32) error { return f.core.ProcessSlice(data) }
 
 // Flush seals the buffered partial pane. Queries do not need it — the
 // partial pane is always visible — but it makes the state self-contained
 // before Close or hand-off.
-func (f *SlidingFrequency) Flush() { f.core.Flush() }
+func (f *SlidingFrequency) Flush() error { return f.core.Flush() }
 
 // Close flushes and releases the pane buffer back to the shared pool. The
-// estimator remains queryable; further ingestion panics.
-func (f *SlidingFrequency) Close() { f.core.Close() }
+// estimator remains queryable; further ingestion reports
+// pipeline.ErrClosed. Close is idempotent.
+func (f *SlidingFrequency) Close() error { return f.core.Close() }
 
 // sealPane summarizes one full pane handed over by the core and expires old
-// panes.
+// panes. The core holds the lock.
 func (f *SlidingFrequency) sealPane(win []float32) {
 	t0 := time.Now()
 	f.sorter.Sort(win)
@@ -152,58 +166,41 @@ func (f *SlidingFrequency) sealPane(win []float32) {
 	}
 	f.panes = append(f.panes, freqPane{bins: append(paneBins, kept...), total: total})
 
-	// Keep enough panes to cover W elements beyond the buffer.
+	// Keep enough panes to cover W elements beyond the buffer. Bins aliased
+	// by a snapshot are abandoned to it rather than recycled.
 	maxPanes := (f.w + f.core.WindowSize() - 1) / f.core.WindowSize()
 	if len(f.panes) > maxPanes {
 		for _, p := range f.panes[:len(f.panes)-maxPanes] {
-			f.binFree = append(f.binFree, p.bins)
+			if !p.shared {
+				f.binFree = append(f.binFree, p.bins)
+			}
 		}
 		f.panes = f.panes[len(f.panes)-maxPanes:]
 	}
 }
 
-// merged returns the combined histogram over the newest panes covering at
-// least span elements, plus the current partial pane, along with the element
-// count it represents.
-func (f *SlidingFrequency) merged(span int) ([]histogram.Bin, int64) {
-	t1 := time.Now()
-	var bins []histogram.Bin
-	covered := int64(f.core.Buffered())
-	if f.core.Buffered() > 0 {
-		tmp := append(f.core.Scratch(f.core.Buffered()), f.core.Partial()...)
-		f.sorter.Sort(tmp)
-		bins = histogram.FromSorted(tmp)
+// mergePaneBins combines the newest panes covering at least span elements
+// with an already-binned partial pane, returning the merged histogram and
+// the element count it represents. histogram.Merge always writes a fresh
+// output slice, so the inputs are never mutated.
+func mergePaneBins(panes []freqPane, partialBins []histogram.Bin, partialCount int64, span int) ([]histogram.Bin, int64) {
+	bins := partialBins
+	covered := partialCount
+	for i := len(panes) - 1; i >= 0 && covered < int64(span); i-- {
+		bins = histogram.Merge(bins, panes[i].bins)
+		covered += panes[i].total
 	}
-	for i := len(f.panes) - 1; i >= 0 && covered < int64(span); i-- {
-		bins = histogram.Merge(bins, f.panes[i].bins)
-		covered += f.panes[i].total
-	}
-	f.core.AddMerge(time.Since(t1), 0)
 	return bins, covered
 }
 
-// Query returns the elements whose estimated frequency over the most recent
-// W elements is at least (s - eps) * min(W, N), ordered by decreasing
-// frequency.
-func (f *SlidingFrequency) Query(s float64) []Item {
-	return f.QueryWindow(s, f.w)
-}
-
-// QueryWindow answers the variable-size query over the most recent w
-// elements, w <= W. Error is bounded by eps*W (absolute, in elements).
-func (f *SlidingFrequency) QueryWindow(s float64, w int) []Item {
-	if s < 0 || s > 1 {
-		panic(fmt.Sprintf("window: support %v out of [0, 1]", s))
-	}
-	if w <= 0 || w > f.w {
-		panic(fmt.Sprintf("window: query window %d out of (0, %d]", w, f.w))
-	}
-	bins, covered := f.merged(w)
+// heavyFromBins answers the support-s frequency query over a merged
+// histogram covering `covered` of the requested w elements.
+func heavyFromBins(bins []histogram.Bin, covered int64, w int, eps, s float64) []Item {
 	span := int64(w)
 	if covered < span {
 		span = covered
 	}
-	thresh := (s - f.eps) * float64(span)
+	thresh := (s - eps) * float64(span)
 	var out []Item
 	for _, b := range bins {
 		if float64(b.Count) >= thresh {
@@ -219,10 +216,8 @@ func (f *SlidingFrequency) QueryWindow(s float64, w int) []Item {
 	return out
 }
 
-// Estimate returns the estimated frequency of v over the most recent W
-// elements.
-func (f *SlidingFrequency) Estimate(v float32) int64 {
-	bins, _ := f.merged(f.w)
+// estimateFromBins scans a merged histogram for v.
+func estimateFromBins(bins []histogram.Bin, v float32) int64 {
 	for _, b := range bins {
 		if b.Value == v {
 			return b.Count
@@ -230,3 +225,151 @@ func (f *SlidingFrequency) Estimate(v float32) int64 {
 	}
 	return 0
 }
+
+// partialBinsLocked sorts a copy of the buffered partial pane into a fresh
+// histogram. Caller must hold the core lock.
+func (f *SlidingFrequency) partialBinsLocked() []histogram.Bin {
+	if f.core.BufferedLocked() == 0 {
+		return nil
+	}
+	tmp := append(f.core.Scratch(f.core.BufferedLocked()), f.core.Partial()...)
+	f.sorter.Sort(tmp)
+	return histogram.FromSorted(tmp)
+}
+
+// merged returns the combined histogram over the newest panes covering at
+// least span elements, plus the current partial pane, along with the element
+// count it represents. Caller must hold the core lock.
+func (f *SlidingFrequency) merged(span int) ([]histogram.Bin, int64) {
+	t1 := time.Now()
+	bins, covered := mergePaneBins(f.panes, f.partialBinsLocked(), int64(f.core.BufferedLocked()), span)
+	f.core.AddMerge(time.Since(t1), 0)
+	return bins, covered
+}
+
+// Query returns the elements whose estimated frequency over the most recent
+// W elements is at least (s - eps) * min(W, N), ordered by decreasing
+// frequency. Safe under concurrent ingestion.
+func (f *SlidingFrequency) Query(s float64) []Item {
+	return f.QueryWindow(s, f.w)
+}
+
+// QueryWindow answers the variable-size query over the most recent w
+// elements, w <= W. Error is bounded by eps*W (absolute, in elements).
+// Safe under concurrent ingestion.
+func (f *SlidingFrequency) QueryWindow(s float64, w int) []Item {
+	if s < 0 || s > 1 {
+		panic(fmt.Sprintf("window: support %v out of [0, 1]", s))
+	}
+	if w <= 0 || w > f.w {
+		panic(fmt.Sprintf("window: query window %d out of (0, %d]", w, f.w))
+	}
+	f.core.Lock()
+	bins, covered := f.merged(w)
+	f.core.Unlock()
+	return heavyFromBins(bins, covered, w, f.eps, s)
+}
+
+// Estimate returns the estimated frequency of v over the most recent W
+// elements. Safe under concurrent ingestion.
+func (f *SlidingFrequency) Estimate(v float32) int64 {
+	f.core.Lock()
+	bins, _ := f.merged(f.w)
+	f.core.Unlock()
+	return estimateFromBins(bins, v)
+}
+
+// FrequencySnapshot is an immutable point-in-time view of a sliding-window
+// frequency estimator. It aliases the live pane histograms under the
+// copy-on-write discipline (the ring abandons shared bins to the snapshot
+// instead of recycling them on expiry), so taking one costs O(partial pane).
+// A FrequencySnapshot is safe for concurrent use and implements
+// pipeline.View.
+type FrequencySnapshot struct {
+	eps          float64
+	w            int
+	count        int64
+	panes        []freqPane // oldest first; bins shared with the estimator
+	partialBins  []histogram.Bin
+	partialCount int64
+}
+
+// Snapshot returns an immutable view of the current window state. The view
+// answers HeavyHitters/Frequency (and variable-span QueryWindow) queries
+// and never sees ingestion that happens after this call.
+func (f *SlidingFrequency) Snapshot() pipeline.View {
+	f.core.Lock()
+	defer f.core.Unlock()
+	pbins := f.partialBinsLocked()
+	if pbins != nil {
+		// The scratch-backed histogram copy is reused by later queries;
+		// give the snapshot its own storage.
+		pbins = append([]histogram.Bin(nil), pbins...)
+	}
+	for i := range f.panes {
+		f.panes[i].shared = true
+	}
+	return &FrequencySnapshot{
+		eps:          f.eps,
+		w:            f.w,
+		count:        f.core.CountLocked(),
+		panes:        append([]freqPane(nil), f.panes...),
+		partialBins:  pbins,
+		partialCount: int64(f.core.BufferedLocked()),
+	}
+}
+
+// Count reports the whole-stream length the snapshot was taken at.
+func (s *FrequencySnapshot) Count() int64 { return s.count }
+
+// Size reports the retained histogram bins across panes and the partial
+// pane.
+func (s *FrequencySnapshot) Size() int {
+	total := len(s.partialBins)
+	for _, p := range s.panes {
+		total += len(p.bins)
+	}
+	return total
+}
+
+// Eps reports the snapshot's error bound.
+func (s *FrequencySnapshot) Eps() float64 { return s.eps }
+
+// WindowSize reports W.
+func (s *FrequencySnapshot) WindowSize() int { return s.w }
+
+// Query answers the support-sp frequency query over the most recent W
+// elements as of the snapshot.
+func (s *FrequencySnapshot) Query(sp float64) []Item { return s.QueryWindow(sp, s.w) }
+
+// QueryWindow answers the variable-size query over the most recent w
+// elements as of the snapshot, w <= W.
+func (s *FrequencySnapshot) QueryWindow(sp float64, w int) []Item {
+	if sp < 0 || sp > 1 {
+		panic(fmt.Sprintf("window: support %v out of [0, 1]", sp))
+	}
+	if w <= 0 || w > s.w {
+		panic(fmt.Sprintf("window: query window %d out of (0, %d]", w, s.w))
+	}
+	bins, covered := mergePaneBins(s.panes, s.partialBins, s.partialCount, w)
+	return heavyFromBins(bins, covered, w, s.eps, sp)
+}
+
+// Estimate returns the estimated frequency of v over the most recent W
+// elements as of the snapshot.
+func (s *FrequencySnapshot) Estimate(v float32) int64 {
+	bins, _ := mergePaneBins(s.panes, s.partialBins, s.partialCount, s.w)
+	return estimateFromBins(bins, v)
+}
+
+// Quantile implements pipeline.View; frequency sketches do not answer
+// quantile queries.
+func (s *FrequencySnapshot) Quantile(float64) (float32, bool) { return 0, false }
+
+// HeavyHitters implements pipeline.View.
+func (s *FrequencySnapshot) HeavyHitters(support float64) ([]Item, bool) {
+	return s.Query(support), true
+}
+
+// Frequency implements pipeline.View.
+func (s *FrequencySnapshot) Frequency(v float32) (int64, bool) { return s.Estimate(v), true }

@@ -38,15 +38,15 @@ func chunkPlans(n int, seed int64) [][]int {
 // ingest feeds data according to plan, using Process for 1-chunks and
 // ProcessSlice otherwise, so both entry points are exercised.
 func ingest(est interface {
-	Process(float32)
-	ProcessSlice([]float32)
+	Process(float32) error
+	ProcessSlice([]float32) error
 }, data []float32, plan []int) {
 	off := 0
 	for _, c := range plan {
 		if c == 1 {
-			est.Process(data[off])
+			_ = est.Process(data[off])
 		} else {
-			est.ProcessSlice(data[off : off+c])
+			_ = est.ProcessSlice(data[off : off+c])
 		}
 		off += c
 	}
