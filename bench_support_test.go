@@ -14,15 +14,15 @@ import (
 func benchRowBlocks(b *testing.B) {
 	const W, H = 256, 256
 	data := stream.Uniform(W*H, 14)
-	variants := map[string]func(*gpu.Device, *gpu.Texture, int){
-		"row-block-quads": gpusort.SortStep,
-		"per-row-quads":   gpusort.SortStepPerRow,
+	variants := map[string]func(*gpu.Device[float32], *gpu.Texture[float32], int){
+		"row-block-quads": gpusort.SortStep[float32],
+		"per-row-quads":   gpusort.SortStepPerRow[float32],
 	}
 	for name, step := range variants {
 		b.Run(name, func(b *testing.B) {
-			tex := gpu.NewTexture(W, H)
+			tex := gpu.NewTexture[float32](W, H)
 			tex.LoadChannel(0, data)
-			dev := gpu.NewDevice(W, H)
+			dev := gpu.NewDevice[float32](W, H)
 			gpusort.Copy(dev, tex)
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {

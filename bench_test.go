@@ -32,7 +32,7 @@ func BenchmarkFig3Sort(b *testing.B) {
 	for _, n := range benchSizes {
 		data := stream.Uniform(n, uint64(n))
 		b.Run(fmt.Sprintf("gpu-pbsn/n=%d", n), func(b *testing.B) {
-			s := gpusort.NewSorter()
+			s := gpusort.NewSorter[float32]()
 			buf := make([]float32, n)
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
@@ -42,7 +42,7 @@ func BenchmarkFig3Sort(b *testing.B) {
 			b.ReportMetric(float64(model.PBSNSortTime(n).Total().Microseconds())/1000, "model-ms")
 		})
 		b.Run(fmt.Sprintf("gpu-bitonic/n=%d", n), func(b *testing.B) {
-			s := gpusort.NewBitonicSorter()
+			s := gpusort.NewBitonicSorter[float32]()
 			buf := make([]float32, n)
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
@@ -80,7 +80,7 @@ func BenchmarkFig4Breakdown(b *testing.B) {
 	for _, n := range benchSizes {
 		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
 			data := stream.Uniform(n, uint64(n))
-			s := gpusort.NewSorter()
+			s := gpusort.NewSorter[float32]()
 			buf := make([]float32, n)
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
@@ -98,7 +98,7 @@ func BenchmarkFig4Breakdown(b *testing.B) {
 }
 
 // benchPipeline drives a frequency or quantile pipeline over a fixed stream.
-func benchPipeline(b *testing.B, backend Backend, run func(eng *Engine, data []float32) (sortShare float64)) {
+func benchPipeline(b *testing.B, backend Backend, run func(eng *Engine[float32], data []float32) (sortShare float64)) {
 	data := stream.UniformInts(1<<18, 1<<20, 7)
 	eng := New(backend)
 	b.ResetTimer()
@@ -115,7 +115,7 @@ func BenchmarkFig5Frequency(b *testing.B) {
 	for _, eps := range []float64{1e-2, 1e-3, 1e-4} {
 		for _, backend := range []Backend{BackendGPU, BackendCPU} {
 			b.Run(fmt.Sprintf("%v/eps=%g", backend, eps), func(b *testing.B) {
-				benchPipeline(b, backend, func(eng *Engine, data []float32) float64 {
+				benchPipeline(b, backend, func(eng *Engine[float32], data []float32) float64 {
 					est := eng.NewFrequencyEstimator(eps)
 					est.ProcessSlice(data)
 					est.Flush()
@@ -164,7 +164,7 @@ func BenchmarkFig7Quantile(b *testing.B) {
 	for _, eps := range []float64{1e-2, 1e-3, 1e-4} {
 		for _, backend := range []Backend{BackendGPU, BackendCPU} {
 			b.Run(fmt.Sprintf("%v/eps=%g", backend, eps), func(b *testing.B) {
-				benchPipeline(b, backend, func(eng *Engine, data []float32) float64 {
+				benchPipeline(b, backend, func(eng *Engine[float32], data []float32) float64 {
 					est := eng.NewQuantileEstimator(eps, int64(len(data)))
 					est.ProcessSlice(data)
 					_ = est.Query(0.5)
@@ -284,7 +284,7 @@ func BenchmarkAblationChannels(b *testing.B) {
 	data := stream.Uniform(n, 10)
 	for _, ch := range []int{1, 4} {
 		b.Run(fmt.Sprintf("channels=%d", ch), func(b *testing.B) {
-			s := &gpusort.Sorter{ChannelsUsed: ch}
+			s := &gpusort.Sorter[float32]{ChannelsUsed: ch}
 			buf := make([]float32, n)
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
@@ -313,7 +313,7 @@ func BenchmarkAblationNetworks(b *testing.B) {
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				copy(buf, data)
-				net.Apply(buf)
+				sortnet.Apply(net, buf)
 			}
 			b.ReportMetric(float64(net.Comparators()), "comparators")
 		})
@@ -336,7 +336,7 @@ func BenchmarkAblationInsertion(b *testing.B) {
 	})
 	b.Run("single-element", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			g := summary.NewGK(eps)
+			g := summary.NewGK[float32](eps)
 			for _, v := range data {
 				g.Insert(v)
 			}
@@ -353,7 +353,7 @@ func BenchmarkAblationCompress(b *testing.B) {
 		b.Run(fmt.Sprintf("every=%d", every), func(b *testing.B) {
 			var size int
 			for i := 0; i < b.N; i++ {
-				g := summary.NewGKCompressEvery(0.01, every)
+				g := summary.NewGKCompressEvery[float32](0.01, every)
 				for _, v := range data {
 					g.Insert(v)
 				}
@@ -386,7 +386,7 @@ func BenchmarkAblationBatchSort(b *testing.B) {
 		return out
 	}
 	b.Run("batched-4-windows", func(b *testing.B) {
-		s := gpusort.NewSorter()
+		s := gpusort.NewSorter[float32]()
 		for i := 0; i < b.N; i++ {
 			s.SortBatch(mk())
 		}
@@ -394,7 +394,7 @@ func BenchmarkAblationBatchSort(b *testing.B) {
 		b.ReportMetric(float64(model.GPU.SetupOverhead.Microseconds())/1000/4, "model-setup-ms/window")
 	})
 	b.Run("separate-windows", func(b *testing.B) {
-		s := gpusort.NewSorter()
+		s := gpusort.NewSorter[float32]()
 		for i := 0; i < b.N; i++ {
 			for _, win := range mk() {
 				s.Sort(win)
@@ -402,4 +402,69 @@ func BenchmarkAblationBatchSort(b *testing.B) {
 		}
 		b.ReportMetric(float64(model.GPU.SetupOverhead.Microseconds())/1000, "model-setup-ms/window")
 	})
+}
+
+// benchStreamOf builds a rank-shuffled stream at type T so every
+// instantiation sorts the same permutation (comparisons and swaps agree
+// across types; only element width differs).
+func benchStreamOf[T Value](n int, seed uint64) []T {
+	r := stream.NewRNG(seed)
+	out := make([]T, n)
+	for i := range out {
+		out[i] = T(i)
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		out[i], out[j] = out[j], out[i]
+	}
+	return out
+}
+
+func benchSortType[T Value](b *testing.B, backend Backend, n int, elemSize int64) {
+	data := benchStreamOf[T](n, uint64(n))
+	eng := NewOf[T](backend)
+	buf := make([]T, n)
+	b.SetBytes(int64(n) * elemSize)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(buf, data)
+		eng.Sort(buf)
+	}
+}
+
+// BenchmarkSortTypes compares float32 against the uint64 and float64
+// instantiations of every sorting backend at a fixed size: same element
+// count, same permutation, different element widths. Simulated GPU work is
+// identical across types (32-bit texels either way); host throughput shows
+// the real cost of the wider elements.
+func BenchmarkSortTypes(b *testing.B) {
+	const n = 1 << 16
+	for _, backend := range []Backend{BackendGPU, BackendGPUBitonic, BackendCPU, BackendCPUParallel} {
+		b.Run(backend.String()+"/float32", func(b *testing.B) { benchSortType[float32](b, backend, n, 4) })
+		b.Run(backend.String()+"/uint64", func(b *testing.B) { benchSortType[uint64](b, backend, n, 8) })
+		b.Run(backend.String()+"/float64", func(b *testing.B) { benchSortType[float64](b, backend, n, 8) })
+	}
+}
+
+func benchPipelineType[T Value](b *testing.B, backend Backend, n int, elemSize int64) {
+	data := benchStreamOf[T](n, uint64(n)+1)
+	b.SetBytes(int64(n) * elemSize)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		est := NewOf[T](backend).NewQuantileEstimator(0.01, int64(n))
+		est.ProcessSlice(data)
+		_ = est.Query(0.5)
+		est.Close()
+	}
+}
+
+// BenchmarkPipelineTypes measures end-to-end quantile-pipeline ingest
+// (window sort, summary build, merge, prune) per element type and backend.
+func BenchmarkPipelineTypes(b *testing.B) {
+	const n = 1 << 16
+	for _, backend := range []Backend{BackendGPU, BackendCPU} {
+		b.Run(backend.String()+"/float32", func(b *testing.B) { benchPipelineType[float32](b, backend, n, 4) })
+		b.Run(backend.String()+"/uint64", func(b *testing.B) { benchPipelineType[uint64](b, backend, n, 8) })
+		b.Run(backend.String()+"/float64", func(b *testing.B) { benchPipelineType[float64](b, backend, n, 8) })
+	}
 }

@@ -120,7 +120,7 @@ func figure3(measure bool) {
 			data := stream.Uniform(n, uint64(n))
 			buf := make([]float32, n)
 
-			s := gpusort.NewSorter()
+			s := gpusort.NewSorter[float32]()
 			copy(buf, data)
 			t0 := time.Now()
 			s.Sort(buf)

@@ -61,23 +61,23 @@ func main() {
 			fmt.Fprintf(os.Stderr, "sortbench: %v\n", err)
 			os.Exit(2)
 		}
-		var s sorter.Sorter = gpustream.New(backend).Sorter()
+		var s sorter.Sorter[float32] = gpustream.New(backend).Sorter()
 		t0 := time.Now()
 		s.Sort(buf)
 		host := time.Since(t0)
 
 		switch g := s.(type) {
-		case *gpusort.Sorter:
+		case *gpusort.Sorter[float32]:
 			st := g.LastStats()
 			b := model.GPUSortFromStats(st.GPU, st.MergeCmps)
 			modelTotal, modelCompute, modelTransfer = b.Total(), b.Compute, b.Transfer
-		case *gpusort.BitonicSorter:
+		case *gpusort.BitonicSorter[float32]:
 			st := g.LastStats()
 			b := model.GPUSortFromStats(st.GPU, st.MergeCmps)
 			modelTotal, modelCompute, modelTransfer = b.Total(), b.Compute, b.Transfer
-		case cpusort.QuicksortSorter:
+		case cpusort.QuicksortSorter[float32]:
 			modelTotal = model.QuicksortTime(*n, perfmodel.MSVC)
-		case cpusort.ParallelSorter:
+		case cpusort.ParallelSorter[float32]:
 			modelTotal = model.QuicksortTime(*n, perfmodel.IntelHT)
 		}
 		fmt.Fprintf(w, "%s\t%.1f\t%.1f\t%.1f\t%.1f\t%v\t\n",

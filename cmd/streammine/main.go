@@ -161,7 +161,7 @@ func generate(dist string, n int, seed uint64) []float32 {
 	return nil
 }
 
-func printItems(items []gpustream.Item, top int) {
+func printItems(items []gpustream.Item[float32], top int) {
 	for i, it := range items {
 		if i >= top {
 			fmt.Printf("  ... and %d more\n", len(items)-top)
@@ -189,7 +189,7 @@ func printStats(all []gpustream.EstimatorStats) {
 	}
 }
 
-func printWindowItems(items []gpustream.WindowItem, top int) {
+func printWindowItems(items []gpustream.WindowItem[float32], top int) {
 	for i, it := range items {
 		if i >= top {
 			fmt.Printf("  ... and %d more\n", len(items)-top)

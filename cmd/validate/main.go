@@ -76,7 +76,7 @@ func report(w *tabwriter.Writer, est, dist string, eps, measured, bound float64)
 	fmt.Fprintf(w, "%s\t%s\t%g\t%.6f\t%.6f\t%v\t\n", est, dist, eps, measured, bound, ok)
 }
 
-func validateFrequency(w *tabwriter.Writer, eng *gpustream.Engine, dist string, eps float64, data []float32) {
+func validateFrequency(w *tabwriter.Writer, eng *gpustream.Engine[float32], dist string, eps float64, data []float32) {
 	est := eng.NewFrequencyEstimator(eps)
 	est.ProcessSlice(data)
 	exact := map[float32]int64{}
@@ -113,7 +113,7 @@ func rankError(ref []float32, got float32, r int) float64 {
 	return float64(d) / float64(len(ref))
 }
 
-func validateQuantile(w *tabwriter.Writer, eng *gpustream.Engine, dist string, eps float64, data []float32) {
+func validateQuantile(w *tabwriter.Writer, eng *gpustream.Engine[float32], dist string, eps float64, data []float32) {
 	est := eng.NewQuantileEstimator(eps, int64(len(data)))
 	est.ProcessSlice(data)
 	ref := append([]float32(nil), data...)
@@ -132,7 +132,7 @@ func validateQuantile(w *tabwriter.Writer, eng *gpustream.Engine, dist string, e
 	report(w, "quantile", dist, eps, worst, eps)
 }
 
-func validateSlidingFrequency(w *tabwriter.Writer, eng *gpustream.Engine, dist string, eps float64, data []float32, win int) {
+func validateSlidingFrequency(w *tabwriter.Writer, eng *gpustream.Engine[float32], dist string, eps float64, data []float32, win int) {
 	est := eng.NewSlidingFrequency(eps, win)
 	est.ProcessSlice(data)
 	exact := map[float32]int64{}
@@ -149,7 +149,7 @@ func validateSlidingFrequency(w *tabwriter.Writer, eng *gpustream.Engine, dist s
 	report(w, "sliding-frequency", dist, eps, worst, eps)
 }
 
-func validateSlidingQuantile(w *tabwriter.Writer, eng *gpustream.Engine, dist string, eps float64, data []float32, win int) {
+func validateSlidingQuantile(w *tabwriter.Writer, eng *gpustream.Engine[float32], dist string, eps float64, data []float32, win int) {
 	est := eng.NewSlidingQuantile(eps, win)
 	est.ProcessSlice(data)
 	ref := append([]float32(nil), data[len(data)-win:]...)

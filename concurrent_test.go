@@ -34,20 +34,20 @@ func hammerN() int {
 }
 
 // families enumerates the six estimator families over a CPU-backed engine.
-func families(eng *gpustream.Engine, capacity int64) map[string]func() gpustream.Estimator {
-	return map[string]func() gpustream.Estimator{
-		"frequency": func() gpustream.Estimator { return eng.NewFrequencyEstimator(hammerEps) },
-		"quantile":  func() gpustream.Estimator { return eng.NewQuantileEstimator(hammerEps, capacity) },
-		"sliding-frequency": func() gpustream.Estimator {
+func families(eng *gpustream.Engine[float32], capacity int64) map[string]func() gpustream.Estimator[float32] {
+	return map[string]func() gpustream.Estimator[float32]{
+		"frequency": func() gpustream.Estimator[float32] { return eng.NewFrequencyEstimator(hammerEps) },
+		"quantile":  func() gpustream.Estimator[float32] { return eng.NewQuantileEstimator(hammerEps, capacity) },
+		"sliding-frequency": func() gpustream.Estimator[float32] {
 			return eng.NewSlidingFrequency(hammerEps, hammerWindow)
 		},
-		"sliding-quantile": func() gpustream.Estimator {
+		"sliding-quantile": func() gpustream.Estimator[float32] {
 			return eng.NewSlidingQuantile(hammerEps, hammerWindow)
 		},
-		"parallel-frequency": func() gpustream.Estimator {
+		"parallel-frequency": func() gpustream.Estimator[float32] {
 			return eng.NewParallelFrequencyEstimator(hammerEps, 2, gpustream.WithBatchSize(1<<14))
 		},
-		"parallel-quantile": func() gpustream.Estimator {
+		"parallel-quantile": func() gpustream.Estimator[float32] {
 			return eng.NewParallelQuantileEstimator(hammerEps, capacity, 2, gpustream.WithBatchSize(1<<14))
 		},
 	}
@@ -56,28 +56,28 @@ func families(eng *gpustream.Engine, capacity int64) map[string]func() gpustream
 // liveQuery exercises the family-specific live query surface, which must be
 // safe mid-ingestion. Quantile queries panic on an empty stream by
 // contract, so they are gated on Count.
-func liveQuery(est gpustream.Estimator, probe float32) {
+func liveQuery(est gpustream.Estimator[float32], probe float32) {
 	switch e := est.(type) {
-	case *gpustream.FrequencyEstimator:
+	case *gpustream.FrequencyEstimator[float32]:
 		e.Query(0.02)
 		e.Estimate(probe)
-	case *gpustream.QuantileEstimator:
+	case *gpustream.QuantileEstimator[float32]:
 		if e.Count() > 0 {
 			e.Query(0.5)
 		}
-	case *gpustream.SlidingFrequency:
+	case *gpustream.SlidingFrequency[float32]:
 		e.Query(0.02)
 		e.Estimate(probe)
 		e.QueryWindow(0.02, hammerWindow/2)
-	case *gpustream.SlidingQuantile:
+	case *gpustream.SlidingQuantile[float32]:
 		if e.Count() > 0 {
 			e.Query(0.5)
 			e.QueryWindow(0.5, hammerWindow/2)
 		}
-	case *gpustream.ParallelFrequencyEstimator:
+	case *gpustream.ParallelFrequencyEstimator[float32]:
 		e.Query(0.02)
 		e.Estimate(probe)
-	case *gpustream.ParallelQuantileEstimator:
+	case *gpustream.ParallelQuantileEstimator[float32]:
 		if e.Count() > 0 {
 			e.Query(0.5)
 		}
@@ -160,7 +160,7 @@ func TestConcurrentQueryDuringIngest(t *testing.T) {
 // prefixAnswers probes a snapshot and a serial estimator stopped at the
 // same prefix with the same queries; the two answer sets must be
 // bit-identical.
-func snapshotVsSerial(t *testing.T, name string, snap gpustream.Snapshot, serial gpustream.Estimator) {
+func snapshotVsSerial(t *testing.T, name string, snap gpustream.Snapshot[float32], serial gpustream.Estimator[float32]) {
 	t.Helper()
 	sv := serial.Snapshot()
 	if snap.Count() != sv.Count() {
@@ -200,34 +200,34 @@ func TestSnapshotMatchesSerialPrefix(t *testing.T) {
 	data := stream.Zipf(n, 1.2, 2000, 7)
 	eng := gpustream.New(gpustream.BackendCPU)
 
-	cases := map[string][2]func() gpustream.Estimator{
+	cases := map[string][2]func() gpustream.Estimator[float32]{
 		"frequency": {
-			func() gpustream.Estimator { return eng.NewFrequencyEstimator(hammerEps) },
-			func() gpustream.Estimator { return eng.NewFrequencyEstimator(hammerEps) },
+			func() gpustream.Estimator[float32] { return eng.NewFrequencyEstimator(hammerEps) },
+			func() gpustream.Estimator[float32] { return eng.NewFrequencyEstimator(hammerEps) },
 		},
 		"quantile": {
-			func() gpustream.Estimator { return eng.NewQuantileEstimator(hammerEps, n) },
-			func() gpustream.Estimator { return eng.NewQuantileEstimator(hammerEps, n) },
+			func() gpustream.Estimator[float32] { return eng.NewQuantileEstimator(hammerEps, n) },
+			func() gpustream.Estimator[float32] { return eng.NewQuantileEstimator(hammerEps, n) },
 		},
 		"sliding-frequency": {
-			func() gpustream.Estimator { return eng.NewSlidingFrequency(hammerEps, hammerWindow) },
-			func() gpustream.Estimator { return eng.NewSlidingFrequency(hammerEps, hammerWindow) },
+			func() gpustream.Estimator[float32] { return eng.NewSlidingFrequency(hammerEps, hammerWindow) },
+			func() gpustream.Estimator[float32] { return eng.NewSlidingFrequency(hammerEps, hammerWindow) },
 		},
 		"sliding-quantile": {
-			func() gpustream.Estimator { return eng.NewSlidingQuantile(hammerEps, hammerWindow) },
-			func() gpustream.Estimator { return eng.NewSlidingQuantile(hammerEps, hammerWindow) },
+			func() gpustream.Estimator[float32] { return eng.NewSlidingQuantile(hammerEps, hammerWindow) },
+			func() gpustream.Estimator[float32] { return eng.NewSlidingQuantile(hammerEps, hammerWindow) },
 		},
 		"parallel-frequency": {
-			func() gpustream.Estimator {
+			func() gpustream.Estimator[float32] {
 				return eng.NewParallelFrequencyEstimator(hammerEps, 1, gpustream.WithBatchSize(1<<12))
 			},
-			func() gpustream.Estimator { return eng.NewFrequencyEstimator(hammerEps) },
+			func() gpustream.Estimator[float32] { return eng.NewFrequencyEstimator(hammerEps) },
 		},
 		"parallel-quantile": {
-			func() gpustream.Estimator {
+			func() gpustream.Estimator[float32] {
 				return eng.NewParallelQuantileEstimator(hammerEps, n, 1, gpustream.WithBatchSize(1<<12))
 			},
-			func() gpustream.Estimator { return eng.NewQuantileEstimator(hammerEps, n) },
+			func() gpustream.Estimator[float32] { return eng.NewQuantileEstimator(hammerEps, n) },
 		},
 	}
 	for name, mk := range cases {
@@ -268,7 +268,7 @@ func TestSnapshotImmutableAfterMoreIngest(t *testing.T) {
 				t.Fatal(err)
 			}
 			snap := est.Snapshot()
-			record := func() (int64, int, []gpustream.Item, float32) {
+			record := func() (int64, int, []gpustream.Item[float32], float32) {
 				hh, _ := snap.HeavyHitters(0.02)
 				q, _ := snap.Quantile(0.5)
 				return snap.Count(), snap.Size(), hh, q
@@ -393,7 +393,7 @@ func TestCloseContext(t *testing.T) {
 	})
 }
 
-// TestEngineStatsConsistentMidIngest reads Engine.Stats concurrently with
+// TestEngineStatsConsistentMidIngest reads Engine[float32].Stats concurrently with
 // serial-estimator ingestion; every report must be internally consistent
 // (counters move together under the estimator lock).
 func TestEngineStatsConsistentMidIngest(t *testing.T) {

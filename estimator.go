@@ -17,12 +17,12 @@ import (
 // concurrent use — one writer and any number of query/snapshot goroutines
 // is the intended pattern — and Snapshot returns an immutable view that
 // keeps answering after the stream moves on or the estimator closes.
-type Estimator interface {
+type Estimator[T Value] interface {
 	// Process ingests one stream value.
-	Process(v float32) error
+	Process(v T) error
 	// ProcessSlice ingests a batch; the caller may reuse the slice
 	// immediately.
-	ProcessSlice(data []float32) error
+	ProcessSlice(data []T) error
 	// Flush forces buffered values into the summary state.
 	Flush() error
 	// Close flushes, releases pooled buffers, and stops ingestion. The
@@ -33,17 +33,31 @@ type Estimator interface {
 	// Stats reports the unified per-stage pipeline telemetry.
 	Stats() Stats
 	// Snapshot returns an immutable point-in-time queryable view.
-	Snapshot() Snapshot
+	Snapshot() Snapshot[T]
 }
 
-// Compile-time assertions that every estimator family satisfies Estimator.
+// assertEstimators pins, at compile time, that every estimator family
+// satisfies Estimator at element type T.
+func assertEstimators[T Value]() {
+	var (
+		_ Estimator[T] = (*FrequencyEstimator[T])(nil)
+		_ Estimator[T] = (*QuantileEstimator[T])(nil)
+		_ Estimator[T] = (*SlidingFrequency[T])(nil)
+		_ Estimator[T] = (*SlidingQuantile[T])(nil)
+		_ Estimator[T] = (*ParallelFrequencyEstimator[T])(nil)
+		_ Estimator[T] = (*ParallelQuantileEstimator[T])(nil)
+	)
+}
+
+// Compile-time instantiation of every family at the floating-point and
+// integer representatives of the Value constraint.
 var (
-	_ Estimator = (*FrequencyEstimator)(nil)
-	_ Estimator = (*QuantileEstimator)(nil)
-	_ Estimator = (*SlidingFrequency)(nil)
-	_ Estimator = (*SlidingQuantile)(nil)
-	_ Estimator = (*ParallelFrequencyEstimator)(nil)
-	_ Estimator = (*ParallelQuantileEstimator)(nil)
+	_ = assertEstimators[float32]
+	_ = assertEstimators[float64]
+	_ = assertEstimators[uint32]
+	_ = assertEstimators[uint64]
+	_ = assertEstimators[int32]
+	_ = assertEstimators[int64]
 )
 
 // ParseBackend resolves a backend name — as accepted by the cmd tools'

@@ -1,9 +1,10 @@
 // Hierarchy: the two extension queries the paper names in Section 1.2 —
 // hierarchical heavy hitters and correlated sum aggregates — on a synthetic
-// web-tracking workload. Requests carry a 24-bit client id (aggregated like
-// /24, /16, /8 prefixes) and a byte count; we ask (1) which prefixes
-// dominate request volume even when no single client does, and (2) how many
-// bytes the slowest half of clients account for.
+// web-tracking workload. Requests carry a full 32-bit client id (aggregated
+// like IPv4 /24, /16, /8 prefixes, natively as uint32 — no float encoding,
+// no 24-bit cap) and a byte count; we ask (1) which prefixes dominate
+// request volume even when no single client does, and (2) how many bytes
+// the slowest half of clients account for.
 package main
 
 import (
@@ -19,46 +20,48 @@ const (
 )
 
 func main() {
-	eng := gpustream.New(gpustream.BackendGPU)
+	eng := gpustream.NewOf[uint32](gpustream.BackendGPU)
 	r := stream.NewRNG(99)
 
 	// Workload: background traffic over the whole 24-bit space, one hot
 	// client (a crawler), and one collectively-hot /16 prefix (a campus
 	// NAT block) whose individual clients stay small.
-	hier := gpustream.NewBitHierarchy(24, 8)
-	hhh := eng.NewHHHEstimator(hier, eps)
+	hier := gpustream.NewBitHierarchy[uint32](32, 8)
+	hhh := gpustream.NewHHHEstimator(eng, hier, eps)
 	bytesBelow := eng.NewCorrelatedSum(eps, requests)
 
 	for i := 0; i < requests; i++ {
 		var client uint32
 		switch {
 		case i%10 == 0: // 10%: the crawler
-			client = 0x00C0FFEE & 0xFFFFFF
+			client = 0xC0C0FFEE
 		case i%10 < 4: // 30%: spread over a /16 block (256 hosts used)
-			client = 0xAB0000 | uint32(r.Intn(256))
+			client = 0xABCD0000 | uint32(r.Intn(256))
 		default: // background
-			client = uint32(r.Intn(1 << 24))
+			client = uint32(r.Uint64())
 		}
 		hhh.Process(client)
 		// Response size correlates with client id in this synthetic world.
+		// The correlated-sum stream keys are float32 by design, so the id is
+		// coarsened to its top bits for that query.
 		respBytes := 200 + float64(client%1000)
-		bytesBelow.Process(gpustream.Pair{X: float32(client), Y: respBytes})
+		bytesBelow.Process(gpustream.Pair{X: float32(client >> 8), Y: respBytes})
 	}
 
 	fmt.Printf("processed %d requests (eps=%g)\n\n", requests, eps)
 
 	fmt.Println("hierarchical heavy hitters at 8% support:")
 	for _, p := range hhh.Query(0.08) {
-		bits := 24 - p.Level*8
-		fmt.Printf("  prefix 0x%06X/%d  level=%d  count~%d (%.1f%%)\n",
+		bits := 32 - p.Level*8
+		fmt.Printf("  prefix 0x%08X/%d  level=%d  count~%d (%.1f%%)\n",
 			p.Value, bits, p.Level, p.Count, 100*float64(p.Count)/float64(requests))
 	}
 
 	fmt.Println("\ncorrelated sums (bytes served to clients with id <= t):")
 	total := bytesBelow.Total()
-	for _, t := range []float32{1 << 20, 1 << 22, 1 << 23, 1 << 24} {
+	for _, t := range []float32{1 << 12, 1 << 18, 1 << 22, 1 << 24} {
 		s := bytesBelow.Sum(t)
-		fmt.Printf("  t=0x%06X: %.0f bytes (%.1f%% of %.0f)\n", uint32(t), s, 100*s/total, total)
+		fmt.Printf("  t=0x%06X00: %.0f bytes (%.1f%% of %.0f)\n", uint32(t), s, 100*s/total, total)
 	}
 	fmt.Printf("\nbytes at or below the median client id (by traffic weight): %.0f (%.1f%%)\n",
 		bytesBelow.SumAtQuantile(0.5), 100*bytesBelow.SumAtQuantile(0.5)/total)

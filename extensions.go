@@ -4,6 +4,14 @@ package gpustream
 // hierarchical heavy hitter and correlated sum aggregate queries"; this file
 // exposes those two extensions plus the sensor-network aggregation model the
 // quantile algorithm builds on, all bound to the engine's sorting backend.
+//
+// HHH estimation is generic over unsigned integer item types (hhh.Item:
+// ~uint32 | ~uint64) and a method cannot introduce its own type parameter,
+// so the HHH constructor is the free function NewHHHEstimator over the
+// engine. The correlated-sum and DSMS extensions process (float32, float64)
+// pair streams and float32 batches respectively; their constructors bind a
+// fresh float32 sorter of the engine's backend whatever the engine's own
+// element type.
 
 import (
 	"gpustream/internal/corrsum"
@@ -14,14 +22,20 @@ import (
 	"gpustream/internal/sensortree"
 )
 
+// HHHItem constrains the integer item types a prefix hierarchy aggregates.
+type HHHItem = hhh.Item
+
 // Re-exported extension types.
 type (
-	// HHHEstimator answers hierarchical heavy hitter queries.
-	HHHEstimator = hhh.Estimator
+	// HHHEstimator answers hierarchical heavy hitter queries over native
+	// integer items.
+	HHHEstimator[T HHHItem] = hhh.Estimator[T]
 	// HHHPrefix is one reported hierarchical heavy hitter.
-	HHHPrefix = hhh.Prefix
+	HHHPrefix[T HHHItem] = hhh.Prefix[T]
+	// Hierarchy maps items to their ancestors.
+	Hierarchy[T HHHItem] = hhh.Hierarchy[T]
 	// BitHierarchy is a fixed-stride prefix hierarchy over integer items.
-	BitHierarchy = hhh.BitHierarchy
+	BitHierarchy[T HHHItem] = hhh.BitHierarchy[T]
 	// Pair is one (key, value) element of a correlated-sum stream.
 	Pair = corrsum.Pair
 	// CorrelatedSum answers SUM(value) WHERE key <= t queries.
@@ -33,37 +47,44 @@ type (
 )
 
 // NewBitHierarchy returns a prefix hierarchy over items of the given bit
-// width (<= 24, so prefixes stay exact in float32) aggregated stride bits
-// at a time.
-func NewBitHierarchy(bits, stride int) BitHierarchy {
-	return hhh.NewBitHierarchy(bits, stride)
+// width aggregated stride bits at a time. The full native width is
+// supported: 32 bits for uint32 items (IPv4 addresses), 64 for uint64.
+func NewBitHierarchy[T HHHItem](bits, stride int) BitHierarchy[T] {
+	return hhh.NewBitHierarchy[T](bits, stride)
 }
 
 // NewHHHEstimator returns an eps-approximate hierarchical heavy hitter
-// estimator over the given hierarchy, backed by this engine's sorter.
-func (e *Engine) NewHHHEstimator(h hhh.Hierarchy, eps float64) *HHHEstimator {
-	return hhh.NewEstimator(h, eps, e.srt)
+// estimator over the given hierarchy, sorting with a fresh instance of the
+// engine's backend. Items flow through the stack natively as T — uint32
+// hierarchies cover IPv4 outright, uint64 the full 64-bit key space — with
+// no float encoding and no width cap.
+func NewHHHEstimator[T HHHItem](e *Engine[T], h Hierarchy[T], eps float64) *HHHEstimator[T] {
+	return hhh.NewEstimator(h, eps, e.newBackendSorter())
 }
 
 // NewCorrelatedSum returns an eps-approximate correlated-sum estimator for
-// streams of up to capacity pairs, backed by this engine's sorter.
-func (e *Engine) NewCorrelatedSum(eps float64, capacity int64) *CorrelatedSum {
-	return corrsum.NewEstimator(eps, capacity, e.srt)
+// streams of up to capacity pairs, sorting with this engine's backend.
+// Pair streams are (float32 key, float64 value) regardless of the engine's
+// element type.
+func (e *Engine[T]) NewCorrelatedSum(eps float64, capacity int64) *CorrelatedSum {
+	return corrsum.NewEstimator(eps, capacity, newBackendSorter[float32](e.backend))
 }
 
 // AggregateSensorTree runs a Greenwald-Khanna sensor-network aggregation
 // over the tree rooted at root with error eps, sorting each node's local
-// observations on this engine's backend. It returns the root quantile
-// summary (queryable via Query/QueryRank) and communication statistics.
-func (e *Engine) AggregateSensorTree(root *SensorNode, eps float64) (*QuantileSummary, SensorStats) {
-	return sensortree.NewAggregator(eps, e.srt).Aggregate(root)
+// float32 observations on this engine's backend. It returns the root
+// quantile summary (queryable via Query/QueryRank) and communication
+// statistics.
+func (e *Engine[T]) AggregateSensorTree(root *SensorNode, eps float64) (*QuantileSummary[float32], SensorStats) {
+	return sensortree.NewAggregator(eps, newBackendSorter[float32](e.backend)).Aggregate(root)
 }
 
 // KthLargest returns the k-th largest value of data (k = 1 is the maximum)
-// using GPU occlusion-query selection: at most 32 counting passes, no sort.
-// The computation always runs on the GPU simulator regardless of the
-// engine's sorting backend, since it is a GPU-native primitive.
-func KthLargest(data []float32, k int) float32 {
+// using GPU occlusion-query selection: at most KeyBits counting passes (32
+// or 64 by element type), no sort. The computation always runs on the GPU
+// simulator regardless of the engine's sorting backend, since it is a
+// GPU-native primitive.
+func KthLargest[T Value](data []T, k int) T {
 	return gpusort.KthLargest(data, k)
 }
 
@@ -74,11 +95,11 @@ func KthLargest(data []float32, k int) float32 {
 func Quantize16(data []float32) { half.Quantize(data) }
 
 // NewExecutor returns a miniature DSMS around this engine's backend:
-// register continuous queries, push arriving batches, read results.
+// register continuous queries, push arriving float32 batches, read results.
 // budget caps the elements processed per Push; excess arrivals are
 // load-shed (0 disables shedding).
-func (e *Engine) NewExecutor(budget int) *Executor {
-	return dsms.NewExecutor(e.srt, budget)
+func (e *Engine[T]) NewExecutor(budget int) *Executor {
+	return dsms.NewExecutor(newBackendSorter[float32](e.backend), budget)
 }
 
 // DSMS re-exports.

@@ -8,8 +8,8 @@ import (
 )
 
 func TestHHHThroughEngine(t *testing.T) {
-	eng := New(BackendGPU)
-	est := eng.NewHHHEstimator(NewBitHierarchy(16, 8), 0.005)
+	eng := NewOf[uint32](BackendGPU)
+	est := NewHHHEstimator(eng, NewBitHierarchy[uint32](16, 8), 0.005)
 	r := stream.NewRNG(1)
 	for i := 0; i < 30000; i++ {
 		if i%5 == 0 {

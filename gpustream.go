@@ -22,12 +22,25 @@
 // the same queries over the most recent W elements, for fixed and
 // variable-sized windows.
 //
+// The whole stack is generic over the ordered value types of sorter.Value:
+// float32 (the paper's native stream type, what New returns), float64,
+// uint32, uint64, int32 and int64. NewOf instantiates an engine at any of
+// them — e.g. NewOf[uint64] mines streams of nanosecond timestamps or flow
+// keys natively, with no lossy float encoding:
+//
+//	eng := gpustream.NewOf[uint64](gpustream.BackendGPU)
+//	quant := eng.NewQuantileEstimator(0.001, int64(len(stamps)))
+//	quant.ProcessSlice(stamps)
+//	p99 := quant.Query(0.99)
+//
 // Because no real 2004 GPU is attached, the GPU backend runs against a
 // functional simulator that executes the paper's rasterization routines
 // with real data and counts every primitive operation; the perfmodel
 // converts those counts into modeled GeForce-6800-Ultra time (see DESIGN.md
 // for the substitution argument and EXPERIMENTS.md for paper-vs-measured
-// results).
+// results). The simulator's primitive-op counts depend only on input shape,
+// never on the element type, so modeled GPU time is identical across
+// instantiations (DESIGN.md section 10).
 package gpustream
 
 import (
@@ -46,8 +59,12 @@ import (
 	"gpustream/internal/window"
 )
 
-// Sorter sorts float32 slices ascending in place; all backends satisfy it.
-type Sorter = sorter.Sorter
+// Value constrains the stream element types the stack supports: the ordered
+// numeric types every sorting backend and estimator family is generic over.
+type Value = sorter.Value
+
+// Sorter sorts slices of T ascending in place; all backends satisfy it.
+type Sorter[T Value] = sorter.Sorter[T]
 
 // Backend selects the sorting hardware path.
 type Backend int
@@ -91,33 +108,35 @@ func (b Backend) String() string {
 	return fmt.Sprintf("Backend(%d)", int(b))
 }
 
-// Re-exported result and instrumentation types.
+// Re-exported result and instrumentation types. The generic aliases follow
+// the same shape as the engine: instantiate at float32 for the paper's
+// native streams, or any other Value type.
 type (
 	// Item is a frequency-query result: a value and its estimated count.
-	Item = frequency.Item
+	Item[T Value] = frequency.Item[T]
 	// WindowItem is a sliding-window frequency-query result.
-	WindowItem = window.Item
+	WindowItem[T Value] = window.Item[T]
 	// FrequencyEstimator answers eps-approximate frequency queries over
 	// the whole stream history (Manku-Motwani lossy counting).
-	FrequencyEstimator = frequency.Estimator
+	FrequencyEstimator[T Value] = frequency.Estimator[T]
 	// QuantileEstimator answers eps-approximate quantile queries over the
 	// whole stream history (Greenwald-Khanna + exponential histogram).
-	QuantileEstimator = quantile.Estimator
+	QuantileEstimator[T Value] = quantile.Estimator[T]
 	// SlidingFrequency answers frequency queries over the most recent W
 	// elements.
-	SlidingFrequency = window.SlidingFrequency
+	SlidingFrequency[T Value] = window.SlidingFrequency[T]
 	// SlidingQuantile answers quantile queries over the most recent W
 	// elements.
-	SlidingQuantile = window.SlidingQuantile
+	SlidingQuantile[T Value] = window.SlidingQuantile[T]
 	// QuantileSummary is a mergeable Greenwald-Khanna quantile summary
 	// with rank bounds, as returned by sensor-tree aggregation.
-	QuantileSummary = summary.Summary
+	QuantileSummary[T Value] = summary.Summary[T]
 	// ParallelQuantileEstimator answers eps-approximate quantile queries
 	// over a stream ingested concurrently by K shard workers.
-	ParallelQuantileEstimator = shard.Quantile
+	ParallelQuantileEstimator[T Value] = shard.Quantile[T]
 	// ParallelFrequencyEstimator answers eps-approximate frequency queries
 	// over a stream ingested concurrently by K shard workers.
-	ParallelFrequencyEstimator = shard.Frequency
+	ParallelFrequencyEstimator[T Value] = shard.Frequency[T]
 	// ParallelOption configures sharded ingestion (e.g. WithBatchSize).
 	ParallelOption = shard.Option
 	// PerfModel converts operation counts to modeled 2004-testbed time.
@@ -130,19 +149,19 @@ type (
 	Stats = pipeline.Stats
 	// Snapshot is an immutable point-in-time queryable view of an
 	// estimator, as returned by Snapshot() on every family. See Estimator.
-	Snapshot = pipeline.View
+	Snapshot[T Value] = pipeline.View[T]
 	// FrequencySnapshot is the concrete view of a FrequencyEstimator (and
 	// of a K=1 ParallelFrequencyEstimator).
-	FrequencySnapshot = frequency.Snapshot
+	FrequencySnapshot[T Value] = frequency.Snapshot[T]
 	// QuantileSnapshot is the concrete view of a QuantileEstimator or
 	// ParallelQuantileEstimator.
-	QuantileSnapshot = quantile.Snapshot
+	QuantileSnapshot[T Value] = quantile.Snapshot[T]
 	// SlidingFrequencySnapshot is the concrete view of a SlidingFrequency,
 	// answering variable-span window queries.
-	SlidingFrequencySnapshot = window.FrequencySnapshot
+	SlidingFrequencySnapshot[T Value] = window.FrequencySnapshot[T]
 	// SlidingQuantileSnapshot is the concrete view of a SlidingQuantile,
 	// answering variable-span window queries.
-	SlidingQuantileSnapshot = window.QuantileSnapshot
+	SlidingQuantileSnapshot[T Value] = window.QuantileSnapshot[T]
 )
 
 // ErrClosed is the sentinel error for ingestion after Close. Every
@@ -160,10 +179,11 @@ type EstimatorStats struct {
 	Stats Stats
 }
 
-// Engine binds a sorting backend to the stream-mining algorithms.
-type Engine struct {
+// Engine binds a sorting backend to the stream-mining algorithms over
+// streams of element type T.
+type Engine[T Value] struct {
 	backend Backend
-	srt     Sorter
+	srt     Sorter[T]
 	model   perfmodel.Model
 
 	mu       sync.Mutex
@@ -178,7 +198,7 @@ type tracker struct {
 }
 
 // track registers an estimator's stats reader, in creation order.
-func (e *Engine) track(kind string, fn func() Stats) {
+func (e *Engine[T]) track(kind string, fn func() Stats) {
 	e.mu.Lock()
 	e.trackers = append(e.trackers, tracker{kind: kind, stats: fn})
 	e.mu.Unlock()
@@ -189,7 +209,7 @@ func (e *Engine) track(kind string, fn func() Stats) {
 // including mid-ingestion: every estimator synchronizes its stats reads
 // with its ingestion, so each report's counters are internally consistent
 // (no torn sort/merge/compress totals).
-func (e *Engine) Stats() []EstimatorStats {
+func (e *Engine[T]) Stats() []EstimatorStats {
 	e.mu.Lock()
 	trackers := append([]tracker(nil), e.trackers...)
 	e.mu.Unlock()
@@ -200,59 +220,69 @@ func (e *Engine) Stats() []EstimatorStats {
 	return out
 }
 
-// New returns an Engine using the given backend.
-func New(backend Backend) *Engine {
-	e := &Engine{backend: backend, model: perfmodel.Default()}
-	e.srt = e.newBackendSorter()
+// New returns an Engine over float32 streams — the paper's native element
+// type — using the given backend.
+func New(backend Backend) *Engine[float32] { return NewOf[float32](backend) }
+
+// NewOf returns an Engine over streams of element type T using the given
+// backend. All four backends support every Value type; GPU primitive-op
+// counts (and therefore modeled GPU time) are identical across types for
+// equal input sizes.
+func NewOf[T Value](backend Backend) *Engine[T] {
+	e := &Engine[T]{backend: backend, model: perfmodel.Default()}
+	e.srt = newBackendSorter[T](backend)
 	return e
 }
 
-// newBackendSorter constructs a fresh sorter instance for the configured
-// backend. Parallel estimators call it once per shard: the GPU simulator
-// keeps per-sort state (LastStats), so sorter instances must never be
-// shared across goroutines.
-func (e *Engine) newBackendSorter() Sorter {
-	switch e.backend {
+// newBackendSorter constructs a fresh sorter instance for the given backend
+// at element type T. Parallel estimators call it once per shard: the GPU
+// simulator keeps per-sort state (LastStats), so sorter instances must
+// never be shared across goroutines.
+func newBackendSorter[T Value](backend Backend) Sorter[T] {
+	switch backend {
 	case BackendGPU:
-		return gpusort.NewSorter()
+		return gpusort.NewSorter[T]()
 	case BackendGPUBitonic:
-		return gpusort.NewBitonicSorter()
+		return gpusort.NewBitonicSorter[T]()
 	case BackendCPU:
-		return cpusort.QuicksortSorter{}
+		return cpusort.QuicksortSorter[T]{}
 	case BackendCPUParallel:
-		return cpusort.ParallelSorter{}
+		return cpusort.ParallelSorter[T]{}
 	}
-	panic(fmt.Sprintf("gpustream: unknown backend %v", e.backend))
+	panic(fmt.Sprintf("gpustream: unknown backend %v", backend))
 }
+
+// newBackendSorter is the engine-bound form of the package-level helper.
+func (e *Engine[T]) newBackendSorter() Sorter[T] { return newBackendSorter[T](e.backend) }
 
 // WithBatchSize overrides the parallel estimators' ingestion hand-off batch
 // size (default ~64K values).
 func WithBatchSize(n int) ParallelOption { return shard.WithBatchSize(n) }
 
 // Backend reports the engine's configured backend.
-func (e *Engine) Backend() Backend { return e.backend }
+func (e *Engine[T]) Backend() Backend { return e.backend }
 
 // Sorter exposes the engine's sorting backend.
-func (e *Engine) Sorter() Sorter { return e.srt }
+func (e *Engine[T]) Sorter() Sorter[T] { return e.srt }
 
 // Model exposes the 2004-testbed performance model.
-func (e *Engine) Model() PerfModel { return e.model }
+func (e *Engine[T]) Model() PerfModel { return e.model }
 
 // Sort orders data ascending in place using the configured backend.
-func (e *Engine) Sort(data []float32) { e.srt.Sort(data) }
+func (e *Engine[T]) Sort(data []T) { e.srt.Sort(data) }
 
 // LastSortBreakdown models the cost of the most recent GPU-backed
 // Engine.Sort call on the paper's testbed. It returns ok=false for CPU
 // backends, which have no transfer/setup decomposition, and before any Sort
 // call. Estimators sort through their own sorter instances and report
 // through Stats instead.
-func (e *Engine) LastSortBreakdown() (SortBreakdown, bool) {
+func (e *Engine[T]) LastSortBreakdown() (SortBreakdown, bool) {
 	switch s := e.srt.(type) {
-	case *gpusort.Sorter:
+	case *gpusort.Sorter[T]:
 		if st := s.LastStats(); st.GPU.Transfers > 0 {
 			return e.model.GPUSortFromStats(st.GPU, st.MergeCmps), true
 		}
-	case *gpusort.BitonicSorter:
+	case *gpusort.BitonicSorter[T]:
 		if st := s.LastStats(); st.GPU.Transfers > 0 {
 			return e.model.GPUSortFromStats(st.GPU, st.MergeCmps), true
 		}
@@ -268,7 +298,7 @@ func (e *Engine) LastSortBreakdown() (SortBreakdown, bool) {
 // simulator's LastStats) must not be shared between estimators, and this
 // also keeps Engine.Sort's LastSortBreakdown isolated from estimator
 // ingestion.
-func (e *Engine) NewFrequencyEstimator(eps float64) *FrequencyEstimator {
+func (e *Engine[T]) NewFrequencyEstimator(eps float64) *FrequencyEstimator[T] {
 	est := frequency.NewEstimator(eps, e.newBackendSorter())
 	e.track("frequency", est.Stats)
 	return est
@@ -277,7 +307,7 @@ func (e *Engine) NewFrequencyEstimator(eps float64) *FrequencyEstimator {
 // NewQuantileEstimator returns an eps-approximate quantile estimator for
 // streams of up to capacity elements (capacity <= 0 picks a generous
 // default), backed by this engine's sorter.
-func (e *Engine) NewQuantileEstimator(eps float64, capacity int64) *QuantileEstimator {
+func (e *Engine[T]) NewQuantileEstimator(eps float64, capacity int64) *QuantileEstimator[T] {
 	est := quantile.NewEstimator(eps, capacity, e.newBackendSorter())
 	e.track("quantile", est.Stats)
 	return est
@@ -290,7 +320,7 @@ func (e *Engine) NewQuantileEstimator(eps float64, capacity int64) *QuantileEsti
 // budget and queries merge them, so answers stay eps-approximate; with one
 // shard the output is bit-identical to NewQuantileEstimator. Call Flush to
 // make buffered values queryable and Close when ingestion ends.
-func (e *Engine) NewParallelQuantileEstimator(eps float64, capacity int64, shards int, opts ...ParallelOption) *ParallelQuantileEstimator {
+func (e *Engine[T]) NewParallelQuantileEstimator(eps float64, capacity int64, shards int, opts ...ParallelOption) *ParallelQuantileEstimator[T] {
 	est := shard.NewQuantile(eps, capacity, shards, e.newBackendSorter, opts...)
 	e.track("parallel-quantile", est.Stats)
 	return est
@@ -303,7 +333,7 @@ func (e *Engine) NewParallelQuantileEstimator(eps float64, capacity int64, shard
 // additive across shards, so merged answers keep the serial estimator's
 // no-false-negative guarantee; with one shard the output is bit-identical
 // to NewFrequencyEstimator.
-func (e *Engine) NewParallelFrequencyEstimator(eps float64, shards int, opts ...ParallelOption) *ParallelFrequencyEstimator {
+func (e *Engine[T]) NewParallelFrequencyEstimator(eps float64, shards int, opts ...ParallelOption) *ParallelFrequencyEstimator[T] {
 	est := shard.NewFrequency(eps, shards, e.newBackendSorter, opts...)
 	e.track("parallel-frequency", est.Stats)
 	return est
@@ -311,7 +341,7 @@ func (e *Engine) NewParallelFrequencyEstimator(eps float64, shards int, opts ...
 
 // NewSlidingFrequency returns an eps-approximate frequency estimator over
 // sliding windows of w elements, backed by this engine's sorter.
-func (e *Engine) NewSlidingFrequency(eps float64, w int) *SlidingFrequency {
+func (e *Engine[T]) NewSlidingFrequency(eps float64, w int) *SlidingFrequency[T] {
 	est := window.NewSlidingFrequency(eps, w, e.newBackendSorter())
 	e.track("sliding-frequency", est.Stats)
 	return est
@@ -319,7 +349,7 @@ func (e *Engine) NewSlidingFrequency(eps float64, w int) *SlidingFrequency {
 
 // NewSlidingQuantile returns an eps-approximate quantile estimator over
 // sliding windows of w elements, backed by this engine's sorter.
-func (e *Engine) NewSlidingQuantile(eps float64, w int) *SlidingQuantile {
+func (e *Engine[T]) NewSlidingQuantile(eps float64, w int) *SlidingQuantile[T] {
 	est := window.NewSlidingQuantile(eps, w, e.newBackendSorter())
 	e.track("sliding-quantile", est.Stats)
 	return est

@@ -199,12 +199,12 @@ func TestEngineStatsRegistry(t *testing.T) {
 }
 
 func TestEngineEstimatorsGetOwnSorters(t *testing.T) {
-	// Estimator ingestion must not disturb the engine's own sorter: the
-	// GPU LastSortBreakdown reflects Engine.Sort calls only, and two
+	// Estimator[float32] ingestion must not disturb the engine's own sorter: the
+	// GPU LastSortBreakdown reflects Engine[float32].Sort calls only, and two
 	// estimators never share simulator state.
 	eng := New(BackendGPU)
 	if _, ok := eng.LastSortBreakdown(); ok {
-		t.Fatal("breakdown before any Engine.Sort call")
+		t.Fatal("breakdown before any Engine[float32].Sort call")
 	}
 	fe := eng.NewFrequencyEstimator(0.01)
 	fe.ProcessSlice(stream.Uniform(2000, 22))
@@ -214,6 +214,6 @@ func TestEngineEstimatorsGetOwnSorters(t *testing.T) {
 	}
 	eng.Sort(stream.Uniform(4096, 23))
 	if _, ok := eng.LastSortBreakdown(); !ok {
-		t.Fatal("no breakdown after Engine.Sort")
+		t.Fatal("no breakdown after Engine[float32].Sort")
 	}
 }

@@ -83,7 +83,7 @@ func TestTraceReplayPipeline(t *testing.T) {
 }
 
 func TestDeterministicAcrossRuns(t *testing.T) {
-	run := func() ([]Item, float32) {
+	run := func() ([]Item[float32], float32) {
 		eng := New(BackendGPU)
 		data := stream.Bursty(20000, 500, 300, 0.005, 7)
 		f := eng.NewFrequencyEstimator(0.01)

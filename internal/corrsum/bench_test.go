@@ -10,13 +10,13 @@ func BenchmarkCorrelatedSumProcess(b *testing.B) {
 	pairs := randomPairs(1<<15, 1)
 	b.SetBytes(int64(len(pairs) * 12))
 	for i := 0; i < b.N; i++ {
-		e := NewEstimator(0.005, int64(len(pairs)), cpusort.QuicksortSorter{})
+		e := NewEstimator(0.005, int64(len(pairs)), cpusort.QuicksortSorter[float32]{})
 		e.ProcessSlice(pairs)
 	}
 }
 
 func BenchmarkCorrelatedSumQuery(b *testing.B) {
-	e := NewEstimator(0.005, 1<<16, cpusort.QuicksortSorter{})
+	e := NewEstimator(0.005, 1<<16, cpusort.QuicksortSorter[float32]{})
 	e.ProcessSlice(randomPairs(1<<16, 2))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

@@ -35,7 +35,7 @@ type Estimator struct {
 	window  int
 	levels  int
 	pruneB  int
-	sorter  sorter.Sorter
+	sorter  sorter.Sorter[float32]
 	buckets map[int]*summary.Weighted
 	buf     []Pair
 	n       int64
@@ -45,7 +45,7 @@ type Estimator struct {
 // NewEstimator returns a correlated-sum estimator with error eps for
 // streams of up to capacity pairs (capacity <= 0 picks a generous
 // default), sorting window keys with s.
-func NewEstimator(eps float64, capacity int64, s sorter.Sorter) *Estimator {
+func NewEstimator(eps float64, capacity int64, s sorter.Sorter[float32]) *Estimator {
 	if eps <= 0 || eps >= 1 {
 		panic(fmt.Sprintf("corrsum: eps %v out of (0, 1)", eps))
 	}

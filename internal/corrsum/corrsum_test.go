@@ -40,7 +40,7 @@ func maxY(pairs []Pair) float64 {
 }
 
 func newCPU(eps float64, cap int64) *Estimator {
-	return NewEstimator(eps, cap, cpusort.QuicksortSorter{})
+	return NewEstimator(eps, cap, cpusort.QuicksortSorter[float32]{})
 }
 
 func TestSumErrorBound(t *testing.T) {
@@ -115,7 +115,7 @@ func TestSumQuick(t *testing.T) {
 func TestSumGPUBackendMatchesCPU(t *testing.T) {
 	pairs := randomPairs(10000, 4)
 	cpu := newCPU(0.02, 10000)
-	gpu := NewEstimator(0.02, 10000, gpusort.NewSorter())
+	gpu := NewEstimator(0.02, 10000, gpusort.NewSorter[float32]())
 	cpu.ProcessSlice(pairs)
 	gpu.ProcessSlice(pairs)
 	for i := 0; i <= 10; i++ {
@@ -177,8 +177,8 @@ func TestSpaceAndInstrumentation(t *testing.T) {
 
 func TestPanics(t *testing.T) {
 	for _, fn := range []func(){
-		func() { NewEstimator(0, 10, cpusort.QuicksortSorter{}) },
-		func() { NewEstimator(1, 10, cpusort.QuicksortSorter{}) },
+		func() { NewEstimator(0, 10, cpusort.QuicksortSorter[float32]{}) },
+		func() { NewEstimator(1, 10, cpusort.QuicksortSorter[float32]{}) },
 		func() { newCPU(0.1, 10).Process(Pair{X: 1, Y: -2}) },
 	} {
 		func() {
@@ -209,7 +209,7 @@ func TestAccessors(t *testing.T) {
 		t.Fatal("Stats accessor")
 	}
 	// Deep stream exercises the top-level parking branch of flush.
-	deep := NewEstimator(0.2, 10, cpusort.QuicksortSorter{})
+	deep := NewEstimator(0.2, 10, cpusort.QuicksortSorter[float32]{})
 	pairs := randomPairs(2000, 10)
 	deep.ProcessSlice(pairs)
 	total := 0.0

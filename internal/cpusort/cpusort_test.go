@@ -85,7 +85,7 @@ func TestSortersInterface(t *testing.T) {
 	for _, s := range []interface {
 		Sort([]float32)
 		Name() string
-	}{QuicksortSorter{}, ParallelSorter{}, ParallelSorter{Workers: 3}} {
+	}{QuicksortSorter[float32]{}, ParallelSorter[float32]{}, ParallelSorter[float32]{Workers: 3}} {
 		d := append([]float32(nil), data...)
 		s.Sort(d)
 		if !IsSorted(d) {
@@ -111,7 +111,7 @@ func TestMerge2(t *testing.T) {
 }
 
 func TestMerge2Empty(t *testing.T) {
-	if got := Merge2(nil, nil, nil); len(got) != 0 {
+	if got := Merge2[float32](nil, nil, nil); len(got) != 0 {
 		t.Fatalf("Merge2(nil,nil) = %v", got)
 	}
 	got := Merge2(nil, []float32{1}, nil)
@@ -175,8 +175,8 @@ func TestKWayMergeProperty(t *testing.T) {
 }
 
 func TestKWayMergeEmpty(t *testing.T) {
-	if got := KWayMerge(nil); len(got) != 0 {
-		t.Fatalf("KWayMerge(nil) = %v", got)
+	if got := KWayMerge[float32](nil); len(got) != 0 {
+		t.Fatalf("KWayMerge[float32](nil) = %v", got)
 	}
 	if got := KWayMerge([][]float32{nil, {}, nil}); len(got) != 0 {
 		t.Fatalf("KWayMerge(empties) = %v", got)
@@ -184,7 +184,7 @@ func TestKWayMergeEmpty(t *testing.T) {
 }
 
 func TestIsSorted(t *testing.T) {
-	if !IsSorted(nil) || !IsSorted([]float32{1}) || !IsSorted([]float32{1, 1, 2}) {
+	if !IsSorted[float32](nil) || !IsSorted([]float32{1}) || !IsSorted([]float32{1, 1, 2}) {
 		t.Fatal("IsSorted false negative")
 	}
 	if IsSorted([]float32{2, 1}) {
@@ -229,7 +229,7 @@ func TestRadixSortLargeMatchesQuicksort(t *testing.T) {
 }
 
 func TestRadixSorterInterface(t *testing.T) {
-	s := RadixSorter{}
+	s := RadixSorter[float32]{}
 	if s.Name() != "cpu-radix" {
 		t.Fatal("name")
 	}

@@ -1,8 +1,10 @@
 package cpusort
 
+import "gpustream/internal/sorter"
+
 // Merge2 merges two ascending runs into dst, which must have capacity for
 // both. It returns the filled dst.
-func Merge2(dst, a, b []float32) []float32 {
+func Merge2[T sorter.Value](dst, a, b []T) []T {
 	dst = dst[:0]
 	i, j := 0, 0
 	for i < len(a) && j < len(b) {
@@ -24,25 +26,25 @@ func Merge2(dst, a, b []float32) []float32 {
 // channels independently and the CPU merges them with O(n) comparisons
 // (Section 4.4). It merges pairwise (a+b, c+d, then the two halves), which
 // is branch-friendlier than a 4-way tournament for runs of similar length.
-func Merge4(a, b, c, d []float32) []float32 {
-	ab := Merge2(make([]float32, 0, len(a)+len(b)), a, b)
-	cd := Merge2(make([]float32, 0, len(c)+len(d)), c, d)
-	return Merge2(make([]float32, 0, len(ab)+len(cd)), ab, cd)
+func Merge4[T sorter.Value](a, b, c, d []T) []T {
+	ab := Merge2(make([]T, 0, len(a)+len(b)), a, b)
+	cd := Merge2(make([]T, 0, len(c)+len(d)), c, d)
+	return Merge2(make([]T, 0, len(ab)+len(cd)), ab, cd)
 }
 
 // KWayMerge merges any number of ascending runs into one ascending slice
 // using a simple loser-tree-free heap of run heads.
-func KWayMerge(runs [][]float32) []float32 {
+func KWayMerge[T sorter.Value](runs [][]T) []T {
 	total := 0
 	for _, r := range runs {
 		total += len(r)
 	}
-	out := make([]float32, 0, total)
+	out := make([]T, 0, total)
 
 	// heads[i] is the next unconsumed index in runs[i].
 	type head struct{ run, idx int }
 	heap := make([]head, 0, len(runs))
-	val := func(h head) float32 { return runs[h.run][h.idx] }
+	val := func(h head) T { return runs[h.run][h.idx] }
 	less := func(i, j int) bool { return val(heap[i]) < val(heap[j]) }
 	down := func(i int) {
 		for {

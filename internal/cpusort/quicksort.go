@@ -3,12 +3,16 @@
 // multi-threaded quicksort standing in for the Intel compiler's
 // hyper-threaded implementation. A heapsort fallback bounds the worst case
 // (introsort-style), and k-way merging supports the GPU sorter's CPU-side
-// combine of the four channel-sorted runs.
+// combine of the four channel-sorted runs. Every routine is generic over the
+// stack's ordered value types; comparison counts and recursion structure are
+// identical across instantiations.
 package cpusort
 
 import (
 	"runtime"
 	"sync"
+
+	"gpustream/internal/sorter"
 )
 
 // insertionCutoff is the partition size below which quicksort switches to
@@ -18,11 +22,11 @@ const insertionCutoff = 24
 // Quicksort sorts data ascending in place using median-of-three pivoting
 // with an insertion-sort cutoff and a depth-bounded heapsort fallback, the
 // structure of a production qsort implementation.
-func Quicksort(data []float32) {
+func Quicksort[T sorter.Value](data []T) {
 	quicksort(data, 2*log2ceil(len(data)))
 }
 
-func quicksort(data []float32, depth int) {
+func quicksort[T sorter.Value](data []T, depth int) {
 	for len(data) > insertionCutoff {
 		if depth == 0 {
 			Heapsort(data)
@@ -44,7 +48,7 @@ func quicksort(data []float32, depth int) {
 
 // partition picks a median-of-three pivot, partitions data around it, and
 // returns the pivot's final index.
-func partition(data []float32) int {
+func partition[T sorter.Value](data []T) int {
 	n := len(data)
 	mid := n / 2
 	// Order data[0], data[mid], data[n-1]; the median ends up at data[mid].
@@ -77,7 +81,7 @@ func partition(data []float32) int {
 
 // InsertionSort sorts data ascending in place; efficient for short or
 // nearly-sorted inputs.
-func InsertionSort(data []float32) {
+func InsertionSort[T sorter.Value](data []T) {
 	for i := 1; i < len(data); i++ {
 		v := data[i]
 		j := i - 1
@@ -91,7 +95,7 @@ func InsertionSort(data []float32) {
 
 // Heapsort sorts data ascending in place. It is the depth-bound fallback for
 // Quicksort and is also exposed for direct use.
-func Heapsort(data []float32) {
+func Heapsort[T sorter.Value](data []T) {
 	n := len(data)
 	for i := n/2 - 1; i >= 0; i-- {
 		siftDown(data, i, n)
@@ -102,7 +106,7 @@ func Heapsort(data []float32) {
 	}
 }
 
-func siftDown(data []float32, root, end int) {
+func siftDown[T sorter.Value](data []T, root, end int) {
 	for {
 		child := 2*root + 1
 		if child >= end {
@@ -123,15 +127,15 @@ func siftDown(data []float32, root, end int) {
 // across up to workers goroutines. With workers=2 it stands in for the
 // paper's Intel-compiled hyper-threaded quicksort; workers<=1 degrades to
 // the serial Quicksort.
-func ParallelQuicksort(data []float32, workers int) {
+func ParallelQuicksort[T sorter.Value](data []T, workers int) {
 	if workers <= 1 || len(data) <= insertionCutoff {
 		Quicksort(data)
 		return
 	}
 	var wg sync.WaitGroup
 	sem := make(chan struct{}, workers-1)
-	var rec func(d []float32, depth int)
-	rec = func(d []float32, depth int) {
+	var rec func(d []T, depth int)
+	rec = func(d []T, depth int) {
 		for len(d) > insertionCutoff {
 			if depth == 0 {
 				Heapsort(d)
@@ -149,7 +153,7 @@ func ParallelQuicksort(data []float32, workers int) {
 				select {
 				case sem <- struct{}{}:
 					wg.Add(1)
-					go func(d []float32, depth int) {
+					go func(d []T, depth int) {
 						defer wg.Done()
 						rec(d, depth)
 						<-sem
@@ -169,7 +173,7 @@ func ParallelQuicksort(data []float32, workers int) {
 }
 
 // IsSorted reports whether data is in ascending order.
-func IsSorted(data []float32) bool {
+func IsSorted[T sorter.Value](data []T) bool {
 	for i := 1; i < len(data); i++ {
 		if data[i] < data[i-1] {
 			return false

@@ -1,36 +1,29 @@
 package cpusort
 
 import (
-	"math"
-
 	"gpustream/internal/sorter"
 )
 
-// RadixSort sorts float32 values ascending with a 4-pass LSD byte radix
-// sort over order-preserving key transforms. It is the non-comparison CPU
-// baseline from the database sorting literature the paper's related work
-// cites: O(n) passes, but each pass streams the whole array through memory,
-// so its cache behaviour differs sharply from quicksort's.
-func RadixSort(data []float32) {
+// RadixSort sorts values ascending with an LSD byte radix sort over the
+// order-preserving key transform of sorter.OrderedKey (bit flips for floats,
+// sign-bit flip for signed integers, identity for unsigned). It is the
+// non-comparison CPU baseline from the database sorting literature the
+// paper's related work cites: O(n) passes, but each pass streams the whole
+// array through memory, so its cache behaviour differs sharply from
+// quicksort's. 32-bit types take 4 passes, 64-bit types 8.
+func RadixSort[T sorter.Value](data []T) {
 	n := len(data)
 	if n < 2 {
 		return
 	}
-	// Order-preserving bijection float32 -> uint32: flip all bits of
-	// negatives, flip only the sign bit of non-negatives.
-	keys := make([]uint32, n)
+	bits := uint(sorter.KeyBits[T]())
+	keys := make([]uint64, n)
 	for i, v := range data {
-		b := math.Float32bits(v)
-		if b&0x80000000 != 0 {
-			b = ^b
-		} else {
-			b |= 0x80000000
-		}
-		keys[i] = b
+		keys[i] = sorter.OrderedKey(v)
 	}
-	buf := make([]uint32, n)
+	buf := make([]uint64, n)
 	var counts [256]int
-	for shift := uint(0); shift < 32; shift += 8 {
+	for shift := uint(0); shift < bits; shift += 8 {
 		for i := range counts {
 			counts[i] = 0
 		}
@@ -55,22 +48,17 @@ func RadixSort(data []float32) {
 		keys, buf = buf, keys
 	}
 	for i, k := range keys {
-		if k&0x80000000 != 0 {
-			k &^= 0x80000000
-		} else {
-			k = ^k
-		}
-		data[i] = math.Float32frombits(k)
+		data[i] = sorter.FromOrderedKey[T](k)
 	}
 }
 
 // RadixSorter exposes RadixSort behind the sorter.Sorter interface.
-type RadixSorter struct{}
+type RadixSorter[T sorter.Value] struct{}
 
 // Sort implements sorter.Sorter.
-func (RadixSorter) Sort(data []float32) { RadixSort(data) }
+func (RadixSorter[T]) Sort(data []T) { RadixSort(data) }
 
 // Name implements sorter.Sorter.
-func (RadixSorter) Name() string { return "cpu-radix" }
+func (RadixSorter[T]) Name() string { return "cpu-radix" }
 
-var _ sorter.Sorter = RadixSorter{}
+var _ sorter.Sorter[float32] = RadixSorter[float32]{}

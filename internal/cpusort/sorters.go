@@ -4,23 +4,23 @@ import "gpustream/internal/sorter"
 
 // QuicksortSorter is the serial quicksort baseline ("MSVC qsort" analog in
 // the paper's Figure 3).
-type QuicksortSorter struct{}
+type QuicksortSorter[T sorter.Value] struct{}
 
 // Sort implements sorter.Sorter.
-func (QuicksortSorter) Sort(data []float32) { Quicksort(data) }
+func (QuicksortSorter[T]) Sort(data []T) { Quicksort(data) }
 
 // Name implements sorter.Sorter.
-func (QuicksortSorter) Name() string { return "cpu-quicksort" }
+func (QuicksortSorter[T]) Name() string { return "cpu-quicksort" }
 
 // ParallelSorter is the multi-threaded quicksort baseline (the "Intel
 // compiler with Hyper-Threading" analog in the paper's Figure 3).
-type ParallelSorter struct {
+type ParallelSorter[T sorter.Value] struct {
 	// Workers is the goroutine budget; 0 means DefaultWorkers().
 	Workers int
 }
 
 // Sort implements sorter.Sorter.
-func (s ParallelSorter) Sort(data []float32) {
+func (s ParallelSorter[T]) Sort(data []T) {
 	w := s.Workers
 	if w == 0 {
 		w = DefaultWorkers()
@@ -29,9 +29,11 @@ func (s ParallelSorter) Sort(data []float32) {
 }
 
 // Name implements sorter.Sorter.
-func (s ParallelSorter) Name() string { return "cpu-quicksort-ht" }
+func (s ParallelSorter[T]) Name() string { return "cpu-quicksort-ht" }
 
 var (
-	_ sorter.Sorter = QuicksortSorter{}
-	_ sorter.Sorter = ParallelSorter{}
+	_ sorter.Sorter[float32] = QuicksortSorter[float32]{}
+	_ sorter.Sorter[uint64]  = QuicksortSorter[uint64]{}
+	_ sorter.Sorter[float32] = ParallelSorter[float32]{}
+	_ sorter.Sorter[float64] = ParallelSorter[float64]{}
 )

@@ -45,10 +45,10 @@ type QuerySpec struct {
 type Result struct {
 	Name     string
 	Kind     QueryKind
-	Items    []frequency.Item // frequency kinds
-	WItems   []window.Item    // sliding frequency kind
-	Quantile float32          // quantile kinds
-	N        int64            // elements the answer covers
+	Items    []frequency.Item[float32] // frequency kinds
+	WItems   []window.Item[float32]    // sliding frequency kind
+	Quantile float32                   // quantile kinds
+	N        int64                     // elements the answer covers
 }
 
 // Stats accounts for executor behaviour.
@@ -60,13 +60,13 @@ type Stats struct {
 
 // Executor runs registered continuous queries over an arriving stream.
 type Executor struct {
-	srt     sorter.Sorter
+	srt     sorter.Sorter[float32]
 	budget  int // max elements processed per Push; 0 = unlimited
 	specs   []QuerySpec
-	freqs   []*frequency.Estimator
-	quants  []*quantile.Estimator
-	sfreqs  []*window.SlidingFrequency
-	squants []*window.SlidingQuantile
+	freqs   []*frequency.Estimator[float32]
+	quants  []*quantile.Estimator[float32]
+	sfreqs  []*window.SlidingFrequency[float32]
+	squants []*window.SlidingQuantile[float32]
 	// parallel index: for spec i, impl[i] locates its estimator.
 	impl  []int
 	stats Stats
@@ -75,7 +75,7 @@ type Executor struct {
 // NewExecutor returns an executor sorting with s. budget caps the elements
 // processed per Push call; arrivals beyond it are shed (0 disables
 // shedding).
-func NewExecutor(s sorter.Sorter, budget int) *Executor {
+func NewExecutor(s sorter.Sorter[float32], budget int) *Executor {
 	if budget < 0 {
 		panic("dsms: negative budget")
 	}

@@ -9,7 +9,7 @@ import (
 )
 
 func newExec(budget int) *Executor {
-	return NewExecutor(cpusort.QuicksortSorter{}, budget)
+	return NewExecutor(cpusort.QuicksortSorter[float32]{}, budget)
 }
 
 func TestContinuousQueries(t *testing.T) {
@@ -88,8 +88,8 @@ func TestGPUBackendMatchesCPU(t *testing.T) {
 		e.Register(QuerySpec{Kind: QuantileAt, Eps: 0.01, Param: 0.5, Name: "m"})
 		return e
 	}
-	cpu := mk(cpusort.QuicksortSorter{})
-	gpu := mk(gpusort.NewSorter())
+	cpu := mk(cpusort.QuicksortSorter[float32]{})
+	gpu := mk(gpusort.NewSorter[float32]())
 	data := stream.Zipf(10000, 1.2, 200, 3)
 	stream.EachWindow(data, 2500, func(win []float32) {
 		cpu.Push(win)
@@ -115,7 +115,7 @@ func TestEmptyExecutor(t *testing.T) {
 
 func TestPanics(t *testing.T) {
 	for _, fn := range []func(){
-		func() { NewExecutor(cpusort.QuicksortSorter{}, -1) },
+		func() { NewExecutor(cpusort.QuicksortSorter[float32]{}, -1) },
 		func() { newExec(0).Register(QuerySpec{Kind: FrequencyAbove, Eps: 0, Name: "x"}) },
 		func() { newExec(0).Register(QuerySpec{Kind: QueryKind(99), Eps: 0.1, Name: "x"}) },
 		func() {

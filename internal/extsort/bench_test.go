@@ -13,7 +13,7 @@ func BenchmarkExternalSort(b *testing.B) {
 	b.SetBytes(int64(len(data) * 4))
 	for i := 0; i < b.N; i++ {
 		_, err := Sort(stream.NewSliceSource(data), io.Discard,
-			Config{RunSize: 1 << 14, Sorter: cpusort.QuicksortSorter{}})
+			Config{RunSize: 1 << 14, Sorter: cpusort.QuicksortSorter[float32]{}})
 		if err != nil {
 			b.Fatal(err)
 		}

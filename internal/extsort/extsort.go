@@ -28,7 +28,7 @@ type Config struct {
 	// Dir is the spill directory; empty selects the OS temp dir.
 	Dir string
 	// Sorter forms runs; nil selects a CPU quicksort via sorter.Func.
-	Sorter sorter.Sorter
+	Sorter sorter.Sorter[float32]
 }
 
 // Stats reports the work an external sort performed.
@@ -41,7 +41,7 @@ type Stats struct {
 
 // Sort reads every value from src, sorts them with bounded memory, and
 // writes the ascending result to out in trace format.
-func Sort(src stream.Source, out io.Writer, cfg Config) (Stats, error) {
+func Sort(src stream.Source[float32], out io.Writer, cfg Config) (Stats, error) {
 	if cfg.RunSize <= 0 {
 		cfg.RunSize = 1 << 20
 	}

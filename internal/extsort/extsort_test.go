@@ -40,7 +40,7 @@ func checkSorted(t *testing.T, got, original []float32) {
 
 func TestSortSingleRun(t *testing.T) {
 	data := stream.Uniform(5000, 1)
-	got, st := sortToSlice(t, data, Config{RunSize: 10000, Sorter: cpusort.QuicksortSorter{}})
+	got, st := sortToSlice(t, data, Config{RunSize: 10000, Sorter: cpusort.QuicksortSorter[float32]{}})
 	checkSorted(t, got, data)
 	if st.InitialRuns != 1 || st.MergePasses != 0 || st.Values != 5000 {
 		t.Fatalf("stats = %+v", st)
@@ -49,7 +49,7 @@ func TestSortSingleRun(t *testing.T) {
 
 func TestSortManyRuns(t *testing.T) {
 	data := stream.Zipf(50000, 1.1, 3000, 2)
-	got, st := sortToSlice(t, data, Config{RunSize: 1000, Sorter: cpusort.QuicksortSorter{}})
+	got, st := sortToSlice(t, data, Config{RunSize: 1000, Sorter: cpusort.QuicksortSorter[float32]{}})
 	checkSorted(t, got, data)
 	if st.InitialRuns != 50 {
 		t.Fatalf("runs = %d", st.InitialRuns)
@@ -61,7 +61,7 @@ func TestSortManyRuns(t *testing.T) {
 
 func TestSortMultiPassMerge(t *testing.T) {
 	data := stream.Uniform(20000, 3)
-	got, st := sortToSlice(t, data, Config{RunSize: 500, FanIn: 4, Sorter: cpusort.QuicksortSorter{}})
+	got, st := sortToSlice(t, data, Config{RunSize: 500, FanIn: 4, Sorter: cpusort.QuicksortSorter[float32]{}})
 	checkSorted(t, got, data)
 	// 40 runs at fan-in 4 need at least two intermediate passes.
 	if st.MergePasses < 2 {
@@ -73,7 +73,7 @@ func TestSortWithGPUBackend(t *testing.T) {
 	// Disk-to-disk sorting with GPU run formation: the paper's Section 2.3
 	// configuration.
 	data := stream.Uniform(20000, 4)
-	got, st := sortToSlice(t, data, Config{RunSize: 4096, Sorter: gpusort.NewSorter()})
+	got, st := sortToSlice(t, data, Config{RunSize: 4096, Sorter: gpusort.NewSorter[float32]()})
 	checkSorted(t, got, data)
 	if st.InitialRuns != 5 {
 		t.Fatalf("runs = %d", st.InitialRuns)
@@ -81,7 +81,7 @@ func TestSortWithGPUBackend(t *testing.T) {
 }
 
 func TestSortEmptyStream(t *testing.T) {
-	got, st := sortToSlice(t, nil, Config{Sorter: cpusort.QuicksortSorter{}})
+	got, st := sortToSlice(t, nil, Config{Sorter: cpusort.QuicksortSorter[float32]{}})
 	if len(got) != 0 || st.Values != 0 || st.InitialRuns != 0 {
 		t.Fatalf("empty sort: got %v stats %+v", got, st)
 	}
@@ -95,17 +95,17 @@ func TestSortNilSorterFallback(t *testing.T) {
 
 func TestSortDuplicatesAcrossRuns(t *testing.T) {
 	data := stream.UniformInts(10000, 7, 6)
-	got, _ := sortToSlice(t, data, Config{RunSize: 300, FanIn: 3, Sorter: cpusort.QuicksortSorter{}})
+	got, _ := sortToSlice(t, data, Config{RunSize: 300, FanIn: 3, Sorter: cpusort.QuicksortSorter[float32]{}})
 	checkSorted(t, got, data)
 }
 
 func TestSortBadSpillDir(t *testing.T) {
 	var buf bytes.Buffer
 	_, err := Sort(stream.NewSliceSource([]float32{1}), &buf,
-		Config{Dir: "/nonexistent/definitely/not/here", Sorter: cpusort.QuicksortSorter{}})
+		Config{Dir: "/nonexistent/definitely/not/here", Sorter: cpusort.QuicksortSorter[float32]{}})
 	if err == nil {
 		t.Fatal("expected error for unusable spill dir")
 	}
 }
 
-var _ sorter.Sorter = cpusort.QuicksortSorter{} // keep the import honest
+var _ sorter.Sorter[float32] = cpusort.QuicksortSorter[float32]{} // keep the import honest

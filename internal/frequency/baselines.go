@@ -3,34 +3,36 @@ package frequency
 import (
 	"fmt"
 	"sort"
+
+	"gpustream/internal/sorter"
 )
 
 // MisraGries is the deterministic k-counter frequent-items summary of Misra
 // and Gries (re-discovered by Demaine et al. and Karp et al., as the paper's
 // related work recounts). It undercounts true frequencies by at most N/(k+1)
 // and therefore answers eps-approximate queries with k = ceil(1/eps) - 1.
-type MisraGries struct {
+type MisraGries[T sorter.Value] struct {
 	k        int
 	n        int64
-	counters map[float32]int64
+	counters map[T]int64
 }
 
 // NewMisraGries returns a summary with k counters.
-func NewMisraGries(k int) *MisraGries {
+func NewMisraGries[T sorter.Value](k int) *MisraGries[T] {
 	if k <= 0 {
 		panic(fmt.Sprintf("frequency: MisraGries with k=%d", k))
 	}
-	return &MisraGries{k: k, counters: make(map[float32]int64, k+1)}
+	return &MisraGries[T]{k: k, counters: make(map[T]int64, k+1)}
 }
 
 // Count reports the number of processed elements.
-func (m *MisraGries) Count() int64 { return m.n }
+func (m *MisraGries[T]) Count() int64 { return m.n }
 
 // Size reports the number of live counters.
-func (m *MisraGries) Size() int { return len(m.counters) }
+func (m *MisraGries[T]) Size() int { return len(m.counters) }
 
 // Process consumes one stream element.
-func (m *MisraGries) Process(v float32) {
+func (m *MisraGries[T]) Process(v T) {
 	m.n++
 	if _, ok := m.counters[v]; ok {
 		m.counters[v]++
@@ -51,24 +53,24 @@ func (m *MisraGries) Process(v float32) {
 }
 
 // ProcessSlice consumes a batch of elements.
-func (m *MisraGries) ProcessSlice(data []float32) {
+func (m *MisraGries[T]) ProcessSlice(data []T) {
 	for _, v := range data {
 		m.Process(v)
 	}
 }
 
 // Estimate returns the (under)estimated frequency of v.
-func (m *MisraGries) Estimate(v float32) int64 { return m.counters[v] }
+func (m *MisraGries[T]) Estimate(v T) int64 { return m.counters[v] }
 
 // Query returns all elements whose estimated frequency is at least
 // (s - 1/(k+1)) * N, ordered by decreasing frequency.
-func (m *MisraGries) Query(s float64) []Item {
+func (m *MisraGries[T]) Query(s float64) []Item[T] {
 	eps := 1 / float64(m.k+1)
 	thresh := (s - eps) * float64(m.n)
-	var out []Item
+	var out []Item[T]
 	for v, c := range m.counters {
 		if float64(c) >= thresh {
-			out = append(out, Item{Value: v, Freq: c})
+			out = append(out, Item[T]{Value: v, Freq: c})
 		}
 	}
 	sort.Slice(out, func(i, j int) bool {
@@ -84,35 +86,35 @@ func (m *MisraGries) Query(s float64) []Item {
 // minimum counter is reassigned to the new element and incremented, which
 // overcounts by at most N/k. Included as the modern counter-based
 // comparison point.
-type SpaceSaving struct {
+type SpaceSaving[T sorter.Value] struct {
 	k        int
 	n        int64
-	counters map[float32]*ssCounter
-	heap     []*ssCounter // min-heap on count
+	counters map[T]*ssCounter[T]
+	heap     []*ssCounter[T] // min-heap on count
 }
 
-type ssCounter struct {
-	value float32
+type ssCounter[T sorter.Value] struct {
+	value T
 	count int64
 	err   int64
 	pos   int
 }
 
 // NewSpaceSaving returns a summary with k counters.
-func NewSpaceSaving(k int) *SpaceSaving {
+func NewSpaceSaving[T sorter.Value](k int) *SpaceSaving[T] {
 	if k <= 0 {
 		panic(fmt.Sprintf("frequency: SpaceSaving with k=%d", k))
 	}
-	return &SpaceSaving{k: k, counters: make(map[float32]*ssCounter, k)}
+	return &SpaceSaving[T]{k: k, counters: make(map[T]*ssCounter[T], k)}
 }
 
 // Count reports the number of processed elements.
-func (s *SpaceSaving) Count() int64 { return s.n }
+func (s *SpaceSaving[T]) Count() int64 { return s.n }
 
 // Size reports the number of live counters.
-func (s *SpaceSaving) Size() int { return len(s.counters) }
+func (s *SpaceSaving[T]) Size() int { return len(s.counters) }
 
-func (s *SpaceSaving) siftDown(i int) {
+func (s *SpaceSaving[T]) siftDown(i int) {
 	for {
 		l, r := 2*i+1, 2*i+2
 		m := i
@@ -130,7 +132,7 @@ func (s *SpaceSaving) siftDown(i int) {
 	}
 }
 
-func (s *SpaceSaving) siftUp(i int) {
+func (s *SpaceSaving[T]) siftUp(i int) {
 	for i > 0 {
 		p := (i - 1) / 2
 		if s.heap[p].count <= s.heap[i].count {
@@ -143,7 +145,7 @@ func (s *SpaceSaving) siftUp(i int) {
 }
 
 // Process consumes one stream element.
-func (s *SpaceSaving) Process(v float32) {
+func (s *SpaceSaving[T]) Process(v T) {
 	s.n++
 	if c, ok := s.counters[v]; ok {
 		c.count++
@@ -151,7 +153,7 @@ func (s *SpaceSaving) Process(v float32) {
 		return
 	}
 	if len(s.counters) < s.k {
-		c := &ssCounter{value: v, count: 1, pos: len(s.heap)}
+		c := &ssCounter[T]{value: v, count: 1, pos: len(s.heap)}
 		s.counters[v] = c
 		s.heap = append(s.heap, c)
 		s.siftUp(c.pos)
@@ -168,14 +170,14 @@ func (s *SpaceSaving) Process(v float32) {
 }
 
 // ProcessSlice consumes a batch of elements.
-func (s *SpaceSaving) ProcessSlice(data []float32) {
+func (s *SpaceSaving[T]) ProcessSlice(data []T) {
 	for _, v := range data {
 		s.Process(v)
 	}
 }
 
 // Estimate returns the (over)estimated frequency of v.
-func (s *SpaceSaving) Estimate(v float32) int64 {
+func (s *SpaceSaving[T]) Estimate(v T) int64 {
 	if c, ok := s.counters[v]; ok {
 		return c.count
 	}
@@ -185,12 +187,12 @@ func (s *SpaceSaving) Estimate(v float32) int64 {
 // Query returns all elements whose estimated frequency is at least s*N,
 // ordered by decreasing frequency. Space-Saving overestimates, so the
 // threshold needs no eps slack to avoid false negatives.
-func (s *SpaceSaving) Query(sup float64) []Item {
+func (s *SpaceSaving[T]) Query(sup float64) []Item[T] {
 	thresh := sup * float64(s.n)
-	var out []Item
+	var out []Item[T]
 	for _, c := range s.heap {
 		if float64(c.count) >= thresh {
-			out = append(out, Item{Value: c.value, Freq: c.count})
+			out = append(out, Item[T]{Value: c.value, Freq: c.count})
 		}
 	}
 	sort.Slice(out, func(i, j int) bool {
@@ -204,40 +206,40 @@ func (s *SpaceSaving) Query(sup float64) []Item {
 
 // Exact is a hash-based exact counter used as ground truth in tests and
 // experiment validation.
-type Exact struct {
+type Exact[T sorter.Value] struct {
 	n      int64
-	counts map[float32]int64
+	counts map[T]int64
 }
 
 // NewExact returns an empty exact counter.
-func NewExact() *Exact { return &Exact{counts: make(map[float32]int64)} }
+func NewExact[T sorter.Value]() *Exact[T] { return &Exact[T]{counts: make(map[T]int64)} }
 
 // Count reports the number of processed elements.
-func (e *Exact) Count() int64 { return e.n }
+func (e *Exact[T]) Count() int64 { return e.n }
 
 // Process consumes one stream element.
-func (e *Exact) Process(v float32) {
+func (e *Exact[T]) Process(v T) {
 	e.n++
 	e.counts[v]++
 }
 
 // ProcessSlice consumes a batch of elements.
-func (e *Exact) ProcessSlice(data []float32) {
+func (e *Exact[T]) ProcessSlice(data []T) {
 	for _, v := range data {
 		e.Process(v)
 	}
 }
 
 // Estimate returns the exact frequency of v.
-func (e *Exact) Estimate(v float32) int64 { return e.counts[v] }
+func (e *Exact[T]) Estimate(v T) int64 { return e.counts[v] }
 
 // Query returns all elements with frequency >= s*N, by decreasing frequency.
-func (e *Exact) Query(s float64) []Item {
+func (e *Exact[T]) Query(s float64) []Item[T] {
 	thresh := s * float64(e.n)
-	var out []Item
+	var out []Item[T]
 	for v, c := range e.counts {
 		if float64(c) >= thresh {
-			out = append(out, Item{Value: v, Freq: c})
+			out = append(out, Item[T]{Value: v, Freq: c})
 		}
 	}
 	sort.Slice(out, func(i, j int) bool {

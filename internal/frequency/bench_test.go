@@ -12,7 +12,7 @@ var benchData = stream.Zipf(1<<16, 1.1, 1<<12, 1)
 func BenchmarkLossyCounting(b *testing.B) {
 	b.SetBytes(int64(len(benchData) * 4))
 	for i := 0; i < b.N; i++ {
-		e := NewEstimator(0.001, cpusort.QuicksortSorter{})
+		e := NewEstimator(0.001, cpusort.QuicksortSorter[float32]{})
 		e.ProcessSlice(benchData)
 		e.Flush()
 	}
@@ -21,7 +21,7 @@ func BenchmarkLossyCounting(b *testing.B) {
 func BenchmarkMisraGries(b *testing.B) {
 	b.SetBytes(int64(len(benchData) * 4))
 	for i := 0; i < b.N; i++ {
-		m := NewMisraGries(999)
+		m := NewMisraGries[float32](999)
 		m.ProcessSlice(benchData)
 	}
 }
@@ -29,7 +29,7 @@ func BenchmarkMisraGries(b *testing.B) {
 func BenchmarkSpaceSaving(b *testing.B) {
 	b.SetBytes(int64(len(benchData) * 4))
 	for i := 0; i < b.N; i++ {
-		s := NewSpaceSaving(1000)
+		s := NewSpaceSaving[float32](1000)
 		s.ProcessSlice(benchData)
 	}
 }
@@ -37,7 +37,7 @@ func BenchmarkSpaceSaving(b *testing.B) {
 func BenchmarkCountMin(b *testing.B) {
 	b.SetBytes(int64(len(benchData) * 4))
 	for i := 0; i < b.N; i++ {
-		c := NewCountMin(0.001, 0.01)
+		c := NewCountMin[float32](0.001, 0.01)
 		c.ProcessSlice(benchData)
 	}
 }

@@ -3,6 +3,8 @@ package frequency
 import (
 	"fmt"
 	"math"
+
+	"gpustream/internal/sorter"
 )
 
 // CountMin is the hash-based frequency sketch of Cormode and Muthukrishnan,
@@ -10,7 +12,7 @@ import (
 // (Section 2.1). Unlike the counter-based summaries it supports deletions
 // (processing an item with negative multiplicity), at the cost of
 // overcounting by at most eps*N with probability 1-delta.
-type CountMin struct {
+type CountMin[T sorter.Value] struct {
 	width  int
 	depth  int
 	counts []int64 // depth x width
@@ -20,7 +22,7 @@ type CountMin struct {
 
 // NewCountMin returns a sketch with error eps and failure probability
 // delta: width = ceil(e/eps), depth = ceil(ln(1/delta)).
-func NewCountMin(eps, delta float64) *CountMin {
+func NewCountMin[T sorter.Value](eps, delta float64) *CountMin[T] {
 	if eps <= 0 || eps >= 1 || delta <= 0 || delta >= 1 {
 		panic(fmt.Sprintf("frequency: CountMin eps=%v delta=%v out of range", eps, delta))
 	}
@@ -29,7 +31,7 @@ func NewCountMin(eps, delta float64) *CountMin {
 	if depth < 1 {
 		depth = 1
 	}
-	cm := &CountMin{
+	cm := &CountMin[T]{
 		width:  width,
 		depth:  depth,
 		counts: make([]int64, width*depth),
@@ -46,17 +48,18 @@ func NewCountMin(eps, delta float64) *CountMin {
 }
 
 // Width reports the sketch row width.
-func (c *CountMin) Width() int { return c.width }
+func (c *CountMin[T]) Width() int { return c.width }
 
 // Depth reports the number of hash rows.
-func (c *CountMin) Depth() int { return c.depth }
+func (c *CountMin[T]) Depth() int { return c.depth }
 
 // Count reports the net number of processed elements.
-func (c *CountMin) Count() int64 { return c.n }
+func (c *CountMin[T]) Count() int64 { return c.n }
 
-// hash maps v into row r.
-func (c *CountMin) hash(v float32, r int) int {
-	bits := uint64(math.Float32bits(v))
+// hash maps v into row r via the type's order-preserving key bijection,
+// which gives every element type a well-mixed 64-bit representative.
+func (c *CountMin[T]) hash(v T, r int) int {
+	bits := sorter.OrderedKey(v)
 	x := bits*0x2545F4914F6CDD1D + c.seeds[r]
 	x ^= x >> 33
 	x *= 0xFF51AFD7ED558CCD
@@ -65,17 +68,17 @@ func (c *CountMin) hash(v float32, r int) int {
 }
 
 // Process consumes one occurrence of v.
-func (c *CountMin) Process(v float32) { c.Update(v, 1) }
+func (c *CountMin[T]) Process(v T) { c.Update(v, 1) }
 
 // ProcessSlice consumes a batch of elements.
-func (c *CountMin) ProcessSlice(data []float32) {
+func (c *CountMin[T]) ProcessSlice(data []T) {
 	for _, v := range data {
 		c.Process(v)
 	}
 }
 
 // Update adds multiplicity delta (negative deletes) for v.
-func (c *CountMin) Update(v float32, delta int64) {
+func (c *CountMin[T]) Update(v T, delta int64) {
 	c.n += delta
 	for r := 0; r < c.depth; r++ {
 		c.counts[r*c.width+c.hash(v, r)] += delta
@@ -85,7 +88,7 @@ func (c *CountMin) Update(v float32, delta int64) {
 // Estimate returns the point estimate for v: the minimum over rows, which
 // never undercounts (for non-negative streams) and overcounts by at most
 // eps*N with probability 1-delta.
-func (c *CountMin) Estimate(v float32) int64 {
+func (c *CountMin[T]) Estimate(v T) int64 {
 	min := int64(math.MaxInt64)
 	for r := 0; r < c.depth; r++ {
 		if cnt := c.counts[r*c.width+c.hash(v, r)]; cnt < min {

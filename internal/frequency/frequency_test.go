@@ -10,13 +10,15 @@ import (
 	"gpustream/internal/stream"
 )
 
-func newCPU(eps float64) *Estimator { return NewEstimator(eps, cpusort.QuicksortSorter{}) }
+func newCPU(eps float64) *Estimator[float32] {
+	return NewEstimator(eps, cpusort.QuicksortSorter[float32]{})
+}
 
 func TestEstimatorUndercountBound(t *testing.T) {
 	const eps = 0.01
 	data := stream.Zipf(50000, 1.2, 500, 1)
 	e := newCPU(eps)
-	x := NewExact()
+	x := NewExact[float32]()
 	e.ProcessSlice(data)
 	x.ProcessSlice(data)
 	e.Flush()
@@ -38,7 +40,7 @@ func TestEstimatorNoFalseNegatives(t *testing.T) {
 	const eps, s = 0.005, 0.02
 	data := stream.Zipf(40000, 1.3, 2000, 2)
 	e := newCPU(eps)
-	x := NewExact()
+	x := NewExact[float32]()
 	e.ProcessSlice(data)
 	x.ProcessSlice(data)
 
@@ -67,7 +69,7 @@ func TestEstimatorQuick(t *testing.T) {
 		}
 		const eps = 0.1
 		e := newCPU(eps)
-		x := NewExact()
+		x := NewExact[float32]()
 		for _, b := range raw {
 			v := float32(b % 16)
 			e.Process(v)
@@ -93,7 +95,7 @@ func TestEstimatorGPUBackendMatchesCPU(t *testing.T) {
 	const eps = 0.01
 	data := stream.Zipf(20000, 1.1, 300, 3)
 	cpu := newCPU(eps)
-	gpu := NewEstimator(eps, gpusort.NewSorter())
+	gpu := NewEstimator(eps, gpusort.NewSorter[float32]())
 	cpu.ProcessSlice(data)
 	gpu.ProcessSlice(data)
 	for v := 0; v < 300; v++ {
@@ -162,8 +164,8 @@ func TestEstimatorQueryOrdering(t *testing.T) {
 
 func TestEstimatorPanics(t *testing.T) {
 	for _, fn := range []func(){
-		func() { NewEstimator(0, cpusort.QuicksortSorter{}) },
-		func() { NewEstimator(1, cpusort.QuicksortSorter{}) },
+		func() { NewEstimator(0, cpusort.QuicksortSorter[float32]{}) },
+		func() { NewEstimator(1, cpusort.QuicksortSorter[float32]{}) },
 		func() { newCPU(0.1).Query(1.5) },
 	} {
 		func() {
@@ -180,8 +182,8 @@ func TestEstimatorPanics(t *testing.T) {
 func TestMisraGriesBound(t *testing.T) {
 	const k = 99 // eps = 1/(k+1) = 0.01
 	data := stream.Zipf(30000, 1.2, 400, 6)
-	m := NewMisraGries(k)
-	x := NewExact()
+	m := NewMisraGries[float32](k)
+	x := NewExact[float32]()
 	m.ProcessSlice(data)
 	x.ProcessSlice(data)
 	epsN := float64(m.Count()) / float64(k+1)
@@ -202,8 +204,8 @@ func TestMisraGriesBound(t *testing.T) {
 
 func TestMisraGriesNoFalseNegatives(t *testing.T) {
 	data := stream.Zipf(30000, 1.4, 1000, 7)
-	m := NewMisraGries(199)
-	x := NewExact()
+	m := NewMisraGries[float32](199)
+	x := NewExact[float32]()
 	m.ProcessSlice(data)
 	x.ProcessSlice(data)
 	reported := map[float32]bool{}
@@ -220,8 +222,8 @@ func TestMisraGriesNoFalseNegatives(t *testing.T) {
 func TestSpaceSavingBounds(t *testing.T) {
 	const k = 100
 	data := stream.Zipf(30000, 1.2, 400, 8)
-	s := NewSpaceSaving(k)
-	x := NewExact()
+	s := NewSpaceSaving[float32](k)
+	x := NewExact[float32]()
 	s.ProcessSlice(data)
 	x.ProcessSlice(data)
 	maxOver := float64(s.Count()) / float64(k)
@@ -242,8 +244,8 @@ func TestSpaceSavingBounds(t *testing.T) {
 
 func TestSpaceSavingNoFalseNegatives(t *testing.T) {
 	data := stream.Zipf(30000, 1.4, 1000, 9)
-	s := NewSpaceSaving(200)
-	x := NewExact()
+	s := NewSpaceSaving[float32](200)
+	x := NewExact[float32]()
 	s.ProcessSlice(data)
 	x.ProcessSlice(data)
 	reported := map[float32]bool{}
@@ -259,8 +261,8 @@ func TestSpaceSavingNoFalseNegatives(t *testing.T) {
 
 func TestBaselinePanics(t *testing.T) {
 	for _, fn := range []func(){
-		func() { NewMisraGries(0) },
-		func() { NewSpaceSaving(-1) },
+		func() { NewMisraGries[float32](0) },
+		func() { NewSpaceSaving[float32](-1) },
 	} {
 		func() {
 			defer func() {
@@ -274,7 +276,7 @@ func TestBaselinePanics(t *testing.T) {
 }
 
 func TestExactCounter(t *testing.T) {
-	x := NewExact()
+	x := NewExact[float32]()
 	x.ProcessSlice([]float32{1, 2, 1, 1, 3})
 	if x.Count() != 5 || x.Estimate(1) != 3 || x.Estimate(9) != 0 {
 		t.Fatal("exact counter wrong")
@@ -287,21 +289,21 @@ func TestExactCounter(t *testing.T) {
 
 func TestCountMinNeverUndercounts(t *testing.T) {
 	data := stream.Zipf(30000, 1.2, 400, 14)
-	cm := NewCountMin(0.005, 0.01)
-	x := NewExact()
+	cm := NewCountMin[float32](0.005, 0.01)
+	x := NewExact[float32]()
 	cm.ProcessSlice(data)
 	x.ProcessSlice(data)
 	for v := 0; v < 400; v++ {
 		if cm.Estimate(float32(v)) < x.Estimate(float32(v)) {
-			t.Fatalf("CountMin undercounted %d", v)
+			t.Fatalf("CountMin[float32] undercounted %d", v)
 		}
 	}
 }
 
 func TestCountMinOvercountBound(t *testing.T) {
 	data := stream.Zipf(30000, 1.2, 400, 15)
-	cm := NewCountMin(0.005, 0.001)
-	x := NewExact()
+	cm := NewCountMin[float32](0.005, 0.001)
+	x := NewExact[float32]()
 	cm.ProcessSlice(data)
 	x.ProcessSlice(data)
 	epsN := 0.005 * float64(cm.Count())
@@ -314,12 +316,12 @@ func TestCountMinOvercountBound(t *testing.T) {
 	// With delta=0.001 per query, at most a couple of the 400 probes may
 	// exceed the bound.
 	if violations > 4 {
-		t.Fatalf("CountMin exceeded eps*N on %d/400 probes", violations)
+		t.Fatalf("CountMin[float32] exceeded eps*N on %d/400 probes", violations)
 	}
 }
 
 func TestCountMinDeletions(t *testing.T) {
-	cm := NewCountMin(0.01, 0.01)
+	cm := NewCountMin[float32](0.01, 0.01)
 	for i := 0; i < 100; i++ {
 		cm.Update(7, 1)
 	}
@@ -333,7 +335,7 @@ func TestCountMinDeletions(t *testing.T) {
 }
 
 func TestCountMinDimensions(t *testing.T) {
-	cm := NewCountMin(0.01, 0.01)
+	cm := NewCountMin[float32](0.01, 0.01)
 	if cm.Width() < int(math.Ceil(math.E/0.01)) {
 		t.Fatalf("width %d too small", cm.Width())
 	}
@@ -344,10 +346,10 @@ func TestCountMinDimensions(t *testing.T) {
 
 func TestCountMinPanics(t *testing.T) {
 	for _, fn := range []func(){
-		func() { NewCountMin(0, 0.1) },
-		func() { NewCountMin(0.1, 0) },
-		func() { NewCountMin(1, 0.1) },
-		func() { NewCountMin(0.1, 1) },
+		func() { NewCountMin[float32](0, 0.1) },
+		func() { NewCountMin[float32](0.1, 0) },
+		func() { NewCountMin[float32](1, 0.1) },
+		func() { NewCountMin[float32](0.1, 1) },
 	} {
 		func() {
 			defer func() {
@@ -362,8 +364,8 @@ func TestCountMinPanics(t *testing.T) {
 
 func TestCountMinQuick(t *testing.T) {
 	prop := func(raw []uint8) bool {
-		cm := NewCountMin(0.05, 0.01)
-		x := NewExact()
+		cm := NewCountMin[float32](0.05, 0.01)
+		x := NewExact[float32]()
 		for _, b := range raw {
 			v := float32(b % 32)
 			cm.Process(v)

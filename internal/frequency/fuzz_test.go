@@ -10,8 +10,8 @@ func FuzzLossyCounting(f *testing.F) {
 	f.Add([]byte{1, 1, 2, 3, 1})
 	f.Fuzz(func(t *testing.T, raw []byte) {
 		const eps = 0.1
-		e := NewEstimator(eps, cpusort.QuicksortSorter{})
-		x := NewExact()
+		e := NewEstimator(eps, cpusort.QuicksortSorter[float32]{})
+		x := NewExact[float32]()
 		for _, b := range raw {
 			v := float32(b % 32)
 			e.Process(v)

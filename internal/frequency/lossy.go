@@ -24,13 +24,13 @@ import (
 )
 
 // Item is a reported stream element with its estimated frequency.
-type Item = pipeline.Item
+type Item[T sorter.Value] = pipeline.Item[T]
 
 // entry is one summary element: estimated frequency f and maximum
 // undercount delta (the element may have appeared up to delta times before
 // it entered the summary).
-type entry struct {
-	value float32
+type entry[T sorter.Value] struct {
+	value T
 	freq  int64
 	delta int64
 }
@@ -44,45 +44,45 @@ type entry struct {
 // One writer and any number of query goroutines may use an Estimator
 // concurrently; queries flush the partial window and answer over a
 // consistent summary state.
-type Estimator struct {
+type Estimator[T sorter.Value] struct {
 	eps    float64
-	core   *pipeline.Core
-	sorter sorter.Sorter
+	core   *pipeline.Core[T]
+	sorter sorter.Sorter[T]
 	n      int64 // elements folded into the summary (excludes buffered)
 	bucket int64
 	// entries and scratch swap roles every window so the merge pass writes
 	// into recycled storage; bins is the reusable histogram scratch. shared
 	// marks entries as aliased by a Snapshot: the next swap then abandons
 	// the array to the snapshot instead of recycling it (copy-on-write).
-	entries []entry
-	scratch []entry
+	entries []entry[T]
+	scratch []entry[T]
 	shared  bool
-	bins    []histogram.Bin
+	bins    []histogram.Bin[T]
 }
 
 // NewEstimator returns a lossy-counting estimator with error eps, sorting
 // windows with s.
-func NewEstimator(eps float64, s sorter.Sorter) *Estimator {
+func NewEstimator[T sorter.Value](eps float64, s sorter.Sorter[T]) *Estimator[T] {
 	if eps <= 0 || eps >= 1 {
 		panic(fmt.Sprintf("frequency: eps %v out of (0, 1)", eps))
 	}
-	e := &Estimator{eps: eps, sorter: s}
+	e := &Estimator[T]{eps: eps, sorter: s}
 	e.core = pipeline.NewCore(int(math.Ceil(1/eps)), e.flushWindow)
 	return e
 }
 
 // Eps reports the configured error bound.
-func (e *Estimator) Eps() float64 { return e.eps }
+func (e *Estimator[T]) Eps() float64 { return e.eps }
 
 // WindowSize reports the buffered window length, ceil(1/eps).
-func (e *Estimator) WindowSize() int { return e.core.WindowSize() }
+func (e *Estimator[T]) WindowSize() int { return e.core.WindowSize() }
 
 // Count reports the number of stream elements processed, including buffered
 // ones.
-func (e *Estimator) Count() int64 { return e.core.Count() }
+func (e *Estimator[T]) Count() int64 { return e.core.Count() }
 
 // SummarySize reports the number of summary entries (excluding the buffer).
-func (e *Estimator) SummarySize() int {
+func (e *Estimator[T]) SummarySize() int {
 	e.core.Lock()
 	defer e.core.Unlock()
 	return len(e.entries)
@@ -90,28 +90,28 @@ func (e *Estimator) SummarySize() int {
 
 // Stats returns the unified per-stage pipeline telemetry. Safe to call
 // mid-ingestion; counters are internally consistent.
-func (e *Estimator) Stats() pipeline.Stats { return e.core.Stats() }
+func (e *Estimator[T]) Stats() pipeline.Stats { return e.core.Stats() }
 
 // Process consumes one stream element. After Close it returns an error
 // wrapping pipeline.ErrClosed.
-func (e *Estimator) Process(v float32) error { return e.core.Process(v) }
+func (e *Estimator[T]) Process(v T) error { return e.core.Process(v) }
 
 // ProcessSlice consumes a batch of stream elements. After Close it returns
 // an error wrapping pipeline.ErrClosed.
-func (e *Estimator) ProcessSlice(data []float32) error { return e.core.ProcessSlice(data) }
+func (e *Estimator[T]) ProcessSlice(data []T) error { return e.core.ProcessSlice(data) }
 
 // Flush forces the buffered partial window into the summary. Queries call
 // it implicitly so buffered elements are always visible.
-func (e *Estimator) Flush() error { return e.core.Flush() }
+func (e *Estimator[T]) Flush() error { return e.core.Flush() }
 
 // Close flushes and releases the window buffer back to the shared pool.
 // The estimator remains queryable; further ingestion reports
 // pipeline.ErrClosed. Close is idempotent.
-func (e *Estimator) Close() error { return e.core.Close() }
+func (e *Estimator[T]) Close() error { return e.core.Close() }
 
 // flushWindow runs the histogram -> merge -> compress pipeline on one
 // window handed over by the core (which holds the lock).
-func (e *Estimator) flushWindow(win []float32) {
+func (e *Estimator[T]) flushWindow(win []T) {
 	// Histogram computation: sort the window (GPU or CPU backend) and
 	// collapse to (value, count) bins.
 	t0 := time.Now()
@@ -141,7 +141,7 @@ func (e *Estimator) flushWindow(win []float32) {
 			merged = append(merged, e.entries[i])
 			i++
 		case e.entries[i].value > bins[j].Value:
-			merged = append(merged, entry{value: bins[j].Value, freq: bins[j].Count, delta: newDelta})
+			merged = append(merged, entry[T]{value: bins[j].Value, freq: bins[j].Count, delta: newDelta})
 			j++
 		default:
 			ent := e.entries[i]
@@ -153,7 +153,7 @@ func (e *Estimator) flushWindow(win []float32) {
 	}
 	merged = append(merged, e.entries[i:]...)
 	for ; j < len(bins); j++ {
-		merged = append(merged, entry{value: bins[j].Value, freq: bins[j].Count, delta: newDelta})
+		merged = append(merged, entry[T]{value: bins[j].Value, freq: bins[j].Count, delta: newDelta})
 	}
 	e.core.AddMerge(time.Since(t1), int64(len(e.entries))+int64(len(bins)))
 
@@ -182,15 +182,15 @@ func (e *Estimator) flushWindow(win []float32) {
 // queryEntries answers the epsilon-approximate frequency query over a
 // value-ascending summary: every entry with estimated frequency at least
 // (s - eps) * n, ordered by decreasing frequency.
-func queryEntries(entries []entry, n int64, eps, s float64) []Item {
+func queryEntries[T sorter.Value](entries []entry[T], n int64, eps, s float64) []Item[T] {
 	if s < 0 || s > 1 {
 		panic(fmt.Sprintf("frequency: support %v out of [0, 1]", s))
 	}
 	thresh := (s - eps) * float64(n)
-	var out []Item
+	var out []Item[T]
 	for _, ent := range entries {
 		if float64(ent.freq) >= thresh {
-			out = append(out, Item{Value: ent.value, Freq: ent.freq})
+			out = append(out, Item[T]{Value: ent.value, Freq: ent.freq})
 		}
 	}
 	sort.Slice(out, func(i, j int) bool {
@@ -203,7 +203,7 @@ func queryEntries(entries []entry, n int64, eps, s float64) []Item {
 }
 
 // estimateEntries binary-searches a value-ascending summary for v.
-func estimateEntries(entries []entry, v float32) int64 {
+func estimateEntries[T sorter.Value](entries []entry[T], v T) int64 {
 	lo, hi := 0, len(entries)
 	for lo < hi {
 		mid := (lo + hi) / 2
@@ -224,7 +224,7 @@ func estimateEntries(entries []entry, v float32) int64 {
 // epsilon-approximate frequency query. The result has no false negatives:
 // any element with true frequency >= s*N is present. Estimated frequencies
 // undercount by at most eps*N. Safe under concurrent ingestion.
-func (e *Estimator) Query(s float64) []Item {
+func (e *Estimator[T]) Query(s float64) []Item[T] {
 	e.core.Lock()
 	defer e.core.Unlock()
 	e.core.FlushLocked()
@@ -233,7 +233,7 @@ func (e *Estimator) Query(s float64) []Item {
 
 // Estimate returns the estimated frequency of v (0 if not tracked). Safe
 // under concurrent ingestion.
-func (e *Estimator) Estimate(v float32) int64 {
+func (e *Estimator[T]) Estimate(v T) int64 {
 	e.core.Lock()
 	defer e.core.Unlock()
 	e.core.FlushLocked()
@@ -242,7 +242,7 @@ func (e *Estimator) Estimate(v float32) int64 {
 
 // TopK returns the k elements with the highest estimated frequencies (fewer
 // if the summary tracks fewer), ordered by decreasing frequency.
-func (e *Estimator) TopK(k int) []Item {
+func (e *Estimator[T]) TopK(k int) []Item[T] {
 	items := e.Query(0)
 	if len(items) > k {
 		items = items[:k]
@@ -252,8 +252,8 @@ func (e *Estimator) TopK(k int) []Item {
 
 // SummaryEntry is an exported view of one lossy-counting summary entry: an
 // estimated frequency Freq that undercounts the true one by at most Delta.
-type SummaryEntry struct {
-	Value float32
+type SummaryEntry[T sorter.Value] struct {
+	Value T
 	Freq  int64
 	Delta int64
 }
@@ -263,8 +263,8 @@ type SummaryEntry struct {
 // discipline (the estimator abandons shared storage at its next window),
 // so taking one costs O(partial window) for the flush and O(1) beyond it.
 // A Snapshot is safe for concurrent use and implements pipeline.View.
-type Snapshot struct {
-	entries []entry
+type Snapshot[T sorter.Value] struct {
+	entries []entry[T]
 	n       int64
 	eps     float64
 }
@@ -272,43 +272,43 @@ type Snapshot struct {
 // Snapshot flushes any buffered values and returns an immutable view of the
 // summary. The view answers HeavyHitters/Frequency queries and never sees
 // ingestion that happens after this call.
-func (e *Estimator) Snapshot() pipeline.View {
+func (e *Estimator[T]) Snapshot() pipeline.View[T] {
 	e.core.Lock()
 	defer e.core.Unlock()
 	e.core.FlushLocked()
 	e.shared = true
-	return &Snapshot{entries: e.entries, n: e.n, eps: e.eps}
+	return &Snapshot[T]{entries: e.entries, n: e.n, eps: e.eps}
 }
 
 // SnapshotFromEntries builds a Snapshot from exported summary entries in
 // ascending value order covering n stream elements. Sharded ingestion uses
 // it to publish a merged per-shard view; the entries slice is owned by the
 // snapshot from here on.
-func SnapshotFromEntries(entries []SummaryEntry, n int64, eps float64) *Snapshot {
-	conv := make([]entry, len(entries))
+func SnapshotFromEntries[T sorter.Value](entries []SummaryEntry[T], n int64, eps float64) *Snapshot[T] {
+	conv := make([]entry[T], len(entries))
 	for i, ent := range entries {
-		conv[i] = entry{value: ent.Value, freq: ent.Freq, delta: ent.Delta}
+		conv[i] = entry[T]{value: ent.Value, freq: ent.Freq, delta: ent.Delta}
 	}
-	return &Snapshot{entries: conv, n: n, eps: eps}
+	return &Snapshot[T]{entries: conv, n: n, eps: eps}
 }
 
 // Count reports the stream length the snapshot covers.
-func (s *Snapshot) Count() int64 { return s.n }
+func (s *Snapshot[T]) Count() int64 { return s.n }
 
 // Size reports the retained summary entries.
-func (s *Snapshot) Size() int { return len(s.entries) }
+func (s *Snapshot[T]) Size() int { return len(s.entries) }
 
 // Eps reports the snapshot's error bound.
-func (s *Snapshot) Eps() float64 { return s.eps }
+func (s *Snapshot[T]) Eps() float64 { return s.eps }
 
 // Query answers the epsilon-approximate frequency query at support sp.
-func (s *Snapshot) Query(sp float64) []Item { return queryEntries(s.entries, s.n, s.eps, sp) }
+func (s *Snapshot[T]) Query(sp float64) []Item[T] { return queryEntries(s.entries, s.n, s.eps, sp) }
 
 // Estimate returns the estimated frequency of v (0 if not tracked).
-func (s *Snapshot) Estimate(v float32) int64 { return estimateEntries(s.entries, v) }
+func (s *Snapshot[T]) Estimate(v T) int64 { return estimateEntries(s.entries, v) }
 
 // TopK returns the k highest-frequency entries.
-func (s *Snapshot) TopK(k int) []Item {
+func (s *Snapshot[T]) TopK(k int) []Item[T] {
 	items := s.Query(0)
 	if len(items) > k {
 		items = items[:k]
@@ -320,20 +320,20 @@ func (s *Snapshot) TopK(k int) []Item {
 // ingestion merges per-shard entries by summing Freq and Delta for equal
 // values: undercounts are additive across disjoint substreams, so the
 // merged summary stays eps-approximate over the combined stream.
-func (s *Snapshot) Entries() []SummaryEntry {
-	out := make([]SummaryEntry, len(s.entries))
+func (s *Snapshot[T]) Entries() []SummaryEntry[T] {
+	out := make([]SummaryEntry[T], len(s.entries))
 	for i, ent := range s.entries {
-		out[i] = SummaryEntry{Value: ent.value, Freq: ent.freq, Delta: ent.delta}
+		out[i] = SummaryEntry[T]{Value: ent.value, Freq: ent.freq, Delta: ent.delta}
 	}
 	return out
 }
 
 // Quantile implements pipeline.View; frequency sketches do not answer
 // quantile queries.
-func (s *Snapshot) Quantile(float64) (float32, bool) { return 0, false }
+func (s *Snapshot[T]) Quantile(float64) (T, bool) { var z T; return z, false }
 
 // HeavyHitters implements pipeline.View.
-func (s *Snapshot) HeavyHitters(support float64) ([]Item, bool) { return s.Query(support), true }
+func (s *Snapshot[T]) HeavyHitters(support float64) ([]Item[T], bool) { return s.Query(support), true }
 
 // Frequency implements pipeline.View.
-func (s *Snapshot) Frequency(v float32) (int64, bool) { return s.Estimate(v), true }
+func (s *Snapshot[T]) Frequency(v T) (int64, bool) { return s.Estimate(v), true }

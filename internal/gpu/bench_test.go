@@ -4,7 +4,7 @@ import "testing"
 
 func BenchmarkDrawQuadCopy(b *testing.B) {
 	tex := randomTexture(256, 256, 1)
-	d := NewDevice(256, 256)
+	d := NewDevice[float32](256, 256)
 	d.BindTexture(tex)
 	d.SetBlend(BlendReplace)
 	quad := [4]Point{{0, 0}, {256, 0}, {256, 256}, {0, 256}}
@@ -17,7 +17,7 @@ func BenchmarkDrawQuadCopy(b *testing.B) {
 
 func BenchmarkDrawQuadBlendMin(b *testing.B) {
 	tex := randomTexture(256, 256, 2)
-	d := NewDevice(256, 256)
+	d := NewDevice[float32](256, 256)
 	copyQuad(d, tex)
 	d.SetBlend(BlendMin)
 	v := [4]Point{{0, 0}, {256, 0}, {256, 128}, {0, 128}}
@@ -31,7 +31,7 @@ func BenchmarkDrawQuadBlendMin(b *testing.B) {
 
 func BenchmarkFragmentPass(b *testing.B) {
 	tex := randomTexture(128, 128, 3)
-	d := NewDevice(128, 128)
+	d := NewDevice[float32](128, 128)
 	d.BindTexture(tex)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

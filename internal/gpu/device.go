@@ -6,11 +6,16 @@ import (
 	"sync"
 
 	"gpustream/internal/half"
+	"gpustream/internal/sorter"
 )
 
 // BlendFunc selects how an incoming fragment color is combined with the color
 // already in the framebuffer. The paper's sorting comparators use BlendMin
-// and BlendMax (Section 4.2.2); BlendReplace implements plain copies.
+// and BlendMax (Section 4.2.2); BlendReplace implements plain copies. Under
+// the generic simulator the min/max blends compare with the element type's
+// natural ordering — for float32 that is exactly the 2004 hardware's blend
+// unit, for the other instantiations it is the simulator extension described
+// in the package comment.
 type BlendFunc int
 
 const (
@@ -43,9 +48,9 @@ type Point struct{ X, Y float64 }
 // like a real graphics context it is driven from one thread, though DrawQuad
 // internally shades large quads with parallel workers (modeling the 16
 // parallel fragment pipes of the GeForce 6800).
-type Device struct {
-	fb        *Texture
-	tex       *Texture
+type Device[T sorter.Value] struct {
+	fb        *Texture[T]
+	tex       *Texture[T]
 	texturing bool
 	blending  bool
 	blend     BlendFunc
@@ -60,45 +65,66 @@ type Device struct {
 
 	// halfTargets, when set, rounds every value written to the render
 	// target through IEEE half precision, modeling the paper's 16-bit
-	// offscreen buffers (Section 4.5).
+	// offscreen buffers (Section 4.5). halfRound is the rounding function;
+	// it is nil for every element type except float32, because binary16
+	// quantization only models the float32 pipeline — other instantiations
+	// pass through unquantized.
 	halfTargets bool
+	halfRound   func(T) T
+}
+
+// halfRoundFn returns the binary16 rounding function when T is float32 and
+// nil otherwise.
+func halfRoundFn[T sorter.Value]() func(T) T {
+	var z T
+	if _, ok := any(z).(float32); !ok {
+		return nil
+	}
+	return func(v T) T {
+		f := any(v).(float32)
+		return any(half.FromFloat32(f).ToFloat32()).(T)
+	}
 }
 
 // SetHalfPrecisionTargets switches the framebuffer between full 32-bit and
 // the paper's 16-bit offscreen-buffer precision. Because binary16
 // quantization is monotone, sorting still orders correctly; values simply
-// coarsen to ~11 bits of mantissa.
-func (d *Device) SetHalfPrecisionTargets(on bool) { d.halfTargets = on }
+// coarsen to ~11 bits of mantissa. The mode only quantizes float32
+// instantiations; for other element types it is a no-op.
+func (d *Device[T]) SetHalfPrecisionTargets(on bool) {
+	d.halfTargets = on && d.halfRound != nil
+}
 
 // NewDevice creates a device with a w x h framebuffer.
-func NewDevice(w, h int) *Device {
-	return &Device{
-		fb:                NewTexture(w, h),
+func NewDevice[T sorter.Value](w, h int) *Device[T] {
+	return &Device[T]{
+		fb:                NewTexture[T](w, h),
 		blend:             BlendReplace,
 		parallelThreshold: 1 << 14,
+		halfRound:         halfRoundFn[T](),
 	}
 }
 
 // Framebuffer exposes the device's framebuffer. Mutating it directly is the
 // simulation analog of rendering from the CPU and is used only by tests.
-func (d *Device) Framebuffer() *Texture { return d.fb }
+func (d *Device[T]) Framebuffer() *Texture[T] { return d.fb }
 
 // Stats returns a snapshot of the operation counters.
-func (d *Device) Stats() Stats { return d.stats }
+func (d *Device[T]) Stats() Stats { return d.stats }
 
 // ResetStats zeroes the operation counters.
-func (d *Device) ResetStats() { d.stats = Stats{} }
+func (d *Device[T]) ResetStats() { d.stats = Stats{} }
 
 // BindTexture makes t the active texture and enables texturing.
 // Binding nil disables texturing.
-func (d *Device) BindTexture(t *Texture) {
+func (d *Device[T]) BindTexture(t *Texture[T]) {
 	d.tex = t
 	d.texturing = t != nil
 }
 
 // SetBlend enables blending with the given function. BlendReplace disables
 // blending (it is the fixed-function default).
-func (d *Device) SetBlend(f BlendFunc) {
+func (d *Device[T]) SetBlend(f BlendFunc) {
 	d.blend = f
 	d.blending = f != BlendReplace
 }
@@ -106,14 +132,14 @@ func (d *Device) SetBlend(f BlendFunc) {
 // Upload accounts for a CPU -> GPU transfer of t over the bus. In the
 // simulator textures already live in host memory, so only the counters move;
 // the perfmodel turns the byte count into AGP-bus time.
-func (d *Device) Upload(t *Texture) {
+func (d *Device[T]) Upload(t *Texture[T]) {
 	d.stats.BytesUp += int64(t.Bytes())
 	d.stats.Transfers++
 }
 
 // ReadFramebuffer returns a copy of the framebuffer and accounts for the
 // GPU -> CPU readback over the bus.
-func (d *Device) ReadFramebuffer() *Texture {
+func (d *Device[T]) ReadFramebuffer() *Texture[T] {
 	d.stats.BytesDown += int64(d.fb.Bytes())
 	d.stats.Transfers++
 	return d.fb.Clone()
@@ -122,7 +148,7 @@ func (d *Device) ReadFramebuffer() *Texture {
 // ReadTexture returns a copy of t and accounts for the GPU -> CPU readback
 // over the bus, for algorithms whose final state lives in a render texture
 // rather than the framebuffer.
-func (d *Device) ReadTexture(t *Texture) *Texture {
+func (d *Device[T]) ReadTexture(t *Texture[T]) *Texture[T] {
 	d.stats.BytesDown += int64(t.Bytes())
 	d.stats.Transfers++
 	return t.Clone()
@@ -132,7 +158,7 @@ func (d *Device) ReadTexture(t *Texture) *Texture {
 // modeling the paper's double-buffered offscreen buffers (Section 4.5): the
 // output of one sorting step becomes the input texture of the next by a
 // buffer swap, which is free on the GPU.
-func (d *Device) SwapToTexture(t *Texture) {
+func (d *Device[T]) SwapToTexture(t *Texture[T]) {
 	t.CopyFrom(d.fb)
 }
 
@@ -190,7 +216,7 @@ func analyzeQuad(v, t [4]Point) (quadGeom, error) {
 // Vertices must form an axis-aligned rectangle with integral corners in the
 // order (x0,y0), (x1,y0), (x1,y1), (x0,y1); texture coordinates must vary
 // affinely. The quad is clipped to the framebuffer.
-func (d *Device) DrawQuad(v, t [4]Point) {
+func (d *Device[T]) DrawQuad(v, t [4]Point) {
 	g, err := analyzeQuad(v, t)
 	if err != nil {
 		panic(err)
@@ -241,7 +267,7 @@ func (d *Device) DrawQuad(v, t [4]Point) {
 // shadeRowsParallel splits the quad's rows across workers. Rows write
 // disjoint framebuffer pixels, so no synchronization beyond the WaitGroup is
 // needed — the same reason real fragment pipes can run lock-free.
-func (d *Device) shadeRowsParallel(g quadGeom) {
+func (d *Device[T]) shadeRowsParallel(g quadGeom) {
 	workers := runtime.GOMAXPROCS(0)
 	rows := g.y1 - g.y0
 	if workers > rows {
@@ -272,7 +298,7 @@ func (d *Device) shadeRowsParallel(g quadGeom) {
 }
 
 // shadeRows shades rows [yLo, yHi) of the quad g.
-func (d *Device) shadeRows(g quadGeom, yLo, yHi int) {
+func (d *Device[T]) shadeRows(g quadGeom, yLo, yHi int) {
 	tex := d.tex
 	fb := d.fb
 	// Fast path: unit-stride source stepping in x with no cross-terms.
@@ -316,7 +342,7 @@ func (d *Device) shadeRows(g quadGeom, yLo, yHi int) {
 // shadeSpanUnit shades one row whose source texels advance with unit stride.
 // This is the hot loop of the whole simulator: one call covers a full row of
 // a sorting-step quad.
-func (d *Device) shadeSpanUnit(fb, tex *Texture, y, x0, x1, ty, sx, step int) {
+func (d *Device[T]) shadeSpanUnit(fb, tex *Texture[T], y, x0, x1, ty, sx, step int) {
 	n := x1 - x0
 	d.texcache.noteSpan(ty*tex.W+sx, n, step)
 	if d.halfTargets {
@@ -379,8 +405,8 @@ func (d *Device) shadeSpanUnit(fb, tex *Texture, y, x0, x1, ty, sx, step int) {
 }
 
 // shadeSpanUnitHalf is shadeSpanUnit with every written value rounded
-// through binary16, the 16-bit offscreen-buffer mode.
-func (d *Device) shadeSpanUnitHalf(fb, tex *Texture, y, x0, x1, ty, sx, step int) {
+// through binary16, the 16-bit offscreen-buffer mode (float32 only).
+func (d *Device[T]) shadeSpanUnitHalf(fb, tex *Texture[T], y, x0, x1, ty, sx, step int) {
 	n := x1 - x0
 	di := (y*fb.W + x0) * Channels
 	si := (ty*tex.W + clampInt(sx, 0, tex.W-1)) * Channels
@@ -389,7 +415,7 @@ func (d *Device) shadeSpanUnitHalf(fb, tex *Texture, y, x0, x1, ty, sx, step int
 	src := tex.Data
 	for i := 0; i < n; i++ {
 		for c := 0; c < Channels; c++ {
-			s := half.FromFloat32(src[si+c]).ToFloat32()
+			s := d.halfRound(src[si+c])
 			switch d.blend {
 			case BlendMin:
 				if s < dst[di+c] {
@@ -409,11 +435,11 @@ func (d *Device) shadeSpanUnitHalf(fb, tex *Texture, y, x0, x1, ty, sx, step int
 }
 
 // blendTexel applies the current blend function channel-wise.
-func (d *Device) blendTexel(dst, src []float32) {
+func (d *Device[T]) blendTexel(dst, src []T) {
+	var q [Channels]T
 	if d.halfTargets {
-		var q [Channels]float32
 		for c := 0; c < Channels; c++ {
-			q[c] = half.FromFloat32(src[c]).ToFloat32()
+			q[c] = d.halfRound(src[c])
 		}
 		src = q[:]
 	}

@@ -8,8 +8,8 @@ import (
 
 // refDraw is a naive reference rasterizer: per-pixel bilinear interpolation
 // of texture coordinates at pixel centers, nearest sampling, channel-wise
-// blending. The Device's optimized span paths must match it exactly.
-func refDraw(fb, tex *Texture, v, t [4]Point, blend BlendFunc) {
+// blending. The Device[float32]'s optimized span paths must match it exactly.
+func refDraw(fb, tex *Texture[float32], v, t [4]Point, blend BlendFunc) {
 	x0, y0 := int(v[0].X), int(v[0].Y)
 	x1, y1 := int(v[1].X), int(v[3].Y)
 	for y := maxInt(y0, 0); y < y1 && y < fb.H; y++ {
@@ -40,8 +40,8 @@ func refDraw(fb, tex *Texture, v, t [4]Point, blend BlendFunc) {
 	}
 }
 
-func randomTexture(w, h int, seed int64) *Texture {
-	tex := NewTexture(w, h)
+func randomTexture(w, h int, seed int64) *Texture[float32] {
+	tex := NewTexture[float32](w, h)
 	s := uint64(seed)*2654435761 + 1
 	for i := range tex.Data {
 		s ^= s << 13
@@ -53,7 +53,7 @@ func randomTexture(w, h int, seed int64) *Texture {
 }
 
 // copyQuad implements the paper's Routine 4.1 (Copy).
-func copyQuad(d *Device, tex *Texture) {
+func copyQuad(d *Device[float32], tex *Texture[float32]) {
 	w, h := float64(tex.W), float64(tex.H)
 	v := [4]Point{{0, 0}, {w, 0}, {w, h}, {0, h}}
 	d.BindTexture(tex)
@@ -63,7 +63,7 @@ func copyQuad(d *Device, tex *Texture) {
 
 func TestCopyRoutine(t *testing.T) {
 	tex := randomTexture(8, 4, 1)
-	d := NewDevice(8, 4)
+	d := NewDevice[float32](8, 4)
 	copyQuad(d, tex)
 	for i := range tex.Data {
 		if d.fb.Data[i] != tex.Data[i] {
@@ -77,7 +77,7 @@ func TestCopyRoutine(t *testing.T) {
 func TestComputeMinRoutine(t *testing.T) {
 	const W, H = 4, 4
 	tex := randomTexture(W, H, 2)
-	d := NewDevice(W, H)
+	d := NewDevice[float32](W, H)
 	copyQuad(d, tex)
 
 	d.SetBlend(BlendMin)
@@ -112,7 +112,7 @@ func TestDrawQuadMatchesReferenceOnPaperMappings(t *testing.T) {
 	for _, sh := range shapes {
 		for _, blend := range []BlendFunc{BlendReplace, BlendMin, BlendMax} {
 			tex := randomTexture(sh.w, sh.h, int64(sh.w*31+sh.h))
-			d := NewDevice(sh.w, sh.h)
+			d := NewDevice[float32](sh.w, sh.h)
 			copyQuad(d, tex)
 			ref := d.fb.Clone()
 
@@ -147,7 +147,7 @@ func TestDrawQuadMatchesReferenceQuick(t *testing.T) {
 	const W, H = 16, 16
 	prop := func(seed int64, ax0, ay0, aw, ah uint8, flipX, flipY bool) bool {
 		tex := randomTexture(W, H, seed)
-		d := NewDevice(W, H)
+		d := NewDevice[float32](W, H)
 		copyQuad(d, tex)
 		ref := d.fb.Clone()
 
@@ -186,11 +186,11 @@ func TestDrawQuadMatchesReferenceQuick(t *testing.T) {
 
 func TestDrawQuadParallelMatchesSerial(t *testing.T) {
 	tex := randomTexture(64, 64, 9)
-	serial := NewDevice(64, 64)
+	serial := NewDevice[float32](64, 64)
 	serial.parallelThreshold = 1 << 30 // never parallel
-	par := NewDevice(64, 64)
+	par := NewDevice[float32](64, 64)
 	par.parallelThreshold = 1 // always parallel
-	for _, d := range []*Device{serial, par} {
+	for _, d := range []*Device[float32]{serial, par} {
 		copyQuad(d, tex)
 		d.SetBlend(BlendMax)
 		v := [4]Point{{0, 0}, {64, 0}, {64, 32}, {0, 32}}
@@ -206,7 +206,7 @@ func TestDrawQuadParallelMatchesSerial(t *testing.T) {
 
 func TestDrawQuadClipping(t *testing.T) {
 	tex := randomTexture(4, 4, 3)
-	d := NewDevice(4, 4)
+	d := NewDevice[float32](4, 4)
 	copyQuad(d, tex)
 	ref := d.fb.Clone()
 	// Quad extends past the framebuffer on all sides.
@@ -224,7 +224,7 @@ func TestDrawQuadClipping(t *testing.T) {
 }
 
 func TestDrawQuadRejectsBadGeometry(t *testing.T) {
-	d := NewDevice(4, 4)
+	d := NewDevice[float32](4, 4)
 	d.BindTexture(randomTexture(4, 4, 4))
 	cases := [][4]Point{
 		{{0, 0}, {4, 1}, {4, 4}, {0, 4}},     // not axis-aligned
@@ -244,7 +244,7 @@ func TestDrawQuadRejectsBadGeometry(t *testing.T) {
 }
 
 func TestDrawQuadRejectsNonAffineTexcoords(t *testing.T) {
-	d := NewDevice(4, 4)
+	d := NewDevice[float32](4, 4)
 	d.BindTexture(randomTexture(4, 4, 5))
 	v := [4]Point{{0, 0}, {4, 0}, {4, 4}, {0, 4}}
 	tc := [4]Point{{0, 0}, {4, 0}, {4, 4}, {1, 4}} // perspective-ish warp
@@ -257,7 +257,7 @@ func TestDrawQuadRejectsNonAffineTexcoords(t *testing.T) {
 }
 
 func TestDrawQuadWithoutTexturePanics(t *testing.T) {
-	d := NewDevice(4, 4)
+	d := NewDevice[float32](4, 4)
 	v := [4]Point{{0, 0}, {4, 0}, {4, 4}, {0, 4}}
 	defer func() {
 		if recover() == nil {
@@ -269,7 +269,7 @@ func TestDrawQuadWithoutTexturePanics(t *testing.T) {
 
 func TestStatsCounting(t *testing.T) {
 	tex := randomTexture(8, 8, 6)
-	d := NewDevice(8, 8)
+	d := NewDevice[float32](8, 8)
 	d.Upload(tex)
 	copyQuad(d, tex) // 64 fragments, no blend
 	d.SetBlend(BlendMin)
@@ -320,10 +320,10 @@ func TestStatsAddSub(t *testing.T) {
 
 func TestSwapToTextureNoBusTraffic(t *testing.T) {
 	tex := randomTexture(4, 4, 7)
-	d := NewDevice(4, 4)
+	d := NewDevice[float32](4, 4)
 	copyQuad(d, tex)
 	before := d.Stats()
-	dst := NewTexture(4, 4)
+	dst := NewTexture[float32](4, 4)
 	d.SwapToTexture(dst)
 	after := d.Stats()
 	if after.BytesDown != before.BytesDown || after.BytesUp != before.BytesUp {
@@ -338,7 +338,7 @@ func TestSwapToTextureNoBusTraffic(t *testing.T) {
 
 func TestRunFragmentPass(t *testing.T) {
 	tex := randomTexture(4, 4, 8)
-	d := NewDevice(4, 4)
+	d := NewDevice[float32](4, 4)
 	d.BindTexture(tex)
 	// A pass that copies the mirror texel.
 	d.RunFragmentPass(0, 0, 4, 4, 53, func(x, y int, sample func(int, int) [4]float32, out []float32) {
@@ -361,7 +361,7 @@ func TestRunFragmentPass(t *testing.T) {
 }
 
 func TestRunFragmentPassWithoutTexturePanics(t *testing.T) {
-	d := NewDevice(2, 2)
+	d := NewDevice[float32](2, 2)
 	defer func() {
 		if recover() == nil {
 			t.Fatal("no panic")
@@ -383,7 +383,7 @@ func TestDrawQuadNonUnitStride(t *testing.T) {
 	// Texcoords scaled 2x in x sample every other texel: exercises the
 	// generic (non-unit-stride) shading path against the reference.
 	tex := randomTexture(16, 8, 10)
-	d := NewDevice(16, 8)
+	d := NewDevice[float32](16, 8)
 	copyQuad(d, tex)
 	ref := d.fb.Clone()
 	v := [4]Point{{0, 0}, {8, 0}, {8, 8}, {0, 8}}
@@ -402,7 +402,7 @@ func TestDrawQuadNonUnitStride(t *testing.T) {
 func TestDrawQuadGenericReplace(t *testing.T) {
 	// Generic path with replace blending (2x stride).
 	tex := randomTexture(8, 8, 11)
-	d := NewDevice(8, 8)
+	d := NewDevice[float32](8, 8)
 	copyQuad(d, tex)
 	ref := d.fb.Clone()
 	v := [4]Point{{0, 0}, {4, 0}, {4, 4}, {0, 4}}
@@ -419,7 +419,7 @@ func TestDrawQuadGenericReplace(t *testing.T) {
 }
 
 func TestReadTextureAccountsBus(t *testing.T) {
-	d := NewDevice(4, 4)
+	d := NewDevice[float32](4, 4)
 	tex := randomTexture(4, 4, 12)
 	before := d.Stats()
 	got := d.ReadTexture(tex)
@@ -437,14 +437,14 @@ func TestReadTextureAccountsBus(t *testing.T) {
 }
 
 func TestFramebufferAccessor(t *testing.T) {
-	d := NewDevice(2, 2)
+	d := NewDevice[float32](2, 2)
 	if d.Framebuffer() == nil || d.Framebuffer().W != 2 {
 		t.Fatal("Framebuffer accessor broken")
 	}
 }
 
 func TestCountGreaterPanicsWithoutTexture(t *testing.T) {
-	d := NewDevice(2, 2)
+	d := NewDevice[float32](2, 2)
 	for _, fn := range []func(){
 		func() { d.CountGreater(0) },
 		func() { d.CountGreaterEqual(0) },
@@ -462,7 +462,7 @@ func TestCountGreaterPanicsWithoutTexture(t *testing.T) {
 
 func TestCountGreaterStats(t *testing.T) {
 	tex := randomTexture(4, 4, 13)
-	d := NewDevice(4, 4)
+	d := NewDevice[float32](4, 4)
 	d.BindTexture(tex)
 	d.CountGreater(50)
 	d.CountGreaterEqual(50)
@@ -473,12 +473,12 @@ func TestCountGreaterStats(t *testing.T) {
 }
 
 func TestHalfPrecisionTargets(t *testing.T) {
-	tex := NewTexture(4, 4)
+	tex := NewTexture[float32](4, 4)
 	vals := []float32{1.0001, 2.0002, 3.14159, 65504, 1e-9, -1.0001}
 	for i, v := range vals {
 		tex.Set(i%4, i/4, 0, v)
 	}
-	d := NewDevice(4, 4)
+	d := NewDevice[float32](4, 4)
 	d.SetHalfPrecisionTargets(true)
 	copyQuad(d, tex)
 	// Every written value must be exactly representable in binary16:
@@ -502,7 +502,7 @@ func TestHalfPrecisionBlendStillOrders(t *testing.T) {
 	// Min-blending with 16-bit targets must keep the channel-wise minimum
 	// of the quantized values — ordering survives monotone quantization.
 	tex := randomTexture(8, 8, 15)
-	d := NewDevice(8, 8)
+	d := NewDevice[float32](8, 8)
 	d.SetHalfPrecisionTargets(true)
 	copyQuad(d, tex)
 	d.SetBlend(BlendMin)

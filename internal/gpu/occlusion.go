@@ -10,7 +10,7 @@ package gpu
 // CountGreater renders a counting pass over the bound texture and reports,
 // per channel, how many texels hold a value strictly greater than ref.
 // Cost accounting matches a single-cycle alpha-test pass over every texel.
-func (d *Device) CountGreater(ref float32) [Channels]int64 {
+func (d *Device[T]) CountGreater(ref T) [Channels]int64 {
 	if d.tex == nil {
 		panic("gpu: CountGreater without a bound texture")
 	}
@@ -33,7 +33,7 @@ func (d *Device) CountGreater(ref float32) [Channels]int64 {
 }
 
 // CountGreaterEqual is the >= variant of CountGreater.
-func (d *Device) CountGreaterEqual(ref float32) [Channels]int64 {
+func (d *Device[T]) CountGreaterEqual(ref T) [Channels]int64 {
 	if d.tex == nil {
 		panic("gpu: CountGreaterEqual without a bound texture")
 	}

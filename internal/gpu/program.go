@@ -1,11 +1,11 @@
 package gpu
 
-import "gpustream/internal/half"
+import "gpustream/internal/sorter"
 
 // FragmentProgram computes the output color of the pixel at (x, y). sample
 // reads the bound texture (counted as a texel fetch). Returning the slice
 // passed in as out avoids per-fragment allocation.
-type FragmentProgram func(x, y int, sample func(tx, ty int) [4]float32, out []float32)
+type FragmentProgram[T sorter.Value] func(x, y int, sample func(tx, ty int) [4]T, out []T)
 
 // RunFragmentPass executes a programmable fragment pass over the framebuffer
 // region [x0, x1) x [y0, y1): prog runs once per pixel and its output
@@ -17,7 +17,7 @@ type FragmentProgram func(x, y int, sample func(tx, ty int) [4]float32, out []fl
 // This models the Purcell et al. style of GPU computation — one rendering
 // pass of a fragment program per algorithm stage — as opposed to the paper's
 // fixed-function blending approach.
-func (d *Device) RunFragmentPass(x0, y0, x1, y1, instrPerFragment int, prog FragmentProgram) {
+func (d *Device[T]) RunFragmentPass(x0, y0, x1, y1, instrPerFragment int, prog FragmentProgram[T]) {
 	x0 = clampInt(x0, 0, d.fb.W)
 	y0 = clampInt(y0, 0, d.fb.H)
 	x1 = clampInt(x1, 0, d.fb.W)
@@ -35,13 +35,13 @@ func (d *Device) RunFragmentPass(x0, y0, x1, y1, instrPerFragment int, prog Frag
 
 	tex := d.tex
 	fetches := int64(0)
-	sample := func(tx, ty int) [4]float32 {
+	sample := func(tx, ty int) [4]T {
 		fetches++
 		tx = clampInt(tx, 0, tex.W-1)
 		ty = clampInt(ty, 0, tex.H-1)
 		d.texcache.noteFetch(ty*tex.W + tx)
 		i := (ty*tex.W + tx) * Channels
-		return [4]float32{tex.Data[i], tex.Data[i+1], tex.Data[i+2], tex.Data[i+3]}
+		return [4]T{tex.Data[i], tex.Data[i+1], tex.Data[i+2], tex.Data[i+3]}
 	}
 	for y := y0; y < y1; y++ {
 		di := (y*d.fb.W + x0) * Channels
@@ -50,7 +50,7 @@ func (d *Device) RunFragmentPass(x0, y0, x1, y1, instrPerFragment int, prog Frag
 			prog(x, y, sample, out)
 			if d.halfTargets {
 				for c := range out {
-					out[c] = half.FromFloat32(out[c]).ToFloat32()
+					out[c] = d.halfRound(out[c])
 				}
 			}
 			di += Channels

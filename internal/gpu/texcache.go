@@ -41,7 +41,7 @@ type texCache struct {
 // EnableTextureCache turns on texture-cache modeling with the given line
 // size (0 selects the 4-texel default). Fetch accounting happens at span
 // granularity, so it adds negligible simulation cost.
-func (d *Device) EnableTextureCache(cfg TexCacheConfig) {
+func (d *Device[T]) EnableTextureCache(cfg TexCacheConfig) {
 	if cfg.LineTexels <= 0 {
 		cfg.LineTexels = 4
 	}
@@ -50,7 +50,7 @@ func (d *Device) EnableTextureCache(cfg TexCacheConfig) {
 
 // TextureCacheStats returns the modeled stats; the zero value is returned
 // when the cache model is disabled.
-func (d *Device) TextureCacheStats() TexCacheStats {
+func (d *Device[T]) TextureCacheStats() TexCacheStats {
 	if d.texcache == nil {
 		return TexCacheStats{}
 	}

@@ -6,7 +6,7 @@ func TestTexCacheUnitSpanHitRate(t *testing.T) {
 	// A full-texture copy reads every texel once in unit stride: with
 	// 4-texel lines the hit rate must be exactly 3/4.
 	tex := randomTexture(64, 64, 41)
-	d := NewDevice(64, 64)
+	d := NewDevice[float32](64, 64)
 	d.EnableTextureCache(TexCacheConfig{})
 	copyQuad(d, tex)
 	st := d.TextureCacheStats()
@@ -23,7 +23,7 @@ func TestTexCacheUnitSpanHitRate(t *testing.T) {
 
 func TestTexCacheDisabledZero(t *testing.T) {
 	tex := randomTexture(8, 8, 42)
-	d := NewDevice(8, 8)
+	d := NewDevice[float32](8, 8)
 	copyQuad(d, tex)
 	if d.TextureCacheStats() != (TexCacheStats{}) {
 		t.Fatal("stats nonzero with cache disabled")
@@ -32,10 +32,10 @@ func TestTexCacheDisabledZero(t *testing.T) {
 
 func TestTexCacheFunctionalUnchanged(t *testing.T) {
 	tex := randomTexture(32, 32, 43)
-	plain := NewDevice(32, 32)
-	cached := NewDevice(32, 32)
+	plain := NewDevice[float32](32, 32)
+	cached := NewDevice[float32](32, 32)
 	cached.EnableTextureCache(TexCacheConfig{LineTexels: 8})
-	for _, d := range []*Device{plain, cached} {
+	for _, d := range []*Device[float32]{plain, cached} {
 		copyQuad(d, tex)
 		d.SetBlend(BlendMin)
 		v := [4]Point{{0, 0}, {32, 0}, {32, 16}, {0, 16}}
@@ -54,7 +54,7 @@ func TestTexCacheFunctionalUnchanged(t *testing.T) {
 
 func TestTexCacheProgrammablePath(t *testing.T) {
 	tex := randomTexture(8, 8, 44)
-	d := NewDevice(8, 8)
+	d := NewDevice[float32](8, 8)
 	d.EnableTextureCache(TexCacheConfig{})
 	d.BindTexture(tex)
 	d.RunFragmentPass(0, 0, 8, 8, 1, func(x, y int, sample func(int, int) [4]float32, out []float32) {

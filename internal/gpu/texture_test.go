@@ -11,14 +11,14 @@ import (
 func TestNewTexturePanicsOnBadDims(t *testing.T) {
 	defer func() {
 		if recover() == nil {
-			t.Fatal("NewTexture(0, 4) did not panic")
+			t.Fatal("NewTexture[float32](0, 4) did not panic")
 		}
 	}()
-	NewTexture(0, 4)
+	NewTexture[float32](0, 4)
 }
 
 func TestTextureAtSet(t *testing.T) {
-	tex := NewTexture(4, 2)
+	tex := NewTexture[float32](4, 2)
 	tex.Set(3, 1, 2, 7.5)
 	if got := tex.At(3, 1, 2); got != 7.5 {
 		t.Fatalf("At = %v, want 7.5", got)
@@ -33,7 +33,7 @@ func TestTextureAtSet(t *testing.T) {
 }
 
 func TestTextureBytesTexels(t *testing.T) {
-	tex := NewTexture(8, 4)
+	tex := NewTexture[float32](8, 4)
 	if tex.Texels() != 32 {
 		t.Fatalf("Texels = %d", tex.Texels())
 	}
@@ -43,7 +43,7 @@ func TestTextureBytesTexels(t *testing.T) {
 }
 
 func TestTextureCloneIndependent(t *testing.T) {
-	tex := NewTexture(2, 2)
+	tex := NewTexture[float32](2, 2)
 	tex.Fill(3)
 	c := tex.Clone()
 	c.Set(0, 0, 0, 9)
@@ -58,7 +58,7 @@ func TestCopyFromDimensionMismatch(t *testing.T) {
 			t.Fatal("CopyFrom with mismatched dims did not panic")
 		}
 	}()
-	NewTexture(2, 2).CopyFrom(NewTexture(4, 4))
+	NewTexture[float32](2, 2).CopyFrom(NewTexture[float32](4, 4))
 }
 
 func TestPackUnpackRoundTrip(t *testing.T) {
@@ -66,7 +66,7 @@ func TestPackUnpackRoundTrip(t *testing.T) {
 	for i := range data {
 		data[i] = float32(i) * 1.5
 	}
-	tex := PackChannels(data, 4, 4, float32(math.Inf(1)))
+	tex := PackChannels[float32](data, 4, 4, float32(math.Inf(1)))
 	var got []float32
 	for c := 0; c < Channels; c++ {
 		got = append(got, tex.UnpackChannel(c)...)
@@ -89,11 +89,11 @@ func TestPackChannelsPanicsWhenTooSmall(t *testing.T) {
 			t.Fatal("overfull PackChannels did not panic")
 		}
 	}()
-	PackChannels(make([]float32, 17), 2, 2, 0)
+	PackChannels[float32](make([]float32, 17), 2, 2, 0)
 }
 
 func TestLoadChannel(t *testing.T) {
-	tex := NewTexture(2, 2)
+	tex := NewTexture[float32](2, 2)
 	tex.LoadChannel(3, []float32{1, 2, 3, 4})
 	got := tex.UnpackChannel(3)
 	for i, want := range []float32{1, 2, 3, 4} {
@@ -112,7 +112,7 @@ func TestLoadChannelPanicsWhenTooLong(t *testing.T) {
 			t.Fatal("oversized LoadChannel did not panic")
 		}
 	}()
-	NewTexture(2, 2).LoadChannel(0, make([]float32, 5))
+	NewTexture[float32](2, 2).LoadChannel(0, make([]float32, 5))
 }
 
 func TestTextureDims(t *testing.T) {

@@ -2,9 +2,9 @@ package gpusort
 
 import (
 	"fmt"
-	"math"
 
 	"gpustream/internal/gpu"
+	"gpustream/internal/sorter"
 )
 
 // SortBatch sorts up to four independent sequences in a single PBSN
@@ -18,7 +18,7 @@ import (
 //
 // Each slice is sorted ascending in place; no cross-slice merge happens.
 // It panics if batch holds more than four sequences.
-func (s *Sorter) SortBatch(batch [][]float32) {
+func (s *Sorter[T]) SortBatch(batch [][]T) {
 	if len(batch) > gpu.Channels {
 		panic(fmt.Sprintf("gpusort: batch of %d sequences exceeds %d channels", len(batch), gpu.Channels))
 	}
@@ -35,16 +35,15 @@ func (s *Sorter) SortBatch(batch [][]float32) {
 	w, h := gpu.TextureDims(maxLen)
 	per := w * h
 
-	inf := float32(math.Inf(1))
-	tex := gpu.NewTexture(w, h)
-	tex.Fill(inf)
+	tex := gpu.NewTexture[T](w, h)
+	tex.Fill(sorter.MaxValue[T]())
 	total := 0
 	for c, seq := range batch {
 		tex.LoadChannel(c, seq)
 		total += len(seq)
 	}
 
-	dev := gpu.NewDevice(w, h)
+	dev := gpu.NewDevice[T](w, h)
 	dev.Upload(tex)
 	PBSN(dev, tex)
 	fb := dev.ReadFramebuffer()
@@ -54,7 +53,7 @@ func (s *Sorter) SortBatch(batch [][]float32) {
 			continue
 		}
 		run := fb.UnpackChannel(c)
-		// Real +Inf values sort against the padding indistinguishably;
+		// Real maximum values sort against the padding indistinguishably;
 		// keeping the first len(seq) entries preserves the multiset.
 		copy(seq, run[:len(seq)])
 	}

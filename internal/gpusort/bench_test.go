@@ -11,7 +11,7 @@ func BenchmarkPBSNSorter(b *testing.B) {
 	for _, n := range []int{1 << 12, 1 << 16} {
 		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
 			data := stream.Uniform(n, uint64(n))
-			s := NewSorter()
+			s := NewSorter[float32]()
 			buf := make([]float32, n)
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
@@ -26,7 +26,7 @@ func BenchmarkBitonicSorter(b *testing.B) {
 	for _, n := range []int{1 << 12, 1 << 14} {
 		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
 			data := stream.Uniform(n, uint64(n))
-			s := NewBitonicSorter()
+			s := NewBitonicSorter[float32]()
 			buf := make([]float32, n)
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
@@ -45,7 +45,7 @@ func BenchmarkMerge4(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		s := Sorter{}
+		s := Sorter[float32]{}
 		_ = s
 		_ = mergeBench(runs)
 	}

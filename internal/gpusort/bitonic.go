@@ -1,8 +1,6 @@
 package gpusort
 
 import (
-	"math"
-
 	"gpustream/internal/cpusort"
 	"gpustream/internal/gpu"
 	"gpustream/internal/sorter"
@@ -26,25 +24,25 @@ const bitonicChannels = 2
 // al. [40], with Kipfer-style two-channel packing). It runs on the same GPU
 // simulator as the paper's sorter, differing only in how each comparator
 // stage is expressed — a fragment program instead of blending.
-type BitonicSorter struct {
+type BitonicSorter[T sorter.Value] struct {
 	last  SortStats
 	total gpu.Stats
 }
 
 // NewBitonicSorter returns the GPU bitonic baseline.
-func NewBitonicSorter() *BitonicSorter { return &BitonicSorter{} }
+func NewBitonicSorter[T sorter.Value]() *BitonicSorter[T] { return &BitonicSorter[T]{} }
 
 // Name implements sorter.Sorter.
-func (s *BitonicSorter) Name() string { return "gpu-bitonic" }
+func (s *BitonicSorter[T]) Name() string { return "gpu-bitonic" }
 
 // LastStats reports the statistics of the most recent Sort call.
-func (s *BitonicSorter) LastStats() SortStats { return s.last }
+func (s *BitonicSorter[T]) LastStats() SortStats { return s.last }
 
 // TotalGPU reports GPU counters accumulated across every Sort call.
-func (s *BitonicSorter) TotalGPU() gpu.Stats { return s.total }
+func (s *BitonicSorter[T]) TotalGPU() gpu.Stats { return s.total }
 
 // Sort implements sorter.Sorter.
-func (s *BitonicSorter) Sort(data []float32) {
+func (s *BitonicSorter[T]) Sort(data []T) {
 	n := len(data)
 	if n <= 1 {
 		s.last = SortStats{N: n}
@@ -54,16 +52,15 @@ func (s *BitonicSorter) Sort(data []float32) {
 	w, h := gpu.TextureDims(per)
 	per = w * h
 
-	inf := float32(math.Inf(1))
-	tex := gpu.NewTexture(w, h)
-	tex.Fill(inf)
+	tex := gpu.NewTexture[T](w, h)
+	tex.Fill(sorter.MaxValue[T]())
 	for i, v := range data {
 		c := i / per
 		p := i % per
 		tex.Data[p*gpu.Channels+c] = v
 	}
 
-	dev := gpu.NewDevice(w, h)
+	dev := gpu.NewDevice[T](w, h)
 	dev.Upload(tex)
 
 	// One fragment pass per bitonic stage; the pass output is ping-ponged
@@ -73,7 +70,7 @@ func (s *BitonicSorter) Sort(data []float32) {
 			stageK, stageJ := k, j
 			dev.BindTexture(tex)
 			dev.RunFragmentPass(0, 0, w, h, BitonicInstrPerFragment,
-				func(x, y int, sample func(int, int) [4]float32, out []float32) {
+				func(x, y int, sample func(int, int) [4]T, out []T) {
 					i := y*w + x
 					p := i ^ stageJ
 					self := sample(x, y)
@@ -99,7 +96,7 @@ func (s *BitonicSorter) Sort(data []float32) {
 	// a single texel per channel no pass runs at all).
 	fb := dev.ReadTexture(tex)
 
-	runs := make([][]float32, bitonicChannels)
+	runs := make([][]T, bitonicChannels)
 	for c := 0; c < bitonicChannels; c++ {
 		run := fb.UnpackChannel(c)
 		pad := per*(c+1) - n
@@ -110,11 +107,11 @@ func (s *BitonicSorter) Sort(data []float32) {
 		}
 		runs[c] = run[:per-pad]
 	}
-	merged := cpusort.Merge2(make([]float32, 0, n), runs[0], runs[1])
+	merged := cpusort.Merge2(make([]T, 0, n), runs[0], runs[1])
 	copy(data, merged[:n])
 
 	s.last = SortStats{N: n, GPU: dev.Stats(), MergeCmps: int64(n), ChannelLen: per}
 	s.total.Add(dev.Stats())
 }
 
-var _ sorter.Sorter = (*BitonicSorter)(nil)
+var _ sorter.Sorter[float32] = (*BitonicSorter[float32])(nil)

@@ -30,7 +30,7 @@ func FuzzPBSNSorter(f *testing.F) {
 		data := bytesToFloats(raw)
 		want := append([]float32(nil), data...)
 		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
-		s := NewSorter()
+		s := NewSorter[float32]()
 		s.Sort(data)
 		for i := range want {
 			if data[i] != want[i] {

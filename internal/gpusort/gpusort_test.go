@@ -9,14 +9,15 @@ import (
 	"gpustream/internal/cpusort"
 	"gpustream/internal/gpu"
 	"gpustream/internal/half"
+	"gpustream/internal/sorter"
 	"gpustream/internal/sortnet"
 	"gpustream/internal/stream"
 )
 
 // loadAllChannels loads data into every channel of a fresh texture so the
 // four channels sort the same sequence, simplifying verification.
-func loadAllChannels(data []float32, w, h int) *gpu.Texture {
-	tex := gpu.NewTexture(w, h)
+func loadAllChannels(data []float32, w, h int) *gpu.Texture[float32] {
+	tex := gpu.NewTexture[float32](w, h)
 	for c := 0; c < gpu.Channels; c++ {
 		tex.LoadChannel(c, data)
 	}
@@ -32,7 +33,7 @@ func TestSortStepMatchesNetworkStage(t *testing.T) {
 	base := stream.Uniform(n, 42)
 	for block := 2; block <= n; block *= 2 {
 		tex := loadAllChannels(base, W, H)
-		dev := gpu.NewDevice(W, H)
+		dev := gpu.NewDevice[float32](W, H)
 		Copy(dev, tex)
 		SortStep(dev, tex, block)
 
@@ -66,7 +67,7 @@ func TestPBSNSortsAllChannels(t *testing.T) {
 		n := sh.w * sh.h
 		data := stream.Uniform(n, uint64(n))
 		tex := loadAllChannels(data, sh.w, sh.h)
-		dev := gpu.NewDevice(sh.w, sh.h)
+		dev := gpu.NewDevice[float32](sh.w, sh.h)
 		PBSN(dev, tex)
 		want := append([]float32(nil), data...)
 		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
@@ -85,7 +86,7 @@ func TestPBSNSortsAllChannels(t *testing.T) {
 func TestPBSNDifferentDataPerChannel(t *testing.T) {
 	const W, H = 8, 8
 	n := W * H
-	tex := gpu.NewTexture(W, H)
+	tex := gpu.NewTexture[float32](W, H)
 	var wants [gpu.Channels][]float32
 	for c := 0; c < gpu.Channels; c++ {
 		data := stream.Uniform(n, uint64(c+1))
@@ -94,7 +95,7 @@ func TestPBSNDifferentDataPerChannel(t *testing.T) {
 		sort.Slice(w, func(i, j int) bool { return w[i] < w[j] })
 		wants[c] = w
 	}
-	dev := gpu.NewDevice(W, H)
+	dev := gpu.NewDevice[float32](W, H)
 	PBSN(dev, tex)
 	for c := 0; c < gpu.Channels; c++ {
 		got := dev.Framebuffer().UnpackChannel(c)
@@ -112,13 +113,13 @@ func TestPBSNRejectsNonPow2(t *testing.T) {
 			t.Fatal("no panic for 3-texel texture")
 		}
 	}()
-	tex := gpu.NewTexture(3, 1)
-	PBSN(gpu.NewDevice(3, 1), tex)
+	tex := gpu.NewTexture[float32](3, 1)
+	PBSN(gpu.NewDevice[float32](3, 1), tex)
 }
 
 func TestSortStepRejectsBadBlock(t *testing.T) {
-	tex := gpu.NewTexture(4, 4)
-	dev := gpu.NewDevice(4, 4)
+	tex := gpu.NewTexture[float32](4, 4)
+	dev := gpu.NewDevice[float32](4, 4)
 	for _, b := range []int{0, 1, 3, 32} {
 		func() {
 			defer func() {
@@ -156,12 +157,12 @@ func checkSorterQuick(t *testing.T, s interface {
 	}
 }
 
-func TestSorterQuick(t *testing.T)        { checkSorterQuick(t, NewSorter()) }
-func TestSorter1ChQuick(t *testing.T)     { checkSorterQuick(t, &Sorter{ChannelsUsed: 1}) }
-func TestBitonicSorterQuick(t *testing.T) { checkSorterQuick(t, NewBitonicSorter()) }
+func TestSorterQuick(t *testing.T)        { checkSorterQuick(t, NewSorter[float32]()) }
+func TestSorter1ChQuick(t *testing.T)     { checkSorterQuick(t, &Sorter[float32]{ChannelsUsed: 1}) }
+func TestBitonicSorterQuick(t *testing.T) { checkSorterQuick(t, NewBitonicSorter[float32]()) }
 
 func TestSorterSizesSweep(t *testing.T) {
-	s := NewSorter()
+	s := NewSorter[float32]()
 	for _, n := range []int{0, 1, 2, 3, 4, 5, 7, 8, 63, 64, 65, 1000, 4096, 10000} {
 		data := stream.Uniform(n, uint64(n)+7)
 		want := append([]float32(nil), data...)
@@ -180,7 +181,7 @@ func TestSorterHandlesInfAndDuplicates(t *testing.T) {
 	data := []float32{inf, 1, 1, -1, inf, 0, -inf, 1}
 	want := append([]float32(nil), data...)
 	sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
-	s := NewSorter()
+	s := NewSorter[float32]()
 	s.Sort(data)
 	for i := range want {
 		if data[i] != want[i] {
@@ -190,7 +191,7 @@ func TestSorterHandlesInfAndDuplicates(t *testing.T) {
 }
 
 func TestSorterStats(t *testing.T) {
-	s := NewSorter()
+	s := NewSorter[float32]()
 	data := stream.Uniform(4096, 3)
 	s.Sort(data)
 	st := s.LastStats()
@@ -227,7 +228,7 @@ func TestSorterStats(t *testing.T) {
 }
 
 func TestBitonicStats(t *testing.T) {
-	s := NewBitonicSorter()
+	s := NewBitonicSorter[float32]()
 	data := stream.Uniform(2048, 5)
 	s.Sort(data)
 	if !cpusort.IsSorted(data) {
@@ -253,7 +254,7 @@ func TestPBSNAgainstQuicksortLarge(t *testing.T) {
 	data := stream.Zipf(100000, 1.1, 5000, 17)
 	want := append([]float32(nil), data...)
 	cpusort.Quicksort(want)
-	s := NewSorter()
+	s := NewSorter[float32]()
 	s.Sort(data)
 	for i := range want {
 		if data[i] != want[i] {
@@ -268,8 +269,8 @@ func TestSortStepPerRowMatchesOptimized(t *testing.T) {
 	for _, block := range []int{2, 4, 8, 16, 32} {
 		texA := loadAllChannels(base, W, H)
 		texB := loadAllChannels(base, W, H)
-		devA := gpu.NewDevice(W, H)
-		devB := gpu.NewDevice(W, H)
+		devA := gpu.NewDevice[float32](W, H)
+		devB := gpu.NewDevice[float32](W, H)
 		Copy(devA, texA)
 		Copy(devB, texB)
 		SortStep(devA, texA, block)
@@ -288,7 +289,7 @@ func TestSortStepPerRowMatchesOptimized(t *testing.T) {
 }
 
 func TestSortBatchIndependentSequences(t *testing.T) {
-	s := NewSorter()
+	s := NewSorter[float32]()
 	batch := [][]float32{
 		stream.Uniform(1000, 1),
 		stream.Zipf(700, 1.2, 50, 2),
@@ -323,11 +324,11 @@ func TestSortBatchAmortizesOverhead(t *testing.T) {
 	for i := range windows {
 		windows[i] = stream.Uniform(n, uint64(i+10))
 	}
-	batched := NewSorter()
+	batched := NewSorter[float32]()
 	batched.SortBatch(windows)
 	bst := batched.LastStats().GPU
 
-	single := NewSorter()
+	single := NewSorter[float32]()
 	var sst gpu.Stats
 	for i := 0; i < 4; i++ {
 		single.Sort(stream.Uniform(n, uint64(i+20)))
@@ -346,7 +347,7 @@ func TestSortBatchAmortizesOverhead(t *testing.T) {
 }
 
 func TestSortBatchEdgeCases(t *testing.T) {
-	s := NewSorter()
+	s := NewSorter[float32]()
 	s.SortBatch(nil) // no-op
 	one := [][]float32{{2, 1}}
 	s.SortBatch(one)
@@ -379,7 +380,7 @@ func TestSortBatchQuick(t *testing.T) {
 			wants[i] = append([]float32(nil), batch[i]...)
 			cpusort.Quicksort(wants[i])
 		}
-		s := NewSorter()
+		s := NewSorter[float32]()
 		s.SortBatch(batch)
 		for i := range wants {
 			for j := range wants[i] {
@@ -397,7 +398,7 @@ func TestSortBatchQuick(t *testing.T) {
 
 func TestSorterHalfTargets(t *testing.T) {
 	data := stream.Uniform(4096, 99)
-	s := &Sorter{ChannelsUsed: 4, HalfTargets: true}
+	s := &Sorter[float32]{ChannelsUsed: 4, HalfTargets: true}
 	got := append([]float32(nil), data...)
 	s.Sort(got)
 	// Output is the sorted sequence of half-quantized inputs.
@@ -409,6 +410,67 @@ func TestSorterHalfTargets(t *testing.T) {
 	for i := range want {
 		if got[i] != want[i] {
 			t.Fatalf("half-target sort mismatch at %d: %v vs %v", i, got[i], want[i])
+		}
+	}
+}
+
+// pbsnStatsFor sorts the same rank permutation mapped monotonically into T
+// and returns the primitive-op counters. Using ranks (exact in every Value
+// instantiation at these sizes) makes the comparison sequence identical, so
+// even the data-dependent CPU merge comparisons must agree across types.
+func pbsnStatsFor[T sorter.Value](perm []int) SortStats {
+	data := make([]T, len(perm))
+	for i, r := range perm {
+		data[i] = T(r)
+	}
+	s := NewSorter[T]()
+	s.Sort(data)
+	return s.LastStats()
+}
+
+func bitonicStatsFor[T sorter.Value](perm []int) SortStats {
+	data := make([]T, len(perm))
+	for i, r := range perm {
+		data[i] = T(r)
+	}
+	s := NewBitonicSorter[T]()
+	s.Sort(data)
+	return s.LastStats()
+}
+
+// TestSortStatsTypeInvariant pins the acceptance criterion that for a fixed
+// input length the GPU primitive-op counts — draw calls, fragments, blend
+// ops, texel fetches, bus bytes — are identical whichever Value type is
+// sorted: the simulated hardware always works on 32-bit texels, so the cost
+// model (and therefore modeled GPU time) is shape-dependent, not
+// value-dependent.
+func TestSortStatsTypeInvariant(t *testing.T) {
+	for _, n := range []int{1, 7, 64, 1000, 4096} {
+		r := stream.NewRNG(uint64(n) + 99)
+		perm := make([]int, n)
+		for i := range perm {
+			perm[i] = i
+		}
+		for i := n - 1; i > 0; i-- {
+			j := r.Intn(i + 1)
+			perm[i], perm[j] = perm[j], perm[i]
+		}
+		f32 := pbsnStatsFor[float32](perm)
+		if got := pbsnStatsFor[float64](perm); got != f32 {
+			t.Fatalf("n=%d: PBSN float64 stats %+v != float32 %+v", n, got, f32)
+		}
+		if got := pbsnStatsFor[uint64](perm); got != f32 {
+			t.Fatalf("n=%d: PBSN uint64 stats %+v != float32 %+v", n, got, f32)
+		}
+		if got := pbsnStatsFor[int32](perm); got != f32 {
+			t.Fatalf("n=%d: PBSN int32 stats %+v != float32 %+v", n, got, f32)
+		}
+		b32 := bitonicStatsFor[float32](perm)
+		if got := bitonicStatsFor[uint64](perm); got != b32 {
+			t.Fatalf("n=%d: bitonic uint64 stats %+v != float32 %+v", n, got, b32)
+		}
+		if got := bitonicStatsFor[float64](perm); got != b32 {
+			t.Fatalf("n=%d: bitonic float64 stats %+v != float32 %+v", n, got, b32)
 		}
 	}
 }

@@ -11,11 +11,12 @@ import (
 	"fmt"
 
 	"gpustream/internal/gpu"
+	"gpustream/internal/sorter"
 )
 
 // Copy implements the paper's Routine 4.1: render tex into the framebuffer
 // one-to-one with blending disabled.
-func Copy(d *gpu.Device, tex *gpu.Texture) {
+func Copy[T sorter.Value](d *gpu.Device[T], tex *gpu.Texture[T]) {
 	w, h := float64(tex.W), float64(tex.H)
 	quad := [4]gpu.Point{{X: 0, Y: 0}, {X: w, Y: 0}, {X: w, Y: h}, {X: 0, Y: h}}
 	d.BindTexture(tex)
@@ -28,7 +29,7 @@ func Copy(d *gpu.Device, tex *gpu.Texture) {
 // value in the top half of the block is compared against its 2D mirror in
 // the bottom half and the minimum is kept in place. Used when the PBSN block
 // size exceeds the texture width.
-func ComputeMin(d *gpu.Device, tex *gpu.Texture, rowOff, blockRows int) {
+func ComputeMin[T sorter.Value](d *gpu.Device[T], tex *gpu.Texture[T], rowOff, blockRows int) {
 	d.BindTexture(tex)
 	d.SetBlend(gpu.BlendMin)
 	drawMirrorRows(d, tex, rowOff, blockRows, false)
@@ -36,7 +37,7 @@ func ComputeMin(d *gpu.Device, tex *gpu.Texture, rowOff, blockRows int) {
 
 // ComputeMax is the max-keeping counterpart of ComputeMin, covering the
 // bottom half of the block.
-func ComputeMax(d *gpu.Device, tex *gpu.Texture, rowOff, blockRows int) {
+func ComputeMax[T sorter.Value](d *gpu.Device[T], tex *gpu.Texture[T], rowOff, blockRows int) {
 	d.BindTexture(tex)
 	d.SetBlend(gpu.BlendMax)
 	drawMirrorRows(d, tex, rowOff, blockRows, true)
@@ -46,7 +47,7 @@ func ComputeMax(d *gpu.Device, tex *gpu.Texture, rowOff, blockRows int) {
 // the opposite half in both x and y. With the block occupying rows
 // [rowOff, rowOff+blockRows), value index i within the block (row-major)
 // pairs with blockSize-1-i, exactly the PBSN comparator.
-func drawMirrorRows(d *gpu.Device, tex *gpu.Texture, rowOff, blockRows int, upper bool) {
+func drawMirrorRows[T sorter.Value](d *gpu.Device[T], tex *gpu.Texture[T], rowOff, blockRows int, upper bool) {
 	w := float64(tex.W)
 	half := float64(blockRows) / 2
 	base := float64(rowOff)
@@ -69,7 +70,7 @@ func drawMirrorRows(d *gpu.Device, tex *gpu.Texture, rowOff, blockRows int, uppe
 // at colOff. One quad of full texture height covers the block across all
 // rows (paper Figure 2, left case). Used when the PBSN block size fits
 // within the texture width.
-func ComputeRowMin(d *gpu.Device, tex *gpu.Texture, colOff, blockW int) {
+func ComputeRowMin[T sorter.Value](d *gpu.Device[T], tex *gpu.Texture[T], colOff, blockW int) {
 	d.BindTexture(tex)
 	d.SetBlend(gpu.BlendMin)
 	drawMirrorCols(d, tex, colOff, blockW, false)
@@ -77,7 +78,7 @@ func ComputeRowMin(d *gpu.Device, tex *gpu.Texture, colOff, blockW int) {
 
 // ComputeRowMax is the max-keeping counterpart of ComputeRowMin, covering
 // the right half of each block.
-func ComputeRowMax(d *gpu.Device, tex *gpu.Texture, colOff, blockW int) {
+func ComputeRowMax[T sorter.Value](d *gpu.Device[T], tex *gpu.Texture[T], colOff, blockW int) {
 	d.BindTexture(tex)
 	d.SetBlend(gpu.BlendMax)
 	drawMirrorCols(d, tex, colOff, blockW, true)
@@ -86,7 +87,7 @@ func ComputeRowMax(d *gpu.Device, tex *gpu.Texture, colOff, blockW int) {
 // drawMirrorCols draws the half-block-wide, full-height quad whose texture
 // coordinates mirror the opposite half of the column block: u(x) =
 // 2*colOff + blockW - x, v(y) = y.
-func drawMirrorCols(d *gpu.Device, tex *gpu.Texture, colOff, blockW int, right bool) {
+func drawMirrorCols[T sorter.Value](d *gpu.Device[T], tex *gpu.Texture[T], colOff, blockW int, right bool) {
 	h := float64(tex.H)
 	base := float64(colOff)
 	half := float64(blockW) / 2
@@ -110,7 +111,7 @@ func drawMirrorCols(d *gpu.Device, tex *gpu.Texture, colOff, blockW int, right b
 //
 // blockSize must be a power of two in [2, W*H]; the texture dimensions must
 // be powers of two.
-func SortStep(d *gpu.Device, tex *gpu.Texture, blockSize int) {
+func SortStep[T sorter.Value](d *gpu.Device[T], tex *gpu.Texture[T], blockSize int) {
 	n := tex.Texels()
 	if blockSize < 2 || blockSize > n || blockSize&(blockSize-1) != 0 {
 		panic(fmt.Sprintf("gpusort: invalid block size %d for %d texels", blockSize, n))
@@ -139,7 +140,7 @@ func SortStep(d *gpu.Device, tex *gpu.Texture, blockSize int) {
 // column block (the optimization of the paper's Figure 2). The shaded
 // fragments are identical; only the draw-call count differs, which is the
 // per-quad submission overhead the optimization removes.
-func SortStepPerRow(d *gpu.Device, tex *gpu.Texture, blockSize int) {
+func SortStepPerRow[T sorter.Value](d *gpu.Device[T], tex *gpu.Texture[T], blockSize int) {
 	n := tex.Texels()
 	if blockSize < 2 || blockSize > n || blockSize&(blockSize-1) != 0 {
 		panic(fmt.Sprintf("gpusort: invalid block size %d for %d texels", blockSize, n))
@@ -184,7 +185,7 @@ func SortStepPerRow(d *gpu.Device, tex *gpu.Texture, blockSize int) {
 //
 // The caller is responsible for Upload/readback accounting; PBSN itself
 // performs only GPU-side work.
-func PBSN(d *gpu.Device, tex *gpu.Texture) {
+func PBSN[T sorter.Value](d *gpu.Device[T], tex *gpu.Texture[T]) {
 	n := tex.Texels()
 	if n&(n-1) != 0 {
 		panic(fmt.Sprintf("gpusort: PBSN requires power-of-two texel count, got %d", n))

@@ -2,78 +2,68 @@ package gpusort
 
 import (
 	"fmt"
-	"math"
 
 	"gpustream/internal/gpu"
+	"gpustream/internal/sorter"
 )
 
 // KthLargest returns the k-th largest value of data (k = 1 is the maximum)
 // using the occlusion-query selection algorithm of the authors' companion
-// database-operations work: binary search over the float32 key space, one
-// GPU counting pass per probe. It runs in at most 32 passes of n fragments
-// each — O(n log |domain|) fragment work with no sorting — and is the
-// primitive behind the paper's claim that its machinery extends to k-th
-// largest queries.
+// database-operations work: binary search over the element type's
+// order-preserving key space, one GPU counting pass per probe. It runs in at
+// most KeyBits passes of n fragments each — O(n log |domain|) fragment work
+// with no sorting — and is the primitive behind the paper's claim that its
+// machinery extends to k-th largest queries.
 //
 // It panics unless 1 <= k <= len(data).
-func KthLargest(data []float32, k int) float32 {
+func KthLargest[T sorter.Value](data []T, k int) T {
 	v, _ := KthLargestWithStats(data, k)
 	return v
 }
 
 // KthLargestWithStats is KthLargest, also returning the GPU counters of the
 // selection for the performance model.
-func KthLargestWithStats(data []float32, k int) (float32, gpu.Stats) {
+func KthLargestWithStats[T sorter.Value](data []T, k int) (T, gpu.Stats) {
 	n := len(data)
 	if k < 1 || k > n {
 		panic(fmt.Sprintf("gpusort: k=%d out of [1, %d]", k, n))
 	}
 	// Pack into a single channel; the counting pass tests all four
-	// channels at once, so the other three are parked at -Inf where they
-	// can never outrank real data.
+	// channels at once, so the other three are parked at the type's
+	// minimum where they can never outrank real data.
 	w, h := gpu.TextureDims(n)
-	tex := gpu.NewTexture(w, h)
-	tex.Fill(float32(math.Inf(-1)))
+	tex := gpu.NewTexture[T](w, h)
+	tex.Fill(sorter.MinValue[T]())
 	tex.LoadChannel(0, data)
-	dev := gpu.NewDevice(w, h)
+	dev := gpu.NewDevice[T](w, h)
 	dev.Upload(tex)
 	dev.BindTexture(tex)
 
-	// Binary search on the order-preserving uint32 key space: find the
-	// smallest key u whose value has fewer than k strictly-greater
-	// elements; that value is the k-th largest.
-	count := func(v float32) int64 { return dev.CountGreater(v)[0] }
-	lo, hi := uint32(0), uint32(math.MaxUint32)
+	// Binary search on the order-preserving key space: find the smallest
+	// key u whose value has fewer than k strictly-greater elements; that
+	// value is the k-th largest. 32-bit types search a 32-bit key space,
+	// 64-bit types a 64-bit one, so probe counts differ only by key width,
+	// never by value distribution.
+	count := func(v T) int64 { return dev.CountGreater(v)[0] }
+	var lo, hi uint64
+	if sorter.KeyBits[T]() == 32 {
+		hi = 1<<32 - 1
+	} else {
+		hi = 1<<64 - 1
+	}
 	for lo < hi {
 		mid := lo + (hi-lo)/2
-		if count(keyToFloat(mid)) <= int64(k-1) {
+		if count(sorter.FromOrderedKey[T](mid)) <= int64(k-1) {
 			hi = mid
 		} else {
 			lo = mid + 1
 		}
 	}
-	return keyToFloat(lo), dev.Stats()
-}
-
-// floatToKey maps float32 to uint32 preserving order.
-func floatToKey(f float32) uint32 {
-	b := math.Float32bits(f)
-	if b&0x80000000 != 0 {
-		return ^b
-	}
-	return b | 0x80000000
-}
-
-// keyToFloat inverts floatToKey.
-func keyToFloat(u uint32) float32 {
-	if u&0x80000000 != 0 {
-		return math.Float32frombits(u &^ 0x80000000)
-	}
-	return math.Float32frombits(^u)
+	return sorter.FromOrderedKey[T](lo), dev.Stats()
 }
 
 // Median returns the n/2-th largest element via KthLargest.
-func Median(data []float32) float32 {
+func Median[T sorter.Value](data []T) T {
 	if len(data) == 0 {
 		panic("gpusort: Median of empty data")
 	}

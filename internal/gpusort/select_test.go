@@ -7,6 +7,7 @@ import (
 	"testing/quick"
 
 	"gpustream/internal/gpu"
+	"gpustream/internal/sorter"
 	"gpustream/internal/stream"
 )
 
@@ -16,7 +17,7 @@ func TestFloatKeyRoundTrip(t *testing.T) {
 		if f != f { // NaN has no defined order; skip
 			return true
 		}
-		return keyToFloat(floatToKey(f)) == f
+		return sorter.FromOrderedKey[float32](sorter.OrderedKey(f)) == f
 	}
 	if err := quick.Check(prop, &quick.Config{MaxCount: 2000}); err != nil {
 		t.Fatal(err)
@@ -29,10 +30,10 @@ func TestFloatKeyMonotone(t *testing.T) {
 			return true
 		}
 		if a < b {
-			return floatToKey(a) < floatToKey(b)
+			return sorter.OrderedKey(a) < sorter.OrderedKey(b)
 		}
 		if a > b {
-			return floatToKey(a) > floatToKey(b)
+			return sorter.OrderedKey(a) > sorter.OrderedKey(b)
 		}
 		return true
 	}
@@ -101,7 +102,7 @@ func TestKthLargestPanics(t *testing.T) {
 	for _, fn := range []func(){
 		func() { KthLargest([]float32{1, 2}, 0) },
 		func() { KthLargest([]float32{1, 2}, 3) },
-		func() { Median(nil) },
+		func() { Median[float32](nil) },
 	} {
 		func() {
 			defer func() {
@@ -125,10 +126,10 @@ func TestMedian(t *testing.T) {
 }
 
 func TestCountGreaterDirect(t *testing.T) {
-	tex := gpu.NewTexture(2, 2)
+	tex := gpu.NewTexture[float32](2, 2)
 	tex.LoadChannel(0, []float32{1, 2, 3, 4})
 	tex.LoadChannel(1, []float32{5, 5, 5, 5})
-	dev := gpu.NewDevice(2, 2)
+	dev := gpu.NewDevice[float32](2, 2)
 	dev.BindTexture(tex)
 	c := dev.CountGreater(2.5)
 	if c[0] != 2 || c[1] != 4 {

@@ -1,8 +1,6 @@
 package gpusort
 
 import (
-	"math"
-
 	"gpustream/internal/cpusort"
 	"gpustream/internal/gpu"
 	"gpustream/internal/sorter"
@@ -10,7 +8,9 @@ import (
 
 // SortStats describes one completed sort: the exact GPU operation counters
 // and the CPU-side merge work. The perfmodel package converts these to
-// modeled GeForce-6800 / Pentium-IV time.
+// modeled GeForce-6800 / Pentium-IV time. The counters depend only on the
+// input length — two sorts of equal n produce identical SortStats whatever
+// the element type.
 type SortStats struct {
 	N          int       // values sorted
 	GPU        gpu.Stats // exact simulator counters (compute + bus)
@@ -19,10 +19,11 @@ type SortStats struct {
 }
 
 // Sorter is the paper's GPU sorting algorithm packaged behind the
-// sorter.Sorter interface: values are padded with +Inf to a power-of-two
-// per-channel length, packed across the four RGBA channels of a 2D texture,
-// uploaded, sorted with PBSN, read back, and merged on the CPU.
-type Sorter struct {
+// sorter.Sorter interface: values are padded with the element type's maximum
+// (+Inf for floats) to a power-of-two per-channel length, packed across the
+// four RGBA channels of a 2D texture, uploaded, sorted with PBSN, read back,
+// and merged on the CPU.
+type Sorter[T sorter.Value] struct {
 	// ChannelsUsed is how many texture channels carry data (1..4).
 	// 4 is the paper's configuration; 1 is the ablation without
 	// vector-parallel channel packing.
@@ -30,7 +31,8 @@ type Sorter struct {
 
 	// HalfTargets renders into 16-bit offscreen buffers, the paper's
 	// Section 4.5 configuration: values coarsen to binary16 precision but
-	// ordering is preserved (quantization is monotone).
+	// ordering is preserved (quantization is monotone). The mode only
+	// affects float32 instantiations; see gpu.SetHalfPrecisionTargets.
 	HalfTargets bool
 
 	last  SortStats
@@ -38,10 +40,10 @@ type Sorter struct {
 }
 
 // NewSorter returns the paper-configured GPU sorter (4 channels).
-func NewSorter() *Sorter { return &Sorter{ChannelsUsed: 4} }
+func NewSorter[T sorter.Value]() *Sorter[T] { return &Sorter[T]{ChannelsUsed: 4} }
 
 // Name implements sorter.Sorter.
-func (s *Sorter) Name() string {
+func (s *Sorter[T]) Name() string {
 	if s.ChannelsUsed == 1 {
 		return "gpu-pbsn-1ch"
 	}
@@ -49,13 +51,13 @@ func (s *Sorter) Name() string {
 }
 
 // LastStats reports the statistics of the most recent Sort call.
-func (s *Sorter) LastStats() SortStats { return s.last }
+func (s *Sorter[T]) LastStats() SortStats { return s.last }
 
 // TotalGPU reports GPU counters accumulated across every Sort call.
-func (s *Sorter) TotalGPU() gpu.Stats { return s.total }
+func (s *Sorter[T]) TotalGPU() gpu.Stats { return s.total }
 
 // Sort implements sorter.Sorter.
-func (s *Sorter) Sort(data []float32) {
+func (s *Sorter[T]) Sort(data []T) {
 	n := len(data)
 	if n <= 1 {
 		s.last = SortStats{N: n}
@@ -69,36 +71,36 @@ func (s *Sorter) Sort(data []float32) {
 	w, h := gpu.TextureDims(per)
 	per = w * h
 
-	inf := float32(math.Inf(1))
-	tex := gpu.NewTexture(w, h)
-	tex.Fill(inf)
+	pad := sorter.MaxValue[T]()
+	tex := gpu.NewTexture[T](w, h)
+	tex.Fill(pad)
 	for i, v := range data {
 		c := i / per
 		p := i % per
 		tex.Data[p*gpu.Channels+c] = v
 	}
 
-	dev := gpu.NewDevice(w, h)
+	dev := gpu.NewDevice[T](w, h)
 	dev.SetHalfPrecisionTargets(s.HalfTargets)
 	dev.Upload(tex)
 	PBSN(dev, tex)
 	fb := dev.ReadFramebuffer()
 
-	runs := make([][]float32, ch)
+	runs := make([][]T, ch)
 	for c := 0; c < ch; c++ {
 		run := fb.UnpackChannel(c)
-		// Strip +Inf padding from the tail; real +Inf values in the data
-		// are preserved because only the pad count is removed.
-		pad := per*(c+1) - n
-		if pad < 0 {
-			pad = 0
-		} else if pad > per {
-			pad = per
+		// Strip padding from the tail; real maximum values in the data are
+		// preserved because only the pad count is removed.
+		padN := per*(c+1) - n
+		if padN < 0 {
+			padN = 0
+		} else if padN > per {
+			padN = per
 		}
-		runs[c] = run[:per-pad]
+		runs[c] = run[:per-padN]
 	}
 
-	var merged []float32
+	var merged []T
 	var mergeCmps int64
 	switch ch {
 	case 1:
@@ -124,4 +126,7 @@ func log2ceil(n int) int {
 	return l
 }
 
-var _ sorter.Sorter = (*Sorter)(nil)
+var (
+	_ sorter.Sorter[float32] = (*Sorter[float32])(nil)
+	_ sorter.Sorter[uint64]  = (*Sorter[uint64])(nil)
+)

@@ -7,17 +7,17 @@ import (
 )
 
 func BenchmarkHHHProcess(b *testing.B) {
-	items := syntheticTraffic(1<<15, 1)
+	items := syntheticTraffic[uint32](1<<15, 1)
 	b.SetBytes(int64(len(items) * 4))
 	for i := 0; i < b.N; i++ {
-		e := NewEstimator(NewBitHierarchy(16, 8), 0.005, cpusort.QuicksortSorter{})
+		e := NewEstimator[uint32](NewBitHierarchy[uint32](16, 8), 0.005, cpusort.QuicksortSorter[uint32]{})
 		e.ProcessSlice(items)
 	}
 }
 
 func BenchmarkHHHQuery(b *testing.B) {
-	e := NewEstimator(NewBitHierarchy(16, 8), 0.005, cpusort.QuicksortSorter{})
-	e.ProcessSlice(syntheticTraffic(1<<16, 2))
+	e := NewEstimator[uint32](NewBitHierarchy[uint32](16, 8), 0.005, cpusort.QuicksortSorter[uint32]{})
+	e.ProcessSlice(syntheticTraffic[uint32](1<<16, 2))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_ = e.Query(0.05)

@@ -9,6 +9,12 @@
 // level — each fed through the configured sorting backend, so the GPU
 // acceleration applies at every level — and answers queries bottom-up with
 // the standard discounting rule.
+//
+// Items flow through the estimation stack natively as unsigned integers.
+// Earlier revisions squeezed prefixes into float32 stream values, which
+// capped hierarchies at 24 bits (the float32 exact-integer range); with the
+// generic stack the full 32- and 64-bit widths are supported, covering IPv4
+// addresses outright and IPv6 /64 network prefixes.
 package hhh
 
 import (
@@ -19,39 +25,47 @@ import (
 	"gpustream/internal/sorter"
 )
 
+// Item constrains the integer item types a hierarchy aggregates: unsigned
+// 32- or 64-bit values (both within the stack's sorter.Value constraint, so
+// every sorting backend applies unchanged).
+type Item interface {
+	~uint32 | ~uint64
+}
+
 // Hierarchy maps items to their ancestors. Level 0 is the item itself;
 // higher levels are coarser prefixes, with level Levels()-1 the root.
-type Hierarchy interface {
+type Hierarchy[T Item] interface {
 	// Levels reports the number of levels including the leaf level.
 	Levels() int
 	// Ancestor returns the item's enclosing prefix at the given level.
-	Ancestor(item uint32, level int) uint32
+	Ancestor(item T, level int) T
 }
 
 // BitHierarchy is a prefix hierarchy over fixed-width integer items:
-// level l masks off l*Stride low bits. With Bits=24, Stride=8 it mimics
-// the /24, /16, /8, /0 aggregation of IPv4 prefixes while keeping every
-// prefix exactly representable in a float32 stream value.
-type BitHierarchy struct {
+// level l masks off l*Stride low bits. With T = uint32, Bits = 32,
+// Stride = 8 it is exactly the /32, /24, /16, /8, /0 aggregation of IPv4
+// addresses; T = uint64 extends the same scheme to 64-bit key spaces.
+type BitHierarchy[T Item] struct {
 	Bits   int
 	Stride int
 }
 
 // NewBitHierarchy returns a hierarchy over items of the given bit width
-// aggregated stride bits at a time. Bits must be at most 24 so prefixes
-// survive the float32 stream representation exactly.
-func NewBitHierarchy(bits, stride int) BitHierarchy {
-	if bits <= 0 || bits > 24 || stride <= 0 || stride > bits {
-		panic(fmt.Sprintf("hhh: invalid hierarchy bits=%d stride=%d", bits, stride))
+// aggregated stride bits at a time. Bits may use the item type's full width
+// (32 for uint32, 64 for uint64).
+func NewBitHierarchy[T Item](bits, stride int) BitHierarchy[T] {
+	if bits <= 0 || bits > sorter.KeyBits[T]() || stride <= 0 || stride > bits {
+		panic(fmt.Sprintf("hhh: invalid hierarchy bits=%d stride=%d for %d-bit items",
+			bits, stride, sorter.KeyBits[T]()))
 	}
-	return BitHierarchy{Bits: bits, Stride: stride}
+	return BitHierarchy[T]{Bits: bits, Stride: stride}
 }
 
 // Levels implements Hierarchy.
-func (h BitHierarchy) Levels() int { return h.Bits/h.Stride + 1 }
+func (h BitHierarchy[T]) Levels() int { return h.Bits/h.Stride + 1 }
 
 // Ancestor implements Hierarchy.
-func (h BitHierarchy) Ancestor(item uint32, level int) uint32 {
+func (h BitHierarchy[T]) Ancestor(item T, level int) T {
 	shift := level * h.Stride
 	if shift >= h.Bits {
 		return 0
@@ -60,24 +74,24 @@ func (h BitHierarchy) Ancestor(item uint32, level int) uint32 {
 }
 
 // Prefix is one reported hierarchical heavy hitter.
-type Prefix struct {
-	Value uint32 // the prefix, low Stride*Level bits zero
-	Level int    // 0 = leaf
-	Count int64  // discounted estimated count
+type Prefix[T Item] struct {
+	Value T     // the prefix, low Stride*Level bits zero
+	Level int   // 0 = leaf
+	Count int64 // discounted estimated count
 }
 
 // Estimator answers eps-approximate HHH queries.
-type Estimator struct {
-	h      Hierarchy
+type Estimator[T Item] struct {
+	h      Hierarchy[T]
 	eps    float64
-	levels []*frequency.Estimator
+	levels []*frequency.Estimator[T]
 	n      int64
 }
 
 // NewEstimator returns an HHH estimator with per-level error eps, sorting
 // windows with s.
-func NewEstimator(h Hierarchy, eps float64, s sorter.Sorter) *Estimator {
-	e := &Estimator{h: h, eps: eps}
+func NewEstimator[T Item](h Hierarchy[T], eps float64, s sorter.Sorter[T]) *Estimator[T] {
+	e := &Estimator[T]{h: h, eps: eps}
 	for l := 0; l < h.Levels(); l++ {
 		e.levels = append(e.levels, frequency.NewEstimator(eps, s))
 	}
@@ -85,10 +99,10 @@ func NewEstimator(h Hierarchy, eps float64, s sorter.Sorter) *Estimator {
 }
 
 // Count reports the number of processed items.
-func (e *Estimator) Count() int64 { return e.n }
+func (e *Estimator[T]) Count() int64 { return e.n }
 
 // SummarySize reports total summary entries across all levels.
-func (e *Estimator) SummarySize() int {
+func (e *Estimator[T]) SummarySize() int {
 	total := 0
 	for _, lv := range e.levels {
 		lv.Flush()
@@ -98,15 +112,15 @@ func (e *Estimator) SummarySize() int {
 }
 
 // Process consumes one item.
-func (e *Estimator) Process(item uint32) {
+func (e *Estimator[T]) Process(item T) {
 	e.n++
 	for l, lv := range e.levels {
-		lv.Process(float32(e.h.Ancestor(item, l)))
+		lv.Process(e.h.Ancestor(item, l))
 	}
 }
 
 // ProcessSlice consumes a batch of items.
-func (e *Estimator) ProcessSlice(items []uint32) {
+func (e *Estimator[T]) ProcessSlice(items []T) {
 	for _, it := range items {
 		e.Process(it)
 	}
@@ -116,17 +130,17 @@ func (e *Estimator) ProcessSlice(items []uint32) {
 // estimated count, discounted by the counts of already-reported descendant
 // HHHs, is at least (s - eps) * N. Results are ordered leaf-most first,
 // then by descending count.
-func (e *Estimator) Query(s float64) []Prefix {
+func (e *Estimator[T]) Query(s float64) []Prefix[T] {
 	if s < 0 || s > 1 {
 		panic(fmt.Sprintf("hhh: support %v out of [0, 1]", s))
 	}
 	thresh := (s - e.eps) * float64(e.n)
-	var out []Prefix
+	var out []Prefix[T]
 	for l, lv := range e.levels {
 		// Candidates at this level: everything the level summary reports
 		// at the (s - eps) threshold.
 		for _, it := range lv.Query(s) {
-			p := uint32(it.Value)
+			p := it.Value
 			count := it.Freq
 			// Discount descendants already chosen.
 			for _, d := range out {
@@ -135,7 +149,7 @@ func (e *Estimator) Query(s float64) []Prefix {
 				}
 			}
 			if float64(count) >= thresh {
-				out = append(out, Prefix{Value: p, Level: l, Count: count})
+				out = append(out, Prefix[T]{Value: p, Level: l, Count: count})
 			}
 		}
 	}
@@ -153,9 +167,9 @@ func (e *Estimator) Query(s float64) []Prefix {
 
 // EstimateLevel returns the (undiscounted) estimated count of the given
 // prefix at the given level.
-func (e *Estimator) EstimateLevel(prefix uint32, level int) int64 {
+func (e *Estimator[T]) EstimateLevel(prefix T, level int) int64 {
 	if level < 0 || level >= len(e.levels) {
 		panic(fmt.Sprintf("hhh: level %d out of range", level))
 	}
-	return e.levels[level].Estimate(float32(prefix))
+	return e.levels[level].Estimate(prefix)
 }

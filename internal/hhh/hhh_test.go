@@ -11,27 +11,27 @@ import (
 // syntheticTraffic builds a trace over a 16-bit item space where one /8
 // prefix is collectively heavy without any single heavy leaf, plus one
 // genuinely heavy leaf elsewhere — the classic HHH separation case.
-func syntheticTraffic(n int, seed uint64) []uint32 {
+func syntheticTraffic[T Item](n int, seed uint64) []T {
 	r := stream.NewRNG(seed)
-	out := make([]uint32, 0, n)
+	out := make([]T, 0, n)
 	for i := 0; i < n; i++ {
 		switch {
 		case i%10 < 3:
 			// 30%: spread across the 0xAB00 prefix, 200 distinct leaves.
-			out = append(out, 0xAB00|uint32(r.Intn(200)%256))
+			out = append(out, T(0xAB00|uint32(r.Intn(200)%256)))
 		case i%10 < 5:
 			// 20%: one hot leaf.
-			out = append(out, 0x1234)
+			out = append(out, T(0x1234))
 		default:
 			// Background noise over the whole space.
-			out = append(out, uint32(r.Intn(1<<16)))
+			out = append(out, T(r.Intn(1<<16)))
 		}
 	}
 	return out
 }
 
 func TestBitHierarchy(t *testing.T) {
-	h := NewBitHierarchy(16, 8)
+	h := NewBitHierarchy[uint32](16, 8)
 	if h.Levels() != 3 {
 		t.Fatalf("Levels = %d", h.Levels())
 	}
@@ -46,12 +46,46 @@ func TestBitHierarchy(t *testing.T) {
 	}
 }
 
+// TestBitHierarchyFullWidth is the regression for the lifted 24-bit cap:
+// hierarchies over the items' full native width must construct and
+// aggregate correctly at both 32 and 64 bits.
+func TestBitHierarchyFullWidth(t *testing.T) {
+	h32 := NewBitHierarchy[uint32](32, 8)
+	if h32.Levels() != 5 {
+		t.Fatalf("32-bit Levels = %d, want 5", h32.Levels())
+	}
+	if got := h32.Ancestor(0xDEADBEEF, 1); got != 0xDEADBE00 {
+		t.Fatalf("32-bit level 1 ancestor = %x", got)
+	}
+	if got := h32.Ancestor(0xDEADBEEF, 3); got != 0xDE000000 {
+		t.Fatalf("32-bit level 3 ancestor = %x", got)
+	}
+	if got := h32.Ancestor(0xDEADBEEF, 4); got != 0 {
+		t.Fatalf("32-bit root ancestor = %x", got)
+	}
+
+	h64 := NewBitHierarchy[uint64](64, 16)
+	if h64.Levels() != 5 {
+		t.Fatalf("64-bit Levels = %d, want 5", h64.Levels())
+	}
+	if got := h64.Ancestor(0xDEADBEEFCAFEF00D, 1); got != 0xDEADBEEFCAFE0000 {
+		t.Fatalf("64-bit level 1 ancestor = %x", got)
+	}
+	if got := h64.Ancestor(0xDEADBEEFCAFEF00D, 3); got != 0xDEAD000000000000 {
+		t.Fatalf("64-bit level 3 ancestor = %x", got)
+	}
+	if got := h64.Ancestor(0xDEADBEEFCAFEF00D, 4); got != 0 {
+		t.Fatalf("64-bit root ancestor = %x", got)
+	}
+}
+
 func TestBitHierarchyPanics(t *testing.T) {
 	for _, fn := range []func(){
-		func() { NewBitHierarchy(0, 8) },
-		func() { NewBitHierarchy(32, 8) }, // beyond float32 exactness
-		func() { NewBitHierarchy(16, 0) },
-		func() { NewBitHierarchy(8, 16) },
+		func() { NewBitHierarchy[uint32](0, 8) },
+		func() { NewBitHierarchy[uint32](33, 8) }, // beyond the item width
+		func() { NewBitHierarchy[uint64](65, 8) },
+		func() { NewBitHierarchy[uint32](16, 0) },
+		func() { NewBitHierarchy[uint32](8, 16) },
 	} {
 		func() {
 			defer func() {
@@ -65,8 +99,8 @@ func TestBitHierarchyPanics(t *testing.T) {
 }
 
 func TestHHHFindsPrefixAndLeaf(t *testing.T) {
-	items := syntheticTraffic(100000, 1)
-	e := NewEstimator(NewBitHierarchy(16, 8), 0.001, cpusort.QuicksortSorter{})
+	items := syntheticTraffic[uint32](100000, 1)
+	e := NewEstimator[uint32](NewBitHierarchy[uint32](16, 8), 0.001, cpusort.QuicksortSorter[uint32]{})
 	e.ProcessSlice(items)
 
 	hits := e.Query(0.1)
@@ -94,6 +128,57 @@ func TestHHHFindsPrefixAndLeaf(t *testing.T) {
 	}
 }
 
+// hhhFullWidthCase runs the prefix-and-leaf separation scenario with the
+// heavy mass placed above the old 24-bit cap, at the given hierarchy width.
+func hhhFullWidthCase[T Item](t *testing.T, bits, stride int, hotLeaf, hotPrefix T, prefixLevel int) {
+	t.Helper()
+	r := stream.NewRNG(7)
+	items := make([]T, 0, 60000)
+	for i := 0; i < 60000; i++ {
+		switch {
+		case i%10 < 3:
+			// 30%: spread across the hot prefix's low two stride levels,
+			// so neither a leaf nor a level-1 ancestor is heavy alone.
+			items = append(items, hotPrefix|T(r.Intn(1<<(2*stride))))
+		case i%10 < 5:
+			// 20%: one hot leaf.
+			items = append(items, hotLeaf)
+		default:
+			items = append(items, T(r.Uint64())>>1|1<<(bits-2))
+		}
+	}
+	e := NewEstimator[T](NewBitHierarchy[T](bits, stride), 0.001, cpusort.QuicksortSorter[T]{})
+	e.ProcessSlice(items)
+	hits := e.Query(0.1)
+	var foundLeaf, foundPrefix bool
+	for _, p := range hits {
+		if p.Level == 0 && p.Value == hotLeaf {
+			foundLeaf = true
+		}
+		if p.Level == prefixLevel && p.Value == hotPrefix {
+			foundPrefix = true
+		}
+	}
+	if !foundLeaf {
+		t.Fatalf("%d-bit: hot leaf %x not reported: %v", bits, hotLeaf, hits)
+	}
+	if !foundPrefix {
+		t.Fatalf("%d-bit: collectively-heavy prefix %x not reported: %v", bits, hotPrefix, hits)
+	}
+}
+
+// TestHHHFullWidth32 and TestHHHFullWidth64 are the end-to-end regressions
+// for the lifted 24-bit restriction: items whose heavy prefixes live in the
+// high bits — unrepresentable exactly in the old float32 encoding — must be
+// found natively.
+func TestHHHFullWidth32(t *testing.T) {
+	hhhFullWidthCase[uint32](t, 32, 8, 0xDEADBEEF, 0xCAFE0000, 2)
+}
+
+func TestHHHFullWidth64(t *testing.T) {
+	hhhFullWidthCase[uint64](t, 64, 16, 0xDEADBEEFCAFEF00D, 0x1234567800000000, 2)
+}
+
 func TestHHHDiscounting(t *testing.T) {
 	// A stream where one leaf is heavy; its ancestors' discounted counts
 	// must not re-report the same mass.
@@ -105,7 +190,7 @@ func TestHHHDiscounting(t *testing.T) {
 	for i := 0; i < 5000; i++ {
 		items = append(items, uint32(r.Intn(1<<16)))
 	}
-	e := NewEstimator(NewBitHierarchy(16, 8), 0.001, cpusort.QuicksortSorter{})
+	e := NewEstimator[uint32](NewBitHierarchy[uint32](16, 8), 0.001, cpusort.QuicksortSorter[uint32]{})
 	e.ProcessSlice(items)
 	hits := e.Query(0.3)
 	for _, p := range hits {
@@ -119,8 +204,8 @@ func TestHHHDiscounting(t *testing.T) {
 }
 
 func TestHHHRootAccountsForEverything(t *testing.T) {
-	items := syntheticTraffic(20000, 3)
-	e := NewEstimator(NewBitHierarchy(16, 8), 0.01, cpusort.QuicksortSorter{})
+	items := syntheticTraffic[uint32](20000, 3)
+	e := NewEstimator[uint32](NewBitHierarchy[uint32](16, 8), 0.01, cpusort.QuicksortSorter[uint32]{})
 	e.ProcessSlice(items)
 	root := e.EstimateLevel(0, 2)
 	if float64(root) < 0.99*float64(len(items)) {
@@ -132,9 +217,9 @@ func TestHHHRootAccountsForEverything(t *testing.T) {
 }
 
 func TestHHHGPUBackendMatchesCPU(t *testing.T) {
-	items := syntheticTraffic(20000, 4)
-	cpu := NewEstimator(NewBitHierarchy(16, 8), 0.005, cpusort.QuicksortSorter{})
-	gpu := NewEstimator(NewBitHierarchy(16, 8), 0.005, gpusort.NewSorter())
+	items := syntheticTraffic[uint32](20000, 4)
+	cpu := NewEstimator[uint32](NewBitHierarchy[uint32](16, 8), 0.005, cpusort.QuicksortSorter[uint32]{})
+	gpu := NewEstimator[uint32](NewBitHierarchy[uint32](16, 8), 0.005, gpusort.NewSorter[uint32]())
 	cpu.ProcessSlice(items)
 	gpu.ProcessSlice(items)
 	ch, gh := cpu.Query(0.1), gpu.Query(0.1)
@@ -149,7 +234,7 @@ func TestHHHGPUBackendMatchesCPU(t *testing.T) {
 }
 
 func TestHHHQueryPanics(t *testing.T) {
-	e := NewEstimator(NewBitHierarchy(16, 8), 0.01, cpusort.QuicksortSorter{})
+	e := NewEstimator[uint32](NewBitHierarchy[uint32](16, 8), 0.01, cpusort.QuicksortSorter[uint32]{})
 	for _, fn := range []func(){
 		func() { e.Query(-1) },
 		func() { e.EstimateLevel(0, 99) },
@@ -166,8 +251,8 @@ func TestHHHQueryPanics(t *testing.T) {
 }
 
 func TestHHHSummarySizeBounded(t *testing.T) {
-	items := syntheticTraffic(200000, 5)
-	e := NewEstimator(NewBitHierarchy(16, 8), 0.001, cpusort.QuicksortSorter{})
+	items := syntheticTraffic[uint32](200000, 5)
+	e := NewEstimator[uint32](NewBitHierarchy[uint32](16, 8), 0.001, cpusort.QuicksortSorter[uint32]{})
 	e.ProcessSlice(items)
 	// Three lossy-counting summaries, each O((1/eps) log(eps N)).
 	if e.SummarySize() > 3*20000 {

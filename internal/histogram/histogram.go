@@ -10,28 +10,28 @@ import (
 )
 
 // Bin is one histogram entry: a distinct value and its occurrence count.
-type Bin struct {
-	Value float32
+type Bin[T sorter.Value] struct {
+	Value T
 	Count int64
 }
 
 // FromSorted collapses an ascending slice into bins. It panics if data is
 // not sorted, since that indicates the sorting backend is broken.
-func FromSorted(data []float32) []Bin {
+func FromSorted[T sorter.Value](data []T) []Bin[T] {
 	if len(data) == 0 {
 		return nil
 	}
-	return AppendSorted(make([]Bin, 0, 64), data)
+	return AppendSorted(make([]Bin[T], 0, 64), data)
 }
 
 // AppendSorted collapses an ascending slice into bins appended to dst,
 // which callers on the hot ingestion path reuse (dst[:0]) so steady-state
 // windows allocate nothing. Like FromSorted it panics on unsorted input.
-func AppendSorted(dst []Bin, data []float32) []Bin {
+func AppendSorted[T sorter.Value](dst []Bin[T], data []T) []Bin[T] {
 	if len(data) == 0 {
 		return dst
 	}
-	cur := Bin{Value: data[0], Count: 1}
+	cur := Bin[T]{Value: data[0], Count: 1}
 	for i := 1; i < len(data); i++ {
 		if data[i] < data[i-1] {
 			panic("histogram: input not sorted")
@@ -41,7 +41,7 @@ func AppendSorted(dst []Bin, data []float32) []Bin {
 			continue
 		}
 		dst = append(dst, cur)
-		cur = Bin{Value: data[i], Count: 1}
+		cur = Bin[T]{Value: data[i], Count: 1}
 	}
 	return append(dst, cur)
 }
@@ -49,13 +49,13 @@ func AppendSorted(dst []Bin, data []float32) []Bin {
 // Compute sorts window in place with s and returns its histogram. This is
 // the paper's "histogram computation" operation; the sort inside it is where
 // 70-95% of the CPU pipeline's time goes, and what the GPU accelerates.
-func Compute(window []float32, s sorter.Sorter) []Bin {
+func Compute[T sorter.Value](window []T, s sorter.Sorter[T]) []Bin[T] {
 	s.Sort(window)
 	return FromSorted(window)
 }
 
 // Total reports the number of stream elements the bins represent.
-func Total(bins []Bin) int64 {
+func Total[T sorter.Value](bins []Bin[T]) int64 {
 	var n int64
 	for _, b := range bins {
 		n += b.Count
@@ -65,8 +65,8 @@ func Total(bins []Bin) int64 {
 
 // Merge combines two value-ascending bin lists into one, summing counts of
 // equal values. Both inputs must be sorted by value; the result is too.
-func Merge(a, b []Bin) []Bin {
-	out := make([]Bin, 0, len(a)+len(b))
+func Merge[T sorter.Value](a, b []Bin[T]) []Bin[T] {
+	out := make([]Bin[T], 0, len(a)+len(b))
 	i, j := 0, 0
 	for i < len(a) && j < len(b) {
 		switch {
@@ -77,7 +77,7 @@ func Merge(a, b []Bin) []Bin {
 			out = append(out, b[j])
 			j++
 		default:
-			out = append(out, Bin{Value: a[i].Value, Count: a[i].Count + b[j].Count})
+			out = append(out, Bin[T]{Value: a[i].Value, Count: a[i].Count + b[j].Count})
 			i++
 			j++
 		}
@@ -91,11 +91,11 @@ func Merge(a, b []Bin) []Bin {
 // approximately equal-count ranges — the classic database histogram the
 // paper's Section 3.2 references for tracking data distributions. The
 // boundaries are the values at ranks i*n/k for i = 1..k.
-func EquiDepth(sorted []float32, k int) []float32 {
+func EquiDepth[T sorter.Value](sorted []T, k int) []T {
 	if k <= 0 || len(sorted) == 0 {
 		return nil
 	}
-	out := make([]float32, k)
+	out := make([]T, k)
 	n := len(sorted)
 	for i := 1; i <= k; i++ {
 		idx := i*n/k - 1

@@ -12,7 +12,7 @@ import (
 
 func TestFromSortedBasics(t *testing.T) {
 	bins := FromSorted([]float32{1, 1, 2, 5, 5, 5})
-	want := []Bin{{1, 2}, {2, 1}, {5, 3}}
+	want := []Bin[float32]{{1, 2}, {2, 1}, {5, 3}}
 	if len(bins) != len(want) {
 		t.Fatalf("bins = %v", bins)
 	}
@@ -24,8 +24,8 @@ func TestFromSortedBasics(t *testing.T) {
 }
 
 func TestFromSortedEmpty(t *testing.T) {
-	if bins := FromSorted(nil); bins != nil {
-		t.Fatalf("FromSorted(nil) = %v", bins)
+	if bins := FromSorted[float32](nil); bins != nil {
+		t.Fatalf("FromSorted[float32](nil) = %v", bins)
 	}
 }
 
@@ -72,7 +72,7 @@ func TestComputeWithBothBackends(t *testing.T) {
 	for _, v := range data {
 		exact[v]++
 	}
-	backends := []sorter.Sorter{cpusort.QuicksortSorter{}, gpusort.NewSorter()}
+	backends := []sorter.Sorter[float32]{cpusort.QuicksortSorter[float32]{}, gpusort.NewSorter[float32]()}
 	for _, s := range backends {
 		win := append([]float32(nil), data...)
 		bins := Compute(win, s)
@@ -88,10 +88,10 @@ func TestComputeWithBothBackends(t *testing.T) {
 }
 
 func TestMergeBins(t *testing.T) {
-	a := []Bin{{1, 2}, {3, 1}}
-	b := []Bin{{2, 5}, {3, 4}, {7, 1}}
+	a := []Bin[float32]{{1, 2}, {3, 1}}
+	b := []Bin[float32]{{2, 5}, {3, 4}, {7, 1}}
 	got := Merge(a, b)
-	want := []Bin{{1, 2}, {2, 5}, {3, 5}, {7, 1}}
+	want := []Bin[float32]{{1, 2}, {2, 5}, {3, 5}, {7, 1}}
 	if len(got) != len(want) {
 		t.Fatalf("Merge = %v", got)
 	}
@@ -106,11 +106,11 @@ func TestMergeBins(t *testing.T) {
 }
 
 func TestMergeEmpty(t *testing.T) {
-	a := []Bin{{1, 1}}
+	a := []Bin[float32]{{1, 1}}
 	if got := Merge(a, nil); len(got) != 1 || got[0] != a[0] {
 		t.Fatalf("Merge with nil = %v", got)
 	}
-	if got := Merge(nil, nil); len(got) != 0 {
+	if got := Merge[float32](nil, nil); len(got) != 0 {
 		t.Fatalf("Merge(nil,nil) = %v", got)
 	}
 }
@@ -124,13 +124,13 @@ func TestEquiDepth(t *testing.T) {
 			t.Fatalf("EquiDepth = %v, want %v", got, want)
 		}
 	}
-	if EquiDepth(nil, 4) != nil || EquiDepth(sorted, 0) != nil {
+	if EquiDepth[float32](nil, 4) != nil || EquiDepth(sorted, 0) != nil {
 		t.Fatal("degenerate EquiDepth not nil")
 	}
 }
 
 func TestStreamingEquiDepthBuckets(t *testing.T) {
-	h := NewStreamingEquiDepth(10, 0.005, cpusort.QuicksortSorter{})
+	h := NewStreamingEquiDepth(10, 0.005, cpusort.QuicksortSorter[float32]{})
 	h.ProcessSlice(stream.Uniform(100000, 7))
 	buckets := h.Buckets()
 	if len(buckets) != 10 {
@@ -154,7 +154,7 @@ func TestStreamingEquiDepthBuckets(t *testing.T) {
 }
 
 func TestStreamingEquiDepthSelectivity(t *testing.T) {
-	h := NewStreamingEquiDepth(20, 0.005, cpusort.QuicksortSorter{})
+	h := NewStreamingEquiDepth(20, 0.005, cpusort.QuicksortSorter[float32]{})
 	h.ProcessSlice(stream.Uniform(100000, 8))
 	for _, tt := range []float32{0.1, 0.33, 0.5, 0.9} {
 		got := h.Selectivity(tt)
@@ -172,7 +172,7 @@ func TestStreamingEquiDepthSelectivity(t *testing.T) {
 
 func TestStreamingEquiDepthSkewed(t *testing.T) {
 	// On a skewed stream the buckets must narrow around the mass.
-	h := NewStreamingEquiDepth(10, 0.005, cpusort.QuicksortSorter{})
+	h := NewStreamingEquiDepth(10, 0.005, cpusort.QuicksortSorter[float32]{})
 	h.ProcessSlice(stream.Zipf(50000, 1.3, 1000, 9))
 	buckets := h.Buckets()
 	// Over half the mass of a Zipf(1.3) stream sits on the smallest few
@@ -184,8 +184,8 @@ func TestStreamingEquiDepthSkewed(t *testing.T) {
 
 func TestStreamingEquiDepthGPUMatchesCPU(t *testing.T) {
 	data := stream.Gaussian(20000, 10, 3, 10)
-	cpu := NewStreamingEquiDepth(8, 0.01, cpusort.QuicksortSorter{})
-	gpu := NewStreamingEquiDepth(8, 0.01, gpusort.NewSorter())
+	cpu := NewStreamingEquiDepth(8, 0.01, cpusort.QuicksortSorter[float32]{})
+	gpu := NewStreamingEquiDepth(8, 0.01, gpusort.NewSorter[float32]())
 	cpu.ProcessSlice(data)
 	gpu.ProcessSlice(data)
 	cb, gb := cpu.Buckets(), gpu.Buckets()
@@ -198,8 +198,8 @@ func TestStreamingEquiDepthGPUMatchesCPU(t *testing.T) {
 
 func TestStreamingEquiDepthPanics(t *testing.T) {
 	for _, fn := range []func(){
-		func() { NewStreamingEquiDepth(0, 0.1, cpusort.QuicksortSorter{}) },
-		func() { NewStreamingEquiDepth(4, 0.1, cpusort.QuicksortSorter{}).Buckets() },
+		func() { NewStreamingEquiDepth(0, 0.1, cpusort.QuicksortSorter[float32]{}) },
+		func() { NewStreamingEquiDepth(4, 0.1, cpusort.QuicksortSorter[float32]{}).Buckets() },
 	} {
 		func() {
 			defer func() {

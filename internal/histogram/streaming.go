@@ -14,45 +14,45 @@ import (
 // so far, answered by the library's window-based quantile estimator, which
 // means every histogram refresh is a batch of quantile queries over the
 // same GPU-sorted summary.
-type StreamingEquiDepth struct {
+type StreamingEquiDepth[T sorter.Value] struct {
 	k   int
 	eps float64
-	est *quantile.Estimator
+	est *quantile.Estimator[T]
 }
 
 // Bucket is one range of a streaming equi-depth histogram.
-type Bucket struct {
-	Lo, Hi float32
+type Bucket[T sorter.Value] struct {
+	Lo, Hi T
 	Count  int64 // approximate element count (N/k by construction)
 }
 
 // NewStreamingEquiDepth returns a k-bucket histogram with boundary rank
 // error eps, sorting windows with s.
-func NewStreamingEquiDepth(k int, eps float64, s sorter.Sorter) *StreamingEquiDepth {
+func NewStreamingEquiDepth[T sorter.Value](k int, eps float64, s sorter.Sorter[T]) *StreamingEquiDepth[T] {
 	if k <= 0 {
 		panic(fmt.Sprintf("histogram: k=%d buckets", k))
 	}
-	return &StreamingEquiDepth{k: k, eps: eps, est: quantile.NewEstimator(eps, 0, s)}
+	return &StreamingEquiDepth[T]{k: k, eps: eps, est: quantile.NewEstimator(eps, 0, s)}
 }
 
 // Process consumes one stream element.
-func (h *StreamingEquiDepth) Process(v float32) { h.est.Process(v) }
+func (h *StreamingEquiDepth[T]) Process(v T) { h.est.Process(v) }
 
 // ProcessSlice consumes a batch of elements.
-func (h *StreamingEquiDepth) ProcessSlice(data []float32) { h.est.ProcessSlice(data) }
+func (h *StreamingEquiDepth[T]) ProcessSlice(data []T) { h.est.ProcessSlice(data) }
 
 // Count reports the number of processed elements.
-func (h *StreamingEquiDepth) Count() int64 { return h.est.Count() }
+func (h *StreamingEquiDepth[T]) Count() int64 { return h.est.Count() }
 
 // Buckets materializes the current histogram: k buckets whose boundaries
 // are the stream's eps-approximate i/k quantiles and whose counts are N/k
 // (exact up to boundary rounding). It panics on an empty stream.
-func (h *StreamingEquiDepth) Buckets() []Bucket {
+func (h *StreamingEquiDepth[T]) Buckets() []Bucket[T] {
 	n := h.est.Count()
 	if n == 0 {
 		panic("histogram: Buckets on empty stream")
 	}
-	out := make([]Bucket, h.k)
+	out := make([]Bucket[T], h.k)
 	lo := h.est.Query(0)
 	per := n / int64(h.k)
 	for i := 0; i < h.k; i++ {
@@ -61,7 +61,7 @@ func (h *StreamingEquiDepth) Buckets() []Bucket {
 		if i == h.k-1 {
 			count = n - per*int64(h.k-1) // absorb rounding in the last bucket
 		}
-		out[i] = Bucket{Lo: lo, Hi: hi, Count: count}
+		out[i] = Bucket[T]{Lo: lo, Hi: hi, Count: count}
 		lo = hi
 	}
 	return out
@@ -70,7 +70,7 @@ func (h *StreamingEquiDepth) Buckets() []Bucket {
 // Selectivity estimates the fraction of stream elements with value <= t,
 // the classic histogram use in query optimization. Error is bounded by
 // eps plus one bucket width of probability mass (1/k).
-func (h *StreamingEquiDepth) Selectivity(t float32) float64 {
+func (h *StreamingEquiDepth[T]) Selectivity(t T) float64 {
 	buckets := h.Buckets()
 	n := float64(h.est.Count())
 	cum := 0.0

@@ -11,7 +11,7 @@ import (
 
 func TestClosedFormMatchesSimPBSN(t *testing.T) {
 	for _, n := range []int{2, 5, 100, 4096, 10000, 65536} {
-		s := gpusort.NewSorter()
+		s := gpusort.NewSorter[float32]()
 		s.Sort(stream.Uniform(n, uint64(n)))
 		got := s.LastStats().GPU
 		want := PBSNStats(n)
@@ -23,7 +23,7 @@ func TestClosedFormMatchesSimPBSN(t *testing.T) {
 
 func TestClosedFormMatchesSimBitonic(t *testing.T) {
 	for _, n := range []int{2, 100, 2048, 10000} {
-		s := gpusort.NewBitonicSorter()
+		s := gpusort.NewBitonicSorter[float32]()
 		s.Sort(stream.Uniform(n, uint64(n)))
 		got := s.LastStats().GPU
 		want := BitonicStats(n)

@@ -34,8 +34,11 @@ package pipeline
 
 import (
 	"errors"
+	"reflect"
 	"sync"
 	"time"
+
+	"gpustream/internal/sorter"
 )
 
 // ErrClosed is the sentinel error reported when ingesting into a closed
@@ -77,21 +80,32 @@ func (s *Stats) Add(o Stats) {
 	s.Idle += o.Idle
 }
 
-// bufPool recycles window buffers across estimator lifetimes. Entries whose
-// capacity does not fit the requested window are dropped back to the
-// allocator rather than grown, keeping the pool self-sizing.
-var bufPool sync.Pool
+// bufPools recycles window buffers across estimator lifetimes, one pool per
+// element type (generic package-level variables are not a thing, so the
+// per-type pools live behind a sync.Map keyed by reflect.Type). Entries
+// whose capacity does not fit the requested window are dropped back to the
+// allocator rather than grown, keeping each pool self-sizing.
+var bufPools sync.Map // reflect.Type -> *sync.Pool
 
-func getBuf(capacity int) []float32 {
-	if p, _ := bufPool.Get().(*[]float32); p != nil && cap(*p) >= capacity {
-		return (*p)[:0]
+func poolFor[T sorter.Value]() *sync.Pool {
+	key := reflect.TypeOf((*T)(nil)).Elem()
+	if p, ok := bufPools.Load(key); ok {
+		return p.(*sync.Pool)
 	}
-	return make([]float32, 0, capacity)
+	p, _ := bufPools.LoadOrStore(key, &sync.Pool{})
+	return p.(*sync.Pool)
 }
 
-func putBuf(b []float32) {
+func getBuf[T sorter.Value](capacity int) []T {
+	if p, _ := poolFor[T]().Get().(*[]T); p != nil && cap(*p) >= capacity {
+		return (*p)[:0]
+	}
+	return make([]T, 0, capacity)
+}
+
+func putBuf[T sorter.Value](b []T) {
 	b = b[:0]
-	bufPool.Put(&b)
+	poolFor[T]().Put(&b)
 }
 
 // Core is the windowed-ingestion engine shared by the estimator families:
@@ -107,77 +121,77 @@ func putBuf(b []float32) {
 // estimator concurrently; multiple concurrent writers are also safe but
 // serialize on the lock (internal/shard partitions the stream across
 // per-worker estimators instead).
-type Core struct {
+type Core[T sorter.Value] struct {
 	mu      sync.Mutex
 	window  int
-	sink    func(win []float32)
-	buf     []float32
+	sink    func(win []T)
+	buf     []T
 	count   int64
 	closed  bool
 	stats   Stats
-	scratch []float32
+	scratch []T
 }
 
 // NewCore returns a core buffering windows of the given size. The window
 // buffer comes from a shared pool and returns to it on Close.
-func NewCore(window int, sink func(win []float32)) *Core {
+func NewCore[T sorter.Value](window int, sink func(win []T)) *Core[T] {
 	if window <= 0 {
 		panic("pipeline: window must be positive")
 	}
-	return &Core{window: window, sink: sink, buf: getBuf(window)}
+	return &Core[T]{window: window, sink: sink, buf: getBuf[T](window)}
 }
 
 // Lock acquires the core's ingestion/query mutex. Estimator query paths
 // hold it across their multi-step reads so answers are snapshot-consistent
 // against a concurrent writer.
-func (c *Core) Lock() { c.mu.Lock() }
+func (c *Core[T]) Lock() { c.mu.Lock() }
 
 // Unlock releases the core's ingestion/query mutex.
-func (c *Core) Unlock() { c.mu.Unlock() }
+func (c *Core[T]) Unlock() { c.mu.Unlock() }
 
 // WindowSize reports the buffered window length. It is immutable, so no
 // locking is needed.
-func (c *Core) WindowSize() int { return c.window }
+func (c *Core[T]) WindowSize() int { return c.window }
 
 // Count reports the total values ingested, including buffered ones.
-func (c *Core) Count() int64 {
+func (c *Core[T]) Count() int64 {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.count
 }
 
 // CountLocked is Count for callers already holding the lock.
-func (c *Core) CountLocked() int64 { return c.count }
+func (c *Core[T]) CountLocked() int64 { return c.count }
 
 // Buffered reports the number of values in the current partial window.
-func (c *Core) Buffered() int {
+func (c *Core[T]) Buffered() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return len(c.buf)
 }
 
 // BufferedLocked is Buffered for callers already holding the lock.
-func (c *Core) BufferedLocked() int { return len(c.buf) }
+func (c *Core[T]) BufferedLocked() int { return len(c.buf) }
 
 // Partial exposes the current partial window for query-time snapshots. The
 // caller must hold the lock; the returned slice aliases the live buffer, so
 // callers copy before the lock is released (Scratch provides a reusable
 // destination).
-func (c *Core) Partial() []float32 { return c.buf }
+func (c *Core[T]) Partial() []T { return c.buf }
 
 // Scratch returns a reusable zero-length scratch slice with capacity at
 // least n, for query-time copies of the partial window. The caller must
 // hold the lock; the same backing array is handed out on every call, so the
 // copy must not outlive the locked region.
-func (c *Core) Scratch(n int) []float32 {
+func (c *Core[T]) Scratch(n int) []T {
 	if cap(c.scratch) < n {
-		c.scratch = make([]float32, 0, n)
+		c.scratch = make([]T, 0, n)
 	}
 	return c.scratch[:0]
 }
 
 // Closed reports whether Close has been called.
-func (c *Core) Closed() bool {
+func (c *Core[T]) Closed() bool {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.closed
@@ -185,7 +199,7 @@ func (c *Core) Closed() bool {
 
 // Process ingests one value. After Close it returns an error wrapping
 // ErrClosed.
-func (c *Core) Process(v float32) error {
+func (c *Core[T]) Process(v T) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.closed {
@@ -203,7 +217,7 @@ func (c *Core) Process(v float32) error {
 // buffer chunk-wise so full windows flush as they complete. After Close it
 // returns an error wrapping ErrClosed. The caller may reuse data
 // immediately.
-func (c *Core) ProcessSlice(data []float32) error {
+func (c *Core[T]) ProcessSlice(data []T) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.closed {
@@ -228,7 +242,7 @@ func (c *Core) ProcessSlice(data []float32) error {
 // buffer — including immediately after a previous Flush or after Close —
 // it is a no-op, so the returned error is always nil today; the signature
 // matches the estimator lifecycle so callers program against one surface.
-func (c *Core) Flush() error {
+func (c *Core[T]) Flush() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.FlushLocked()
@@ -237,7 +251,7 @@ func (c *Core) Flush() error {
 
 // FlushLocked is Flush for callers already holding the lock (query paths
 // that seal the partial window before walking summary state).
-func (c *Core) FlushLocked() {
+func (c *Core[T]) FlushLocked() {
 	if len(c.buf) > 0 {
 		c.emit()
 	}
@@ -247,7 +261,7 @@ func (c *Core) FlushLocked() {
 // the core closed. Further Process/ProcessSlice calls return an error
 // wrapping ErrClosed; Flush and the accessors remain safe. Close is
 // idempotent and always returns nil.
-func (c *Core) Close() error {
+func (c *Core[T]) Close() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.closed {
@@ -262,7 +276,7 @@ func (c *Core) Close() error {
 
 // emit hands the buffered window to the sink and resets the buffer. The
 // lock is already held on every path that reaches here.
-func (c *Core) emit() {
+func (c *Core[T]) emit() {
 	c.stats.Windows++
 	c.sink(c.buf)
 	c.buf = c.buf[:0]
@@ -270,36 +284,36 @@ func (c *Core) emit() {
 
 // AddSort records d spent in the sort stage over values sorted elements.
 // Caller must hold the lock (sinks and query paths do).
-func (c *Core) AddSort(d time.Duration, values int64) {
+func (c *Core[T]) AddSort(d time.Duration, values int64) {
 	c.stats.Sort += d
 	c.stats.SortedValues += values
 }
 
 // AddMerge records d spent in the merge stage visiting ops elements.
 // Caller must hold the lock.
-func (c *Core) AddMerge(d time.Duration, ops int64) {
+func (c *Core[T]) AddMerge(d time.Duration, ops int64) {
 	c.stats.Merge += d
 	c.stats.MergeOps += ops
 }
 
 // AddCompress records d spent in the compress stage visiting ops elements.
 // Caller must hold the lock.
-func (c *Core) AddCompress(d time.Duration, ops int64) {
+func (c *Core[T]) AddCompress(d time.Duration, ops int64) {
 	c.stats.Compress += d
 	c.stats.CompressOps += ops
 }
 
 // AddIdle records d spent waiting for input. Caller must hold the lock.
-func (c *Core) AddIdle(d time.Duration) { c.stats.Idle += d }
+func (c *Core[T]) AddIdle(d time.Duration) { c.stats.Idle += d }
 
 // Stats returns a snapshot of the unified telemetry. The counters are read
 // under the lock, so a concurrent reader never observes a torn report
 // (e.g. a window counted whose sort time has not landed yet).
-func (c *Core) Stats() Stats {
+func (c *Core[T]) Stats() Stats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.stats
 }
 
 // StatsLocked is Stats for callers already holding the lock.
-func (c *Core) StatsLocked() Stats { return c.stats }
+func (c *Core[T]) StatsLocked() Stats { return c.stats }

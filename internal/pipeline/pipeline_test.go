@@ -8,7 +8,7 @@ import (
 
 // collect returns a core of the given window plus the record of every
 // window the sink saw (copied, since the sink slice is reused).
-func collect(window int) (*Core, *[][]float32) {
+func collect(window int) (*Core[float32], *[][]float32) {
 	var wins [][]float32
 	c := NewCore(window, func(win []float32) {
 		wins = append(wins, append([]float32(nil), win...))
@@ -93,9 +93,9 @@ func TestCloseFlushesAndIsIdempotent(t *testing.T) {
 }
 
 func TestProcessAfterCloseErrors(t *testing.T) {
-	for name, fn := range map[string]func(c *Core) error{
-		"Process":      func(c *Core) error { return c.Process(1) },
-		"ProcessSlice": func(c *Core) error { return c.ProcessSlice([]float32{1}) },
+	for name, fn := range map[string]func(c *Core[float32]) error{
+		"Process":      func(c *Core[float32]) error { return c.Process(1) },
+		"ProcessSlice": func(c *Core[float32]) error { return c.ProcessSlice([]float32{1}) },
 	} {
 		c, wins := collect(4)
 		if err := fn(c); err != nil {

@@ -1,10 +1,12 @@
 package pipeline
 
+import "gpustream/internal/sorter"
+
 // Item is one reported heavy hitter: a stream value and its estimated
 // frequency. It is the common currency of every frequency-flavoured result
 // in the module (the frequency and window packages alias it).
-type Item struct {
-	Value float32
+type Item[T sorter.Value] struct {
+	Value T
 	Freq  int64
 }
 
@@ -26,7 +28,7 @@ type Item struct {
 // (frequency.Snapshot, quantile.Snapshot, window.FrequencySnapshot,
 // window.QuantileSnapshot) for the family-specific surface, including
 // sliding-window variable-span queries.
-type View interface {
+type View[T sorter.Value] interface {
 	// Count reports the number of stream values the snapshot covers.
 	Count() int64
 	// Size reports the retained summary entries (or histogram bins), the
@@ -35,12 +37,12 @@ type View interface {
 	// Quantile returns an eps-approximate phi-quantile, phi in [0, 1].
 	// ok is false if the family does not answer quantile queries or the
 	// snapshot covers an empty stream.
-	Quantile(phi float64) (float32, bool)
+	Quantile(phi float64) (T, bool)
 	// HeavyHitters returns all values with estimated relative frequency
 	// at least support. ok is false if the family does not answer
 	// frequency queries.
-	HeavyHitters(support float64) ([]Item, bool)
+	HeavyHitters(support float64) ([]Item[T], bool)
 	// Frequency returns the estimated absolute count of v. ok is false if
 	// the family does not answer point-frequency queries.
-	Frequency(v float32) (int64, bool)
+	Frequency(v T) (int64, bool)
 }

@@ -13,7 +13,7 @@ var benchData = stream.Uniform(1<<16, 1)
 func BenchmarkWindowedEstimator(b *testing.B) {
 	b.SetBytes(int64(len(benchData) * 4))
 	for i := 0; i < b.N; i++ {
-		e := NewEstimator(0.001, int64(len(benchData)), cpusort.QuicksortSorter{})
+		e := NewEstimator(0.001, int64(len(benchData)), cpusort.QuicksortSorter[float32]{})
 		e.ProcessSlice(benchData)
 		_ = e.Query(0.5)
 	}
@@ -22,7 +22,7 @@ func BenchmarkWindowedEstimator(b *testing.B) {
 func BenchmarkGKSingleElement(b *testing.B) {
 	b.SetBytes(int64(len(benchData) * 4))
 	for i := 0; i < b.N; i++ {
-		g := summary.NewGK(0.001)
+		g := summary.NewGK[float32](0.001)
 		for _, v := range benchData {
 			g.Insert(v)
 		}

@@ -33,34 +33,40 @@ import (
 //
 // One writer and any number of query goroutines may use an Estimator
 // concurrently.
-type Estimator struct {
+type Estimator[T sorter.Value] struct {
 	eps      float64
 	window   int
 	levels   int
 	pruneB   int
-	core     *pipeline.Core
-	sorter   sorter.Sorter
-	buckets  map[int]*summary.Summary
+	core     *pipeline.Core[T]
+	sorter   sorter.Sorter[T]
+	buckets  map[int]*summary.Summary[T]
 	n        int64 // elements folded into buckets (excludes buffered)
 	capacity int64
 
 	// mergeTmp is the reusable scratch for the cascade's intermediate
 	// merged summaries, which never escape flushWindow: reusing it removes
 	// the dominant per-combine allocation.
-	mergeTmp *summary.Summary
+	mergeTmp *summary.Summary[T]
 
 	// snapshot cache: queries against an unchanged stream reuse the merged
 	// summary instead of re-merging every bucket.
-	snapCache *summary.Summary
+	snapCache *summary.Summary[T]
 	snapState [2]int64 // (n, buffered) the cache was built at
 }
 
-// Option configures an Estimator.
-type Option func(*Estimator)
+// Option configures an Estimator. Options are type-independent (they tune
+// window geometry, not values), so one Option works at any instantiation.
+type Option func(*config)
+
+// config collects the type-independent knobs an Option may set.
+type config struct {
+	window int
+}
 
 // WithWindow overrides the buffered window size (default ceil(1/eps)).
 func WithWindow(w int) Option {
-	return func(e *Estimator) {
+	return func(e *config) {
 		if w <= 0 {
 			panic("quantile: window must be positive")
 		}
@@ -71,23 +77,24 @@ func WithWindow(w int) Option {
 // NewEstimator returns an eps-approximate quantile estimator for streams of
 // up to capacity elements, sorting windows with s. capacity <= 0 selects a
 // generous default (2^40).
-func NewEstimator(eps float64, capacity int64, s sorter.Sorter, opts ...Option) *Estimator {
+func NewEstimator[T sorter.Value](eps float64, capacity int64, s sorter.Sorter[T], opts ...Option) *Estimator[T] {
 	if eps <= 0 || eps >= 1 {
 		panic(fmt.Sprintf("quantile: eps %v out of (0, 1)", eps))
 	}
 	if capacity <= 0 {
 		capacity = 1 << 40
 	}
-	e := &Estimator{
-		eps:      eps,
-		window:   int(math.Ceil(1 / eps)),
-		sorter:   s,
-		buckets:  make(map[int]*summary.Summary),
-		capacity: capacity,
-		mergeTmp: &summary.Summary{},
-	}
+	cfg := config{window: int(math.Ceil(1 / eps))}
 	for _, o := range opts {
-		o(e)
+		o(&cfg)
+	}
+	e := &Estimator[T]{
+		eps:      eps,
+		window:   cfg.window,
+		sorter:   s,
+		buckets:  make(map[int]*summary.Summary[T]),
+		capacity: capacity,
+		mergeTmp: &summary.Summary[T]{},
 	}
 	// L bounds the bucket id: windows cascade like a binary counter, so at
 	// most log2(capacity/window)+1 combines happen along any chain.
@@ -104,22 +111,22 @@ func NewEstimator(eps float64, capacity int64, s sorter.Sorter, opts ...Option) 
 }
 
 // Eps reports the configured error bound.
-func (e *Estimator) Eps() float64 { return e.eps }
+func (e *Estimator[T]) Eps() float64 { return e.eps }
 
 // WindowSize reports the buffered window length.
-func (e *Estimator) WindowSize() int { return e.window }
+func (e *Estimator[T]) WindowSize() int { return e.window }
 
 // Count reports the number of stream elements processed, including buffered
 // ones.
-func (e *Estimator) Count() int64 { return e.core.Count() }
+func (e *Estimator[T]) Count() int64 { return e.core.Count() }
 
 // Stats returns the unified per-stage pipeline telemetry. Safe to call
 // mid-ingestion; counters are internally consistent.
-func (e *Estimator) Stats() pipeline.Stats { return e.core.Stats() }
+func (e *Estimator[T]) Stats() pipeline.Stats { return e.core.Stats() }
 
 // SummaryEntries reports the total entries retained across all buckets, the
 // estimator's memory footprint.
-func (e *Estimator) SummaryEntries() int {
+func (e *Estimator[T]) SummaryEntries() int {
 	e.core.Lock()
 	defer e.core.Unlock()
 	total := 0
@@ -130,7 +137,7 @@ func (e *Estimator) SummaryEntries() int {
 }
 
 // Buckets reports the number of live exponential-histogram buckets.
-func (e *Estimator) Buckets() int {
+func (e *Estimator[T]) Buckets() int {
 	e.core.Lock()
 	defer e.core.Unlock()
 	return len(e.buckets)
@@ -138,25 +145,25 @@ func (e *Estimator) Buckets() int {
 
 // Process consumes one stream element. After Close it returns an error
 // wrapping pipeline.ErrClosed.
-func (e *Estimator) Process(v float32) error { return e.core.Process(v) }
+func (e *Estimator[T]) Process(v T) error { return e.core.Process(v) }
 
 // ProcessSlice consumes a batch of stream elements. After Close it returns
 // an error wrapping pipeline.ErrClosed.
-func (e *Estimator) ProcessSlice(data []float32) error { return e.core.ProcessSlice(data) }
+func (e *Estimator[T]) ProcessSlice(data []T) error { return e.core.ProcessSlice(data) }
 
 // Flush forces the buffered partial window into the bucket cascade. Queries
 // do not need it — snapshots already include buffered elements — but it
 // makes the estimator's state self-contained before Close or hand-off.
-func (e *Estimator) Flush() error { return e.core.Flush() }
+func (e *Estimator[T]) Flush() error { return e.core.Flush() }
 
 // Close flushes and releases the window buffer back to the shared pool.
 // The estimator remains queryable; further ingestion reports
 // pipeline.ErrClosed. Close is idempotent.
-func (e *Estimator) Close() error { return e.core.Close() }
+func (e *Estimator[T]) Close() error { return e.core.Close() }
 
 // flushWindow turns one window handed over by the core into a bucket and
 // cascades combines. The core holds the lock.
-func (e *Estimator) flushWindow(win []float32) {
+func (e *Estimator[T]) flushWindow(win []T) {
 	t0 := time.Now()
 	e.sorter.Sort(win)
 	s := summary.FromSortedWindow(win, e.eps)
@@ -196,12 +203,12 @@ func (e *Estimator) flushWindow(win []float32) {
 // core lock. The returned summary is immutable — flushWindow only ever
 // replaces buckets with freshly allocated summaries — so it may safely
 // outlive the locked region.
-func (e *Estimator) snapshotLocked() *summary.Summary {
+func (e *Estimator[T]) snapshotLocked() *summary.Summary[T] {
 	state := [2]int64{e.n, int64(e.core.BufferedLocked())}
 	if e.snapCache != nil && e.snapState == state {
 		return e.snapCache
 	}
-	var partial *summary.Summary
+	var partial *summary.Summary[T]
 	if e.core.BufferedLocked() > 0 {
 		tmp := append(e.core.Scratch(e.core.BufferedLocked()), e.core.Partial()...)
 		t0 := time.Now()
@@ -214,7 +221,7 @@ func (e *Estimator) snapshotLocked() *summary.Summary {
 		ids = append(ids, id)
 	}
 	sort.Ints(ids)
-	var acc *summary.Summary
+	var acc *summary.Summary[T]
 	for _, id := range ids {
 		if acc == nil {
 			acc = e.buckets[id]
@@ -233,7 +240,7 @@ func (e *Estimator) snapshotLocked() *summary.Summary {
 }
 
 // merged returns the current merged summary under the lock.
-func (e *Estimator) merged() *summary.Summary {
+func (e *Estimator[T]) merged() *summary.Summary[T] {
 	e.core.Lock()
 	defer e.core.Unlock()
 	return e.snapshotLocked()
@@ -241,7 +248,7 @@ func (e *Estimator) merged() *summary.Summary {
 
 // Query returns an eps-approximate phi-quantile of everything processed so
 // far. It panics if the stream is empty. Safe under concurrent ingestion.
-func (e *Estimator) Query(phi float64) float32 {
+func (e *Estimator[T]) Query(phi float64) T {
 	s := e.merged()
 	if s == nil || s.N == 0 {
 		panic("quantile: query on empty stream")
@@ -251,7 +258,7 @@ func (e *Estimator) Query(phi float64) float32 {
 
 // QueryRank returns a value whose rank is within eps*N of r. Safe under
 // concurrent ingestion.
-func (e *Estimator) QueryRank(r int64) float32 {
+func (e *Estimator[T]) QueryRank(r int64) T {
 	s := e.merged()
 	if s == nil || s.N == 0 {
 		panic("quantile: query on empty stream")
@@ -260,32 +267,32 @@ func (e *Estimator) QueryRank(r int64) float32 {
 }
 
 // Summary exposes the merged snapshot, mainly for validation harnesses.
-func (e *Estimator) Summary() *summary.Summary { return e.merged() }
+func (e *Estimator[T]) Summary() *summary.Summary[T] { return e.merged() }
 
 // Snapshot is an immutable point-in-time view of a quantile estimator: a
 // handle on the merged GK summary of the moment. It is safe for concurrent
 // use and implements pipeline.View.
-type Snapshot struct {
-	sum *summary.Summary // nil when the snapshot covers an empty stream
+type Snapshot[T sorter.Value] struct {
+	sum *summary.Summary[T] // nil when the snapshot covers an empty stream
 	eps float64
 }
 
 // Snapshot returns an immutable view covering everything processed so far,
 // including the buffered partial window. The view never sees ingestion that
 // happens after this call.
-func (e *Estimator) Snapshot() pipeline.View {
-	return &Snapshot{sum: e.merged(), eps: e.eps}
+func (e *Estimator[T]) Snapshot() pipeline.View[T] {
+	return &Snapshot[T]{sum: e.merged(), eps: e.eps}
 }
 
 // NewSnapshot wraps an already-merged summary (may be nil for an empty
 // stream) as an immutable view. Sharded ingestion uses it to publish the
 // cross-shard merge.
-func NewSnapshot(sum *summary.Summary, eps float64) *Snapshot {
-	return &Snapshot{sum: sum, eps: eps}
+func NewSnapshot[T sorter.Value](sum *summary.Summary[T], eps float64) *Snapshot[T] {
+	return &Snapshot[T]{sum: sum, eps: eps}
 }
 
 // Count reports the stream length the snapshot covers.
-func (s *Snapshot) Count() int64 {
+func (s *Snapshot[T]) Count() int64 {
 	if s.sum == nil {
 		return 0
 	}
@@ -293,7 +300,7 @@ func (s *Snapshot) Count() int64 {
 }
 
 // Size reports the retained summary entries.
-func (s *Snapshot) Size() int {
+func (s *Snapshot[T]) Size() int {
 	if s.sum == nil {
 		return 0
 	}
@@ -301,11 +308,11 @@ func (s *Snapshot) Size() int {
 }
 
 // Eps reports the snapshot's error bound.
-func (s *Snapshot) Eps() float64 { return s.eps }
+func (s *Snapshot[T]) Eps() float64 { return s.eps }
 
 // Query returns an eps-approximate phi-quantile. It panics if the snapshot
 // covers an empty stream (use Quantile for the non-panicking form).
-func (s *Snapshot) Query(phi float64) float32 {
+func (s *Snapshot[T]) Query(phi float64) T {
 	if s.sum == nil || s.sum.N == 0 {
 		panic("quantile: query on empty stream")
 	}
@@ -314,7 +321,7 @@ func (s *Snapshot) Query(phi float64) float32 {
 
 // QueryRank returns a value whose rank is within eps*N of r. It panics if
 // the snapshot covers an empty stream.
-func (s *Snapshot) QueryRank(r int64) float32 {
+func (s *Snapshot[T]) QueryRank(r int64) T {
 	if s.sum == nil || s.sum.N == 0 {
 		panic("quantile: query on empty stream")
 	}
@@ -323,20 +330,21 @@ func (s *Snapshot) QueryRank(r int64) float32 {
 
 // Summary exposes the underlying merged summary (nil for an empty stream).
 // Callers must treat it as read-only.
-func (s *Snapshot) Summary() *summary.Summary { return s.sum }
+func (s *Snapshot[T]) Summary() *summary.Summary[T] { return s.sum }
 
 // Quantile implements pipeline.View; ok is false on an empty stream.
-func (s *Snapshot) Quantile(phi float64) (float32, bool) {
+func (s *Snapshot[T]) Quantile(phi float64) (T, bool) {
 	if s.sum == nil || s.sum.N == 0 {
-		return 0, false
+		var z T
+		return z, false
 	}
 	return s.sum.Query(phi), true
 }
 
 // HeavyHitters implements pipeline.View; quantile sketches do not answer
 // frequency queries.
-func (s *Snapshot) HeavyHitters(float64) ([]pipeline.Item, bool) { return nil, false }
+func (s *Snapshot[T]) HeavyHitters(float64) ([]pipeline.Item[T], bool) { return nil, false }
 
 // Frequency implements pipeline.View; quantile sketches do not answer
 // point-frequency queries.
-func (s *Snapshot) Frequency(float32) (int64, bool) { return 0, false }
+func (s *Snapshot[T]) Frequency(T) (int64, bool) { return 0, false }

@@ -10,13 +10,13 @@ import (
 	"gpustream/internal/summary"
 )
 
-func newCPU(eps float64, cap int64, opts ...Option) *Estimator {
-	return NewEstimator(eps, cap, cpusort.QuicksortSorter{}, opts...)
+func newCPU(eps float64, cap int64, opts ...Option) *Estimator[float32] {
+	return NewEstimator(eps, cap, cpusort.QuicksortSorter[float32]{}, opts...)
 }
 
 // rankError returns the normalized error of the estimator against the full
 // data, probing a grid of quantiles.
-func rankError(t *testing.T, e *Estimator, data []float32) float64 {
+func rankError(t *testing.T, e *Estimator[float32], data []float32) float64 {
 	t.Helper()
 	s := e.Summary()
 	if s.N != int64(len(data)) {
@@ -87,7 +87,7 @@ func TestEstimatorGPUBackendMatchesCPU(t *testing.T) {
 	const eps = 0.02
 	data := stream.Uniform(20000, 6)
 	cpu := newCPU(eps, 20000)
-	gpu := NewEstimator(eps, 20000, gpusort.NewSorter())
+	gpu := NewEstimator(eps, 20000, gpusort.NewSorter[float32]())
 	cpu.ProcessSlice(data)
 	gpu.ProcessSlice(data)
 	for _, phi := range []float64{0.01, 0.25, 0.5, 0.75, 0.99} {
@@ -156,8 +156,8 @@ func TestEstimatorDeepStreamBeyondLevels(t *testing.T) {
 
 func TestEstimatorPanics(t *testing.T) {
 	for _, fn := range []func(){
-		func() { NewEstimator(0, 10, cpusort.QuicksortSorter{}) },
-		func() { NewEstimator(1.5, 10, cpusort.QuicksortSorter{}) },
+		func() { NewEstimator(0, 10, cpusort.QuicksortSorter[float32]{}) },
+		func() { NewEstimator(1.5, 10, cpusort.QuicksortSorter[float32]{}) },
 		func() { newCPU(0.1, 10).Query(0.5) }, // empty stream
 		func() { newCPU(0.1, 10, WithWindow(0)) },
 	} {
@@ -189,7 +189,7 @@ func TestGKBaselineComparable(t *testing.T) {
 	const eps = 0.02
 	data := stream.Uniform(20000, 11)
 	e := newCPU(eps, 20000)
-	gk := summary.NewGK(eps)
+	gk := summary.NewGK[float32](eps)
 	for _, v := range data {
 		gk.Insert(v)
 	}

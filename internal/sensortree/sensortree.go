@@ -48,12 +48,12 @@ type Stats struct {
 // targets on gateway-class nodes).
 type Aggregator struct {
 	eps    float64
-	sorter sorter.Sorter
+	sorter sorter.Sorter[float32]
 }
 
 // NewAggregator returns an eps-approximate tree aggregator sorting local
 // observations with s.
-func NewAggregator(eps float64, s sorter.Sorter) *Aggregator {
+func NewAggregator(eps float64, s sorter.Sorter[float32]) *Aggregator {
 	if eps <= 0 || eps >= 1 {
 		panic(fmt.Sprintf("sensortree: eps %v out of (0, 1)", eps))
 	}
@@ -63,7 +63,7 @@ func NewAggregator(eps float64, s sorter.Sorter) *Aggregator {
 // Aggregate summarizes the whole tree rooted at root and returns the root
 // summary (answering quantile queries within eps of the union of all
 // observations) along with communication statistics.
-func (a *Aggregator) Aggregate(root *Node) (*summary.Summary, Stats) {
+func (a *Aggregator) Aggregate(root *Node) (*summary.Summary[float32], Stats) {
 	if root == nil {
 		panic("sensortree: nil root")
 	}
@@ -78,9 +78,9 @@ func (a *Aggregator) Aggregate(root *Node) (*summary.Summary, Stats) {
 	return s, st
 }
 
-func (a *Aggregator) aggregate(n *Node, budget int, st *Stats) *summary.Summary {
+func (a *Aggregator) aggregate(n *Node, budget int, st *Stats) *summary.Summary[float32] {
 	st.Nodes++
-	var acc *summary.Summary
+	var acc *summary.Summary[float32]
 	if len(n.Observations) > 0 {
 		local := append([]float32(nil), n.Observations...)
 		a.sorter.Sort(local)
@@ -102,7 +102,7 @@ func (a *Aggregator) aggregate(n *Node, budget int, st *Stats) *summary.Summary 
 		}
 	}
 	if acc == nil {
-		return &summary.Summary{Eps: a.eps / 2}
+		return &summary.Summary[float32]{Eps: a.eps / 2}
 	}
 	// Leaves forward their summary unpruned (it is already small);
 	// interior nodes prune after merging, paying eps/(2h) once per level.

@@ -30,7 +30,7 @@ func TestAggregateErrorBound(t *testing.T) {
 	for _, eps := range []float64{0.02, 0.05} {
 		seed := uint64(1)
 		root, all := buildTree(3, 3, 2000, &seed)
-		agg := NewAggregator(eps, cpusort.QuicksortSorter{})
+		agg := NewAggregator(eps, cpusort.QuicksortSorter[float32]{})
 		s, st := agg.Aggregate(root)
 		if s.N != int64(len(all)) {
 			t.Fatalf("root N = %d, want %d", s.N, len(all))
@@ -53,7 +53,7 @@ func TestMessageBound(t *testing.T) {
 	const eps = 0.05
 	seed := uint64(10)
 	root, _ := buildTree(4, 3, 5000, &seed)
-	agg := NewAggregator(eps, cpusort.QuicksortSorter{})
+	agg := NewAggregator(eps, cpusort.QuicksortSorter[float32]{})
 	_, st := agg.Aggregate(root)
 	h := root.Height()
 	// Messages are pruned to ceil(h/eps)+1 entries; leaves send their
@@ -77,7 +77,7 @@ func TestCommunicationFarBelowRaw(t *testing.T) {
 	// below shipping all raw readings up the tree.
 	seed := uint64(20)
 	root, all := buildTree(4, 2, 10000, &seed)
-	agg := NewAggregator(0.01, cpusort.QuicksortSorter{})
+	agg := NewAggregator(0.01, cpusort.QuicksortSorter[float32]{})
 	_, st := agg.Aggregate(root)
 	if st.MessageEntries*5 > len(all) {
 		t.Fatalf("communication %d entries not far below raw %d", st.MessageEntries, len(all))
@@ -93,7 +93,7 @@ func TestInteriorObservations(t *testing.T) {
 			{Observations: stream.Uniform(1000, 3)},
 		},
 	}
-	agg := NewAggregator(0.05, cpusort.QuicksortSorter{})
+	agg := NewAggregator(0.05, cpusort.QuicksortSorter[float32]{})
 	s, _ := agg.Aggregate(root)
 	if s.N != 3000 {
 		t.Fatalf("N = %d, want 3000", s.N)
@@ -102,7 +102,7 @@ func TestInteriorObservations(t *testing.T) {
 
 func TestEmptyNodes(t *testing.T) {
 	root := &Node{Children: []*Node{{}, {Observations: []float32{1, 2, 3}}}}
-	agg := NewAggregator(0.1, cpusort.QuicksortSorter{})
+	agg := NewAggregator(0.1, cpusort.QuicksortSorter[float32]{})
 	s, _ := agg.Aggregate(root)
 	if s.N != 3 {
 		t.Fatalf("N = %d", s.N)
@@ -114,7 +114,7 @@ func TestEmptyNodes(t *testing.T) {
 }
 
 func TestFullyEmptyTree(t *testing.T) {
-	agg := NewAggregator(0.1, cpusort.QuicksortSorter{})
+	agg := NewAggregator(0.1, cpusort.QuicksortSorter[float32]{})
 	s, st := agg.Aggregate(&Node{Children: []*Node{{}, {}}})
 	if s.N != 0 || st.Observations != 0 {
 		t.Fatalf("empty tree produced N=%d", s.N)
@@ -126,8 +126,8 @@ func TestGPUBackendMatchesCPU(t *testing.T) {
 	root, _ := buildTree(2, 2, 4096, &seed)
 	seed = 30
 	root2, _ := buildTree(2, 2, 4096, &seed)
-	cpuS, _ := NewAggregator(0.02, cpusort.QuicksortSorter{}).Aggregate(root)
-	gpuS, _ := NewAggregator(0.02, gpusort.NewSorter()).Aggregate(root2)
+	cpuS, _ := NewAggregator(0.02, cpusort.QuicksortSorter[float32]{}).Aggregate(root)
+	gpuS, _ := NewAggregator(0.02, gpusort.NewSorter[float32]()).Aggregate(root2)
 	for _, phi := range []float64{0.1, 0.5, 0.9} {
 		if cpuS.Query(phi) != gpuS.Query(phi) {
 			t.Fatalf("backends disagree at phi=%v", phi)
@@ -148,8 +148,8 @@ func TestHeight(t *testing.T) {
 
 func TestPanics(t *testing.T) {
 	for _, fn := range []func(){
-		func() { NewAggregator(0, cpusort.QuicksortSorter{}) },
-		func() { NewAggregator(0.1, cpusort.QuicksortSorter{}).Aggregate(nil) },
+		func() { NewAggregator(0, cpusort.QuicksortSorter[float32]{}) },
+		func() { NewAggregator(0.1, cpusort.QuicksortSorter[float32]{}).Aggregate(nil) },
 	} {
 		func() {
 			defer func() {

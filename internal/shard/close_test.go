@@ -13,7 +13,7 @@ import (
 func TestCloseContextDrains(t *testing.T) {
 	t.Parallel()
 	var processed atomic.Int64
-	p := newPool([]func([]float32){
+	p := newPool[float32]([]func([]float32){
 		func(b []float32) { processed.Add(int64(len(b))) },
 		func(b []float32) { processed.Add(int64(len(b))) },
 	}, WithBatchSize(8))
@@ -37,13 +37,13 @@ func TestCloseContextDrains(t *testing.T) {
 
 // TestCloseContextBackpressure wedges the single worker so its channel
 // fills, then closes with a short deadline: the drain must give up, drop
-// the un-handed-off buffer from the count, and still mark the pool closed.
+// the un-handed-off buffer from the count, and still mark the pool[float32] closed.
 // The values already dispatched are absorbed once the worker unblocks.
 func TestCloseContextBackpressure(t *testing.T) {
 	t.Parallel()
 	release := make(chan struct{})
 	var processed atomic.Int64
-	p := newPool([]func([]float32){func(b []float32) {
+	p := newPool[float32]([]func([]float32){func(b []float32) {
 		<-release
 		processed.Add(int64(len(b)))
 	}}, WithBatchSize(4))
@@ -88,7 +88,7 @@ func TestCloseContextBackpressure(t *testing.T) {
 func TestCloseContextWaitExpiry(t *testing.T) {
 	t.Parallel()
 	release := make(chan struct{})
-	p := newPool([]func([]float32){func(b []float32) { <-release }}, WithBatchSize(4))
+	p := newPool[float32]([]func([]float32){func(b []float32) { <-release }}, WithBatchSize(4))
 	for i := 0; i < 12; i++ { // exactly 3 dispatched batches, empty buffer
 		if err := p.Process(float32(i)); err != nil {
 			t.Fatal(err)

@@ -26,10 +26,10 @@ import (
 //
 // Queries and snapshots are safe against concurrent ingestion: each shard
 // estimator is internally synchronized by its pipeline core.
-type Frequency struct {
-	pool *pool
+type Frequency[T sorter.Value] struct {
+	pool *pool[T]
 	eps  float64
-	ests []*frequency.Estimator
+	ests []*frequency.Estimator[T]
 
 	queryMergeOps atomic.Int64
 }
@@ -38,64 +38,64 @@ type Frequency struct {
 // shards <= 0 selects runtime.GOMAXPROCS(0). newSorter is invoked once per
 // shard so stateful backends (the GPU simulator) are never shared across
 // goroutines.
-func NewFrequency(eps float64, shards int, newSorter func() sorter.Sorter, opts ...Option) *Frequency {
+func NewFrequency[T sorter.Value](eps float64, shards int, newSorter func() sorter.Sorter[T], opts ...Option) *Frequency[T] {
 	if eps <= 0 || eps >= 1 {
 		panic(fmt.Sprintf("shard: eps %v out of (0, 1)", eps))
 	}
 	k := Resolve(shards)
-	fq := &Frequency{eps: eps}
-	procs := make([]func([]float32), k)
+	fq := &Frequency[T]{eps: eps}
+	procs := make([]func([]T), k)
 	for i := 0; i < k; i++ {
 		est := frequency.NewEstimator(eps, newSorter())
 		fq.ests = append(fq.ests, est)
 		// The pool never closes shard estimators while workers still hand
 		// them batches, so ingestion here cannot fail.
-		procs[i] = func(b []float32) { _ = est.ProcessSlice(b) }
+		procs[i] = func(b []T) { _ = est.ProcessSlice(b) }
 	}
 	fq.pool = newPool(procs, opts...)
 	return fq
 }
 
 // Eps reports the configured error bound.
-func (fq *Frequency) Eps() float64 { return fq.eps }
+func (fq *Frequency[T]) Eps() float64 { return fq.eps }
 
 // Shards reports the number of shard workers.
-func (fq *Frequency) Shards() int { return fq.pool.Shards() }
+func (fq *Frequency[T]) Shards() int { return fq.pool.Shards() }
 
 // Count reports the number of stream elements ingested.
-func (fq *Frequency) Count() int64 { return fq.pool.Count() }
+func (fq *Frequency[T]) Count() int64 { return fq.pool.Count() }
 
 // Process ingests one stream element. After Close it returns an error
 // wrapping pipeline.ErrClosed.
-func (fq *Frequency) Process(v float32) error { return fq.pool.Process(v) }
+func (fq *Frequency[T]) Process(v T) error { return fq.pool.Process(v) }
 
 // ProcessSlice ingests a batch of stream elements. After Close it returns
 // an error wrapping pipeline.ErrClosed.
-func (fq *Frequency) ProcessSlice(data []float32) error { return fq.pool.ProcessSlice(data) }
+func (fq *Frequency[T]) ProcessSlice(data []T) error { return fq.pool.ProcessSlice(data) }
 
 // Flush dispatches buffered values and waits until every shard has absorbed
 // its in-flight batches.
-func (fq *Frequency) Flush() error { return fq.pool.Flush() }
+func (fq *Frequency[T]) Flush() error { return fq.pool.Flush() }
 
 // Close drains and stops the shard workers with no deadline. The estimator
 // remains queryable; further ingestion reports pipeline.ErrClosed.
-func (fq *Frequency) Close() error { return fq.pool.Close() }
+func (fq *Frequency[T]) Close() error { return fq.pool.Close() }
 
 // CloseContext is Close with a deadline: if ctx expires while the shards
 // are still absorbing backpressure, the remaining hand-off is abandoned and
 // the context error is returned wrapped. See pool.CloseContext.
-func (fq *Frequency) CloseContext(ctx context.Context) error { return fq.pool.CloseContext(ctx) }
+func (fq *Frequency[T]) CloseContext(ctx context.Context) error { return fq.pool.CloseContext(ctx) }
 
 // mergedEntries flushes, snapshots every shard, and merges the per-shard
 // summaries by value, summing estimated frequencies and undercount bounds.
 // It returns the merged entries (value-ascending) and the total stream
 // length.
-func (fq *Frequency) mergedEntries() ([]frequency.SummaryEntry, int64) {
+func (fq *Frequency[T]) mergedEntries() ([]frequency.SummaryEntry[T], int64) {
 	fq.pool.Flush()
-	var all []frequency.SummaryEntry
+	var all []frequency.SummaryEntry[T]
 	var n int64
 	for _, est := range fq.ests {
-		snap := est.Snapshot().(*frequency.Snapshot)
+		snap := est.Snapshot().(*frequency.Snapshot[T])
 		all = append(all, snap.Entries()...)
 		n += snap.Count()
 	}
@@ -115,7 +115,7 @@ func (fq *Frequency) mergedEntries() ([]frequency.SummaryEntry, int64) {
 
 // Snapshot returns an immutable point-in-time view over the merged shard
 // summaries. With K=1 the view is bit-identical to the serial estimator's.
-func (fq *Frequency) Snapshot() pipeline.View {
+func (fq *Frequency[T]) Snapshot() pipeline.View[T] {
 	if len(fq.ests) == 1 {
 		fq.pool.Flush()
 		return fq.ests[0].Snapshot()
@@ -127,7 +127,7 @@ func (fq *Frequency) Snapshot() pipeline.View {
 // Query returns every element whose merged estimated frequency is at least
 // (s - eps) * N, ordered by decreasing frequency. The result has no false
 // negatives: any element with true frequency >= s*N is present.
-func (fq *Frequency) Query(s float64) []frequency.Item {
+func (fq *Frequency[T]) Query(s float64) []frequency.Item[T] {
 	if s < 0 || s > 1 {
 		panic(fmt.Sprintf("shard: support %v out of [0, 1]", s))
 	}
@@ -137,10 +137,10 @@ func (fq *Frequency) Query(s float64) []frequency.Item {
 	}
 	entries, n := fq.mergedEntries()
 	thresh := (s - fq.eps) * float64(n)
-	var out []frequency.Item
+	var out []frequency.Item[T]
 	for _, e := range entries {
 		if float64(e.Freq) >= thresh {
-			out = append(out, frequency.Item{Value: e.Value, Freq: e.Freq})
+			out = append(out, frequency.Item[T]{Value: e.Value, Freq: e.Freq})
 		}
 	}
 	sort.Slice(out, func(i, j int) bool {
@@ -155,7 +155,7 @@ func (fq *Frequency) Query(s float64) []frequency.Item {
 // Estimate returns the merged estimated frequency of v (0 if no shard
 // tracks it). Estimates never exceed the true count and undercount it by at
 // most eps*N.
-func (fq *Frequency) Estimate(v float32) int64 {
+func (fq *Frequency[T]) Estimate(v T) int64 {
 	fq.pool.Flush()
 	var total int64
 	for _, est := range fq.ests {
@@ -166,7 +166,7 @@ func (fq *Frequency) Estimate(v float32) int64 {
 
 // TopK returns the k elements with the highest merged estimated
 // frequencies, ordered by decreasing frequency.
-func (fq *Frequency) TopK(k int) []frequency.Item {
+func (fq *Frequency[T]) TopK(k int) []frequency.Item[T] {
 	items := fq.Query(0)
 	if len(items) > k {
 		items = items[:k]
@@ -175,7 +175,7 @@ func (fq *Frequency) TopK(k int) []frequency.Item {
 }
 
 // SummarySize reports the total summary entries retained across shards.
-func (fq *Frequency) SummarySize() int {
+func (fq *Frequency[T]) SummarySize() int {
 	total := 0
 	for _, est := range fq.ests {
 		total += est.SummarySize()
@@ -186,7 +186,7 @@ func (fq *Frequency) SummarySize() int {
 // Stats sums the unified pipeline telemetry across shards, including each
 // worker's channel-wait time as Idle. Because shards run concurrently, the
 // stage durations reflect total work, not wall clock.
-func (fq *Frequency) Stats() pipeline.Stats {
+func (fq *Frequency[T]) Stats() pipeline.Stats {
 	var agg pipeline.Stats
 	for _, st := range fq.PerShardStats() {
 		agg.Add(st)
@@ -196,7 +196,7 @@ func (fq *Frequency) Stats() pipeline.Stats {
 
 // PerShardStats exposes each shard's unified pipeline telemetry; the shard
 // worker's channel-wait time is folded in as Idle.
-func (fq *Frequency) PerShardStats() []pipeline.Stats {
+func (fq *Frequency[T]) PerShardStats() []pipeline.Stats {
 	out := make([]pipeline.Stats, len(fq.ests))
 	for i, est := range fq.ests {
 		st := est.Stats()
@@ -208,11 +208,11 @@ func (fq *Frequency) PerShardStats() []pipeline.Stats {
 
 // QueryMergeOps reports the cumulative summary entries visited by
 // query-time cross-shard merges.
-func (fq *Frequency) QueryMergeOps() int64 { return fq.queryMergeOps.Load() }
+func (fq *Frequency[T]) QueryMergeOps() int64 { return fq.queryMergeOps.Load() }
 
 // ModeledTime converts the per-shard counters into modeled 2004-testbed
 // time for a K-way sharded run: concurrent shard ingestion plus the serial
 // query-time merge.
-func (fq *Frequency) ModeledTime(m perfmodel.Model, backend perfmodel.Backend) perfmodel.PipelineBreakdown {
+func (fq *Frequency[T]) ModeledTime(m perfmodel.Model, backend perfmodel.Backend) perfmodel.PipelineBreakdown {
 	return m.ShardedPipelineTime(fq.PerShardStats(), backend, fq.QueryMergeOps())
 }

@@ -4,54 +4,103 @@ import (
 	"math"
 	"sort"
 	"testing"
+
+	"gpustream/internal/cpusort"
+	"gpustream/internal/sorter"
 )
+
+// rankDistOf is rankDist at any element type.
+func rankDistOf[T sorter.Value](sortedRef []T, v T, r int64) int64 {
+	lo := int64(sort.Search(len(sortedRef), func(i int) bool { return sortedRef[i] >= v })) + 1
+	hi := int64(sort.Search(len(sortedRef), func(i int) bool { return sortedRef[i] > v }))
+	switch {
+	case r < lo:
+		return lo - r
+	case r > hi:
+		return r - hi
+	}
+	return 0
+}
+
+// checkShardedQuantile runs one sharded ingest at element type T and checks
+// the merged rank guarantee against a full sort.
+func checkShardedQuantile[T sorter.Value](t *testing.T, vals []T, k, batch int) {
+	t.Helper()
+	const eps = 0.1
+	n := int64(len(vals))
+	q := NewQuantile(eps, n, k, func() sorter.Sorter[T] { return cpusort.QuicksortSorter[T]{} }, WithBatchSize(batch))
+	q.ProcessSlice(vals)
+	q.Close()
+	if q.Count() != n {
+		t.Fatalf("Count=%d want %d", q.Count(), n)
+	}
+	if s := q.Summary(); s == nil || s.N != n {
+		t.Fatalf("merged summary N mismatch")
+	} else if err := s.Validate(); err != nil {
+		t.Fatalf("merged summary invalid: %v", err)
+	}
+	sorted := append([]T(nil), vals...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	for _, phi := range []float64{0, 0.25, 0.5, 0.75, 1} {
+		r := int64(math.Ceil(phi * float64(n)))
+		if r < 1 {
+			r = 1
+		}
+		v := q.Query(phi)
+		if d := rankDistOf(sorted, v, r); float64(d) > eps*float64(n)+1e-9 {
+			t.Fatalf("k=%d batch=%d phi=%g: rank error %d > eps*N=%g",
+				k, batch, phi, d, eps*float64(n))
+		}
+	}
+}
+
+// u64FromByte maps one fuzz byte to a uint64 stream value, steering a fifth
+// of the byte space onto the integer boundary cases: zero, MaxUint64, and
+// both sides of the MaxInt64 sign boundary — values no float64 (let alone
+// float32) can represent exactly.
+func u64FromByte(b byte) uint64 {
+	switch b % 16 {
+	case 0:
+		return 0
+	case 1:
+		return math.MaxUint64
+	case 2:
+		return math.MaxInt64 // 2^63 - 1
+	case 3:
+		return math.MaxInt64 + 1 // 2^63
+	default:
+		return uint64(b)<<56 | uint64(b)
+	}
+}
 
 // FuzzShardedQuantile feeds arbitrary byte streams through sharded
 // ingestion (shard count and batch size derived from the input) and checks
 // the merged rank guarantee against a full sort, mirroring the package's
-// other fuzz harnesses (internal/frequency, internal/stream).
+// other fuzz harnesses (internal/frequency, internal/stream). Every input
+// is run twice: once at float32 and once at uint64, where the byte-to-value
+// map pins the integer boundaries (0, MaxUint64, MaxInt64±1).
 func FuzzShardedQuantile(f *testing.F) {
 	f.Add([]byte{4, 1, 2, 3, 4, 5, 6, 7, 8, 9})
 	f.Add([]byte{1, 0, 0, 0})
 	f.Add([]byte{255, 9, 9, 9, 9, 1, 2, 3})
+	// Integer-boundary seeds: bytes 0..3 hit u64FromByte's special cases,
+	// so these streams mix 0, MaxUint64, and the MaxInt64 sign boundary.
+	f.Add([]byte{2, 3, 0, 1, 2, 3, 0, 1, 2, 3})
+	f.Add([]byte{3, 7, 1, 1, 1, 17, 2, 64, 3, 0})
+	f.Add([]byte{8, 2, 16, 0, 32, 1, 48, 2, 64, 3, 80})
 	f.Fuzz(func(t *testing.T, raw []byte) {
-		if len(raw) < 2 {
+		if len(raw) < 3 {
 			return
 		}
 		k := int(raw[0])%8 + 1
 		batch := int(raw[1])%16 + 1
-		vals := make([]float32, 0, len(raw)-2)
+		f32 := make([]float32, 0, len(raw)-2)
+		u64 := make([]uint64, 0, len(raw)-2)
 		for _, b := range raw[2:] {
-			vals = append(vals, float32(b%64))
+			f32 = append(f32, float32(b%64))
+			u64 = append(u64, u64FromByte(b))
 		}
-		if len(vals) == 0 {
-			return
-		}
-		const eps = 0.1
-		n := int64(len(vals))
-		q := NewQuantile(eps, n, k, cpuSorter, WithBatchSize(batch))
-		q.ProcessSlice(vals)
-		q.Close()
-		if q.Count() != n {
-			t.Fatalf("Count=%d want %d", q.Count(), n)
-		}
-		if s := q.Summary(); s == nil || s.N != n {
-			t.Fatalf("merged summary N mismatch")
-		} else if err := s.Validate(); err != nil {
-			t.Fatalf("merged summary invalid: %v", err)
-		}
-		sorted := append([]float32(nil), vals...)
-		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
-		for _, phi := range []float64{0, 0.25, 0.5, 0.75, 1} {
-			r := int64(math.Ceil(phi * float64(n)))
-			if r < 1 {
-				r = 1
-			}
-			v := q.Query(phi)
-			if d := rankDist(sorted, v, r); float64(d) > eps*float64(n)+1e-9 {
-				t.Fatalf("k=%d batch=%d phi=%g: rank error %d > eps*N=%g",
-					k, batch, phi, d, eps*float64(n))
-			}
-		}
+		checkShardedQuantile(t, f32, k, batch)
+		checkShardedQuantile(t, u64, k, batch)
 	})
 }

@@ -24,10 +24,10 @@ import (
 //
 // Queries and snapshots are safe against concurrent ingestion: each shard
 // estimator is internally synchronized by its pipeline core.
-type Quantile struct {
-	pool *pool
+type Quantile[T sorter.Value] struct {
+	pool *pool[T]
 	eps  float64
-	ests []*quantile.Estimator
+	ests []*quantile.Estimator[T]
 
 	queryMergeOps atomic.Int64
 }
@@ -36,7 +36,7 @@ type Quantile struct {
 // streams of up to capacity elements. shards <= 0 selects
 // runtime.GOMAXPROCS(0). newSorter is invoked once per shard so stateful
 // backends (the GPU simulator) are never shared across goroutines.
-func NewQuantile(eps float64, capacity int64, shards int, newSorter func() sorter.Sorter, opts ...Option) *Quantile {
+func NewQuantile[T sorter.Value](eps float64, capacity int64, shards int, newSorter func() sorter.Sorter[T], opts ...Option) *Quantile[T] {
 	if eps <= 0 || eps >= 1 {
 		panic(fmt.Sprintf("shard: eps %v out of (0, 1)", eps))
 	}
@@ -45,65 +45,65 @@ func NewQuantile(eps float64, capacity int64, shards int, newSorter func() sorte
 	if k > 1 {
 		shardEps = eps / 2
 	}
-	q := &Quantile{eps: eps}
-	procs := make([]func([]float32), k)
+	q := &Quantile[T]{eps: eps}
+	procs := make([]func([]T), k)
 	for i := 0; i < k; i++ {
 		est := quantile.NewEstimator(shardEps, capacity, newSorter())
 		q.ests = append(q.ests, est)
 		// The pool never closes shard estimators while workers still hand
 		// them batches, so ingestion here cannot fail.
-		procs[i] = func(b []float32) { _ = est.ProcessSlice(b) }
+		procs[i] = func(b []T) { _ = est.ProcessSlice(b) }
 	}
 	q.pool = newPool(procs, opts...)
 	return q
 }
 
 // Eps reports the configured end-to-end error bound.
-func (q *Quantile) Eps() float64 { return q.eps }
+func (q *Quantile[T]) Eps() float64 { return q.eps }
 
 // ShardEps reports the per-shard error budget (eps/2 for K > 1).
-func (q *Quantile) ShardEps() float64 { return q.ests[0].Eps() }
+func (q *Quantile[T]) ShardEps() float64 { return q.ests[0].Eps() }
 
 // Shards reports the number of shard workers.
-func (q *Quantile) Shards() int { return q.pool.Shards() }
+func (q *Quantile[T]) Shards() int { return q.pool.Shards() }
 
 // Count reports the number of stream elements ingested.
-func (q *Quantile) Count() int64 { return q.pool.Count() }
+func (q *Quantile[T]) Count() int64 { return q.pool.Count() }
 
 // Process ingests one stream element. After Close it returns an error
 // wrapping pipeline.ErrClosed.
-func (q *Quantile) Process(v float32) error { return q.pool.Process(v) }
+func (q *Quantile[T]) Process(v T) error { return q.pool.Process(v) }
 
 // ProcessSlice ingests a batch of stream elements. After Close it returns
 // an error wrapping pipeline.ErrClosed.
-func (q *Quantile) ProcessSlice(data []float32) error { return q.pool.ProcessSlice(data) }
+func (q *Quantile[T]) ProcessSlice(data []T) error { return q.pool.ProcessSlice(data) }
 
 // Flush dispatches buffered values and waits until every shard has absorbed
 // its in-flight batches.
-func (q *Quantile) Flush() error { return q.pool.Flush() }
+func (q *Quantile[T]) Flush() error { return q.pool.Flush() }
 
 // Close drains and stops the shard workers with no deadline. The estimator
 // remains queryable; further ingestion reports pipeline.ErrClosed.
-func (q *Quantile) Close() error { return q.pool.Close() }
+func (q *Quantile[T]) Close() error { return q.pool.Close() }
 
 // CloseContext is Close with a deadline: if ctx expires while the shards
 // are still absorbing backpressure, the remaining hand-off is abandoned and
 // the context error is returned wrapped. See pool.CloseContext.
-func (q *Quantile) CloseContext(ctx context.Context) error { return q.pool.CloseContext(ctx) }
+func (q *Quantile[T]) CloseContext(ctx context.Context) error { return q.pool.CloseContext(ctx) }
 
 // Summary flushes and returns the merged cross-shard summary (nil before
 // any data arrives), mainly for validation harnesses.
-func (q *Quantile) Summary() *summary.Summary { return q.snapshot() }
+func (q *Quantile[T]) Summary() *summary.Summary[T] { return q.snapshot() }
 
 // snapshot flushes the pipeline and merges the per-shard summaries. Each
 // shard estimator synchronizes internally, so this is safe against
 // concurrent ingestion; the result is immutable.
-func (q *Quantile) snapshot() *summary.Summary {
+func (q *Quantile[T]) snapshot() *summary.Summary[T] {
 	q.pool.Flush()
 	if len(q.ests) == 1 {
 		return q.ests[0].Summary()
 	}
-	var acc *summary.Summary
+	var acc *summary.Summary[T]
 	var mergeOps int64
 	for _, est := range q.ests {
 		s := est.Summary()
@@ -125,13 +125,13 @@ func (q *Quantile) snapshot() *summary.Summary {
 
 // Snapshot returns an immutable point-in-time view over the merged shard
 // summaries. With K=1 the view is bit-identical to the serial estimator's.
-func (q *Quantile) Snapshot() pipeline.View {
+func (q *Quantile[T]) Snapshot() pipeline.View[T] {
 	return quantile.NewSnapshot(q.snapshot(), q.eps)
 }
 
 // Query returns an eps-approximate phi-quantile of everything ingested so
 // far. It panics if the stream is empty.
-func (q *Quantile) Query(phi float64) float32 {
+func (q *Quantile[T]) Query(phi float64) T {
 	s := q.snapshot()
 	if s == nil || s.N == 0 {
 		panic("shard: quantile query on empty stream")
@@ -140,7 +140,7 @@ func (q *Quantile) Query(phi float64) float32 {
 }
 
 // QueryRank returns a value whose rank is within eps*N of r.
-func (q *Quantile) QueryRank(r int64) float32 {
+func (q *Quantile[T]) QueryRank(r int64) T {
 	s := q.snapshot()
 	if s == nil || s.N == 0 {
 		panic("shard: quantile query on empty stream")
@@ -150,7 +150,7 @@ func (q *Quantile) QueryRank(r int64) float32 {
 
 // SummaryEntries reports the total summary entries retained across shards,
 // the estimator's memory footprint.
-func (q *Quantile) SummaryEntries() int {
+func (q *Quantile[T]) SummaryEntries() int {
 	total := 0
 	for _, est := range q.ests {
 		total += est.SummaryEntries()
@@ -161,7 +161,7 @@ func (q *Quantile) SummaryEntries() int {
 // Stats sums the unified pipeline telemetry across shards, including each
 // worker's channel-wait time as Idle. Because shards run concurrently, the
 // stage durations reflect total work, not wall clock.
-func (q *Quantile) Stats() pipeline.Stats {
+func (q *Quantile[T]) Stats() pipeline.Stats {
 	var agg pipeline.Stats
 	for _, st := range q.PerShardStats() {
 		agg.Add(st)
@@ -171,7 +171,7 @@ func (q *Quantile) Stats() pipeline.Stats {
 
 // PerShardStats exposes each shard's unified pipeline telemetry; the shard
 // worker's channel-wait time is folded in as Idle.
-func (q *Quantile) PerShardStats() []pipeline.Stats {
+func (q *Quantile[T]) PerShardStats() []pipeline.Stats {
 	out := make([]pipeline.Stats, len(q.ests))
 	for i, est := range q.ests {
 		st := est.Stats()
@@ -183,11 +183,11 @@ func (q *Quantile) PerShardStats() []pipeline.Stats {
 
 // QueryMergeOps reports the cumulative summary entries visited by
 // query-time cross-shard merges.
-func (q *Quantile) QueryMergeOps() int64 { return q.queryMergeOps.Load() }
+func (q *Quantile[T]) QueryMergeOps() int64 { return q.queryMergeOps.Load() }
 
 // ModeledTime converts the per-shard counters into modeled 2004-testbed
 // time for a K-way sharded run: concurrent shard ingestion plus the serial
 // query-time merge.
-func (q *Quantile) ModeledTime(m perfmodel.Model, backend perfmodel.Backend) perfmodel.PipelineBreakdown {
+func (q *Quantile[T]) ModeledTime(m perfmodel.Model, backend perfmodel.Backend) perfmodel.PipelineBreakdown {
 	return m.ShardedPipelineTime(q.PerShardStats(), backend, q.QueryMergeOps())
 }

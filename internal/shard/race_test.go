@@ -7,7 +7,7 @@ import (
 	"testing"
 )
 
-// TestConcurrentIngestAndQuery stress-tests the pool under -race: several
+// TestConcurrentIngestAndQuery stress-tests the pool[float32] under -race: several
 // producer goroutines ingest concurrently while other goroutines issue
 // Query calls mid-stream; final answers must still satisfy the error bound.
 func TestConcurrentIngestAndQuery(t *testing.T) {

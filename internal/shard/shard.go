@@ -35,6 +35,7 @@ import (
 	"time"
 
 	"gpustream/internal/pipeline"
+	"gpustream/internal/sorter"
 )
 
 // DefaultBatchSize is the ingestion hand-off batch size: large enough that
@@ -79,27 +80,27 @@ func Resolve(shards int) int {
 // estimator. The estimator is internally synchronized (its pipeline core
 // carries the lock), so the worker needs no mutex of its own — query-time
 // snapshots from other goroutines interleave safely with ProcessSlice.
-type worker struct {
-	ch      chan []float32
-	process func([]float32)
+type worker[T sorter.Value] struct {
+	ch      chan []T
+	process func([]T)
 	// idle accumulates nanoseconds the worker goroutine spent blocked
 	// waiting for a batch. It feeds pipeline.Stats.Idle so shard starvation
 	// is visible in the unified telemetry.
 	idle atomic.Int64
 }
 
-func (w *worker) idleTime() time.Duration { return time.Duration(w.idle.Load()) }
+func (w *worker[T]) idleTime() time.Duration { return time.Duration(w.idle.Load()) }
 
 // pool fans batches out to the shard workers. Safe for concurrent use by
 // multiple producers; Flush and queries may run concurrently with ingestion.
-type pool struct {
+type pool[T sorter.Value] struct {
 	batch   int
-	workers []*worker
+	workers []*worker[T]
 	wg      sync.WaitGroup
 
 	mu       sync.Mutex // guards cur, next, inflight, total, closed
 	cond     *sync.Cond // signaled when inflight reaches zero
-	cur      []float32
+	cur      []T
 	next     int
 	inflight int
 	total    int64
@@ -107,16 +108,16 @@ type pool struct {
 }
 
 // newPool starts one worker goroutine per processor.
-func newPool(processors []func([]float32), opts ...Option) *pool {
+func newPool[T sorter.Value](processors []func([]T), opts ...Option) *pool[T] {
 	cfg := config{batch: DefaultBatchSize}
 	for _, o := range opts {
 		o(&cfg)
 	}
-	p := &pool{batch: cfg.batch}
+	p := &pool[T]{batch: cfg.batch}
 	p.cond = sync.NewCond(&p.mu)
-	p.cur = make([]float32, 0, p.batch)
+	p.cur = make([]T, 0, p.batch)
 	for _, proc := range processors {
-		w := &worker{ch: make(chan []float32, 2), process: proc}
+		w := &worker[T]{ch: make(chan []T, 2), process: proc}
 		p.workers = append(p.workers, w)
 		p.wg.Add(1)
 		go p.run(w)
@@ -124,7 +125,7 @@ func newPool(processors []func([]float32), opts ...Option) *pool {
 	return p
 }
 
-func (p *pool) run(w *worker) {
+func (p *pool[T]) run(w *worker[T]) {
 	defer p.wg.Done()
 	for {
 		t0 := time.Now()
@@ -150,9 +151,9 @@ func (p *pool) run(w *worker) {
 // cancellable ctx the send is abandoned on expiry — the batch's values are
 // dropped and subtracted from the ingest total — and the context error is
 // returned.
-func (p *pool) dispatchLocked(ctx context.Context) error {
+func (p *pool[T]) dispatchLocked(ctx context.Context) error {
 	b := p.cur
-	p.cur = make([]float32, 0, p.batch)
+	p.cur = make([]T, 0, p.batch)
 	w := p.workers[p.next]
 	p.next = (p.next + 1) % len(p.workers)
 	p.inflight++
@@ -180,7 +181,7 @@ func (p *pool) dispatchLocked(ctx context.Context) error {
 
 // Process ingests one value. After Close it returns an error wrapping
 // pipeline.ErrClosed.
-func (p *pool) Process(v float32) error {
+func (p *pool[T]) Process(v T) error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if p.closed {
@@ -197,7 +198,7 @@ func (p *pool) Process(v float32) error {
 // ProcessSlice ingests a batch of values. The slice is copied into the
 // hand-off buffer, so the caller may reuse it immediately. After Close it
 // returns an error wrapping pipeline.ErrClosed.
-func (p *pool) ProcessSlice(data []float32) error {
+func (p *pool[T]) ProcessSlice(data []T) error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if p.closed {
@@ -221,7 +222,7 @@ func (p *pool) ProcessSlice(data []float32) error {
 // Flush dispatches any buffered values and blocks until every dispatched
 // batch has been absorbed by its shard estimator. While Flush holds the
 // ingest lock new producers stall, so the drain is guaranteed to terminate.
-func (p *pool) Flush() error {
+func (p *pool[T]) Flush() error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if len(p.cur) > 0 && !p.closed {
@@ -234,7 +235,7 @@ func (p *pool) Flush() error {
 }
 
 // Close drains and stops the workers with no deadline; it never fails.
-func (p *pool) Close() error { return p.CloseContext(context.Background()) }
+func (p *pool[T]) Close() error { return p.CloseContext(context.Background()) }
 
 // CloseContext drains buffered and in-flight batches into the shard
 // estimators, stops the worker goroutines, and waits for them to exit. The
@@ -245,7 +246,7 @@ func (p *pool) Close() error { return p.CloseContext(context.Background()) }
 // the pool is closed afterwards — the estimator remains queryable and
 // further ingestion reports pipeline.ErrClosed. CloseContext is idempotent
 // and must not race with Process/ProcessSlice.
-func (p *pool) CloseContext(ctx context.Context) error {
+func (p *pool[T]) CloseContext(ctx context.Context) error {
 	p.mu.Lock()
 	if p.closed {
 		p.mu.Unlock()
@@ -300,14 +301,14 @@ func (p *pool) CloseContext(ctx context.Context) error {
 
 // Count reports the number of values ingested, including any still buffered
 // or in flight.
-func (p *pool) Count() int64 {
+func (p *pool[T]) Count() int64 {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	return p.total
 }
 
 // Shards reports the number of shard workers.
-func (p *pool) Shards() int { return len(p.workers) }
+func (p *pool[T]) Shards() int { return len(p.workers) }
 
 // BatchSize reports the hand-off batch size.
-func (p *pool) BatchSize() int { return p.batch }
+func (p *pool[T]) BatchSize() int { return p.batch }

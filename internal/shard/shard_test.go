@@ -14,7 +14,7 @@ import (
 	"gpustream/internal/sorter"
 )
 
-func cpuSorter() sorter.Sorter { return cpusort.QuicksortSorter{} }
+func cpuSorter() sorter.Sorter[float32] { return cpusort.QuicksortSorter[float32]{} }
 
 // rankDist measures how far v's true rank range in sortedRef is from the
 // target rank r (0 when r falls inside the range).
@@ -105,7 +105,7 @@ func TestShardedFrequencyNoFalseNegatives(t *testing.T) {
 				fq := NewFrequency(eps, k, cpuSorter, WithBatchSize(777))
 				fq.ProcessSlice(data)
 				fq.Close()
-				exact := frequency.NewExact()
+				exact := frequency.NewExact[float32]()
 				exact.ProcessSlice(data)
 				s := 4 * eps // support threshold
 				reported := make(map[float32]bool)

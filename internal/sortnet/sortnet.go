@@ -9,7 +9,11 @@
 // onto GPU quads.
 package sortnet
 
-import "fmt"
+import (
+	"fmt"
+
+	"gpustream/internal/sorter"
+)
 
 // Comparator orders the pair (I, J): after it fires, position I holds the
 // smaller value and position J the larger.
@@ -34,8 +38,9 @@ func (n *Network) Comparators() int {
 	return total
 }
 
-// Apply executes the network on data in place. It panics if len(data) != N.
-func (n *Network) Apply(data []float32) {
+// Apply executes the network on data in place. The schedule is pure data, so
+// one Network drives any ordered element type. It panics if len(data) != n.N.
+func Apply[T sorter.Value](n *Network, data []T) {
 	if len(data) != n.N {
 		panic(fmt.Sprintf("sortnet: Apply on %d values with a %d-input network", len(data), n.N))
 	}
@@ -188,9 +193,9 @@ func Bitonic(n int) *Network {
 	return net
 }
 
-// PadPow2 pads data up to the next power of two with pad (typically +Inf so
-// padding sorts to the end) and returns the padded slice and original length.
-func PadPow2(data []float32, pad float32) []float32 {
+// PadPow2 pads data up to the next power of two with pad (typically the
+// type's maximum so padding sorts to the end) and returns the padded slice.
+func PadPow2[T sorter.Value](data []T, pad T) []T {
 	n := len(data)
 	if isPow2(n) {
 		return data
@@ -199,7 +204,7 @@ func PadPow2(data []float32, pad float32) []float32 {
 	for m < n {
 		m <<= 1
 	}
-	out := make([]float32, m)
+	out := make([]T, m)
 	copy(out, data)
 	for i := n; i < m; i++ {
 		out[i] = pad

@@ -68,7 +68,7 @@ func TestNetworksSortRandomInputs(t *testing.T) {
 					s ^= s << 17
 					data[i] = float32(int32(s))
 				}
-				net.Apply(data)
+				Apply(net, data)
 				return sort.SliceIsSorted(data, func(i, j int) bool { return data[i] < data[j] })
 			}
 			if err := quick.Check(prop, &quick.Config{MaxCount: 20}); err != nil {
@@ -82,7 +82,7 @@ func TestNetworksSortDuplicatesAndExtremes(t *testing.T) {
 	data := []float32{3, 3, 1, float32(math.Inf(1)), -2, 3, float32(math.Inf(-1)), 0}
 	for _, build := range []func(int) *Network{PBSN, Bitonic} {
 		d := append([]float32(nil), data...)
-		build(len(d)).Apply(d)
+		Apply(build(len(d)), d)
 		if !sort.SliceIsSorted(d, func(i, j int) bool { return d[i] < d[j] }) {
 			t.Fatalf("network failed on duplicates/extremes: %v", d)
 		}
@@ -129,7 +129,7 @@ func TestApplyPanicsOnSizeMismatch(t *testing.T) {
 			t.Fatal("no panic")
 		}
 	}()
-	PBSN(8).Apply(make([]float32, 7))
+	Apply(PBSN(8), make([]float32, 7))
 }
 
 func TestBuildersPanicOnNonPow2(t *testing.T) {
@@ -197,7 +197,7 @@ func TestOddEvenMergeSortsRandom(t *testing.T) {
 			s ^= s << 17
 			data[i] = float32(int32(s))
 		}
-		net.Apply(data)
+		Apply(net, data)
 		if !sort.SliceIsSorted(data, func(i, j int) bool { return data[i] < data[j] }) {
 			t.Fatalf("OddEvenMerge(%d) failed to sort", n)
 		}

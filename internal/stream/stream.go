@@ -6,35 +6,42 @@
 // package generates deterministic synthetic equivalents: uniform, Zipfian,
 // Gaussian, sorted, nearly-sorted and bursty value streams. All generators
 // are seeded so experiments are reproducible run to run.
+//
+// Sources and generators are generic over the stack's ordered value types;
+// the unsuffixed generator names are float32 conveniences (the paper's
+// native stream type) over the *Of forms.
 package stream
 
 import (
 	"math"
+
+	"gpustream/internal/sorter"
 )
 
-// Source is a pull-based stream of float32 values. Next reports the next
-// element and whether one was available; once it returns false the stream is
+// Source is a pull-based stream of values. Next reports the next element
+// and whether one was available; once it returns false the stream is
 // exhausted and further calls keep returning false.
-type Source interface {
-	Next() (float32, bool)
+type Source[T sorter.Value] interface {
+	Next() (T, bool)
 }
 
 // SliceSource adapts an in-memory slice to a Source.
-type SliceSource struct {
-	data []float32
+type SliceSource[T sorter.Value] struct {
+	data []T
 	pos  int
 }
 
 // NewSliceSource returns a Source that yields the elements of data in order.
 // The slice is not copied.
-func NewSliceSource(data []float32) *SliceSource {
-	return &SliceSource{data: data}
+func NewSliceSource[T sorter.Value](data []T) *SliceSource[T] {
+	return &SliceSource[T]{data: data}
 }
 
 // Next implements Source.
-func (s *SliceSource) Next() (float32, bool) {
+func (s *SliceSource[T]) Next() (T, bool) {
 	if s.pos >= len(s.data) {
-		return 0, false
+		var z T
+		return z, false
 	}
 	v := s.data[s.pos]
 	s.pos++
@@ -42,12 +49,12 @@ func (s *SliceSource) Next() (float32, bool) {
 }
 
 // Remaining reports how many elements have not yet been consumed.
-func (s *SliceSource) Remaining() int { return len(s.data) - s.pos }
+func (s *SliceSource[T]) Remaining() int { return len(s.data) - s.pos }
 
 // Collect drains up to max elements from src into a new slice. A negative max
 // drains the entire source.
-func Collect(src Source, max int) []float32 {
-	var out []float32
+func Collect[T sorter.Value](src Source[T], max int) []T {
+	var out []T
 	for max < 0 || len(out) < max {
 		v, ok := src.Next()
 		if !ok {
@@ -60,21 +67,22 @@ func Collect(src Source, max int) []float32 {
 
 // FuncSource adapts a generator function to a Source. The function is called
 // once per element until the configured count is exhausted.
-type FuncSource struct {
+type FuncSource[T sorter.Value] struct {
 	n   int
 	pos int
-	fn  func(i int) float32
+	fn  func(i int) T
 }
 
 // NewFuncSource returns a Source yielding fn(0), fn(1), ..., fn(n-1).
-func NewFuncSource(n int, fn func(i int) float32) *FuncSource {
-	return &FuncSource{n: n, fn: fn}
+func NewFuncSource[T sorter.Value](n int, fn func(i int) T) *FuncSource[T] {
+	return &FuncSource[T]{n: n, fn: fn}
 }
 
 // Next implements Source.
-func (s *FuncSource) Next() (float32, bool) {
+func (s *FuncSource[T]) Next() (T, bool) {
 	if s.pos >= s.n {
-		return 0, false
+		var z T
+		return z, false
 	}
 	v := s.fn(s.pos)
 	s.pos++
@@ -129,62 +137,97 @@ func (r *RNG) NormFloat64() float64 {
 	return math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
 }
 
-// Uniform generates n values drawn uniformly from [0, 1).
-func Uniform(n int, seed uint64) []float32 {
+// UniformOf generates n values by converting uniform draws from [0, 1) to T.
+// Meaningful for the floating-point instantiations; integer T truncates
+// every draw to zero — use UniformIntsOf for discrete item streams.
+func UniformOf[T sorter.Value](n int, seed uint64) []T {
 	r := NewRNG(seed)
-	out := make([]float32, n)
+	out := make([]T, n)
 	for i := range out {
-		out[i] = float32(r.Float64())
+		out[i] = T(r.Float64())
 	}
 	return out
 }
 
-// UniformInts generates n values drawn uniformly from {0, 1, ..., vocab-1},
-// stored as float32 item identifiers. This is the workload used for
+// Uniform generates n float32 values drawn uniformly from [0, 1).
+func Uniform(n int, seed uint64) []float32 { return UniformOf[float32](n, seed) }
+
+// UniformIntsOf generates n values drawn uniformly from {0, 1, ...,
+// vocab-1}, stored as T item identifiers. This is the workload used for
 // frequency-estimation experiments, where streams carry discrete items.
+func UniformIntsOf[T sorter.Value](n, vocab int, seed uint64) []T {
+	r := NewRNG(seed)
+	out := make([]T, n)
+	for i := range out {
+		out[i] = T(r.Intn(vocab))
+	}
+	return out
+}
+
+// UniformInts is UniformIntsOf at float32.
 func UniformInts(n, vocab int, seed uint64) []float32 {
+	return UniformIntsOf[float32](n, vocab, seed)
+}
+
+// UniformU64 generates n identifiers drawn uniformly from the full 64-bit
+// key space — the timestamp/flow-key workload for the integer
+// instantiations, with values far outside any float's exact-integer range.
+func UniformU64(n int, seed uint64) []uint64 {
 	r := NewRNG(seed)
-	out := make([]float32, n)
+	out := make([]uint64, n)
 	for i := range out {
-		out[i] = float32(r.Intn(vocab))
+		out[i] = r.Uint64()
 	}
 	return out
 }
 
-// Gaussian generates n values from a normal distribution with the given mean
-// and standard deviation.
+// GaussianOf generates n values from a normal distribution with the given
+// mean and standard deviation, converted to T (integer instantiations
+// truncate toward zero).
+func GaussianOf[T sorter.Value](n int, mean, stddev float64, seed uint64) []T {
+	r := NewRNG(seed)
+	out := make([]T, n)
+	for i := range out {
+		out[i] = T(mean + stddev*r.NormFloat64())
+	}
+	return out
+}
+
+// Gaussian is GaussianOf at float32.
 func Gaussian(n int, mean, stddev float64, seed uint64) []float32 {
-	r := NewRNG(seed)
-	out := make([]float32, n)
+	return GaussianOf[float32](n, mean, stddev, seed)
+}
+
+// SortedOf generates n non-decreasing values (strictly increasing while i
+// stays within T's exact-integer range), an adversarial input for naive
+// quicksort pivoting and a best case for nearly-sorted-aware sorts.
+func SortedOf[T sorter.Value](n int) []T {
+	out := make([]T, n)
 	for i := range out {
-		out[i] = float32(mean + stddev*r.NormFloat64())
+		out[i] = T(i)
 	}
 	return out
 }
 
-// Sorted generates n strictly increasing values, an adversarial input for
-// naive quicksort pivoting and a best case for nearly-sorted-aware sorts.
-func Sorted(n int) []float32 {
-	out := make([]float32, n)
+// Sorted is SortedOf at float32.
+func Sorted(n int) []float32 { return SortedOf[float32](n) }
+
+// ReverseSortedOf generates n non-increasing values.
+func ReverseSortedOf[T sorter.Value](n int) []T {
+	out := make([]T, n)
 	for i := range out {
-		out[i] = float32(i)
+		out[i] = T(n - i)
 	}
 	return out
 }
 
-// ReverseSorted generates n strictly decreasing values.
-func ReverseSorted(n int) []float32 {
-	out := make([]float32, n)
-	for i := range out {
-		out[i] = float32(n - i)
-	}
-	return out
-}
+// ReverseSorted is ReverseSortedOf at float32.
+func ReverseSorted(n int) []float32 { return ReverseSortedOf[float32](n) }
 
-// NearlySorted generates an ascending sequence in which a fraction frac of
+// NearlySortedOf generates an ascending sequence in which a fraction frac of
 // randomly chosen pairs have been swapped.
-func NearlySorted(n int, frac float64, seed uint64) []float32 {
-	out := Sorted(n)
+func NearlySortedOf[T sorter.Value](n int, frac float64, seed uint64) []T {
+	out := SortedOf[T](n)
 	r := NewRNG(seed)
 	swaps := int(frac * float64(n))
 	for s := 0; s < swaps; s++ {
@@ -194,11 +237,17 @@ func NearlySorted(n int, frac float64, seed uint64) []float32 {
 	return out
 }
 
-// Zipf generates n item identifiers from a Zipfian distribution with exponent
-// s over a vocabulary of the given size. Identifier 0 is the most frequent.
-// This is the canonical skewed workload for heavy-hitter queries: a small
-// number of items dominate the stream, as in network-traffic and web logs.
-func Zipf(n int, s float64, vocab int, seed uint64) []float32 {
+// NearlySorted is NearlySortedOf at float32.
+func NearlySorted(n int, frac float64, seed uint64) []float32 {
+	return NearlySortedOf[float32](n, frac, seed)
+}
+
+// ZipfOf generates n item identifiers from a Zipfian distribution with
+// exponent s over a vocabulary of the given size. Identifier 0 is the most
+// frequent. This is the canonical skewed workload for heavy-hitter queries:
+// a small number of items dominate the stream, as in network-traffic and
+// web logs.
+func ZipfOf[T sorter.Value](n int, s float64, vocab int, seed uint64) []T {
 	if vocab <= 0 {
 		panic("stream: Zipf with non-positive vocabulary")
 	}
@@ -213,7 +262,7 @@ func Zipf(n int, s float64, vocab int, seed uint64) []float32 {
 		cdf[i] /= sum
 	}
 	r := NewRNG(seed)
-	out := make([]float32, n)
+	out := make([]T, n)
 	for i := range out {
 		u := r.Float64()
 		lo, hi := 0, vocab-1
@@ -225,22 +274,28 @@ func Zipf(n int, s float64, vocab int, seed uint64) []float32 {
 				hi = mid
 			}
 		}
-		out[i] = float32(lo)
+		out[i] = T(lo)
 	}
 	return out
 }
 
-// Bursty generates a stream whose value distribution shifts between periods:
-// long stretches of uniform background traffic interrupted by bursts during
-// which a single "hot" item dominates. It models the irregular arrival
-// patterns the paper cites as a motivation for faster stream processing.
-func Bursty(n, vocab, burstLen int, burstProb float64, seed uint64) []float32 {
+// Zipf is ZipfOf at float32.
+func Zipf(n int, s float64, vocab int, seed uint64) []float32 {
+	return ZipfOf[float32](n, s, vocab, seed)
+}
+
+// BurstyOf generates a stream whose value distribution shifts between
+// periods: long stretches of uniform background traffic interrupted by
+// bursts during which a single "hot" item dominates. It models the irregular
+// arrival patterns the paper cites as a motivation for faster stream
+// processing.
+func BurstyOf[T sorter.Value](n, vocab, burstLen int, burstProb float64, seed uint64) []T {
 	r := NewRNG(seed)
-	out := make([]float32, n)
+	out := make([]T, n)
 	i := 0
 	for i < n {
 		if r.Float64() < burstProb {
-			hot := float32(r.Intn(vocab))
+			hot := T(r.Intn(vocab))
 			end := i + burstLen
 			if end > n {
 				end = n
@@ -250,8 +305,13 @@ func Bursty(n, vocab, burstLen int, burstProb float64, seed uint64) []float32 {
 			}
 			continue
 		}
-		out[i] = float32(r.Intn(vocab))
+		out[i] = T(r.Intn(vocab))
 		i++
 	}
 	return out
+}
+
+// Bursty is BurstyOf at float32.
+func Bursty(n, vocab, burstLen int, burstProb float64, seed uint64) []float32 {
+	return BurstyOf[float32](n, vocab, burstLen, burstProb, seed)
 }

@@ -43,7 +43,7 @@ func TestFuncSource(t *testing.T) {
 	want := []float32{0, 1, 4, 9}
 	for i := range want {
 		if got[i] != want[i] {
-			t.Fatalf("FuncSource yielded %v, want %v", got, want)
+			t.Fatalf("FuncSource[float32] yielded %v, want %v", got, want)
 		}
 	}
 }
@@ -228,7 +228,7 @@ func TestBursty(t *testing.T) {
 
 func TestWindower(t *testing.T) {
 	src := NewSliceSource([]float32{1, 2, 3, 4, 5})
-	w := NewWindower(src, 2)
+	w := NewWindower[float32](src, 2)
 	var sizes []int
 	for {
 		win, ok := w.Next()
@@ -245,10 +245,10 @@ func TestWindower(t *testing.T) {
 func TestWindowerPanicsOnBadSize(t *testing.T) {
 	defer func() {
 		if recover() == nil {
-			t.Fatal("NewWindower(0) did not panic")
+			t.Fatal("NewWindower[float32](0) did not panic")
 		}
 	}()
-	NewWindower(NewSliceSource(nil), 0)
+	NewWindower[float32](NewSliceSource[float32](nil), 0)
 }
 
 func TestEachWindowCoversAll(t *testing.T) {

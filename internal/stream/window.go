@@ -1,26 +1,28 @@
 package stream
 
+import "gpustream/internal/sorter"
+
 // Windower slices a Source into fixed-size windows, the unit of work for the
 // paper's window-based summary algorithms (Section 3.2). The final window may
 // be short if the stream length is not a multiple of the window size.
-type Windower struct {
-	src Source
-	buf []float32
+type Windower[T sorter.Value] struct {
+	src Source[T]
+	buf []T
 }
 
 // NewWindower returns a Windower producing windows of size w from src.
 // It panics if w <= 0.
-func NewWindower(src Source, w int) *Windower {
+func NewWindower[T sorter.Value](src Source[T], w int) *Windower[T] {
 	if w <= 0 {
 		panic("stream: window size must be positive")
 	}
-	return &Windower{src: src, buf: make([]float32, 0, w)}
+	return &Windower[T]{src: src, buf: make([]T, 0, w)}
 }
 
 // Next returns the next window. The returned slice is reused between calls;
 // callers that retain a window across calls must copy it. ok is false once
 // the stream is exhausted.
-func (w *Windower) Next() (win []float32, ok bool) {
+func (w *Windower[T]) Next() (win []T, ok bool) {
 	w.buf = w.buf[:0]
 	for len(w.buf) < cap(w.buf) {
 		v, more := w.src.Next()
@@ -37,7 +39,7 @@ func (w *Windower) Next() (win []float32, ok bool) {
 
 // EachWindow invokes fn for every size-w window of data, including a final
 // short window. The slice passed to fn aliases data.
-func EachWindow(data []float32, w int, fn func(win []float32)) {
+func EachWindow[T sorter.Value](data []T, w int, fn func(win []T)) {
 	if w <= 0 {
 		panic("stream: window size must be positive")
 	}

@@ -35,7 +35,7 @@ func BenchmarkGKInsert(b *testing.B) {
 	data := stream.Uniform(1<<16, 5)
 	b.SetBytes(4)
 	b.ResetTimer()
-	g := NewGK(0.01)
+	g := NewGK[float32](0.01)
 	for i := 0; i < b.N; i++ {
 		g.Insert(data[i%len(data)])
 	}

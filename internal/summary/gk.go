@@ -3,12 +3,14 @@ package summary
 import (
 	"fmt"
 	"math"
+
+	"gpustream/internal/sorter"
 )
 
 // gkTuple is one tuple of the classic streaming Greenwald-Khanna summary:
 // value v, g = rmin(v) - rmin(prev), delta = rmax(v) - rmin(v).
-type gkTuple struct {
-	v     float32
+type gkTuple[T sorter.Value] struct {
+	v     T
 	g     int64
 	delta int64
 }
@@ -18,28 +20,28 @@ type gkTuple struct {
 // (Section 5.2) outperforms it in practice because it inserts far fewer
 // elements into the summary; GK is kept as the single-element-insertion
 // baseline for that comparison (Section 3.2).
-type GK struct {
+type GK[T sorter.Value] struct {
 	eps      float64
 	n        int64
-	tuples   []gkTuple
+	tuples   []gkTuple[T]
 	sinceCmp int64
 	every    int64 // compress interval in inserts
 }
 
 // NewGK returns an empty eps-approximate streaming summary that compresses
 // every 1/(2*eps) inserts, the standard schedule.
-func NewGK(eps float64) *GK {
+func NewGK[T sorter.Value](eps float64) *GK[T] {
 	if eps <= 0 || eps >= 1 {
 		panic(fmt.Sprintf("summary: GK eps %v out of (0, 1)", eps))
 	}
-	return &GK{eps: eps, every: int64(1 / (2 * eps))}
+	return &GK[T]{eps: eps, every: int64(1 / (2 * eps))}
 }
 
 // NewGKCompressEvery returns a GK summary compressing every `every`
 // inserts. Less frequent compression trades memory for insert throughput;
 // the compress-interval ablation bench sweeps this knob.
-func NewGKCompressEvery(eps float64, every int64) *GK {
-	g := NewGK(eps)
+func NewGKCompressEvery[T sorter.Value](eps float64, every int64) *GK[T] {
+	g := NewGK[T](eps)
 	if every < 1 {
 		panic("summary: compress interval must be positive")
 	}
@@ -48,13 +50,13 @@ func NewGKCompressEvery(eps float64, every int64) *GK {
 }
 
 // Count reports the number of inserted elements.
-func (g *GK) Count() int64 { return g.n }
+func (g *GK[T]) Count() int64 { return g.n }
 
 // Size reports the number of retained tuples.
-func (g *GK) Size() int { return len(g.tuples) }
+func (g *GK[T]) Size() int { return len(g.tuples) }
 
 // Insert adds one observation.
-func (g *GK) Insert(v float32) {
+func (g *GK[T]) Insert(v T) {
 	g.n++
 	// Find the first tuple with value >= v.
 	lo, hi := 0, len(g.tuples)
@@ -73,9 +75,9 @@ func (g *GK) Insert(v float32) {
 			delta = 0
 		}
 	}
-	g.tuples = append(g.tuples, gkTuple{})
+	g.tuples = append(g.tuples, gkTuple[T]{})
 	copy(g.tuples[lo+1:], g.tuples[lo:])
-	g.tuples[lo] = gkTuple{v: v, g: 1, delta: delta}
+	g.tuples[lo] = gkTuple[T]{v: v, g: 1, delta: delta}
 
 	g.sinceCmp++
 	if g.sinceCmp >= g.every {
@@ -86,7 +88,7 @@ func (g *GK) Insert(v float32) {
 
 // Compress merges adjacent tuples whose combined uncertainty stays within
 // the 2*eps*n budget, bounding the summary size.
-func (g *GK) Compress() {
+func (g *GK[T]) Compress() {
 	if len(g.tuples) < 3 {
 		return
 	}
@@ -108,7 +110,7 @@ func (g *GK) Compress() {
 
 // Query returns an eps-approximate phi-quantile of the inserted elements.
 // It panics if nothing has been inserted.
-func (g *GK) Query(phi float64) float32 {
+func (g *GK[T]) Query(phi float64) T {
 	if g.n == 0 {
 		panic("summary: GK query on empty summary")
 	}
@@ -138,12 +140,12 @@ func (g *GK) Query(phi float64) float32 {
 
 // ToSummary converts the GK structure to the windowed Summary representation
 // so both estimator families share merge/prune machinery.
-func (g *GK) ToSummary() *Summary {
-	s := &Summary{N: g.n, Eps: g.eps}
+func (g *GK[T]) ToSummary() *Summary[T] {
+	s := &Summary[T]{N: g.n, Eps: g.eps}
 	var rmin int64
 	for _, t := range g.tuples {
 		rmin += t.g
-		s.Entries = append(s.Entries, Entry{V: t.v, RMin: rmin, RMax: rmin + t.delta})
+		s.Entries = append(s.Entries, Entry[T]{V: t.v, RMin: rmin, RMax: rmin + t.delta})
 	}
 	return s
 }

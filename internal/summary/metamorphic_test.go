@@ -8,13 +8,13 @@ import (
 
 // buildParts assigns each stream element to one of k parts at random and
 // returns one FromSortedWindow summary per non-empty part.
-func buildParts(rng *rand.Rand, data []float32, k int, eps float64) []*Summary {
+func buildParts(rng *rand.Rand, data []float32, k int, eps float64) []*Summary[float32] {
 	parts := make([][]float32, k)
 	for _, v := range data {
 		i := rng.Intn(k)
 		parts[i] = append(parts[i], v)
 	}
-	var out []*Summary
+	var out []*Summary[float32]
 	for _, p := range parts {
 		if len(p) == 0 {
 			continue
@@ -26,8 +26,8 @@ func buildParts(rng *rand.Rand, data []float32, k int, eps float64) []*Summary {
 }
 
 // mergeInOrder folds the summaries left-to-right in the given visit order.
-func mergeInOrder(parts []*Summary, order []int) *Summary {
-	var acc *Summary
+func mergeInOrder(parts []*Summary[float32], order []int) *Summary[float32] {
+	var acc *Summary[float32]
 	for _, idx := range order {
 		if acc == nil {
 			acc = parts[idx]
@@ -40,13 +40,13 @@ func mergeInOrder(parts []*Summary, order []int) *Summary {
 
 // mergePairwiseTree merges the summaries as a balanced binary tree (the
 // sensor-tree shape) over the given visit order.
-func mergePairwiseTree(parts []*Summary, order []int) *Summary {
-	level := make([]*Summary, len(order))
+func mergePairwiseTree(parts []*Summary[float32], order []int) *Summary[float32] {
+	level := make([]*Summary[float32], len(order))
 	for i, idx := range order {
 		level[i] = parts[idx]
 	}
 	for len(level) > 1 {
-		var next []*Summary
+		var next []*Summary[float32]
 		for i := 0; i+1 < len(level); i += 2 {
 			next = append(next, Merge(level[i], level[i+1]))
 		}
@@ -92,7 +92,7 @@ func TestMergePartitionOrderMetamorphic(t *testing.T) {
 
 		for round := 0; round < 4; round++ {
 			order := rng.Perm(len(parts))
-			var merged *Summary
+			var merged *Summary[float32]
 			if round%2 == 0 {
 				merged = mergeInOrder(parts, order)
 			} else {

@@ -3,27 +3,30 @@
 // sensor-network model — construct from a sorted window, merge, prune — and
 // the classic streaming GK summary used as the single-element-insertion
 // baseline. These are the tuples-with-rank-bounds structures of Section 3.2
-// and Section 5.2.
+// and Section 5.2. Summaries are comparator-based, so they are generic over
+// the stack's ordered value types.
 package summary
 
 import (
 	"fmt"
 	"math"
 	"sort"
+
+	"gpustream/internal/sorter"
 )
 
 // Entry is one summary tuple: a value and bounds on its rank in the
 // underlying (conceptual) sorted stream.
-type Entry struct {
-	V          float32
+type Entry[T sorter.Value] struct {
+	V          T
 	RMin, RMax int64
 }
 
 // Summary is an eps-approximate quantile summary over N observed elements:
 // a value-ascending list of entries with rank bounds such that any rank
 // query can be answered within Eps*N.
-type Summary struct {
-	Entries []Entry
+type Summary[T sorter.Value] struct {
+	Entries []Entry[T]
 	N       int64
 	Eps     float64
 }
@@ -35,10 +38,10 @@ type Summary struct {
 // so any rank query lands within eps*W/2 of a kept element.
 //
 // It panics if window is not sorted.
-func FromSortedWindow(window []float32, eps float64) *Summary {
+func FromSortedWindow[T sorter.Value](window []T, eps float64) *Summary[T] {
 	w := int64(len(window))
 	if w == 0 {
-		return &Summary{Eps: eps / 2}
+		return &Summary[T]{Eps: eps / 2}
 	}
 	if eps <= 0 || eps > 1 {
 		panic(fmt.Sprintf("summary: eps %v out of (0, 1]", eps))
@@ -49,8 +52,8 @@ func FromSortedWindow(window []float32, eps float64) *Summary {
 	}
 	// Sized exactly for the selected ranks (1, step, 2*step, ..., w) so the
 	// per-window construction is a single allocation on the ingestion path.
-	s := &Summary{N: w, Entries: make([]Entry, 0, w/step+2)}
-	prev := float32(math.Inf(-1))
+	s := &Summary[T]{N: w, Entries: make([]Entry[T], 0, w/step+2)}
+	var prev T
 	lastRank := int64(0)
 	// Each kept element is one instance with an exact rank; duplicates of
 	// the same value stay separate entries, preserving GK tuple semantics
@@ -59,13 +62,13 @@ func FromSortedWindow(window []float32, eps float64) *Summary {
 		if rank == lastRank {
 			return
 		}
-		lastRank = rank
 		v := window[rank-1]
-		if v < prev {
+		if lastRank != 0 && v < prev {
 			panic("summary: window not sorted")
 		}
+		lastRank = rank
 		prev = v
-		s.Entries = append(s.Entries, Entry{V: v, RMin: rank, RMax: rank})
+		s.Entries = append(s.Entries, Entry[T]{V: v, RMin: rank, RMax: rank})
 	}
 	add(1)
 	for r := step; r <= w; r += step {
@@ -80,7 +83,7 @@ func FromSortedWindow(window []float32, eps float64) *Summary {
 }
 
 // Size reports the number of entries.
-func (s *Summary) Size() int { return len(s.Entries) }
+func (s *Summary[T]) Size() int { return len(s.Entries) }
 
 // Merge combines two summaries over disjoint substreams into one over their
 // union, using the rank-combination rules of Greenwald and Khanna's
@@ -91,8 +94,8 @@ func (s *Summary) Size() int { return len(s.Entries) }
 //	rmax'(v) = rmaxA(v) + rmaxB(q) - 1    (rmaxA(v) + NB if no successor)
 //
 // The merged summary is max(epsA, epsB)-approximate over NA + NB elements.
-func Merge(a, b *Summary) *Summary {
-	return MergeInto(&Summary{Entries: make([]Entry, 0, len(a.Entries)+len(b.Entries))}, a, b)
+func Merge[T sorter.Value](a, b *Summary[T]) *Summary[T] {
+	return MergeInto(&Summary[T]{Entries: make([]Entry[T], 0, len(a.Entries)+len(b.Entries))}, a, b)
 }
 
 // MergeInto is Merge writing its result into dst, whose entry storage is
@@ -100,9 +103,9 @@ func Merge(a, b *Summary) *Summary {
 // per estimator so cascading bucket combines allocate nothing at steady
 // state. dst must not alias a or b; any prior contents are discarded. A nil
 // dst allocates a fresh summary. Returns dst.
-func MergeInto(dst, a, b *Summary) *Summary {
+func MergeInto[T sorter.Value](dst, a, b *Summary[T]) *Summary[T] {
 	if dst == nil {
-		dst = &Summary{}
+		dst = &Summary[T]{}
 	}
 	dst.Entries = dst.Entries[:0]
 	if a.N == 0 {
@@ -119,17 +122,16 @@ func MergeInto(dst, a, b *Summary) *Summary {
 	out.N, out.Eps = a.N+b.N, math.Max(a.Eps, b.Eps)
 	i, j := 0, 0
 	for i < len(a.Entries) || j < len(b.Entries) {
-		var e Entry
-		var from, other *Summary
+		var e Entry[T]
+		var other *Summary[T]
 		var oi int
 		if j >= len(b.Entries) || (i < len(a.Entries) && a.Entries[i].V <= b.Entries[j].V) {
-			e, from, other, oi = a.Entries[i], a, b, j
+			e, other, oi = a.Entries[i], b, j
 			i++
 		} else {
-			e, from, other, oi = b.Entries[j], b, a, i
+			e, other, oi = b.Entries[j], a, i
 			j++
 		}
-		_ = from
 		// other.Entries[oi-1] is the predecessor (last entry with value
 		// <= e.V already consumed or smaller), other.Entries[oi] the
 		// successor.
@@ -142,7 +144,7 @@ func MergeInto(dst, a, b *Summary) *Summary {
 		} else {
 			succRMax = other.N
 		}
-		out.Entries = append(out.Entries, Entry{
+		out.Entries = append(out.Entries, Entry[T]{
 			V:    e.V,
 			RMin: e.RMin + predRMin,
 			RMax: e.RMax + succRMax,
@@ -151,9 +153,9 @@ func MergeInto(dst, a, b *Summary) *Summary {
 	return out
 }
 
-func clone(s *Summary) *Summary {
-	c := &Summary{N: s.N, Eps: s.Eps}
-	c.Entries = append([]Entry(nil), s.Entries...)
+func clone[T sorter.Value](s *Summary[T]) *Summary[T] {
+	c := &Summary[T]{N: s.N, Eps: s.Eps}
+	c.Entries = append([]Entry[T](nil), s.Entries...)
 	return c
 }
 
@@ -161,7 +163,7 @@ func clone(s *Summary) *Summary {
 // 1, N/b, 2N/b, ..., N and keeping the selected entries with their original
 // rank bounds. The pruned summary is (eps + 1/(2b))-approximate — the
 // compress operation of the paper's Section 5.2.
-func (s *Summary) Prune(b int) *Summary {
+func (s *Summary[T]) Prune(b int) *Summary[T] {
 	if b <= 0 {
 		panic("summary: Prune with non-positive budget")
 	}
@@ -170,7 +172,7 @@ func (s *Summary) Prune(b int) *Summary {
 		out.Eps = s.Eps + 1/(2*float64(b))
 		return out
 	}
-	out := &Summary{N: s.N, Eps: s.Eps + 1/(2*float64(b)), Entries: make([]Entry, 0, b+1)}
+	out := &Summary[T]{N: s.N, Eps: s.Eps + 1/(2*float64(b)), Entries: make([]Entry[T], 0, b+1)}
 	// Grid ranks increase monotonically and entry rank bounds are
 	// non-decreasing, so the best-scoring entry index is non-decreasing
 	// too: a two-pointer sweep replaces b+1 linear scans (O(b + m) total).
@@ -206,7 +208,7 @@ func (s *Summary) Prune(b int) *Summary {
 // minimizing max(r - RMin, RMax - r). Any value whose true rank lies within
 // [RMin, RMax] then differs from r by at most that score, and the GK
 // coverage invariant guarantees some entry scores <= Eps*N.
-func (s *Summary) queryIndex(r int64) int {
+func (s *Summary[T]) queryIndex(r int64) int {
 	best, bestScore := 0, int64(math.MaxInt64)
 	for i, e := range s.Entries {
 		score := e.RMax - r
@@ -222,7 +224,7 @@ func (s *Summary) queryIndex(r int64) int {
 
 // QueryRank returns a value whose rank in the underlying stream is within
 // Eps*N of r. r is clamped to [1, N]. Querying an empty summary panics.
-func (s *Summary) QueryRank(r int64) float32 {
+func (s *Summary[T]) QueryRank(r int64) T {
 	if len(s.Entries) == 0 {
 		panic("summary: query on empty summary")
 	}
@@ -236,13 +238,13 @@ func (s *Summary) QueryRank(r int64) float32 {
 }
 
 // Query returns an Eps-approximate phi-quantile, phi in [0, 1].
-func (s *Summary) Query(phi float64) float32 {
+func (s *Summary[T]) Query(phi float64) T {
 	r := int64(math.Ceil(phi * float64(s.N)))
 	return s.QueryRank(r)
 }
 
 // Validate checks structural invariants: ascending values, sane rank bounds.
-func (s *Summary) Validate() error {
+func (s *Summary[T]) Validate() error {
 	for i, e := range s.Entries {
 		if e.RMin < 1 || e.RMax > s.N || e.RMin > e.RMax {
 			return fmt.Errorf("summary: entry %d has bad ranks [%d,%d] with N=%d", i, e.RMin, e.RMax, s.N)
@@ -258,7 +260,7 @@ func (s *Summary) Validate() error {
 // worst-case normalized rank error of the summary against the full sorted
 // reference data: max over probe ranks r of dist(r, true rank range of
 // QueryRank(r)) / N.
-func (s *Summary) TrueRankError(sortedRef []float32) float64 {
+func (s *Summary[T]) TrueRankError(sortedRef []T) float64 {
 	n := int64(len(sortedRef))
 	if n == 0 || len(s.Entries) == 0 {
 		return 0

@@ -59,7 +59,7 @@ func TestFromSortedWindowDetectsUnsorted(t *testing.T) {
 }
 
 func TestFromSortedWindowEmpty(t *testing.T) {
-	s := FromSortedWindow(nil, 0.1)
+	s := FromSortedWindow[float32](nil, 0.1)
 	if s.N != 0 || s.Size() != 0 {
 		t.Fatalf("empty window summary = %+v", s)
 	}
@@ -124,7 +124,7 @@ func TestMergeQuick(t *testing.T) {
 func TestMergeWithEmpty(t *testing.T) {
 	win := sortedCopy(stream.Uniform(100, 4))
 	s := FromSortedWindow(win, 0.1)
-	empty := &Summary{Eps: 0.05}
+	empty := &Summary[float32]{Eps: 0.05}
 	m1 := Merge(s, empty)
 	m2 := Merge(empty, s)
 	if m1.N != 100 || m2.N != 100 {
@@ -161,7 +161,7 @@ func TestPrunePanicsOnBadBudget(t *testing.T) {
 			t.Fatal("no panic")
 		}
 	}()
-	(&Summary{}).Prune(0)
+	(&Summary[float32]{}).Prune(0)
 }
 
 func TestQueryRankClamps(t *testing.T) {
@@ -181,7 +181,7 @@ func TestQueryEmptyPanics(t *testing.T) {
 			t.Fatal("no panic")
 		}
 	}()
-	(&Summary{}).QueryRank(1)
+	(&Summary[float32]{}).QueryRank(1)
 }
 
 func TestQueryQuantile(t *testing.T) {
@@ -206,27 +206,27 @@ func TestGKErrorBound(t *testing.T) {
 			"zipf":    stream.Zipf(20000, 1.1, 1000, 8),
 			"sorted":  stream.Sorted(20000),
 		} {
-			g := NewGK(eps)
+			g := NewGK[float32](eps)
 			for _, v := range gen {
 				g.Insert(v)
 			}
 			s := g.ToSummary()
 			ref := sortedCopy(gen)
 			if got := s.TrueRankError(ref); got > eps+1e-9 {
-				t.Fatalf("eps=%v: GK rank error %v", eps, got)
+				t.Fatalf("eps=%v: GK[float32] rank error %v", eps, got)
 			}
 		}
 	}
 }
 
 func TestGKSpaceSublinear(t *testing.T) {
-	g := NewGK(0.01)
+	g := NewGK[float32](0.01)
 	data := stream.Uniform(50000, 9)
 	for _, v := range data {
 		g.Insert(v)
 	}
 	if g.Size() > 2000 {
-		t.Fatalf("GK size %d not sublinear (n=50000, eps=0.01)", g.Size())
+		t.Fatalf("GK[float32] size %d not sublinear (n=50000, eps=0.01)", g.Size())
 	}
 	if g.Count() != 50000 {
 		t.Fatalf("Count = %d", g.Count())
@@ -234,21 +234,21 @@ func TestGKSpaceSublinear(t *testing.T) {
 }
 
 func TestGKQueryMedianAccuracy(t *testing.T) {
-	g := NewGK(0.01)
+	g := NewGK[float32](0.01)
 	for _, v := range stream.Sorted(10000) {
 		g.Insert(v)
 	}
 	med := g.Query(0.5)
 	if med < 4800 || med > 5200 {
-		t.Fatalf("GK median = %v", med)
+		t.Fatalf("GK[float32] median = %v", med)
 	}
 }
 
 func TestGKPanics(t *testing.T) {
 	for _, fn := range []func(){
-		func() { NewGK(0) },
-		func() { NewGK(1) },
-		func() { NewGK(0.1).Query(0.5) },
+		func() { NewGK[float32](0) },
+		func() { NewGK[float32](1) },
+		func() { NewGK[float32](0.1).Query(0.5) },
 	} {
 		func() {
 			defer func() {
@@ -267,7 +267,7 @@ func TestGKQuick(t *testing.T) {
 			return true
 		}
 		const eps = 0.1
-		g := NewGK(eps)
+		g := NewGK[float32](eps)
 		data := make([]float32, len(raw))
 		for i, v := range raw {
 			data[i] = float32(v)
@@ -282,11 +282,11 @@ func TestGKQuick(t *testing.T) {
 }
 
 func TestValidateCatchesCorruption(t *testing.T) {
-	bad := []*Summary{
-		{N: 10, Entries: []Entry{{V: 1, RMin: 0, RMax: 5}}},                           // rmin < 1
-		{N: 10, Entries: []Entry{{V: 1, RMin: 2, RMax: 12}}},                          // rmax > N
-		{N: 10, Entries: []Entry{{V: 1, RMin: 5, RMax: 3}}},                           // inverted
-		{N: 10, Entries: []Entry{{V: 2, RMin: 1, RMax: 1}, {V: 1, RMin: 5, RMax: 5}}}, // unordered values
+	bad := []*Summary[float32]{
+		{N: 10, Entries: []Entry[float32]{{V: 1, RMin: 0, RMax: 5}}},                           // rmin < 1
+		{N: 10, Entries: []Entry[float32]{{V: 1, RMin: 2, RMax: 12}}},                          // rmax > N
+		{N: 10, Entries: []Entry[float32]{{V: 1, RMin: 5, RMax: 3}}},                           // inverted
+		{N: 10, Entries: []Entry[float32]{{V: 2, RMin: 1, RMax: 1}, {V: 1, RMin: 5, RMax: 5}}}, // unordered values
 	}
 	for i, s := range bad {
 		if s.Validate() == nil {
@@ -300,14 +300,14 @@ func TestRepeatedMergeChainErrorStaysBounded(t *testing.T) {
 	// per-window eps since Merge does not inflate Eps.
 	const eps = 0.05
 	var all []float32
-	var sums []*Summary
+	var sums []*Summary[float32]
 	for i := 0; i < 8; i++ {
 		win := sortedCopy(stream.Uniform(1000, uint64(i+10)))
 		all = append(all, win...)
 		sums = append(sums, FromSortedWindow(win, eps))
 	}
 	for len(sums) > 1 {
-		var next []*Summary
+		var next []*Summary[float32]
 		for i := 0; i+1 < len(sums); i += 2 {
 			next = append(next, Merge(sums[i], sums[i+1]))
 		}
@@ -329,8 +329,8 @@ func TestRepeatedMergeChainErrorStaysBounded(t *testing.T) {
 
 func TestGKCompressEvery(t *testing.T) {
 	data := stream.Uniform(20000, 33)
-	lazy := NewGKCompressEvery(0.01, 10000)
-	eager := NewGKCompressEvery(0.01, 10)
+	lazy := NewGKCompressEvery[float32](0.01, 10000)
+	eager := NewGKCompressEvery[float32](0.01, 10)
 	for _, v := range data {
 		lazy.Insert(v)
 		eager.Insert(v)
@@ -339,7 +339,7 @@ func TestGKCompressEvery(t *testing.T) {
 		t.Fatalf("lazy compression should retain more tuples: lazy=%d eager=%d", lazy.Size(), eager.Size())
 	}
 	ref := sortedCopy(data)
-	for _, g := range []*GK{lazy, eager} {
+	for _, g := range []*GK[float32]{lazy, eager} {
 		if got := g.ToSummary().TrueRankError(ref); got > 0.01+1e-9 {
 			t.Fatalf("rank error %v", got)
 		}
@@ -352,5 +352,5 @@ func TestGKCompressEveryPanics(t *testing.T) {
 			t.Fatal("no panic")
 		}
 	}()
-	NewGKCompressEvery(0.1, 0)
+	NewGKCompressEvery[float32](0.1, 0)
 }

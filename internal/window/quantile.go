@@ -21,43 +21,43 @@ import (
 //
 // One writer and any number of query goroutines may use the estimator
 // concurrently.
-type SlidingQuantile struct {
+type SlidingQuantile[T sorter.Value] struct {
 	eps    float64
 	w      int
-	core   *pipeline.Core
-	sorter sorter.Sorter
-	panes  []*summary.Summary // oldest first
+	core   *pipeline.Core[T]
+	sorter sorter.Sorter[T]
+	panes  []*summary.Summary[T] // oldest first
 }
 
 // NewSlidingQuantile returns a sliding-window quantile estimator of window
 // size w and error eps, sorting panes with s.
-func NewSlidingQuantile(eps float64, w int, s sorter.Sorter) *SlidingQuantile {
-	q := &SlidingQuantile{eps: eps, w: w, sorter: s}
+func NewSlidingQuantile[T sorter.Value](eps float64, w int, s sorter.Sorter[T]) *SlidingQuantile[T] {
+	q := &SlidingQuantile[T]{eps: eps, w: w, sorter: s}
 	q.core = pipeline.NewCore(paneSize(eps, w), q.sealPane)
 	return q
 }
 
 // Eps reports the configured error bound.
-func (q *SlidingQuantile) Eps() float64 { return q.eps }
+func (q *SlidingQuantile[T]) Eps() float64 { return q.eps }
 
 // WindowSize reports W.
-func (q *SlidingQuantile) WindowSize() int { return q.w }
+func (q *SlidingQuantile[T]) WindowSize() int { return q.w }
 
 // PaneSize reports the pane length.
-func (q *SlidingQuantile) PaneSize() int { return q.core.WindowSize() }
+func (q *SlidingQuantile[T]) PaneSize() int { return q.core.WindowSize() }
 
 // Count reports the number of elements processed so far (whole stream).
-func (q *SlidingQuantile) Count() int64 { return q.core.Count() }
+func (q *SlidingQuantile[T]) Count() int64 { return q.core.Count() }
 
 // Stats returns the unified per-stage pipeline telemetry. Safe to call
 // mid-ingestion; counters are internally consistent.
-func (q *SlidingQuantile) Stats() pipeline.Stats { return q.core.Stats() }
+func (q *SlidingQuantile[T]) Stats() pipeline.Stats { return q.core.Stats() }
 
 // SortedValues reports how many values have passed through the sorter.
-func (q *SlidingQuantile) SortedValues() int64 { return q.core.Stats().SortedValues }
+func (q *SlidingQuantile[T]) SortedValues() int64 { return q.core.Stats().SortedValues }
 
 // Panes reports the number of retained panes.
-func (q *SlidingQuantile) Panes() int {
+func (q *SlidingQuantile[T]) Panes() int {
 	q.core.Lock()
 	defer q.core.Unlock()
 	return len(q.panes)
@@ -65,7 +65,7 @@ func (q *SlidingQuantile) Panes() int {
 
 // SummaryEntries reports the total retained summary entries, the
 // estimator's memory footprint.
-func (q *SlidingQuantile) SummaryEntries() int {
+func (q *SlidingQuantile[T]) SummaryEntries() int {
 	q.core.Lock()
 	defer q.core.Unlock()
 	total := q.core.BufferedLocked()
@@ -77,25 +77,25 @@ func (q *SlidingQuantile) SummaryEntries() int {
 
 // Process consumes one stream element. After Close it returns an error
 // wrapping pipeline.ErrClosed.
-func (q *SlidingQuantile) Process(v float32) error { return q.core.Process(v) }
+func (q *SlidingQuantile[T]) Process(v T) error { return q.core.Process(v) }
 
 // ProcessSlice consumes a batch of elements. After Close it returns an
 // error wrapping pipeline.ErrClosed.
-func (q *SlidingQuantile) ProcessSlice(data []float32) error { return q.core.ProcessSlice(data) }
+func (q *SlidingQuantile[T]) ProcessSlice(data []T) error { return q.core.ProcessSlice(data) }
 
 // Flush seals the buffered partial pane. Queries do not need it — the
 // partial pane is always visible — but it makes the state self-contained
 // before Close or hand-off.
-func (q *SlidingQuantile) Flush() error { return q.core.Flush() }
+func (q *SlidingQuantile[T]) Flush() error { return q.core.Flush() }
 
 // Close flushes and releases the pane buffer back to the shared pool. The
 // estimator remains queryable; further ingestion reports
 // pipeline.ErrClosed. Close is idempotent.
-func (q *SlidingQuantile) Close() error { return q.core.Close() }
+func (q *SlidingQuantile[T]) Close() error { return q.core.Close() }
 
 // sealPane summarizes one full pane handed over by the core and expires old
 // panes. The core holds the lock.
-func (q *SlidingQuantile) sealPane(win []float32) {
+func (q *SlidingQuantile[T]) sealPane(win []T) {
 	t0 := time.Now()
 	q.sorter.Sort(win)
 	s := summary.FromSortedWindow(win, q.eps)
@@ -111,7 +111,7 @@ func (q *SlidingQuantile) sealPane(win []float32) {
 // mergePaneSummaries merges the newest panes covering span elements with an
 // already-summarized partial pane into one queryable summary. All inputs
 // are immutable; summary.Merge allocates fresh output.
-func mergePaneSummaries(panes []*summary.Summary, partial *summary.Summary, span int) *summary.Summary {
+func mergePaneSummaries[T sorter.Value](panes []*summary.Summary[T], partial *summary.Summary[T], span int) *summary.Summary[T] {
 	acc := partial
 	covered := int64(0)
 	if acc != nil {
@@ -130,7 +130,7 @@ func mergePaneSummaries(panes []*summary.Summary, partial *summary.Summary, span
 
 // partialSummaryLocked summarizes a copy of the buffered partial pane.
 // Caller must hold the core lock.
-func (q *SlidingQuantile) partialSummaryLocked() *summary.Summary {
+func (q *SlidingQuantile[T]) partialSummaryLocked() *summary.Summary[T] {
 	if q.core.BufferedLocked() == 0 {
 		return nil
 	}
@@ -142,7 +142,7 @@ func (q *SlidingQuantile) partialSummaryLocked() *summary.Summary {
 // snapshot merges the newest panes covering span elements with the partial
 // pane buffer into one queryable summary. Caller must hold the core lock;
 // the result is immutable and may outlive the locked region.
-func (q *SlidingQuantile) snapshot(span int) *summary.Summary {
+func (q *SlidingQuantile[T]) snapshot(span int) *summary.Summary[T] {
 	t1 := time.Now()
 	acc := mergePaneSummaries(q.panes, q.partialSummaryLocked(), span)
 	q.core.AddMerge(time.Since(t1), 0)
@@ -152,14 +152,14 @@ func (q *SlidingQuantile) snapshot(span int) *summary.Summary {
 // Query returns an eps-approximate phi-quantile of the most recent W
 // elements. It panics if nothing has been processed. Safe under concurrent
 // ingestion.
-func (q *SlidingQuantile) Query(phi float64) float32 {
+func (q *SlidingQuantile[T]) Query(phi float64) T {
 	return q.QueryWindow(phi, q.w)
 }
 
 // QueryWindow answers the variable-size query over the most recent w
 // elements, w <= W. Rank error is bounded by eps*W (absolute). Safe under
 // concurrent ingestion.
-func (q *SlidingQuantile) QueryWindow(phi float64, w int) float32 {
+func (q *SlidingQuantile[T]) QueryWindow(phi float64, w int) T {
 	if w <= 0 || w > q.w {
 		panic(fmt.Sprintf("window: query window %d out of (0, %d]", w, q.w))
 	}
@@ -174,7 +174,7 @@ func (q *SlidingQuantile) QueryWindow(phi float64, w int) float32 {
 
 // WindowSummary exposes the merged snapshot over the most recent w
 // elements, for validation harnesses.
-func (q *SlidingQuantile) WindowSummary(w int) *summary.Summary {
+func (q *SlidingQuantile[T]) WindowSummary(w int) *summary.Summary[T] {
 	q.core.Lock()
 	defer q.core.Unlock()
 	return q.snapshot(w)
@@ -184,34 +184,34 @@ func (q *SlidingQuantile) WindowSummary(w int) *summary.Summary {
 // quantile estimator. Pane summaries are aliased directly — they are never
 // mutated or recycled — so taking one costs O(partial pane). A
 // QuantileSnapshot is safe for concurrent use and implements pipeline.View.
-type QuantileSnapshot struct {
+type QuantileSnapshot[T sorter.Value] struct {
 	eps     float64
 	w       int
 	count   int64
-	panes   []*summary.Summary // oldest first
-	partial *summary.Summary   // nil when the pane buffer was empty
+	panes   []*summary.Summary[T] // oldest first
+	partial *summary.Summary[T]   // nil when the pane buffer was empty
 }
 
 // Snapshot returns an immutable view of the current window state. The view
 // answers Quantile (and variable-span QueryWindow) queries and never sees
 // ingestion that happens after this call.
-func (q *SlidingQuantile) Snapshot() pipeline.View {
+func (q *SlidingQuantile[T]) Snapshot() pipeline.View[T] {
 	q.core.Lock()
 	defer q.core.Unlock()
-	return &QuantileSnapshot{
+	return &QuantileSnapshot[T]{
 		eps:     q.eps,
 		w:       q.w,
 		count:   q.core.CountLocked(),
-		panes:   append([]*summary.Summary(nil), q.panes...),
+		panes:   append([]*summary.Summary[T](nil), q.panes...),
 		partial: q.partialSummaryLocked(),
 	}
 }
 
 // Count reports the whole-stream length the snapshot was taken at.
-func (s *QuantileSnapshot) Count() int64 { return s.count }
+func (s *QuantileSnapshot[T]) Count() int64 { return s.count }
 
 // Size reports the total retained summary entries.
-func (s *QuantileSnapshot) Size() int {
+func (s *QuantileSnapshot[T]) Size() int {
 	total := 0
 	if s.partial != nil {
 		total += s.partial.Size()
@@ -223,19 +223,19 @@ func (s *QuantileSnapshot) Size() int {
 }
 
 // Eps reports the snapshot's error bound.
-func (s *QuantileSnapshot) Eps() float64 { return s.eps }
+func (s *QuantileSnapshot[T]) Eps() float64 { return s.eps }
 
 // WindowSize reports W.
-func (s *QuantileSnapshot) WindowSize() int { return s.w }
+func (s *QuantileSnapshot[T]) WindowSize() int { return s.w }
 
 // Query returns an eps-approximate phi-quantile over the most recent W
 // elements as of the snapshot. It panics on an empty window (use Quantile
 // for the non-panicking form).
-func (s *QuantileSnapshot) Query(phi float64) float32 { return s.QueryWindow(phi, s.w) }
+func (s *QuantileSnapshot[T]) Query(phi float64) T { return s.QueryWindow(phi, s.w) }
 
 // QueryWindow answers the variable-size query over the most recent w
 // elements as of the snapshot, w <= W.
-func (s *QuantileSnapshot) QueryWindow(phi float64, w int) float32 {
+func (s *QuantileSnapshot[T]) QueryWindow(phi float64, w int) T {
 	if w <= 0 || w > s.w {
 		panic(fmt.Sprintf("window: query window %d out of (0, %d]", w, s.w))
 	}
@@ -247,18 +247,19 @@ func (s *QuantileSnapshot) QueryWindow(phi float64, w int) float32 {
 }
 
 // Quantile implements pipeline.View; ok is false on an empty window.
-func (s *QuantileSnapshot) Quantile(phi float64) (float32, bool) {
+func (s *QuantileSnapshot[T]) Quantile(phi float64) (T, bool) {
 	m := mergePaneSummaries(s.panes, s.partial, s.w)
 	if m == nil || m.N == 0 {
-		return 0, false
+		var z T
+		return z, false
 	}
 	return m.Query(phi), true
 }
 
 // HeavyHitters implements pipeline.View; quantile sketches do not answer
 // frequency queries.
-func (s *QuantileSnapshot) HeavyHitters(float64) ([]pipeline.Item, bool) { return nil, false }
+func (s *QuantileSnapshot[T]) HeavyHitters(float64) ([]pipeline.Item[T], bool) { return nil, false }
 
 // Frequency implements pipeline.View; quantile sketches do not answer
 // point-frequency queries.
-func (s *QuantileSnapshot) Frequency(float32) (int64, bool) { return 0, false }
+func (s *QuantileSnapshot[T]) Frequency(T) (int64, bool) { return 0, false }

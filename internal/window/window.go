@@ -31,7 +31,7 @@ import (
 )
 
 // Item is a reported element with its estimated in-window frequency.
-type Item = pipeline.Item
+type Item[T sorter.Value] = pipeline.Item[T]
 
 // paneSize derives the pane length from eps and W, clamped to [1, W].
 func paneSize(eps float64, w int) int {
@@ -55,8 +55,8 @@ func paneSize(eps float64, w int) int {
 // shared marks the bins as aliased by a FrequencySnapshot, which excludes
 // them from the expiry freelist (copy-on-write: the ring allocates fresh
 // storage instead of overwriting what a snapshot still reads).
-type freqPane struct {
-	bins   []histogram.Bin
+type freqPane[T sorter.Value] struct {
+	bins   []histogram.Bin[T]
 	total  int64
 	shared bool
 }
@@ -70,47 +70,47 @@ type freqPane struct {
 //
 // One writer and any number of query goroutines may use the estimator
 // concurrently.
-type SlidingFrequency struct {
+type SlidingFrequency[T sorter.Value] struct {
 	eps    float64
 	w      int
-	core   *pipeline.Core
-	sorter sorter.Sorter
-	panes  []freqPane // oldest first
+	core   *pipeline.Core[T]
+	sorter sorter.Sorter[T]
+	panes  []freqPane[T] // oldest first
 	// binScratch is the reusable histogram scratch; binFree recycles the
 	// bins storage of expired panes so steady-state panes allocate nothing.
-	binScratch []histogram.Bin
-	binFree    [][]histogram.Bin
+	binScratch []histogram.Bin[T]
+	binFree    [][]histogram.Bin[T]
 }
 
 // NewSlidingFrequency returns a sliding-window frequency estimator of window
 // size w and error eps, sorting panes with s.
-func NewSlidingFrequency(eps float64, w int, s sorter.Sorter) *SlidingFrequency {
-	f := &SlidingFrequency{eps: eps, w: w, sorter: s}
+func NewSlidingFrequency[T sorter.Value](eps float64, w int, s sorter.Sorter[T]) *SlidingFrequency[T] {
+	f := &SlidingFrequency[T]{eps: eps, w: w, sorter: s}
 	f.core = pipeline.NewCore(paneSize(eps, w), f.sealPane)
 	return f
 }
 
 // Eps reports the configured error bound.
-func (f *SlidingFrequency) Eps() float64 { return f.eps }
+func (f *SlidingFrequency[T]) Eps() float64 { return f.eps }
 
 // WindowSize reports W.
-func (f *SlidingFrequency) WindowSize() int { return f.w }
+func (f *SlidingFrequency[T]) WindowSize() int { return f.w }
 
 // PaneSize reports the pane length.
-func (f *SlidingFrequency) PaneSize() int { return f.core.WindowSize() }
+func (f *SlidingFrequency[T]) PaneSize() int { return f.core.WindowSize() }
 
 // Count reports the number of elements processed so far (whole stream).
-func (f *SlidingFrequency) Count() int64 { return f.core.Count() }
+func (f *SlidingFrequency[T]) Count() int64 { return f.core.Count() }
 
 // Stats returns the unified per-stage pipeline telemetry. Safe to call
 // mid-ingestion; counters are internally consistent.
-func (f *SlidingFrequency) Stats() pipeline.Stats { return f.core.Stats() }
+func (f *SlidingFrequency[T]) Stats() pipeline.Stats { return f.core.Stats() }
 
 // SortedValues reports how many values have passed through the sorter.
-func (f *SlidingFrequency) SortedValues() int64 { return f.core.Stats().SortedValues }
+func (f *SlidingFrequency[T]) SortedValues() int64 { return f.core.Stats().SortedValues }
 
 // Panes reports the number of retained panes.
-func (f *SlidingFrequency) Panes() int {
+func (f *SlidingFrequency[T]) Panes() int {
 	f.core.Lock()
 	defer f.core.Unlock()
 	return len(f.panes)
@@ -118,25 +118,25 @@ func (f *SlidingFrequency) Panes() int {
 
 // Process consumes one stream element. After Close it returns an error
 // wrapping pipeline.ErrClosed.
-func (f *SlidingFrequency) Process(v float32) error { return f.core.Process(v) }
+func (f *SlidingFrequency[T]) Process(v T) error { return f.core.Process(v) }
 
 // ProcessSlice consumes a batch of elements. After Close it returns an
 // error wrapping pipeline.ErrClosed.
-func (f *SlidingFrequency) ProcessSlice(data []float32) error { return f.core.ProcessSlice(data) }
+func (f *SlidingFrequency[T]) ProcessSlice(data []T) error { return f.core.ProcessSlice(data) }
 
 // Flush seals the buffered partial pane. Queries do not need it — the
 // partial pane is always visible — but it makes the state self-contained
 // before Close or hand-off.
-func (f *SlidingFrequency) Flush() error { return f.core.Flush() }
+func (f *SlidingFrequency[T]) Flush() error { return f.core.Flush() }
 
 // Close flushes and releases the pane buffer back to the shared pool. The
 // estimator remains queryable; further ingestion reports
 // pipeline.ErrClosed. Close is idempotent.
-func (f *SlidingFrequency) Close() error { return f.core.Close() }
+func (f *SlidingFrequency[T]) Close() error { return f.core.Close() }
 
 // sealPane summarizes one full pane handed over by the core and expires old
 // panes. The core holds the lock.
-func (f *SlidingFrequency) sealPane(win []float32) {
+func (f *SlidingFrequency[T]) sealPane(win []T) {
 	t0 := time.Now()
 	f.sorter.Sort(win)
 	f.binScratch = histogram.AppendSorted(f.binScratch[:0], win)
@@ -159,12 +159,12 @@ func (f *SlidingFrequency) sealPane(win []float32) {
 	f.core.AddCompress(time.Since(t2), int64(len(bins)))
 
 	// The pane copy reuses storage recycled from expired panes.
-	var paneBins []histogram.Bin
+	var paneBins []histogram.Bin[T]
 	if n := len(f.binFree); n > 0 {
 		paneBins = f.binFree[n-1][:0]
 		f.binFree = f.binFree[:n-1]
 	}
-	f.panes = append(f.panes, freqPane{bins: append(paneBins, kept...), total: total})
+	f.panes = append(f.panes, freqPane[T]{bins: append(paneBins, kept...), total: total})
 
 	// Keep enough panes to cover W elements beyond the buffer. Bins aliased
 	// by a snapshot are abandoned to it rather than recycled.
@@ -183,7 +183,7 @@ func (f *SlidingFrequency) sealPane(win []float32) {
 // with an already-binned partial pane, returning the merged histogram and
 // the element count it represents. histogram.Merge always writes a fresh
 // output slice, so the inputs are never mutated.
-func mergePaneBins(panes []freqPane, partialBins []histogram.Bin, partialCount int64, span int) ([]histogram.Bin, int64) {
+func mergePaneBins[T sorter.Value](panes []freqPane[T], partialBins []histogram.Bin[T], partialCount int64, span int) ([]histogram.Bin[T], int64) {
 	bins := partialBins
 	covered := partialCount
 	for i := len(panes) - 1; i >= 0 && covered < int64(span); i-- {
@@ -195,16 +195,16 @@ func mergePaneBins(panes []freqPane, partialBins []histogram.Bin, partialCount i
 
 // heavyFromBins answers the support-s frequency query over a merged
 // histogram covering `covered` of the requested w elements.
-func heavyFromBins(bins []histogram.Bin, covered int64, w int, eps, s float64) []Item {
+func heavyFromBins[T sorter.Value](bins []histogram.Bin[T], covered int64, w int, eps, s float64) []Item[T] {
 	span := int64(w)
 	if covered < span {
 		span = covered
 	}
 	thresh := (s - eps) * float64(span)
-	var out []Item
+	var out []Item[T]
 	for _, b := range bins {
 		if float64(b.Count) >= thresh {
-			out = append(out, Item{Value: b.Value, Freq: b.Count})
+			out = append(out, Item[T]{Value: b.Value, Freq: b.Count})
 		}
 	}
 	sort.Slice(out, func(i, j int) bool {
@@ -217,7 +217,7 @@ func heavyFromBins(bins []histogram.Bin, covered int64, w int, eps, s float64) [
 }
 
 // estimateFromBins scans a merged histogram for v.
-func estimateFromBins(bins []histogram.Bin, v float32) int64 {
+func estimateFromBins[T sorter.Value](bins []histogram.Bin[T], v T) int64 {
 	for _, b := range bins {
 		if b.Value == v {
 			return b.Count
@@ -228,7 +228,7 @@ func estimateFromBins(bins []histogram.Bin, v float32) int64 {
 
 // partialBinsLocked sorts a copy of the buffered partial pane into a fresh
 // histogram. Caller must hold the core lock.
-func (f *SlidingFrequency) partialBinsLocked() []histogram.Bin {
+func (f *SlidingFrequency[T]) partialBinsLocked() []histogram.Bin[T] {
 	if f.core.BufferedLocked() == 0 {
 		return nil
 	}
@@ -240,7 +240,7 @@ func (f *SlidingFrequency) partialBinsLocked() []histogram.Bin {
 // merged returns the combined histogram over the newest panes covering at
 // least span elements, plus the current partial pane, along with the element
 // count it represents. Caller must hold the core lock.
-func (f *SlidingFrequency) merged(span int) ([]histogram.Bin, int64) {
+func (f *SlidingFrequency[T]) merged(span int) ([]histogram.Bin[T], int64) {
 	t1 := time.Now()
 	bins, covered := mergePaneBins(f.panes, f.partialBinsLocked(), int64(f.core.BufferedLocked()), span)
 	f.core.AddMerge(time.Since(t1), 0)
@@ -250,14 +250,14 @@ func (f *SlidingFrequency) merged(span int) ([]histogram.Bin, int64) {
 // Query returns the elements whose estimated frequency over the most recent
 // W elements is at least (s - eps) * min(W, N), ordered by decreasing
 // frequency. Safe under concurrent ingestion.
-func (f *SlidingFrequency) Query(s float64) []Item {
+func (f *SlidingFrequency[T]) Query(s float64) []Item[T] {
 	return f.QueryWindow(s, f.w)
 }
 
 // QueryWindow answers the variable-size query over the most recent w
 // elements, w <= W. Error is bounded by eps*W (absolute, in elements).
 // Safe under concurrent ingestion.
-func (f *SlidingFrequency) QueryWindow(s float64, w int) []Item {
+func (f *SlidingFrequency[T]) QueryWindow(s float64, w int) []Item[T] {
 	if s < 0 || s > 1 {
 		panic(fmt.Sprintf("window: support %v out of [0, 1]", s))
 	}
@@ -272,7 +272,7 @@ func (f *SlidingFrequency) QueryWindow(s float64, w int) []Item {
 
 // Estimate returns the estimated frequency of v over the most recent W
 // elements. Safe under concurrent ingestion.
-func (f *SlidingFrequency) Estimate(v float32) int64 {
+func (f *SlidingFrequency[T]) Estimate(v T) int64 {
 	f.core.Lock()
 	bins, _ := f.merged(f.w)
 	f.core.Unlock()
@@ -285,46 +285,46 @@ func (f *SlidingFrequency) Estimate(v float32) int64 {
 // instead of recycling them on expiry), so taking one costs O(partial pane).
 // A FrequencySnapshot is safe for concurrent use and implements
 // pipeline.View.
-type FrequencySnapshot struct {
+type FrequencySnapshot[T sorter.Value] struct {
 	eps          float64
 	w            int
 	count        int64
-	panes        []freqPane // oldest first; bins shared with the estimator
-	partialBins  []histogram.Bin
+	panes        []freqPane[T] // oldest first; bins shared with the estimator
+	partialBins  []histogram.Bin[T]
 	partialCount int64
 }
 
 // Snapshot returns an immutable view of the current window state. The view
 // answers HeavyHitters/Frequency (and variable-span QueryWindow) queries
 // and never sees ingestion that happens after this call.
-func (f *SlidingFrequency) Snapshot() pipeline.View {
+func (f *SlidingFrequency[T]) Snapshot() pipeline.View[T] {
 	f.core.Lock()
 	defer f.core.Unlock()
 	pbins := f.partialBinsLocked()
 	if pbins != nil {
 		// The scratch-backed histogram copy is reused by later queries;
 		// give the snapshot its own storage.
-		pbins = append([]histogram.Bin(nil), pbins...)
+		pbins = append([]histogram.Bin[T](nil), pbins...)
 	}
 	for i := range f.panes {
 		f.panes[i].shared = true
 	}
-	return &FrequencySnapshot{
+	return &FrequencySnapshot[T]{
 		eps:          f.eps,
 		w:            f.w,
 		count:        f.core.CountLocked(),
-		panes:        append([]freqPane(nil), f.panes...),
+		panes:        append([]freqPane[T](nil), f.panes...),
 		partialBins:  pbins,
 		partialCount: int64(f.core.BufferedLocked()),
 	}
 }
 
 // Count reports the whole-stream length the snapshot was taken at.
-func (s *FrequencySnapshot) Count() int64 { return s.count }
+func (s *FrequencySnapshot[T]) Count() int64 { return s.count }
 
 // Size reports the retained histogram bins across panes and the partial
 // pane.
-func (s *FrequencySnapshot) Size() int {
+func (s *FrequencySnapshot[T]) Size() int {
 	total := len(s.partialBins)
 	for _, p := range s.panes {
 		total += len(p.bins)
@@ -333,18 +333,18 @@ func (s *FrequencySnapshot) Size() int {
 }
 
 // Eps reports the snapshot's error bound.
-func (s *FrequencySnapshot) Eps() float64 { return s.eps }
+func (s *FrequencySnapshot[T]) Eps() float64 { return s.eps }
 
 // WindowSize reports W.
-func (s *FrequencySnapshot) WindowSize() int { return s.w }
+func (s *FrequencySnapshot[T]) WindowSize() int { return s.w }
 
 // Query answers the support-sp frequency query over the most recent W
 // elements as of the snapshot.
-func (s *FrequencySnapshot) Query(sp float64) []Item { return s.QueryWindow(sp, s.w) }
+func (s *FrequencySnapshot[T]) Query(sp float64) []Item[T] { return s.QueryWindow(sp, s.w) }
 
 // QueryWindow answers the variable-size query over the most recent w
 // elements as of the snapshot, w <= W.
-func (s *FrequencySnapshot) QueryWindow(sp float64, w int) []Item {
+func (s *FrequencySnapshot[T]) QueryWindow(sp float64, w int) []Item[T] {
 	if sp < 0 || sp > 1 {
 		panic(fmt.Sprintf("window: support %v out of [0, 1]", sp))
 	}
@@ -357,19 +357,19 @@ func (s *FrequencySnapshot) QueryWindow(sp float64, w int) []Item {
 
 // Estimate returns the estimated frequency of v over the most recent W
 // elements as of the snapshot.
-func (s *FrequencySnapshot) Estimate(v float32) int64 {
+func (s *FrequencySnapshot[T]) Estimate(v T) int64 {
 	bins, _ := mergePaneBins(s.panes, s.partialBins, s.partialCount, s.w)
 	return estimateFromBins(bins, v)
 }
 
 // Quantile implements pipeline.View; frequency sketches do not answer
 // quantile queries.
-func (s *FrequencySnapshot) Quantile(float64) (float32, bool) { return 0, false }
+func (s *FrequencySnapshot[T]) Quantile(float64) (T, bool) { var z T; return z, false }
 
 // HeavyHitters implements pipeline.View.
-func (s *FrequencySnapshot) HeavyHitters(support float64) ([]Item, bool) {
+func (s *FrequencySnapshot[T]) HeavyHitters(support float64) ([]Item[T], bool) {
 	return s.Query(support), true
 }
 
 // Frequency implements pipeline.View.
-func (s *FrequencySnapshot) Frequency(v float32) (int64, bool) { return s.Estimate(v), true }
+func (s *FrequencySnapshot[T]) Frequency(v T) (int64, bool) { return s.Estimate(v), true }

@@ -26,7 +26,7 @@ func TestSlidingFrequencyErrorBound(t *testing.T) {
 	const eps = 0.02
 	const W = 5000
 	data := stream.Zipf(30000, 1.2, 300, 1)
-	f := NewSlidingFrequency(eps, W, cpusort.QuicksortSorter{})
+	f := NewSlidingFrequency(eps, W, cpusort.QuicksortSorter[float32]{})
 	f.ProcessSlice(data)
 	truth := exactWindowCounts(data, W)
 	for v := 0; v < 300; v++ {
@@ -43,7 +43,7 @@ func TestSlidingFrequencyNoFalseNegatives(t *testing.T) {
 	const eps, s = 0.01, 0.05
 	const W = 4000
 	data := stream.Zipf(20000, 1.4, 500, 2)
-	f := NewSlidingFrequency(eps, W, cpusort.QuicksortSorter{})
+	f := NewSlidingFrequency(eps, W, cpusort.QuicksortSorter[float32]{})
 	f.ProcessSlice(data)
 	truth := exactWindowCounts(data, W)
 	reported := map[float32]bool{}
@@ -59,7 +59,7 @@ func TestSlidingFrequencyNoFalseNegatives(t *testing.T) {
 
 func TestSlidingFrequencyBeforeWindowFills(t *testing.T) {
 	const eps = 0.05
-	f := NewSlidingFrequency(eps, 1000, cpusort.QuicksortSorter{})
+	f := NewSlidingFrequency(eps, 1000, cpusort.QuicksortSorter[float32]{})
 	f.ProcessSlice([]float32{1, 1, 2})
 	if got := f.Estimate(1); got != 2 {
 		t.Fatalf("Estimate(1) = %d before window fills", got)
@@ -74,7 +74,7 @@ func TestSlidingFrequencyVariableWindow(t *testing.T) {
 	const eps = 0.02
 	const W = 8000
 	data := stream.Zipf(30000, 1.3, 200, 3)
-	f := NewSlidingFrequency(eps, W, cpusort.QuicksortSorter{})
+	f := NewSlidingFrequency(eps, W, cpusort.QuicksortSorter[float32]{})
 	f.ProcessSlice(data)
 	for _, w := range []int{1000, 2500, 8000} {
 		truth := exactWindowCounts(data, w)
@@ -91,7 +91,7 @@ func TestSlidingFrequencyVariableWindow(t *testing.T) {
 func TestSlidingFrequencyMemoryBounded(t *testing.T) {
 	const eps = 0.01
 	const W = 100000
-	f := NewSlidingFrequency(eps, W, cpusort.QuicksortSorter{})
+	f := NewSlidingFrequency(eps, W, cpusort.QuicksortSorter[float32]{})
 	f.ProcessSlice(stream.UniformInts(300000, 1000000, 4))
 	if f.Panes() > (W+f.PaneSize()-1)/f.PaneSize() {
 		t.Fatalf("panes = %d beyond ring bound", f.Panes())
@@ -109,8 +109,8 @@ func TestSlidingFrequencyMemoryBounded(t *testing.T) {
 func TestSlidingFrequencyGPUBackendMatchesCPU(t *testing.T) {
 	const eps = 0.05
 	data := stream.Zipf(5000, 1.2, 100, 5)
-	cpu := NewSlidingFrequency(eps, 2000, cpusort.QuicksortSorter{})
-	gpu := NewSlidingFrequency(eps, 2000, gpusort.NewSorter())
+	cpu := NewSlidingFrequency(eps, 2000, cpusort.QuicksortSorter[float32]{})
+	gpu := NewSlidingFrequency(eps, 2000, gpusort.NewSorter[float32]())
 	cpu.ProcessSlice(data)
 	gpu.ProcessSlice(data)
 	for v := 0; v < 100; v++ {
@@ -121,12 +121,12 @@ func TestSlidingFrequencyGPUBackendMatchesCPU(t *testing.T) {
 }
 
 func TestSlidingFrequencyPanics(t *testing.T) {
-	mk := func() *SlidingFrequency {
-		return NewSlidingFrequency(0.1, 100, cpusort.QuicksortSorter{})
+	mk := func() *SlidingFrequency[float32] {
+		return NewSlidingFrequency(0.1, 100, cpusort.QuicksortSorter[float32]{})
 	}
 	for _, fn := range []func(){
-		func() { NewSlidingFrequency(0, 100, cpusort.QuicksortSorter{}) },
-		func() { NewSlidingFrequency(0.1, 0, cpusort.QuicksortSorter{}) },
+		func() { NewSlidingFrequency(0, 100, cpusort.QuicksortSorter[float32]{}) },
+		func() { NewSlidingFrequency(0.1, 0, cpusort.QuicksortSorter[float32]{}) },
 		func() { mk().Query(2) },
 		func() { mk().QueryWindow(0.5, 0) },
 		func() { mk().QueryWindow(0.5, 101) },
@@ -189,7 +189,7 @@ func TestSlidingQuantileErrorBound(t *testing.T) {
 	const eps = 0.02
 	const W = 5000
 	data := stream.Uniform(30000, 6)
-	q := NewSlidingQuantile(eps, W, cpusort.QuicksortSorter{})
+	q := NewSlidingQuantile(eps, W, cpusort.QuicksortSorter[float32]{})
 	q.ProcessSlice(data)
 	for _, phi := range []float64{0.05, 0.25, 0.5, 0.75, 0.95} {
 		got := q.Query(phi)
@@ -216,7 +216,7 @@ func TestSlidingQuantileQuick(t *testing.T) {
 		}
 		const eps = 0.2
 		const W = 50
-		q := NewSlidingQuantile(eps, W, cpusort.QuicksortSorter{})
+		q := NewSlidingQuantile(eps, W, cpusort.QuicksortSorter[float32]{})
 		data := make([]float32, len(raw))
 		for i, v := range raw {
 			data[i] = float32(v)
@@ -247,7 +247,7 @@ func TestSlidingQuantileVariableWindow(t *testing.T) {
 	const eps = 0.02
 	const W = 8000
 	data := stream.Gaussian(30000, 100, 15, 7)
-	q := NewSlidingQuantile(eps, W, cpusort.QuicksortSorter{})
+	q := NewSlidingQuantile(eps, W, cpusort.QuicksortSorter[float32]{})
 	q.ProcessSlice(data)
 	for _, w := range []int{2000, 4000, 8000} {
 		med := q.QueryWindow(0.5, w)
@@ -270,7 +270,7 @@ func TestSlidingQuantileVariableWindow(t *testing.T) {
 func TestSlidingQuantileMemoryBounded(t *testing.T) {
 	const eps = 0.01
 	const W = 100000
-	q := NewSlidingQuantile(eps, W, cpusort.QuicksortSorter{})
+	q := NewSlidingQuantile(eps, W, cpusort.QuicksortSorter[float32]{})
 	q.ProcessSlice(stream.Uniform(250000, 8))
 	// O((2/eps)^2) entries plus pane buffer.
 	if got := q.SummaryEntries(); float64(got) > 4/(eps*eps)+float64(q.PaneSize()) {
@@ -279,7 +279,7 @@ func TestSlidingQuantileMemoryBounded(t *testing.T) {
 }
 
 func TestSlidingQuantileEmptyPanics(t *testing.T) {
-	q := NewSlidingQuantile(0.1, 100, cpusort.QuicksortSorter{})
+	q := NewSlidingQuantile(0.1, 100, cpusort.QuicksortSorter[float32]{})
 	defer func() {
 		if recover() == nil {
 			t.Fatal("no panic")
@@ -349,8 +349,8 @@ func TestCountEHPanics(t *testing.T) {
 }
 
 func TestAccessorsAndStats(t *testing.T) {
-	sf := NewSlidingFrequency(0.05, 1000, cpusort.QuicksortSorter{})
-	sq := NewSlidingQuantile(0.05, 1000, cpusort.QuicksortSorter{})
+	sf := NewSlidingFrequency(0.05, 1000, cpusort.QuicksortSorter[float32]{})
+	sq := NewSlidingQuantile(0.05, 1000, cpusort.QuicksortSorter[float32]{})
 	data := stream.Uniform(3000, 30)
 	sf.ProcessSlice(data)
 	sq.ProcessSlice(data)
@@ -386,11 +386,11 @@ func TestAccessorsAndStats(t *testing.T) {
 
 func TestSlidingQuantilePaneClamp(t *testing.T) {
 	// eps*W/2 > W forces the pane clamp branch.
-	q := NewSlidingQuantile(0.9, 2, cpusort.QuicksortSorter{})
+	q := NewSlidingQuantile(0.9, 2, cpusort.QuicksortSorter[float32]{})
 	if q.PaneSize() != 1 {
 		t.Fatalf("PaneSize = %d", q.PaneSize())
 	}
-	f := NewSlidingFrequency(0.9, 1, cpusort.QuicksortSorter{})
+	f := NewSlidingFrequency(0.9, 1, cpusort.QuicksortSorter[float32]{})
 	if f.PaneSize() != 1 {
 		t.Fatalf("freq PaneSize = %d", f.PaneSize())
 	}

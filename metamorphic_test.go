@@ -37,10 +37,10 @@ func chunkPlans(n int, seed int64) [][]int {
 
 // ingest feeds data according to plan, using Process for 1-chunks and
 // ProcessSlice otherwise, so both entry points are exercised.
-func ingest(est interface {
-	Process(float32) error
-	ProcessSlice([]float32) error
-}, data []float32, plan []int) {
+func ingest[T gpustream.Value](est interface {
+	Process(T) error
+	ProcessSlice([]T) error
+}, data []T, plan []int) {
 	off := 0
 	for _, c := range plan {
 		if c == 1 {
@@ -75,7 +75,7 @@ func TestMetamorphicFrequency(t *testing.T) {
 		est := gpustream.New(gpustream.BackendCPU).NewFrequencyEstimator(0.002)
 		ingest(est, data, plan)
 		ans := struct {
-			Items []gpustream.Item
+			Items []gpustream.Item[float32]
 			Est   []int64
 			Size  int
 		}{Items: est.Query(0.01), Size: est.SummarySize()}
@@ -111,8 +111,8 @@ func TestMetamorphicSlidingFrequency(t *testing.T) {
 		est := gpustream.New(gpustream.BackendCPU).NewSlidingFrequency(0.01, 8_000)
 		ingest(est, data, plan)
 		ans := struct {
-			Full []gpustream.WindowItem
-			Sub  []gpustream.WindowItem
+			Full []gpustream.WindowItem[float32]
+			Sub  []gpustream.WindowItem[float32]
 			Est  int64
 		}{Full: est.Query(0.02), Sub: est.QueryWindow(0.02, 3_000), Est: est.Estimate(1)}
 		answers = append(answers, any(ans))
@@ -155,4 +155,62 @@ func TestMetamorphicParallelK1(t *testing.T) {
 	}
 	answersEqual(t, "parallel-frequency", freqAns)
 	answersEqual(t, "parallel-quantile", quantAns)
+}
+
+// typedChunkCase runs the whole family matrix at element type T under the
+// three ingestion plans and demands bit-identical answers, extending the
+// chunking metamorphic property beyond float32.
+func typedChunkCase[T gpustream.Value](t *testing.T, data []T, seed int64) {
+	n := len(data)
+	var answers []any
+	for _, plan := range chunkPlans(n, seed) {
+		eng := gpustream.NewOf[T](gpustream.BackendCPU)
+		fe := eng.NewFrequencyEstimator(0.002)
+		qe := eng.NewQuantileEstimator(0.005, int64(n))
+		sf := eng.NewSlidingFrequency(0.01, n/4)
+		sq := eng.NewSlidingQuantile(0.01, n/4)
+		pf := eng.NewParallelFrequencyEstimator(0.002, 1, gpustream.WithBatchSize(1000))
+		pq := eng.NewParallelQuantileEstimator(0.005, int64(n), 1, gpustream.WithBatchSize(1000))
+		for _, est := range []interface {
+			Process(T) error
+			ProcessSlice([]T) error
+		}{fe, qe, sf, sq, pf, pq} {
+			ingest(est, data, plan)
+		}
+		pf.Close()
+		pq.Close()
+		ans := struct {
+			Heavy   []gpustream.Item[T]
+			Medians []T
+			SlideHH []gpustream.WindowItem[T]
+			SlideQ  []T
+			ParHH   []gpustream.Item[T]
+			ParQ    []T
+		}{
+			Heavy:   fe.Query(0.01),
+			SlideHH: sf.Query(0.02),
+			ParHH:   pf.Query(0.01),
+		}
+		for _, phi := range []float64{0, 0.25, 0.5, 0.75, 1} {
+			ans.Medians = append(ans.Medians, qe.Query(phi))
+			ans.SlideQ = append(ans.SlideQ, sq.Query(phi))
+			ans.ParQ = append(ans.ParQ, pq.Query(phi))
+		}
+		answers = append(answers, any(ans))
+	}
+	answersEqual(t, "typed-chunking", answers)
+}
+
+func TestMetamorphicTypedUint64(t *testing.T) {
+	const n = 30_000
+	data := stream.ZipfOf[uint64](n, 1.2, n/50+10, 41)
+	for i, v := range data {
+		data[i] = v<<40 | 0xBEEF // answers live beyond float32's exact range
+	}
+	typedChunkCase(t, data, 12)
+}
+
+func TestMetamorphicTypedFloat64(t *testing.T) {
+	const n = 30_000
+	typedChunkCase(t, stream.ZipfOf[float64](n, 1.2, n/50+10, 42), 13)
 }

@@ -15,46 +15,49 @@ import (
 // Baseline summaries from the paper's related work (Section 2.1).
 type (
 	// MisraGries is the deterministic k-counter frequent-items baseline.
-	MisraGries = frequency.MisraGries
+	MisraGries[T Value] = frequency.MisraGries[T]
 	// SpaceSaving is the overcounting k-counter baseline.
-	SpaceSaving = frequency.SpaceSaving
+	SpaceSaving[T Value] = frequency.SpaceSaving[T]
 	// CountMin is the hash-based sketch baseline (supports deletions).
-	CountMin = frequency.CountMin
+	CountMin[T Value] = frequency.CountMin[T]
 	// StreamingHistogram maintains an approximate equi-depth histogram
 	// over a stream (the dynamic histograms of Section 3.2).
-	StreamingHistogram = histogram.StreamingEquiDepth
+	StreamingHistogram[T Value] = histogram.StreamingEquiDepth[T]
 	// HistogramBucket is one range of a StreamingHistogram.
-	HistogramBucket = histogram.Bucket
+	HistogramBucket[T Value] = histogram.Bucket[T]
 	// ExternalSortConfig controls a bounded-memory external sort.
 	ExternalSortConfig = extsort.Config
 	// ExternalSortStats reports external-sort work.
 	ExternalSortStats = extsort.Stats
 	// Source is a pull-based stream of values.
-	Source = stream.Source
+	Source[T Value] = stream.Source[T]
 )
 
 // NewMisraGries returns a k-counter Misra-Gries summary.
-func NewMisraGries(k int) *MisraGries { return frequency.NewMisraGries(k) }
+func NewMisraGries[T Value](k int) *MisraGries[T] { return frequency.NewMisraGries[T](k) }
 
 // NewSpaceSaving returns a k-counter Space-Saving summary.
-func NewSpaceSaving(k int) *SpaceSaving { return frequency.NewSpaceSaving(k) }
+func NewSpaceSaving[T Value](k int) *SpaceSaving[T] { return frequency.NewSpaceSaving[T](k) }
 
 // NewCountMin returns a Count-Min sketch with error eps and failure
 // probability delta.
-func NewCountMin(eps, delta float64) *CountMin { return frequency.NewCountMin(eps, delta) }
+func NewCountMin[T Value](eps, delta float64) *CountMin[T] {
+	return frequency.NewCountMin[T](eps, delta)
+}
 
 // NewStreamingHistogram returns a k-bucket approximate equi-depth histogram
 // with boundary rank error eps, backed by this engine's sorter.
-func (e *Engine) NewStreamingHistogram(k int, eps float64) *StreamingHistogram {
-	return histogram.NewStreamingEquiDepth(k, eps, e.srt)
+func (e *Engine[T]) NewStreamingHistogram(k int, eps float64) *StreamingHistogram[T] {
+	return histogram.NewStreamingEquiDepth(k, eps, e.newBackendSorter())
 }
 
-// ExternalSort sorts the values of src with bounded memory — runs formed on
-// this engine's backend, spilled to disk, k-way merged — writing the
-// ascending result to out in trace format.
-func (e *Engine) ExternalSort(src Source, out io.Writer, cfg ExternalSortConfig) (ExternalSortStats, error) {
+// ExternalSort sorts the float32 values of src with bounded memory — runs
+// formed on this engine's backend, spilled to disk, k-way merged — writing
+// the ascending result to out in trace format (the trace format is float32,
+// whatever the engine's element type).
+func (e *Engine[T]) ExternalSort(src Source[float32], out io.Writer, cfg ExternalSortConfig) (ExternalSortStats, error) {
 	if cfg.Sorter == nil {
-		cfg.Sorter = e.srt
+		cfg.Sorter = newBackendSorter[float32](e.backend)
 	}
 	return extsort.Sort(src, out, cfg)
 }
@@ -66,4 +69,4 @@ func WriteTrace(w io.Writer, data []float32) error { return stream.WriteTrace(w,
 func ReadTrace(r io.Reader) ([]float32, error) { return stream.ReadTrace(r) }
 
 // NewSliceSource adapts an in-memory slice to a Source.
-func NewSliceSource(data []float32) Source { return stream.NewSliceSource(data) }
+func NewSliceSource[T Value](data []T) Source[T] { return stream.NewSliceSource(data) }

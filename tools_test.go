@@ -10,9 +10,9 @@ import (
 
 func TestBaselineConstructors(t *testing.T) {
 	data := stream.Zipf(10000, 1.3, 200, 1)
-	mg := NewMisraGries(99)
-	ss := NewSpaceSaving(100)
-	cm := NewCountMin(0.01, 0.01)
+	mg := NewMisraGries[float32](99)
+	ss := NewSpaceSaving[float32](100)
+	cm := NewCountMin[float32](0.01, 0.01)
 	mg.ProcessSlice(data)
 	ss.ProcessSlice(data)
 	cm.ProcessSlice(data)
