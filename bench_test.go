@@ -468,3 +468,53 @@ func BenchmarkPipelineTypes(b *testing.B) {
 		b.Run(backend.String()+"/float64", func(b *testing.B) { benchPipelineType[float64](b, backend, n, 8) })
 	}
 }
+
+// BenchmarkPipelineSyncVsAsync measures end-to-end frequency and quantile
+// ingest with synchronous emit versus the staged asynchronous executor, and
+// reports the executor's measured overlap and ingest stall so the two
+// schedules can be compared directly (paper Section 4.2: the GPU sorts
+// window i while the CPU merges window i-1).
+func BenchmarkPipelineSyncVsAsync(b *testing.B) {
+	const n = 1 << 18
+	data := stream.UniformInts(n, 1<<20, 11)
+	for _, backend := range []Backend{BackendGPU, BackendCPU} {
+		for _, mode := range []struct {
+			name  string
+			eopts []EstimatorOption
+		}{
+			{name: "sync"},
+			{name: "async", eopts: []EstimatorOption{WithAsyncIngestion()}},
+		} {
+			b.Run(fmt.Sprintf("frequency/%v/%s", backend, mode.name), func(b *testing.B) {
+				eng := New(backend)
+				b.SetBytes(n * 4)
+				b.ResetTimer()
+				var st Stats
+				for i := 0; i < b.N; i++ {
+					est := eng.NewFrequencyEstimator(1e-4, mode.eopts...)
+					est.ProcessSlice(data)
+					est.Flush()
+					st = est.Stats()
+					est.Close()
+				}
+				b.ReportMetric(float64(st.Overlap.Microseconds())/1000, "overlap-ms")
+				b.ReportMetric(float64(st.Stall.Microseconds())/1000, "stall-ms")
+			})
+			b.Run(fmt.Sprintf("quantile/%v/%s", backend, mode.name), func(b *testing.B) {
+				eng := New(backend)
+				b.SetBytes(n * 4)
+				b.ResetTimer()
+				var st Stats
+				for i := 0; i < b.N; i++ {
+					est := eng.NewQuantileEstimator(1e-3, n, mode.eopts...)
+					est.ProcessSlice(data)
+					_ = est.Query(0.5)
+					st = est.Stats()
+					est.Close()
+				}
+				b.ReportMetric(float64(st.Overlap.Microseconds())/1000, "overlap-ms")
+				b.ReportMetric(float64(st.Stall.Microseconds())/1000, "stall-ms")
+			})
+		}
+	}
+}

@@ -43,6 +43,7 @@ func main() {
 	fig := flag.Int("fig", 0, "figure to regenerate (3-10; 9 = growth projection, 10 = sustained throughput), 0 = all")
 	scale := flag.Int("scale", 50, "divisor applied to the paper's 100M stream for measured runs")
 	measure := flag.Bool("measure", false, "run slow host measurements too")
+	async := flag.Bool("async", false, "run host measurements with staged asynchronous ingestion and report measured overlap")
 	backendsFlag := flag.String("backends", "gpu,cpu", "comma-separated backends for the measured sliding-window runs")
 	flag.Parse()
 
@@ -67,22 +68,22 @@ func main() {
 		figure4()
 	}
 	if run(5) {
-		figure5(*scale)
+		figure5(*scale, *async)
 	}
 	if run(6) {
 		figure6(*scale)
 	}
 	if run(7) {
-		figure7(*scale)
+		figure7(*scale, *async)
 	}
 	if run(8) {
-		figure8(*scale, backends)
+		figure8(*scale, backends, *async)
 	}
 	if run(9) {
 		figure9()
 	}
 	if run(10) {
-		figure10(*scale)
+		figure10(*scale, *async)
 	}
 }
 
@@ -170,93 +171,74 @@ func figure4() {
 	fmt.Println()
 }
 
-// pipelineRow measures a frequency or quantile pipeline at reduced scale and
-// extrapolates its operation counts to the paper's 100M-element stream.
-func pipelineRow(eps float64, scale int, quantile bool, backend gpustream.Backend) (perfmodel.PipelineBreakdown, time.Duration) {
+// measureCounts runs a frequency or quantile pipeline at reduced scale on
+// the (fast) CPU backend and extrapolates its operation counts to the
+// paper's 100M-element stream. The counters are backend-independent, so one
+// measured run feeds both the GPU and CPU cost models — additive and
+// overlapped alike. The measured host wall clock and staged-executor overlap
+// (nonzero only with async) are returned unscaled.
+func measureCounts(eps float64, scale int, quantile, async bool) (gpustream.Stats, time.Duration) {
 	n := paperStream / scale
 	if minN := int(4 / eps); n < minN {
 		n = minN // keep at least a few windows at tiny eps
 	}
 	data := stream.UniformInts(n, 1<<22, uint64(n))
-	eng := gpustream.New(backend)
+	eng := gpustream.New(gpustream.BackendCPU)
+	var eopts []gpustream.EstimatorOption
+	if async {
+		eopts = append(eopts, gpustream.WithAsyncIngestion())
+	}
 
 	var counts gpustream.Stats
 	var hostTime time.Duration
 	if quantile {
-		est := eng.NewQuantileEstimator(eps, int64(n))
+		est := eng.NewQuantileEstimator(eps, int64(n), eopts...)
 		t0 := time.Now()
 		est.ProcessSlice(data)
 		_ = est.Query(0.5)
 		hostTime = time.Since(t0)
 		counts = est.Stats()
+		est.Close()
 	} else {
-		est := eng.NewFrequencyEstimator(eps)
+		est := eng.NewFrequencyEstimator(eps, eopts...)
 		t0 := time.Now()
 		est.ProcessSlice(data)
 		est.Flush()
 		hostTime = time.Since(t0)
 		counts = est.Stats()
+		est.Close()
 	}
-	// Counts scale linearly with stream length.
+	// Counts scale linearly with stream length; the measured durations
+	// (including Overlap/Stall) are left at host scale.
 	factor := float64(paperStream) / float64(n)
 	counts.Windows = int64(float64(counts.Windows) * factor)
 	counts.SortedValues = int64(float64(counts.SortedValues) * factor)
 	counts.MergeOps = int64(float64(counts.MergeOps) * factor)
 	counts.CompressOps = int64(float64(counts.CompressOps) * factor)
-
-	mb := perfmodel.BackendCPU
-	if backend == gpustream.BackendGPU {
-		mb = perfmodel.BackendGPU
-	}
-	return perfmodel.Default().PipelineTime(counts, mb), hostTime
+	return counts, hostTime
 }
 
 // figure5 prints frequency-estimation pipeline time, GPU vs CPU, across eps.
-func figure5(scale int) {
+// gpu-async is the overlapped closed form: merge/compress hidden behind the
+// sort stage, the paper's co-processing schedule.
+func figure5(scale int, async bool) {
 	fmt.Println("== Figure 5: frequency estimation over a 100M stream (model s on 2004 testbed) ==")
+	model := perfmodel.Default()
 	w := newTable("")
-	fmt.Fprintln(w, "eps\twindow\tgpu-total\tcpu-total\tgpu/cpu\thost-ms(cpu,scaled)\t")
+	fmt.Fprintln(w, "eps\twindow\tgpu-total\tgpu-async\tcpu-total\tgpu/cpu\thost-ms(cpu,scaled)\thost-overlap-ms\t")
 	for _, eps := range []float64{1e-2, 1e-3, 1e-4, 1e-5, 1e-6} {
-		// Counts are backend-independent: measure once on the CPU backend
-		// (fast), then model both backends from the same counts.
-		cpuSide, host := pipelineRow(eps, scale, false, gpustream.BackendCPU)
-		gpuSide := remodel(eps, scale, false, perfmodel.BackendGPU)
-		fmt.Fprintf(w, "%g\t%d\t%s\t%s\t%.2fx\t%s\t\n",
-			eps, int(1/eps), sec(gpuSide.Total()), sec(cpuSide.Total()),
-			float64(gpuSide.Total())/float64(cpuSide.Total()), ms(host))
+		counts, host := measureCounts(eps, scale, false, async)
+		cpuSide := model.PipelineTime(counts, perfmodel.BackendCPU)
+		gpuSide := model.PipelineTime(counts, perfmodel.BackendGPU)
+		gpuOv := model.OverlappedPipelineTime(counts, perfmodel.BackendGPU)
+		fmt.Fprintf(w, "%g\t%d\t%s\t%s\t%s\t%.2fx\t%s\t%s\t\n",
+			eps, int(1/eps), sec(gpuSide.Total()), sec(gpuOv.Total()), sec(cpuSide.Total()),
+			float64(gpuSide.Total())/float64(cpuSide.Total()), ms(host), ms(counts.Overlap))
 	}
 	w.Flush()
-	fmt.Println("   (GPU wins at large windows / small eps; per-sort setup dominates tiny windows)")
+	fmt.Println("   (GPU wins at large windows / small eps; per-sort setup dominates tiny windows;")
+	fmt.Println("    gpu-async hides merge+compress behind sorting, the paper's co-processing claim)")
 	fmt.Println()
-}
-
-// remodel measures counts once at reduced scale and models them on the
-// requested backend.
-func remodel(eps float64, scale int, quantile bool, backend perfmodel.Backend) perfmodel.PipelineBreakdown {
-	n := paperStream / scale
-	if minN := int(4 / eps); n < minN {
-		n = minN
-	}
-	data := stream.UniformInts(n, 1<<22, uint64(n))
-	eng := gpustream.New(gpustream.BackendCPU)
-	var counts gpustream.Stats
-	if quantile {
-		est := eng.NewQuantileEstimator(eps, int64(n))
-		est.ProcessSlice(data)
-		_ = est.Query(0.5)
-		counts = est.Stats()
-	} else {
-		est := eng.NewFrequencyEstimator(eps)
-		est.ProcessSlice(data)
-		est.Flush()
-		counts = est.Stats()
-	}
-	factor := float64(paperStream) / float64(n)
-	counts.Windows = int64(float64(counts.Windows) * factor)
-	counts.SortedValues = int64(float64(counts.SortedValues) * factor)
-	counts.MergeOps = int64(float64(counts.MergeOps) * factor)
-	counts.CompressOps = int64(float64(counts.CompressOps) * factor)
-	return perfmodel.Default().PipelineTime(counts, backend)
 }
 
 // figure6 prints the per-operation cost breakdown of the frequency summary.
@@ -286,16 +268,19 @@ func figure6(scale int) {
 }
 
 // figure7 prints quantile-estimation pipeline time, GPU vs CPU, across eps.
-func figure7(scale int) {
+func figure7(scale int, async bool) {
 	fmt.Println("== Figure 7: quantile estimation over a 100M stream (model s on 2004 testbed) ==")
+	model := perfmodel.Default()
 	w := newTable("")
-	fmt.Fprintln(w, "eps\twindow\tgpu-total\tcpu-total\tgpu/cpu\thost-ms(cpu,scaled)\t")
+	fmt.Fprintln(w, "eps\twindow\tgpu-total\tgpu-async\tcpu-total\tgpu/cpu\thost-ms(cpu,scaled)\thost-overlap-ms\t")
 	for _, eps := range []float64{1e-2, 1e-3, 1e-4, 1e-5, 1e-6} {
-		cpuSide, host := pipelineRow(eps, scale, true, gpustream.BackendCPU)
-		gpuSide := remodel(eps, scale, true, perfmodel.BackendGPU)
-		fmt.Fprintf(w, "%g\t%d\t%s\t%s\t%.2fx\t%s\t\n",
-			eps, int(1/eps), sec(gpuSide.Total()), sec(cpuSide.Total()),
-			float64(gpuSide.Total())/float64(cpuSide.Total()), ms(host))
+		counts, host := measureCounts(eps, scale, true, async)
+		cpuSide := model.PipelineTime(counts, perfmodel.BackendCPU)
+		gpuSide := model.PipelineTime(counts, perfmodel.BackendGPU)
+		gpuOv := model.OverlappedPipelineTime(counts, perfmodel.BackendGPU)
+		fmt.Fprintf(w, "%g\t%d\t%s\t%s\t%s\t%.2fx\t%s\t%s\t\n",
+			eps, int(1/eps), sec(gpuSide.Total()), sec(gpuOv.Total()), sec(cpuSide.Total()),
+			float64(gpuSide.Total())/float64(cpuSide.Total()), ms(host), ms(counts.Overlap))
 	}
 	w.Flush()
 	fmt.Println("   (GPU comparable to CPU; CPU ahead at small windows that fit its L2 cache)")
@@ -303,34 +288,42 @@ func figure7(scale int) {
 }
 
 // figure8 prints the sliding-window experiment (Section 5.3).
-func figure8(scale int, backends []gpustream.Backend) {
+func figure8(scale int, backends []gpustream.Backend, async bool) {
 	fmt.Println("== Section 5.3: sliding-window queries (measured host ms at reduced scale) ==")
 	n := paperStream / (scale * 10)
 	if n < 1<<20 {
 		n = 1 << 20
 	}
 	data := stream.Zipf(n, 1.1, 1<<18, 77)
+	var eopts []gpustream.EstimatorOption
+	if async {
+		eopts = append(eopts, gpustream.WithAsyncIngestion())
+	}
 	w := newTable("")
-	fmt.Fprintln(w, "window\tquery\tbackend\thost-ms\tsorted-values\t")
+	fmt.Fprintln(w, "window\tquery\tbackend\thost-ms\toverlap-ms\tsorted-values\t")
 	for _, win := range []int{100_000, 400_000, 1_600_000} {
 		if win > n {
 			continue
 		}
 		for _, backend := range backends {
 			eng := gpustream.New(backend)
-			sf := eng.NewSlidingFrequency(0.001, win)
+			sf := eng.NewSlidingFrequency(0.001, win, eopts...)
 			t0 := time.Now()
 			sf.ProcessSlice(data)
 			_ = sf.Query(0.01)
 			fT := time.Since(t0)
-			fmt.Fprintf(w, "%d\tfrequency\t%v\t%s\t%d\t\n", win, backend, ms(fT), sf.SortedValues())
+			fmt.Fprintf(w, "%d\tfrequency\t%v\t%s\t%s\t%d\t\n",
+				win, backend, ms(fT), ms(sf.Stats().Overlap), sf.SortedValues())
+			sf.Close()
 
-			sq := eng.NewSlidingQuantile(0.001, win)
+			sq := eng.NewSlidingQuantile(0.001, win, eopts...)
 			t0 = time.Now()
 			sq.ProcessSlice(data)
 			_ = sq.Query(0.5)
 			qT := time.Since(t0)
-			fmt.Fprintf(w, "%d\tquantile\t%v\t%s\t%d\t\n", win, backend, ms(qT), sq.SortedValues())
+			fmt.Fprintf(w, "%d\tquantile\t%v\t%s\t%s\t%d\t\n",
+				win, backend, ms(qT), ms(sq.Stats().Overlap), sq.SortedValues())
+			sq.Close()
 		}
 	}
 	w.Flush()
@@ -363,22 +356,27 @@ func figure9() {
 // keep up with the stream's update rate? — as sustained throughput
 // (million elements/second on the 2004 testbed) of the frequency pipeline
 // per backend and epsilon.
-func figure10(scale int) {
+func figure10(scale int, async bool) {
 	fmt.Println("== Throughput: sustained stream rate (model M elements/s, 2004 testbed) ==")
+	model := perfmodel.Default()
 	w := newTable("")
-	fmt.Fprintln(w, "eps\twindow\tgpu-Melem/s\tcpu-Melem/s\t")
-	for _, eps := range []float64{1e-3, 1e-4, 1e-5, 1e-6} {
-		cpuSide, _ := pipelineRow(eps, scale, false, gpustream.BackendCPU)
-		gpuSide := remodel(eps, scale, false, perfmodel.BackendGPU)
-		rate := func(b perfmodel.PipelineBreakdown) float64 {
-			if b.Total() <= 0 {
-				return 0
-			}
-			return paperStream / b.Total().Seconds() / 1e6
+	fmt.Fprintln(w, "eps\twindow\tgpu-Melem/s\tgpu-async-Melem/s\tcpu-Melem/s\tasync-speedup\t")
+	rate := func(total time.Duration) float64 {
+		if total <= 0 {
+			return 0
 		}
-		fmt.Fprintf(w, "%g\t%d\t%.1f\t%.1f\t\n", eps, int(1/eps), rate(gpuSide), rate(cpuSide))
+		return paperStream / total.Seconds() / 1e6
+	}
+	for _, eps := range []float64{1e-3, 1e-4, 1e-5, 1e-6} {
+		counts, _ := measureCounts(eps, scale, false, async)
+		cpuSide := model.PipelineTime(counts, perfmodel.BackendCPU)
+		gpuSide := model.PipelineTime(counts, perfmodel.BackendGPU)
+		gpuOv := model.OverlappedPipelineTime(counts, perfmodel.BackendGPU)
+		fmt.Fprintf(w, "%g\t%d\t%.1f\t%.1f\t%.1f\t%.2fx\t\n", eps, int(1/eps),
+			rate(gpuSide.Total()), rate(gpuOv.Total()), rate(cpuSide.Total()), gpuOv.Speedup())
 	}
 	w.Flush()
-	fmt.Println("   (the co-processor keeps the DSMS ahead of gigabit-class update rates at realistic eps)")
+	fmt.Println("   (the co-processor keeps the DSMS ahead of gigabit-class update rates at realistic eps;")
+	fmt.Println("    gpu-async is the overlapped schedule — sort hides merge/compress, Section 4.2)")
 	fmt.Println()
 }

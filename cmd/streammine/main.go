@@ -11,13 +11,22 @@
 //	streammine -backend cpu ...                       (default gpu)
 //	streammine -shards 4 ...                          (parallel ingestion;
 //	                                                   -shards -1 = GOMAXPROCS)
+//	streammine -async ...                             (staged co-processing:
+//	                                                   sort overlaps merge)
 //	streammine -stats ...                             (per-stage pipeline report)
+//	streammine -cpuprofile cpu.pb -memprofile mem.pb -trace run.trace ...
+//	                                                  (pprof / runtime-trace;
+//	                                                   `go tool trace run.trace`
+//	                                                   shows the stage overlap)
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
+	"runtime/trace"
 	"strconv"
 	"strings"
 	"time"
@@ -37,10 +46,14 @@ func main() {
 	backendName := flag.String("backend", "gpu", "sorting backend: gpu|gpu-bitonic|cpu|cpu-parallel")
 	windowSize := flag.Int("window", 0, "sliding window size (0 = whole stream)")
 	shards := flag.Int("shards", 0, "parallel ingestion shards (0 = serial, <0 = GOMAXPROCS)")
+	async := flag.Bool("async", false, "staged asynchronous ingestion: overlap window sorting with merge/compress")
 	seed := flag.Uint64("seed", 1, "generator seed")
-	tracePath := flag.String("trace", "", "replay this trace file instead of generating")
+	replayPath := flag.String("replay", "", "replay this trace file instead of generating")
 	top := flag.Int("top", 10, "max frequency items to print")
 	showStats := flag.Bool("stats", false, "print the per-stage pipeline telemetry report")
+	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
+	tracefile := flag.String("trace", "", "write a runtime/trace execution trace to this file")
 	flag.Parse()
 
 	backend, err := gpustream.ParseBackend(*backendName)
@@ -48,9 +61,45 @@ func main() {
 		fatalf("%v", err)
 	}
 
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatalf("cpuprofile: %v", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *tracefile != "" {
+		f, err := os.Create(*tracefile)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		if err := trace.Start(f); err != nil {
+			fatalf("trace: %v", err)
+		}
+		defer trace.Stop()
+	}
+	if *memprofile != "" {
+		path := *memprofile
+		defer func() {
+			f, err := os.Create(path)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "streammine: memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "streammine: memprofile: %v\n", err)
+			}
+		}()
+	}
+
 	var data []float32
-	if *tracePath != "" {
-		f, err := os.Open(*tracePath)
+	if *replayPath != "" {
+		f, err := os.Open(*replayPath)
 		if err != nil {
 			fatalf("%v", err)
 		}
@@ -60,23 +109,34 @@ func main() {
 			fatalf("%v", err)
 		}
 		*n = len(data)
-		*dist = "trace:" + *tracePath
+		*dist = "trace:" + *replayPath
 	} else {
 		data = generate(*dist, *n, *seed)
 	}
 
 	eng := gpustream.New(backend)
-	fmt.Printf("stream: %d %s values, eps=%g, backend=%v\n", *n, *dist, *eps, backend)
+	mode := "sync"
+	if *async {
+		mode = "async"
+	}
+	fmt.Printf("stream: %d %s values, eps=%g, backend=%v, %s ingestion\n", *n, *dist, *eps, backend, mode)
 
 	if *shards != 0 && *windowSize > 0 {
 		fatalf("-shards does not combine with -window (sliding estimators are serial)")
+	}
+
+	var eopts []gpustream.EstimatorOption
+	var popts []gpustream.ParallelOption
+	if *async {
+		eopts = append(eopts, gpustream.WithAsyncIngestion())
+		popts = append(popts, gpustream.WithAsyncShards())
 	}
 
 	start := time.Now()
 	switch *query {
 	case "frequency":
 		if *shards != 0 {
-			est := eng.NewParallelFrequencyEstimator(*eps, *shards)
+			est := eng.NewParallelFrequencyEstimator(*eps, *shards, popts...)
 			est.ProcessSlice(data)
 			est.Close()
 			items := est.Query(*support)
@@ -85,26 +145,25 @@ func main() {
 			printItems(items, *top)
 			printSharded(est.ModeledTime(eng.Model(), backend.PipelineBackend()), est.Shards())
 		} else if *windowSize > 0 {
-			est := eng.NewSlidingFrequency(*eps, *windowSize)
+			est := eng.NewSlidingFrequency(*eps, *windowSize, eopts...)
 			est.ProcessSlice(data)
 			items := est.Query(*support)
 			fmt.Printf("processed in %v; heavy hitters over last %d elements (support %g):\n",
 				time.Since(start), *windowSize, *support)
 			printWindowItems(items, *top)
 		} else {
-			est := eng.NewFrequencyEstimator(*eps)
+			est := eng.NewFrequencyEstimator(*eps, eopts...)
 			est.ProcessSlice(data)
 			items := est.Query(*support)
 			fmt.Printf("processed in %v; %d summary entries; heavy hitters (support %g):\n",
 				time.Since(start), est.SummarySize(), *support)
 			printItems(items, *top)
-			t := est.Stats()
-			fmt.Printf("phase time: sort %v, merge %v, compress %v\n", t.Sort, t.Merge, t.Compress)
+			printPhases(est.Stats())
 		}
 	case "quantile":
 		probes := parsePhis(*phis)
 		if *shards != 0 {
-			est := eng.NewParallelQuantileEstimator(*eps, int64(*n), *shards)
+			est := eng.NewParallelQuantileEstimator(*eps, int64(*n), *shards, popts...)
 			est.ProcessSlice(data)
 			est.Close()
 			fmt.Printf("processed in %v across %d shards; %d summary entries; quantiles:\n",
@@ -114,7 +173,7 @@ func main() {
 			}
 			printSharded(est.ModeledTime(eng.Model(), backend.PipelineBackend()), est.Shards())
 		} else if *windowSize > 0 {
-			est := eng.NewSlidingQuantile(*eps, *windowSize)
+			est := eng.NewSlidingQuantile(*eps, *windowSize, eopts...)
 			est.ProcessSlice(data)
 			fmt.Printf("processed in %v; quantiles over last %d elements:\n",
 				time.Since(start), *windowSize)
@@ -122,15 +181,14 @@ func main() {
 				fmt.Printf("  phi=%.3f -> %v\n", phi, est.Query(phi))
 			}
 		} else {
-			est := eng.NewQuantileEstimator(*eps, int64(*n))
+			est := eng.NewQuantileEstimator(*eps, int64(*n), eopts...)
 			est.ProcessSlice(data)
 			fmt.Printf("processed in %v; %d summary entries in %d buckets; quantiles:\n",
 				time.Since(start), est.SummaryEntries(), est.Buckets())
 			for _, phi := range probes {
 				fmt.Printf("  phi=%.3f -> %v\n", phi, est.Query(phi))
 			}
-			t := est.Stats()
-			fmt.Printf("phase time: sort %v, merge %v, compress %v\n", t.Sort, t.Merge, t.Compress)
+			printPhases(est.Stats())
 		}
 	default:
 		fatalf("unknown query %q", *query)
@@ -176,6 +234,17 @@ func printSharded(bd perfmodel.PipelineBreakdown, shards int) {
 		shards, bd.Sort, bd.Merge, bd.Compress)
 }
 
+// printPhases is the one-line phase report of the serial estimators,
+// extended with the measured co-processing overlap when the staged executor
+// ran.
+func printPhases(t gpustream.Stats) {
+	fmt.Printf("phase time: sort %v, merge %v, compress %v", t.Sort, t.Merge, t.Compress)
+	if t.Overlap > 0 || t.Stall > 0 {
+		fmt.Printf(", overlap %v, stall %v", t.Overlap, t.Stall)
+	}
+	fmt.Println()
+}
+
 // printStats reports the unified per-stage telemetry of every estimator the
 // engine created, one line of counters and one of measured wall clock each.
 func printStats(all []gpustream.EstimatorStats) {
@@ -186,6 +255,10 @@ func printStats(all []gpustream.EstimatorStats) {
 			es.Kind, st.Windows, st.SortedValues, st.MergeOps, st.CompressOps)
 		fmt.Printf("  %-18s sort=%v merge=%v compress=%v idle=%v total=%v\n",
 			"", st.Sort, st.Merge, st.Compress, st.Idle, st.Total())
+		if st.Overlap > 0 || st.Stall > 0 || st.MaxInFlight > 0 {
+			fmt.Printf("  %-18s overlap=%v stall=%v maxInFlight=%d\n",
+				"", st.Overlap, st.Stall, st.MaxInFlight)
+		}
 	}
 }
 

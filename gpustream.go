@@ -259,6 +259,38 @@ func (e *Engine[T]) newBackendSorter() Sorter[T] { return newBackendSorter[T](e.
 // size (default ~64K values).
 func WithBatchSize(n int) ParallelOption { return shard.WithBatchSize(n) }
 
+// WithAsyncShards enables staged asynchronous ingestion inside every shard of
+// a parallel estimator: each worker's windows sort on a dedicated stage
+// goroutine that overlaps the merge/compress of the previous window. Answers
+// stay bit-identical to synchronous shards.
+func WithAsyncShards() ParallelOption { return shard.WithAsync() }
+
+// EstimatorOption configures a serial estimator constructor
+// (NewFrequencyEstimator, NewQuantileEstimator, NewSlidingFrequency,
+// NewSlidingQuantile).
+type EstimatorOption func(*estimatorConfig)
+
+type estimatorConfig struct {
+	async bool
+}
+
+// WithAsyncIngestion enables staged asynchronous ingestion — the paper's
+// co-processing execution model: each full window is handed to a sort stage
+// goroutine (the simulated GPU's non-blocking render + readback) while the
+// merge/compress of the previous window proceeds concurrently, with two
+// pooled window buffers double-buffering ingestion. Answers and sort
+// operation counts are bit-identical to the default synchronous mode;
+// Stats.Overlap reports the measured co-processing time.
+func WithAsyncIngestion() EstimatorOption { return func(c *estimatorConfig) { c.async = true } }
+
+func parseEstimatorOptions(opts []EstimatorOption) estimatorConfig {
+	var cfg estimatorConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return cfg
+}
+
 // Backend reports the engine's configured backend.
 func (e *Engine[T]) Backend() Backend { return e.backend }
 
@@ -298,8 +330,12 @@ func (e *Engine[T]) LastSortBreakdown() (SortBreakdown, bool) {
 // simulator's LastStats) must not be shared between estimators, and this
 // also keeps Engine.Sort's LastSortBreakdown isolated from estimator
 // ingestion.
-func (e *Engine[T]) NewFrequencyEstimator(eps float64) *FrequencyEstimator[T] {
-	est := frequency.NewEstimator(eps, e.newBackendSorter())
+func (e *Engine[T]) NewFrequencyEstimator(eps float64, opts ...EstimatorOption) *FrequencyEstimator[T] {
+	var fopts []frequency.Option
+	if parseEstimatorOptions(opts).async {
+		fopts = append(fopts, frequency.WithAsync())
+	}
+	est := frequency.NewEstimator(eps, e.newBackendSorter(), fopts...)
 	e.track("frequency", est.Stats)
 	return est
 }
@@ -307,8 +343,12 @@ func (e *Engine[T]) NewFrequencyEstimator(eps float64) *FrequencyEstimator[T] {
 // NewQuantileEstimator returns an eps-approximate quantile estimator for
 // streams of up to capacity elements (capacity <= 0 picks a generous
 // default), backed by this engine's sorter.
-func (e *Engine[T]) NewQuantileEstimator(eps float64, capacity int64) *QuantileEstimator[T] {
-	est := quantile.NewEstimator(eps, capacity, e.newBackendSorter())
+func (e *Engine[T]) NewQuantileEstimator(eps float64, capacity int64, opts ...EstimatorOption) *QuantileEstimator[T] {
+	var qopts []quantile.Option
+	if parseEstimatorOptions(opts).async {
+		qopts = append(qopts, quantile.WithAsync())
+	}
+	est := quantile.NewEstimator(eps, capacity, e.newBackendSorter(), qopts...)
 	e.track("quantile", est.Stats)
 	return est
 }
@@ -341,16 +381,24 @@ func (e *Engine[T]) NewParallelFrequencyEstimator(eps float64, shards int, opts 
 
 // NewSlidingFrequency returns an eps-approximate frequency estimator over
 // sliding windows of w elements, backed by this engine's sorter.
-func (e *Engine[T]) NewSlidingFrequency(eps float64, w int) *SlidingFrequency[T] {
-	est := window.NewSlidingFrequency(eps, w, e.newBackendSorter())
+func (e *Engine[T]) NewSlidingFrequency(eps float64, w int, opts ...EstimatorOption) *SlidingFrequency[T] {
+	var wopts []window.Option
+	if parseEstimatorOptions(opts).async {
+		wopts = append(wopts, window.WithAsync())
+	}
+	est := window.NewSlidingFrequency(eps, w, e.newBackendSorter(), wopts...)
 	e.track("sliding-frequency", est.Stats)
 	return est
 }
 
 // NewSlidingQuantile returns an eps-approximate quantile estimator over
 // sliding windows of w elements, backed by this engine's sorter.
-func (e *Engine[T]) NewSlidingQuantile(eps float64, w int) *SlidingQuantile[T] {
-	est := window.NewSlidingQuantile(eps, w, e.newBackendSorter())
+func (e *Engine[T]) NewSlidingQuantile(eps float64, w int, opts ...EstimatorOption) *SlidingQuantile[T] {
+	var wopts []window.Option
+	if parseEstimatorOptions(opts).async {
+		wopts = append(wopts, window.WithAsync())
+	}
+	est := window.NewSlidingQuantile(eps, w, e.newBackendSorter(), wopts...)
 	e.track("sliding-quantile", est.Stats)
 	return est
 }

@@ -60,14 +60,33 @@ type Estimator[T sorter.Value] struct {
 	bins    []histogram.Bin[T]
 }
 
+// Option configures an Estimator.
+type Option func(*config)
+
+type config struct {
+	async bool
+}
+
+// WithAsync enables staged asynchronous ingestion: windows sort on a
+// dedicated stage goroutine overlapping the merge/compress of the previous
+// window. Answers are bit-identical to synchronous mode.
+func WithAsync() Option { return func(c *config) { c.async = true } }
+
 // NewEstimator returns a lossy-counting estimator with error eps, sorting
 // windows with s.
-func NewEstimator[T sorter.Value](eps float64, s sorter.Sorter[T]) *Estimator[T] {
+func NewEstimator[T sorter.Value](eps float64, s sorter.Sorter[T], opts ...Option) *Estimator[T] {
 	if eps <= 0 || eps >= 1 {
 		panic(fmt.Sprintf("frequency: eps %v out of (0, 1)", eps))
 	}
+	var cfg config
+	for _, o := range opts {
+		o(&cfg)
+	}
 	e := &Estimator[T]{eps: eps, sorter: s}
-	e.core = pipeline.NewCore(int(math.Ceil(1/eps)), e.flushWindow)
+	e.core = pipeline.NewStagedCore(int(math.Ceil(1/eps)), s, e.mergeWindow)
+	if cfg.async {
+		e.core.StartAsync()
+	}
 	return e
 }
 
@@ -85,6 +104,7 @@ func (e *Estimator[T]) Count() int64 { return e.core.Count() }
 func (e *Estimator[T]) SummarySize() int {
 	e.core.Lock()
 	defer e.core.Unlock()
+	e.core.BarrierLocked()
 	return len(e.entries)
 }
 
@@ -109,16 +129,19 @@ func (e *Estimator[T]) Flush() error { return e.core.Flush() }
 // pipeline.ErrClosed. Close is idempotent.
 func (e *Estimator[T]) Close() error { return e.core.Close() }
 
-// flushWindow runs the histogram -> merge -> compress pipeline on one
-// window handed over by the core (which holds the lock).
-func (e *Estimator[T]) flushWindow(win []T) {
-	// Histogram computation: sort the window (GPU or CPU backend) and
-	// collapse to (value, count) bins.
+// mergeWindow is the merge-stage half of the pipeline: it receives a window
+// the core has already sorted (inline, or on the sort stage goroutine in
+// async mode) and runs histogram -> merge -> compress. The core holds the
+// lock around the call in both modes.
+func (e *Estimator[T]) mergeWindow(win []T) {
+	// Histogram computation: collapse the sorted window to (value, count)
+	// bins. The collapse belongs to the paper's histogram (sort) stage, so
+	// its time lands in Stats.Sort; the values were already counted when the
+	// core timed the sort itself.
 	t0 := time.Now()
-	e.sorter.Sort(win)
 	e.bins = histogram.AppendSorted(e.bins[:0], win)
 	bins := e.bins
-	e.core.AddSort(time.Since(t0), int64(len(win)))
+	e.core.AddSort(time.Since(t0), 0)
 
 	// New entries may have been deleted any time up to the last completed
 	// bucket before this window, so their undercount is bounded by that

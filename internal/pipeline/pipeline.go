@@ -61,6 +61,16 @@ type Stats struct {
 	Merge    time.Duration // wall clock in the merge stage
 	Compress time.Duration // wall clock in the compress stage
 	Idle     time.Duration // wall clock spent waiting for input (shard workers)
+
+	// Staged-executor telemetry, zero in synchronous mode. Overlap is the
+	// wall clock during which the sort stage and the merge/compress stage
+	// were busy simultaneously — the co-processing the paper's Section 3
+	// claims; Stall is ingestion time blocked handing a full window to the
+	// executor (no free buffer or sort stage behind); MaxInFlight is the
+	// peak number of windows between hand-off and merge completion.
+	Overlap     time.Duration
+	Stall       time.Duration
+	MaxInFlight int64
 }
 
 // Total sums the active processing stages. Idle is excluded: it measures
@@ -78,6 +88,11 @@ func (s *Stats) Add(o Stats) {
 	s.Merge += o.Merge
 	s.Compress += o.Compress
 	s.Idle += o.Idle
+	s.Overlap += o.Overlap
+	s.Stall += o.Stall
+	if o.MaxInFlight > s.MaxInFlight {
+		s.MaxInFlight = o.MaxInFlight
+	}
 }
 
 // bufPools recycles window buffers across estimator lifetimes, one pool per
@@ -123,6 +138,7 @@ func putBuf[T sorter.Value](b []T) {
 // per-worker estimators instead).
 type Core[T sorter.Value] struct {
 	mu      sync.Mutex
+	cond    *sync.Cond // signals hand-off and in-flight transitions
 	window  int
 	sink    func(win []T)
 	buf     []T
@@ -130,6 +146,16 @@ type Core[T sorter.Value] struct {
 	closed  bool
 	stats   Stats
 	scratch []T
+
+	// Staged-mode state (NewStagedCore). srt sorts each sealed window and
+	// mergeFn folds the sorted window into summary state; in synchronous
+	// staged mode emit runs both inline, and after StartAsync the executor
+	// runs them on the two stage goroutines.
+	srt     sorter.Sorter[T]
+	mergeFn func(win []T)
+	exec    *executor[T]
+	handoff bool // window being handed to the executor, mu released mid-emit
+	inflight int // windows between hand-off and merge completion
 }
 
 // NewCore returns a core buffering windows of the given size. The window
@@ -138,7 +164,27 @@ func NewCore[T sorter.Value](window int, sink func(win []T)) *Core[T] {
 	if window <= 0 {
 		panic("pipeline: window must be positive")
 	}
-	return &Core[T]{window: window, sink: sink, buf: getBuf[T](window)}
+	c := &Core[T]{window: window, sink: sink, buf: getBuf[T](window)}
+	c.cond = sync.NewCond(&c.mu)
+	return c
+}
+
+// NewStagedCore returns a core whose sink is split into the paper's two
+// pipeline stages: srt sorts each sealed window ascending in place, and
+// mergeFn merges/compresses the sorted window into summary state. The core
+// times the sort stage itself (AddSort with the window length); mergeFn
+// records its own merge/compress telemetry via the Add* recorders. By
+// default both stages still run inline under the lock, bit-identical to a
+// NewCore sink that sorts then merges; StartAsync moves them onto
+// overlapping stage goroutines.
+func NewStagedCore[T sorter.Value](window int, srt sorter.Sorter[T], mergeFn func(win []T)) *Core[T] {
+	if srt == nil || mergeFn == nil {
+		panic("pipeline: staged core requires a sorter and a merge stage")
+	}
+	c := NewCore[T](window, nil)
+	c.srt = srt
+	c.mergeFn = mergeFn
+	return c
 }
 
 // Lock acquires the core's ingestion/query mutex. Estimator query paths
@@ -202,6 +248,7 @@ func (c *Core[T]) Closed() bool {
 func (c *Core[T]) Process(v T) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.waitHandoff()
 	if c.closed {
 		return ErrClosed
 	}
@@ -220,6 +267,7 @@ func (c *Core[T]) Process(v T) error {
 func (c *Core[T]) ProcessSlice(data []T) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.waitHandoff()
 	if c.closed {
 		return ErrClosed
 	}
@@ -250,35 +298,77 @@ func (c *Core[T]) Flush() error {
 }
 
 // FlushLocked is Flush for callers already holding the lock (query paths
-// that seal the partial window before walking summary state).
+// that seal the partial window before walking summary state). In async mode
+// it additionally drains every in-flight window, so on return the summary
+// state reflects the whole ingested prefix exactly as it would after a
+// synchronous flush.
 func (c *Core[T]) FlushLocked() {
+	c.waitHandoff()
 	if len(c.buf) > 0 {
 		c.emit()
 	}
+	c.BarrierLocked()
 }
 
-// Close flushes, returns the window buffer to the shared pool, and marks
-// the core closed. Further Process/ProcessSlice calls return an error
+// Close flushes, drains and terminates the stage goroutines if async mode
+// is on, returns the window and scratch buffers to the shared pool, and
+// marks the core closed. Further Process/ProcessSlice calls return an error
 // wrapping ErrClosed; Flush and the accessors remain safe. Close is
 // idempotent and always returns nil.
 func (c *Core[T]) Close() error {
 	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.waitHandoff()
 	if c.closed {
+		c.mu.Unlock()
 		return nil
 	}
 	c.FlushLocked()
 	c.closed = true
 	putBuf(c.buf)
 	c.buf = nil
+	if c.scratch != nil {
+		putBuf(c.scratch)
+		c.scratch = nil
+	}
+	exec := c.exec
+	c.mu.Unlock()
+	if exec != nil {
+		// The barrier inside FlushLocked drained every in-flight window, so
+		// both stage goroutines are idle; closing the submission channel
+		// cascades the shutdown (sort stage closes sortedCh, merge stage
+		// closes done) and the spare buffers return to the pool.
+		close(exec.sortCh)
+		<-exec.done
+		for {
+			select {
+			case b := <-exec.freeCh:
+				putBuf(b)
+			default:
+				return nil
+			}
+		}
+	}
 	return nil
 }
 
-// emit hands the buffered window to the sink and resets the buffer. The
-// lock is already held on every path that reaches here.
+// emit seals the buffered window through the pipeline and resets the
+// buffer. The lock is already held on every path that reaches here. With a
+// plain sink the sink runs inline; a staged core sorts then merges — inline
+// in synchronous mode, on the stage goroutines after StartAsync.
 func (c *Core[T]) emit() {
 	c.stats.Windows++
-	c.sink(c.buf)
+	switch {
+	case c.exec != nil:
+		c.emitAsync()
+		return
+	case c.srt != nil:
+		t0 := time.Now()
+		c.srt.Sort(c.buf)
+		c.AddSort(time.Since(t0), int64(len(c.buf)))
+		c.mergeFn(c.buf)
+	default:
+		c.sink(c.buf)
+	}
 	c.buf = c.buf[:0]
 }
 
@@ -312,8 +402,14 @@ func (c *Core[T]) AddIdle(d time.Duration) { c.stats.Idle += d }
 func (c *Core[T]) Stats() Stats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.stats
+	return c.StatsLocked()
 }
 
 // StatsLocked is Stats for callers already holding the lock.
-func (c *Core[T]) StatsLocked() Stats { return c.stats }
+func (c *Core[T]) StatsLocked() Stats {
+	s := c.stats
+	if c.exec != nil {
+		s.Overlap = c.exec.ov.total()
+	}
+	return s
+}

@@ -62,6 +62,7 @@ type Option func(*config)
 // config collects the type-independent knobs an Option may set.
 type config struct {
 	window int
+	async  bool
 }
 
 // WithWindow overrides the buffered window size (default ceil(1/eps)).
@@ -73,6 +74,11 @@ func WithWindow(w int) Option {
 		e.window = w
 	}
 }
+
+// WithAsync enables staged asynchronous ingestion: windows sort on a
+// dedicated stage goroutine overlapping the cascade combines of the previous
+// window. Answers are bit-identical to synchronous mode.
+func WithAsync() Option { return func(e *config) { e.async = true } }
 
 // NewEstimator returns an eps-approximate quantile estimator for streams of
 // up to capacity elements, sorting windows with s. capacity <= 0 selects a
@@ -106,7 +112,10 @@ func NewEstimator[T sorter.Value](eps float64, capacity int64, s sorter.Sorter[T
 	e.levels++ // slack for the final partial window
 	// Each combine adds 1/(2B) error; choose B so that is eps/(2L).
 	e.pruneB = int(math.Ceil(float64(e.levels) / eps))
-	e.core = pipeline.NewCore(e.window, e.flushWindow)
+	e.core = pipeline.NewStagedCore(e.window, s, e.mergeWindow)
+	if cfg.async {
+		e.core.StartAsync()
+	}
 	return e
 }
 
@@ -129,6 +138,7 @@ func (e *Estimator[T]) Stats() pipeline.Stats { return e.core.Stats() }
 func (e *Estimator[T]) SummaryEntries() int {
 	e.core.Lock()
 	defer e.core.Unlock()
+	e.core.BarrierLocked()
 	total := 0
 	for _, b := range e.buckets {
 		total += b.Size()
@@ -140,6 +150,7 @@ func (e *Estimator[T]) SummaryEntries() int {
 func (e *Estimator[T]) Buckets() int {
 	e.core.Lock()
 	defer e.core.Unlock()
+	e.core.BarrierLocked()
 	return len(e.buckets)
 }
 
@@ -161,13 +172,17 @@ func (e *Estimator[T]) Flush() error { return e.core.Flush() }
 // pipeline.ErrClosed. Close is idempotent.
 func (e *Estimator[T]) Close() error { return e.core.Close() }
 
-// flushWindow turns one window handed over by the core into a bucket and
-// cascades combines. The core holds the lock.
-func (e *Estimator[T]) flushWindow(win []T) {
+// mergeWindow is the merge-stage half of the pipeline: it receives a window
+// the core has already sorted (inline, or on the sort stage goroutine in
+// async mode), reduces it to a summary, and cascades combines. The core
+// holds the lock around the call in both modes.
+func (e *Estimator[T]) mergeWindow(win []T) {
+	// Reducing the sorted window to an (eps/2)-summary belongs to the sort
+	// (window preparation) stage of the paper's accounting; the values were
+	// already counted when the core timed the sort itself.
 	t0 := time.Now()
-	e.sorter.Sort(win)
 	s := summary.FromSortedWindow(win, e.eps)
-	e.core.AddSort(time.Since(t0), int64(len(win)))
+	e.core.AddSort(time.Since(t0), 0)
 	e.n += int64(len(win))
 
 	id := 1
@@ -204,6 +219,10 @@ func (e *Estimator[T]) flushWindow(win []T) {
 // replaces buckets with freshly allocated summaries — so it may safely
 // outlive the locked region.
 func (e *Estimator[T]) snapshotLocked() *summary.Summary[T] {
+	// Drain in-flight windows first: the buckets must cover the whole
+	// emitted prefix and the sorter must be idle before the partial-window
+	// sort below may reuse it.
+	e.core.BarrierLocked()
 	state := [2]int64{e.n, int64(e.core.BufferedLocked())}
 	if e.snapCache != nil && e.snapState == state {
 		return e.snapCache

@@ -43,16 +43,25 @@ func NewFrequency[T sorter.Value](eps float64, shards int, newSorter func() sort
 		panic(fmt.Sprintf("shard: eps %v out of (0, 1)", eps))
 	}
 	k := Resolve(shards)
+	cfg := parseOptions(opts)
+	var estOpts []frequency.Option
+	if cfg.async {
+		estOpts = append(estOpts, frequency.WithAsync())
+	}
 	fq := &Frequency[T]{eps: eps}
 	procs := make([]func([]T), k)
 	for i := 0; i < k; i++ {
-		est := frequency.NewEstimator(eps, newSorter())
+		est := frequency.NewEstimator(eps, newSorter(), estOpts...)
 		fq.ests = append(fq.ests, est)
 		// The pool never closes shard estimators while workers still hand
 		// them batches, so ingestion here cannot fail.
 		procs[i] = func(b []T) { _ = est.ProcessSlice(b) }
 	}
-	fq.pool = newPool(procs, opts...)
+	fq.pool = newPool(procs, cfg, func() {
+		for _, est := range fq.ests {
+			_ = est.Close()
+		}
+	})
 	return fq
 }
 

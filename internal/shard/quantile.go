@@ -45,16 +45,25 @@ func NewQuantile[T sorter.Value](eps float64, capacity int64, shards int, newSor
 	if k > 1 {
 		shardEps = eps / 2
 	}
+	cfg := parseOptions(opts)
+	var estOpts []quantile.Option
+	if cfg.async {
+		estOpts = append(estOpts, quantile.WithAsync())
+	}
 	q := &Quantile[T]{eps: eps}
 	procs := make([]func([]T), k)
 	for i := 0; i < k; i++ {
-		est := quantile.NewEstimator(shardEps, capacity, newSorter())
+		est := quantile.NewEstimator(shardEps, capacity, newSorter(), estOpts...)
 		q.ests = append(q.ests, est)
 		// The pool never closes shard estimators while workers still hand
 		// them batches, so ingestion here cannot fail.
 		procs[i] = func(b []T) { _ = est.ProcessSlice(b) }
 	}
-	q.pool = newPool(procs, opts...)
+	q.pool = newPool(procs, cfg, func() {
+		for _, est := range q.ests {
+			_ = est.Close()
+		}
+	})
 	return q
 }
 

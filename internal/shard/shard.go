@@ -53,6 +53,7 @@ type Option func(*config)
 
 type config struct {
 	batch int
+	async bool
 }
 
 // WithBatchSize overrides the hand-off batch size (default
@@ -65,6 +66,22 @@ func WithBatchSize(n int) Option {
 		}
 		c.batch = n
 	}
+}
+
+// WithAsync enables staged asynchronous ingestion inside every shard
+// estimator: each worker's windows sort on a dedicated stage goroutine
+// overlapping the merge/compress of the previous window, so a K-shard
+// estimator runs up to 2K pipeline stages concurrently. Answers stay
+// bit-identical to synchronous shards.
+func WithAsync() Option { return func(c *config) { c.async = true } }
+
+// parseOptions folds opts over the default configuration.
+func parseOptions(opts []Option) config {
+	cfg := config{batch: DefaultBatchSize}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return cfg
 }
 
 // Resolve normalizes a user-supplied shard count: values <= 0 select
@@ -97,6 +114,10 @@ type pool[T sorter.Value] struct {
 	batch   int
 	workers []*worker[T]
 	wg      sync.WaitGroup
+	// cleanup runs once after every worker has exited; the sharded
+	// estimators use it to Close their per-shard estimators so async stage
+	// goroutines terminate with the pool.
+	cleanup func()
 
 	mu       sync.Mutex // guards cur, next, inflight, total, closed
 	cond     *sync.Cond // signaled when inflight reaches zero
@@ -107,13 +128,10 @@ type pool[T sorter.Value] struct {
 	closed   bool
 }
 
-// newPool starts one worker goroutine per processor.
-func newPool[T sorter.Value](processors []func([]T), opts ...Option) *pool[T] {
-	cfg := config{batch: DefaultBatchSize}
-	for _, o := range opts {
-		o(&cfg)
-	}
-	p := &pool[T]{batch: cfg.batch}
+// newPool starts one worker goroutine per processor. cleanup (may be nil)
+// runs once after the last worker exits.
+func newPool[T sorter.Value](processors []func([]T), cfg config, cleanup func()) *pool[T] {
+	p := &pool[T]{batch: cfg.batch, cleanup: cleanup}
 	p.cond = sync.NewCond(&p.mu)
 	p.cur = make([]T, 0, p.batch)
 	for _, proc := range processors {
@@ -293,9 +311,21 @@ func (p *pool[T]) CloseContext(ctx context.Context) error {
 		close(w.ch)
 	}
 	if err != nil {
+		// The workers are still absorbing their queued batches; run the
+		// estimator cleanup once they exit so no stage goroutine outlives
+		// them, without blocking past the caller's deadline.
+		if p.cleanup != nil {
+			go func() {
+				p.wg.Wait()
+				p.cleanup()
+			}()
+		}
 		return fmt.Errorf("shard: Close abandoned drain: %w", err)
 	}
 	p.wg.Wait()
+	if p.cleanup != nil {
+		p.cleanup()
+	}
 	return nil
 }
 

@@ -1,0 +1,75 @@
+package sorter
+
+// Asynchronous submission surface. The paper's co-processing claim (Sections
+// 3-4) rests on the GPU sorting the current window while the CPU merges and
+// compresses the previous one; the API analog is a sort submission that
+// returns immediately with a completion handle instead of blocking the
+// caller. Every backend in this repository implements AsyncSorter: the GPU
+// sorters model the paper's non-blocking render submission followed by a
+// blocking framebuffer readback, and the CPU sorters model a sort offloaded
+// to another core.
+//
+// The contract mirrors the hardware: one submission in flight per sorter
+// instance. Backends keep per-sort state (the GPU simulator's LastStats), so
+// overlapping two SortAsync calls on the same instance is a data race, the
+// same way overlapping two render passes on one 2004-era context would be.
+// The staged pipeline executor obeys this by construction — its sort stage
+// submits one window at a time.
+
+// Handle is the completion handle of an asynchronous sort submission. Wait
+// blocks until the submitted sort has finished and its results are visible
+// to the waiting goroutine (the handle closure establishes the
+// happens-before edge); Done exposes the underlying channel for select
+// loops.
+type Handle struct {
+	done chan struct{}
+}
+
+// NewHandle returns an unresolved handle. Backends that implement SortAsync
+// without Submit resolve it with Complete when their sort finishes.
+func NewHandle() *Handle { return &Handle{done: make(chan struct{})} }
+
+// Complete resolves the handle, releasing every Wait. It must be called
+// exactly once.
+func (h *Handle) Complete() { close(h.done) }
+
+// Wait blocks until the sort completes.
+func (h *Handle) Wait() { <-h.done }
+
+// Done returns a channel closed when the sort completes.
+func (h *Handle) Done() <-chan struct{} { return h.done }
+
+// AsyncSorter is a Sorter that also accepts non-blocking submissions: the
+// data slice is handed to the backend, SortAsync returns immediately, and
+// the slice is sorted ascending in place by the time the handle resolves.
+// The caller must not touch data between submission and Wait.
+type AsyncSorter[T Value] interface {
+	Sorter[T]
+	// SortAsync submits data for sorting and returns a completion handle.
+	// At most one submission may be in flight per sorter instance.
+	SortAsync(data []T) *Handle
+}
+
+// Submit runs s.Sort(data) on its own goroutine and returns the completion
+// handle — the generic adapter the backends build their SortAsync on. The
+// goroutine is short-lived (one sort) and always terminates, so Submit
+// introduces no lifecycle to manage beyond the handle itself.
+func Submit[T Value](s Sorter[T], data []T) *Handle {
+	h := NewHandle()
+	go func() {
+		s.Sort(data)
+		h.Complete()
+	}()
+	return h
+}
+
+// SortVia sorts data with s, preferring the asynchronous surface when the
+// backend offers one (submit + wait, the shape of a render call followed by
+// readback) and falling back to the blocking Sort otherwise.
+func SortVia[T Value](s Sorter[T], data []T) {
+	if as, ok := s.(AsyncSorter[T]); ok {
+		as.SortAsync(data).Wait()
+		return
+	}
+	s.Sort(data)
+}

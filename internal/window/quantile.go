@@ -31,9 +31,16 @@ type SlidingQuantile[T sorter.Value] struct {
 
 // NewSlidingQuantile returns a sliding-window quantile estimator of window
 // size w and error eps, sorting panes with s.
-func NewSlidingQuantile[T sorter.Value](eps float64, w int, s sorter.Sorter[T]) *SlidingQuantile[T] {
+func NewSlidingQuantile[T sorter.Value](eps float64, w int, s sorter.Sorter[T], opts ...Option) *SlidingQuantile[T] {
+	var cfg config
+	for _, o := range opts {
+		o(&cfg)
+	}
 	q := &SlidingQuantile[T]{eps: eps, w: w, sorter: s}
-	q.core = pipeline.NewCore(paneSize(eps, w), q.sealPane)
+	q.core = pipeline.NewStagedCore(paneSize(eps, w), s, q.sealSorted)
+	if cfg.async {
+		q.core.StartAsync()
+	}
 	return q
 }
 
@@ -60,6 +67,7 @@ func (q *SlidingQuantile[T]) SortedValues() int64 { return q.core.Stats().Sorted
 func (q *SlidingQuantile[T]) Panes() int {
 	q.core.Lock()
 	defer q.core.Unlock()
+	q.core.BarrierLocked()
 	return len(q.panes)
 }
 
@@ -68,6 +76,7 @@ func (q *SlidingQuantile[T]) Panes() int {
 func (q *SlidingQuantile[T]) SummaryEntries() int {
 	q.core.Lock()
 	defer q.core.Unlock()
+	q.core.BarrierLocked()
 	total := q.core.BufferedLocked()
 	for _, p := range q.panes {
 		total += p.Size()
@@ -93,13 +102,16 @@ func (q *SlidingQuantile[T]) Flush() error { return q.core.Flush() }
 // pipeline.ErrClosed. Close is idempotent.
 func (q *SlidingQuantile[T]) Close() error { return q.core.Close() }
 
-// sealPane summarizes one full pane handed over by the core and expires old
-// panes. The core holds the lock.
-func (q *SlidingQuantile[T]) sealPane(win []T) {
+// sealSorted is the merge-stage half of the pane pipeline: it receives a
+// pane the core has already sorted (inline, or on the sort stage goroutine
+// in async mode), reduces it to a summary, and expires old panes. The core
+// holds the lock around the call in both modes.
+func (q *SlidingQuantile[T]) sealSorted(win []T) {
+	// Summary reduction belongs to the paper's sort stage accounting; the
+	// values were already counted when the core timed the sort itself.
 	t0 := time.Now()
-	q.sorter.Sort(win)
 	s := summary.FromSortedWindow(win, q.eps)
-	q.core.AddSort(time.Since(t0), int64(len(win)))
+	q.core.AddSort(time.Since(t0), 0)
 	q.panes = append(q.panes, s)
 
 	maxPanes := (q.w + q.core.WindowSize() - 1) / q.core.WindowSize()
@@ -143,6 +155,9 @@ func (q *SlidingQuantile[T]) partialSummaryLocked() *summary.Summary[T] {
 // pane buffer into one queryable summary. Caller must hold the core lock;
 // the result is immutable and may outlive the locked region.
 func (q *SlidingQuantile[T]) snapshot(span int) *summary.Summary[T] {
+	// Drain in-flight panes so the ring covers the whole emitted prefix and
+	// the sorter is idle for the partial-pane sort.
+	q.core.BarrierLocked()
 	t1 := time.Now()
 	acc := mergePaneSummaries(q.panes, q.partialSummaryLocked(), span)
 	q.core.AddMerge(time.Since(t1), 0)
@@ -198,6 +213,7 @@ type QuantileSnapshot[T sorter.Value] struct {
 func (q *SlidingQuantile[T]) Snapshot() pipeline.View[T] {
 	q.core.Lock()
 	defer q.core.Unlock()
+	q.core.BarrierLocked()
 	return &QuantileSnapshot[T]{
 		eps:     q.eps,
 		w:       q.w,

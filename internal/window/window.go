@@ -33,6 +33,19 @@ import (
 // Item is a reported element with its estimated in-window frequency.
 type Item[T sorter.Value] = pipeline.Item[T]
 
+// Option configures a sliding estimator (either kind; the knobs tune the
+// execution mode, not the summaries).
+type Option func(*config)
+
+type config struct {
+	async bool
+}
+
+// WithAsync enables staged asynchronous ingestion: panes sort on a dedicated
+// stage goroutine overlapping the histogram/summary sealing of the previous
+// pane. Answers are bit-identical to synchronous mode.
+func WithAsync() Option { return func(c *config) { c.async = true } }
+
 // paneSize derives the pane length from eps and W, clamped to [1, W].
 func paneSize(eps float64, w int) int {
 	if eps <= 0 || eps >= 1 {
@@ -84,9 +97,16 @@ type SlidingFrequency[T sorter.Value] struct {
 
 // NewSlidingFrequency returns a sliding-window frequency estimator of window
 // size w and error eps, sorting panes with s.
-func NewSlidingFrequency[T sorter.Value](eps float64, w int, s sorter.Sorter[T]) *SlidingFrequency[T] {
+func NewSlidingFrequency[T sorter.Value](eps float64, w int, s sorter.Sorter[T], opts ...Option) *SlidingFrequency[T] {
+	var cfg config
+	for _, o := range opts {
+		o(&cfg)
+	}
 	f := &SlidingFrequency[T]{eps: eps, w: w, sorter: s}
-	f.core = pipeline.NewCore(paneSize(eps, w), f.sealPane)
+	f.core = pipeline.NewStagedCore(paneSize(eps, w), s, f.sealSorted)
+	if cfg.async {
+		f.core.StartAsync()
+	}
 	return f
 }
 
@@ -113,6 +133,7 @@ func (f *SlidingFrequency[T]) SortedValues() int64 { return f.core.Stats().Sorte
 func (f *SlidingFrequency[T]) Panes() int {
 	f.core.Lock()
 	defer f.core.Unlock()
+	f.core.BarrierLocked()
 	return len(f.panes)
 }
 
@@ -134,14 +155,17 @@ func (f *SlidingFrequency[T]) Flush() error { return f.core.Flush() }
 // pipeline.ErrClosed. Close is idempotent.
 func (f *SlidingFrequency[T]) Close() error { return f.core.Close() }
 
-// sealPane summarizes one full pane handed over by the core and expires old
-// panes. The core holds the lock.
-func (f *SlidingFrequency[T]) sealPane(win []T) {
+// sealSorted is the merge-stage half of the pane pipeline: it receives a
+// pane the core has already sorted (inline, or on the sort stage goroutine
+// in async mode), collapses it to a histogram, compresses it, and expires
+// old panes. The core holds the lock around the call in both modes.
+func (f *SlidingFrequency[T]) sealSorted(win []T) {
+	// The histogram collapse belongs to the paper's sort stage accounting;
+	// the values were already counted when the core timed the sort itself.
 	t0 := time.Now()
-	f.sorter.Sort(win)
 	f.binScratch = histogram.AppendSorted(f.binScratch[:0], win)
 	bins := f.binScratch
-	f.core.AddSort(time.Since(t0), int64(len(win)))
+	f.core.AddSort(time.Since(t0), 0)
 
 	// Compress: drop light bins; each drop undercounts an item by at most
 	// eps*pane/2, and with <= 2/eps panes in a window the total stays
@@ -241,6 +265,9 @@ func (f *SlidingFrequency[T]) partialBinsLocked() []histogram.Bin[T] {
 // least span elements, plus the current partial pane, along with the element
 // count it represents. Caller must hold the core lock.
 func (f *SlidingFrequency[T]) merged(span int) ([]histogram.Bin[T], int64) {
+	// Drain in-flight panes so the ring covers the whole emitted prefix and
+	// the sorter is idle for the partial-pane sort.
+	f.core.BarrierLocked()
 	t1 := time.Now()
 	bins, covered := mergePaneBins(f.panes, f.partialBinsLocked(), int64(f.core.BufferedLocked()), span)
 	f.core.AddMerge(time.Since(t1), 0)
@@ -300,6 +327,7 @@ type FrequencySnapshot[T sorter.Value] struct {
 func (f *SlidingFrequency[T]) Snapshot() pipeline.View[T] {
 	f.core.Lock()
 	defer f.core.Unlock()
+	f.core.BarrierLocked()
 	pbins := f.partialBinsLocked()
 	if pbins != nil {
 		// The scratch-backed histogram copy is reused by later queries;

@@ -157,6 +157,76 @@ func TestMetamorphicParallelK1(t *testing.T) {
 	answersEqual(t, "parallel-quantile", quantAns)
 }
 
+// TestMetamorphicAsyncMatchesSync extends the chunking property across the
+// staged executor: for every ingestion plan, async ingestion must agree
+// bit-for-bit with synchronous ingestion of the same chunks — for all four
+// serial families and for K∈{1,4} sharded ingestion. (For K>1 the shard
+// assignment depends on the chunk plan, so async is pinned to sync per plan
+// rather than across plans.)
+func TestMetamorphicAsyncMatchesSync(t *testing.T) {
+	const n = 30_000
+	data := metamorphicStream(n)
+	for pi, plan := range chunkPlans(n, 14) {
+		serial := func(async bool) any {
+			var eopts []gpustream.EstimatorOption
+			if async {
+				eopts = append(eopts, gpustream.WithAsyncIngestion())
+			}
+			eng := gpustream.New(gpustream.BackendCPU)
+			fe := eng.NewFrequencyEstimator(0.002, eopts...)
+			qe := eng.NewQuantileEstimator(0.005, n, eopts...)
+			sf := eng.NewSlidingFrequency(0.01, 8_000, eopts...)
+			sq := eng.NewSlidingQuantile(0.01, 8_000, eopts...)
+			for _, est := range []interface {
+				Process(float32) error
+				ProcessSlice([]float32) error
+			}{fe, qe, sf, sq} {
+				ingest(est, data, plan)
+			}
+			ans := struct {
+				Heavy   []gpustream.Item[float32]
+				Medians []float32
+				SlideHH []gpustream.WindowItem[float32]
+				SlideQ  []float32
+			}{Heavy: fe.Query(0.01), SlideHH: sf.Query(0.02)}
+			for _, phi := range []float64{0, 0.25, 0.5, 0.75, 1} {
+				ans.Medians = append(ans.Medians, qe.Query(phi))
+				ans.SlideQ = append(ans.SlideQ, sq.Query(phi))
+			}
+			fe.Close()
+			qe.Close()
+			sf.Close()
+			sq.Close()
+			return ans
+		}
+		parallel := func(k int, async bool) any {
+			popts := []gpustream.ParallelOption{gpustream.WithBatchSize(1024)}
+			if async {
+				popts = append(popts, gpustream.WithAsyncShards())
+			}
+			eng := gpustream.New(gpustream.BackendCPU)
+			pf := eng.NewParallelFrequencyEstimator(0.002, k, popts...)
+			pq := eng.NewParallelQuantileEstimator(0.005, n, k, popts...)
+			ingest(pf, data, plan)
+			ingest(pq, data, plan)
+			pf.Close()
+			pq.Close()
+			return any(struct {
+				HH []gpustream.Item[float32]
+				Qs []float32
+			}{HH: pf.Query(0.01), Qs: []float32{pq.Query(0.25), pq.Query(0.5), pq.Query(0.75)}})
+		}
+		if s, a := serial(false), serial(true); !reflect.DeepEqual(s, a) {
+			t.Fatalf("plan %d: serial async diverged from sync:\n  sync:  %v\n  async: %v", pi, s, a)
+		}
+		for _, k := range []int{1, 4} {
+			if s, a := parallel(k, false), parallel(k, true); !reflect.DeepEqual(s, a) {
+				t.Fatalf("plan %d: K=%d async diverged from sync:\n  sync:  %v\n  async: %v", pi, k, s, a)
+			}
+		}
+	}
+}
+
 // typedChunkCase runs the whole family matrix at element type T under the
 // three ingestion plans and demands bit-identical answers, extending the
 // chunking metamorphic property beyond float32.
