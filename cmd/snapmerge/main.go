@@ -1,0 +1,145 @@
+// Command snapmerge is the fan-in node of a cross-process aggregation tree:
+// it reads N snapshot files (as written by `streammine -snapshot` or any
+// process calling gpustream.MarshalSnapshot), merges them with the shard
+// merge rules, and either prints the merged answers or re-marshals the
+// merged root snapshot for the next tree level.
+//
+// Usage:
+//
+//	snapmerge a.snap b.snap c.snap              (print merged answers)
+//	snapmerge -o root.snap a.snap b.snap        (emit a merged snapshot for
+//	                                             the next aggregation level)
+//	snapmerge -type uint64 shard*.snap          (non-float32 streams)
+//	snapmerge -phis 0.5,0.99 -support 0.01 ...  (query probes)
+//
+// All input files must share one family and one value type; workers feeding
+// an aggregation tree of height h should run at gpustream.TreeEps(eps, h)
+// so the merged root answer stays eps-approximate end to end.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"gpustream"
+)
+
+func main() {
+	typeName := flag.String("type", "float32", "snapshot value type: float32|float64|uint32|uint64|int32|int64")
+	out := flag.String("o", "", "write the merged snapshot to this file instead of printing answers")
+	phis := flag.String("phis", "0.01,0.25,0.5,0.75,0.99", "quantile probes (quantile-answering families)")
+	support := flag.Float64("support", 0.01, "heavy-hitter support threshold (frequency-answering families)")
+	top := flag.Int("top", 10, "max heavy hitters to print")
+	flag.Parse()
+
+	paths := flag.Args()
+	if len(paths) == 0 {
+		fatalf("no snapshot files given")
+	}
+
+	var err error
+	switch strings.ToLower(strings.TrimSpace(*typeName)) {
+	case "float32":
+		err = run[float32](paths, *out, *phis, *support, *top)
+	case "float64":
+		err = run[float64](paths, *out, *phis, *support, *top)
+	case "uint32":
+		err = run[uint32](paths, *out, *phis, *support, *top)
+	case "uint64":
+		err = run[uint64](paths, *out, *phis, *support, *top)
+	case "int32":
+		err = run[int32](paths, *out, *phis, *support, *top)
+	case "int64":
+		err = run[int64](paths, *out, *phis, *support, *top)
+	default:
+		err = fmt.Errorf("unknown value type %q", *typeName)
+	}
+	if err != nil {
+		fatalf("%v", err)
+	}
+}
+
+// run loads, merges, and either re-emits or reports the snapshots at value
+// type T.
+func run[T gpustream.Value](paths []string, out, phis string, support float64, top int) error {
+	snaps := make([]gpustream.Snapshot[T], 0, len(paths))
+	for _, path := range paths {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		s, err := gpustream.UnmarshalSnapshot[T](data)
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		snaps = append(snaps, s)
+	}
+	merged, err := gpustream.MergeAll(snaps...)
+	if err != nil {
+		return err
+	}
+
+	if out != "" {
+		blob, err := gpustream.MarshalSnapshot(merged)
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(out, blob, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("merged %d snapshots covering %d values into %s (%d bytes, %d summary entries)\n",
+			len(snaps), merged.Count(), out, len(blob), merged.Size())
+		return nil
+	}
+
+	fmt.Printf("merged %d snapshots: %d values, %d summary entries\n",
+		len(snaps), merged.Count(), merged.Size())
+	answered := false
+	if _, ok := merged.Quantile(0.5); ok {
+		answered = true
+		fmt.Println("quantiles:")
+		for _, phi := range parsePhis(phis) {
+			v, _ := merged.Quantile(phi)
+			fmt.Printf("  phi=%.3f -> %v\n", phi, v)
+		}
+	}
+	if items, ok := merged.HeavyHitters(support); ok {
+		answered = true
+		fmt.Printf("heavy hitters (support %g):\n", support)
+		for i, it := range items {
+			if i >= top {
+				fmt.Printf("  ... and %d more\n", len(items)-top)
+				break
+			}
+			fmt.Printf("  value %v: freq >= %d\n", it.Value, it.Freq)
+		}
+	}
+	if !answered {
+		fmt.Println("snapshot family answers no queries on an empty stream")
+	}
+	return nil
+}
+
+func parsePhis(s string) []float64 {
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		phi, err := strconv.ParseFloat(part, 64)
+		if err != nil || phi < 0 || phi > 1 {
+			fatalf("bad quantile probe %q", part)
+		}
+		out = append(out, phi)
+	}
+	return out
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "snapmerge: "+format+"\n", args...)
+	os.Exit(1)
+}

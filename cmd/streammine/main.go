@@ -14,6 +14,9 @@
 //	streammine -async ...                             (staged co-processing:
 //	                                                   sort overlaps merge)
 //	streammine -stats ...                             (per-stage pipeline report)
+//	streammine -snapshot part.snap ...                (write the final snapshot
+//	                                                   in the wire format; fan
+//	                                                   in with snapmerge)
 //	streammine -cpuprofile cpu.pb -memprofile mem.pb -trace run.trace ...
 //	                                                  (pprof / runtime-trace;
 //	                                                   `go tool trace run.trace`
@@ -50,6 +53,7 @@ func main() {
 	seed := flag.Uint64("seed", 1, "generator seed")
 	replayPath := flag.String("replay", "", "replay this trace file instead of generating")
 	top := flag.Int("top", 10, "max frequency items to print")
+	snapPath := flag.String("snapshot", "", "write the final snapshot in the binary wire format to this file (fan in with snapmerge)")
 	showStats := flag.Bool("stats", false, "print the per-stage pipeline telemetry report")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
@@ -144,6 +148,7 @@ func main() {
 				time.Since(start), est.Shards(), est.SummarySize(), *support)
 			printItems(items, *top)
 			printSharded(est.ModeledTime(eng.Model(), backend.PipelineBackend()), est.Shards())
+			writeSnapshot(*snapPath, est)
 		} else if *windowSize > 0 {
 			est := eng.NewSlidingFrequency(*eps, *windowSize, eopts...)
 			est.ProcessSlice(data)
@@ -151,6 +156,7 @@ func main() {
 			fmt.Printf("processed in %v; heavy hitters over last %d elements (support %g):\n",
 				time.Since(start), *windowSize, *support)
 			printWindowItems(items, *top)
+			writeSnapshot(*snapPath, est)
 		} else {
 			est := eng.NewFrequencyEstimator(*eps, eopts...)
 			est.ProcessSlice(data)
@@ -159,6 +165,7 @@ func main() {
 				time.Since(start), est.SummarySize(), *support)
 			printItems(items, *top)
 			printPhases(est.Stats())
+			writeSnapshot(*snapPath, est)
 		}
 	case "quantile":
 		probes := parsePhis(*phis)
@@ -172,6 +179,7 @@ func main() {
 				fmt.Printf("  phi=%.3f -> %v\n", phi, est.Query(phi))
 			}
 			printSharded(est.ModeledTime(eng.Model(), backend.PipelineBackend()), est.Shards())
+			writeSnapshot(*snapPath, est)
 		} else if *windowSize > 0 {
 			est := eng.NewSlidingQuantile(*eps, *windowSize, eopts...)
 			est.ProcessSlice(data)
@@ -180,6 +188,7 @@ func main() {
 			for _, phi := range probes {
 				fmt.Printf("  phi=%.3f -> %v\n", phi, est.Query(phi))
 			}
+			writeSnapshot(*snapPath, est)
 		} else {
 			est := eng.NewQuantileEstimator(*eps, int64(*n), eopts...)
 			est.ProcessSlice(data)
@@ -189,6 +198,7 @@ func main() {
 				fmt.Printf("  phi=%.3f -> %v\n", phi, est.Query(phi))
 			}
 			printPhases(est.Stats())
+			writeSnapshot(*snapPath, est)
 		}
 	default:
 		fatalf("unknown query %q", *query)
@@ -202,6 +212,23 @@ func main() {
 		fmt.Printf("last GPU sort (modeled 2004 testbed): compute %v, transfer %v, setup %v, merge %v\n",
 			b.Compute, b.Transfer, b.Setup, b.Merge)
 	}
+}
+
+// writeSnapshot marshals est's final snapshot in the binary wire format to
+// path, so a downstream snapmerge (or any process) can merge it with other
+// partitions' snapshots. No-op when path is empty.
+func writeSnapshot(path string, est gpustream.Estimator[float32]) {
+	if path == "" {
+		return
+	}
+	blob, err := gpustream.MarshalSnapshot(est.Snapshot())
+	if err != nil {
+		fatalf("snapshot: %v", err)
+	}
+	if err := os.WriteFile(path, blob, 0o644); err != nil {
+		fatalf("snapshot: %v", err)
+	}
+	fmt.Printf("snapshot: wrote %d bytes to %s\n", len(blob), path)
 }
 
 func generate(dist string, n int, seed uint64) []float32 {

@@ -1,0 +1,83 @@
+package frequency
+
+import (
+	"gpustream/internal/sorter"
+	"gpustream/internal/wire"
+)
+
+// Wire layout of a frequency Snapshot (family tag wire.FamilyFrequency):
+//
+//	header  wire.HeaderSize bytes
+//	eps     float64
+//	n       int64
+//	count   uint32
+//	entries count × (value[4|8] + freq int64 + delta int64)
+//
+// Entries are strictly value-ascending, matching the in-memory summary; the
+// decoder enforces it so a decoded snapshot upholds the same invariants as a
+// live one. See DESIGN.md section 12.
+
+// MarshalBinary implements encoding.BinaryMarshaler: the versioned,
+// endian-stable wire encoding of the snapshot. The encoding is canonical —
+// unmarshal then marshal reproduces the bytes exactly.
+func (s *Snapshot[T]) MarshalBinary() ([]byte, error) {
+	b := make([]byte, 0, wire.HeaderSize+8+8+4+len(s.entries)*(wire.ValueSize[T]()+16))
+	b = wire.AppendHeader(b, wire.FamilyFrequency, wire.TagOf[T]())
+	b = wire.AppendF64(b, s.eps)
+	b = wire.AppendI64(b, s.n)
+	b = wire.AppendU32(b, uint32(len(s.entries)))
+	for _, e := range s.entries {
+		b = wire.AppendValue(b, e.value)
+		b = wire.AppendI64(b, e.freq)
+		b = wire.AppendI64(b, e.delta)
+	}
+	return b, nil
+}
+
+// UnmarshalSnapshot decodes a frequency snapshot marshaled by any process.
+// Every failure — truncation, bad header, mismatched tags, overflowed
+// lengths, unsorted entries — returns a wrapped wire sentinel error;
+// UnmarshalSnapshot never panics and never allocates from an unvalidated
+// length field.
+func UnmarshalSnapshot[T sorter.Value](data []byte) (*Snapshot[T], error) {
+	r := wire.NewReader(data)
+	if err := r.Header(wire.FamilyFrequency, wire.TagOf[T]()); err != nil {
+		return nil, err
+	}
+	s := &Snapshot[T]{}
+	var err error
+	if s.eps, err = r.F64(); err != nil {
+		return nil, err
+	}
+	if s.n, err = r.I64(); err != nil {
+		return nil, err
+	}
+	if s.n < 0 {
+		return nil, wire.Corruptf("frequency: negative stream length %d", s.n)
+	}
+	count, err := r.Count(wire.ValueSize[T]() + 16)
+	if err != nil {
+		return nil, err
+	}
+	if count > 0 {
+		s.entries = make([]entry[T], count)
+	}
+	for i := range s.entries {
+		if s.entries[i].value, err = wire.ReadValue[T](r); err != nil {
+			return nil, err
+		}
+		if s.entries[i].freq, err = r.I64(); err != nil {
+			return nil, err
+		}
+		if s.entries[i].delta, err = r.I64(); err != nil {
+			return nil, err
+		}
+		if i > 0 && !(s.entries[i-1].value < s.entries[i].value) {
+			return nil, wire.Corruptf("frequency: entries not strictly value-ascending at %d", i)
+		}
+	}
+	if err := r.Finish(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}

@@ -1,0 +1,68 @@
+package quantile
+
+import (
+	"gpustream/internal/sorter"
+	"gpustream/internal/summary"
+	"gpustream/internal/wire"
+)
+
+// Wire layout of a quantile Snapshot (family tag wire.FamilyQuantile):
+//
+//	header  wire.HeaderSize bytes
+//	eps     float64
+//	present uint8 (0 = empty stream, 1 = summary follows)
+//	summary summary wire encoding (eps, n, count, entries)
+//
+// See DESIGN.md section 12.
+
+// MarshalBinary implements encoding.BinaryMarshaler: the versioned,
+// endian-stable wire encoding of the snapshot. The encoding is canonical —
+// unmarshal then marshal reproduces the bytes exactly.
+func (s *Snapshot[T]) MarshalBinary() ([]byte, error) {
+	size := wire.HeaderSize + 8 + 1
+	if s.sum != nil {
+		size += summary.EncodedSize(s.sum)
+	}
+	b := make([]byte, 0, size)
+	b = wire.AppendHeader(b, wire.FamilyQuantile, wire.TagOf[T]())
+	b = wire.AppendF64(b, s.eps)
+	if s.sum == nil {
+		return wire.AppendU8(b, 0), nil
+	}
+	b = wire.AppendU8(b, 1)
+	return summary.AppendBinary(b, s.sum), nil
+}
+
+// UnmarshalSnapshot decodes a quantile snapshot marshaled by any process.
+// Every failure — truncation, bad header, mismatched tags, overflowed
+// lengths, violated GK invariants — returns a wrapped wire sentinel error;
+// UnmarshalSnapshot never panics and never allocates from an unvalidated
+// length field.
+func UnmarshalSnapshot[T sorter.Value](data []byte) (*Snapshot[T], error) {
+	r := wire.NewReader(data)
+	if err := r.Header(wire.FamilyQuantile, wire.TagOf[T]()); err != nil {
+		return nil, err
+	}
+	s := &Snapshot[T]{}
+	var err error
+	if s.eps, err = r.F64(); err != nil {
+		return nil, err
+	}
+	present, err := r.U8()
+	if err != nil {
+		return nil, err
+	}
+	switch present {
+	case 0:
+	case 1:
+		if s.sum, err = summary.Decode[T](r); err != nil {
+			return nil, err
+		}
+	default:
+		return nil, wire.Corruptf("quantile: summary-present flag %d", present)
+	}
+	if err := r.Finish(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}

@@ -3,7 +3,6 @@ package shard
 import (
 	"context"
 	"fmt"
-	"sort"
 	"sync/atomic"
 
 	"gpustream/internal/frequency"
@@ -95,31 +94,26 @@ func (fq *Frequency[T]) Close() error { return fq.pool.Close() }
 // the context error is returned wrapped. See pool.CloseContext.
 func (fq *Frequency[T]) CloseContext(ctx context.Context) error { return fq.pool.CloseContext(ctx) }
 
-// mergedEntries flushes, snapshots every shard, and merges the per-shard
-// summaries by value, summing estimated frequencies and undercount bounds.
-// It returns the merged entries (value-ascending) and the total stream
-// length.
-func (fq *Frequency[T]) mergedEntries() ([]frequency.SummaryEntry[T], int64) {
+// merged flushes, snapshots every shard, and folds the per-shard summaries
+// with frequency.MergeSnapshots — the same value-aligned additive-undercount
+// rule the cross-process aggregation tree uses on marshaled snapshots.
+func (fq *Frequency[T]) merged() *frequency.Snapshot[T] {
 	fq.pool.Flush()
-	var all []frequency.SummaryEntry[T]
-	var n int64
+	var acc *frequency.Snapshot[T]
+	var ops int64
 	for _, est := range fq.ests {
 		snap := est.Snapshot().(*frequency.Snapshot[T])
-		all = append(all, snap.Entries()...)
-		n += snap.Count()
-	}
-	sort.Slice(all, func(i, j int) bool { return all[i].Value < all[j].Value })
-	merged := all[:0]
-	for _, e := range all {
-		if len(merged) > 0 && merged[len(merged)-1].Value == e.Value {
-			merged[len(merged)-1].Freq += e.Freq
-			merged[len(merged)-1].Delta += e.Delta
+		if acc == nil {
+			acc = snap
 			continue
 		}
-		merged = append(merged, e)
+		acc = frequency.MergeSnapshots(acc, snap)
+		ops += int64(acc.Size())
 	}
-	fq.queryMergeOps.Add(int64(len(all)))
-	return merged, n
+	if ops > 0 {
+		fq.queryMergeOps.Add(ops)
+	}
+	return acc
 }
 
 // Snapshot returns an immutable point-in-time view over the merged shard
@@ -129,8 +123,7 @@ func (fq *Frequency[T]) Snapshot() pipeline.View[T] {
 		fq.pool.Flush()
 		return fq.ests[0].Snapshot()
 	}
-	entries, n := fq.mergedEntries()
-	return frequency.SnapshotFromEntries(entries, n, fq.eps)
+	return fq.merged()
 }
 
 // Query returns every element whose merged estimated frequency is at least
@@ -144,21 +137,7 @@ func (fq *Frequency[T]) Query(s float64) []frequency.Item[T] {
 		fq.pool.Flush()
 		return fq.ests[0].Query(s)
 	}
-	entries, n := fq.mergedEntries()
-	thresh := (s - fq.eps) * float64(n)
-	var out []frequency.Item[T]
-	for _, e := range entries {
-		if float64(e.Freq) >= thresh {
-			out = append(out, frequency.Item[T]{Value: e.Value, Freq: e.Freq})
-		}
-	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Freq != out[j].Freq {
-			return out[i].Freq > out[j].Freq
-		}
-		return out[i].Value < out[j].Value
-	})
-	return out
+	return fq.merged().Query(s)
 }
 
 // Estimate returns the merged estimated frequency of v (0 if no shard

@@ -104,32 +104,37 @@ func (q *Quantile[T]) CloseContext(ctx context.Context) error { return q.pool.Cl
 // any data arrives), mainly for validation harnesses.
 func (q *Quantile[T]) Summary() *summary.Summary[T] { return q.snapshot() }
 
-// snapshot flushes the pipeline and merges the per-shard summaries. Each
-// shard estimator synchronizes internally, so this is safe against
-// concurrent ingestion; the result is immutable.
+// snapshot flushes the pipeline and folds the per-shard snapshots with
+// quantile.MergeSnapshots — the same GK sensor-rule merge the cross-process
+// aggregation tree uses on marshaled snapshots — returning the merged
+// summary. Each shard estimator synchronizes internally, so this is safe
+// against concurrent ingestion; the result is immutable.
 func (q *Quantile[T]) snapshot() *summary.Summary[T] {
 	q.pool.Flush()
 	if len(q.ests) == 1 {
 		return q.ests[0].Summary()
 	}
-	var acc *summary.Summary[T]
+	var acc *quantile.Snapshot[T]
 	var mergeOps int64
 	for _, est := range q.ests {
-		s := est.Summary()
-		if s == nil || s.N == 0 {
+		s := est.Snapshot().(*quantile.Snapshot[T])
+		if s.Count() == 0 {
 			continue
 		}
 		if acc == nil {
 			acc = s
 			continue
 		}
-		acc = summary.Merge(acc, s)
+		acc = quantile.MergeSnapshots(acc, s)
 		mergeOps += int64(acc.Size())
 	}
 	if mergeOps > 0 {
 		q.queryMergeOps.Add(mergeOps)
 	}
-	return acc
+	if acc == nil {
+		return nil
+	}
+	return acc.Summary()
 }
 
 // Snapshot returns an immutable point-in-time view over the merged shard

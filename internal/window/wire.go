@@ -1,0 +1,224 @@
+package window
+
+import (
+	"gpustream/internal/histogram"
+	"gpustream/internal/sorter"
+	"gpustream/internal/summary"
+	"gpustream/internal/wire"
+)
+
+// Wire layouts of the sliding-window snapshots. Both serialize the pane ring
+// at full fidelity — per-pane state, not a pre-merged view — so a decoded
+// snapshot answers variable-span QueryWindow queries exactly like the
+// original. See DESIGN.md section 12.
+//
+// FrequencySnapshot (family tag wire.FamilyWindowFrequency):
+//
+//	header       wire.HeaderSize bytes
+//	eps          float64
+//	w            int64
+//	count        int64
+//	partialCount int64
+//	partialBins  uint32 + count × (value[4|8] + count int64)
+//	panes        uint32 + count × (total int64, uint32 + bins)
+//
+// QuantileSnapshot (family tag wire.FamilyWindowQuantile):
+//
+//	header  wire.HeaderSize bytes
+//	eps     float64
+//	w       int64
+//	count   int64
+//	partial uint8 (0|1) + summary wire encoding when 1
+//	panes   uint32 + count × summary wire encoding
+
+// appendBins appends a histogram bin list: uint32 count then value+count
+// pairs.
+func appendBins[T sorter.Value](b []byte, bins []histogram.Bin[T]) []byte {
+	b = wire.AppendU32(b, uint32(len(bins)))
+	for _, bin := range bins {
+		b = wire.AppendValue(b, bin.Value)
+		b = wire.AppendI64(b, bin.Count)
+	}
+	return b
+}
+
+// decodeBins reads a histogram bin list, enforcing strict value order so
+// decoded panes uphold the same invariants as live ones.
+func decodeBins[T sorter.Value](r *wire.Reader) ([]histogram.Bin[T], error) {
+	count, err := r.Count(wire.ValueSize[T]() + 8)
+	if err != nil {
+		return nil, err
+	}
+	var bins []histogram.Bin[T]
+	if count > 0 {
+		bins = make([]histogram.Bin[T], count)
+	}
+	for i := range bins {
+		if bins[i].Value, err = wire.ReadValue[T](r); err != nil {
+			return nil, err
+		}
+		if bins[i].Count, err = r.I64(); err != nil {
+			return nil, err
+		}
+		if i > 0 && !(bins[i-1].Value < bins[i].Value) {
+			return nil, wire.Corruptf("window: histogram bins not strictly value-ascending at %d", i)
+		}
+	}
+	return bins, nil
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler: the versioned,
+// endian-stable wire encoding of the snapshot. The encoding is canonical —
+// unmarshal then marshal reproduces the bytes exactly.
+func (s *FrequencySnapshot[T]) MarshalBinary() ([]byte, error) {
+	b := wire.AppendHeader(nil, wire.FamilyWindowFrequency, wire.TagOf[T]())
+	b = wire.AppendF64(b, s.eps)
+	b = wire.AppendI64(b, int64(s.w))
+	b = wire.AppendI64(b, s.count)
+	b = wire.AppendI64(b, s.partialCount)
+	b = appendBins(b, s.partialBins)
+	b = wire.AppendU32(b, uint32(len(s.panes)))
+	for _, p := range s.panes {
+		b = wire.AppendI64(b, p.total)
+		b = appendBins(b, p.bins)
+	}
+	return b, nil
+}
+
+// UnmarshalFrequencySnapshot decodes a sliding-frequency snapshot marshaled
+// by any process. Every failure returns a wrapped wire sentinel error; it
+// never panics and never allocates from an unvalidated length field.
+func UnmarshalFrequencySnapshot[T sorter.Value](data []byte) (*FrequencySnapshot[T], error) {
+	r := wire.NewReader(data)
+	if err := r.Header(wire.FamilyWindowFrequency, wire.TagOf[T]()); err != nil {
+		return nil, err
+	}
+	s := &FrequencySnapshot[T]{}
+	var err error
+	if s.eps, err = r.F64(); err != nil {
+		return nil, err
+	}
+	w, err := r.I64()
+	if err != nil {
+		return nil, err
+	}
+	if w <= 0 || int64(int(w)) != w {
+		return nil, wire.Corruptf("window: window size %d out of range", w)
+	}
+	s.w = int(w)
+	if s.count, err = r.I64(); err != nil {
+		return nil, err
+	}
+	if s.partialCount, err = r.I64(); err != nil {
+		return nil, err
+	}
+	if s.count < 0 || s.partialCount < 0 {
+		return nil, wire.Corruptf("window: negative counts (%d, %d)", s.count, s.partialCount)
+	}
+	if s.partialBins, err = decodeBins[T](r); err != nil {
+		return nil, err
+	}
+	// A pane is at least its total plus an empty bin list.
+	paneCount, err := r.Count(8 + 4)
+	if err != nil {
+		return nil, err
+	}
+	if paneCount > 0 {
+		s.panes = make([]freqPane[T], paneCount)
+	}
+	for i := range s.panes {
+		if s.panes[i].total, err = r.I64(); err != nil {
+			return nil, err
+		}
+		if s.panes[i].total < 0 {
+			return nil, wire.Corruptf("window: pane %d has negative total %d", i, s.panes[i].total)
+		}
+		if s.panes[i].bins, err = decodeBins[T](r); err != nil {
+			return nil, err
+		}
+	}
+	if err := r.Finish(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler: the versioned,
+// endian-stable wire encoding of the snapshot. The encoding is canonical —
+// unmarshal then marshal reproduces the bytes exactly.
+func (s *QuantileSnapshot[T]) MarshalBinary() ([]byte, error) {
+	b := wire.AppendHeader(nil, wire.FamilyWindowQuantile, wire.TagOf[T]())
+	b = wire.AppendF64(b, s.eps)
+	b = wire.AppendI64(b, int64(s.w))
+	b = wire.AppendI64(b, s.count)
+	if s.partial == nil {
+		b = wire.AppendU8(b, 0)
+	} else {
+		b = wire.AppendU8(b, 1)
+		b = summary.AppendBinary(b, s.partial)
+	}
+	b = wire.AppendU32(b, uint32(len(s.panes)))
+	for _, p := range s.panes {
+		b = summary.AppendBinary(b, p)
+	}
+	return b, nil
+}
+
+// UnmarshalQuantileSnapshot decodes a sliding-quantile snapshot marshaled by
+// any process. Every failure returns a wrapped wire sentinel error; it never
+// panics and never allocates from an unvalidated length field.
+func UnmarshalQuantileSnapshot[T sorter.Value](data []byte) (*QuantileSnapshot[T], error) {
+	r := wire.NewReader(data)
+	if err := r.Header(wire.FamilyWindowQuantile, wire.TagOf[T]()); err != nil {
+		return nil, err
+	}
+	s := &QuantileSnapshot[T]{}
+	var err error
+	if s.eps, err = r.F64(); err != nil {
+		return nil, err
+	}
+	w, err := r.I64()
+	if err != nil {
+		return nil, err
+	}
+	if w <= 0 || int64(int(w)) != w {
+		return nil, wire.Corruptf("window: window size %d out of range", w)
+	}
+	s.w = int(w)
+	if s.count, err = r.I64(); err != nil {
+		return nil, err
+	}
+	if s.count < 0 {
+		return nil, wire.Corruptf("window: negative count %d", s.count)
+	}
+	present, err := r.U8()
+	if err != nil {
+		return nil, err
+	}
+	switch present {
+	case 0:
+	case 1:
+		if s.partial, err = summary.Decode[T](r); err != nil {
+			return nil, err
+		}
+	default:
+		return nil, wire.Corruptf("window: partial-present flag %d", present)
+	}
+	// A pane summary is at least eps + n + an empty entry list.
+	paneCount, err := r.Count(8 + 8 + 4)
+	if err != nil {
+		return nil, err
+	}
+	if paneCount > 0 {
+		s.panes = make([]*summary.Summary[T], paneCount)
+	}
+	for i := range s.panes {
+		if s.panes[i], err = summary.Decode[T](r); err != nil {
+			return nil, err
+		}
+	}
+	if err := r.Finish(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}

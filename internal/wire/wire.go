@@ -1,0 +1,321 @@
+// Package wire defines the versioned binary snapshot format shared by every
+// estimator family: a fixed 8-byte header (magic, format version, value-type
+// tag, family tag) followed by a family-specific body of little-endian
+// fixed-width fields. The format is the cross-process contract of the
+// aggregation tree — a snapshot marshaled by one process is unmarshaled and
+// merged by another — so it is endian-stable by construction (explicit
+// little-endian encoding, never host order) and decoding is hardened against
+// hostile input: every length field is validated against the remaining
+// buffer before any allocation, and every failure is a wrapped sentinel
+// error, never a panic. DESIGN.md section 12 specifies the layout and the
+// versioning policy.
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"reflect"
+
+	"gpustream/internal/sorter"
+)
+
+// magic identifies a gpustream snapshot blob.
+var magic = [4]byte{'G', 'S', 'N', 'P'}
+
+// Version is the current format version. Decoders reject any other value:
+// the format only changes by bumping it, and old readers must fail cleanly
+// on new blobs rather than misparse them.
+const Version = 1
+
+// HeaderSize is the fixed header length: magic (4) + version (2) +
+// value-type tag (1) + family tag (1).
+const HeaderSize = 8
+
+// Family tags a snapshot body with the estimator family that produced it.
+type Family uint8
+
+const (
+	// FamilyFrequency is a whole-stream lossy-counting summary
+	// (frequency.Snapshot), also produced by sharded frequency ingestion.
+	FamilyFrequency Family = 1
+	// FamilyQuantile is a whole-stream merged GK summary
+	// (quantile.Snapshot), also produced by sharded quantile ingestion.
+	FamilyQuantile Family = 2
+	// FamilyWindowFrequency is a sliding-window pane-ring histogram
+	// (window.FrequencySnapshot).
+	FamilyWindowFrequency Family = 3
+	// FamilyWindowQuantile is a sliding-window pane-ring of GK summaries
+	// (window.QuantileSnapshot).
+	FamilyWindowQuantile Family = 4
+)
+
+// String implements fmt.Stringer.
+func (f Family) String() string {
+	switch f {
+	case FamilyFrequency:
+		return "frequency"
+	case FamilyQuantile:
+		return "quantile"
+	case FamilyWindowFrequency:
+		return "sliding-frequency"
+	case FamilyWindowQuantile:
+		return "sliding-quantile"
+	}
+	return fmt.Sprintf("Family(%d)", uint8(f))
+}
+
+// Tag identifies the sorter.Value instantiation of a snapshot's values.
+type Tag uint8
+
+const (
+	TagFloat32 Tag = 1
+	TagFloat64 Tag = 2
+	TagUint32  Tag = 3
+	TagUint64  Tag = 4
+	TagInt32   Tag = 5
+	TagInt64   Tag = 6
+)
+
+// String implements fmt.Stringer.
+func (t Tag) String() string {
+	switch t {
+	case TagFloat32:
+		return "float32"
+	case TagFloat64:
+		return "float64"
+	case TagUint32:
+		return "uint32"
+	case TagUint64:
+		return "uint64"
+	case TagInt32:
+		return "int32"
+	case TagInt64:
+		return "int64"
+	}
+	return fmt.Sprintf("Tag(%d)", uint8(t))
+}
+
+// Decoding sentinels. Every decode failure wraps exactly one of these, so
+// callers can classify with errors.Is.
+var (
+	// ErrBadMagic means the buffer does not start with a snapshot header.
+	ErrBadMagic = errors.New("wire: bad magic")
+	// ErrVersion means the header carries a format version this build does
+	// not speak.
+	ErrVersion = errors.New("wire: unsupported format version")
+	// ErrValueType means the snapshot's value-type tag does not match the
+	// requested instantiation.
+	ErrValueType = errors.New("wire: value-type tag mismatch")
+	// ErrFamily means the snapshot's family tag does not match the decoder
+	// (or is unknown entirely).
+	ErrFamily = errors.New("wire: unexpected family tag")
+	// ErrTruncated means the buffer ended before the fields its header and
+	// length fields promise — including overflowed length fields, which are
+	// rejected before any allocation.
+	ErrTruncated = errors.New("wire: truncated input")
+	// ErrCorrupt means the buffer parsed but violates a structural
+	// invariant: trailing bytes, unsorted entries, or impossible rank
+	// bounds.
+	ErrCorrupt = errors.New("wire: corrupt input")
+)
+
+// TagOf reports the value-type tag of the instantiation T.
+func TagOf[T sorter.Value]() Tag {
+	var z T
+	switch reflect.ValueOf(&z).Elem().Kind() {
+	case reflect.Float32:
+		return TagFloat32
+	case reflect.Float64:
+		return TagFloat64
+	case reflect.Uint32:
+		return TagUint32
+	case reflect.Uint64:
+		return TagUint64
+	case reflect.Int32:
+		return TagInt32
+	default: // Int64
+		return TagInt64
+	}
+}
+
+// ValueSize reports the encoded width of one T value in bytes: values are
+// stored as their order-preserving integer key (sorter.OrderedKey) at T's
+// native key width, so 32-bit types cost 4 bytes and 64-bit types 8.
+func ValueSize[T sorter.Value]() int { return sorter.KeyBits[T]() / 8 }
+
+// AppendHeader appends the fixed snapshot header for the given family and
+// value type.
+func AppendHeader(b []byte, fam Family, tag Tag) []byte {
+	b = append(b, magic[:]...)
+	b = binary.LittleEndian.AppendUint16(b, Version)
+	return append(b, byte(tag), byte(fam))
+}
+
+// AppendU8 appends one byte.
+func AppendU8(b []byte, v uint8) []byte { return append(b, v) }
+
+// AppendU32 appends a little-endian uint32.
+func AppendU32(b []byte, v uint32) []byte { return binary.LittleEndian.AppendUint32(b, v) }
+
+// AppendI64 appends a little-endian int64 (two's complement).
+func AppendI64(b []byte, v int64) []byte {
+	return binary.LittleEndian.AppendUint64(b, uint64(v))
+}
+
+// AppendF64 appends a little-endian IEEE-754 float64.
+func AppendF64(b []byte, v float64) []byte {
+	return binary.LittleEndian.AppendUint64(b, math.Float64bits(v))
+}
+
+// AppendValue appends v as its order-preserving integer key at T's native
+// width. The key mapping is a bijection, so decoding recovers v bit-exactly.
+func AppendValue[T sorter.Value](b []byte, v T) []byte {
+	k := sorter.OrderedKey(v)
+	if sorter.KeyBits[T]() == 32 {
+		return binary.LittleEndian.AppendUint32(b, uint32(k))
+	}
+	return binary.LittleEndian.AppendUint64(b, k)
+}
+
+// ReadHeader validates the magic and version of data and returns its family
+// and value-type tags, so a dispatcher can route the buffer to the right
+// family decoder before committing to a full parse.
+func ReadHeader(data []byte) (Family, Tag, error) {
+	if len(data) < HeaderSize {
+		return 0, 0, fmt.Errorf("wire: %d-byte buffer shorter than %d-byte header: %w", len(data), HeaderSize, ErrTruncated)
+	}
+	if !bytes.Equal(data[:4], magic[:]) {
+		return 0, 0, fmt.Errorf("wire: magic %q: %w", data[:4], ErrBadMagic)
+	}
+	if v := binary.LittleEndian.Uint16(data[4:6]); v != Version {
+		return 0, 0, fmt.Errorf("wire: format version %d, this build speaks %d: %w", v, Version, ErrVersion)
+	}
+	return Family(data[7]), Tag(data[6]), nil
+}
+
+// Reader decodes a snapshot buffer with bounds checking on every read. It
+// never panics and never allocates based on an unvalidated length.
+type Reader struct {
+	buf []byte
+	off int
+}
+
+// NewReader returns a Reader over data.
+func NewReader(data []byte) *Reader { return &Reader{buf: data} }
+
+// Remaining reports the undecoded bytes left.
+func (r *Reader) Remaining() int { return len(r.buf) - r.off }
+
+// take consumes n bytes, or fails with ErrTruncated.
+func (r *Reader) take(n int) ([]byte, error) {
+	if r.Remaining() < n {
+		return nil, fmt.Errorf("wire: need %d bytes at offset %d, have %d: %w", n, r.off, r.Remaining(), ErrTruncated)
+	}
+	b := r.buf[r.off : r.off+n]
+	r.off += n
+	return b, nil
+}
+
+// Header consumes and validates the fixed header, requiring the given
+// family and value type.
+func (r *Reader) Header(fam Family, tag Tag) error {
+	f, tg, err := ReadHeader(r.buf[r.off:])
+	if err != nil {
+		return err
+	}
+	r.off += HeaderSize
+	if tg != tag {
+		return fmt.Errorf("wire: snapshot carries %v values, want %v: %w", tg, tag, ErrValueType)
+	}
+	if f != fam {
+		return fmt.Errorf("wire: snapshot family %v, want %v: %w", f, fam, ErrFamily)
+	}
+	return nil
+}
+
+// U8 reads one byte.
+func (r *Reader) U8() (uint8, error) {
+	b, err := r.take(1)
+	if err != nil {
+		return 0, err
+	}
+	return b[0], nil
+}
+
+// U32 reads a little-endian uint32.
+func (r *Reader) U32() (uint32, error) {
+	b, err := r.take(4)
+	if err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint32(b), nil
+}
+
+// I64 reads a little-endian int64.
+func (r *Reader) I64() (int64, error) {
+	b, err := r.take(8)
+	if err != nil {
+		return 0, err
+	}
+	return int64(binary.LittleEndian.Uint64(b)), nil
+}
+
+// F64 reads a little-endian IEEE-754 float64.
+func (r *Reader) F64() (float64, error) {
+	b, err := r.take(8)
+	if err != nil {
+		return 0, err
+	}
+	return math.Float64frombits(binary.LittleEndian.Uint64(b)), nil
+}
+
+// Count reads a uint32 element count and verifies that at least
+// count*elemSize bytes remain, so an overflowed or hostile length field
+// fails here — before the caller sizes any allocation by it.
+func (r *Reader) Count(elemSize int) (int, error) {
+	c, err := r.U32()
+	if err != nil {
+		return 0, err
+	}
+	if int64(c)*int64(elemSize) > int64(r.Remaining()) {
+		return 0, fmt.Errorf("wire: length field %d (%d bytes each) exceeds remaining %d bytes: %w", c, elemSize, r.Remaining(), ErrTruncated)
+	}
+	return int(c), nil
+}
+
+// Finish verifies the buffer was consumed exactly: trailing bytes mean the
+// blob was not produced by this encoder and the parse cannot be trusted.
+// Exact consumption also keeps the format canonical — decode then re-encode
+// is the identity on bytes.
+func (r *Reader) Finish() error {
+	if n := r.Remaining(); n != 0 {
+		return fmt.Errorf("wire: %d trailing bytes after snapshot body: %w", n, ErrCorrupt)
+	}
+	return nil
+}
+
+// ReadValue reads one T encoded by AppendValue.
+func ReadValue[T sorter.Value](r *Reader) (T, error) {
+	var z T
+	if sorter.KeyBits[T]() == 32 {
+		k, err := r.U32()
+		if err != nil {
+			return z, err
+		}
+		return sorter.FromOrderedKey[T](uint64(k)), nil
+	}
+	b, err := r.take(8)
+	if err != nil {
+		return z, err
+	}
+	return sorter.FromOrderedKey[T](binary.LittleEndian.Uint64(b)), nil
+}
+
+// Corruptf wraps ErrCorrupt with context; family decoders use it to report
+// structural-invariant violations (unsorted entries, impossible ranks).
+func Corruptf(format string, args ...any) error {
+	return fmt.Errorf(format+": %w", append(args, ErrCorrupt)...)
+}

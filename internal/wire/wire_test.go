@@ -1,0 +1,139 @@
+package wire
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestHeaderRoundTrip(t *testing.T) {
+	b := AppendHeader(nil, FamilyQuantile, TagUint64)
+	if len(b) != HeaderSize {
+		t.Fatalf("header is %d bytes, want %d", len(b), HeaderSize)
+	}
+	fam, tag, err := ReadHeader(b)
+	if err != nil {
+		t.Fatalf("ReadHeader: %v", err)
+	}
+	if fam != FamilyQuantile || tag != TagUint64 {
+		t.Fatalf("got (%v, %v)", fam, tag)
+	}
+
+	r := NewReader(b)
+	if err := r.Header(FamilyQuantile, TagUint64); err != nil {
+		t.Fatalf("Reader.Header: %v", err)
+	}
+	if err := r.Finish(); err != nil {
+		t.Fatalf("Finish: %v", err)
+	}
+}
+
+func TestHeaderErrors(t *testing.T) {
+	good := AppendHeader(nil, FamilyFrequency, TagFloat32)
+
+	if _, _, err := ReadHeader(good[:HeaderSize-1]); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("short header: %v", err)
+	}
+	bad := append([]byte(nil), good...)
+	bad[0] = 'X'
+	if _, _, err := ReadHeader(bad); !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("bad magic: %v", err)
+	}
+	future := append([]byte(nil), good...)
+	future[4] = 99
+	if _, _, err := ReadHeader(future); !errors.Is(err, ErrVersion) {
+		t.Fatalf("future version: %v", err)
+	}
+	if err := NewReader(good).Header(FamilyFrequency, TagUint64); !errors.Is(err, ErrValueType) {
+		t.Fatalf("tag mismatch: %v", err)
+	}
+	if err := NewReader(good).Header(FamilyQuantile, TagFloat32); !errors.Is(err, ErrFamily) {
+		t.Fatalf("family mismatch: %v", err)
+	}
+}
+
+func TestPrimitiveRoundTrip(t *testing.T) {
+	b := AppendU8(nil, 7)
+	b = AppendU32(b, 0xDEADBEEF)
+	b = AppendI64(b, -42)
+	b = AppendF64(b, -0.125)
+
+	r := NewReader(b)
+	if v, err := r.U8(); err != nil || v != 7 {
+		t.Fatalf("U8 = %d, %v", v, err)
+	}
+	if v, err := r.U32(); err != nil || v != 0xDEADBEEF {
+		t.Fatalf("U32 = %x, %v", v, err)
+	}
+	if v, err := r.I64(); err != nil || v != -42 {
+		t.Fatalf("I64 = %d, %v", v, err)
+	}
+	if v, err := r.F64(); err != nil || v != -0.125 {
+		t.Fatalf("F64 = %v, %v", v, err)
+	}
+	if err := r.Finish(); err != nil {
+		t.Fatalf("Finish: %v", err)
+	}
+	if _, err := r.U8(); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("read past end: %v", err)
+	}
+}
+
+func TestValueRoundTripBitExact(t *testing.T) {
+	check := func(t *testing.T, enc []byte, wantSize int) {
+		t.Helper()
+		if len(enc) != wantSize {
+			t.Fatalf("encoded %d bytes, want %d", len(enc), wantSize)
+		}
+	}
+	for _, v := range []float32{0, float32(math.Copysign(0, -1)), -1.5, 3.4e38, -3.4e38, float32(math.Inf(1)), float32(math.Inf(-1))} {
+		enc := AppendValue(nil, v)
+		check(t, enc, 4)
+		got, err := ReadValue[float32](NewReader(enc))
+		if err != nil || math.Float32bits(got) != math.Float32bits(v) {
+			t.Fatalf("float32 %v -> %v, %v", v, got, err)
+		}
+	}
+	for _, v := range []uint64{0, 1, math.MaxUint64, 1 << 63} {
+		enc := AppendValue(nil, v)
+		check(t, enc, 8)
+		got, err := ReadValue[uint64](NewReader(enc))
+		if err != nil || got != v {
+			t.Fatalf("uint64 %d -> %d, %v", v, got, err)
+		}
+	}
+	for _, v := range []int32{math.MinInt32, -1, 0, math.MaxInt32} {
+		enc := AppendValue(nil, v)
+		check(t, enc, 4)
+		got, err := ReadValue[int32](NewReader(enc))
+		if err != nil || got != v {
+			t.Fatalf("int32 %d -> %d, %v", v, got, err)
+		}
+	}
+}
+
+func TestCountRejectsOverflowedLength(t *testing.T) {
+	b := AppendU32(nil, math.MaxUint32)
+	if _, err := NewReader(b).Count(24); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("overflowed count: %v", err)
+	}
+	// A zero count is fine with no remaining bytes.
+	if c, err := NewReader(AppendU32(nil, 0)).Count(24); err != nil || c != 0 {
+		t.Fatalf("zero count: %d, %v", c, err)
+	}
+}
+
+func TestTagOf(t *testing.T) {
+	if got := TagOf[float32](); got != TagFloat32 {
+		t.Fatalf("float32 tag %v", got)
+	}
+	if got := TagOf[uint64](); got != TagUint64 {
+		t.Fatalf("uint64 tag %v", got)
+	}
+	if got := TagOf[int64](); got != TagInt64 {
+		t.Fatalf("int64 tag %v", got)
+	}
+	if ValueSize[float64]() != 8 || ValueSize[uint32]() != 4 {
+		t.Fatal("value sizes")
+	}
+}

@@ -1,0 +1,92 @@
+package gpustream
+
+import (
+	"bytes"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"gpustream/internal/frequency"
+)
+
+// FuzzSnapshotRoundTrip drives the decoder with arbitrary bytes. The
+// contract under fuzz:
+//
+//   - rejected input fails with a wrapped wire sentinel, never a panic;
+//   - accepted input is canonical: Marshal(Unmarshal(data)) is bit-identical
+//     to data, at every fixed point;
+//   - a decode → encode → decode cycle preserves every query answer.
+//
+// Seeded with the committed goldens, boundary-value snapshots (zero,
+// MaxUint64, negative and signed-zero floats), and corrupt variants.
+func FuzzSnapshotRoundTrip(f *testing.F) {
+	if entries, err := os.ReadDir(filepath.Join("testdata", "snapshots")); err == nil {
+		for _, e := range entries {
+			data, err := os.ReadFile(filepath.Join("testdata", "snapshots", e.Name()))
+			if err != nil {
+				f.Fatal(err)
+			}
+			f.Add(data)
+			if len(data) > 11 {
+				f.Add(data[:len(data)/2]) // truncated variant
+				mut := append([]byte(nil), data...)
+				mut[11] ^= 0xFF // corrupt one body byte
+				f.Add(mut)
+			}
+		}
+	}
+
+	// Boundary values of the uint64 key space.
+	boundary := frequency.SnapshotFromEntries([]frequency.SummaryEntry[uint64]{
+		{Value: 0, Freq: 3, Delta: 1},
+		{Value: 1 << 63, Freq: 2, Delta: 0},
+		{Value: math.MaxUint64, Freq: 5, Delta: 2},
+	}, 10, 0.1)
+	blob, err := boundary.MarshalBinary()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(blob)
+
+	// Negative floats and the signed zero, through a real estimator.
+	eng := New(BackendCPU)
+	qe := eng.NewQuantileEstimator(0.1, 8)
+	if err := qe.ProcessSlice([]float32{-3.4e38, -1, float32(math.Copysign(0, -1)), 0, 1, 3.4e38}); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(mustMarshal(f, qe.Snapshot()))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fuzzRoundTrip[float32](t, data)
+		fuzzRoundTrip[uint64](t, data)
+	})
+}
+
+func fuzzRoundTrip[T Value](t *testing.T, data []byte) {
+	s, err := UnmarshalSnapshot[T](data)
+	if err != nil {
+		if s != nil {
+			t.Fatalf("%s: error %v returned alongside a snapshot", typeName[T](), err)
+		}
+		if !isWireError(err) {
+			t.Fatalf("%s: error %v wraps no wire sentinel", typeName[T](), err)
+		}
+		return
+	}
+	blob, err := MarshalSnapshot(s)
+	if err != nil {
+		t.Fatalf("%s: marshal of accepted input: %v", typeName[T](), err)
+	}
+	if !bytes.Equal(blob, data) {
+		t.Fatalf("%s: re-marshal of accepted input is not bit-identical (%d vs %d bytes)", typeName[T](), len(blob), len(data))
+	}
+	s2, err := UnmarshalSnapshot[T](blob)
+	if err != nil {
+		t.Fatalf("%s: re-unmarshal: %v", typeName[T](), err)
+	}
+	assertSameAnswers(t, s, s2)
+	if blob2 := mustMarshal(t, s2); !bytes.Equal(blob, blob2) {
+		t.Fatalf("%s: marshal is not deterministic across decode cycles", typeName[T]())
+	}
+}

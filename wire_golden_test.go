@@ -1,0 +1,173 @@
+package gpustream
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"gpustream/internal/sorter"
+)
+
+// The goldens under testdata/snapshots pin the wire format at the byte
+// level: any encoding change — field order, widths, endianness — fails these
+// tests. An intentional format change must bump wire.Version and regenerate
+// with `go test -run TestGoldenSnapshots -update`.
+var updateGolden = flag.Bool("update", false, "rewrite the golden snapshot files under testdata/snapshots")
+
+const (
+	goldenN   = 3001 // not a multiple of any pane size, so partial panes serialize
+	goldenEps = 0.02
+	goldenW   = 600
+)
+
+// goldenValues is a deterministic skewed stream built from an explicit LCG —
+// no math/rand dependency, so the byte streams can never drift with the
+// standard library. Low ids repeat often enough to be heavy hitters at
+// goldenEps; every id converts exactly to every Value type.
+func goldenValues[T Value](n int) []T {
+	vals := make([]T, n)
+	x := uint64(0x9E3779B97F4A7C15)
+	for i := range vals {
+		x = x*6364136223846793005 + 1442695040888963407
+		r := (x >> 33) % 1000
+		var id uint64
+		switch {
+		case r < 500:
+			id = r % 8
+		case r < 800:
+			id = 8 + r%64
+		default:
+			id = 72 + r%512
+		}
+		vals[i] = T(id)
+	}
+	return vals
+}
+
+// goldenSnapshots builds one snapshot per wire family over the golden
+// stream. The parallel estimators marshal through the same two body layouts
+// (frequency, quantile), so these four blobs cover every family's encoding.
+func goldenSnapshots[T Value](t testing.TB) map[string]Snapshot[T] {
+	t.Helper()
+	data := goldenValues[T](goldenN)
+	eng := NewOf[T](BackendCPU)
+
+	fe := eng.NewFrequencyEstimator(goldenEps)
+	qe := eng.NewQuantileEstimator(goldenEps, goldenN)
+	sf := eng.NewSlidingFrequency(goldenEps, goldenW)
+	sq := eng.NewSlidingQuantile(goldenEps, goldenW)
+	for _, est := range []Estimator[T]{fe, qe, sf, sq} {
+		if err := est.ProcessSlice(data); err != nil {
+			t.Fatalf("ingest: %v", err)
+		}
+	}
+	return map[string]Snapshot[T]{
+		"frequency":        fe.Snapshot(),
+		"quantile":         qe.Snapshot(),
+		"window-frequency": sf.Snapshot(),
+		"window-quantile":  sq.Snapshot(),
+	}
+}
+
+func typeName[T Value]() string {
+	var z T
+	return fmt.Sprintf("%T", z)
+}
+
+func mustMarshal[T Value](t testing.TB, s Snapshot[T]) []byte {
+	t.Helper()
+	blob, err := MarshalSnapshot(s)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	return blob
+}
+
+// assertSameAnswers checks that two snapshots answer every View query
+// identically. Values are compared through their order-preserving keys, so
+// the comparison is bit-exact and NaN-safe.
+func assertSameAnswers[T Value](t *testing.T, want, got Snapshot[T]) {
+	t.Helper()
+	if got.Count() != want.Count() {
+		t.Fatalf("Count = %d, want %d", got.Count(), want.Count())
+	}
+	if got.Size() != want.Size() {
+		t.Fatalf("Size = %d, want %d", got.Size(), want.Size())
+	}
+	for _, phi := range []float64{0, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1} {
+		wv, wok := want.Quantile(phi)
+		gv, gok := got.Quantile(phi)
+		if wok != gok || sorter.OrderedKey(wv) != sorter.OrderedKey(gv) {
+			t.Fatalf("Quantile(%g) = (%v, %v), want (%v, %v)", phi, gv, gok, wv, wok)
+		}
+	}
+	for _, sp := range []float64{0.001, 0.01, 0.05, 0.2} {
+		wi, wok := want.HeavyHitters(sp)
+		gi, gok := got.HeavyHitters(sp)
+		if wok != gok || len(wi) != len(gi) {
+			t.Fatalf("HeavyHitters(%g): %d items ok=%v, want %d ok=%v", sp, len(gi), gok, len(wi), wok)
+		}
+		for i := range wi {
+			if sorter.OrderedKey(wi[i].Value) != sorter.OrderedKey(gi[i].Value) || wi[i].Freq != gi[i].Freq {
+				t.Fatalf("HeavyHitters(%g)[%d] = %+v, want %+v", sp, i, gi[i], wi[i])
+			}
+		}
+		for _, it := range wi {
+			wf, wok2 := want.Frequency(it.Value)
+			gf, gok2 := got.Frequency(it.Value)
+			if wok2 != gok2 || wf != gf {
+				t.Fatalf("Frequency(%v) = (%d, %v), want (%d, %v)", it.Value, gf, gok2, wf, wok2)
+			}
+		}
+	}
+}
+
+// TestGoldenSnapshots locks the wire format byte for byte: marshaling the
+// golden stream's snapshots must reproduce the committed blobs exactly, and
+// decoding the committed blobs must reproduce the live snapshots' answers
+// exactly and re-marshal to the same bytes (canonical encoding).
+func TestGoldenSnapshots(t *testing.T) {
+	t.Run("float32", testGoldenSnapshots[float32])
+	t.Run("uint64", testGoldenSnapshots[uint64])
+}
+
+func testGoldenSnapshots[T Value](t *testing.T) {
+	for name, snap := range goldenSnapshots[T](t) {
+		t.Run(name, func(t *testing.T) {
+			blob := mustMarshal(t, snap)
+			if again := mustMarshal(t, snap); !bytes.Equal(blob, again) {
+				t.Fatal("marshal is not deterministic")
+			}
+
+			path := filepath.Join("testdata", "snapshots", name+"."+typeName[T]()+".snap")
+			if *updateGolden {
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, blob, 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden (regenerate with `go test -run TestGoldenSnapshots -update`): %v", err)
+			}
+			if !bytes.Equal(blob, want) {
+				t.Fatalf("wire bytes drifted from %s (%d bytes, golden %d): format changes must bump wire.Version and regenerate goldens",
+					path, len(blob), len(want))
+			}
+
+			dec, err := UnmarshalSnapshot[T](want)
+			if err != nil {
+				t.Fatalf("unmarshal golden: %v", err)
+			}
+			assertSameAnswers(t, snap, dec)
+			if re := mustMarshal(t, dec); !bytes.Equal(re, want) {
+				t.Fatal("decode then re-marshal of the golden is not the identity")
+			}
+		})
+	}
+}

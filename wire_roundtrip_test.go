@@ -1,0 +1,122 @@
+package gpustream
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestWireRoundTripMatrix drives every estimator family at every Value type
+// through Marshal → Unmarshal and checks the decoded snapshot answers every
+// query identically and re-marshals to identical bytes. This is the
+// acceptance matrix for the wire format: 6 families × 6 value types.
+func TestWireRoundTripMatrix(t *testing.T) {
+	t.Run("float32", testWireRoundTrip[float32])
+	t.Run("float64", testWireRoundTrip[float64])
+	t.Run("uint32", testWireRoundTrip[uint32])
+	t.Run("uint64", testWireRoundTrip[uint64])
+	t.Run("int32", testWireRoundTrip[int32])
+	t.Run("int64", testWireRoundTrip[int64])
+}
+
+func testWireRoundTrip[T Value](t *testing.T) {
+	const (
+		n   = 1200
+		eps = 0.05
+		w   = 300
+	)
+	data := goldenValues[T](n)
+	eng := NewOf[T](BackendCPU)
+
+	families := map[string]func(t *testing.T) Snapshot[T]{
+		"frequency": func(t *testing.T) Snapshot[T] {
+			est := eng.NewFrequencyEstimator(eps)
+			ingest(t, est, data)
+			return est.Snapshot()
+		},
+		"quantile": func(t *testing.T) Snapshot[T] {
+			est := eng.NewQuantileEstimator(eps, n)
+			ingest(t, est, data)
+			return est.Snapshot()
+		},
+		"sliding-frequency": func(t *testing.T) Snapshot[T] {
+			est := eng.NewSlidingFrequency(eps, w)
+			ingest(t, est, data)
+			return est.Snapshot()
+		},
+		"sliding-quantile": func(t *testing.T) Snapshot[T] {
+			est := eng.NewSlidingQuantile(eps, w)
+			ingest(t, est, data)
+			return est.Snapshot()
+		},
+		"parallel-frequency": func(t *testing.T) Snapshot[T] {
+			est := eng.NewParallelFrequencyEstimator(eps, 3)
+			ingest(t, est, data)
+			if err := est.Close(); err != nil {
+				t.Fatalf("close: %v", err)
+			}
+			return est.Snapshot()
+		},
+		"parallel-quantile": func(t *testing.T) Snapshot[T] {
+			est := eng.NewParallelQuantileEstimator(eps, n, 3)
+			ingest(t, est, data)
+			if err := est.Close(); err != nil {
+				t.Fatalf("close: %v", err)
+			}
+			return est.Snapshot()
+		},
+	}
+
+	for name, build := range families {
+		t.Run(name, func(t *testing.T) {
+			snap := build(t)
+			blob := mustMarshal(t, snap)
+			dec, err := UnmarshalSnapshot[T](blob)
+			if err != nil {
+				t.Fatalf("unmarshal: %v", err)
+			}
+			assertSameAnswers(t, snap, dec)
+			if re := mustMarshal(t, dec); !bytes.Equal(re, blob) {
+				t.Fatal("unmarshal then marshal is not the identity")
+			}
+		})
+	}
+}
+
+func ingest[T Value](t *testing.T, est Estimator[T], data []T) {
+	t.Helper()
+	if err := est.ProcessSlice(data); err != nil {
+		t.Fatalf("ingest: %v", err)
+	}
+	if err := est.Flush(); err != nil {
+		t.Fatalf("flush: %v", err)
+	}
+}
+
+// TestWireRoundTripEmptySnapshots pins the wire behavior of snapshots over
+// empty streams: every family marshals, round-trips, and keeps answering
+// (with ok=false where the stream is required to be non-empty).
+func TestWireRoundTripEmptySnapshots(t *testing.T) {
+	eng := New(BackendCPU)
+	snaps := map[string]Snapshot[float32]{
+		"frequency":         eng.NewFrequencyEstimator(0.1).Snapshot(),
+		"quantile":          eng.NewQuantileEstimator(0.1, 16).Snapshot(),
+		"sliding-frequency": eng.NewSlidingFrequency(0.1, 32).Snapshot(),
+		"sliding-quantile":  eng.NewSlidingQuantile(0.1, 32).Snapshot(),
+	}
+	for name, snap := range snaps {
+		t.Run(name, func(t *testing.T) {
+			blob := mustMarshal(t, snap)
+			dec, err := UnmarshalSnapshot[float32](blob)
+			if err != nil {
+				t.Fatalf("unmarshal: %v", err)
+			}
+			if dec.Count() != 0 {
+				t.Fatalf("Count = %d, want 0", dec.Count())
+			}
+			assertSameAnswers(t, snap, dec)
+			if re := mustMarshal(t, dec); !bytes.Equal(re, blob) {
+				t.Fatal("unmarshal then marshal is not the identity")
+			}
+		})
+	}
+}
