@@ -1,0 +1,244 @@
+// Command benchreport runs the standing performance matrix — ingestion mode
+// × query family × element type × stream length — over zipf streams and
+// emits one machine-readable JSON report, so performance changes show up as
+// diffs in a committed artifact (BENCH_1.json) rather than anecdotes.
+//
+// Every cell reports measured wall clock (ns/op over the whole ingest,
+// including the close barrier that drains staged pipelines), allocation
+// rates, the modeled 2004-testbed GPU pipeline breakdown for the same work,
+// and the staged executor's measured overlap/stall when asynchronous
+// ingestion ran. Cells the engine does not support (sliding estimators are
+// serial, so they do not shard) are emitted with supported=false rather than
+// silently dropped.
+//
+// Usage:
+//
+//	benchreport                                  (full matrix at 1M and 10M)
+//	benchreport -sizes 100000 -o /tmp/smoke.json (CI smoke)
+//	benchreport -modes serial,async -types float32 ...
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"gpustream"
+	"gpustream/internal/perfmodel"
+	"gpustream/internal/stream"
+)
+
+// Result is one cell of the benchmark matrix.
+type Result struct {
+	Mode      string `json:"mode"`
+	Query     string `json:"query"`
+	Type      string `json:"type"`
+	N         int    `json:"n"`
+	Window    int    `json:"window,omitempty"`
+	Shards    int    `json:"shards,omitempty"`
+	Supported bool   `json:"supported"`
+	Reason    string `json:"reason,omitempty"`
+
+	WallNs      int64   `json:"wall_ns,omitempty"`
+	NsPerOp     float64 `json:"ns_per_op,omitempty"`
+	MopsPerSec  float64 `json:"mops_per_sec,omitempty"`
+	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+
+	ModeledSortNs     int64 `json:"modeled_sort_ns,omitempty"`
+	ModeledMergeNs    int64 `json:"modeled_merge_ns,omitempty"`
+	ModeledCompressNs int64 `json:"modeled_compress_ns,omitempty"`
+	ModeledTotalNs    int64 `json:"modeled_total_ns,omitempty"`
+	OverlapNs         int64 `json:"overlap_ns,omitempty"`
+	StallNs           int64 `json:"stall_ns,omitempty"`
+}
+
+// Report is the whole emitted artifact.
+type Report struct {
+	Backend string   `json:"backend"`
+	Eps     float64  `json:"eps"`
+	Support float64  `json:"support"`
+	Seed    uint64   `json:"seed"`
+	Results []Result `json:"results"`
+}
+
+func main() {
+	out := flag.String("o", "BENCH_1.json", "write the JSON report to this file")
+	sizes := flag.String("sizes", "1000000,10000000", "comma-separated stream lengths")
+	modes := flag.String("modes", "serial,sharded,async", "ingestion modes: serial|sharded|async")
+	queries := flag.String("queries", "frequency,quantile,sliding", "query families: frequency|quantile|sliding")
+	types := flag.String("types", "float32,uint64", "element types: float32|uint64")
+	backendName := flag.String("backend", "gpu", "sorting backend: gpu|gpu-bitonic|cpu|cpu-parallel")
+	eps := flag.Float64("eps", 0.001, "approximation error")
+	support := flag.Float64("support", 0.01, "frequency query support threshold")
+	shards := flag.Int("shards", 4, "shard count for the sharded mode")
+	seed := flag.Uint64("seed", 1, "zipf generator seed")
+	flag.Parse()
+
+	backend, err := gpustream.ParseBackend(*backendName)
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	rep := Report{Backend: backend.String(), Eps: *eps, Support: *support, Seed: *seed}
+	for _, n := range parseSizes(*sizes) {
+		for _, mode := range splitList(*modes) {
+			for _, query := range splitList(*queries) {
+				for _, typ := range splitList(*types) {
+					var res Result
+					var err error
+					switch typ {
+					case "float32":
+						res, err = runCell[float32](backend, mode, query, typ, n, *eps, *support, *shards, *seed)
+					case "uint64":
+						res, err = runCell[uint64](backend, mode, query, typ, n, *eps, *support, *shards, *seed)
+					default:
+						fatalf("unknown element type %q (want float32 or uint64)", typ)
+					}
+					if err != nil {
+						fatalf("%s/%s/%s n=%d: %v", mode, query, typ, n, err)
+					}
+					rep.Results = append(rep.Results, res)
+					if res.Supported {
+						fmt.Printf("%-8s %-10s %-8s n=%-9d %8.1f ns/op %7.2f Mops/s\n",
+							mode, query, typ, n, res.NsPerOp, res.MopsPerSec)
+					} else {
+						fmt.Printf("%-8s %-10s %-8s n=%-9d skipped: %s\n", mode, query, typ, n, res.Reason)
+					}
+				}
+			}
+		}
+	}
+
+	blob, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if err := os.WriteFile(*out, append(blob, '\n'), 0o644); err != nil {
+		fatalf("%v", err)
+	}
+	fmt.Printf("wrote %d results to %s\n", len(rep.Results), *out)
+}
+
+// runCell measures one matrix cell: build the estimator for (mode, query),
+// ingest n zipf values, and drain through Close — the barrier that makes
+// staged pipelines comparable to synchronous ones.
+func runCell[T gpustream.Value](backend gpustream.Backend, mode, query, typ string, n int, eps, support float64, shards int, seed uint64) (Result, error) {
+	res := Result{Mode: mode, Query: query, Type: typ, N: n}
+	if mode == "sharded" && query == "sliding" {
+		res.Reason = "sliding estimators are serial: the window order is the stream order, which sharding destroys"
+		return res, nil
+	}
+
+	data := stream.ZipfOf[T](n, 1.1, n/100+10, seed)
+	eng := gpustream.NewOf[T](backend)
+	pb := backend.PipelineBackend()
+
+	var eopts []gpustream.EstimatorOption
+	var popts []gpustream.ParallelOption
+	if mode == "async" {
+		eopts = append(eopts, gpustream.WithAsyncIngestion())
+		popts = append(popts, gpustream.WithAsyncShards())
+	}
+
+	var est gpustream.Estimator[T]
+	var shardedModel func() perfmodel.PipelineBreakdown
+	switch query {
+	case "frequency":
+		if mode == "sharded" {
+			fe := eng.NewParallelFrequencyEstimator(eps, shards, popts...)
+			est = fe
+			shardedModel = func() perfmodel.PipelineBreakdown { return fe.ModeledTime(eng.Model(), pb) }
+			res.Shards = fe.Shards()
+		} else {
+			est = eng.NewFrequencyEstimator(eps, eopts...)
+		}
+	case "quantile":
+		if mode == "sharded" {
+			qe := eng.NewParallelQuantileEstimator(eps, int64(n), shards, popts...)
+			est = qe
+			shardedModel = func() perfmodel.PipelineBreakdown { return qe.ModeledTime(eng.Model(), pb) }
+			res.Shards = qe.Shards()
+		} else {
+			est = eng.NewQuantileEstimator(eps, int64(n), eopts...)
+		}
+	case "sliding":
+		res.Window = n / 10
+		est = eng.NewSlidingQuantile(eps, res.Window, eopts...)
+	default:
+		return res, fmt.Errorf("unknown query %q (want frequency, quantile, or sliding)", query)
+	}
+
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	if err := est.ProcessSlice(data); err != nil {
+		return res, err
+	}
+	if err := est.Close(); err != nil {
+		return res, err
+	}
+	wall := time.Since(start)
+	runtime.ReadMemStats(&after)
+
+	st := est.Stats()
+	var bd perfmodel.PipelineBreakdown
+	switch {
+	case shardedModel != nil:
+		bd = shardedModel()
+	case mode == "async":
+		bd = eng.Model().OverlappedPipelineTime(st, pb).PipelineBreakdown
+	default:
+		bd = eng.Model().PipelineTime(st, pb)
+	}
+
+	res.Supported = true
+	res.WallNs = wall.Nanoseconds()
+	res.NsPerOp = float64(wall.Nanoseconds()) / float64(n)
+	res.MopsPerSec = float64(n) / wall.Seconds() / 1e6
+	res.BytesPerOp = float64(after.TotalAlloc-before.TotalAlloc) / float64(n)
+	res.AllocsPerOp = float64(after.Mallocs-before.Mallocs) / float64(n)
+	res.ModeledSortNs = bd.Sort.Nanoseconds()
+	res.ModeledMergeNs = bd.Merge.Nanoseconds()
+	res.ModeledCompressNs = bd.Compress.Nanoseconds()
+	res.ModeledTotalNs = bd.Total().Nanoseconds()
+	res.OverlapNs = st.Overlap.Nanoseconds()
+	res.StallNs = st.Stall.Nanoseconds()
+	return res, nil
+}
+
+func parseSizes(s string) []int {
+	var out []int
+	for _, part := range splitList(s) {
+		n, err := strconv.Atoi(part)
+		if err != nil || n < 1 {
+			fatalf("bad stream length %q", part)
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		fatalf("no stream lengths given")
+	}
+	return out
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "benchreport: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -11,6 +11,10 @@
 //	                                             the next aggregation level)
 //	snapmerge -type uint64 shard*.snap          (non-float32 streams)
 //	snapmerge -phis 0.5,0.99 -support 0.01 ...  (query probes)
+//	snapmerge -keytype uint64 shard*.snap       (keyed snapshots, as written by
+//	                                             `streammine -keyed`; -type is
+//	                                             the value type, -keytype the
+//	                                             key type)
 //
 // All input files must share one family and one value type; workers feeding
 // an aggregation tree of height h should run at gpustream.TreeEps(eps, h)
@@ -29,6 +33,7 @@ import (
 
 func main() {
 	typeName := flag.String("type", "float32", "snapshot value type: float32|float64|uint32|uint64|int32|int64")
+	keyTypeName := flag.String("keytype", "", "keyed snapshots: the key type (same choices as -type; empty = unkeyed)")
 	out := flag.String("o", "", "write the merged snapshot to this file instead of printing answers")
 	phis := flag.String("phis", "0.01,0.25,0.5,0.75,0.99", "quantile probes (quantile-answering families)")
 	support := flag.Float64("support", 0.01, "heavy-hitter support threshold (frequency-answering families)")
@@ -41,25 +46,122 @@ func main() {
 	}
 
 	var err error
-	switch strings.ToLower(strings.TrimSpace(*typeName)) {
-	case "float32":
-		err = run[float32](paths, *out, *phis, *support, *top)
-	case "float64":
-		err = run[float64](paths, *out, *phis, *support, *top)
-	case "uint32":
-		err = run[uint32](paths, *out, *phis, *support, *top)
-	case "uint64":
-		err = run[uint64](paths, *out, *phis, *support, *top)
-	case "int32":
-		err = run[int32](paths, *out, *phis, *support, *top)
-	case "int64":
-		err = run[int64](paths, *out, *phis, *support, *top)
-	default:
-		err = fmt.Errorf("unknown value type %q", *typeName)
+	if kt := strings.ToLower(strings.TrimSpace(*keyTypeName)); kt != "" {
+		err = dispatchKeyed(kt, strings.ToLower(strings.TrimSpace(*typeName)), paths, *out, *phis, *support, *top)
+	} else {
+		switch strings.ToLower(strings.TrimSpace(*typeName)) {
+		case "float32":
+			err = run[float32](paths, *out, *phis, *support, *top)
+		case "float64":
+			err = run[float64](paths, *out, *phis, *support, *top)
+		case "uint32":
+			err = run[uint32](paths, *out, *phis, *support, *top)
+		case "uint64":
+			err = run[uint64](paths, *out, *phis, *support, *top)
+		case "int32":
+			err = run[int32](paths, *out, *phis, *support, *top)
+		case "int64":
+			err = run[int64](paths, *out, *phis, *support, *top)
+		default:
+			err = fmt.Errorf("unknown value type %q", *typeName)
+		}
 	}
 	if err != nil {
 		fatalf("%v", err)
 	}
+}
+
+// dispatchKeyed resolves the key type, then the value type — the keyed
+// family is the one wire family instantiated over two value types, so its
+// decode entry point needs both resolved at compile time.
+func dispatchKeyed(keyType, valType string, paths []string, out, phis string, support float64, top int) error {
+	switch keyType {
+	case "float32":
+		return dispatchKeyedVal[float32](valType, paths, out, phis, support, top)
+	case "float64":
+		return dispatchKeyedVal[float64](valType, paths, out, phis, support, top)
+	case "uint32":
+		return dispatchKeyedVal[uint32](valType, paths, out, phis, support, top)
+	case "uint64":
+		return dispatchKeyedVal[uint64](valType, paths, out, phis, support, top)
+	case "int32":
+		return dispatchKeyedVal[int32](valType, paths, out, phis, support, top)
+	case "int64":
+		return dispatchKeyedVal[int64](valType, paths, out, phis, support, top)
+	}
+	return fmt.Errorf("unknown key type %q", keyType)
+}
+
+func dispatchKeyedVal[K gpustream.Value](valType string, paths []string, out, phis string, support float64, top int) error {
+	switch valType {
+	case "float32":
+		return runKeyed[K, float32](paths, out, phis, support, top)
+	case "float64":
+		return runKeyed[K, float64](paths, out, phis, support, top)
+	case "uint32":
+		return runKeyed[K, uint32](paths, out, phis, support, top)
+	case "uint64":
+		return runKeyed[K, uint64](paths, out, phis, support, top)
+	case "int32":
+		return runKeyed[K, int32](paths, out, phis, support, top)
+	case "int64":
+		return runKeyed[K, int64](paths, out, phis, support, top)
+	}
+	return fmt.Errorf("unknown value type %q", valType)
+}
+
+// runKeyed loads, merges, and either re-emits or reports keyed snapshots at
+// key type K and value type T.
+func runKeyed[K, T gpustream.Value](paths []string, out, phis string, support float64, top int) error {
+	snaps := make([]*gpustream.KeyedSnapshot[K, T], 0, len(paths))
+	for _, path := range paths {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		s, err := gpustream.UnmarshalKeyedSnapshot[K, T](data)
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		snaps = append(snaps, s)
+	}
+	merged, err := gpustream.MergeAllKeyed(snaps...)
+	if err != nil {
+		return err
+	}
+
+	if out != "" {
+		blob, err := gpustream.MarshalKeyedSnapshot(merged)
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(out, blob, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("merged %d keyed snapshots covering %d observations into %s (%d bytes, %d keys: %d frugal, %d promoted)\n",
+			len(snaps), merged.Count(), out, len(blob), merged.Keys(), merged.FrugalKeys(), merged.PromotedKeys())
+		return nil
+	}
+
+	fmt.Printf("merged %d keyed snapshots: %d observations, %d keys (%d frugal, %d promoted, %d promotions)\n",
+		len(snaps), merged.Count(), merged.Keys(), merged.FrugalKeys(), merged.PromotedKeys(), merged.Promotions())
+	heavy := merged.HeavyKeys(support)
+	probes := parsePhis(phis)
+	fmt.Printf("heavy keys (support %g):\n", support)
+	for i, it := range heavy {
+		if i >= top {
+			fmt.Printf("  ... and %d more\n", len(heavy)-top)
+			break
+		}
+		fmt.Printf("  key %v: freq >= %d, quantiles", it.Value, it.Freq)
+		for _, phi := range probes {
+			if v, ok := merged.Quantile(it.Value, phi); ok {
+				fmt.Printf(" %.3f->%v", phi, v)
+			}
+		}
+		fmt.Println()
+	}
+	return nil
 }
 
 // run loads, merges, and either re-emits or reports the snapshots at value

@@ -8,6 +8,9 @@
 //	streammine -query frequency -n 10000000 -eps 0.0001 -support 0.001
 //	streammine -query quantile  -n 10000000 -eps 0.001 -phis 0.25,0.5,0.75
 //	streammine -query frequency -window 100000 ...   (sliding window)
+//	streammine -keyed -n 10000000 -keys 100000 ...    (per-key quantiles over a
+//	                                                   zipf-keyed stream: frugal
+//	                                                   tier + promoted GK tier)
 //	streammine -backend cpu ...                       (default gpu)
 //	streammine -shards 4 ...                          (parallel ingestion;
 //	                                                   -shards -1 = GOMAXPROCS)
@@ -48,6 +51,9 @@ func main() {
 	dist := flag.String("dist", "zipf", "stream distribution: zipf|uniform|gauss|bursty")
 	backendName := flag.String("backend", "gpu", "sorting backend: gpu|gpu-bitonic|cpu|cpu-parallel")
 	windowSize := flag.Int("window", 0, "sliding window size (0 = whole stream)")
+	keyed := flag.Bool("keyed", false, "keyed estimation: per-key quantiles over a zipf-keyed stream (uint64 keys)")
+	nkeys := flag.Int("keys", 0, "keyed: key-space cardinality (0 = n/1000+10)")
+	keySkew := flag.Float64("keyskew", 1.2, "keyed: zipf skew of the key distribution")
 	shards := flag.Int("shards", 0, "parallel ingestion shards (0 = serial, <0 = GOMAXPROCS)")
 	async := flag.Bool("async", false, "staged asynchronous ingestion: overlap window sorting with merge/compress")
 	seed := flag.Uint64("seed", 1, "generator seed")
@@ -128,6 +134,9 @@ func main() {
 	if *shards != 0 && *windowSize > 0 {
 		fatalf("-shards does not combine with -window (sliding estimators are serial)")
 	}
+	if *keyed && (*windowSize > 0 || *shards != 0 || *async) {
+		fatalf("-keyed does not combine with -window, -shards, or -async (the keyed front-end is serial; only its heavy-hitter oracle runs a sorting pipeline)")
+	}
 
 	var eopts []gpustream.EstimatorOption
 	var popts []gpustream.ParallelOption
@@ -137,8 +146,10 @@ func main() {
 	}
 
 	start := time.Now()
-	switch *query {
-	case "frequency":
+	switch {
+	case *keyed:
+		runKeyed(eng, data, *nkeys, *keySkew, *eps, *support, *seed, parsePhis(*phis), *top, *snapPath, start)
+	case *query == "frequency":
 		if *shards != 0 {
 			est := eng.NewParallelFrequencyEstimator(*eps, *shards, popts...)
 			est.ProcessSlice(data)
@@ -167,7 +178,7 @@ func main() {
 			printPhases(est.Stats())
 			writeSnapshot(*snapPath, est)
 		}
-	case "quantile":
+	case *query == "quantile":
 		probes := parsePhis(*phis)
 		if *shards != 0 {
 			est := eng.NewParallelQuantileEstimator(*eps, int64(*n), *shards, popts...)
@@ -211,6 +222,55 @@ func main() {
 	if b, ok := eng.LastSortBreakdown(); ok {
 		fmt.Printf("last GPU sort (modeled 2004 testbed): compute %v, transfer %v, setup %v, merge %v\n",
 			b.Compute, b.Transfer, b.Setup, b.Merge)
+	}
+}
+
+// runKeyed drives the keyed front-end: values from the configured value
+// distribution paired with zipf-distributed uint64 keys, so the heavy head
+// of the key space promotes to dedicated GK summaries while the long tail
+// stays in the pooled frugal tier.
+func runKeyed(eng *gpustream.Engine[float32], vals []float32, nkeys int, skew, eps, support float64, seed uint64, probes []float64, top int, snapPath string, start time.Time) {
+	n := len(vals)
+	if nkeys <= 0 {
+		nkeys = n/1000 + 10
+	}
+	keys := stream.ZipfOf[uint64](n, skew, nkeys, seed+1)
+	ke := gpustream.NewKeyedEstimator[uint64](eng, eps, support, gpustream.WithKeyedSeed(seed))
+	if err := ke.ProcessSlice(keys, vals); err != nil {
+		fatalf("%v", err)
+	}
+	if err := ke.Flush(); err != nil {
+		fatalf("%v", err)
+	}
+	st := ke.TierStats()
+	fmt.Printf("processed %d keyed observations in %v; %d distinct keys (skew %g over %d)\n",
+		n, time.Since(start), st.Keys, skew, nkeys)
+	fmt.Printf("tiers: %d frugal, %d promoted; %d promotions, rate %.4f\n",
+		st.FrugalKeys, st.PromotedKeys, st.Promotions, st.PromotionRate)
+	heavy := ke.HeavyKeys(support)
+	fmt.Printf("heavy keys (support %g):\n", support)
+	for i, it := range heavy {
+		if i >= top {
+			fmt.Printf("  ... and %d more\n", len(heavy)-top)
+			break
+		}
+		fmt.Printf("  key %d: freq >= %d, quantiles", it.Value, it.Freq)
+		for _, phi := range probes {
+			if v, ok := ke.Quantile(it.Value, phi); ok {
+				fmt.Printf(" %.3f->%v", phi, v)
+			}
+		}
+		fmt.Println()
+	}
+	if snapPath != "" {
+		blob, err := gpustream.MarshalKeyedSnapshot(ke.Snapshot())
+		if err != nil {
+			fatalf("snapshot: %v", err)
+		}
+		if err := os.WriteFile(snapPath, blob, 0o644); err != nil {
+			fatalf("snapshot: %v", err)
+		}
+		fmt.Printf("snapshot: wrote %d bytes to %s (keyed family; merge with snapmerge -keytype uint64)\n", len(blob), snapPath)
 	}
 }
 
@@ -285,6 +345,11 @@ func printStats(all []gpustream.EstimatorStats) {
 		if st.Overlap > 0 || st.Stall > 0 || st.MaxInFlight > 0 {
 			fmt.Printf("  %-18s overlap=%v stall=%v maxInFlight=%d\n",
 				"", st.Overlap, st.Stall, st.MaxInFlight)
+		}
+		if es.Keyed != nil {
+			k := es.Keyed
+			fmt.Printf("  %-18s keys=%d frugal=%d promoted=%d promotions=%d rate=%.4f\n",
+				"", k.Keys, k.FrugalKeys, k.PromotedKeys, k.Promotions, k.PromotionRate)
 		}
 	}
 }

@@ -5,10 +5,11 @@ import (
 	"strings"
 )
 
-// Estimator is the surface shared by all six estimator families:
+// Estimator is the surface shared by all seven estimator families:
 // FrequencyEstimator, QuantileEstimator, SlidingFrequency, SlidingQuantile,
-// ParallelFrequencyEstimator, and ParallelQuantileEstimator. Callers that
-// do not care which sketch they are driving can program against it alone.
+// ParallelFrequencyEstimator, ParallelQuantileEstimator, and
+// FrugalEstimator. Callers that do not care which sketch they are driving
+// can program against it alone.
 //
 // The lifecycle is error-based: Process and ProcessSlice return an error
 // wrapping ErrClosed once Close has been called; Flush and Close are
@@ -46,6 +47,7 @@ func assertEstimators[T Value]() {
 		_ Estimator[T] = (*SlidingQuantile[T])(nil)
 		_ Estimator[T] = (*ParallelFrequencyEstimator[T])(nil)
 		_ Estimator[T] = (*ParallelQuantileEstimator[T])(nil)
+		_ Estimator[T] = (*FrugalEstimator[T])(nil)
 	)
 }
 

@@ -49,6 +49,7 @@ import (
 
 	"gpustream/internal/cpusort"
 	"gpustream/internal/frequency"
+	"gpustream/internal/frugal"
 	"gpustream/internal/gpusort"
 	"gpustream/internal/perfmodel"
 	"gpustream/internal/pipeline"
@@ -162,6 +163,15 @@ type (
 	// SlidingQuantileSnapshot is the concrete view of a SlidingQuantile,
 	// answering variable-span window queries.
 	SlidingQuantileSnapshot[T Value] = window.QuantileSnapshot[T]
+	// FrugalEstimator maintains a bank of frugal-streaming quantile
+	// trackers — one or two words of state per target quantile, no summary,
+	// no sort. Answers are converging point estimates, not eps-bounded
+	// ranks.
+	FrugalEstimator[T Value] = frugal.Estimator[T]
+	// FrugalOption configures a FrugalEstimator (WithPhis, WithFrugalSeed).
+	FrugalOption = frugal.Option
+	// FrugalSnapshot is the concrete view of a FrugalEstimator.
+	FrugalSnapshot[T Value] = frugal.Snapshot[T]
 )
 
 // ErrClosed is the sentinel error for ingestion after Close. Every
@@ -173,10 +183,13 @@ var ErrClosed = pipeline.ErrClosed
 // returned by Engine.Stats.
 type EstimatorStats struct {
 	// Kind identifies the estimator family: "frequency", "quantile",
-	// "sliding-frequency", "sliding-quantile", "parallel-frequency", or
-	// "parallel-quantile".
+	// "sliding-frequency", "sliding-quantile", "parallel-frequency",
+	// "parallel-quantile", "frugal", or "keyed".
 	Kind  string
 	Stats Stats
+	// Keyed carries tier occupancy for "keyed" estimators (per-tier key
+	// counts, promotion rate); nil for every other kind.
+	Keyed *KeyedTierStats
 }
 
 // Engine binds a sorting backend to the stream-mining algorithms over
@@ -190,17 +203,26 @@ type Engine[T Value] struct {
 	trackers []tracker
 }
 
-// tracker is one registered estimator: its kind and a closure reading its
-// live telemetry.
+// tracker is one registered estimator: its kind and closures reading its
+// live telemetry. keyed is non-nil only for keyed estimators, whose tier
+// occupancy rides along with the pipeline stats.
 type tracker struct {
 	kind  string
 	stats func() Stats
+	keyed func() KeyedTierStats
 }
 
 // track registers an estimator's stats reader, in creation order.
 func (e *Engine[T]) track(kind string, fn func() Stats) {
 	e.mu.Lock()
 	e.trackers = append(e.trackers, tracker{kind: kind, stats: fn})
+	e.mu.Unlock()
+}
+
+// trackKeyed registers a keyed estimator's stats and tier-occupancy readers.
+func (e *Engine[T]) trackKeyed(stats func() Stats, keyed func() KeyedTierStats) {
+	e.mu.Lock()
+	e.trackers = append(e.trackers, tracker{kind: "keyed", stats: stats, keyed: keyed})
 	e.mu.Unlock()
 }
 
@@ -216,6 +238,10 @@ func (e *Engine[T]) Stats() []EstimatorStats {
 	out := make([]EstimatorStats, len(trackers))
 	for i, t := range trackers {
 		out[i] = EstimatorStats{Kind: t.kind, Stats: t.stats()}
+		if t.keyed != nil {
+			ks := t.keyed()
+			out[i].Keyed = &ks
+		}
 	}
 	return out
 }
@@ -400,5 +426,24 @@ func (e *Engine[T]) NewSlidingQuantile(eps float64, w int, opts ...EstimatorOpti
 	}
 	est := window.NewSlidingQuantile(eps, w, e.newBackendSorter(), wopts...)
 	e.track("sliding-quantile", est.Stats)
+	return est
+}
+
+// WithPhis selects the target quantiles a FrugalEstimator tracks, one word
+// of state each (default frugal.DefaultPhis).
+func WithPhis(phis ...float64) FrugalOption { return frugal.WithPhis(phis...) }
+
+// WithFrugalSeed seeds a FrugalEstimator's randomized rank gates; estimates
+// are deterministic for a fixed seed and ingestion order.
+func WithFrugalSeed(seed uint64) FrugalOption { return frugal.WithSeed(seed) }
+
+// NewFrugalEstimator returns a frugal-streaming quantile estimator: one
+// converging point estimate per tracked target quantile, in one or two
+// machine words each — the opposite end of the memory spectrum from the
+// summary-based families, with heuristic (not eps-bounded) answers. It uses
+// no sorter; it registers with the engine only for Stats reporting.
+func (e *Engine[T]) NewFrugalEstimator(opts ...FrugalOption) *FrugalEstimator[T] {
+	est := frugal.NewEstimator[T](opts...)
+	e.track("frugal", est.Stats)
 	return est
 }

@@ -1,0 +1,96 @@
+package frugal
+
+import (
+	"gpustream/internal/sorter"
+	"gpustream/internal/wire"
+)
+
+// Wire layout of a frugal Snapshot (family tag wire.FamilyFrugal):
+//
+//	header   wire.HeaderSize bytes
+//	n        int64
+//	count    uint32
+//	trackers count × (phi float64 + est value[4|8] + ctl uint8)
+//
+// Trackers are strictly phi-ascending with targets in [0, 1]; the control
+// byte packs the step exponent (<= 62) and last-move direction, and a fresh
+// direction is legal exactly when n is zero — every tracker steps on every
+// observation, so a non-empty stream leaves no tracker fresh. The decoder
+// enforces all of it so a decoded snapshot upholds the same invariants as a
+// live one. See DESIGN.md section 13.
+
+// MarshalBinary implements encoding.BinaryMarshaler: the versioned,
+// endian-stable wire encoding of the snapshot. The encoding is canonical —
+// unmarshal then marshal reproduces the bytes exactly.
+func (s *Snapshot[T]) MarshalBinary() ([]byte, error) {
+	b := make([]byte, 0, wire.HeaderSize+8+4+len(s.phis)*(8+wire.ValueSize[T]()+1))
+	b = wire.AppendHeader(b, wire.FamilyFrugal, wire.TagOf[T]())
+	b = wire.AppendI64(b, s.n)
+	b = wire.AppendU32(b, uint32(len(s.phis)))
+	for i, phi := range s.phis {
+		b = wire.AppendF64(b, phi)
+		b = wire.AppendValue(b, s.ests[i])
+		b = wire.AppendU8(b, s.ctls[i])
+	}
+	return b, nil
+}
+
+// UnmarshalSnapshot decodes a frugal snapshot marshaled by any process.
+// Every failure — truncation, bad header, mismatched tags, overflowed
+// lengths, violated tracker invariants — returns a wrapped wire sentinel
+// error; it never panics and never allocates from an unvalidated length
+// field.
+func UnmarshalSnapshot[T sorter.Value](data []byte) (*Snapshot[T], error) {
+	r := wire.NewReader(data)
+	if err := r.Header(wire.FamilyFrugal, wire.TagOf[T]()); err != nil {
+		return nil, err
+	}
+	s := &Snapshot[T]{}
+	var err error
+	if s.n, err = r.I64(); err != nil {
+		return nil, err
+	}
+	if s.n < 0 {
+		return nil, wire.Corruptf("frugal: negative stream length %d", s.n)
+	}
+	count, err := r.Count(8 + wire.ValueSize[T]() + 1)
+	if err != nil {
+		return nil, err
+	}
+	if count == 0 {
+		return nil, wire.Corruptf("frugal: snapshot tracks no target quantiles")
+	}
+	s.phis = make([]float64, count)
+	s.ests = make([]T, count)
+	s.ctls = make([]uint8, count)
+	for i := 0; i < count; i++ {
+		if s.phis[i], err = r.F64(); err != nil {
+			return nil, err
+		}
+		if !(s.phis[i] >= 0 && s.phis[i] <= 1) { // also rejects NaN
+			return nil, wire.Corruptf("frugal: tracker %d target %v out of [0, 1]", i, s.phis[i])
+		}
+		if i > 0 && !(s.phis[i-1] < s.phis[i]) {
+			return nil, wire.Corruptf("frugal: trackers not strictly phi-ascending at %d", i)
+		}
+		if s.ests[i], err = wire.ReadValue[T](r); err != nil {
+			return nil, err
+		}
+		if s.ctls[i], err = r.U8(); err != nil {
+			return nil, err
+		}
+		if s.ctls[i]&expMask > maxExp {
+			return nil, wire.Corruptf("frugal: tracker %d step exponent %d > %d", i, s.ctls[i]&expMask, maxExp)
+		}
+		if s.ctls[i]&signMask == signMask {
+			return nil, wire.Corruptf("frugal: tracker %d direction bits 0x%02X invalid", i, s.ctls[i]&signMask)
+		}
+		if fresh := s.ctls[i]&signMask == signFresh; fresh != (s.n == 0) {
+			return nil, wire.Corruptf("frugal: tracker %d freshness inconsistent with stream length %d", i, s.n)
+		}
+	}
+	if err := r.Finish(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}

@@ -1,0 +1,74 @@
+package keyed
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+)
+
+// BenchmarkKeyedMemory measures the steady-state footprint of the frugal
+// tier: N distinct keys, all light (nothing promotes), reported as bytes per
+// tracked key. The acceptance budget is <= 48 bytes/key at 10M keys —
+// sizeof(est)+1 slab bytes plus the key index map; the oracle prunes light
+// keys so it stays O(1/support) regardless of N.
+func BenchmarkKeyedMemory(b *testing.B) {
+	for _, nkeys := range []int{1_000_000, 10_000_000} {
+		b.Run(fmt.Sprintf("keys=%d", nkeys), func(b *testing.B) {
+			const batch = 1 << 16
+			keys := make([]uint64, batch)
+			vals := make([]float64, batch)
+			for i := 0; i < b.N; i++ {
+				runtime.GC()
+				var before runtime.MemStats
+				runtime.ReadMemStats(&before)
+
+				e := newKeyed(0.01, 0.01, WithSeed(1))
+				for done := 0; done < nkeys; done += batch {
+					n := batch
+					if nkeys-done < n {
+						n = nkeys - done
+					}
+					for j := 0; j < n; j++ {
+						keys[j] = uint64(done + j)
+						vals[j] = float64((done + j) % 1000)
+					}
+					if err := e.ProcessSlice(keys[:n], vals[:n]); err != nil {
+						b.Fatal(err)
+					}
+				}
+
+				runtime.GC()
+				var after runtime.MemStats
+				runtime.ReadMemStats(&after)
+				live := int64(after.HeapAlloc) - int64(before.HeapAlloc)
+				if live < 0 {
+					live = 0
+				}
+				st := e.TierStats()
+				if st.Keys != nkeys {
+					b.Fatalf("tracked %d keys, want %d", st.Keys, nkeys)
+				}
+				b.ReportMetric(float64(live)/float64(nkeys), "bytes/key")
+				runtime.KeepAlive(e)
+			}
+		})
+	}
+}
+
+// BenchmarkKeyedProcess measures keyed ingestion throughput on a zipf key
+// stream with promotions live.
+func BenchmarkKeyedProcess(b *testing.B) {
+	keys, vals := zipfStream(1, 1<<16, 1.3, 1<<20)
+	e := newKeyed(0.01, 0.001, WithSeed(1))
+	b.ResetTimer()
+	b.SetBytes(16)
+	for i := 0; i < b.N; i += len(keys) {
+		n := len(keys)
+		if b.N-i < n {
+			n = b.N - i
+		}
+		if err := e.ProcessSlice(keys[:n], vals[:n]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,487 @@
+package keyed
+
+import (
+	"errors"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+
+	"gpustream/internal/cpusort"
+	"gpustream/internal/pipeline"
+	"gpustream/internal/summary"
+)
+
+func newKeyed(eps, support float64, opts ...Option) *Estimator[uint64, float64] {
+	return NewEstimator[uint64, float64](eps, support, cpusort.QuicksortSorter[uint64]{}, opts...)
+}
+
+// zipfStream generates n keyed observations: keys zipf-distributed (small
+// keys heavy), values uniform in [0, 1000) with a per-key offset so keys have
+// distinct distributions.
+func zipfStream(seed int64, n int, s float64, nkeys uint64) ([]uint64, []float64) {
+	rng := rand.New(rand.NewSource(seed))
+	z := rand.NewZipf(rng, s, 1, nkeys-1)
+	keys := make([]uint64, n)
+	vals := make([]float64, n)
+	for i := range keys {
+		k := z.Uint64()
+		keys[i] = k
+		vals[i] = float64(k%7)*100 + rng.Float64()*1000
+	}
+	return keys, vals
+}
+
+func TestLifecycle(t *testing.T) {
+	e := newKeyed(0.05, 0.02)
+	if _, ok := e.Quantile(42, 0.5); ok {
+		t.Fatal("unknown key reported ok")
+	}
+	if err := e.Process(1, 10); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := e.Quantile(1, 0.5); !ok || got != 10 {
+		t.Fatalf("single-observation key: got %v, %v", got, ok)
+	}
+	if err := e.ProcessSlice([]uint64{1, 2}, []float64{1}); err == nil {
+		t.Fatal("mismatched slice lengths accepted")
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal("Close not idempotent:", err)
+	}
+	if err := e.Process(1, 10); !errors.Is(err, pipeline.ErrClosed) {
+		t.Fatalf("Process after Close: %v", err)
+	}
+	if err := e.ProcessSlice([]uint64{1}, []float64{1}); !errors.Is(err, pipeline.ErrClosed) {
+		t.Fatalf("ProcessSlice after Close: %v", err)
+	}
+	// Still queryable after Close.
+	if got, ok := e.Quantile(1, 0.5); !ok || got != 10 {
+		t.Fatalf("query after Close: got %v, %v", got, ok)
+	}
+}
+
+func TestNewEstimatorValidation(t *testing.T) {
+	for _, fn := range []func(){
+		func() { newKeyed(0, 0.01) },
+		func() { newKeyed(1, 0.01) },
+		func() { newKeyed(0.01, 0) },
+		func() { newKeyed(0.01, 1) },
+		func() { newKeyed(0.01, 0.01, WithPhi(-0.1)) },
+		func() { newKeyed(0.01, 0.01, WithPhi(1.1)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("constructor accepted invalid configuration")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// TestPromotionMetamorphic pins the promotion contract: a heavy key's
+// promoted answers must agree with a dedicated GK summary fed the same
+// suffix of the key's observations, up to the documented error budget —
+// 2 eps of GK rank error on each side plus the prefix point mass, whose
+// rank uncertainty spans the prefix the frugal seed stands in for.
+func TestPromotionMetamorphic(t *testing.T) {
+	const (
+		eps     = 0.02
+		support = 0.02
+		heavy   = uint64(7)
+		n       = 40_000
+	)
+	e := newKeyed(eps, support, WithSeed(11))
+	rng := rand.New(rand.NewSource(5))
+
+	var heavyVals []float64
+	prefixCount := -1
+	for i := 0; i < n; i++ {
+		var k uint64
+		if rng.Float64() < 0.5 {
+			k = heavy
+		} else {
+			k = 100 + uint64(rng.Intn(400))
+		}
+		v := rng.Float64() * 1000
+		if k == heavy {
+			heavyVals = append(heavyVals, v)
+		}
+		if err := e.Process(k, v); err != nil {
+			t.Fatal(err)
+		}
+		if prefixCount < 0 && e.Promoted(heavy) {
+			prefixCount = len(heavyVals)
+		}
+	}
+	if err := e.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if prefixCount < 0 {
+		t.Fatal("heavy key never promoted")
+	}
+	suffix := heavyVals[prefixCount:]
+	if len(suffix) < 1000 {
+		t.Fatalf("promotion too late for a meaningful suffix: prefix %d of %d", prefixCount, len(heavyVals))
+	}
+
+	ref := summary.NewGK[float64](eps)
+	for _, v := range suffix {
+		ref.Insert(v)
+	}
+	sortedSuffix := append([]float64(nil), suffix...)
+	sort.Float64s(sortedSuffix)
+	sortedAll := append([]float64(nil), heavyVals...)
+	sort.Float64s(sortedAll)
+
+	rankIn := func(sorted []float64, v float64) int {
+		return sort.SearchFloat64s(sorted, v)
+	}
+	for _, phi := range []float64{0.1, 0.3, 0.5, 0.7, 0.9} {
+		got, ok := e.Quantile(heavy, phi)
+		if !ok {
+			t.Fatalf("promoted key lost at phi=%v", phi)
+		}
+		// Against the dedicated suffix GK: both are 2-eps-approximate over
+		// the suffix, and the prefix point mass can displace ranks by up to
+		// prefixCount.
+		want := ref.Query(phi)
+		tol := float64(4*eps)*float64(len(suffix)) + float64(prefixCount) + 1
+		if diff := rankIn(sortedSuffix, got) - rankIn(sortedSuffix, want); float64(abs(diff)) > tol {
+			t.Errorf("phi=%v: promoted answer %v vs dedicated GK %v: suffix rank diff %d > tol %.0f",
+				phi, got, want, diff, tol)
+		}
+		// Against ground truth over everything the key ever saw.
+		target := phi * float64(len(heavyVals))
+		tolAll := (2*eps+0.03)*float64(len(heavyVals)) + float64(prefixCount)
+		if diff := float64(rankIn(sortedAll, got)) - target; diff > tolAll || diff < -tolAll {
+			t.Errorf("phi=%v: promoted answer %v rank %0.f vs target %.0f beyond tol %.0f",
+				phi, got, float64(rankIn(sortedAll, got)), target, tolAll)
+		}
+	}
+
+	st := e.TierStats()
+	if st.PromotedKeys < 1 || st.Promotions < 1 {
+		t.Fatalf("tier stats missed the promotion: %+v", st)
+	}
+	if st.Keys != st.FrugalKeys+st.PromotedKeys {
+		t.Fatalf("inconsistent key counts: %+v", st)
+	}
+	if st.Observations != n {
+		t.Fatalf("observations %d, want %d", st.Observations, n)
+	}
+	if st.PromotionRate <= 0 || st.PromotionRate > 1 {
+		t.Fatalf("promotion rate %v out of (0, 1]", st.PromotionRate)
+	}
+	if cnt, ok := e.KeyCount(heavy); !ok || cnt < int64(float64(len(heavyVals))*0.9) {
+		t.Fatalf("oracle count %d (ok=%v) for a key observed %d times", cnt, ok, len(heavyVals))
+	}
+	hh := e.HeavyKeys(support)
+	if len(hh) == 0 || hh[0].Value != heavy {
+		t.Fatalf("heavy key missing from HeavyKeys: %v", hh)
+	}
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// TestPartitionOrderInvariance pins the merge algebra: the same stream split
+// into shards and merged in any grouping must agree on every structural
+// invariant (key set, promoted set, counts), commute exactly on the frugal
+// tier, and stay inside the input envelope under re-association — the
+// frugal winner is chosen by accumulated backing count, so different
+// groupings may crown different shards' estimates, but never an estimate no
+// shard produced.
+func TestPartitionOrderInvariance(t *testing.T) {
+	const (
+		eps     = 0.05
+		support = 0.02
+		n       = 30_000
+	)
+	keys, vals := zipfStream(3, n, 1.4, 50)
+
+	build := func(lo, hi int) *Snapshot[uint64, float64] {
+		e := newKeyed(eps, support, WithSeed(9))
+		if err := e.ProcessSlice(keys[lo:hi], vals[lo:hi]); err != nil {
+			t.Fatal(err)
+		}
+		if err := e.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		return e.Snapshot()
+	}
+	shards := []*Snapshot[uint64, float64]{build(0, n/3), build(n/3, 2*n/3), build(2*n/3, n)}
+	a, b, c := shards[0], shards[1], shards[2]
+
+	mustMerge := func(x, y *Snapshot[uint64, float64]) *Snapshot[uint64, float64] {
+		m, err := MergeSnapshots(x, y)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+
+	// Commutativity is exact on the frugal tier: the winner rule is
+	// symmetric with a deterministic tie-break and counts add.
+	ab, ba := mustMerge(a, b), mustMerge(b, a)
+	if ab.Keys() != ba.Keys() || ab.Count() != ba.Count() {
+		t.Fatalf("commuted merges disagree structurally: %d/%d keys, %d/%d obs",
+			ab.Keys(), ba.Keys(), ab.Count(), ba.Count())
+	}
+
+	m1 := mustMerge(ab, c)
+	m2 := mustMerge(a, mustMerge(b, c))
+	m3 := mustMerge(mustMerge(c, a), b)
+	orders := []*Snapshot[uint64, float64]{m1, m2, m3}
+
+	for _, m := range orders {
+		if m.Count() != int64(n) {
+			t.Fatalf("merged count %d, want %d", m.Count(), n)
+		}
+		if m.Keys() != m1.Keys() || m.FrugalKeys() != m1.FrugalKeys() || m.PromotedKeys() != m1.PromotedKeys() {
+			t.Fatalf("tier sizes disagree across merge orders: (%d,%d,%d) vs (%d,%d,%d)",
+				m.Keys(), m.FrugalKeys(), m.PromotedKeys(),
+				m1.Keys(), m1.FrugalKeys(), m1.PromotedKeys())
+		}
+	}
+
+	// Per-key sorted values for rank comparisons on promoted keys.
+	byKey := map[uint64][]float64{}
+	for i, k := range keys {
+		byKey[k] = append(byKey[k], vals[i])
+	}
+	for k := range byKey {
+		sort.Float64s(byKey[k])
+	}
+
+	for k, sorted := range byKey {
+		p1 := m1.Promoted(k)
+		if m2.Promoted(k) != p1 || m3.Promoted(k) != p1 {
+			t.Fatalf("key %d: promotion disagrees across merge orders", k)
+		}
+		if qab, ok := ab.Quantile(k, 0.5); ok && !ab.Promoted(k) {
+			if qba, _ := ba.Quantile(k, 0.5); qab != qba {
+				t.Fatalf("key %d: frugal merge does not commute: %v vs %v", k, qab, qba)
+			}
+		}
+		if !p1 {
+			// Envelope property: whichever shard's tracker wins under a given
+			// grouping, the answer is always one of the shard estimates.
+			candidates := map[float64]bool{}
+			for _, s := range shards {
+				if v, ok := s.Quantile(k, 0.5); ok && !s.Promoted(k) {
+					candidates[v] = true
+				}
+			}
+			for _, m := range orders {
+				q, ok := m.Quantile(k, 0.5)
+				if !ok {
+					t.Fatalf("key %d missing from a merge order", k)
+				}
+				if !candidates[q] {
+					t.Fatalf("key %d: merged frugal answer %v is not any shard's estimate %v", k, q, candidates)
+				}
+			}
+			continue
+		}
+		// Promoted answers may differ by summary pruning and fold order; they
+		// must stay within the merged rank tolerance of each other.
+		tol := (4*eps+0.02)*float64(len(sorted)) + 1
+		q1, ok := m1.Quantile(k, 0.5)
+		if !ok {
+			t.Fatalf("key %d missing from merge order 1", k)
+		}
+		r1 := float64(sort.SearchFloat64s(sorted, q1))
+		for _, m := range orders[1:] {
+			q, ok := m.Quantile(k, 0.5)
+			if !ok {
+				t.Fatalf("key %d missing from a merge order", k)
+			}
+			r := float64(sort.SearchFloat64s(sorted, q))
+			if d := r - r1; d > tol || d < -tol {
+				t.Fatalf("key %d: promoted answers diverge beyond tol: %v vs %v (ranks %v/%v, tol %v)",
+					k, q1, q, r1, r, tol)
+			}
+		}
+	}
+}
+
+func TestMergeMismatchedPhi(t *testing.T) {
+	a := newKeyed(0.05, 0.02, WithPhi(0.5))
+	b := newKeyed(0.05, 0.02, WithPhi(0.9))
+	_ = a.Process(1, 1)
+	_ = b.Process(1, 1)
+	_, err := MergeSnapshots(a.Snapshot(), b.Snapshot())
+	if !errors.Is(err, ErrMismatchedConfig) {
+		t.Fatalf("got %v, want ErrMismatchedConfig", err)
+	}
+}
+
+// TestMergePromotionMonotone pins that a key promoted on either side stays
+// promoted in the merge, with the frugal side folded in as weighted mass.
+func TestMergePromotionMonotone(t *testing.T) {
+	const heavy = uint64(3)
+	// Side A: heavy key dominant, gets promoted.
+	a := newKeyed(0.05, 0.05, WithSeed(2))
+	rng := rand.New(rand.NewSource(8))
+	for i := 0; i < 20_000; i++ {
+		k := heavy
+		if rng.Float64() > 0.6 {
+			k = 100 + uint64(rng.Intn(50))
+		}
+		_ = a.Process(k, rng.Float64()*100)
+	}
+	_ = a.Flush()
+	if !a.Promoted(heavy) {
+		t.Fatal("setup: heavy key not promoted on side A")
+	}
+	// Side B: same key light, stays frugal.
+	b := newKeyed(0.05, 0.05, WithSeed(4))
+	for i := 0; i < 1000; i++ {
+		_ = b.Process(uint64(rng.Intn(200)), rng.Float64()*100)
+	}
+	_ = b.Process(heavy, 50)
+	_ = b.Flush()
+	if b.Promoted(heavy) {
+		t.Fatal("setup: heavy key unexpectedly promoted on side B")
+	}
+
+	for _, pair := range [][2]*Snapshot[uint64, float64]{
+		{a.Snapshot(), b.Snapshot()},
+		{b.Snapshot(), a.Snapshot()},
+	} {
+		m, err := MergeSnapshots(pair[0], pair[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !m.Promoted(heavy) {
+			t.Fatal("promotion not monotone under merge")
+		}
+		if _, ok := m.Quantile(heavy, 0.5); !ok {
+			t.Fatal("promoted key unanswerable after merge")
+		}
+	}
+}
+
+func TestSlabRecycling(t *testing.T) {
+	var s slab[float64]
+	a := s.alloc()
+	bIdx := s.alloc()
+	est, ctl := s.at(bIdx)
+	*est, *ctl = 42, 0x41
+	s.release(a)
+	if s.used != 1 {
+		t.Fatalf("used %d after release, want 1", s.used)
+	}
+	c := s.alloc()
+	if c != a {
+		t.Fatalf("freed slot not recycled: got %d, want %d", c, a)
+	}
+	est, ctl = s.at(c)
+	if *est != 0 || *ctl != 0 {
+		t.Fatalf("recycled slot not zeroed: est=%v ctl=%#x", *est, *ctl)
+	}
+	// Crossing a chunk boundary keeps indices distinct and addressable.
+	seen := map[uint32]bool{bIdx: true, c: true}
+	for i := 0; i < slabChunk+10; i++ {
+		idx := s.alloc()
+		if seen[idx] {
+			t.Fatalf("duplicate live slot %d", idx)
+		}
+		seen[idx] = true
+		e2, c2 := s.at(idx)
+		if *e2 != 0 || *c2 != 0 {
+			t.Fatalf("fresh slot %d not zeroed", idx)
+		}
+	}
+	if b2, _ := s.at(bIdx); *b2 != 42 {
+		t.Fatal("live slot clobbered by growth")
+	}
+}
+
+// TestEstimatorSlabReuse pins that promotion releases the key's frugal slot
+// back to the pool and a later new key reuses it. Promotion must be the last
+// event before the check — any new key arriving after a promotion sweep
+// reclaims the freed slot immediately — so the heavy key's burst comes after
+// all light keys are established.
+func TestEstimatorSlabReuse(t *testing.T) {
+	e := newKeyed(0.05, 0.3, WithSeed(2))
+	rng := rand.New(rand.NewSource(8))
+	for i := 0; i < 1000; i++ {
+		_ = e.Process(100+uint64(i), rng.Float64()*100)
+	}
+	if e.TierStats().PromotedKeys != 0 {
+		t.Fatal("setup: a light key promoted prematurely")
+	}
+	for i := 0; i < 600; i++ {
+		_ = e.Process(3, rng.Float64()*100)
+	}
+	_ = e.Flush()
+	if !e.Promoted(3) {
+		t.Fatal("setup: key 3 not promoted")
+	}
+	if len(e.slab.free) == 0 {
+		t.Fatal("promotion did not release the frugal slot")
+	}
+	before := len(e.slab.free)
+	_ = e.Process(999_999, 1)
+	if len(e.slab.free) != before-1 {
+		t.Fatal("new key did not reuse the freed slot")
+	}
+}
+
+// TestKeyedConcurrentIngest exercises one writer against concurrent readers;
+// run under -race this pins the locking discipline.
+func TestKeyedConcurrentIngest(t *testing.T) {
+	e := newKeyed(0.05, 0.02, WithSeed(6))
+	keys, vals := zipfStream(7, 20_000, 1.5, 100)
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				_, _ = e.Quantile(uint64(r), 0.5)
+				_ = e.TierStats()
+				_ = e.Promoted(uint64(r))
+				if r == 0 {
+					s := e.Snapshot()
+					_, _ = s.Quantile(1, 0.5)
+				}
+			}
+		}(r)
+	}
+	for i := 0; i < len(keys); i += 100 {
+		end := i + 100
+		if end > len(keys) {
+			end = len(keys)
+		}
+		if err := e.ProcessSlice(keys[i:end], vals[i:end]); err != nil {
+			t.Error(err)
+			break
+		}
+	}
+	if err := e.Flush(); err != nil {
+		t.Error(err)
+	}
+	close(done)
+	wg.Wait()
+	if e.Count() != int64(len(keys)) {
+		t.Fatalf("count %d, want %d", e.Count(), len(keys))
+	}
+}

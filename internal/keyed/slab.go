@@ -1,0 +1,58 @@
+package keyed
+
+import "gpustream/internal/sorter"
+
+// slabChunkBits sizes the slab chunks: 8192 trackers per chunk keeps any
+// single allocation modest while amortizing append overhead across millions
+// of keys.
+const slabChunkBits = 13
+
+const slabChunk = 1 << slabChunkBits
+
+// slab is the pooled storage of the frugal tier: per-key tracker state packed
+// into chunked parallel arrays — one T (the estimate) and one control byte
+// per key, with no per-key allocation, no per-key goroutine, and no struct
+// padding (the parallel layout stores a 64-bit tracker in exactly 9 bytes
+// where a struct would pad to 16). Slots freed by promotion are recycled
+// through a free list, so the steady-state footprint is
+// (sizeof(T)+1) × live frugal keys plus the key index map.
+type slab[T sorter.Value] struct {
+	ests [][]T
+	ctls [][]uint8
+	free []uint32 // indices of slots released by promotion
+	used int      // live slots (allocated minus freed)
+}
+
+// alloc returns a zeroed slot index, reusing a freed slot when one exists.
+func (s *slab[T]) alloc() uint32 {
+	s.used++
+	if n := len(s.free); n > 0 {
+		idx := s.free[n-1]
+		s.free = s.free[:n-1]
+		var zero T
+		s.ests[idx>>slabChunkBits][idx&(slabChunk-1)] = zero
+		s.ctls[idx>>slabChunkBits][idx&(slabChunk-1)] = 0
+		return idx
+	}
+	chunk := len(s.ests) - 1
+	if chunk < 0 || len(s.ests[chunk]) == slabChunk {
+		s.ests = append(s.ests, make([]T, 0, slabChunk))
+		s.ctls = append(s.ctls, make([]uint8, 0, slabChunk))
+		chunk++
+	}
+	s.ests[chunk] = append(s.ests[chunk], *new(T))
+	s.ctls[chunk] = append(s.ctls[chunk], 0)
+	return uint32(chunk<<slabChunkBits | (len(s.ests[chunk]) - 1))
+}
+
+// at returns pointers into the slot's parallel arrays.
+func (s *slab[T]) at(idx uint32) (*T, *uint8) {
+	return &s.ests[idx>>slabChunkBits][idx&(slabChunk-1)], &s.ctls[idx>>slabChunkBits][idx&(slabChunk-1)]
+}
+
+// release returns a slot to the free list (promotion retires the key's
+// frugal tracker).
+func (s *slab[T]) release(idx uint32) {
+	s.free = append(s.free, idx)
+	s.used--
+}

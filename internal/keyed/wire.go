@@ -1,0 +1,194 @@
+package keyed
+
+import (
+	"gpustream/internal/frequency"
+	"gpustream/internal/frugal"
+	"gpustream/internal/sorter"
+	"gpustream/internal/summary"
+	"gpustream/internal/wire"
+)
+
+// Wire layout of a keyed Snapshot (family tag wire.FamilyKeyed). The header
+// tag byte identifies T (the value type); the key type gets a second tag
+// byte of its own immediately after the header — the keyed container is the
+// one family instantiated over two value types:
+//
+//	header      wire.HeaderSize bytes
+//	ktag        uint8 (key value-type tag)
+//	phi         float64
+//	support     float64
+//	n           int64
+//	promotions  int64
+//	fcount      uint32
+//	frugal      fcount × (key[4|8] + est[4|8] + ctl uint8 + cnt int64)
+//	pcount      uint32
+//	promoted    pcount × (key[4|8] + embedded summary)
+//	olen        uint32
+//	oracle      olen bytes (a complete FamilyFrequency snapshot blob over K)
+//
+// Both tiers are strictly key-ascending with disjoint key sets, frugal
+// control bytes obey the tracker invariants (never fresh — a tracked key
+// was observed), and the nested oracle blob revalidates under the frequency
+// family's own decoder. See DESIGN.md section 13.
+
+// MarshalBinary implements encoding.BinaryMarshaler: the versioned,
+// endian-stable wire encoding of the snapshot. The encoding is canonical —
+// unmarshal then marshal reproduces the bytes exactly.
+func (s *Snapshot[K, T]) MarshalBinary() ([]byte, error) {
+	oracle, err := s.oracle.MarshalBinary()
+	if err != nil {
+		return nil, err
+	}
+	ksz, tsz := wire.ValueSize[K](), wire.ValueSize[T]()
+	size := wire.HeaderSize + 1 + 8 + 8 + 8 + 8 +
+		4 + len(s.frugal)*(ksz+tsz+1+8) +
+		4 + 4 + len(oracle)
+	for _, p := range s.promo {
+		size += ksz + summary.EncodedSize(p.Sum)
+	}
+	b := make([]byte, 0, size)
+	b = wire.AppendHeader(b, wire.FamilyKeyed, wire.TagOf[T]())
+	b = wire.AppendU8(b, uint8(wire.TagOf[K]()))
+	b = wire.AppendF64(b, s.phi)
+	b = wire.AppendF64(b, s.support)
+	b = wire.AppendI64(b, s.n)
+	b = wire.AppendI64(b, s.promotions)
+	b = wire.AppendU32(b, uint32(len(s.frugal)))
+	for _, f := range s.frugal {
+		b = wire.AppendValue(b, f.Key)
+		b = wire.AppendValue(b, f.Est)
+		b = wire.AppendU8(b, f.Ctl)
+		b = wire.AppendI64(b, f.Cnt)
+	}
+	b = wire.AppendU32(b, uint32(len(s.promo)))
+	for _, p := range s.promo {
+		b = wire.AppendValue(b, p.Key)
+		b = summary.AppendBinary(b, p.Sum)
+	}
+	b = wire.AppendU32(b, uint32(len(oracle)))
+	return append(b, oracle...), nil
+}
+
+// UnmarshalSnapshot decodes a keyed snapshot marshaled by any process. Both
+// instantiation types must match the blob's two tag bytes. Every failure —
+// truncation, bad header, mismatched tags, overflowed lengths, violated
+// tier invariants, a corrupt nested oracle — returns a wrapped wire
+// sentinel error; it never panics and never allocates from an unvalidated
+// length field.
+func UnmarshalSnapshot[K sorter.Value, T sorter.Value](data []byte) (*Snapshot[K, T], error) {
+	r := wire.NewReader(data)
+	if err := r.Header(wire.FamilyKeyed, wire.TagOf[T]()); err != nil {
+		return nil, err
+	}
+	ktag, err := r.U8()
+	if err != nil {
+		return nil, err
+	}
+	if got, want := wire.Tag(ktag), wire.TagOf[K](); got != want {
+		return nil, wire.Corruptf("keyed: snapshot carries %v keys (tag byte 0x%02X), want %v", got, ktag, want)
+	}
+	s := &Snapshot[K, T]{}
+	if s.phi, err = r.F64(); err != nil {
+		return nil, err
+	}
+	if !(s.phi >= 0 && s.phi <= 1) { // also rejects NaN
+		return nil, wire.Corruptf("keyed: frugal target %v out of [0, 1]", s.phi)
+	}
+	if s.support, err = r.F64(); err != nil {
+		return nil, err
+	}
+	if !(s.support > 0 && s.support < 1) {
+		return nil, wire.Corruptf("keyed: promotion support %v out of (0, 1)", s.support)
+	}
+	if s.n, err = r.I64(); err != nil {
+		return nil, err
+	}
+	if s.n < 0 {
+		return nil, wire.Corruptf("keyed: negative observation count %d", s.n)
+	}
+	if s.promotions, err = r.I64(); err != nil {
+		return nil, err
+	}
+	if s.promotions < 0 {
+		return nil, wire.Corruptf("keyed: negative promotion count %d", s.promotions)
+	}
+	ksz, tsz := wire.ValueSize[K](), wire.ValueSize[T]()
+	fcount, err := r.Count(ksz + tsz + 1 + 8)
+	if err != nil {
+		return nil, err
+	}
+	if fcount > 0 {
+		s.frugal = make([]FrugalEntry[K, T], fcount)
+	}
+	for i := range s.frugal {
+		f := &s.frugal[i]
+		if f.Key, err = wire.ReadValue[K](r); err != nil {
+			return nil, err
+		}
+		if i > 0 && !(sorter.OrderedKey(s.frugal[i-1].Key) < sorter.OrderedKey(f.Key)) {
+			return nil, wire.Corruptf("keyed: frugal tier not strictly key-ascending at %d", i)
+		}
+		if f.Est, err = wire.ReadValue[T](r); err != nil {
+			return nil, err
+		}
+		if f.Ctl, err = r.U8(); err != nil {
+			return nil, err
+		}
+		if !frugal.ValidCtl(f.Ctl) || frugal.Fresh(f.Ctl) {
+			return nil, wire.Corruptf("keyed: frugal entry %d control byte 0x%02X invalid", i, f.Ctl)
+		}
+		if f.Cnt, err = r.I64(); err != nil {
+			return nil, err
+		}
+		if f.Cnt < 1 {
+			return nil, wire.Corruptf("keyed: frugal entry %d backing count %d < 1", i, f.Cnt)
+		}
+	}
+	pcount, err := r.Count(ksz + 8 + 8 + 4)
+	if err != nil {
+		return nil, err
+	}
+	if pcount > 0 {
+		s.promo = make([]PromotedEntry[K, T], pcount)
+	}
+	for i := range s.promo {
+		p := &s.promo[i]
+		if p.Key, err = wire.ReadValue[K](r); err != nil {
+			return nil, err
+		}
+		if i > 0 && !(sorter.OrderedKey(s.promo[i-1].Key) < sorter.OrderedKey(p.Key)) {
+			return nil, wire.Corruptf("keyed: promoted tier not strictly key-ascending at %d", i)
+		}
+		if p.Sum, err = summary.Decode[T](r); err != nil {
+			return nil, err
+		}
+		if p.Sum.N < 1 {
+			return nil, wire.Corruptf("keyed: promoted key %d summary covers no observations", i)
+		}
+	}
+	// Tier disjointness: both lists are sorted, so one linear pass suffices.
+	fi := 0
+	for _, p := range s.promo {
+		for fi < len(s.frugal) && sorter.OrderedKey(s.frugal[fi].Key) < sorter.OrderedKey(p.Key) {
+			fi++
+		}
+		if fi < len(s.frugal) && s.frugal[fi].Key == p.Key {
+			return nil, wire.Corruptf("keyed: key in both tiers")
+		}
+	}
+	olen, err := r.Count(1)
+	if err != nil {
+		return nil, err
+	}
+	blob, err := r.Bytes(olen)
+	if err != nil {
+		return nil, err
+	}
+	if s.oracle, err = frequency.UnmarshalSnapshot[K](blob); err != nil {
+		return nil, err
+	}
+	if err := r.Finish(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}

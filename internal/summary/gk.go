@@ -145,7 +145,15 @@ func (g *GK[T]) ToSummary() *Summary[T] {
 	var rmin int64
 	for _, t := range g.tuples {
 		rmin += t.g
-		s.Entries = append(s.Entries, Entry[T]{V: t.v, RMin: rmin, RMax: rmin + t.delta})
+		rmax := rmin + t.delta
+		if rmax > g.n {
+			// delta is sized against the 2*eps*n budget at insert time, so a
+			// late interior insert can carry rmin+delta past n; the true rank
+			// never exceeds n, which is the tighter bound the Summary
+			// representation requires (RMax <= N).
+			rmax = g.n
+		}
+		s.Entries = append(s.Entries, Entry[T]{V: t.v, RMin: rmin, RMax: rmax})
 	}
 	return s
 }

@@ -50,6 +50,13 @@ const (
 	// FamilyWindowQuantile is a sliding-window pane-ring of GK summaries
 	// (window.QuantileSnapshot).
 	FamilyWindowQuantile Family = 4
+	// FamilyFrugal is a bank of frugal-streaming quantile trackers
+	// (frugal.Snapshot), one or two words of state per target quantile.
+	FamilyFrugal Family = 5
+	// FamilyKeyed is a keyed estimation container (keyed.Snapshot): pooled
+	// per-key frugal trackers, promoted per-key GK summaries, and the
+	// lossy-counting key oracle, with a second value-type tag for the keys.
+	FamilyKeyed Family = 6
 )
 
 // String implements fmt.Stringer.
@@ -63,6 +70,10 @@ func (f Family) String() string {
 		return "sliding-frequency"
 	case FamilyWindowQuantile:
 		return "sliding-quantile"
+	case FamilyFrugal:
+		return "frugal"
+	case FamilyKeyed:
+		return "keyed"
 	}
 	return fmt.Sprintf("Family(%d)", uint8(f))
 }
@@ -227,11 +238,14 @@ func (r *Reader) Header(fam Family, tag Tag) error {
 		return err
 	}
 	r.off += HeaderSize
+	// Both mismatch errors spell out the raw tag byte: when debugging a
+	// corrupt (or future-version) snapshot, "tag byte 0x07" distinguishes a
+	// flipped bit from a family this build simply does not know yet.
 	if tg != tag {
-		return fmt.Errorf("wire: snapshot carries %v values, want %v: %w", tg, tag, ErrValueType)
+		return fmt.Errorf("wire: snapshot carries %v values (tag byte 0x%02X), want %v: %w", tg, uint8(tg), tag, ErrValueType)
 	}
 	if f != fam {
-		return fmt.Errorf("wire: snapshot family %v, want %v: %w", f, fam, ErrFamily)
+		return fmt.Errorf("wire: snapshot family %v (tag byte 0x%02X), want %v: %w", f, uint8(f), fam, ErrFamily)
 	}
 	return nil
 }
@@ -285,6 +299,12 @@ func (r *Reader) Count(elemSize int) (int, error) {
 	}
 	return int(c), nil
 }
+
+// Bytes consumes n bytes and returns them, aliasing the underlying buffer —
+// the raw-slab accessor nested encodings (a family blob embedded inside
+// another family's body) decode through. The caller must have validated n
+// via Count or an explicit length check first.
+func (r *Reader) Bytes(n int) ([]byte, error) { return r.take(n) }
 
 // Finish verifies the buffer was consumed exactly: trailing bytes mean the
 // blob was not produced by this encoder and the parse cannot be trusted.

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"gpustream/internal/frequency"
+	"gpustream/internal/frugal"
 	"gpustream/internal/quantile"
 	"gpustream/internal/window"
 	"gpustream/internal/wire"
@@ -24,7 +25,7 @@ import (
 var ErrNotMergeable = fmt.Errorf("gpustream: snapshots not mergeable")
 
 // MarshalSnapshot encodes a snapshot in the versioned binary wire format.
-// Every snapshot the six estimator families produce (and every snapshot
+// Every snapshot the unkeyed estimator families produce (and every snapshot
 // UnmarshalSnapshot or Merge returns) supports it; the error case exists
 // for foreign implementations of the Snapshot interface.
 func MarshalSnapshot[T Value](s Snapshot[T]) ([]byte, error) {
@@ -61,6 +62,13 @@ func UnmarshalSnapshot[T Value](data []byte) (Snapshot[T], error) {
 		return wrapNonNil(window.UnmarshalFrequencySnapshot[T](data))
 	case wire.FamilyWindowQuantile:
 		return wrapNonNil(window.UnmarshalQuantileSnapshot[T](data))
+	case wire.FamilyFrugal:
+		return wrapNonNil(frugal.UnmarshalSnapshot[T](data))
+	case wire.FamilyKeyed:
+		// Keyed snapshots answer per-key queries, not the Snapshot[T]
+		// surface, and carry a second type parameter the dispatcher cannot
+		// infer — they decode through UnmarshalKeyedSnapshot[K, T].
+		return nil, fmt.Errorf("gpustream: keyed snapshots decode via UnmarshalKeyedSnapshot, not UnmarshalSnapshot: %w", wire.ErrFamily)
 	}
 	return nil, fmt.Errorf("gpustream: unknown snapshot family %d: %w", uint8(fam), wire.ErrFamily)
 }
@@ -88,6 +96,9 @@ func wrapNonNil[T Value, S Snapshot[T]](s S, err error) (Snapshot[T], error) {
 //   - sliding windows: the per-process windows merge into one combined
 //     window of WA+WB elements with the same rules applied to the window
 //     contents.
+//   - frugal: per target quantile, the tracker backed by more observations
+//     wins (deterministic tie-break); the merged estimate stays inside the
+//     input envelope but remains heuristic, like everything frugal.
 //
 // Merging is error-preserving at any fan-in, so an aggregation tree of
 // height h whose ingest workers run at TreeEps(eps, h) answers within eps
@@ -110,6 +121,12 @@ func Merge[T Value](a, b Snapshot[T]) (Snapshot[T], error) {
 	case *window.QuantileSnapshot[T]:
 		if y, ok := b.(*window.QuantileSnapshot[T]); ok {
 			return window.MergeQuantileSnapshots(x, y), nil
+		}
+	case *frugal.Snapshot[T]:
+		if y, ok := b.(*frugal.Snapshot[T]); ok {
+			// Frugal trackers merge by keeping the better-backed estimate
+			// per target; mismatched phi banks fail (ErrMismatchedPhis).
+			return wrapNonNil(frugal.MergeSnapshots(x, y))
 		}
 	}
 	return nil, fmt.Errorf("%w: %T and %T", ErrNotMergeable, a, b)

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"gpustream/internal/frequency"
+	"gpustream/internal/frugal"
 	"gpustream/internal/quantile"
 	"gpustream/internal/wire"
 )
@@ -120,6 +121,29 @@ func TestUnmarshalCorruptInput(t *testing.T) {
 	winQuantOverflow = wire.AppendI64(winQuantOverflow, 0)   // count
 	winQuantOverflow = wire.AppendU8(winQuantOverflow, 0)    // no partial
 	winQuantOverflow = wire.AppendU32(winQuantOverflow, math.MaxUint32)
+	frugalOverflow := wire.AppendU32(
+		wire.AppendI64(wire.AppendHeader(nil, wire.FamilyFrugal, wire.TagFloat32), 10),
+		math.MaxUint32)
+	frugalNegativeN := wire.AppendU32(
+		wire.AppendI64(wire.AppendHeader(nil, wire.FamilyFrugal, wire.TagFloat32), -1), 1)
+	frugalNoTrackers := wire.AppendU32(
+		wire.AppendI64(wire.AppendHeader(nil, wire.FamilyFrugal, wire.TagFloat32), 10), 0)
+	// A fresh direction byte (0x00) on a tracker over a non-empty stream:
+	// every tracker steps on every observation, so freshness must match n==0.
+	frugalStaleFresh := wire.AppendHeader(nil, wire.FamilyFrugal, wire.TagFloat32)
+	frugalStaleFresh = wire.AppendI64(frugalStaleFresh, 5)
+	frugalStaleFresh = wire.AppendU32(frugalStaleFresh, 1)
+	frugalStaleFresh = wire.AppendF64(frugalStaleFresh, 0.5)
+	frugalStaleFresh = wire.AppendValue(frugalStaleFresh, float32(1))
+	frugalStaleFresh = wire.AppendU8(frugalStaleFresh, 0x00)
+	frugalUnsorted := wire.AppendHeader(nil, wire.FamilyFrugal, wire.TagFloat32)
+	frugalUnsorted = wire.AppendI64(frugalUnsorted, 5)
+	frugalUnsorted = wire.AppendU32(frugalUnsorted, 2)
+	for _, phi := range []float64{0.9, 0.5} { // strictly descending: must be rejected
+		frugalUnsorted = wire.AppendF64(frugalUnsorted, phi)
+		frugalUnsorted = wire.AppendValue(frugalUnsorted, float32(1))
+		frugalUnsorted = wire.AppendU8(frugalUnsorted, 0x40)
+	}
 
 	cases := []struct {
 		name string
@@ -142,6 +166,11 @@ func TestUnmarshalCorruptInput(t *testing.T) {
 		{"window zero width", winZeroW, wire.ErrCorrupt},
 		{"window bin count overflow", winOverflow, wire.ErrTruncated},
 		{"window pane count overflow", winQuantOverflow, wire.ErrTruncated},
+		{"frugal tracker count overflow", frugalOverflow, wire.ErrTruncated},
+		{"frugal negative n", frugalNegativeN, wire.ErrCorrupt},
+		{"frugal no trackers", frugalNoTrackers, wire.ErrCorrupt},
+		{"frugal fresh tracker on non-empty stream", frugalStaleFresh, wire.ErrCorrupt},
+		{"frugal unsorted trackers", frugalUnsorted, wire.ErrCorrupt},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -178,6 +207,24 @@ func TestUnmarshalCorruptInput(t *testing.T) {
 		}
 		if _, err := quantile.UnmarshalSnapshot[float32](valid); !errors.Is(err, wire.ErrFamily) {
 			t.Fatalf("quantile decoder on frequency blob: %v", err)
+		}
+		if _, err := frugal.UnmarshalSnapshot[float32](valid); !errors.Is(err, wire.ErrFamily) {
+			t.Fatalf("frugal decoder on frequency blob: %v", err)
+		}
+	})
+
+	t.Run("keyed blob at the unkeyed entry point", func(t *testing.T) {
+		// A keyed blob is a known family the unkeyed dispatcher cannot
+		// produce a Snapshot[T] for: it must fail with ErrFamily (steering
+		// the caller to UnmarshalKeyedSnapshot), and the keyed decoder must
+		// reject unkeyed blobs the same way.
+		keyedBlob := mustMarshalKeyed(t, goldenKeyedSnapshot[uint64, float32](t))
+		s, err := UnmarshalSnapshot[float32](keyedBlob)
+		if s != nil || !errors.Is(err, wire.ErrFamily) {
+			t.Fatalf("unkeyed decoder on keyed blob: (%v, %v), want wrapped ErrFamily", s, err)
+		}
+		if _, err := UnmarshalKeyedSnapshot[uint64, float32](valid); !errors.Is(err, wire.ErrFamily) {
+			t.Fatalf("keyed decoder on frequency blob: %v", err)
 		}
 	})
 

@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"gpustream/internal/frequency"
+	"gpustream/internal/wire"
 )
 
 // FuzzSnapshotRoundTrip drives the decoder with arbitrary bytes. The
@@ -57,10 +58,80 @@ func FuzzSnapshotRoundTrip(f *testing.F) {
 	}
 	f.Add(mustMarshal(f, qe.Snapshot()))
 
+	// Frugal trackers driven to extreme values: the control byte's step
+	// exponent saturates near the top of the float range, so the encoded
+	// (est, ctl) pairs sit at the field boundaries the decoder validates.
+	fr := eng.NewFrugalEstimator(WithPhis(0.01, 0.5, 0.99), WithFrugalSeed(11))
+	if err := fr.ProcessSlice([]float32{-3.4e38, 3.4e38, 0, -1, 1, 3.4e38}); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(mustMarshal(f, fr.Snapshot()))
+
+	// A keyed blob: the unkeyed decoder must classify it as a foreign
+	// family (wire.ErrFamily), and mutants of it probe that dispatch arm.
+	f.Add(mustMarshalKeyed(f, goldenKeyedSnapshot[uint64, float32](f)))
+
 	f.Fuzz(func(t *testing.T, data []byte) {
 		fuzzRoundTrip[float32](t, data)
 		fuzzRoundTrip[uint64](t, data)
 	})
+}
+
+// FuzzKeyedSnapshotRoundTrip is the keyed decoder's fuzz contract, parallel
+// to FuzzSnapshotRoundTrip but through UnmarshalKeyedSnapshot — the keyed
+// family carries two type tags, two key tiers with cross-tier invariants,
+// and a nested oracle blob, so it has its own accept/reject surface.
+// Unkeyed goldens ride along as seeds: they must be rejected as a foreign
+// family, never decoded.
+func FuzzKeyedSnapshotRoundTrip(f *testing.F) {
+	if entries, err := os.ReadDir(filepath.Join("testdata", "snapshots")); err == nil {
+		for _, e := range entries {
+			data, err := os.ReadFile(filepath.Join("testdata", "snapshots", e.Name()))
+			if err != nil {
+				f.Fatal(err)
+			}
+			f.Add(data)
+			if len(data) > wire.HeaderSize+2 {
+				f.Add(data[:len(data)/2]) // truncated variant
+				mut := append([]byte(nil), data...)
+				mut[wire.HeaderSize+1] ^= 0xFF // corrupt one body byte
+				f.Add(mut)
+			}
+		}
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fuzzKeyedRoundTrip[uint64, float32](t, data)
+		fuzzKeyedRoundTrip[uint32, uint64](t, data)
+	})
+}
+
+func fuzzKeyedRoundTrip[K, T Value](t *testing.T, data []byte) {
+	s, err := UnmarshalKeyedSnapshot[K, T](data)
+	if err != nil {
+		if s != nil {
+			t.Fatalf("keyed: error %v returned alongside a snapshot", err)
+		}
+		if !isWireError(err) {
+			t.Fatalf("keyed: error %v wraps no wire sentinel", err)
+		}
+		return
+	}
+	blob, err := MarshalKeyedSnapshot(s)
+	if err != nil {
+		t.Fatalf("keyed: marshal of accepted input: %v", err)
+	}
+	if !bytes.Equal(blob, data) {
+		t.Fatalf("keyed: re-marshal of accepted input is not bit-identical (%d vs %d bytes)", len(blob), len(data))
+	}
+	s2, err := UnmarshalKeyedSnapshot[K, T](blob)
+	if err != nil {
+		t.Fatalf("keyed: re-unmarshal: %v", err)
+	}
+	assertSameKeyedAnswers(t, s, s2)
+	if blob2 := mustMarshalKeyed(t, s2); !bytes.Equal(blob, blob2) {
+		t.Fatal("keyed: marshal is not deterministic across decode cycles")
+	}
 }
 
 func fuzzRoundTrip[T Value](t *testing.T, data []byte) {

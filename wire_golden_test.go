@@ -47,9 +47,11 @@ func goldenValues[T Value](n int) []T {
 	return vals
 }
 
-// goldenSnapshots builds one snapshot per wire family over the golden
-// stream. The parallel estimators marshal through the same two body layouts
-// (frequency, quantile), so these four blobs cover every family's encoding.
+// goldenSnapshots builds one snapshot per unkeyed wire family over the
+// golden stream. The parallel estimators marshal through the same two body
+// layouts (frequency, quantile), so these five blobs cover every unkeyed
+// family's encoding; the keyed family has its own golden in
+// TestGoldenKeyedSnapshots because its snapshot is not a Snapshot[T].
 func goldenSnapshots[T Value](t testing.TB) map[string]Snapshot[T] {
 	t.Helper()
 	data := goldenValues[T](goldenN)
@@ -59,7 +61,8 @@ func goldenSnapshots[T Value](t testing.TB) map[string]Snapshot[T] {
 	qe := eng.NewQuantileEstimator(goldenEps, goldenN)
 	sf := eng.NewSlidingFrequency(goldenEps, goldenW)
 	sq := eng.NewSlidingQuantile(goldenEps, goldenW)
-	for _, est := range []Estimator[T]{fe, qe, sf, sq} {
+	fr := eng.NewFrugalEstimator(WithFrugalSeed(7))
+	for _, est := range []Estimator[T]{fe, qe, sf, sq, fr} {
 		if err := est.ProcessSlice(data); err != nil {
 			t.Fatalf("ingest: %v", err)
 		}
@@ -69,6 +72,7 @@ func goldenSnapshots[T Value](t testing.TB) map[string]Snapshot[T] {
 		"quantile":         qe.Snapshot(),
 		"window-frequency": sf.Snapshot(),
 		"window-quantile":  sq.Snapshot(),
+		"frugal":           fr.Snapshot(),
 	}
 }
 
@@ -169,5 +173,134 @@ func testGoldenSnapshots[T Value](t *testing.T) {
 				t.Fatal("decode then re-marshal of the golden is not the identity")
 			}
 		})
+	}
+}
+
+// goldenKeyedSnapshot builds the keyed family's golden over the golden
+// stream: golden ids as keys (the eight hottest each hold ~6% of the
+// stream, so they promote at 5% support) and a deterministic value cycle,
+// exercising both tiers plus the nested oracle blob in one encoding.
+func goldenKeyedSnapshot[K, T Value](t testing.TB) *KeyedSnapshot[K, T] {
+	t.Helper()
+	keys := goldenValues[K](goldenN)
+	vals := make([]T, goldenN)
+	for i := range vals {
+		vals[i] = T(i % 257)
+	}
+	eng := NewOf[T](BackendCPU)
+	ke := NewKeyedEstimator[K](eng, goldenEps, 0.05, WithKeyedSeed(3))
+	if err := ke.ProcessSlice(keys, vals); err != nil {
+		t.Fatalf("keyed ingest: %v", err)
+	}
+	if err := ke.Flush(); err != nil {
+		t.Fatalf("keyed flush: %v", err)
+	}
+	return ke.Snapshot()
+}
+
+func mustMarshalKeyed[K, T Value](t testing.TB, s *KeyedSnapshot[K, T]) []byte {
+	t.Helper()
+	blob, err := MarshalKeyedSnapshot(s)
+	if err != nil {
+		t.Fatalf("marshal keyed: %v", err)
+	}
+	return blob
+}
+
+// assertSameKeyedAnswers checks that two keyed snapshots agree on every
+// metadata accessor and answer every per-key query identically over the
+// probe set (the golden key range plus the key-space boundaries).
+func assertSameKeyedAnswers[K, T Value](t *testing.T, want, got *KeyedSnapshot[K, T]) {
+	t.Helper()
+	if got.Count() != want.Count() || got.Promotions() != want.Promotions() {
+		t.Fatalf("Count/Promotions = %d/%d, want %d/%d", got.Count(), got.Promotions(), want.Count(), want.Promotions())
+	}
+	if got.Phi() != want.Phi() || got.Support() != want.Support() {
+		t.Fatalf("Phi/Support = %g/%g, want %g/%g", got.Phi(), got.Support(), want.Phi(), want.Support())
+	}
+	if got.Keys() != want.Keys() || got.FrugalKeys() != want.FrugalKeys() || got.PromotedKeys() != want.PromotedKeys() {
+		t.Fatalf("tiers = %d/%d/%d, want %d/%d/%d",
+			got.Keys(), got.FrugalKeys(), got.PromotedKeys(),
+			want.Keys(), want.FrugalKeys(), want.PromotedKeys())
+	}
+	probes := make([]K, 0, 603)
+	for id := uint64(0); id < 600; id++ {
+		probes = append(probes, K(id))
+	}
+	for _, b := range []uint64{0, 1 << 30, 1<<31 - 1} {
+		probes = append(probes, K(b))
+	}
+	for _, k := range probes {
+		if wp, gp := want.Promoted(k), got.Promoted(k); wp != gp {
+			t.Fatalf("Promoted(%v) = %v, want %v", k, gp, wp)
+		}
+		wc, wok := want.KeyCount(k)
+		gc, gok := got.KeyCount(k)
+		if wok != gok || wc != gc {
+			t.Fatalf("KeyCount(%v) = (%d, %v), want (%d, %v)", k, gc, gok, wc, wok)
+		}
+		for _, phi := range []float64{0, 0.25, 0.5, 0.75, 1} {
+			wv, wok := want.Quantile(k, phi)
+			gv, gok := got.Quantile(k, phi)
+			if wok != gok || sorter.OrderedKey(wv) != sorter.OrderedKey(gv) {
+				t.Fatalf("Quantile(%v, %g) = (%v, %v), want (%v, %v)", k, phi, gv, gok, wv, wok)
+			}
+		}
+	}
+	for _, sp := range []float64{0.01, 0.05, 0.2} {
+		wi, gi := want.HeavyKeys(sp), got.HeavyKeys(sp)
+		if len(wi) != len(gi) {
+			t.Fatalf("HeavyKeys(%g): %d items, want %d", sp, len(gi), len(wi))
+		}
+		for i := range wi {
+			if sorter.OrderedKey(wi[i].Value) != sorter.OrderedKey(gi[i].Value) || wi[i].Freq != gi[i].Freq {
+				t.Fatalf("HeavyKeys(%g)[%d] = %+v, want %+v", sp, i, gi[i], wi[i])
+			}
+		}
+	}
+}
+
+// TestGoldenKeyedSnapshots is the keyed family's byte-level format lock,
+// parallel to TestGoldenSnapshots: the keyed snapshot surface (two type
+// tags, two tiers, a nested oracle blob) marshals through its own entry
+// points, so it gets its own golden and its own answer-equality check.
+func TestGoldenKeyedSnapshots(t *testing.T) {
+	t.Run("uint64-float32", testGoldenKeyedSnapshots[uint64, float32])
+	t.Run("uint32-uint64", testGoldenKeyedSnapshots[uint32, uint64])
+}
+
+func testGoldenKeyedSnapshots[K, T Value](t *testing.T) {
+	snap := goldenKeyedSnapshot[K, T](t)
+	blob := mustMarshalKeyed(t, snap)
+	if again := mustMarshalKeyed(t, snap); !bytes.Equal(blob, again) {
+		t.Fatal("keyed marshal is not deterministic")
+	}
+
+	path := filepath.Join("testdata", "snapshots", "keyed."+typeName[K]()+"-"+typeName[T]()+".snap")
+	if *updateGolden {
+		if err := os.WriteFile(path, blob, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden (regenerate with `go test -run TestGoldenKeyedSnapshots -update`): %v", err)
+	}
+	if !bytes.Equal(blob, want) {
+		t.Fatalf("keyed wire bytes drifted from %s (%d bytes, golden %d): format changes must bump wire.Version and regenerate goldens",
+			path, len(blob), len(want))
+	}
+
+	dec, err := UnmarshalKeyedSnapshot[K, T](want)
+	if err != nil {
+		t.Fatalf("unmarshal keyed golden: %v", err)
+	}
+	if snap.PromotedKeys() == 0 || snap.FrugalKeys() == 0 {
+		t.Fatalf("golden keyed stream must populate both tiers, got %d frugal / %d promoted",
+			snap.FrugalKeys(), snap.PromotedKeys())
+	}
+	assertSameKeyedAnswers(t, snap, dec)
+	if re := mustMarshalKeyed(t, dec); !bytes.Equal(re, want) {
+		t.Fatal("decode then re-marshal of the keyed golden is not the identity")
 	}
 }
