@@ -139,39 +139,42 @@ func runCell[T gpustream.Value](backend gpustream.Backend, mode, query, typ stri
 	eng := gpustream.NewOf[T](backend)
 	pb := backend.PipelineBackend()
 
-	var eopts []gpustream.EstimatorOption
-	var popts []gpustream.ParallelOption
-	if mode == "async" {
-		eopts = append(eopts, gpustream.WithAsyncIngestion())
-		popts = append(popts, gpustream.WithAsyncShards())
-	}
-
-	var est gpustream.Estimator[T]
-	var shardedModel func() perfmodel.PipelineBreakdown
+	// Every cell is described declaratively and built through the one spec
+	// path the service uses, so the benchmark measures exactly what a
+	// streamd tenant would get.
+	spec := gpustream.Spec{Eps: eps, Backend: backend, Async: mode == "async"}
 	switch query {
 	case "frequency":
+		spec.Family = gpustream.FamilyFrequency
 		if mode == "sharded" {
-			fe := eng.NewParallelFrequencyEstimator(eps, shards, popts...)
-			est = fe
-			shardedModel = func() perfmodel.PipelineBreakdown { return fe.ModeledTime(eng.Model(), pb) }
-			res.Shards = fe.Shards()
-		} else {
-			est = eng.NewFrequencyEstimator(eps, eopts...)
+			spec.Family = gpustream.FamilyParallelFrequency
+			spec.Shards = shards
 		}
 	case "quantile":
+		spec.Family = gpustream.FamilyQuantile
+		spec.Capacity = int64(n)
 		if mode == "sharded" {
-			qe := eng.NewParallelQuantileEstimator(eps, int64(n), shards, popts...)
-			est = qe
-			shardedModel = func() perfmodel.PipelineBreakdown { return qe.ModeledTime(eng.Model(), pb) }
-			res.Shards = qe.Shards()
-		} else {
-			est = eng.NewQuantileEstimator(eps, int64(n), eopts...)
+			spec.Family = gpustream.FamilyParallelQuantile
+			spec.Shards = shards
 		}
 	case "sliding":
-		res.Window = n / 10
-		est = eng.NewSlidingQuantile(eps, res.Window, eopts...)
+		spec.Family = gpustream.FamilySlidingQuantile
+		spec.Window = n / 10
+		res.Window = spec.Window
 	default:
 		return res, fmt.Errorf("unknown query %q (want frequency, quantile, or sliding)", query)
+	}
+	est, err := eng.NewFromSpec(spec)
+	if err != nil {
+		return res, err
+	}
+	var shardedModel func() perfmodel.PipelineBreakdown
+	if sh, ok := est.(interface {
+		Shards() int
+		ModeledTime(perfmodel.Model, perfmodel.Backend) perfmodel.PipelineBreakdown
+	}); ok {
+		res.Shards = sh.Shards()
+		shardedModel = func() perfmodel.PipelineBreakdown { return sh.ModeledTime(eng.Model(), pb) }
 	}
 
 	runtime.GC()

@@ -1,0 +1,107 @@
+// Command streamd is the multi-tenant streaming estimation daemon: tenants
+// create named streams from declarative estimator specs (PUT a
+// gpustream.Spec), POST batches of values, and GET eps-approximate answers
+// (quantiles, heavy hitters, point frequencies) served from copy-on-write
+// snapshots so queries never block ingestion.
+//
+//	streamd -addr :8080 -type float32 -spill /var/lib/streamd
+//
+// On SIGTERM/SIGINT the daemon stops accepting connections, drains every
+// stream's ingest queue and estimator concurrently, and spills each final
+// snapshot to the spill directory in the versioned wire format (readable by
+// cmd/snapmerge and gpustream.UnmarshalSnapshot).
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"gpustream/internal/service"
+)
+
+// instance is the type-erased face of service.Server[T]: the daemon picks
+// the value type at startup (-type), the HTTP surface is type-independent.
+type instance interface {
+	http.Handler
+	Drain(context.Context) error
+	Streams() int
+}
+
+func build(typ string, cfg service.Config) (instance, error) {
+	switch typ {
+	case "float32":
+		return service.New[float32](cfg), nil
+	case "float64":
+		return service.New[float64](cfg), nil
+	case "uint32":
+		return service.New[uint32](cfg), nil
+	case "uint64":
+		return service.New[uint64](cfg), nil
+	case "int32":
+		return service.New[int32](cfg), nil
+	case "int64":
+		return service.New[int64](cfg), nil
+	default:
+		return nil, fmt.Errorf("unsupported -type %q (want float32, float64, uint32, uint64, int32, or int64)", typ)
+	}
+}
+
+func main() {
+	var (
+		addr         = flag.String("addr", ":8080", "listen address")
+		typ          = flag.String("type", "float32", "value type for all streams: float32, float64, uint32, uint64, int32, int64")
+		spill        = flag.String("spill", "", "directory for final snapshots on drain (empty: don't spill)")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "deadline for draining all streams at shutdown")
+		maxStreams   = flag.Int("max-streams", 4096, "stream cap; beyond it the least-recently-used stream is drained and evicted")
+		idleTTL      = flag.Duration("idle-ttl", 0, "evict streams idle longer than this (0: never)")
+		queueDepth   = flag.Int("queue-depth", 64, "per-stream ingest queue depth, in batches")
+		maxBatch     = flag.Int("max-batch-rows", 1<<20, "largest accepted batch, in rows")
+	)
+	flag.Parse()
+
+	svc, err := build(*typ, service.Config{
+		MaxStreams:   *maxStreams,
+		IdleTTL:      *idleTTL,
+		QueueDepth:   *queueDepth,
+		MaxBatchRows: *maxBatch,
+		DrainTimeout: *drainTimeout,
+		SpillDir:     *spill,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	srv := &http.Server{Addr: *addr, Handler: svc}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	log.Printf("streamd: serving %s values on %s (max-streams=%d queue-depth=%d)", *typ, *addr, *maxStreams, *queueDepth)
+
+	select {
+	case err := <-errc:
+		log.Fatalf("streamd: %v", err)
+	case <-ctx.Done():
+	}
+
+	// Shutdown: stop accepting, finish in-flight requests, then drain and
+	// spill every stream under one shared deadline.
+	log.Printf("streamd: signal received, draining %d streams (deadline %s)", svc.Streams(), *drainTimeout)
+	dctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(dctx); err != nil {
+		log.Printf("streamd: http shutdown: %v", err)
+	}
+	if err := svc.Drain(dctx); err != nil {
+		log.Fatalf("streamd: drain: %v", err)
+	}
+	log.Printf("streamd: drained cleanly")
+}

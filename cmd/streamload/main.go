@@ -1,0 +1,304 @@
+// Command streamload is the load-test driver for streamd: it creates
+// tenants × streams estimator streams, POSTs zipf-distributed batches from
+// a worker pool, and reports sustained rows/sec plus p50/p99/max request
+// latency. Every request is checked; the exit status is non-zero if any
+// fails, so it doubles as an end-to-end smoke test.
+//
+//	streamload -addr http://127.0.0.1:8080 -tenants 100 -streams 4 -batch 500 -batches 20
+//
+// With -inproc it spins the service up in-process on a loopback listener,
+// runs the load, and drains — no separate daemon needed (CI smoke mode).
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"math"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gpustream"
+	"gpustream/internal/service"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "http://127.0.0.1:8080", "streamd base URL")
+		inproc   = flag.Bool("inproc", false, "run the service in-process on a loopback listener instead of dialing -addr")
+		tenants  = flag.Int("tenants", 100, "number of tenants")
+		streams  = flag.Int("streams", 4, "streams per tenant")
+		batch    = flag.Int("batch", 500, "rows per POST batch")
+		batches  = flag.Int("batches", 20, "batches per stream (ignored when -duration is set)")
+		duration = flag.Duration("duration", 0, "run for a fixed wall-clock time instead of a fixed batch count")
+		workers  = flag.Int("workers", 8, "concurrent request workers")
+		skew     = flag.Float64("skew", 1.2, "zipf skew of the generated values (>1)")
+		card     = flag.Uint64("cardinality", 1<<14, "zipf value cardinality")
+		family   = flag.String("family", "quantile", "estimator family for every stream (any gpustream family name)")
+		eps      = flag.Float64("eps", 0.01, "estimator eps")
+		useBin   = flag.Bool("binary", false, "POST binary little-endian float32 rows instead of JSON")
+		seed     = flag.Int64("seed", 1, "base RNG seed")
+	)
+	flag.Parse()
+
+	fam, err := gpustream.ParseFamily(*family)
+	if err != nil {
+		log.Fatal(err)
+	}
+	spec := gpustream.Spec{Family: fam, Eps: *eps}
+	if fam == gpustream.FamilyFrugal {
+		spec.Eps = 0
+	}
+	if spec.Family.AnswersFrequencies() {
+		spec.Support = 0.01
+	}
+	if err := spec.Validate(); err != nil {
+		log.Fatal(err)
+	}
+
+	base := *addr
+	var svc *service.Server[float32]
+	if *inproc {
+		svc = service.New[float32](service.Config{})
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			log.Fatal(err)
+		}
+		go func() { _ = (&http.Server{Handler: svc}).Serve(ln) }()
+		base = "http://" + ln.Addr().String()
+		log.Printf("streamload: in-process service on %s", base)
+	}
+	client := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: *workers}}
+
+	r := newRunner(client, base, spec, *batch, *skew, *card, *useBin, *seed)
+	if err := r.createStreams(*tenants, *streams, *workers); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("streamload: created %d streams (%d tenants x %d), family=%s batch=%d workers=%d",
+		*tenants**streams, *tenants, *streams, fam, *batch, *workers)
+
+	elapsed := r.run(*tenants, *streams, *batches, *duration, *workers)
+	rows := r.rows.Load()
+	fail := r.failures.Load()
+	p50, p99, max := r.percentiles()
+
+	fmt.Printf("streamload: %d requests, %d rows in %.2fs\n", r.requests.Load(), rows, elapsed.Seconds())
+	fmt.Printf("  throughput  %.0f rows/sec (%.0f req/sec)\n",
+		float64(rows)/elapsed.Seconds(), float64(r.requests.Load())/elapsed.Seconds())
+	fmt.Printf("  latency     p50 %s  p99 %s  max %s\n", p50, p99, max)
+	fmt.Printf("  failures    %d\n", fail)
+
+	if err := r.verify(*tenants, *streams); err != nil {
+		log.Printf("streamload: verify: %v", err)
+		fail++
+	}
+	if svc != nil {
+		if err := svc.Drain(context.Background()); err != nil {
+			log.Printf("streamload: drain: %v", err)
+			fail++
+		}
+	}
+	if fail != 0 {
+		os.Exit(1)
+	}
+}
+
+// runner owns the load loop: stream naming, batch generation, latency
+// accounting.
+type runner struct {
+	client *http.Client
+	base   string
+	spec   gpustream.Spec
+	batch  int
+	skew   float64
+	card   uint64
+	binary bool
+	seed   int64
+
+	requests atomic.Int64
+	rows     atomic.Int64
+	failures atomic.Int64
+
+	mu        sync.Mutex
+	latencies []time.Duration
+}
+
+func newRunner(client *http.Client, base string, spec gpustream.Spec, batch int, skew float64, card uint64, binary bool, seed int64) *runner {
+	return &runner{client: client, base: base, spec: spec, batch: batch, skew: skew, card: card, binary: binary, seed: seed}
+}
+
+func (r *runner) streamURL(tenant, stream int) string {
+	return fmt.Sprintf("%s/v1/streams/t%03d/s%d", r.base, tenant, stream)
+}
+
+// createStreams PUTs every tenant/stream spec through a small worker pool.
+func (r *runner) createStreams(tenants, streams, workers int) error {
+	blob, err := json.Marshal(r.spec)
+	if err != nil {
+		return err
+	}
+	jobs := make(chan string, workers)
+	var wg sync.WaitGroup
+	var firstErr atomic.Value
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for url := range jobs {
+				req, _ := http.NewRequest("PUT", url, bytes.NewReader(blob))
+				req.Header.Set("Content-Type", "application/json")
+				resp, err := r.client.Do(req)
+				if err != nil {
+					firstErr.CompareAndSwap(nil, fmt.Errorf("PUT %s: %w", url, err))
+					continue
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusCreated && resp.StatusCode != http.StatusOK {
+					firstErr.CompareAndSwap(nil, fmt.Errorf("PUT %s: status %d", url, resp.StatusCode))
+				}
+			}
+		}()
+	}
+	for t := 0; t < tenants; t++ {
+		for s := 0; s < streams; s++ {
+			jobs <- r.streamURL(t, s)
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	if err, _ := firstErr.Load().(error); err != nil {
+		return err
+	}
+	return nil
+}
+
+// run drives the ingest phase and returns the elapsed wall-clock time.
+// With duration > 0 workers cycle through the streams until the deadline;
+// otherwise each stream receives exactly `batches` batches.
+func (r *runner) run(tenants, streams, batches int, duration time.Duration, workers int) time.Duration {
+	type job struct{ tenant, stream int }
+	jobs := make(chan job, workers)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(r.seed + int64(w)))
+			zipf := rand.NewZipf(rng, r.skew, 1, r.card)
+			var lat []time.Duration
+			for j := range jobs {
+				lat = append(lat, r.post(j.tenant, j.stream, rng, zipf))
+			}
+			r.mu.Lock()
+			r.latencies = append(r.latencies, lat...)
+			r.mu.Unlock()
+		}(w)
+	}
+	if duration > 0 {
+		deadline := time.Now().Add(duration)
+		for b := 0; time.Now().Before(deadline); b++ {
+			for t := 0; t < tenants && time.Now().Before(deadline); t++ {
+				for s := 0; s < streams; s++ {
+					jobs <- job{t, s}
+				}
+			}
+		}
+	} else {
+		for b := 0; b < batches; b++ {
+			for t := 0; t < tenants; t++ {
+				for s := 0; s < streams; s++ {
+					jobs <- job{t, s}
+				}
+			}
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	return time.Since(start)
+}
+
+// post sends one zipf batch and returns the request latency.
+func (r *runner) post(tenant, stream int, rng *rand.Rand, zipf *rand.Zipf) time.Duration {
+	var body []byte
+	contentType := "application/json"
+	if r.binary {
+		body = make([]byte, 0, 4*r.batch)
+		for i := 0; i < r.batch; i++ {
+			body = binary.LittleEndian.AppendUint32(body, math.Float32bits(float32(zipf.Uint64())))
+		}
+		contentType = "application/octet-stream"
+	} else {
+		vals := make([]float32, r.batch)
+		for i := range vals {
+			vals[i] = float32(zipf.Uint64())
+		}
+		body, _ = json.Marshal(vals)
+	}
+	start := time.Now()
+	req, _ := http.NewRequest("POST", r.streamURL(tenant, stream)+"/values", bytes.NewReader(body))
+	req.Header.Set("Content-Type", contentType)
+	resp, err := r.client.Do(req)
+	d := time.Since(start)
+	r.requests.Add(1)
+	if err != nil {
+		r.failures.Add(1)
+		return d
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted && resp.StatusCode != http.StatusOK {
+		r.failures.Add(1)
+		return d
+	}
+	r.rows.Add(int64(r.batch))
+	return d
+}
+
+// verify probes every stream once after the load: the answer endpoint must
+// serve 200 with ok results, proving the queues flushed into live
+// estimators (not just that POSTs were accepted).
+func (r *runner) verify(tenants, streams int) error {
+	probe := "/quantile?phi=0.5"
+	if r.spec.Family.AnswersFrequencies() {
+		probe = "/heavyhitters"
+	}
+	for t := 0; t < tenants; t++ {
+		for s := 0; s < streams; s++ {
+			url := r.streamURL(t, s) + probe
+			resp, err := r.client.Get(url)
+			if err != nil {
+				return err
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				return fmt.Errorf("GET %s: status %d", url, resp.StatusCode)
+			}
+		}
+	}
+	return nil
+}
+
+func (r *runner) percentiles() (p50, p99, max time.Duration) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.latencies) == 0 {
+		return 0, 0, 0
+	}
+	sort.Slice(r.latencies, func(i, j int) bool { return r.latencies[i] < r.latencies[j] })
+	n := len(r.latencies)
+	return r.latencies[n/2], r.latencies[min(n-1, n*99/100)], r.latencies[n-1]
+}

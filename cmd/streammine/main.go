@@ -138,81 +138,11 @@ func main() {
 		fatalf("-keyed does not combine with -window, -shards, or -async (the keyed front-end is serial; only its heavy-hitter oracle runs a sorting pipeline)")
 	}
 
-	var eopts []gpustream.EstimatorOption
-	var popts []gpustream.ParallelOption
-	if *async {
-		eopts = append(eopts, gpustream.WithAsyncIngestion())
-		popts = append(popts, gpustream.WithAsyncShards())
-	}
-
 	start := time.Now()
-	switch {
-	case *keyed:
+	if *keyed {
 		runKeyed(eng, data, *nkeys, *keySkew, *eps, *support, *seed, parsePhis(*phis), *top, *snapPath, start)
-	case *query == "frequency":
-		if *shards != 0 {
-			est := eng.NewParallelFrequencyEstimator(*eps, *shards, popts...)
-			est.ProcessSlice(data)
-			est.Close()
-			items := est.Query(*support)
-			fmt.Printf("processed in %v across %d shards; %d summary entries; heavy hitters (support %g):\n",
-				time.Since(start), est.Shards(), est.SummarySize(), *support)
-			printItems(items, *top)
-			printSharded(est.ModeledTime(eng.Model(), backend.PipelineBackend()), est.Shards())
-			writeSnapshot(*snapPath, est)
-		} else if *windowSize > 0 {
-			est := eng.NewSlidingFrequency(*eps, *windowSize, eopts...)
-			est.ProcessSlice(data)
-			items := est.Query(*support)
-			fmt.Printf("processed in %v; heavy hitters over last %d elements (support %g):\n",
-				time.Since(start), *windowSize, *support)
-			printWindowItems(items, *top)
-			writeSnapshot(*snapPath, est)
-		} else {
-			est := eng.NewFrequencyEstimator(*eps, eopts...)
-			est.ProcessSlice(data)
-			items := est.Query(*support)
-			fmt.Printf("processed in %v; %d summary entries; heavy hitters (support %g):\n",
-				time.Since(start), est.SummarySize(), *support)
-			printItems(items, *top)
-			printPhases(est.Stats())
-			writeSnapshot(*snapPath, est)
-		}
-	case *query == "quantile":
-		probes := parsePhis(*phis)
-		if *shards != 0 {
-			est := eng.NewParallelQuantileEstimator(*eps, int64(*n), *shards, popts...)
-			est.ProcessSlice(data)
-			est.Close()
-			fmt.Printf("processed in %v across %d shards; %d summary entries; quantiles:\n",
-				time.Since(start), est.Shards(), est.SummaryEntries())
-			for _, phi := range probes {
-				fmt.Printf("  phi=%.3f -> %v\n", phi, est.Query(phi))
-			}
-			printSharded(est.ModeledTime(eng.Model(), backend.PipelineBackend()), est.Shards())
-			writeSnapshot(*snapPath, est)
-		} else if *windowSize > 0 {
-			est := eng.NewSlidingQuantile(*eps, *windowSize, eopts...)
-			est.ProcessSlice(data)
-			fmt.Printf("processed in %v; quantiles over last %d elements:\n",
-				time.Since(start), *windowSize)
-			for _, phi := range probes {
-				fmt.Printf("  phi=%.3f -> %v\n", phi, est.Query(phi))
-			}
-			writeSnapshot(*snapPath, est)
-		} else {
-			est := eng.NewQuantileEstimator(*eps, int64(*n), eopts...)
-			est.ProcessSlice(data)
-			fmt.Printf("processed in %v; %d summary entries in %d buckets; quantiles:\n",
-				time.Since(start), est.SummaryEntries(), est.Buckets())
-			for _, phi := range probes {
-				fmt.Printf("  phi=%.3f -> %v\n", phi, est.Query(phi))
-			}
-			printPhases(est.Stats())
-			writeSnapshot(*snapPath, est)
-		}
-	default:
-		fatalf("unknown query %q", *query)
+	} else {
+		runSpec(eng, backend, data, *query, *eps, *support, parsePhis(*phis), *windowSize, *shards, *async, *top, *snapPath, start)
 	}
 
 	if *showStats {
@@ -223,6 +153,96 @@ func main() {
 		fmt.Printf("last GPU sort (modeled 2004 testbed): compute %v, transfer %v, setup %v, merge %v\n",
 			b.Compute, b.Transfer, b.Setup, b.Merge)
 	}
+}
+
+// specFor maps the flag surface onto the declarative estimator spec — the
+// same description a streamd tenant would PUT, so the CLI and the service
+// construct identical estimators.
+func specFor(query string, backend gpustream.Backend, eps float64, n, windowSize, shards int, async bool) (gpustream.Spec, error) {
+	spec := gpustream.Spec{Eps: eps, Backend: backend, Async: async}
+	switch query {
+	case "frequency":
+		switch {
+		case shards != 0:
+			spec.Family = gpustream.FamilyParallelFrequency
+		case windowSize > 0:
+			spec.Family = gpustream.FamilySlidingFrequency
+		default:
+			spec.Family = gpustream.FamilyFrequency
+		}
+	case "quantile":
+		switch {
+		case shards != 0:
+			spec.Family = gpustream.FamilyParallelQuantile
+			spec.Capacity = int64(n)
+		case windowSize > 0:
+			spec.Family = gpustream.FamilySlidingQuantile
+		default:
+			spec.Family = gpustream.FamilyQuantile
+			spec.Capacity = int64(n)
+		}
+	default:
+		return spec, fmt.Errorf("unknown query %q", query)
+	}
+	if spec.Family.Sliding() {
+		spec.Window = windowSize
+	}
+	if spec.Family.Parallel() && shards > 0 {
+		spec.Shards = shards // <0 stays 0 in the spec: GOMAXPROCS
+	}
+	return spec, spec.Validate()
+}
+
+// runSpec builds the estimator described by the flags via the declarative
+// spec path, ingests the stream, and answers the query from the final
+// snapshot view. Family-specific reporting (shard breakdowns, phase times)
+// is recovered by interface assertion rather than concrete types.
+func runSpec(eng *gpustream.Engine[float32], backend gpustream.Backend, data []float32, query string, eps, support float64, probes []float64, windowSize, shards int, async bool, top int, snapPath string, start time.Time) {
+	spec, err := specFor(query, backend, eps, len(data), windowSize, shards, async)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	est, err := eng.NewFromSpec(spec)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if err := est.ProcessSlice(data); err != nil {
+		fatalf("%v", err)
+	}
+	if err := est.Close(); err != nil {
+		fatalf("%v", err)
+	}
+	snap := est.Snapshot()
+
+	scope := "whole stream"
+	if spec.Family.Sliding() {
+		scope = fmt.Sprintf("last %d elements", windowSize)
+	}
+	switch query {
+	case "frequency":
+		items, _ := snap.HeavyHitters(support)
+		fmt.Printf("processed in %v; %d summary entries; heavy hitters over %s (support %g):\n",
+			time.Since(start), snap.Size(), scope, support)
+		printItems(items, top)
+	case "quantile":
+		fmt.Printf("processed in %v; %d summary entries; quantiles over %s:\n",
+			time.Since(start), snap.Size(), scope)
+		for _, phi := range probes {
+			v, _ := snap.Quantile(phi)
+			fmt.Printf("  phi=%.3f -> %v\n", phi, v)
+		}
+	}
+
+	type sharded interface {
+		Shards() int
+		ModeledTime(perfmodel.Model, perfmodel.Backend) perfmodel.PipelineBreakdown
+	}
+	if sh, ok := est.(sharded); ok {
+		printSharded(sh.ModeledTime(eng.Model(), backend.PipelineBackend()), sh.Shards())
+	} else if !spec.Family.Sliding() {
+		printPhases(est.Stats())
+	}
+	writeSnapshot(snapPath, est)
 }
 
 // runKeyed drives the keyed front-end: values from the configured value
@@ -351,16 +371,6 @@ func printStats(all []gpustream.EstimatorStats) {
 			fmt.Printf("  %-18s keys=%d frugal=%d promoted=%d promotions=%d rate=%.4f\n",
 				"", k.Keys, k.FrugalKeys, k.PromotedKeys, k.Promotions, k.PromotionRate)
 		}
-	}
-}
-
-func printWindowItems(items []gpustream.WindowItem[float32], top int) {
-	for i, it := range items {
-		if i >= top {
-			fmt.Printf("  ... and %d more\n", len(items)-top)
-			return
-		}
-		fmt.Printf("  value %v: freq ~ %d\n", it.Value, it.Freq)
 	}
 }
 

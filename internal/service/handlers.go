@@ -1,0 +1,455 @@
+package service
+
+import (
+	"context"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"gpustream"
+	"gpustream/internal/sorter"
+)
+
+// routes builds the service mux. Method-and-pattern routing is stdlib
+// (net/http pattern syntax); {tenant} and {stream} are validated by name
+// before touching the registry.
+func (s *Server[T]) routes() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("PUT /v1/streams/{tenant}/{stream}", s.stream(s.handlePut))
+	mux.HandleFunc("DELETE /v1/streams/{tenant}/{stream}", s.stream(s.handleDelete))
+	mux.HandleFunc("GET /v1/streams/{tenant}/{stream}", s.stream(s.handleInfo))
+	mux.HandleFunc("POST /v1/streams/{tenant}/{stream}/values", s.stream(s.handleIngest))
+	mux.HandleFunc("GET /v1/streams/{tenant}/{stream}/quantile", s.stream(s.handleQuantile))
+	mux.HandleFunc("GET /v1/streams/{tenant}/{stream}/heavyhitters", s.stream(s.handleHeavyHitters))
+	mux.HandleFunc("GET /v1/streams/{tenant}/{stream}/frequency", s.stream(s.handleFrequency))
+	mux.HandleFunc("GET /statsz", s.handleStatsz)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return mux
+}
+
+// stream wraps a stream-scoped handler with name validation and the drain
+// gate: once shutdown starts, stream operations answer 503 so a fronting
+// load balancer fails over, while /healthz and /statsz keep reporting.
+func (s *Server[T]) stream(h func(w http.ResponseWriter, r *http.Request, tenant, stream string)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if s.draining.Load() {
+			writeErr(w, http.StatusServiceUnavailable, "service is draining")
+			return
+		}
+		tenant, stream := r.PathValue("tenant"), r.PathValue("stream")
+		if !validName(tenant) || !validName(stream) {
+			writeErr(w, http.StatusBadRequest, "tenant and stream names must be 1-64 characters of [A-Za-z0-9_-]")
+			return
+		}
+		h(w, r, tenant, stream)
+	}
+}
+
+// apiError is the uniform JSON error body.
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func writeErr(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, apiError{Error: fmt.Sprintf(format, args...)})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "")
+	_ = enc.Encode(v)
+}
+
+// handlePut creates (or idempotently re-asserts) a stream from the JSON
+// spec document in the body: 201 on creation, 200 when an identical stream
+// already exists, 409 when the existing spec differs, 400 on a bad spec.
+func (s *Server[T]) handlePut(w http.ResponseWriter, r *http.Request, tenant, stream string) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	if err != nil {
+		writeErr(w, http.StatusRequestEntityTooLarge, "spec body: %v", err)
+		return
+	}
+	spec, err := gpustream.ParseSpec(body)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	e, created, err := s.reg.create(tenant, stream, spec)
+	switch {
+	case errors.Is(err, errConflict):
+		writeErr(w, http.StatusConflict, "stream %s/%s exists with a different spec", tenant, stream)
+		return
+	case err != nil:
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	code := http.StatusOK
+	if created {
+		code = http.StatusCreated
+	}
+	writeJSON(w, code, struct {
+		Tenant  string         `json:"tenant"`
+		Stream  string         `json:"stream"`
+		Created bool           `json:"created"`
+		Spec    gpustream.Spec `json:"spec"`
+	}{tenant, stream, created, e.spec})
+}
+
+// handleDelete drains the stream — queue flushed, estimator closed via its
+// context-aware drain under the request deadline (?timeout= overrides the
+// configured default) — spills its final snapshot, and removes it.
+func (s *Server[T]) handleDelete(w http.ResponseWriter, r *http.Request, tenant, stream string) {
+	e, ok := s.reg.remove(tenant, stream)
+	if !ok {
+		writeErr(w, http.StatusNotFound, "no stream %s/%s", tenant, stream)
+		return
+	}
+	timeout := s.cfg.DrainTimeout
+	if arg := r.URL.Query().Get("timeout"); arg != "" {
+		d, err := time.ParseDuration(arg)
+		if err != nil || d <= 0 {
+			writeErr(w, http.StatusBadRequest, "bad timeout %q", arg)
+			return
+		}
+		timeout = d
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+	if err := s.reg.finishContext(ctx, e); err != nil {
+		writeErr(w, http.StatusInternalServerError, "drain %s/%s: %v", tenant, stream, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Tenant string `json:"tenant"`
+		Stream string `json:"stream"`
+		Rows   int64  `json:"rows"`
+		Count  int64  `json:"count"`
+	}{tenant, stream, e.rows.Load(), e.est.Count()})
+}
+
+// handleInfo reports one stream's spec, counts, and live pipeline stats.
+func (s *Server[T]) handleInfo(w http.ResponseWriter, r *http.Request, tenant, stream string) {
+	e, ok := s.reg.get(tenant, stream)
+	if !ok {
+		writeErr(w, http.StatusNotFound, "no stream %s/%s", tenant, stream)
+		return
+	}
+	writeJSON(w, http.StatusOK, s.streamStatus(e))
+}
+
+// handleIngest accepts one batch of values — a JSON array of numbers, or
+// binary little-endian rows at the element type's native width — and hands
+// it to the stream's writer through the bounded queue (blocking for
+// backpressure under the request context). With ?sync=1 the request
+// additionally waits until the batch is queryable. 202 on enqueue, 200 on
+// sync completion, 413 for oversized batches.
+func (s *Server[T]) handleIngest(w http.ResponseWriter, r *http.Request, tenant, stream string) {
+	e, ok := s.reg.get(tenant, stream)
+	if !ok {
+		writeErr(w, http.StatusNotFound, "no stream %s/%s", tenant, stream)
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	if err != nil {
+		writeErr(w, http.StatusRequestEntityTooLarge, "batch body: %v", err)
+		return
+	}
+	var values []T
+	if strings.HasPrefix(r.Header.Get("Content-Type"), "application/octet-stream") {
+		values, err = decodeBinary[T](body)
+	} else {
+		values, err = decodeJSONValues[T](body)
+	}
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "batch: %v", err)
+		return
+	}
+	if len(values) == 0 {
+		writeErr(w, http.StatusBadRequest, "batch: no values")
+		return
+	}
+	if len(values) > s.cfg.MaxBatchRows {
+		writeErr(w, http.StatusRequestEntityTooLarge, "batch of %d rows exceeds the %d-row limit", len(values), s.cfg.MaxBatchRows)
+		return
+	}
+	sync := r.URL.Query().Get("sync") != ""
+	if err := e.enqueue(r.Context(), values, sync); err != nil {
+		switch {
+		case errors.Is(err, errClosing):
+			writeErr(w, http.StatusConflict, "stream %s/%s is draining", tenant, stream)
+		default:
+			writeErr(w, http.StatusServiceUnavailable, "enqueue: %v", err)
+		}
+		return
+	}
+	s.ctr.ingestRows.Add(int64(len(values)))
+	s.ctr.ingestBatches.Add(1)
+	code := http.StatusAccepted
+	if sync {
+		code = http.StatusOK
+	}
+	writeJSON(w, code, struct {
+		Rows   int    `json:"rows"`
+		Queued bool   `json:"queued"`
+		Stream string `json:"stream"`
+	}{len(values), !sync, tenant + "/" + stream})
+}
+
+// quantileResult is one phi probe's answer.
+type quantileResult struct {
+	Phi   float64 `json:"phi"`
+	Value float64 `json:"value"`
+	OK    bool    `json:"ok"`
+}
+
+// handleQuantile answers phi-quantile probes from a copy-on-write snapshot:
+// ?phi=0.5 or ?phi=0.25,0.5,0.99; with no phi parameter the spec's Phis
+// (default 0.5) are probed. 400 when the family answers no quantiles.
+func (s *Server[T]) handleQuantile(w http.ResponseWriter, r *http.Request, tenant, stream string) {
+	e, ok := s.reg.get(tenant, stream)
+	if !ok {
+		writeErr(w, http.StatusNotFound, "no stream %s/%s", tenant, stream)
+		return
+	}
+	if !e.spec.Family.AnswersQuantiles() {
+		writeErr(w, http.StatusBadRequest, "family %v answers no quantile queries", e.spec.Family)
+		return
+	}
+	phis := e.spec.Phis
+	if arg := r.URL.Query().Get("phi"); arg != "" {
+		phis = nil
+		for _, part := range strings.Split(arg, ",") {
+			phi, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+			if err != nil || phi < 0 || phi > 1 {
+				writeErr(w, http.StatusBadRequest, "bad phi %q (want a number in [0, 1])", part)
+				return
+			}
+			phis = append(phis, phi)
+		}
+	}
+	if len(phis) == 0 {
+		phis = []float64{0.5}
+	}
+	snap := e.est.Snapshot()
+	results := make([]quantileResult, len(phis))
+	for i, phi := range phis {
+		v, ok := snap.Quantile(phi)
+		results[i] = quantileResult{Phi: phi, Value: float64(v), OK: ok}
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Count   int64            `json:"count"`
+		Results []quantileResult `json:"results"`
+	}{snap.Count(), results})
+}
+
+// heavyHitterItem is one reported heavy hitter.
+type heavyHitterItem struct {
+	Value float64 `json:"value"`
+	Freq  int64   `json:"freq"`
+}
+
+// handleHeavyHitters reports every value above ?support= (default: the
+// spec's Support) from a snapshot. 400 when the family answers no
+// frequency queries or no support threshold is available.
+func (s *Server[T]) handleHeavyHitters(w http.ResponseWriter, r *http.Request, tenant, stream string) {
+	e, ok := s.reg.get(tenant, stream)
+	if !ok {
+		writeErr(w, http.StatusNotFound, "no stream %s/%s", tenant, stream)
+		return
+	}
+	if !e.spec.Family.AnswersFrequencies() {
+		writeErr(w, http.StatusBadRequest, "family %v answers no frequency queries", e.spec.Family)
+		return
+	}
+	support := e.spec.Support
+	if arg := r.URL.Query().Get("support"); arg != "" {
+		v, err := strconv.ParseFloat(arg, 64)
+		if err != nil || v < 0 || v >= 1 {
+			writeErr(w, http.StatusBadRequest, "bad support %q (want a number in [0, 1))", arg)
+			return
+		}
+		support = v
+	}
+	if support == 0 {
+		writeErr(w, http.StatusBadRequest, "no support threshold: pass ?support= or set it in the spec")
+		return
+	}
+	snap := e.est.Snapshot()
+	items, ok := snap.HeavyHitters(support)
+	out := make([]heavyHitterItem, len(items))
+	for i, it := range items {
+		out[i] = heavyHitterItem{Value: float64(it.Value), Freq: it.Freq}
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Count   int64             `json:"count"`
+		Support float64           `json:"support"`
+		OK      bool              `json:"ok"`
+		Items   []heavyHitterItem `json:"items"`
+	}{snap.Count(), support, ok, out})
+}
+
+// handleFrequency answers a point-frequency probe: ?v=<value>.
+func (s *Server[T]) handleFrequency(w http.ResponseWriter, r *http.Request, tenant, stream string) {
+	e, ok := s.reg.get(tenant, stream)
+	if !ok {
+		writeErr(w, http.StatusNotFound, "no stream %s/%s", tenant, stream)
+		return
+	}
+	if !e.spec.Family.AnswersFrequencies() {
+		writeErr(w, http.StatusBadRequest, "family %v answers no frequency queries", e.spec.Family)
+		return
+	}
+	arg := r.URL.Query().Get("v")
+	if arg == "" {
+		writeErr(w, http.StatusBadRequest, "no value: pass ?v=")
+		return
+	}
+	v, err := parseValue[T](arg)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "bad value %q: %v", arg, err)
+		return
+	}
+	snap := e.est.Snapshot()
+	freq, ok := snap.Frequency(v)
+	writeJSON(w, http.StatusOK, struct {
+		Count int64   `json:"count"`
+		Value float64 `json:"value"`
+		Freq  int64   `json:"freq"`
+		OK    bool    `json:"ok"`
+	}{snap.Count(), float64(v), freq, ok})
+}
+
+// valueWidth is the wire width of one binary row: the element's native
+// 4- or 8-byte size.
+func valueWidth[T gpustream.Value]() int { return sorter.KeyBits[T]() / 8 }
+
+// decodeBinary decodes little-endian native-width rows: IEEE-754 bits for
+// the float types, two's-complement for the integer types.
+func decodeBinary[T gpustream.Value](body []byte) ([]T, error) {
+	width := valueWidth[T]()
+	if len(body)%width != 0 {
+		return nil, fmt.Errorf("binary body of %d bytes is not a multiple of the %d-byte row width", len(body), width)
+	}
+	out := make([]T, len(body)/width)
+	for i := range out {
+		var bits uint64
+		if width == 4 {
+			bits = uint64(binary.LittleEndian.Uint32(body[i*4:]))
+		} else {
+			bits = binary.LittleEndian.Uint64(body[i*8:])
+		}
+		out[i] = valueFromBits[T](bits)
+	}
+	return out, nil
+}
+
+// appendBinary encodes values in the row format decodeBinary reads; the
+// load driver shares it through this package.
+func appendBinary[T gpustream.Value](dst []byte, values []T) []byte {
+	width := valueWidth[T]()
+	for _, v := range values {
+		bits := valueBits(v)
+		if width == 4 {
+			dst = binary.LittleEndian.AppendUint32(dst, uint32(bits))
+		} else {
+			dst = binary.LittleEndian.AppendUint64(dst, bits)
+		}
+	}
+	return dst
+}
+
+// valueBits returns v's native bit pattern, zero-extended to 64 bits.
+func valueBits[T gpustream.Value](v T) uint64 {
+	switch x := any(v).(type) {
+	case float32:
+		return uint64(math.Float32bits(x))
+	case float64:
+		return math.Float64bits(x)
+	case uint32:
+		return uint64(x)
+	case uint64:
+		return x
+	case int32:
+		return uint64(uint32(x))
+	case int64:
+		return uint64(x)
+	}
+	panic("service: unreachable value type")
+}
+
+// valueFromBits inverts valueBits.
+func valueFromBits[T gpustream.Value](bits uint64) T {
+	var v T
+	switch any(v).(type) {
+	case float32:
+		return any(math.Float32frombits(uint32(bits))).(T)
+	case float64:
+		return any(math.Float64frombits(bits)).(T)
+	case uint32:
+		return any(uint32(bits)).(T)
+	case uint64:
+		return any(bits).(T)
+	case int32:
+		return any(int32(uint32(bits))).(T)
+	case int64:
+		return any(int64(bits)).(T)
+	}
+	panic("service: unreachable value type")
+}
+
+// decodeJSONValues decodes a bare JSON array of numbers at full precision
+// for the element type: floats parse as floats, integer types as integers
+// (so uint64 keys above 2^53 survive — clients needing exact wide integers
+// can also use the binary row format).
+func decodeJSONValues[T gpustream.Value](body []byte) ([]T, error) {
+	var raw []json.Number
+	dec := json.NewDecoder(strings.NewReader(string(body)))
+	dec.UseNumber()
+	if err := dec.Decode(&raw); err != nil {
+		return nil, fmt.Errorf("want a JSON array of numbers: %w", err)
+	}
+	out := make([]T, len(raw))
+	for i, num := range raw {
+		v, err := parseValue[T](num.String())
+		if err != nil {
+			return nil, fmt.Errorf("element %d: %w", i, err)
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// parseValue parses one decimal literal at the element type's precision.
+func parseValue[T gpustream.Value](s string) (T, error) {
+	var v T
+	switch any(v).(type) {
+	case float32:
+		f, err := strconv.ParseFloat(s, 32)
+		return any(float32(f)).(T), err
+	case float64:
+		f, err := strconv.ParseFloat(s, 64)
+		return any(f).(T), err
+	case uint32:
+		u, err := strconv.ParseUint(s, 10, 32)
+		return any(uint32(u)).(T), err
+	case uint64:
+		u, err := strconv.ParseUint(s, 10, 64)
+		return any(u).(T), err
+	case int32:
+		i, err := strconv.ParseInt(s, 10, 32)
+		return any(int32(i)).(T), err
+	case int64:
+		i, err := strconv.ParseInt(s, 10, 64)
+		return any(i).(T), err
+	}
+	panic("service: unreachable value type")
+}

@@ -1,0 +1,120 @@
+package service
+
+import (
+	"net/http"
+	"runtime"
+	"time"
+
+	"gpustream"
+)
+
+// StreamStatus is one stream's /statsz (and stream-info GET) report: the
+// spec it was created from, ingest-path counters, and the engine's live
+// per-estimator pipeline telemetry (gpustream.EstimatorStats, including
+// the staged executor's Overlap/Stall/MaxInFlight when async ingestion
+// ran).
+type StreamStatus struct {
+	Tenant string         `json:"tenant"`
+	Stream string         `json:"stream"`
+	Spec   gpustream.Spec `json:"spec"`
+
+	Rows         int64 `json:"rows"`          // rows accepted into the queue
+	Count        int64 `json:"count"`         // rows the estimator has ingested
+	Batches      int64 `json:"batches"`       // batches accepted
+	IngestErrors int64 `json:"ingest_errors"` // writer-side ingest failures
+	QueueDepth   int   `json:"queue_depth"`   // batches waiting right now
+	QueueCap     int   `json:"queue_cap"`
+	StallNs      int64 `json:"enqueue_stall_ns"` // ns POSTs blocked on a full queue
+	IdleNs       int64 `json:"idle_ns"`          // ns since the last ingest or query
+
+	Estimators []gpustream.EstimatorStats `json:"estimators"`
+}
+
+// ServiceStatus is the /statsz document: service counters plus every live
+// stream's status.
+type ServiceStatus struct {
+	Now        time.Time `json:"now"`
+	UptimeNs   int64     `json:"uptime_ns"`
+	Draining   bool      `json:"draining"`
+	Goroutines int       `json:"goroutines"`
+	Tenants    int       `json:"tenants"`
+	StreamsN   int       `json:"streams_total"`
+
+	Requests      int64 `json:"requests"`
+	IngestRows    int64 `json:"ingest_rows"`
+	IngestBatches int64 `json:"ingest_batches"`
+	EnqueueStall  int64 `json:"enqueue_stall_ns"`
+	Evictions     int64 `json:"evictions"`
+	IdleEvictions int64 `json:"idle_evictions"`
+	Drained       int64 `json:"drained"`
+	Spills        int64 `json:"spills"`
+
+	Streams []StreamStatus `json:"streams"`
+}
+
+// streamStatus assembles one entry's report. Engine.Stats synchronizes with
+// ingestion internally, so the counters are consistent mid-stream.
+func (s *Server[T]) streamStatus(e *entry[T]) StreamStatus {
+	idle := time.Now().UnixNano() - e.lastUsed.Load()
+	if idle < 0 {
+		idle = 0
+	}
+	return StreamStatus{
+		Tenant:       e.tenant,
+		Stream:       e.stream,
+		Spec:         e.spec,
+		Rows:         e.rows.Load(),
+		Count:        e.est.Count(),
+		Batches:      e.batches.Load(),
+		IngestErrors: e.ingestErrs.Load(),
+		QueueDepth:   len(e.queue),
+		QueueCap:     cap(e.queue),
+		StallNs:      e.stallNs.Load(),
+		IdleNs:       idle,
+		Estimators:   e.eng.Stats(),
+	}
+}
+
+// handleStatsz exports the full service status as JSON — the metric sink a
+// scraper or the future adaptive controller reads. It stays available
+// during drain.
+func (s *Server[T]) handleStatsz(w http.ResponseWriter, r *http.Request) {
+	entries := s.reg.list()
+	tenants := make(map[string]struct{}, len(entries))
+	streams := make([]StreamStatus, 0, len(entries))
+	for _, e := range entries {
+		tenants[e.tenant] = struct{}{}
+		streams = append(streams, s.streamStatus(e))
+	}
+	writeJSON(w, http.StatusOK, ServiceStatus{
+		Now:           time.Now(),
+		UptimeNs:      time.Since(s.start).Nanoseconds(),
+		Draining:      s.draining.Load(),
+		Goroutines:    runtime.NumGoroutine(),
+		Tenants:       len(tenants),
+		StreamsN:      len(entries),
+		Requests:      s.ctr.requests.Load(),
+		IngestRows:    s.ctr.ingestRows.Load(),
+		IngestBatches: s.ctr.ingestBatches.Load(),
+		EnqueueStall:  s.ctr.enqueueStall.Load(),
+		Evictions:     s.ctr.evictions.Load(),
+		IdleEvictions: s.ctr.idleEvictions.Load(),
+		Drained:       s.ctr.drained.Load(),
+		Spills:        s.ctr.spills.Load(),
+		Streams:       streams,
+	})
+}
+
+// handleHealthz is the liveness probe: 200 "ok" while serving, 503
+// "draining" once shutdown starts (so load balancers stop routing here
+// while in-flight streams flush).
+func (s *Server[T]) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	status, code := "ok", http.StatusOK
+	if s.draining.Load() {
+		status, code = "draining", http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, struct {
+		Status  string `json:"status"`
+		Streams int    `json:"streams"`
+	}{status, s.reg.len()})
+}

@@ -1,0 +1,199 @@
+package service_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"gpustream"
+	"gpustream/internal/service"
+)
+
+// TestServiceConcurrentIngestAndQuery drives N tenant writers against M
+// readers under the race detector: every ingest goes through the bounded
+// queue while readers hit /quantile and /statsz against live
+// copy-on-write snapshots. Nothing may fail and no access may race.
+func TestServiceConcurrentIngestAndQuery(t *testing.T) {
+	_, ts := newTestServer(t, service.Config{QueueDepth: 4})
+	client := ts.Client()
+
+	const (
+		tenants          = 4
+		batchesPerTenant = 25
+		batchRows        = 200
+		readers          = 3
+	)
+	spec := gpustream.Spec{Family: gpustream.FamilyQuantile, Eps: 0.01, Phis: []float64{0.5}}
+	urls := make([]string, tenants)
+	for i := range urls {
+		urls[i] = fmt.Sprintf("%s/v1/streams/tenant%d/s", ts.URL, i)
+		if code, _ := do(t, client, "PUT", urls[i], "application/json", specBody(t, spec)); code != http.StatusCreated {
+			t.Fatalf("PUT tenant%d = %d", i, code)
+		}
+	}
+
+	vals := make([]float32, batchRows)
+	for i := range vals {
+		vals[i] = float32(i)
+	}
+	blob, _ := json.Marshal(vals)
+
+	var wg sync.WaitGroup
+	var failures atomic.Int64
+	stop := make(chan struct{})
+
+	for i := 0; i < tenants; i++ {
+		wg.Add(1)
+		go func(url string) {
+			defer wg.Done()
+			for b := 0; b < batchesPerTenant; b++ {
+				req, _ := http.NewRequest("POST", url+"/values", bytes.NewReader(blob))
+				req.Header.Set("Content-Type", "application/json")
+				resp, err := client.Do(req)
+				if err != nil {
+					failures.Add(1)
+					continue
+				}
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusAccepted {
+					failures.Add(1)
+				}
+			}
+		}(urls[i])
+	}
+	for i := 0; i < readers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for n := 0; ; n++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				var url string
+				if n%3 == 2 {
+					url = ts.URL + "/statsz"
+				} else {
+					url = urls[(i+n)%tenants] + "/quantile"
+				}
+				resp, err := client.Get(url)
+				if err != nil {
+					failures.Add(1)
+					continue
+				}
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					failures.Add(1)
+				}
+			}
+		}(i)
+	}
+
+	// Release the readers once every writer POST is observable in /statsz,
+	// then wait for everything.
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	<-waitWriters(urls, client, tenants*batchesPerTenant*batchRows)
+	close(stop)
+	<-done
+
+	if n := failures.Load(); n != 0 {
+		t.Fatalf("%d requests failed under concurrency", n)
+	}
+
+	// Every queued batch must land: sync-flush each tenant then check counts.
+	for i, url := range urls {
+		if code, _ := do(t, client, "POST", url+"/values?sync=1", "application/json", []byte(`[0]`)); code != http.StatusOK {
+			t.Fatalf("flush tenant%d = %d", i, code)
+		}
+		_, body := do(t, client, "GET", url, "", nil)
+		want := int64(batchesPerTenant*batchRows + 1)
+		if got := int64(body["count"].(float64)); got != want {
+			t.Errorf("tenant%d count = %d, want %d", i, got, want)
+		}
+	}
+}
+
+// waitWriters polls /statsz until ingest_rows reaches want.
+func waitWriters(urls []string, client *http.Client, want int) <-chan struct{} {
+	ch := make(chan struct{})
+	go func() {
+		defer close(ch)
+		statsz := urls[0][:len(urls[0])-len("/v1/streams/tenant0/s")] + "/statsz"
+		for {
+			resp, err := client.Get(statsz)
+			if err != nil {
+				return
+			}
+			var body struct {
+				IngestRows int64 `json:"ingest_rows"`
+			}
+			err = json.NewDecoder(resp.Body).Decode(&body)
+			resp.Body.Close()
+			if err != nil || body.IngestRows >= int64(want) {
+				return
+			}
+		}
+	}()
+	return ch
+}
+
+// TestServiceDrainDuringLoad races Drain against in-flight POSTs: every
+// request must resolve as accepted (202/200) or cleanly rejected
+// (409 closing / 503 draining) — never a panic, hang, or torn write.
+func TestServiceDrainDuringLoad(t *testing.T) {
+	svc := service.New[float32](service.Config{QueueDepth: 2})
+	ts := httptest.NewServer(svc)
+	defer ts.Close()
+	client := ts.Client()
+
+	url := ts.URL + "/v1/streams/t/s"
+	spec := gpustream.Spec{Family: gpustream.FamilyQuantile, Eps: 0.01}
+	if code, _ := do(t, client, "PUT", url, "application/json", specBody(t, spec)); code != http.StatusCreated {
+		t.Fatal("PUT failed")
+	}
+	blob, _ := json.Marshal(make([]float32, 100))
+
+	var wg sync.WaitGroup
+	var accepted, rejected, unexpected atomic.Int64
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for b := 0; b < 50; b++ {
+				req, _ := http.NewRequest("POST", url+"/values", bytes.NewReader(blob))
+				req.Header.Set("Content-Type", "application/json")
+				resp, err := client.Do(req)
+				if err != nil {
+					unexpected.Add(1)
+					continue
+				}
+				resp.Body.Close()
+				switch resp.StatusCode {
+				case http.StatusAccepted, http.StatusOK:
+					accepted.Add(1)
+				case http.StatusConflict, http.StatusServiceUnavailable:
+					rejected.Add(1)
+				default:
+					unexpected.Add(1)
+				}
+			}
+		}()
+	}
+
+	if err := svc.Close(); err != nil {
+		t.Fatalf("drain during load: %v", err)
+	}
+	wg.Wait()
+
+	if n := unexpected.Load(); n != 0 {
+		t.Fatalf("%d requests resolved with unexpected status/error", n)
+	}
+	t.Logf("drain race: %d accepted, %d rejected", accepted.Load(), rejected.Load())
+}

@@ -1,0 +1,327 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gpustream"
+)
+
+// entry is one live stream: its spec, a dedicated engine + estimator, and
+// the bounded-queue ingestion path — a single writer goroutine draining
+// batches into the estimator, so the estimator always sees the intended
+// one-writer/N-reader pattern however many HTTP requests land concurrently.
+type entry[T gpustream.Value] struct {
+	tenant, stream string
+	spec           gpustream.Spec
+	eng            *gpustream.Engine[T]
+	est            gpustream.Estimator[T]
+	created        time.Time
+	ctr            *counters
+
+	queue      chan batch[T]
+	writerDone chan struct{}
+
+	// closeMu guards closing: enqueuers hold the read side across the
+	// queue send, drain takes the write side to flip closing, so once
+	// drain holds the lock no new batch can race the queue close.
+	closeMu sync.RWMutex
+	closing bool
+
+	rows       atomic.Int64 // rows accepted into the queue
+	batches    atomic.Int64 // batches accepted
+	ingestErrs atomic.Int64 // writer-side ProcessSlice failures
+	stallNs    atomic.Int64 // ns enqueues spent blocked on a full queue
+	lastUsed   atomic.Int64 // unix nanos of the last ingest or query
+}
+
+// batch is one queued ingest unit. done is non-nil for synchronous POSTs
+// (?sync=1): the writer closes it after the batch is in the estimator.
+type batch[T gpustream.Value] struct {
+	data []T
+	done chan struct{}
+}
+
+// touch refreshes the idle clock.
+func (e *entry[T]) touch() { e.lastUsed.Store(time.Now().UnixNano()) }
+
+// writer is the stream's single ingest goroutine: it drains the bounded
+// queue into the estimator until the queue closes at drain time.
+func (e *entry[T]) writer() {
+	defer close(e.writerDone)
+	for b := range e.queue {
+		if err := e.est.ProcessSlice(b.data); err != nil {
+			e.ingestErrs.Add(1)
+		}
+		if b.done != nil {
+			close(b.done)
+		}
+	}
+}
+
+// enqueue hands a batch to the writer, blocking for backpressure while the
+// queue is full. ctx (the request context) bounds the wait. With sync set
+// it additionally waits until the writer has ingested the batch, so a
+// subsequent query observes it.
+func (e *entry[T]) enqueue(ctx context.Context, data []T, sync bool) error {
+	e.closeMu.RLock()
+	if e.closing {
+		e.closeMu.RUnlock()
+		return errClosing
+	}
+	b := batch[T]{data: data}
+	if sync {
+		b.done = make(chan struct{})
+	}
+	start := time.Now()
+	select {
+	case e.queue <- b:
+		e.closeMu.RUnlock()
+	case <-ctx.Done():
+		e.closeMu.RUnlock()
+		return ctx.Err()
+	}
+	if d := time.Since(start); d > 0 {
+		e.stallNs.Add(int64(d))
+		e.ctr.enqueueStall.Add(int64(d))
+	}
+	e.rows.Add(int64(len(data)))
+	e.batches.Add(1)
+	e.touch()
+	if sync {
+		select {
+		case <-b.done:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	return nil
+}
+
+// drain closes the ingestion path and the estimator: no new batches, the
+// queue flushed through the writer, then CloseContext (where the family
+// has one — the sharded estimators' context-aware drain) or Close. It is
+// idempotent and safe to call concurrently (DELETE racing shutdown).
+func (e *entry[T]) drain(ctx context.Context) error {
+	e.closeMu.Lock()
+	first := !e.closing
+	e.closing = true
+	e.closeMu.Unlock()
+	if first {
+		close(e.queue)
+	}
+	select {
+	case <-e.writerDone:
+	case <-ctx.Done():
+		// Deadline expired with batches still queued: fall through so the
+		// estimator's own context-aware close can cut the loss; the writer
+		// goroutine exits once the remaining batches error out with
+		// ErrClosed.
+	}
+	if cc, ok := e.est.(interface{ CloseContext(context.Context) error }); ok {
+		return cc.CloseContext(ctx)
+	}
+	return e.est.Close()
+}
+
+// registry is the tenant/stream table: creation, lookup, LRU and idle
+// eviction, and the drain-everything shutdown path.
+type registry[T gpustream.Value] struct {
+	cfg *Config
+	ctr *counters
+
+	mu      sync.RWMutex
+	streams map[string]*entry[T]
+}
+
+func newRegistry[T gpustream.Value](cfg *Config, ctr *counters) *registry[T] {
+	return &registry[T]{cfg: cfg, ctr: ctr, streams: make(map[string]*entry[T])}
+}
+
+func (r *registry[T]) len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.streams)
+}
+
+// get returns the live entry and refreshes its idle clock.
+func (r *registry[T]) get(tenant, stream string) (*entry[T], bool) {
+	r.mu.RLock()
+	e, ok := r.streams[streamKey(tenant, stream)]
+	r.mu.RUnlock()
+	if ok {
+		e.touch()
+	}
+	return e, ok
+}
+
+// create builds the stream described by spec under its own engine (bound to
+// spec.Backend) and starts its writer goroutine. Re-creating an existing
+// stream is idempotent when the spec matches and errConflict when it does
+// not. At capacity, the least-recently-used stream is evicted first —
+// drained with the configured DrainTimeout and spilled like any other
+// drain.
+func (r *registry[T]) create(tenant, stream string, spec gpustream.Spec) (e *entry[T], created bool, err error) {
+	key := streamKey(tenant, stream)
+	var victim *entry[T]
+
+	r.mu.Lock()
+	if old, ok := r.streams[key]; ok {
+		r.mu.Unlock()
+		if reflect.DeepEqual(old.spec, spec) {
+			return old, false, nil
+		}
+		return nil, false, fmt.Errorf("%w: %s", errConflict, key)
+	}
+	eng := gpustream.NewOf[T](spec.Backend)
+	est, err := eng.NewFromSpec(spec)
+	if err != nil {
+		r.mu.Unlock()
+		return nil, false, err
+	}
+	if len(r.streams) >= r.cfg.MaxStreams {
+		victim = r.lruLocked()
+		if victim != nil {
+			delete(r.streams, streamKey(victim.tenant, victim.stream))
+		}
+	}
+	e = &entry[T]{
+		tenant: tenant, stream: stream, spec: spec,
+		eng: eng, est: est, created: time.Now(), ctr: r.ctr,
+		queue:      make(chan batch[T], r.cfg.QueueDepth),
+		writerDone: make(chan struct{}),
+	}
+	e.touch()
+	r.streams[key] = e
+	r.mu.Unlock()
+
+	go e.writer()
+
+	if victim != nil {
+		r.ctr.evictions.Add(1)
+		r.finish(victim)
+	}
+	return e, true, nil
+}
+
+// lruLocked picks the least-recently-used entry. Caller holds r.mu.
+func (r *registry[T]) lruLocked() *entry[T] {
+	var oldest *entry[T]
+	var oldestUsed int64
+	for _, e := range r.streams {
+		if used := e.lastUsed.Load(); oldest == nil || used < oldestUsed {
+			oldest, oldestUsed = e, used
+		}
+	}
+	return oldest
+}
+
+// remove unlinks a stream; the caller drains it.
+func (r *registry[T]) remove(tenant, stream string) (*entry[T], bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	key := streamKey(tenant, stream)
+	e, ok := r.streams[key]
+	if ok {
+		delete(r.streams, key)
+	}
+	return e, ok
+}
+
+// list snapshots the live entries for /statsz and shutdown.
+func (r *registry[T]) list() []*entry[T] {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]*entry[T], 0, len(r.streams))
+	for _, e := range r.streams {
+		out = append(out, e)
+	}
+	return out
+}
+
+// sweepIdle evicts every stream idle longer than ttl.
+func (r *registry[T]) sweepIdle(ttl time.Duration) {
+	cutoff := time.Now().Add(-ttl).UnixNano()
+	var idle []*entry[T]
+	r.mu.Lock()
+	for key, e := range r.streams {
+		if e.lastUsed.Load() < cutoff {
+			idle = append(idle, e)
+			delete(r.streams, key)
+		}
+	}
+	r.mu.Unlock()
+	for _, e := range idle {
+		r.ctr.idleEvictions.Add(1)
+		r.finish(e)
+	}
+}
+
+// finish drains one unlinked entry with the configured timeout and spills
+// its final snapshot. Used by DELETE, eviction, and shutdown.
+func (r *registry[T]) finish(e *entry[T]) error {
+	ctx, cancel := context.WithTimeout(context.Background(), r.cfg.DrainTimeout)
+	defer cancel()
+	return r.finishContext(ctx, e)
+}
+
+// finishContext is finish with a caller-supplied deadline.
+func (r *registry[T]) finishContext(ctx context.Context, e *entry[T]) error {
+	err := e.drain(ctx)
+	r.ctr.drained.Add(1)
+	if serr := r.spill(e); serr != nil && err == nil {
+		err = serr
+	}
+	return err
+}
+
+// spill writes e's final snapshot to SpillDir in the wire format. The
+// estimator stays queryable after Close, so the snapshot reflects
+// everything the writer ingested.
+func (r *registry[T]) spill(e *entry[T]) error {
+	if r.cfg.SpillDir == "" {
+		return nil
+	}
+	blob, err := gpustream.MarshalSnapshot[T](e.est.Snapshot())
+	if err != nil {
+		return fmt.Errorf("service: spill %s/%s: %w", e.tenant, e.stream, err)
+	}
+	path := filepath.Join(r.cfg.SpillDir, e.tenant+"__"+e.stream+".snap")
+	if err := os.WriteFile(path, blob, 0o644); err != nil {
+		return fmt.Errorf("service: spill %s/%s: %w", e.tenant, e.stream, err)
+	}
+	r.ctr.spills.Add(1)
+	return nil
+}
+
+// drainAll unlinks every stream and drains them concurrently under one
+// shared deadline, joining errors. Thousands of tenants drain in parallel;
+// each stream's CloseContext bounds its own shard fan-in under ctx.
+func (r *registry[T]) drainAll(ctx context.Context) error {
+	r.mu.Lock()
+	entries := make([]*entry[T], 0, len(r.streams))
+	for _, e := range r.streams {
+		entries = append(entries, e)
+	}
+	r.streams = make(map[string]*entry[T])
+	r.mu.Unlock()
+
+	errs := make([]error, len(entries))
+	var wg sync.WaitGroup
+	for i, e := range entries {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			errs[i] = r.finishContext(ctx, e)
+		}()
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}

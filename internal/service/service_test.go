@@ -1,0 +1,429 @@
+package service_test
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"gpustream"
+	"gpustream/internal/service"
+)
+
+// do issues one request against the test server and returns the status
+// code and decoded JSON body.
+func do(t *testing.T, client *http.Client, method, url, contentType string, body []byte) (int, map[string]any) {
+	t.Helper()
+	req, err := http.NewRequest(method, url, bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("NewRequest(%s %s): %v", method, url, err)
+	}
+	if contentType != "" {
+		req.Header.Set("Content-Type", contentType)
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		t.Fatalf("%s %s: %v", method, url, err)
+	}
+	defer resp.Body.Close()
+	blob, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("%s %s: read body: %v", method, url, err)
+	}
+	var decoded map[string]any
+	if len(blob) > 0 {
+		if err := json.Unmarshal(blob, &decoded); err != nil {
+			t.Fatalf("%s %s: body %q is not JSON: %v", method, url, blob, err)
+		}
+	}
+	return resp.StatusCode, decoded
+}
+
+// newTestServer builds a float32 service and an httptest front end.
+func newTestServer(t *testing.T, cfg service.Config) (*service.Server[float32], *httptest.Server) {
+	t.Helper()
+	svc := service.New[float32](cfg)
+	ts := httptest.NewServer(svc)
+	t.Cleanup(func() {
+		ts.Close()
+		if err := svc.Close(); err != nil {
+			t.Errorf("service close: %v", err)
+		}
+	})
+	return svc, ts
+}
+
+func specBody(t *testing.T, spec gpustream.Spec) []byte {
+	t.Helper()
+	blob, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatalf("marshal spec: %v", err)
+	}
+	return blob
+}
+
+func TestServiceLifecycle(t *testing.T) {
+	_, ts := newTestServer(t, service.Config{})
+	client := ts.Client()
+	base := ts.URL + "/v1/streams/acme/latency"
+
+	qspec := gpustream.Spec{Family: gpustream.FamilyQuantile, Eps: 0.005, Capacity: 1 << 16, Phis: []float64{0.5, 0.99}}
+	if code, body := do(t, client, "PUT", base, "application/json", specBody(t, qspec)); code != http.StatusCreated {
+		t.Fatalf("PUT create = %d (%v), want 201", code, body)
+	}
+	// Idempotent re-PUT of the identical spec.
+	if code, _ := do(t, client, "PUT", base, "application/json", specBody(t, qspec)); code != http.StatusOK {
+		t.Fatalf("PUT identical = %d, want 200", code)
+	}
+	// Conflicting spec.
+	other := qspec
+	other.Eps = 0.1
+	if code, _ := do(t, client, "PUT", base, "application/json", specBody(t, other)); code != http.StatusConflict {
+		t.Fatalf("PUT conflicting = %d, want 409", code)
+	}
+
+	// Ingest 0..9999 synchronously, in batches.
+	const n = 10_000
+	for lo := 0; lo < n; lo += 2500 {
+		vals := make([]float32, 2500)
+		for i := range vals {
+			vals[i] = float32(lo + i)
+		}
+		blob, _ := json.Marshal(vals)
+		if code, body := do(t, client, "POST", base+"/values?sync=1", "application/json", blob); code != http.StatusOK {
+			t.Fatalf("POST sync = %d (%v), want 200", code, body)
+		}
+	}
+
+	// The median must be eps-approximate over the full ingest.
+	code, body := do(t, client, "GET", base+"/quantile?phi=0.5", "", nil)
+	if code != http.StatusOK {
+		t.Fatalf("GET quantile = %d (%v)", code, body)
+	}
+	if got := int64(body["count"].(float64)); got != n {
+		t.Fatalf("count = %d, want %d", got, n)
+	}
+	results := body["results"].([]any)
+	med := results[0].(map[string]any)
+	if !med["ok"].(bool) {
+		t.Fatalf("median not ok: %v", med)
+	}
+	if v := med["value"].(float64); math.Abs(v-n/2) > 0.005*n+1 {
+		t.Errorf("median = %v, want within %v of %v", v, 0.005*n+1, n/2)
+	}
+
+	// Default probes come from the spec's phis.
+	if _, body := do(t, client, "GET", base+"/quantile", "", nil); len(body["results"].([]any)) != 2 {
+		t.Errorf("default probes = %v, want the spec's two phis", body["results"])
+	}
+
+	// Stream info reflects the ingest.
+	if code, body := do(t, client, "GET", base, "", nil); code != http.StatusOK ||
+		int64(body["rows"].(float64)) != n || int64(body["count"].(float64)) != n {
+		t.Errorf("GET info = %d %v, want rows=count=%d", code, body, n)
+	}
+
+	// statsz sees the stream and its estimator telemetry.
+	code, body = do(t, client, "GET", ts.URL+"/statsz", "", nil)
+	if code != http.StatusOK {
+		t.Fatalf("GET /statsz = %d", code)
+	}
+	if got := int(body["streams_total"].(float64)); got != 1 {
+		t.Errorf("statsz streams_total = %d, want 1", got)
+	}
+	if got := int64(body["ingest_rows"].(float64)); got != n {
+		t.Errorf("statsz ingest_rows = %d, want %d", got, n)
+	}
+	streamRep := body["streams"].([]any)[0].(map[string]any)
+	ests := streamRep["estimators"].([]any)
+	if len(ests) != 1 || ests[0].(map[string]any)["Kind"] != "quantile" {
+		t.Errorf("statsz estimators = %v, want one quantile", ests)
+	}
+	if fam := streamRep["spec"].(map[string]any)["family"]; fam != "quantile" {
+		t.Errorf("statsz spec family = %v, want the string form", fam)
+	}
+
+	// healthz is serving.
+	if code, body := do(t, client, "GET", ts.URL+"/healthz", "", nil); code != http.StatusOK || body["status"] != "ok" {
+		t.Errorf("GET /healthz = %d %v", code, body)
+	}
+
+	// DELETE drains and removes.
+	code, body = do(t, client, "DELETE", base, "", nil)
+	if code != http.StatusOK {
+		t.Fatalf("DELETE = %d (%v)", code, body)
+	}
+	if got := int64(body["count"].(float64)); got != n {
+		t.Errorf("DELETE count = %d, want %d", got, n)
+	}
+	if code, _ := do(t, client, "GET", base, "", nil); code != http.StatusNotFound {
+		t.Errorf("GET after DELETE = %d, want 404", code)
+	}
+}
+
+func TestServiceErrors(t *testing.T) {
+	_, ts := newTestServer(t, service.Config{MaxBatchRows: 100})
+	client := ts.Client()
+	base := ts.URL + "/v1/streams/acme"
+
+	fspec := gpustream.Spec{Family: gpustream.FamilyFrequency, Eps: 0.01, Support: 0.05}
+	if code, _ := do(t, client, "PUT", base+"/hits", "application/json", specBody(t, fspec)); code != http.StatusCreated {
+		t.Fatalf("PUT = %d", code)
+	}
+
+	cases := []struct {
+		name       string
+		method     string
+		url        string
+		body       []byte
+		wantStatus int
+	}{
+		{"unknown stream query", "GET", base + "/nope/quantile", nil, 404},
+		{"unknown tenant query", "GET", ts.URL + "/v1/streams/ghost/hits/frequency?v=1", nil, 404},
+		{"unknown stream ingest", "POST", base + "/nope/values", []byte(`[1]`), 404},
+		{"unknown stream delete", "DELETE", base + "/nope", nil, 404},
+		{"bad spec json", "PUT", base + "/bad", []byte(`{not json`), 400},
+		{"bad spec missing eps", "PUT", base + "/bad", []byte(`{"family":"quantile"}`), 400},
+		{"bad spec unknown family", "PUT", base + "/bad", []byte(`{"family":"florble","eps":0.01}`), 400},
+		{"bad spec unknown field", "PUT", base + "/bad", []byte(`{"family":"quantile","eps":0.01,"bogus":1}`), 400},
+		{"bad name", "PUT", ts.URL + "/v1/streams/acme/bad..name", specBody(t, fspec), 400},
+		{"oversized batch", "POST", base + "/hits/values", []byte("[" + strings.Repeat("1,", 100) + "1]"), 413},
+		{"empty batch", "POST", base + "/hits/values", []byte(`[]`), 400},
+		{"non-numeric batch", "POST", base + "/hits/values", []byte(`["a"]`), 400},
+		{"quantile on frequency family", "GET", base + "/hits/quantile?phi=0.5", nil, 400},
+		{"bad phi", "GET", base + "/hits/frequency?v=abc", nil, 400},
+		{"missing frequency value", "GET", base + "/hits/frequency", nil, 400},
+		{"bad support", "GET", base + "/hits/heavyhitters?support=2", nil, 400},
+		{"bad delete timeout", "DELETE", base + "/hits?timeout=banana", nil, 400},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			code, body := do(t, client, tc.method, tc.url, "application/json", tc.body)
+			if code != tc.wantStatus {
+				t.Errorf("%s %s = %d (%v), want %d", tc.method, tc.url, code, body, tc.wantStatus)
+			}
+			if code >= 400 {
+				if _, ok := body["error"]; !ok {
+					t.Errorf("%s %s: error body %v has no error field", tc.method, tc.url, body)
+				}
+			}
+		})
+	}
+
+	// Quantile probes against a quantile stream created under a second
+	// tenant: phis on a frequency family were rejected above, and tenant
+	// namespaces are independent — same stream name, no conflict.
+	qspec := gpustream.Spec{Family: gpustream.FamilyQuantile, Eps: 0.01}
+	if code, _ := do(t, client, "PUT", ts.URL+"/v1/streams/other/hits", "application/json", specBody(t, qspec)); code != http.StatusCreated {
+		t.Errorf("PUT same stream name under another tenant should create, got %d", code)
+	}
+	if code, _ := do(t, client, "GET", ts.URL+"/v1/streams/other/hits/quantile?phi=1.5", "", nil); code != 400 {
+		t.Errorf("phi out of range = %d, want 400", code)
+	}
+	if code, _ := do(t, client, "GET", ts.URL+"/v1/streams/other/hits/heavyhitters?support=0.1", "", nil); code != 400 {
+		t.Errorf("heavyhitters on quantile family = %d, want 400", code)
+	}
+}
+
+func TestServiceBinaryIngest(t *testing.T) {
+	_, ts := newTestServer(t, service.Config{})
+	client := ts.Client()
+	base := ts.URL + "/v1/streams/bin/hits"
+
+	spec := gpustream.Spec{Family: gpustream.FamilyFrequency, Eps: 0.001, Support: 0.2}
+	if code, _ := do(t, client, "PUT", base, "application/json", specBody(t, spec)); code != http.StatusCreated {
+		t.Fatalf("PUT = %d", code)
+	}
+
+	// 700 copies of 7.5 and 300 of 2.25, as raw little-endian float32 rows.
+	var rows []byte
+	for i := 0; i < 1000; i++ {
+		v := float32(7.5)
+		if i%10 < 3 {
+			v = 2.25
+		}
+		rows = binary.LittleEndian.AppendUint32(rows, math.Float32bits(v))
+	}
+	code, body := do(t, client, "POST", base+"/values?sync=1", "application/octet-stream", rows)
+	if code != http.StatusOK || int(body["rows"].(float64)) != 1000 {
+		t.Fatalf("binary POST = %d (%v)", code, body)
+	}
+
+	code, body = do(t, client, "GET", base+"/heavyhitters", "", nil)
+	if code != http.StatusOK {
+		t.Fatalf("GET heavyhitters = %d", code)
+	}
+	items := body["items"].([]any)
+	if len(items) != 2 {
+		t.Fatalf("heavy hitters = %v, want both values", items)
+	}
+	top := items[0].(map[string]any)
+	if top["value"].(float64) != 7.5 || int64(top["freq"].(float64)) != 700 {
+		t.Errorf("top hitter = %v, want 7.5 x700", top)
+	}
+
+	code, body = do(t, client, "GET", base+"/frequency?v=2.25", "", nil)
+	if code != http.StatusOK || int64(body["freq"].(float64)) != 300 {
+		t.Errorf("frequency probe = %d %v, want 300", code, body)
+	}
+
+	// A binary body that is not a whole number of rows is rejected.
+	if code, _ := do(t, client, "POST", base+"/values", "application/octet-stream", rows[:5]); code != 400 {
+		t.Errorf("ragged binary body = %d, want 400", code)
+	}
+}
+
+// TestServiceDrainSpill pins the shutdown contract: Drain flushes every
+// queue, closes every estimator (all CloseContext paths return), spills
+// final snapshots that unmarshal to the ingested answers, and the goroutine
+// count returns to baseline.
+func TestServiceDrainSpill(t *testing.T) {
+	spill := t.TempDir()
+	baseline := runtime.NumGoroutine()
+	svc := service.New[float32](service.Config{SpillDir: spill})
+	ts := httptest.NewServer(svc)
+	client := ts.Client()
+
+	// One stream per representative family shape: serial quantile, async
+	// sharded quantile, frequency, frugal.
+	specs := map[string]gpustream.Spec{
+		"quant":    {Family: gpustream.FamilyQuantile, Eps: 0.005},
+		"parallel": {Family: gpustream.FamilyParallelQuantile, Eps: 0.005, Shards: 2, Async: true},
+		"hits":     {Family: gpustream.FamilyFrequency, Eps: 0.005, Support: 0.01},
+		"frugal":   {Family: gpustream.FamilyFrugal, Phis: []float64{0.5}},
+	}
+	const n = 4000
+	vals := make([]float32, n)
+	for i := range vals {
+		vals[i] = float32(i)
+	}
+	blob, _ := json.Marshal(vals)
+	for name, spec := range specs {
+		url := ts.URL + "/v1/streams/drain/" + name
+		if code, _ := do(t, client, "PUT", url, "application/json", specBody(t, spec)); code != http.StatusCreated {
+			t.Fatalf("PUT %s = %d", name, code)
+		}
+		// Async (not sync) post: drain itself must flush the queue.
+		if code, _ := do(t, client, "POST", url+"/values", "application/json", blob); code != http.StatusAccepted {
+			t.Fatalf("POST %s = %d", name, code)
+		}
+	}
+
+	if err := svc.Close(); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	ts.Close()
+
+	// healthz flips to draining after shutdown begins.
+	rec := httptest.NewRecorder()
+	svc.ServeHTTP(rec, httptest.NewRequest("GET", "/healthz", nil))
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Errorf("healthz during drain = %d, want 503", rec.Code)
+	}
+	// Stream operations are rejected during/after drain.
+	rec = httptest.NewRecorder()
+	svc.ServeHTTP(rec, httptest.NewRequest("GET", "/v1/streams/drain/quant/quantile", nil))
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Errorf("stream op during drain = %d, want 503", rec.Code)
+	}
+
+	// Every spilled snapshot unmarshals and covers the full ingest.
+	for name := range specs {
+		path := filepath.Join(spill, "drain__"+name+".snap")
+		blob, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("spill file %s: %v", name, err)
+		}
+		snap, err := gpustream.UnmarshalSnapshot[float32](blob)
+		if err != nil {
+			t.Fatalf("unmarshal spill %s: %v", name, err)
+		}
+		if snap.Count() != n {
+			t.Errorf("spill %s covers %d rows, want %d", name, snap.Count(), n)
+		}
+	}
+
+	// All writer/shard/stage goroutines are gone.
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > baseline {
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			m := runtime.Stack(buf, true)
+			t.Fatalf("goroutines leaked: baseline %d, now %d\n%s", baseline, runtime.NumGoroutine(), buf[:m])
+		}
+		runtime.GC()
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestServiceLRUEviction(t *testing.T) {
+	spill := t.TempDir()
+	_, ts := newTestServer(t, service.Config{MaxStreams: 2, SpillDir: spill})
+	client := ts.Client()
+	spec := gpustream.Spec{Family: gpustream.FamilyQuantile, Eps: 0.01}
+
+	for i, name := range []string{"a", "b"} {
+		url := fmt.Sprintf("%s/v1/streams/t/%s", ts.URL, name)
+		if code, _ := do(t, client, "PUT", url, "application/json", specBody(t, spec)); code != http.StatusCreated {
+			t.Fatalf("PUT %d = %d", i, code)
+		}
+		// Deterministic LRU order.
+		time.Sleep(5 * time.Millisecond)
+	}
+	// Touch "a" so "b" is the LRU victim.
+	if code, _ := do(t, client, "POST", ts.URL+"/v1/streams/t/a/values?sync=1", "application/json", []byte(`[1,2,3]`)); code != http.StatusOK {
+		t.Fatal("touch a failed")
+	}
+	if code, _ := do(t, client, "PUT", ts.URL+"/v1/streams/t/c", "application/json", specBody(t, spec)); code != http.StatusCreated {
+		t.Fatal("PUT c failed")
+	}
+
+	if code, _ := do(t, client, "GET", ts.URL+"/v1/streams/t/b", "", nil); code != http.StatusNotFound {
+		t.Errorf("evicted stream b still there (= %d)", code)
+	}
+	if code, _ := do(t, client, "GET", ts.URL+"/v1/streams/t/a", "", nil); code != http.StatusOK {
+		t.Errorf("stream a evicted, want b")
+	}
+	if _, err := os.Stat(filepath.Join(spill, "t__b.snap")); err != nil {
+		t.Errorf("evicted stream b was not spilled: %v", err)
+	}
+
+	code, body := do(t, client, "GET", ts.URL+"/statsz", "", nil)
+	if code != http.StatusOK || int64(body["evictions"].(float64)) != 1 {
+		t.Errorf("statsz evictions = %v, want 1", body["evictions"])
+	}
+}
+
+func TestServiceIdleEviction(t *testing.T) {
+	_, ts := newTestServer(t, service.Config{
+		IdleTTL:       50 * time.Millisecond,
+		SweepInterval: 10 * time.Millisecond,
+	})
+	client := ts.Client()
+	spec := gpustream.Spec{Family: gpustream.FamilyFrequency, Eps: 0.01, Support: 0.1}
+	if code, _ := do(t, client, "PUT", ts.URL+"/v1/streams/t/idle", "application/json", specBody(t, spec)); code != http.StatusCreated {
+		t.Fatal("PUT failed")
+	}
+	deadline := time.Now().Add(3 * time.Second)
+	for {
+		code, _ := do(t, client, "GET", ts.URL+"/v1/streams/t/idle", "", nil)
+		if code == http.StatusNotFound {
+			break // evicted
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("idle stream was never evicted")
+		}
+		// Note each GET touches the stream, so back off beyond the TTL.
+		time.Sleep(120 * time.Millisecond)
+	}
+}

@@ -1,0 +1,342 @@
+package gpustream
+
+// Declarative estimator specification: a Spec is a JSON-(de)serializable
+// description of one estimator — family, error budget, window, sharding,
+// ingestion mode, backend — that any process can validate and instantiate
+// with Engine.NewFromSpec. It is the construction path of the streaming
+// service daemon (cmd/streamd: the PUT handler's request body is a Spec),
+// and the cmd tools build their estimators through it too, so every flag
+// combination a tool accepts is expressible as a stored document.
+//
+//	spec := gpustream.Spec{Family: gpustream.FamilyQuantile, Eps: 1e-3}
+//	est, err := eng.NewFromSpec(spec)
+//
+// Estimators built from a Spec are bit-identical to the same family built
+// through the typed constructors (the matrix test in spec_test.go pins
+// this): NewFromSpec adds no wrapping, it only dispatches.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strings"
+)
+
+// Family identifies an estimator family — one of the seven concrete
+// implementations behind the Estimator interface. The zero value is
+// invalid, so a Spec decoded from JSON with no "family" key fails
+// validation instead of silently defaulting.
+type Family int
+
+const (
+	// FamilyFrequency is the whole-history lossy-counting frequency
+	// estimator (NewFrequencyEstimator).
+	FamilyFrequency Family = iota + 1
+	// FamilyQuantile is the whole-history GK quantile estimator
+	// (NewQuantileEstimator).
+	FamilyQuantile
+	// FamilySlidingFrequency answers frequency queries over the most
+	// recent Window elements (NewSlidingFrequency).
+	FamilySlidingFrequency
+	// FamilySlidingQuantile answers quantile queries over the most recent
+	// Window elements (NewSlidingQuantile).
+	FamilySlidingQuantile
+	// FamilyParallelFrequency shards frequency ingestion across K workers
+	// (NewParallelFrequencyEstimator).
+	FamilyParallelFrequency
+	// FamilyParallelQuantile shards quantile ingestion across K workers
+	// (NewParallelQuantileEstimator).
+	FamilyParallelQuantile
+	// FamilyFrugal is the frugal-streaming point-estimate tracker bank
+	// (NewFrugalEstimator) — heuristic answers, a few words of state.
+	FamilyFrugal
+)
+
+// String returns the canonical family name, matching the Kind strings
+// Engine.Stats reports.
+func (f Family) String() string {
+	switch f {
+	case FamilyFrequency:
+		return "frequency"
+	case FamilyQuantile:
+		return "quantile"
+	case FamilySlidingFrequency:
+		return "sliding-frequency"
+	case FamilySlidingQuantile:
+		return "sliding-quantile"
+	case FamilyParallelFrequency:
+		return "parallel-frequency"
+	case FamilyParallelQuantile:
+		return "parallel-quantile"
+	case FamilyFrugal:
+		return "frugal"
+	}
+	return fmt.Sprintf("Family(%d)", int(f))
+}
+
+// ParseFamily resolves a family name to a Family, mirroring ParseBackend.
+// The canonical names are the Family.String forms; "window-frequency" and
+// "window-quantile" are accepted as aliases for the sliding families, and
+// "sharded-frequency"/"sharded-quantile" for the parallel ones. Matching is
+// case-insensitive.
+func ParseFamily(name string) (Family, error) {
+	switch strings.ToLower(strings.TrimSpace(name)) {
+	case "frequency":
+		return FamilyFrequency, nil
+	case "quantile":
+		return FamilyQuantile, nil
+	case "sliding-frequency", "window-frequency":
+		return FamilySlidingFrequency, nil
+	case "sliding-quantile", "window-quantile":
+		return FamilySlidingQuantile, nil
+	case "parallel-frequency", "sharded-frequency":
+		return FamilyParallelFrequency, nil
+	case "parallel-quantile", "sharded-quantile":
+		return FamilyParallelQuantile, nil
+	case "frugal":
+		return FamilyFrugal, nil
+	}
+	return 0, fmt.Errorf("gpustream: unknown family %q (want frequency, quantile, sliding-frequency, sliding-quantile, parallel-frequency, parallel-quantile, or frugal)", name)
+}
+
+// MarshalText encodes the family as its canonical name, so Family fields
+// round-trip through JSON as strings. Invalid families fail.
+func (f Family) MarshalText() ([]byte, error) {
+	s := f.String()
+	if strings.HasPrefix(s, "Family(") {
+		return nil, fmt.Errorf("gpustream: cannot marshal invalid family %s", s)
+	}
+	return []byte(s), nil
+}
+
+// UnmarshalText decodes a family name via ParseFamily.
+func (f *Family) UnmarshalText(text []byte) error {
+	parsed, err := ParseFamily(string(text))
+	if err != nil {
+		return err
+	}
+	*f = parsed
+	return nil
+}
+
+// MarshalText encodes the backend as its canonical name (the String form),
+// so Backend fields round-trip through JSON as strings — the symmetric
+// counterpart of ParseBackend. Unknown backend values fail.
+func (b Backend) MarshalText() ([]byte, error) {
+	s := b.String()
+	if strings.HasPrefix(s, "Backend(") {
+		return nil, fmt.Errorf("gpustream: cannot marshal invalid backend %s", s)
+	}
+	return []byte(s), nil
+}
+
+// UnmarshalText decodes a backend name via ParseBackend, accepting the same
+// aliases as the cmd tools' -backend flags.
+func (b *Backend) UnmarshalText(text []byte) error {
+	parsed, err := ParseBackend(string(text))
+	if err != nil {
+		return err
+	}
+	*b = parsed
+	return nil
+}
+
+// Spec is a declarative, JSON-(de)serializable description of one
+// estimator. Zero values mean "unset": fields a family does not use must be
+// left zero (Validate rejects stray settings loudly, so a misspelled
+// configuration cannot silently construct the wrong sketch).
+type Spec struct {
+	// Family selects the estimator family. Required.
+	Family Family `json:"family"`
+	// Eps is the approximation error budget in (0, 1). Required for every
+	// family except frugal, whose answers carry no eps bound (leave zero).
+	Eps float64 `json:"eps,omitempty"`
+	// Phis are target quantiles in [0, 1]. For the frugal family they
+	// select the tracked quantiles (one tracker each; default
+	// frugal.DefaultPhis); for the other quantile-answering families they
+	// are the default query probes (cmd/streamd answers /quantile with
+	// them when the request names no phi). Frequency families take none.
+	Phis []float64 `json:"phis,omitempty"`
+	// Window is the sliding-window size in elements. Required (> 0) for
+	// the sliding families, zero for all others.
+	Window int `json:"window,omitempty"`
+	// Capacity is the expected stream length for the quantile families'
+	// bucket sizing; zero picks a generous default.
+	Capacity int64 `json:"capacity,omitempty"`
+	// Shards is the worker count for the parallel families; zero selects
+	// GOMAXPROCS. Serial families take none.
+	Shards int `json:"shards,omitempty"`
+	// Async enables staged asynchronous ingestion (sort overlaps
+	// merge/compress). Not applicable to frugal, which never sorts.
+	Async bool `json:"async,omitempty"`
+	// Backend is the sorting backend the estimator's pipeline runs on.
+	// The zero value is BackendGPU, so an omitted JSON field selects the
+	// paper's GPU sorter.
+	Backend Backend `json:"backend,omitempty"`
+	// Support is the default heavy-hitter support threshold in (0, 1) for
+	// frequency-answering families — a query-time default (used by
+	// cmd/streamd's /heavyhitters), not a construction parameter.
+	Support float64 `json:"support,omitempty"`
+}
+
+// epsFamilies need an eps budget; frugal is the one family that does not.
+func (f Family) needsEps() bool { return f != FamilyFrugal }
+
+// AnswersQuantiles reports whether the family answers quantile queries
+// (Snapshot().Quantile returns ok on a non-empty stream).
+func (f Family) AnswersQuantiles() bool {
+	switch f {
+	case FamilyQuantile, FamilySlidingQuantile, FamilyParallelQuantile, FamilyFrugal:
+		return true
+	}
+	return false
+}
+
+// AnswersFrequencies reports whether the family answers heavy-hitter and
+// point-frequency queries.
+func (f Family) AnswersFrequencies() bool {
+	switch f {
+	case FamilyFrequency, FamilySlidingFrequency, FamilyParallelFrequency:
+		return true
+	}
+	return false
+}
+
+// Sliding reports whether the family is windowed.
+func (f Family) Sliding() bool {
+	return f == FamilySlidingFrequency || f == FamilySlidingQuantile
+}
+
+// Parallel reports whether the family shards ingestion.
+func (f Family) Parallel() bool {
+	return f == FamilyParallelFrequency || f == FamilyParallelQuantile
+}
+
+// Validate checks the spec for internal consistency: a nil error means
+// NewFromSpec will construct it without panicking. Unknown families, eps
+// outside (0, 1), and any field set for a family that does not use it are
+// all rejected with a descriptive error.
+func (s Spec) Validate() error {
+	switch s.Family {
+	case FamilyFrequency, FamilyQuantile, FamilySlidingFrequency,
+		FamilySlidingQuantile, FamilyParallelFrequency,
+		FamilyParallelQuantile, FamilyFrugal:
+	default:
+		return fmt.Errorf("gpustream: spec has no valid family (got %v)", s.Family)
+	}
+	if s.Family.needsEps() {
+		if s.Eps <= 0 || s.Eps >= 1 {
+			return fmt.Errorf("gpustream: spec eps %v out of (0, 1) for family %v", s.Eps, s.Family)
+		}
+	} else if s.Eps != 0 {
+		return fmt.Errorf("gpustream: family %v carries no eps bound; leave eps zero (got %v)", s.Family, s.Eps)
+	}
+	if s.Family.Sliding() {
+		if s.Window <= 0 {
+			return fmt.Errorf("gpustream: family %v needs window > 0 (got %d)", s.Family, s.Window)
+		}
+	} else if s.Window != 0 {
+		return fmt.Errorf("gpustream: family %v takes no window (got %d)", s.Family, s.Window)
+	}
+	if s.Family.Parallel() {
+		if s.Shards < 0 {
+			return fmt.Errorf("gpustream: spec shards %d < 0 (zero selects GOMAXPROCS)", s.Shards)
+		}
+	} else if s.Shards != 0 {
+		return fmt.Errorf("gpustream: family %v does not shard (got shards %d)", s.Family, s.Shards)
+	}
+	switch s.Family {
+	case FamilyQuantile, FamilyParallelQuantile:
+		if s.Capacity < 0 {
+			return fmt.Errorf("gpustream: spec capacity %d < 0 (zero picks a default)", s.Capacity)
+		}
+	default:
+		if s.Capacity != 0 {
+			return fmt.Errorf("gpustream: family %v takes no capacity (got %d)", s.Family, s.Capacity)
+		}
+	}
+	if s.Family == FamilyFrugal && s.Async {
+		return fmt.Errorf("gpustream: family frugal never sorts; async does not apply")
+	}
+	if len(s.Phis) > 0 && !s.Family.AnswersQuantiles() {
+		return fmt.Errorf("gpustream: family %v answers no quantile queries; phis do not apply", s.Family)
+	}
+	for _, phi := range s.Phis {
+		if phi < 0 || phi > 1 {
+			return fmt.Errorf("gpustream: spec phi %v out of [0, 1]", phi)
+		}
+	}
+	if s.Support != 0 {
+		if !s.Family.AnswersFrequencies() {
+			return fmt.Errorf("gpustream: family %v answers no frequency queries; support does not apply", s.Family)
+		}
+		if s.Support < 0 || s.Support >= 1 {
+			return fmt.Errorf("gpustream: spec support %v out of [0, 1)", s.Support)
+		}
+	}
+	switch s.Backend {
+	case BackendGPU, BackendGPUBitonic, BackendCPU, BackendCPUParallel:
+	default:
+		return fmt.Errorf("gpustream: spec has unknown backend %v", s.Backend)
+	}
+	return nil
+}
+
+// ParseSpec decodes and validates a JSON spec document — the request body
+// cmd/streamd's PUT handler accepts. Unknown JSON fields are rejected, so a
+// misspelled key fails loudly instead of leaving a default in place.
+func ParseSpec(data []byte) (Spec, error) {
+	var s Spec
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&s); err != nil {
+		return Spec{}, fmt.Errorf("gpustream: bad spec document: %w", err)
+	}
+	if err := s.Validate(); err != nil {
+		return Spec{}, err
+	}
+	return s, nil
+}
+
+// NewFromSpec validates the spec and constructs the estimator it describes
+// through the same typed constructors callers use directly, so the result
+// is bit-identical to a hand-built estimator of the same configuration. The
+// spec's backend must match the engine's: the engine is the backend
+// binding, and a spec asking for a different sorter is a configuration
+// error, not a silent override.
+func (e *Engine[T]) NewFromSpec(spec Spec) (Estimator[T], error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if spec.Backend != e.backend {
+		return nil, fmt.Errorf("gpustream: spec backend %v does not match engine backend %v", spec.Backend, e.backend)
+	}
+	var eopts []EstimatorOption
+	var popts []ParallelOption
+	if spec.Async {
+		eopts = append(eopts, WithAsyncIngestion())
+		popts = append(popts, WithAsyncShards())
+	}
+	switch spec.Family {
+	case FamilyFrequency:
+		return e.NewFrequencyEstimator(spec.Eps, eopts...), nil
+	case FamilyQuantile:
+		return e.NewQuantileEstimator(spec.Eps, spec.Capacity, eopts...), nil
+	case FamilySlidingFrequency:
+		return e.NewSlidingFrequency(spec.Eps, spec.Window, eopts...), nil
+	case FamilySlidingQuantile:
+		return e.NewSlidingQuantile(spec.Eps, spec.Window, eopts...), nil
+	case FamilyParallelFrequency:
+		return e.NewParallelFrequencyEstimator(spec.Eps, spec.Shards, popts...), nil
+	case FamilyParallelQuantile:
+		return e.NewParallelQuantileEstimator(spec.Eps, spec.Capacity, spec.Shards, popts...), nil
+	case FamilyFrugal:
+		var fopts []FrugalOption
+		if len(spec.Phis) > 0 {
+			fopts = append(fopts, WithPhis(spec.Phis...))
+		}
+		return e.NewFrugalEstimator(fopts...), nil
+	}
+	// Unreachable: Validate pinned the family above.
+	return nil, fmt.Errorf("gpustream: spec has no valid family (got %v)", spec.Family)
+}

@@ -1,0 +1,335 @@
+package gpustream_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+
+	"gpustream"
+	"gpustream/internal/stream"
+)
+
+// allFamilies is the full family enumeration, used by the round-trip and
+// matrix tests below.
+var allFamilies = []gpustream.Family{
+	gpustream.FamilyFrequency,
+	gpustream.FamilyQuantile,
+	gpustream.FamilySlidingFrequency,
+	gpustream.FamilySlidingQuantile,
+	gpustream.FamilyParallelFrequency,
+	gpustream.FamilyParallelQuantile,
+	gpustream.FamilyFrugal,
+}
+
+func TestParseFamilyRoundTrip(t *testing.T) {
+	for _, f := range allFamilies {
+		got, err := gpustream.ParseFamily(f.String())
+		if err != nil || got != f {
+			t.Errorf("ParseFamily(%q) = %v, %v; want %v", f.String(), got, err, f)
+		}
+		// Case-insensitive with surrounding space.
+		got, err = gpustream.ParseFamily("  " + strings.ToUpper(f.String()) + " ")
+		if err != nil || got != f {
+			t.Errorf("ParseFamily(upper %q) = %v, %v; want %v", f.String(), got, err, f)
+		}
+	}
+	for alias, want := range map[string]gpustream.Family{
+		"window-frequency": gpustream.FamilySlidingFrequency,
+		"window-quantile":  gpustream.FamilySlidingQuantile,
+		"sharded-frequency": gpustream.FamilyParallelFrequency,
+		"sharded-quantile":  gpustream.FamilyParallelQuantile,
+	} {
+		if got, err := gpustream.ParseFamily(alias); err != nil || got != want {
+			t.Errorf("ParseFamily(%q) = %v, %v; want %v", alias, got, err, want)
+		}
+	}
+	if _, err := gpustream.ParseFamily("nope"); err == nil {
+		t.Error("ParseFamily(nope) succeeded")
+	}
+	if _, err := gpustream.Family(0).MarshalText(); err == nil {
+		t.Error("Family(0).MarshalText succeeded")
+	}
+}
+
+func TestBackendTextRoundTrip(t *testing.T) {
+	for _, b := range []gpustream.Backend{
+		gpustream.BackendGPU, gpustream.BackendGPUBitonic,
+		gpustream.BackendCPU, gpustream.BackendCPUParallel,
+	} {
+		text, err := b.MarshalText()
+		if err != nil {
+			t.Fatalf("MarshalText(%v): %v", b, err)
+		}
+		var back gpustream.Backend
+		if err := back.UnmarshalText(text); err != nil || back != b {
+			t.Errorf("UnmarshalText(%q) = %v, %v; want %v", text, back, err, b)
+		}
+		// JSON round-trip through a struct field, the shape /statsz and
+		// stored specs use.
+		blob, err := json.Marshal(struct{ B gpustream.Backend }{b})
+		if err != nil {
+			t.Fatalf("json.Marshal backend %v: %v", b, err)
+		}
+		if want := `{"B":"` + b.String() + `"}`; string(blob) != want {
+			t.Errorf("json.Marshal backend %v = %s, want %s", b, blob, want)
+		}
+	}
+	if _, err := gpustream.Backend(99).MarshalText(); err == nil {
+		t.Error("MarshalText of unknown backend succeeded")
+	}
+	var b gpustream.Backend
+	if err := b.UnmarshalText([]byte("not-a-backend")); err == nil {
+		t.Error("UnmarshalText of unknown backend succeeded")
+	}
+	// Legacy -backend flag aliases keep working through the text decoder.
+	if err := b.UnmarshalText([]byte("cpu-ht")); err != nil || b != gpustream.BackendCPUParallel {
+		t.Errorf("UnmarshalText(cpu-ht) = %v, %v", b, err)
+	}
+}
+
+func TestSpecValidate(t *testing.T) {
+	valid := []gpustream.Spec{
+		{Family: gpustream.FamilyFrequency, Eps: 0.001, Support: 0.01},
+		{Family: gpustream.FamilyQuantile, Eps: 0.001, Capacity: 1 << 20, Phis: []float64{0.5, 0.99}},
+		{Family: gpustream.FamilySlidingFrequency, Eps: 0.01, Window: 1000},
+		{Family: gpustream.FamilySlidingQuantile, Eps: 0.01, Window: 1000, Async: true},
+		{Family: gpustream.FamilyParallelFrequency, Eps: 0.001, Shards: 4},
+		{Family: gpustream.FamilyParallelQuantile, Eps: 0.001, Shards: 0, Async: true},
+		{Family: gpustream.FamilyFrugal, Phis: []float64{0.5}},
+		{Family: gpustream.FamilyQuantile, Eps: 0.001, Backend: gpustream.BackendCPU},
+	}
+	for _, s := range valid {
+		if err := s.Validate(); err != nil {
+			t.Errorf("Validate(%+v) = %v, want nil", s, err)
+		}
+	}
+
+	invalid := []struct {
+		name string
+		spec gpustream.Spec
+		want string // substring of the error
+	}{
+		{"zero spec", gpustream.Spec{}, "no valid family"},
+		{"unknown family", gpustream.Spec{Family: gpustream.Family(42), Eps: 0.01}, "no valid family"},
+		{"eps zero", gpustream.Spec{Family: gpustream.FamilyQuantile}, "out of (0, 1)"},
+		{"eps one", gpustream.Spec{Family: gpustream.FamilyFrequency, Eps: 1}, "out of (0, 1)"},
+		{"eps negative", gpustream.Spec{Family: gpustream.FamilyParallelQuantile, Eps: -0.5}, "out of (0, 1)"},
+		{"frugal with eps", gpustream.Spec{Family: gpustream.FamilyFrugal, Eps: 0.01}, "no eps bound"},
+		{"sliding without window", gpustream.Spec{Family: gpustream.FamilySlidingQuantile, Eps: 0.01}, "needs window"},
+		{"window on whole-history", gpustream.Spec{Family: gpustream.FamilyQuantile, Eps: 0.01, Window: 100}, "takes no window"},
+		{"shards on serial", gpustream.Spec{Family: gpustream.FamilyFrequency, Eps: 0.01, Shards: 4}, "does not shard"},
+		{"negative shards", gpustream.Spec{Family: gpustream.FamilyParallelQuantile, Eps: 0.01, Shards: -1}, "shards -1"},
+		{"capacity on frequency", gpustream.Spec{Family: gpustream.FamilyFrequency, Eps: 0.01, Capacity: 10}, "takes no capacity"},
+		{"negative capacity", gpustream.Spec{Family: gpustream.FamilyQuantile, Eps: 0.01, Capacity: -1}, "capacity -1"},
+		{"frugal async", gpustream.Spec{Family: gpustream.FamilyFrugal, Async: true}, "never sorts"},
+		{"phis on frequency", gpustream.Spec{Family: gpustream.FamilyFrequency, Eps: 0.01, Phis: []float64{0.5}}, "phis do not apply"},
+		{"phi out of range", gpustream.Spec{Family: gpustream.FamilyQuantile, Eps: 0.01, Phis: []float64{1.5}}, "out of [0, 1]"},
+		{"support on quantile", gpustream.Spec{Family: gpustream.FamilyQuantile, Eps: 0.01, Support: 0.1}, "support does not apply"},
+		{"support out of range", gpustream.Spec{Family: gpustream.FamilyFrequency, Eps: 0.01, Support: 1.5}, "out of [0, 1)"},
+		{"unknown backend", gpustream.Spec{Family: gpustream.FamilyQuantile, Eps: 0.01, Backend: gpustream.Backend(9)}, "unknown backend"},
+	}
+	for _, tc := range invalid {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.spec.Validate()
+			if err == nil {
+				t.Fatalf("Validate(%+v) = nil, want error containing %q", tc.spec, tc.want)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("Validate(%+v) = %q, want substring %q", tc.spec, err, tc.want)
+			}
+			// A spec that fails validation must fail construction with the
+			// same error, never panic.
+			eng := gpustream.New(gpustream.BackendGPU)
+			if _, cerr := eng.NewFromSpec(tc.spec); cerr == nil {
+				t.Errorf("NewFromSpec(%+v) succeeded on invalid spec", tc.spec)
+			}
+		})
+	}
+}
+
+func TestNewFromSpecBackendMismatch(t *testing.T) {
+	eng := gpustream.New(gpustream.BackendGPU)
+	spec := gpustream.Spec{Family: gpustream.FamilyQuantile, Eps: 0.01, Backend: gpustream.BackendCPU}
+	if _, err := eng.NewFromSpec(spec); err == nil || !strings.Contains(err.Error(), "does not match engine backend") {
+		t.Errorf("NewFromSpec with mismatched backend: %v", err)
+	}
+}
+
+func TestSpecJSONRoundTrip(t *testing.T) {
+	specs := []gpustream.Spec{
+		{Family: gpustream.FamilyQuantile, Eps: 0.001, Capacity: 1 << 20, Phis: []float64{0.5, 0.99}, Async: true, Backend: gpustream.BackendCPU},
+		{Family: gpustream.FamilyParallelFrequency, Eps: 0.01, Shards: 8, Support: 0.02},
+		{Family: gpustream.FamilySlidingQuantile, Eps: 0.01, Window: 4096},
+		{Family: gpustream.FamilyFrugal, Phis: []float64{0.25, 0.5, 0.75}},
+	}
+	for _, s := range specs {
+		blob, err := json.Marshal(s)
+		if err != nil {
+			t.Fatalf("Marshal(%+v): %v", s, err)
+		}
+		got, err := gpustream.ParseSpec(blob)
+		if err != nil {
+			t.Fatalf("ParseSpec(%s): %v", blob, err)
+		}
+		if !specEqual(got, s) {
+			t.Errorf("round trip %s: got %+v, want %+v", blob, got, s)
+		}
+	}
+	// The family name travels as a string, not an int.
+	blob, _ := json.Marshal(gpustream.Spec{Family: gpustream.FamilySlidingFrequency, Eps: 0.01, Window: 10})
+	if !bytes.Contains(blob, []byte(`"sliding-frequency"`)) {
+		t.Errorf("marshaled spec %s does not carry the family name", blob)
+	}
+
+	if _, err := gpustream.ParseSpec([]byte(`{"family":"quantile","eps":0.01,"bogus":1}`)); err == nil {
+		t.Error("ParseSpec accepted an unknown field")
+	}
+	if _, err := gpustream.ParseSpec([]byte(`{"family":"quantile"}`)); err == nil {
+		t.Error("ParseSpec accepted an invalid spec (no eps)")
+	}
+	if _, err := gpustream.ParseSpec([]byte(`not json`)); err == nil {
+		t.Error("ParseSpec accepted garbage")
+	}
+	if _, err := gpustream.ParseSpec([]byte(`{"family":"florble","eps":0.01}`)); err == nil {
+		t.Error("ParseSpec accepted an unknown family name")
+	}
+}
+
+func specEqual(a, b gpustream.Spec) bool {
+	if len(a.Phis) != len(b.Phis) {
+		return false
+	}
+	for i := range a.Phis {
+		if a.Phis[i] != b.Phis[i] {
+			return false
+		}
+	}
+	a.Phis, b.Phis = nil, nil
+	return reflect.DeepEqual(a, b)
+}
+
+// TestNewFromSpecMatchesTypedConstructors pins the acceptance criterion
+// that spec-built estimators are bit-identical to hand-built ones: for
+// every family, the same stream ingested through NewFromSpec and through
+// the typed constructor yields byte-equal marshaled snapshots and equal
+// query answers.
+func TestNewFromSpecMatchesTypedConstructors(t *testing.T) {
+	const n = 30_000
+	data := stream.Zipf(n, 1.2, 800, 11)
+	phis := []float64{0.05, 0.25, 0.5, 0.75, 0.95, 0.99}
+
+	cases := []struct {
+		spec  gpustream.Spec
+		typed func(eng *gpustream.Engine[float32]) gpustream.Estimator[float32]
+	}{
+		{
+			spec: gpustream.Spec{Family: gpustream.FamilyFrequency, Eps: 0.001},
+			typed: func(eng *gpustream.Engine[float32]) gpustream.Estimator[float32] {
+				return eng.NewFrequencyEstimator(0.001)
+			},
+		},
+		{
+			spec: gpustream.Spec{Family: gpustream.FamilyQuantile, Eps: 0.001, Capacity: n},
+			typed: func(eng *gpustream.Engine[float32]) gpustream.Estimator[float32] {
+				return eng.NewQuantileEstimator(0.001, n)
+			},
+		},
+		{
+			spec: gpustream.Spec{Family: gpustream.FamilySlidingFrequency, Eps: 0.005, Window: 8192},
+			typed: func(eng *gpustream.Engine[float32]) gpustream.Estimator[float32] {
+				return eng.NewSlidingFrequency(0.005, 8192)
+			},
+		},
+		{
+			spec: gpustream.Spec{Family: gpustream.FamilySlidingQuantile, Eps: 0.005, Window: 8192},
+			typed: func(eng *gpustream.Engine[float32]) gpustream.Estimator[float32] {
+				return eng.NewSlidingQuantile(0.005, 8192)
+			},
+		},
+		{
+			spec: gpustream.Spec{Family: gpustream.FamilyParallelFrequency, Eps: 0.001, Shards: 2},
+			typed: func(eng *gpustream.Engine[float32]) gpustream.Estimator[float32] {
+				return eng.NewParallelFrequencyEstimator(0.001, 2)
+			},
+		},
+		{
+			spec: gpustream.Spec{Family: gpustream.FamilyParallelQuantile, Eps: 0.001, Capacity: n, Shards: 2},
+			typed: func(eng *gpustream.Engine[float32]) gpustream.Estimator[float32] {
+				return eng.NewParallelQuantileEstimator(0.001, n, 2)
+			},
+		},
+		{
+			spec: gpustream.Spec{Family: gpustream.FamilyFrugal, Phis: phis},
+			typed: func(eng *gpustream.Engine[float32]) gpustream.Estimator[float32] {
+				return eng.NewFrugalEstimator(gpustream.WithPhis(phis...))
+			},
+		},
+		// Async specs must be bit-identical too (the staged executor is
+		// bit-identical to sync by construction, so spec-vs-typed stays
+		// byte-equal).
+		{
+			spec: gpustream.Spec{Family: gpustream.FamilyQuantile, Eps: 0.001, Capacity: n, Async: true},
+			typed: func(eng *gpustream.Engine[float32]) gpustream.Estimator[float32] {
+				return eng.NewQuantileEstimator(0.001, n, gpustream.WithAsyncIngestion())
+			},
+		},
+	}
+
+	for _, tc := range cases {
+		name := tc.spec.Family.String()
+		if tc.spec.Async {
+			name += "-async"
+		}
+		t.Run(name, func(t *testing.T) {
+			engSpec := gpustream.New(gpustream.BackendGPU)
+			fromSpec, err := engSpec.NewFromSpec(tc.spec)
+			if err != nil {
+				t.Fatalf("NewFromSpec: %v", err)
+			}
+			engTyped := gpustream.New(gpustream.BackendGPU)
+			typed := tc.typed(engTyped)
+
+			for _, est := range []gpustream.Estimator[float32]{fromSpec, typed} {
+				if err := est.ProcessSlice(data); err != nil {
+					t.Fatalf("ProcessSlice: %v", err)
+				}
+				if err := est.Close(); err != nil {
+					t.Fatalf("Close: %v", err)
+				}
+			}
+			if a, b := fromSpec.Count(), typed.Count(); a != b {
+				t.Fatalf("Count: spec %d, typed %d", a, b)
+			}
+
+			sa, sb := fromSpec.Snapshot(), typed.Snapshot()
+			for _, phi := range phis {
+				va, oka := sa.Quantile(phi)
+				vb, okb := sb.Quantile(phi)
+				if va != vb || oka != okb {
+					t.Errorf("Quantile(%g): spec (%v, %v), typed (%v, %v)", phi, va, oka, vb, okb)
+				}
+			}
+			ha, oka := sa.HeavyHitters(0.01)
+			hb, okb := sb.HeavyHitters(0.01)
+			if oka != okb || len(ha) != len(hb) {
+				t.Fatalf("HeavyHitters: spec (%d items, %v), typed (%d items, %v)", len(ha), oka, len(hb), okb)
+			}
+			for i := range ha {
+				if ha[i] != hb[i] {
+					t.Errorf("HeavyHitters[%d]: spec %+v, typed %+v", i, ha[i], hb[i])
+				}
+			}
+
+			blobA, errA := gpustream.MarshalSnapshot(sa)
+			blobB, errB := gpustream.MarshalSnapshot(sb)
+			if errA != nil || errB != nil {
+				t.Fatalf("MarshalSnapshot: spec %v, typed %v", errA, errB)
+			}
+			if !bytes.Equal(blobA, blobB) {
+				t.Errorf("marshaled snapshots differ: %d vs %d bytes", len(blobA), len(blobB))
+			}
+		})
+	}
+}
