@@ -1,0 +1,350 @@
+package gpustream
+
+// Adaptive-execution pinning: (1) a pinned tuner is bit-identical to the
+// static path on every family (the controller's knob changes are the ONLY
+// way adaptivity can alter answers), (2) answers stay eps-correct under
+// adversarial dynamic window/backend schedules (the metamorphic suite), and
+// (3) the auto backend's controller tolerates concurrent readers while a
+// writer drives retunes (run under -race in CI).
+
+import (
+	"bytes"
+	"math"
+	"sync"
+	"testing"
+
+	"gpustream/internal/cpusort"
+	"gpustream/internal/pipeline"
+	"gpustream/internal/shard"
+	"gpustream/internal/stream"
+)
+
+// schedTuner is an adversarial pipeline.Tuner: at every window boundary it
+// cycles the sorter through a fixed ring and the window through a fixed
+// schedule, regardless of measurements — the worst case a buggy controller
+// could inflict within the legal knob envelope.
+type schedTuner[T Value] struct {
+	sorters []Sorter[T]
+	windows []int
+	i       int
+}
+
+func (s *schedTuner[T]) Retune(_ Stats, _ pipeline.Knobs[T]) (pipeline.Knobs[T], bool) {
+	s.i++
+	var next pipeline.Knobs[T]
+	if len(s.sorters) > 0 {
+		next.Sorter = s.sorters[s.i%len(s.sorters)]
+	}
+	if len(s.windows) > 0 {
+		next.Window = s.windows[s.i%len(s.windows)]
+	}
+	return next, true
+}
+
+// sorterRing builds one fresh sorter per backend for a single pipeline to
+// cycle through (instances are per-pipeline, never shared).
+func sorterRing[T Value]() []Sorter[T] {
+	return []Sorter[T]{
+		newBackendSorter[T](BackendCPU),
+		newBackendSorter[T](BackendGPU),
+		newBackendSorter[T](BackendSampleSort),
+	}
+}
+
+// windowSchedules are the dynamic-window shapes, all within [w0, 8*w0] so
+// every scheduled window respects the construction floor the eps arguments
+// need.
+func windowSchedules(w0 int) map[string][]int {
+	return map[string][]int{
+		"grow":      {w0, 2 * w0, 4 * w0, 8 * w0},
+		"shrink":    {8 * w0, 4 * w0, 2 * w0, w0},
+		"oscillate": {w0, 8 * w0, w0, 4 * w0, 2 * w0, 8 * w0},
+	}
+}
+
+// checkQuantileEps asserts every decile answer is within eps*N ranks.
+func checkQuantileEps(t *testing.T, name string, q interface{ Query(float64) float32 }, ref []float32, eps float64) {
+	t.Helper()
+	n := len(ref)
+	for p := 0; p <= 10; p++ {
+		phi := float64(p) / 10
+		r := int(math.Ceil(phi * float64(n)))
+		if r < 1 {
+			r = 1
+		}
+		if d := rankError(ref, q.Query(phi), r); float64(d) > eps*float64(n)+1 {
+			t.Fatalf("%s: phi=%v rank error %d > eps*N=%v", name, phi, d, eps*float64(n))
+		}
+	}
+}
+
+// checkFrequencyEps asserts estimates never overcount and undercount by at
+// most eps*N.
+func checkFrequencyEps(t *testing.T, name string, est interface{ Estimate(float32) int64 }, exact map[float32]int64, n int, eps float64) {
+	t.Helper()
+	for v, truth := range exact {
+		got := est.Estimate(v)
+		if got > truth {
+			t.Fatalf("%s: Estimate(%v) = %d overcounts true %d", name, v, got, truth)
+		}
+		if float64(truth-got) > eps*float64(n)+1e-9 {
+			t.Fatalf("%s: Estimate(%v) = %d undercounts true %d beyond eps*N", name, v, got, truth)
+		}
+	}
+}
+
+// TestMetamorphicDynamicWindows drives every sorter-backed family through
+// adversarial window/backend schedules — grow, shrink, oscillate × sync and
+// async ingestion × serial and K∈{1,4} sharded — and asserts the eps
+// guarantees hold under every one. The schedules never drop below the
+// construction window, which is the documented legality envelope.
+func TestMetamorphicDynamicWindows(t *testing.T) {
+	const n = 40_000
+	const eps = 0.01
+	data := stream.Zipf(n, 1.2, n/100+5, 99)
+	ref := append([]float32(nil), data...)
+	cpusort.Quicksort(ref)
+	exact := map[float32]int64{}
+	for _, v := range data {
+		exact[v]++
+	}
+	const w = n / 5 // sliding-window span
+	winExact := map[float32]int64{}
+	for _, v := range data[n-w:] {
+		winExact[v]++
+	}
+	winRef := append([]float32(nil), data[n-w:]...)
+	cpusort.Quicksort(winRef)
+
+	for _, async := range []bool{false, true} {
+		mode := map[bool]string{false: "sync", true: "async"}[async]
+		for _, schedName := range []string{"grow", "shrink", "oscillate"} {
+			t.Run(mode+"/"+schedName, func(t *testing.T) {
+				eng := New(BackendSampleSort)
+				var eopts []EstimatorOption
+				var popts []ParallelOption
+				if async {
+					eopts = append(eopts, WithAsyncIngestion())
+					popts = append(popts, WithAsyncShards())
+				}
+
+				qe := eng.NewQuantileEstimator(eps, n, eopts...)
+				_, qw0 := qe.Knobs()
+				qe.SetTuner(&schedTuner[float32]{sorters: sorterRing[float32](), windows: windowSchedules(qw0)[schedName]})
+				qe.ProcessSlice(data)
+				qe.Close()
+				checkQuantileEps(t, "quantile", qe, ref, eps)
+
+				fe := eng.NewFrequencyEstimator(eps, eopts...)
+				_, fw0 := fe.Knobs()
+				fe.SetTuner(&schedTuner[float32]{sorters: sorterRing[float32](), windows: windowSchedules(fw0)[schedName]})
+				fe.ProcessSlice(data)
+				fe.Close()
+				checkFrequencyEps(t, "frequency", fe, exact, n, eps)
+
+				// Sliding families: backend cycling only — the pane size is
+				// the query's semantics, not a knob.
+				sq := eng.NewSlidingQuantile(eps, w, eopts...)
+				sq.SetTuner(&schedTuner[float32]{sorters: sorterRing[float32]()})
+				sq.ProcessSlice(data)
+				if d := rankError(winRef, sq.Query(0.5), w/2); float64(d) > eps*float64(w)+1 {
+					t.Fatalf("sliding median rank error %d", d)
+				}
+				sq.Close()
+
+				sf := eng.NewSlidingFrequency(eps, w, eopts...)
+				sf.SetTuner(&schedTuner[float32]{sorters: sorterRing[float32]()})
+				sf.ProcessSlice(data)
+				for v, truth := range winExact {
+					if got := sf.Estimate(v); math.Abs(float64(got-truth)) > eps*float64(w)+1e-9 {
+						t.Fatalf("sliding frequency(%v) = %d, true %d", v, got, truth)
+					}
+				}
+				sf.Close()
+
+				for _, k := range []int{1, 4} {
+					sched := windowSchedules(qw0)[schedName]
+					factory := shard.WithTunerFactory(func() pipeline.Tuner[float32] {
+						return &schedTuner[float32]{sorters: sorterRing[float32](), windows: sched}
+					})
+					pq := eng.NewParallelQuantileEstimator(eps, n, k,
+						append([]ParallelOption{factory, WithBatchSize(1 << 12)}, popts...)...)
+					pq.ProcessSlice(data)
+					pq.Close()
+					checkQuantileEps(t, "parallel-quantile", pq, ref, eps)
+
+					pf := eng.NewParallelFrequencyEstimator(eps, k,
+						append([]ParallelOption{factory, WithBatchSize(1 << 12)}, popts...)...)
+					pf.ProcessSlice(data)
+					pf.Close()
+					checkFrequencyEps(t, "parallel-frequency", pf, exact, n, eps)
+				}
+			})
+		}
+	}
+}
+
+// TestPinnedTunerBitIdentical pins that an auto-backend estimator with a
+// pinned (never-moves) tuner produces byte-identical marshaled snapshots to
+// the static sample-sort path, across all seven families: running the
+// retune hook must be answer-invisible unless a knob actually moves.
+func TestPinnedTunerBitIdentical(t *testing.T) {
+	const n = 30_000
+	const eps = 0.005
+	data := stream.Zipf(n, 1.2, 300, 77)
+	static := New(BackendSampleSort)
+	auto := New(BackendAuto)
+
+	pin := func(name string, a, b Snapshot[float32]) {
+		t.Helper()
+		ab, err := MarshalSnapshot(a)
+		if err != nil {
+			t.Fatalf("%s: marshal static: %v", name, err)
+		}
+		bb, err := MarshalSnapshot(b)
+		if err != nil {
+			t.Fatalf("%s: marshal pinned: %v", name, err)
+		}
+		if !bytes.Equal(ab, bb) {
+			t.Fatalf("%s: pinned-tuner snapshot diverges from static (%d vs %d bytes)", name, len(ab), len(bb))
+		}
+	}
+	run := func(e Estimator[float32]) Snapshot[float32] {
+		if err := e.ProcessSlice(data); err != nil {
+			t.Fatal(err)
+		}
+		if err := e.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return e.Snapshot()
+	}
+
+	pin("frequency",
+		run(static.NewFrequencyEstimator(eps)),
+		run(auto.NewFrequencyEstimator(eps, WithPinnedTuning())))
+	pin("quantile",
+		run(static.NewQuantileEstimator(eps, n)),
+		run(auto.NewQuantileEstimator(eps, n, WithPinnedTuning())))
+	pin("sliding-frequency",
+		run(static.NewSlidingFrequency(eps, n/5)),
+		run(auto.NewSlidingFrequency(eps, n/5, WithPinnedTuning())))
+	pin("sliding-quantile",
+		run(static.NewSlidingQuantile(eps, n/5)),
+		run(auto.NewSlidingQuantile(eps, n/5, WithPinnedTuning())))
+	pin("parallel-frequency",
+		run(static.NewParallelFrequencyEstimator(eps, 2, WithBatchSize(2048))),
+		run(auto.NewParallelFrequencyEstimator(eps, 2, WithBatchSize(2048), WithPinnedShardTuning[float32]())))
+	pin("parallel-quantile",
+		run(static.NewParallelQuantileEstimator(eps, n, 2, WithBatchSize(2048))),
+		run(auto.NewParallelQuantileEstimator(eps, n, 2, WithBatchSize(2048), WithPinnedShardTuning[float32]())))
+	pin("frugal",
+		run(static.NewFrugalEstimator()),
+		run(auto.NewFrugalEstimator()))
+}
+
+// TestAutoKnobsReported asserts the engine's telemetry surfaces the live
+// backend/window selection and, for auto estimators, the controller's
+// decision — the fields streammine -stats and /statsz print.
+func TestAutoKnobsReported(t *testing.T) {
+	data := stream.Zipf(60_000, 1.2, 500, 5)
+
+	static := New(BackendSampleSort)
+	se := static.NewQuantileEstimator(0.01, int64(len(data)))
+	se.ProcessSlice(data)
+	se.Close()
+	ss := static.Stats()
+	if len(ss) != 1 || ss[0].Backend != "samplesort" || ss[0].Window <= 0 {
+		t.Fatalf("static stats: %+v", ss)
+	}
+	if ss[0].Tuning != nil {
+		t.Fatalf("static estimator reports a tuning decision: %+v", ss[0].Tuning)
+	}
+
+	auto := New(BackendAuto)
+	ae := auto.NewQuantileEstimator(0.01, int64(len(data)))
+	ae.ProcessSlice(data)
+	ae.Close()
+	as := auto.Stats()
+	if len(as) != 1 || as[0].Backend == "" || as[0].Window <= 0 {
+		t.Fatalf("auto stats: %+v", as)
+	}
+	d := as[0].Tuning
+	if d == nil {
+		t.Fatalf("auto estimator reports no tuning decision")
+	}
+	if d.Phase != "probe" && d.Phase != "window" && d.Phase != "steady" {
+		t.Fatalf("tuning phase %q", d.Phase)
+	}
+	if d.Switches == 0 || len(d.NsPerValue) == 0 {
+		t.Fatalf("controller never probed: %+v", d)
+	}
+
+	// Parallel auto estimators report shard 0's controller.
+	ap := auto.NewParallelFrequencyEstimator(0.01, 2, WithBatchSize(4096))
+	ap.ProcessSlice(data)
+	ap.Close()
+	ps := auto.Stats()
+	if got := ps[1]; got.Tuning == nil || got.Backend == "" {
+		t.Fatalf("parallel auto stats: %+v", got)
+	}
+}
+
+// TestAdaptiveControllerRace drives an auto-backend estimator with one
+// writer while four readers hammer queries, snapshots, and engine stats —
+// the controller's Decision/Retune interleaving. CI runs it under -race.
+func TestAdaptiveControllerRace(t *testing.T) {
+	eng := New(BackendAuto)
+	qe := eng.NewQuantileEstimator(0.01, 200_000)
+	data := stream.Zipf(200_000, 1.2, 2000, 13)
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				for _, es := range eng.Stats() {
+					_ = es.Backend
+					if es.Tuning != nil {
+						_ = es.Tuning.Phase
+					}
+				}
+				if s := qe.Snapshot(); s.Count() > 0 {
+					if _, ok := s.Quantile(0.5); !ok {
+						t.Error("non-empty snapshot refused a quantile")
+						return
+					}
+				}
+			}
+		}()
+	}
+	for off := 0; off < len(data); off += 5000 {
+		end := off + 5000
+		if end > len(data) {
+			end = len(data)
+		}
+		if err := qe.ProcessSlice(data[off:end]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	qe.Close()
+	checkQuantileEpsSorted(t, qe, data)
+}
+
+// checkQuantileEpsSorted checks the median after the race workload.
+func checkQuantileEpsSorted(t *testing.T, qe *QuantileEstimator[float32], data []float32) {
+	t.Helper()
+	ref := append([]float32(nil), data...)
+	cpusort.Quicksort(ref)
+	if d := rankError(ref, qe.Query(0.5), len(ref)/2); float64(d) > 0.01*float64(len(ref))+1 {
+		t.Fatalf("post-race median rank error %d", d)
+	}
+}

@@ -72,23 +72,28 @@ func TestAsyncBitIdenticalFrequency(t *testing.T) {
 func TestAsyncBitIdenticalQuantile(t *testing.T) {
 	const n = 60_000
 	data := asyncStream(n)
-	run := func(opts ...gpustream.EstimatorOption) any {
-		est := gpustream.New(gpustream.BackendGPU).NewQuantileEstimator(0.005, n, opts...)
-		est.ProcessSlice(data)
-		ans := struct {
-			Qs       []float32
-			Entries  int
-			Buckets  int
-			Counters counterStats
-		}{Entries: est.SummaryEntries(), Buckets: est.Buckets()}
-		for _, phi := range []float64{0, 0.01, 0.25, 0.5, 0.75, 0.99, 1} {
-			ans.Qs = append(ans.Qs, est.Query(phi))
+	// The sample sorter's SortAsync goes through the generic goroutine
+	// adapter rather than the GPU simulator's staged path, so both async
+	// executions are pinned.
+	for _, backend := range []gpustream.Backend{gpustream.BackendGPU, gpustream.BackendSampleSort} {
+		run := func(opts ...gpustream.EstimatorOption) any {
+			est := gpustream.New(backend).NewQuantileEstimator(0.005, n, opts...)
+			est.ProcessSlice(data)
+			ans := struct {
+				Qs       []float32
+				Entries  int
+				Buckets  int
+				Counters counterStats
+			}{Entries: est.SummaryEntries(), Buckets: est.Buckets()}
+			for _, phi := range []float64{0, 0.01, 0.25, 0.5, 0.75, 0.99, 1} {
+				ans.Qs = append(ans.Qs, est.Query(phi))
+			}
+			ans.Counters = counters(est.Stats())
+			est.Close()
+			return ans
 		}
-		ans.Counters = counters(est.Stats())
-		est.Close()
-		return ans
+		pinIdentical(t, "quantile/"+backend.String(), run(), run(gpustream.WithAsyncIngestion()))
 	}
-	pinIdentical(t, "quantile", run(), run(gpustream.WithAsyncIngestion()))
 }
 
 func TestAsyncBitIdenticalSlidingFrequency(t *testing.T) {

@@ -44,7 +44,7 @@ func main() {
 	scale := flag.Int("scale", 50, "divisor applied to the paper's 100M stream for measured runs")
 	measure := flag.Bool("measure", false, "run slow host measurements too")
 	async := flag.Bool("async", false, "run host measurements with staged asynchronous ingestion and report measured overlap")
-	backendsFlag := flag.String("backends", "gpu,cpu", "comma-separated backends for the measured sliding-window runs")
+	backendsFlag := flag.String("backends", "gpu,cpu,samplesort", "comma-separated backends for the measured sliding-window runs")
 	flag.Parse()
 
 	if *scale < 1 {
@@ -97,19 +97,23 @@ func sec(d time.Duration) string {
 	return fmt.Sprintf("%.2f", d.Seconds())
 }
 
-// figure3 prints sorting time versus input size for the four sorters.
+// figure3 prints sorting time versus input size for the five sorters,
+// including the O(n log n) sample sort whose modeled curve crosses the
+// PBSN's O(n log^2 n) one as n grows.
 func figure3(measure bool) {
 	model := perfmodel.Default()
 	fmt.Println("== Figure 3: sorting time vs n (model ms on 2004 testbed) ==")
-	w := newTable("   our GPU PBSN vs prior GPU bitonic vs CPU quicksorts")
-	fmt.Fprintln(w, "n\tgpu-pbsn\tgpu-bitonic\tcpu-intel-ht\tcpu-msvc\tbitonic/pbsn\t")
+	w := newTable("   our GPU PBSN vs prior GPU bitonic vs CPU quicksorts vs sample sort")
+	fmt.Fprintln(w, "n\tgpu-pbsn\tgpu-bitonic\tcpu-intel-ht\tcpu-msvc\tsamplesort\tbitonic/pbsn\tpbsn/samplesort\t")
 	for n := 16 << 10; n <= 8<<20; n <<= 1 {
 		pbsn := model.PBSNSortTime(n).Total()
 		bit := model.BitonicSortTime(n).Total()
 		intel := model.QuicksortTime(n, perfmodel.IntelHT)
 		msvc := model.QuicksortTime(n, perfmodel.MSVC)
-		fmt.Fprintf(w, "%d\t%s\t%s\t%s\t%s\t%.1fx\t\n",
-			n, ms(pbsn), ms(bit), ms(intel), ms(msvc), float64(bit)/float64(pbsn))
+		smp := model.SampleSortTime(n)
+		fmt.Fprintf(w, "%d\t%s\t%s\t%s\t%s\t%s\t%.1fx\t%.1fx\t\n",
+			n, ms(pbsn), ms(bit), ms(intel), ms(msvc), ms(smp),
+			float64(bit)/float64(pbsn), float64(pbsn)/float64(smp))
 	}
 	w.Flush()
 

@@ -6,7 +6,7 @@
 // Usage:
 //
 //	sortbench [-n 1048576] [-dist uniform|zipf|sorted|reversed|gauss]
-//	          [-seed 1] [-backends gpu,bitonic,cpu,cpu-ht]
+//	          [-seed 1] [-backends gpu,bitonic,cpu,cpu-ht,samplesort]
 package main
 
 import (
@@ -21,6 +21,7 @@ import (
 	"gpustream/internal/cpusort"
 	"gpustream/internal/gpusort"
 	"gpustream/internal/perfmodel"
+	"gpustream/internal/samplesort"
 	"gpustream/internal/sorter"
 	"gpustream/internal/stream"
 )
@@ -29,7 +30,7 @@ func main() {
 	n := flag.Int("n", 1<<20, "number of values to sort")
 	dist := flag.String("dist", "uniform", "input distribution: uniform|zipf|sorted|reversed|gauss")
 	seed := flag.Uint64("seed", 1, "generator seed")
-	backends := flag.String("backends", "gpu,bitonic,cpu,cpu-ht", "comma-separated backends")
+	backends := flag.String("backends", "gpu,bitonic,cpu,cpu-ht,samplesort", "comma-separated backends")
 	flag.Parse()
 
 	var data []float32
@@ -79,6 +80,8 @@ func main() {
 			modelTotal = model.QuicksortTime(*n, perfmodel.MSVC)
 		case cpusort.ParallelSorter[float32]:
 			modelTotal = model.QuicksortTime(*n, perfmodel.IntelHT)
+		case *samplesort.Sorter[float32]:
+			modelTotal = model.SampleSortTime(*n)
 		}
 		fmt.Fprintf(w, "%s\t%.1f\t%.1f\t%.1f\t%.1f\t%v\t\n",
 			s.Name(),

@@ -49,7 +49,7 @@ func main() {
 	support := flag.Float64("support", 0.01, "frequency query support threshold")
 	phis := flag.String("phis", "0.01,0.25,0.5,0.75,0.99", "quantile probes")
 	dist := flag.String("dist", "zipf", "stream distribution: zipf|uniform|gauss|bursty")
-	backendName := flag.String("backend", "gpu", "sorting backend: gpu|gpu-bitonic|cpu|cpu-parallel")
+	backendName := flag.String("backend", "gpu", "sorting backend: gpu|gpu-bitonic|cpu|cpu-parallel|samplesort|auto")
 	windowSize := flag.Int("window", 0, "sliding window size (0 = whole stream)")
 	keyed := flag.Bool("keyed", false, "keyed estimation: per-key quantiles over a zipf-keyed stream (uint64 keys)")
 	nkeys := flag.Int("keys", 0, "keyed: key-space cardinality (0 = n/1000+10)")
@@ -365,6 +365,14 @@ func printStats(all []gpustream.EstimatorStats) {
 		if st.Overlap > 0 || st.Stall > 0 || st.MaxInFlight > 0 {
 			fmt.Printf("  %-18s overlap=%v stall=%v maxInFlight=%d\n",
 				"", st.Overlap, st.Stall, st.MaxInFlight)
+		}
+		if es.Backend != "" {
+			fmt.Printf("  %-18s backend=%s window=%d\n", "", es.Backend, es.Window)
+		}
+		if es.Tuning != nil {
+			d := es.Tuning
+			fmt.Printf("  %-18s tuning: phase=%s selected=%s window=%d switches=%d\n",
+				"", d.Phase, d.Backend, d.Window, d.Switches)
 		}
 		if es.Keyed != nil {
 			k := es.Keyed

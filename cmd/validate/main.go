@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	validate [-n 200000] [-seed 1] [-backend gpu|gpu-bitonic|cpu|cpu-parallel]
+//	validate [-n 200000] [-seed 1] [-backend gpu|gpu-bitonic|cpu|cpu-parallel|samplesort|auto]
 package main
 
 import (
@@ -27,7 +27,7 @@ var failed bool
 func main() {
 	n := flag.Int("n", 200_000, "stream length per experiment")
 	seed := flag.Uint64("seed", 1, "generator seed")
-	backendName := flag.String("backend", "gpu", "sorting backend: gpu|gpu-bitonic|cpu|cpu-parallel")
+	backendName := flag.String("backend", "gpu", "sorting backend: gpu|gpu-bitonic|cpu|cpu-parallel|samplesort|auto")
 	flag.Parse()
 
 	backend, err := gpustream.ParseBackend(*backendName)

@@ -64,9 +64,10 @@ var (
 
 // ParseBackend resolves a backend name — as accepted by the cmd tools'
 // -backend flags — to a Backend. The canonical names are the Backend.String
-// forms ("gpu", "gpu-bitonic", "cpu", "cpu-parallel"); the legacy aliases
-// "bitonic" (for gpu-bitonic) and "cpu-ht" (the hyper-threaded analog,
-// cpu-parallel) are accepted too. Matching is case-insensitive.
+// forms ("gpu", "gpu-bitonic", "cpu", "cpu-parallel", "samplesort", "auto");
+// the legacy aliases "bitonic" (for gpu-bitonic), "cpu-ht" (the
+// hyper-threaded analog, cpu-parallel), and "sample" (samplesort) are
+// accepted too. Matching is case-insensitive.
 func ParseBackend(name string) (Backend, error) {
 	switch strings.ToLower(strings.TrimSpace(name)) {
 	case "gpu":
@@ -77,6 +78,10 @@ func ParseBackend(name string) (Backend, error) {
 		return BackendCPU, nil
 	case "cpu-parallel", "cpu-ht":
 		return BackendCPUParallel, nil
+	case "samplesort", "sample":
+		return BackendSampleSort, nil
+	case "auto":
+		return BackendAuto, nil
 	}
-	return 0, fmt.Errorf("gpustream: unknown backend %q (want gpu, gpu-bitonic, cpu, or cpu-parallel)", name)
+	return 0, fmt.Errorf("gpustream: unknown backend %q (want gpu, gpu-bitonic, cpu, cpu-parallel, samplesort, or auto)", name)
 }

@@ -46,7 +46,9 @@ package gpustream
 import (
 	"fmt"
 	"sync"
+	"time"
 
+	"gpustream/internal/adaptive"
 	"gpustream/internal/cpusort"
 	"gpustream/internal/frequency"
 	"gpustream/internal/frugal"
@@ -54,6 +56,7 @@ import (
 	"gpustream/internal/perfmodel"
 	"gpustream/internal/pipeline"
 	"gpustream/internal/quantile"
+	"gpustream/internal/samplesort"
 	"gpustream/internal/shard"
 	"gpustream/internal/sorter"
 	"gpustream/internal/summary"
@@ -82,14 +85,28 @@ const (
 	// BackendCPUParallel is a multi-threaded quicksort (the Intel
 	// hyper-threaded analog).
 	BackendCPUParallel
+	// BackendSampleSort is the deterministic CPU sample sort: splitter-based
+	// bucketing brings the comparator count to O(n log n), beating the
+	// simulated GPU's O(n log^2 n) sorting network on large windows.
+	BackendSampleSort
+	// BackendAuto starts every estimator pipeline on sample sort and
+	// attaches an adaptive controller that probes all five concrete
+	// backends at runtime, commits to the measured-cheapest one, and (for
+	// the whole-history families) hill-climbs the sort-window size. The
+	// controller only ever moves knobs at window boundaries, so every
+	// eps guarantee is preserved.
+	BackendAuto
 )
 
 // PipelineBackend maps the engine backend to the perfmodel's sort-costing
-// backend, for modeled-time reporting of instrumented pipelines.
+// backend, for modeled-time reporting of instrumented pipelines. BackendAuto
+// maps to the sample-sort cost model, its construction-time backend.
 func (b Backend) PipelineBackend() perfmodel.Backend {
 	switch b {
 	case BackendGPU, BackendGPUBitonic:
 		return perfmodel.BackendGPU
+	case BackendSampleSort, BackendAuto:
+		return perfmodel.BackendSampleSort
 	}
 	return perfmodel.BackendCPU
 }
@@ -105,6 +122,10 @@ func (b Backend) String() string {
 		return "cpu"
 	case BackendCPUParallel:
 		return "cpu-parallel"
+	case BackendSampleSort:
+		return "samplesort"
+	case BackendAuto:
+		return "auto"
 	}
 	return fmt.Sprintf("Backend(%d)", int(b))
 }
@@ -187,9 +208,41 @@ type EstimatorStats struct {
 	// "parallel-quantile", "frugal", or "keyed".
 	Kind  string
 	Stats Stats
+	// Backend is the canonical name of the sorting backend the estimator's
+	// pipeline is currently running — under BackendAuto this tracks the
+	// adaptive controller's live selection. Empty for sorter-less families
+	// (frugal, keyed frugal tiers).
+	Backend string
+	// Window is the pipeline's currently selected sort-window size in
+	// elements; zero for sorter-less families.
+	Window int
+	// Tuning carries the adaptive controller's externally visible state for
+	// estimators created under BackendAuto (for parallel families, shard
+	// 0's controller — all shards see statistically identical substreams);
+	// nil for pinned or static backends.
+	Tuning *TuningDecision
 	// Keyed carries tier occupancy for "keyed" estimators (per-tier key
 	// counts, promotion rate); nil for every other kind.
 	Keyed *KeyedTierStats
+}
+
+// TuningDecision is an adaptive controller's externally visible state: what
+// it has selected, which phase of the probe/climb/steady state machine it is
+// in, and its per-backend measurements. Surfaced through Engine.Stats,
+// streammine -stats, and cmd/streamd's /statsz.
+type TuningDecision struct {
+	// Backend is the committed (or currently probing) backend name.
+	Backend string `json:"backend"`
+	// Window is the controller's selected sort-window size.
+	Window int `json:"window"`
+	// Phase is "probe", "window", or "steady".
+	Phase string `json:"phase"`
+	// Switches counts backend swaps the controller has scheduled,
+	// including probe cycling.
+	Switches int `json:"switches"`
+	// NsPerValue holds the latest measured sort cost per value for every
+	// backend probed so far.
+	NsPerValue map[string]float64 `json:"ns_per_value,omitempty"`
 }
 
 // Engine binds a sorting backend to the stream-mining algorithms over
@@ -204,18 +257,46 @@ type Engine[T Value] struct {
 }
 
 // tracker is one registered estimator: its kind and closures reading its
-// live telemetry. keyed is non-nil only for keyed estimators, whose tier
-// occupancy rides along with the pipeline stats.
+// live telemetry. knobs/tuning are nil for sorter-less families and static
+// backends respectively; keyed is non-nil only for keyed estimators, whose
+// tier occupancy rides along with the pipeline stats.
 type tracker struct {
-	kind  string
-	stats func() Stats
-	keyed func() KeyedTierStats
+	kind   string
+	stats  func() Stats
+	knobs  func() (string, int)
+	tuning func() *TuningDecision
+	keyed  func() KeyedTierStats
 }
 
 // track registers an estimator's stats reader, in creation order.
 func (e *Engine[T]) track(kind string, fn func() Stats) {
 	e.mu.Lock()
 	e.trackers = append(e.trackers, tracker{kind: kind, stats: fn})
+	e.mu.Unlock()
+}
+
+// trackTuned registers a sorter-backed estimator's stats, live-knob, and
+// (when ctrl is non-nil) tuning-decision readers.
+func (e *Engine[T]) trackTuned(kind string, stats func() Stats, knobs func() (Sorter[T], int), ctrl *adaptive.Controller[T]) {
+	t := tracker{kind: kind, stats: stats}
+	t.knobs = func() (string, int) {
+		s, w := knobs()
+		return backendNameOf[T](s), w
+	}
+	if ctrl != nil {
+		t.tuning = func() *TuningDecision {
+			d := ctrl.Decision()
+			return &TuningDecision{
+				Backend:    d.Backend,
+				Window:     d.Window,
+				Phase:      d.Phase,
+				Switches:   d.Switches,
+				NsPerValue: d.NsPerValue,
+			}
+		}
+	}
+	e.mu.Lock()
+	e.trackers = append(e.trackers, t)
 	e.mu.Unlock()
 }
 
@@ -238,6 +319,12 @@ func (e *Engine[T]) Stats() []EstimatorStats {
 	out := make([]EstimatorStats, len(trackers))
 	for i, t := range trackers {
 		out[i] = EstimatorStats{Kind: t.kind, Stats: t.stats()}
+		if t.knobs != nil {
+			out[i].Backend, out[i].Window = t.knobs()
+		}
+		if t.tuning != nil {
+			out[i].Tuning = t.tuning()
+		}
 		if t.keyed != nil {
 			ks := t.keyed()
 			out[i].Keyed = &ks
@@ -263,7 +350,10 @@ func NewOf[T Value](backend Backend) *Engine[T] {
 // newBackendSorter constructs a fresh sorter instance for the given backend
 // at element type T. Parallel estimators call it once per shard: the GPU
 // simulator keeps per-sort state (LastStats), so sorter instances must
-// never be shared across goroutines.
+// never be shared across goroutines. BackendAuto constructs its sample-sort
+// starting point — the extension surfaces (HHH, correlated sum, sensor
+// trees, the DSMS executor) have no pipeline telemetry to tune against, so
+// under auto they simply run sample sort statically.
 func newBackendSorter[T Value](backend Backend) Sorter[T] {
 	switch backend {
 	case BackendGPU:
@@ -274,8 +364,63 @@ func newBackendSorter[T Value](backend Backend) Sorter[T] {
 		return cpusort.QuicksortSorter[T]{}
 	case BackendCPUParallel:
 		return cpusort.ParallelSorter[T]{}
+	case BackendSampleSort, BackendAuto:
+		return samplesort.NewSorter[T]()
 	}
 	panic(fmt.Sprintf("gpustream: unknown backend %v", backend))
+}
+
+// backendNameOf maps a live sorter instance back to its canonical backend
+// name, for telemetry (EstimatorStats.Backend, streammine -stats, /statsz).
+func backendNameOf[T Value](s Sorter[T]) string {
+	switch s.(type) {
+	case *gpusort.Sorter[T]:
+		return "gpu"
+	case *gpusort.BitonicSorter[T]:
+		return "gpu-bitonic"
+	case cpusort.QuicksortSorter[T]:
+		return "cpu"
+	case cpusort.ParallelSorter[T]:
+		return "cpu-parallel"
+	case *samplesort.Sorter[T]:
+		return "samplesort"
+	case nil:
+		return ""
+	}
+	return s.Name()
+}
+
+// autoCandidates is the adaptive controller's probe set: every concrete
+// backend, ordered at runtime by the perfmodel's closed-form prior for the
+// pipeline's current window size.
+func autoCandidates[T Value](m perfmodel.Model) []adaptive.Candidate[T] {
+	return []adaptive.Candidate[T]{
+		{
+			Backend: "gpu",
+			New:     func() Sorter[T] { return gpusort.NewSorter[T]() },
+			Modeled: func(n int) time.Duration { return m.PBSNSortTime(n).Total() },
+		},
+		{
+			Backend: "gpu-bitonic",
+			New:     func() Sorter[T] { return gpusort.NewBitonicSorter[T]() },
+			Modeled: func(n int) time.Duration { return m.BitonicSortTime(n).Total() },
+		},
+		{
+			Backend: "cpu",
+			New:     func() Sorter[T] { return cpusort.QuicksortSorter[T]{} },
+			Modeled: func(n int) time.Duration { return m.QuicksortTime(n, perfmodel.MSVC) },
+		},
+		{
+			Backend: "cpu-parallel",
+			New:     func() Sorter[T] { return cpusort.ParallelSorter[T]{} },
+			Modeled: func(n int) time.Duration { return m.QuicksortTime(n, perfmodel.IntelHT) },
+		},
+		{
+			Backend: "samplesort",
+			New:     func() Sorter[T] { return samplesort.NewSorter[T]() },
+			Modeled: m.SampleSortTime,
+		},
+	}
 }
 
 // newBackendSorter is the engine-bound form of the package-level helper.
@@ -291,13 +436,27 @@ func WithBatchSize(n int) ParallelOption { return shard.WithBatchSize(n) }
 // stay bit-identical to synchronous shards.
 func WithAsyncShards() ParallelOption { return shard.WithAsync() }
 
+// WithShardSortWindow overrides the per-shard sort-window size of a parallel
+// estimator, the sharded counterpart of WithSortWindow. Values below the
+// per-shard eps floor are clamped up.
+func WithShardSortWindow(n int) ParallelOption { return shard.WithWindow(n) }
+
+// WithPinnedShardTuning installs a do-nothing tuner on every shard pipeline
+// of a parallel estimator — the sharded counterpart of WithPinnedTuning. T
+// must match the engine's element type.
+func WithPinnedShardTuning[T Value]() ParallelOption {
+	return shard.WithTunerFactory(func() pipeline.Tuner[T] { return adaptive.Pinned[T]() })
+}
+
 // EstimatorOption configures a serial estimator constructor
 // (NewFrequencyEstimator, NewQuantileEstimator, NewSlidingFrequency,
 // NewSlidingQuantile).
 type EstimatorOption func(*estimatorConfig)
 
 type estimatorConfig struct {
-	async bool
+	async  bool
+	window int
+	pinned bool
 }
 
 // WithAsyncIngestion enables staged asynchronous ingestion — the paper's
@@ -309,12 +468,57 @@ type estimatorConfig struct {
 // Stats.Overlap reports the measured co-processing time.
 func WithAsyncIngestion() EstimatorOption { return func(c *estimatorConfig) { c.async = true } }
 
+// WithSortWindow overrides the whole-history families' sort-window size in
+// elements. Values below a family's eps floor are clamped up by the
+// estimator; the sliding families ignore it (their pane size is the query
+// parameter w, part of the answer's semantics, not a tuning knob). Under
+// BackendAuto this sets the adaptive controller's minimum window.
+func WithSortWindow(n int) EstimatorOption {
+	if n <= 0 {
+		panic("gpustream: sort window must be positive")
+	}
+	return func(c *estimatorConfig) { c.window = n }
+}
+
+// WithPinnedTuning installs a do-nothing tuner on the estimator's pipeline:
+// the retune hook runs at every window boundary but never moves a knob, so
+// answers are bit-identical to the same backend with no tuner at all. Under
+// BackendAuto this pins the pipeline to its sample-sort starting point —
+// the harness for the bit-identity tests, and an escape hatch when adaptive
+// behavior is unwanted on one estimator of an auto engine.
+func WithPinnedTuning() EstimatorOption {
+	return func(c *estimatorConfig) { c.pinned = true }
+}
+
 func parseEstimatorOptions(opts []EstimatorOption) estimatorConfig {
 	var cfg estimatorConfig
 	for _, o := range opts {
 		o(&cfg)
 	}
 	return cfg
+}
+
+// tunable is the SetTuner surface every sorter-backed estimator family
+// exposes.
+type tunable[T Value] interface {
+	SetTuner(pipeline.Tuner[T])
+}
+
+// attachTuner wires the estimator's pipeline to an adaptive controller
+// (BackendAuto), a pinned tuner (WithPinnedTuning), or nothing (static
+// backends). It returns the controller when one was attached, for telemetry
+// registration. tuneWindow gates the controller's window hill-climb — off
+// for the sliding families, whose pane size is query semantics.
+func (e *Engine[T]) attachTuner(est tunable[T], cfg estimatorConfig, tuneWindow bool) *adaptive.Controller[T] {
+	switch {
+	case cfg.pinned:
+		est.SetTuner(adaptive.Pinned[T]())
+	case e.backend == BackendAuto:
+		ctrl := adaptive.New(autoCandidates[T](e.model), adaptive.Config{TuneWindow: tuneWindow, ProbeFirst: "samplesort"})
+		est.SetTuner(ctrl)
+		return ctrl
+	}
+	return nil
 }
 
 // Backend reports the engine's configured backend.
@@ -357,12 +561,17 @@ func (e *Engine[T]) LastSortBreakdown() (SortBreakdown, bool) {
 // also keeps Engine.Sort's LastSortBreakdown isolated from estimator
 // ingestion.
 func (e *Engine[T]) NewFrequencyEstimator(eps float64, opts ...EstimatorOption) *FrequencyEstimator[T] {
+	cfg := parseEstimatorOptions(opts)
 	var fopts []frequency.Option
-	if parseEstimatorOptions(opts).async {
+	if cfg.async {
 		fopts = append(fopts, frequency.WithAsync())
 	}
+	if cfg.window > 0 {
+		fopts = append(fopts, frequency.WithWindow(cfg.window))
+	}
 	est := frequency.NewEstimator(eps, e.newBackendSorter(), fopts...)
-	e.track("frequency", est.Stats)
+	ctrl := e.attachTuner(est, cfg, true)
+	e.trackTuned("frequency", est.Stats, est.Knobs, ctrl)
 	return est
 }
 
@@ -370,12 +579,17 @@ func (e *Engine[T]) NewFrequencyEstimator(eps float64, opts ...EstimatorOption) 
 // streams of up to capacity elements (capacity <= 0 picks a generous
 // default), backed by this engine's sorter.
 func (e *Engine[T]) NewQuantileEstimator(eps float64, capacity int64, opts ...EstimatorOption) *QuantileEstimator[T] {
+	cfg := parseEstimatorOptions(opts)
 	var qopts []quantile.Option
-	if parseEstimatorOptions(opts).async {
+	if cfg.async {
 		qopts = append(qopts, quantile.WithAsync())
 	}
+	if cfg.window > 0 {
+		qopts = append(qopts, quantile.WithWindow(cfg.window))
+	}
 	est := quantile.NewEstimator(eps, capacity, e.newBackendSorter(), qopts...)
-	e.track("quantile", est.Stats)
+	ctrl := e.attachTuner(est, cfg, true)
+	e.trackTuned("quantile", est.Stats, est.Knobs, ctrl)
 	return est
 }
 
@@ -387,8 +601,9 @@ func (e *Engine[T]) NewQuantileEstimator(eps float64, capacity int64, opts ...Es
 // shard the output is bit-identical to NewQuantileEstimator. Call Flush to
 // make buffered values queryable and Close when ingestion ends.
 func (e *Engine[T]) NewParallelQuantileEstimator(eps float64, capacity int64, shards int, opts ...ParallelOption) *ParallelQuantileEstimator[T] {
+	opts, ctrl := e.shardTuning(opts)
 	est := shard.NewQuantile(eps, capacity, shards, e.newBackendSorter, opts...)
-	e.track("parallel-quantile", est.Stats)
+	e.trackTuned("parallel-quantile", est.Stats, est.Knobs, ctrl())
 	return est
 }
 
@@ -400,32 +615,60 @@ func (e *Engine[T]) NewParallelQuantileEstimator(eps float64, capacity int64, sh
 // no-false-negative guarantee; with one shard the output is bit-identical
 // to NewFrequencyEstimator.
 func (e *Engine[T]) NewParallelFrequencyEstimator(eps float64, shards int, opts ...ParallelOption) *ParallelFrequencyEstimator[T] {
+	opts, ctrl := e.shardTuning(opts)
 	est := shard.NewFrequency(eps, shards, e.newBackendSorter, opts...)
-	e.track("parallel-frequency", est.Stats)
+	e.trackTuned("parallel-frequency", est.Stats, est.Knobs, ctrl())
 	return est
+}
+
+// shardTuning prepends the engine's adaptive tuner factory to the parallel
+// options under BackendAuto (prepended, so caller-supplied factories — e.g.
+// WithPinnedShardTuning — still win), and returns a getter for shard 0's
+// controller, valid once the sharded constructor has run the factory.
+func (e *Engine[T]) shardTuning(opts []ParallelOption) ([]ParallelOption, func() *adaptive.Controller[T]) {
+	if e.backend != BackendAuto {
+		return opts, func() *adaptive.Controller[T] { return nil }
+	}
+	var ctrls []*adaptive.Controller[T]
+	factory := func() pipeline.Tuner[T] {
+		c := adaptive.New(autoCandidates[T](e.model), adaptive.Config{TuneWindow: true, ProbeFirst: "samplesort"})
+		ctrls = append(ctrls, c)
+		return c
+	}
+	opts = append([]ParallelOption{shard.WithTunerFactory(factory)}, opts...)
+	return opts, func() *adaptive.Controller[T] {
+		if len(ctrls) == 0 {
+			return nil
+		}
+		return ctrls[0]
+	}
 }
 
 // NewSlidingFrequency returns an eps-approximate frequency estimator over
 // sliding windows of w elements, backed by this engine's sorter.
 func (e *Engine[T]) NewSlidingFrequency(eps float64, w int, opts ...EstimatorOption) *SlidingFrequency[T] {
+	cfg := parseEstimatorOptions(opts)
 	var wopts []window.Option
-	if parseEstimatorOptions(opts).async {
+	if cfg.async {
 		wopts = append(wopts, window.WithAsync())
 	}
 	est := window.NewSlidingFrequency(eps, w, e.newBackendSorter(), wopts...)
-	e.track("sliding-frequency", est.Stats)
+	ctrl := e.attachTuner(est, cfg, false)
+	e.trackTuned("sliding-frequency", est.Stats, est.Knobs, ctrl)
 	return est
 }
 
 // NewSlidingQuantile returns an eps-approximate quantile estimator over
 // sliding windows of w elements, backed by this engine's sorter.
 func (e *Engine[T]) NewSlidingQuantile(eps float64, w int, opts ...EstimatorOption) *SlidingQuantile[T] {
+	cfg := parseEstimatorOptions(opts)
 	var wopts []window.Option
-	if parseEstimatorOptions(opts).async {
+	if cfg.async {
 		wopts = append(wopts, window.WithAsync())
 	}
 	est := window.NewSlidingQuantile(eps, w, e.newBackendSorter(), wopts...)
-	e.track("sliding-quantile", est.Stats)
+	ctrl := e.attachTuner(est, cfg, false)
+	e.trackTuned("sliding-quantile", est.Stats, est.Knobs, ctrl)
 	return est
 }
 

@@ -1,0 +1,442 @@
+// Package adaptive implements the runtime controller that owns a staged
+// pipeline's execution knobs: which sorting backend sorts the windows, and
+// how long the windows are. The paper fixes both at configuration time and
+// shows the best choice depends on the window length (the CPU/GPU crossover
+// of Section 6 sits near n≈16K on the 2004 testbed); the controller makes
+// the choice live, per estimator, from the same pipeline.Stats telemetry
+// the perfmodel consumes — measured sort nanoseconds per sorted value.
+//
+// The controller is a pipeline.Tuner: the core calls Retune under its lock
+// after every merged window, and the controller answers with the knobs for
+// subsequent windows. It is passive — it owns no goroutines and never
+// calls back into the core — so attaching one adds no lifecycle.
+//
+// State machine (see DESIGN.md §15):
+//
+//	probe  — cycle through every candidate backend for ProbeWindows
+//	         windows each, measuring ns/value; Config.ProbeFirst (the
+//	         construction backend) is measured first, then the rest in
+//	         ascending order of their closed-form prior at the current
+//	         window. Each burst is reduced to its lower median — one GC
+//	         pause or stale async window cannot mis-rank close candidates
+//	         — and a candidate measuring more than abortFactor times the
+//	         round's best is cut off after a single window. Then commit
+//	         to the measured argmin.
+//	window — with the committed backend, hill-climb the window size:
+//	         double it while the measured ns/value improves by more than
+//	         the hysteresis margin, then try one halving step below the
+//	         start; bounded by [MinWindow, MaxWindow]. Skipped when
+//	         Config.TuneWindow is false (sliding families: the pane size
+//	         is query semantics, not an execution knob).
+//	steady — hold the choice, maintaining an EWMA of ns/value. If the
+//	         EWMA degrades past ReprobeFactor times the committed
+//	         measurement, re-enter probe (the stream's distribution or
+//	         the host changed).
+//
+// Correctness is the pipeline's problem, not the controller's, by
+// construction: every schedule the controller emits keeps windows at or
+// above MinWindow — the construction-time window of the estimator, i.e.
+// the family's eps floor — and window-boundary knob changes preserve the
+// "every value passes through exactly one sorted window" invariant the
+// families' error budgets rest on.
+package adaptive
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"gpustream/internal/pipeline"
+	"gpustream/internal/sorter"
+)
+
+// Candidate is one backend the controller may select. Each estimator needs
+// its own Candidate set: the sorter built by New is owned by that
+// estimator's pipeline and must not be shared.
+type Candidate[T sorter.Value] struct {
+	// Backend is the canonical backend name ("gpu", "samplesort", ...).
+	Backend string
+	// New builds the candidate's sorter, called at most once per
+	// controller when the candidate is first probed.
+	New func() sorter.Sorter[T]
+	// Modeled is the closed-form prior: the predicted wall clock of one
+	// n-value window sort on the modeled testbed. It orders the probe
+	// phase; nil candidates probe last.
+	Modeled func(n int) time.Duration
+}
+
+// Config tunes the controller.
+type Config struct {
+	// MinWindow is the smallest window the controller will ever schedule
+	// and the floor the estimator's eps guarantee requires. Zero adopts
+	// the window observed at the first Retune — the estimator's
+	// construction window — which is what the engine uses.
+	MinWindow int
+	// MaxWindow bounds window growth; zero selects 64*MinWindow.
+	MaxWindow int
+	// TuneWindow enables the window hill-climb phase. Off, the controller
+	// adapts the backend only (the sliding families).
+	TuneWindow bool
+	// ProbeWindows is how many windows each candidate is measured for in
+	// the probe phase and each hill-climb trial; default 4.
+	ProbeWindows int
+	// ProbeFirst names the backend probed before the modeled order, when it
+	// is among the candidates. The engine passes its construction backend:
+	// measuring the incumbent first gives the early-abort check a reference,
+	// so expensive candidates are cut off after a single window instead of
+	// a full burst, and a stream too short to finish probing has already
+	// been running the backend it was built with.
+	ProbeFirst string
+	// SettleWindows is how many steady-state windows pass between
+	// regression checks; default 64.
+	SettleWindows int
+	// ReprobeFactor is the steady-state degradation that triggers a
+	// re-probe, as a multiple of the committed measurement; default 1.5.
+	ReprobeFactor float64
+}
+
+func (c *Config) defaults() {
+	if c.ProbeWindows <= 0 {
+		c.ProbeWindows = 4
+	}
+	if c.SettleWindows <= 0 {
+		c.SettleWindows = 64
+	}
+	if c.ReprobeFactor <= 1 {
+		c.ReprobeFactor = 1.5
+	}
+}
+
+// Phase names, as exposed in Decision.
+const (
+	PhaseProbe  = "probe"
+	PhaseWindow = "window"
+	PhaseSteady = "steady"
+)
+
+// Decision is the controller's externally visible state, surfaced through
+// engine stats, streammine -stats and the service's /statsz.
+type Decision struct {
+	Backend  string `json:"backend"`
+	Window   int    `json:"window"`
+	Phase    string `json:"phase"`
+	Switches int    `json:"switches"`
+	// NsPerValue holds the latest measured sort cost per value for every
+	// backend that has been probed so far.
+	NsPerValue map[string]float64 `json:"ns_per_value,omitempty"`
+}
+
+// Controller implements pipeline.Tuner. One Controller serves exactly one
+// pipeline; Decision is safe to call concurrently with Retune.
+type Controller[T sorter.Value] struct {
+	mu    sync.Mutex
+	cands []Candidate[T]
+	cfg   Config
+
+	sorters  []sorter.Sorter[T] // lazily built, index-aligned with cands
+	ns       []float64          // latest measured ns/value per candidate, 0 = unmeasured
+	cur      int                // candidate currently sorting windows
+	window   int                // window currently scheduled
+	phase    string
+	started  bool // first Retune seen, MinWindow adopted
+	switches int
+
+	// Retune reads cumulative Stats; deltas against the previous call give
+	// the per-window measurement.
+	lastSort   time.Duration
+	lastValues int64
+
+	// Measurement burst for the current probe step or window trial.
+	samples    []float64 // per-window ns/value of the current burst
+	skipLeft   int       // windows to discard before sampling (async staleness)
+	skip       int       // windows discarded after every knob switch
+	roundBest  float64   // best statistic completed in the current probe round
+	probeOrder []int // candidate indexes in probe order
+	probeAt    int   // position in probeOrder being measured
+
+	// Window hill-climb state.
+	dir       int     // +1 doubling, -1 halving
+	baseNs    float64 // ns/value at the accepted window
+	prevWin   int     // window to revert to if the trial regresses
+	steadyWin int     // windows since the last steady-state check
+	steadyNs  float64 // EWMA of ns/value in steady state
+}
+
+// New returns a controller choosing among cands. cands must be non-empty;
+// one controller per estimator pipeline.
+func New[T sorter.Value](cands []Candidate[T], cfg Config) *Controller[T] {
+	if len(cands) == 0 {
+		panic("adaptive: no candidates")
+	}
+	cfg.defaults()
+	return &Controller[T]{
+		cands:   cands,
+		cfg:     cfg,
+		sorters: make([]sorter.Sorter[T], len(cands)),
+		ns:      make([]float64, len(cands)),
+		phase:   PhaseProbe,
+	}
+}
+
+// sorterFor lazily builds candidate i's sorter.
+func (c *Controller[T]) sorterFor(i int) sorter.Sorter[T] {
+	if c.sorters[i] == nil {
+		c.sorters[i] = c.cands[i].New()
+	}
+	return c.sorters[i]
+}
+
+// start adopts the pipeline's construction knobs and orders the probe by
+// the closed-form prior at the adopted window.
+func (c *Controller[T]) start(cur pipeline.Knobs[T]) {
+	if c.cfg.MinWindow <= 0 {
+		c.cfg.MinWindow = cur.Window
+	}
+	if c.cfg.MaxWindow <= 0 {
+		c.cfg.MaxWindow = 64 * c.cfg.MinWindow
+	}
+	c.window = cur.Window
+	if c.window < c.cfg.MinWindow {
+		c.window = c.cfg.MinWindow
+	}
+	c.probeOrder = make([]int, len(c.cands))
+	for i := range c.probeOrder {
+		c.probeOrder[i] = i
+	}
+	w := c.window
+	sort.SliceStable(c.probeOrder, func(a, b int) bool {
+		ca, cb := c.cands[c.probeOrder[a]], c.cands[c.probeOrder[b]]
+		if pf := c.cfg.ProbeFirst; pf != "" && ca.Backend != cb.Backend {
+			if ca.Backend == pf {
+				return true
+			}
+			if cb.Backend == pf {
+				return false
+			}
+		}
+		if ca.Modeled == nil {
+			return false
+		}
+		if cb.Modeled == nil {
+			return true
+		}
+		return ca.Modeled(w) < cb.Modeled(w)
+	})
+	c.probeAt = 0
+	c.cur = c.probeOrder[0]
+	c.started = true
+	c.resetBurst()
+}
+
+// Retune implements pipeline.Tuner. It runs under the core lock.
+func (c *Controller[T]) Retune(st pipeline.Stats, cur pipeline.Knobs[T]) (pipeline.Knobs[T], bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+
+	dSort := st.Sort - c.lastSort
+	dVals := st.SortedValues - c.lastValues
+	c.lastSort, c.lastValues = st.Sort, st.SortedValues
+
+	// On an async pipeline (MaxInFlight > 0 from the first window) up to
+	// two windows sorted under the previous knobs may still be in flight
+	// when a switch lands, so their sort time would be attributed to the
+	// new choice. Discard that many windows after every switch.
+	if st.MaxInFlight > 0 && c.skip == 0 {
+		c.skip = 2
+	}
+
+	if !c.started {
+		c.start(cur)
+		// The construction sorter is not necessarily a candidate's
+		// instance; switch to the first probe candidate immediately.
+		return c.knobs(), true
+	}
+	if dVals <= 0 {
+		return pipeline.Knobs[T]{}, false
+	}
+	perValue := float64(dSort.Nanoseconds()) / float64(dVals)
+
+	switch c.phase {
+	case PhaseProbe:
+		return c.probeStep(perValue)
+	case PhaseWindow:
+		return c.windowStep(perValue)
+	default:
+		return c.steadyStep(perValue)
+	}
+}
+
+// knobs materializes the controller's current choice.
+func (c *Controller[T]) knobs() pipeline.Knobs[T] {
+	return pipeline.Knobs[T]{Sorter: c.sorterFor(c.cur), Window: c.window}
+}
+
+// burst accumulates one window's measurement, honoring the post-switch
+// skip, and reports whether the burst holds a full ProbeWindows samples.
+func (c *Controller[T]) burst(perValue float64) bool {
+	if c.skipLeft > 0 {
+		c.skipLeft--
+		return false
+	}
+	c.samples = append(c.samples, perValue)
+	return len(c.samples) >= c.cfg.ProbeWindows
+}
+
+// statistic reduces the burst to one number: the lower median. One GC
+// pause, scheduler preemption, or (async) stale window in a burst cannot
+// move it, unlike the mean — a single inflated sample at a 50µs window
+// scale is enough to mis-rank two close candidates.
+func (c *Controller[T]) statistic() float64 {
+	s := append([]float64(nil), c.samples...)
+	sort.Float64s(s)
+	return s[(len(s)-1)/2]
+}
+
+func (c *Controller[T]) resetBurst() { c.samples, c.skipLeft = c.samples[:0], c.skip }
+
+// abortFactor is the measured slowdown versus the best candidate completed
+// this round at which a probe burst stops early: a backend this far behind
+// cannot win, so there is no point paying its full burst (the simulated
+// GPU backends cost ~10x the host sorters per window).
+const abortFactor = 3.0
+
+func (c *Controller[T]) probeStep(perValue float64) (pipeline.Knobs[T], bool) {
+	full := c.burst(perValue)
+	if !full && (len(c.samples) == 0 || c.roundBest == 0 || perValue <= abortFactor*c.roundBest) {
+		return pipeline.Knobs[T]{}, false
+	}
+	stat := c.statistic()
+	c.ns[c.cur] = stat
+	if c.roundBest == 0 || stat < c.roundBest {
+		c.roundBest = stat
+	}
+	c.resetBurst()
+	if c.probeAt++; c.probeAt < len(c.probeOrder) {
+		c.cur = c.probeOrder[c.probeAt]
+		c.switches++
+		return c.knobs(), true
+	}
+	// Probe complete: commit to the measured argmin.
+	best := c.probeOrder[0]
+	for _, i := range c.probeOrder {
+		if c.ns[i] > 0 && (c.ns[best] == 0 || c.ns[i] < c.ns[best]) {
+			best = i
+		}
+	}
+	if best != c.cur {
+		c.switches++
+	}
+	c.cur = best
+	c.baseNs = c.ns[best]
+	c.steadyNs = c.baseNs
+	if c.cfg.TuneWindow && c.window*2 <= c.cfg.MaxWindow {
+		c.phase = PhaseWindow
+		c.dir = +1
+		c.prevWin = c.window
+		c.window *= 2
+	} else {
+		c.phase = PhaseSteady
+	}
+	return c.knobs(), true
+}
+
+// hysteresis is the relative improvement a window trial must show to be
+// accepted; it keeps the hill-climb from chasing measurement noise.
+const hysteresis = 0.02
+
+func (c *Controller[T]) windowStep(perValue float64) (pipeline.Knobs[T], bool) {
+	if !c.burst(perValue) {
+		return pipeline.Knobs[T]{}, false
+	}
+	trialNs := c.statistic()
+	c.resetBurst()
+	if trialNs < c.baseNs*(1-hysteresis) {
+		// Accept and keep climbing in the same direction.
+		c.baseNs = trialNs
+		c.steadyNs = trialNs
+		next := c.window * 2
+		if c.dir < 0 {
+			next = c.window / 2
+		}
+		if next >= c.cfg.MinWindow && next <= c.cfg.MaxWindow {
+			c.prevWin = c.window
+			c.window = next
+			return c.knobs(), true
+		}
+		c.phase = PhaseSteady
+		return pipeline.Knobs[T]{}, false
+	}
+	// Trial regressed: revert, and if we were growing, try one halving
+	// step below the accepted window before settling.
+	c.window = c.prevWin
+	if c.dir > 0 && c.window/2 >= c.cfg.MinWindow {
+		c.dir = -1
+		c.prevWin = c.window
+		c.window /= 2
+		return c.knobs(), true
+	}
+	c.phase = PhaseSteady
+	return c.knobs(), true
+}
+
+func (c *Controller[T]) steadyStep(perValue float64) (pipeline.Knobs[T], bool) {
+	// EWMA with alpha 0.2: smooth enough to ride out one slow window,
+	// responsive enough to notice a regime change within tens of windows.
+	c.steadyNs = 0.8*c.steadyNs + 0.2*perValue
+	c.ns[c.cur] = c.steadyNs
+	if c.steadyWin++; c.steadyWin < c.cfg.SettleWindows {
+		return pipeline.Knobs[T]{}, false
+	}
+	c.steadyWin = 0
+	if c.baseNs > 0 && c.steadyNs > c.cfg.ReprobeFactor*c.baseNs {
+		// The committed choice degraded: measure the field again.
+		c.phase = PhaseProbe
+		c.probeAt = 0
+		c.cur = c.probeOrder[0]
+		c.switches++
+		c.roundBest = 0
+		c.resetBurst()
+		return c.knobs(), true
+	}
+	return pipeline.Knobs[T]{}, false
+}
+
+// Decision reports the controller's current choice. Safe for concurrent
+// use with Retune.
+func (c *Controller[T]) Decision() Decision {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	d := Decision{
+		Backend:  c.cands[c.cur].Backend,
+		Window:   c.window,
+		Phase:    c.phase,
+		Switches: c.switches,
+	}
+	if !c.started {
+		d.Phase = PhaseProbe
+	}
+	for i, n := range c.ns {
+		if n > 0 {
+			if d.NsPerValue == nil {
+				d.NsPerValue = make(map[string]float64, len(c.ns))
+			}
+			d.NsPerValue[c.cands[i].Backend] = n
+		}
+	}
+	return d
+}
+
+// pinned is the do-nothing tuner: it exercises the whole retune call path
+// but never changes a knob, so a pinned run is bit-identical to the static
+// configuration it was constructed with.
+type pinned[T sorter.Value] struct{}
+
+func (pinned[T]) Retune(pipeline.Stats, pipeline.Knobs[T]) (pipeline.Knobs[T], bool) {
+	return pipeline.Knobs[T]{}, false
+}
+
+// Pinned returns a tuner that never switches anything — the bit-identity
+// baseline the test suite compares controller-driven runs against.
+func Pinned[T sorter.Value]() pipeline.Tuner[T] { return pinned[T]{} }
+
+var _ pipeline.Tuner[float32] = (*Controller[float32])(nil)

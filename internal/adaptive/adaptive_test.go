@@ -1,0 +1,181 @@
+package adaptive
+
+import (
+	"testing"
+	"time"
+
+	"gpustream/internal/pipeline"
+	"gpustream/internal/sorter"
+)
+
+// simCandidates builds three named do-nothing candidates whose Modeled
+// priors deliberately disagree with the measured costs the simulator will
+// report, so a passing probe proves measurement beats the prior.
+func simCandidates() []Candidate[float32] {
+	mk := func(name string, modeledNsPerValue float64) Candidate[float32] {
+		return Candidate[float32]{
+			Backend: name,
+			New: func() sorter.Sorter[float32] {
+				return sorter.Func[float32]{SortFunc: func([]float32) {}, Label: name}
+			},
+			Modeled: func(n int) time.Duration {
+				return time.Duration(modeledNsPerValue * float64(n))
+			},
+		}
+	}
+	// Prior claims gpu is cheapest; the simulated measurements below say
+	// samplesort is.
+	return []Candidate[float32]{mk("gpu", 10), mk("cpu", 50), mk("samplesort", 30)}
+}
+
+// simulate drives windows through the controller: cost(name, w) is the
+// simulated sort cost in ns/value when backend name sorts windows of w.
+// It returns the final knobs and the smallest window ever scheduled.
+func simulate(ctrl *Controller[float32], cost func(name string, w int) float64, windows int, startWindow int) (pipeline.Knobs[float32], int) {
+	cur := pipeline.Knobs[float32]{
+		Sorter: sorter.Func[float32]{SortFunc: func([]float32) {}, Label: "static"},
+		Window: startWindow,
+	}
+	minSeen := startWindow
+	var st pipeline.Stats
+	for i := 0; i < windows; i++ {
+		per := cost(cur.Sorter.Name(), cur.Window)
+		st.Windows++
+		st.SortedValues += int64(cur.Window)
+		st.Sort += time.Duration(per * float64(cur.Window))
+		if next, ok := ctrl.Retune(st, cur); ok {
+			if next.Sorter != nil {
+				cur.Sorter = next.Sorter
+			}
+			if next.Window > 0 {
+				cur.Window = next.Window
+			}
+		}
+		if cur.Window < minSeen {
+			minSeen = cur.Window
+		}
+	}
+	return cur, minSeen
+}
+
+func flatCost(base map[string]float64) func(string, int) float64 {
+	return func(name string, _ int) float64 {
+		if c, ok := base[name]; ok {
+			return c
+		}
+		return 100
+	}
+}
+
+func TestProbeCommitsToMeasuredArgmin(t *testing.T) {
+	ctrl := New(simCandidates(), Config{})
+	cost := flatCost(map[string]float64{"gpu": 100, "cpu": 60, "samplesort": 30})
+	cur, _ := simulate(ctrl, cost, 60, 1000)
+	if cur.Sorter.Name() != "samplesort" {
+		t.Fatalf("committed to %q, want samplesort (the measured argmin)", cur.Sorter.Name())
+	}
+	d := ctrl.Decision()
+	if d.Backend != "samplesort" {
+		t.Fatalf("Decision().Backend = %q", d.Backend)
+	}
+	if d.Phase == PhaseProbe {
+		t.Fatalf("still probing after 60 windows")
+	}
+	if len(d.NsPerValue) != 3 {
+		t.Fatalf("NsPerValue covers %d backends, want 3: %v", len(d.NsPerValue), d.NsPerValue)
+	}
+	if d.NsPerValue["gpu"] <= d.NsPerValue["samplesort"] {
+		t.Fatalf("measured costs inverted: %v", d.NsPerValue)
+	}
+}
+
+func TestProbeOrderFollowsModeledPrior(t *testing.T) {
+	ctrl := New(simCandidates(), Config{})
+	// One Retune call performs adoption and switches to the first probe
+	// candidate, which must be the modeled-cheapest one (gpu in the sim).
+	cur := pipeline.Knobs[float32]{Sorter: sorter.Func[float32]{Label: "static"}, Window: 500}
+	next, ok := ctrl.Retune(pipeline.Stats{}, cur)
+	if !ok || next.Sorter.Name() != "gpu" {
+		t.Fatalf("first probe candidate = %v (ok=%v), want the modeled-best gpu", next.Sorter, ok)
+	}
+}
+
+func TestWindowHillClimbGrowsWhenBiggerIsFaster(t *testing.T) {
+	ctrl := New(simCandidates(), Config{TuneWindow: true})
+	// Per-value cost falls with the window (amortized fixed overhead), so
+	// the climb should run all the way to MaxWindow = 64*start.
+	cost := func(name string, w int) float64 {
+		base := flatCost(map[string]float64{"gpu": 100, "cpu": 60, "samplesort": 30})(name, w)
+		return base * (1 + 200/float64(w))
+	}
+	cur, minSeen := simulate(ctrl, cost, 400, 100)
+	if cur.Window != 6400 {
+		t.Fatalf("final window %d, want MaxWindow 6400", cur.Window)
+	}
+	if minSeen < 100 {
+		t.Fatalf("scheduled a window of %d below MinWindow 100", minSeen)
+	}
+	if d := ctrl.Decision(); d.Phase != PhaseSteady {
+		t.Fatalf("phase %q after the climb, want steady", d.Phase)
+	}
+}
+
+func TestWindowHillClimbRespectsMinWindow(t *testing.T) {
+	ctrl := New(simCandidates(), Config{TuneWindow: true})
+	// Per-value cost grows with the window, so every trial regresses; the
+	// controller must settle back at the construction window and never
+	// schedule below it.
+	cost := func(name string, w int) float64 {
+		base := flatCost(map[string]float64{"gpu": 100, "cpu": 60, "samplesort": 30})(name, w)
+		return base * (1 + float64(w)/500)
+	}
+	cur, minSeen := simulate(ctrl, cost, 200, 100)
+	if cur.Window != 100 {
+		t.Fatalf("final window %d, want the construction window 100", cur.Window)
+	}
+	if minSeen < 100 {
+		t.Fatalf("scheduled a window of %d below MinWindow 100", minSeen)
+	}
+}
+
+func TestSteadyStateReprobesOnRegression(t *testing.T) {
+	ctrl := New(simCandidates(), Config{SettleWindows: 8})
+	// samplesort is cheapest until window 80, then becomes pathological;
+	// the controller must re-probe and land on cpu.
+	win := 0
+	cost := func(name string, w int) float64 {
+		win++
+		c := flatCost(map[string]float64{"gpu": 100, "cpu": 60, "samplesort": 30})(name, w)
+		if name == "samplesort" && win > 80 {
+			c = 500
+		}
+		return c
+	}
+	cur, _ := simulate(ctrl, cost, 400, 1000)
+	if got := cur.Sorter.Name(); got != "cpu" {
+		t.Fatalf("after regime change the controller runs %q, want cpu", got)
+	}
+	if d := ctrl.Decision(); d.Switches < 4 {
+		t.Fatalf("expected at least the probe switches plus a re-probe, got %d", d.Switches)
+	}
+}
+
+func TestPinnedNeverChangesKnobs(t *testing.T) {
+	p := Pinned[float32]()
+	cur := pipeline.Knobs[float32]{Sorter: sorter.Func[float32]{Label: "x"}, Window: 123}
+	for i := 0; i < 10; i++ {
+		st := pipeline.Stats{Windows: int64(i), SortedValues: int64(100 * i), Sort: time.Duration(i) * time.Millisecond}
+		if next, ok := p.Retune(st, cur); ok || next.Sorter != nil || next.Window != 0 {
+			t.Fatalf("pinned tuner changed knobs: %+v ok=%v", next, ok)
+		}
+	}
+}
+
+func TestTuneWindowOffKeepsWindowFixed(t *testing.T) {
+	ctrl := New(simCandidates(), Config{TuneWindow: false})
+	cost := flatCost(map[string]float64{"gpu": 100, "cpu": 60, "samplesort": 30})
+	cur, minSeen := simulate(ctrl, cost, 300, 250)
+	if cur.Window != 250 || minSeen != 250 {
+		t.Fatalf("window moved with TuneWindow off: final %d min %d", cur.Window, minSeen)
+	}
+}

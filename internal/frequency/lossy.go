@@ -45,11 +45,18 @@ type entry[T sorter.Value] struct {
 // concurrently; queries flush the partial window and answer over a
 // consistent summary state.
 type Estimator[T sorter.Value] struct {
-	eps    float64
-	core   *pipeline.Core[T]
-	sorter sorter.Sorter[T]
-	n      int64 // elements folded into the summary (excludes buffered)
-	bucket int64
+	eps  float64
+	core *pipeline.Core[T]
+	n    int64 // elements folded into the summary (excludes buffered)
+	// maxBucket is the highest completed-bucket index observed so far,
+	// max over merges of floor(n/w) at the then-current window size w.
+	// With a static window floor(n/w) is monotone in n and maxBucket is
+	// exactly the classic bucket index, bit-identical to lossy counting;
+	// under a dynamic schedule a window *growth* makes floor(n/w) dip, and
+	// taking the running max keeps both the new-entry delta and the
+	// compress threshold valid bounds (every window is >= ceil(1/eps), so
+	// at most eps*n buckets ever complete).
+	maxBucket int64
 	// entries and scratch swap roles every window so the merge pass writes
 	// into recycled storage; bins is the reusable histogram scratch. shared
 	// marks entries as aliased by a Snapshot: the next swap then abandons
@@ -64,13 +71,19 @@ type Estimator[T sorter.Value] struct {
 type Option func(*config)
 
 type config struct {
-	async bool
+	async  bool
+	window int
 }
 
 // WithAsync enables staged asynchronous ingestion: windows sort on a
 // dedicated stage goroutine overlapping the merge/compress of the previous
 // window. Answers are bit-identical to synchronous mode.
 func WithAsync() Option { return func(c *config) { c.async = true } }
+
+// WithWindow overrides the sort-window size. Values below the lossy-
+// counting floor ceil(1/eps) are clamped up to it — a smaller window would
+// complete buckets faster than the eps*N deletion budget allows.
+func WithWindow(n int) Option { return func(c *config) { c.window = n } }
 
 // NewEstimator returns a lossy-counting estimator with error eps, sorting
 // windows with s.
@@ -82,18 +95,32 @@ func NewEstimator[T sorter.Value](eps float64, s sorter.Sorter[T], opts ...Optio
 	for _, o := range opts {
 		o(&cfg)
 	}
-	e := &Estimator[T]{eps: eps, sorter: s}
-	e.core = pipeline.NewStagedCore(int(math.Ceil(1/eps)), s, e.mergeWindow)
+	window := int(math.Ceil(1 / eps))
+	if cfg.window > window {
+		window = cfg.window
+	}
+	e := &Estimator[T]{eps: eps}
+	e.core = pipeline.NewStagedCore(window, s, e.mergeWindow)
 	if cfg.async {
 		e.core.StartAsync()
 	}
 	return e
 }
 
+// SetTuner installs a runtime controller over the pipeline's sorter and
+// window knobs; it must be called before ingestion. Any schedule the tuner
+// produces with windows >= ceil(1/eps) preserves the eps guarantee (see
+// maxBucket); the MinWindow the engine configures enforces that floor.
+func (e *Estimator[T]) SetTuner(t pipeline.Tuner[T]) { e.core.SetTuner(t) }
+
+// Knobs reports the currently selected sorter and window size.
+func (e *Estimator[T]) Knobs() (sorter.Sorter[T], int) { return e.core.Tuning() }
+
 // Eps reports the configured error bound.
 func (e *Estimator[T]) Eps() float64 { return e.eps }
 
-// WindowSize reports the buffered window length, ceil(1/eps).
+// WindowSize reports the current sort-window length — ceil(1/eps) by
+// default, larger under a WithWindow override or a tuner's schedule.
 func (e *Estimator[T]) WindowSize() int { return e.core.WindowSize() }
 
 // Count reports the number of stream elements processed, including buffered
@@ -147,10 +174,14 @@ func (e *Estimator[T]) mergeWindow(win []T) {
 	// bucket before this window, so their undercount is bounded by that
 	// bucket index; compress below may drop entries only up to the number
 	// of buckets completed *after* this window, keeping the undercount
-	// within eps*N even when a partial window is flushed early.
-	newDelta := e.n / int64(e.core.WindowSize())
+	// within eps*N even when a partial window is flushed early. Both bounds
+	// use the running-max bucket index, which equals floor(n/w) whenever
+	// the window has been static (see the maxBucket field comment).
+	newDelta := e.maxBucket
 	e.n += int64(len(win))
-	e.bucket = e.n / int64(e.core.WindowSize())
+	if b := e.n / int64(e.core.WindowSizeLocked()); b > e.maxBucket {
+		e.maxBucket = b
+	}
 
 	// Merge: both the summary and the histogram are value-ascending, so a
 	// single linear pass inserts or updates every bin. The pass writes into
@@ -185,7 +216,7 @@ func (e *Estimator[T]) mergeWindow(win []T) {
 	t2 := time.Now()
 	kept := merged[:0]
 	for _, ent := range merged {
-		if ent.freq+ent.delta > e.bucket {
+		if ent.freq+ent.delta > e.maxBucket {
 			kept = append(kept, ent)
 		}
 	}

@@ -6,6 +6,7 @@ import (
 
 	"gpustream/internal/gpu"
 	"gpustream/internal/pipeline"
+	"gpustream/internal/samplesort"
 )
 
 // Closed-form cost formulas. They predict the same quantities the simulator
@@ -146,6 +147,28 @@ func (m Model) QuicksortTime(n int, v CPUVariant) time.Duration {
 	return secondsToDuration(cyc / m.CPU.ClockHz)
 }
 
+// SampleSortTime models the deterministic sample sort of n values on the
+// Pentium IV: the splitter-sample quicksort, the fixed-depth branchless
+// classification (exactly n·log2 k comparisons), and the per-bucket
+// quicksorts under the balanced-bucket assumption (k buckets of n/k values
+// each), all at the calibrated Intel-build comparison cost. The total is
+// O(n log n) against PBSN's O(n log² n) comparator count, so this curve
+// undercuts PBSNSortTime at large windows — the crossover the adaptive
+// controller uses as its prior before live measurements arrive.
+func (m Model) SampleSortTime(n int) time.Duration {
+	if n <= 1 {
+		return 0
+	}
+	cmps := 1.386 * float64(n) * math.Log2(float64(n))
+	if k := samplesort.Buckets(n); k >= 2 {
+		sample := float64(k * samplesort.Oversample)
+		cmps = 1.386*sample*math.Log2(sample) +
+			float64(n)*math.Log2(float64(k)) +
+			1.386*float64(n)*math.Log2(float64(n)/float64(k))
+	}
+	return secondsToDuration(cmps * m.CPU.CyclesPerCmp / m.CPU.ClockHz)
+}
+
 // Backend selects how window sorting is costed in PipelineTime.
 type Backend int
 
@@ -154,14 +177,21 @@ const (
 	BackendGPU Backend = iota
 	// BackendCPU sorts windows with the Intel quicksort.
 	BackendCPU
+	// BackendSampleSort sorts windows with the deterministic CPU sample
+	// sort (splitter selection, scatter, per-bucket quicksort).
+	BackendSampleSort
 )
 
 // String implements fmt.Stringer.
 func (b Backend) String() string {
-	if b == BackendCPU {
+	switch b {
+	case BackendCPU:
 		return "cpu"
+	case BackendSampleSort:
+		return "samplesort"
+	default:
+		return "gpu"
 	}
-	return "gpu"
 }
 
 // PipelineBreakdown is the modeled cost of a summary-construction pipeline,
@@ -272,6 +302,8 @@ func (m Model) PipelineTime(c pipeline.Stats, backend Backend) PipelineBreakdown
 		switch backend {
 		case BackendGPU:
 			sortTime = time.Duration(c.Windows) * m.PBSNSortTime(avg).Total()
+		case BackendSampleSort:
+			sortTime = time.Duration(c.Windows) * m.SampleSortTime(avg)
 		default:
 			sortTime = time.Duration(c.Windows) * m.QuicksortTime(avg, IntelHT)
 		}

@@ -34,6 +34,16 @@ import (
 	"gpustream/internal/sorter"
 )
 
+// sortJob carries a sealed window to the sort stage together with the
+// sorter it was sealed under. The sorter rides with the job rather than
+// being read from the core so a tuner may swap backends at a window
+// boundary without racing the sort stage: a window already handed off
+// keeps the sorter that was active when it was sealed.
+type sortJob[T sorter.Value] struct {
+	win []T
+	srt sorter.Sorter[T]
+}
+
 // sortedWindow carries a sorted window from the sort stage to the merge
 // stage along with the sort's measured wall clock, which the merge stage
 // folds into Stats under the lock (the sort stage itself never takes it).
@@ -44,7 +54,7 @@ type sortedWindow[T sorter.Value] struct {
 
 // executor owns the two stage goroutines and the channels between them.
 type executor[T sorter.Value] struct {
-	sortCh   chan []T             // ingestion -> sort stage, cap 1
+	sortCh   chan sortJob[T]      // ingestion -> sort stage, cap 1
 	sortedCh chan sortedWindow[T] // sort stage -> merge stage, cap 1
 	freeCh   chan []T             // merge stage -> ingestion buffer recycling
 	done     chan struct{}        // closed when the merge stage exits
@@ -113,7 +123,7 @@ func (c *Core[T]) StartAsync() {
 		panic("pipeline: StartAsync must precede ingestion")
 	}
 	e := &executor[T]{
-		sortCh:   make(chan []T, 1),
+		sortCh:   make(chan sortJob[T], 1),
 		sortedCh: make(chan sortedWindow[T], 1),
 		freeCh:   make(chan []T, 2),
 		done:     make(chan struct{}),
@@ -141,9 +151,10 @@ func (c *Core[T]) emitAsync() {
 		c.stats.MaxInFlight = int64(c.inflight)
 	}
 	exec := c.exec
+	srt := c.srt
 	c.mu.Unlock()
 	t0 := time.Now()
-	exec.sortCh <- win
+	exec.sortCh <- sortJob[T]{win: win, srt: srt}
 	fresh := <-exec.freeCh
 	d := time.Since(t0)
 	c.mu.Lock()
@@ -176,23 +187,23 @@ func (c *Core[T]) BarrierLocked() {
 	}
 }
 
-// runSort is the sort stage: it owns the core's sorter and sorts windows
-// one at a time in arrival order, submitting through the backend's async
-// surface when it has one (the paper's non-blocking render + readback).
+// runSort is the sort stage: it sorts windows one at a time in arrival
+// order with the sorter each job was sealed under, submitting through the
+// backend's async surface when it has one (the paper's non-blocking render
+// + readback).
 func (c *Core[T]) runSort() {
 	e := c.exec
-	as, _ := c.srt.(sorter.AsyncSorter[T])
-	for win := range e.sortCh {
+	for job := range e.sortCh {
 		e.ov.enter(stageSort)
 		t0 := time.Now()
-		if as != nil {
-			as.SortAsync(win).Wait()
+		if as, ok := job.srt.(sorter.AsyncSorter[T]); ok {
+			as.SortAsync(job.win).Wait()
 		} else {
-			c.srt.Sort(win)
+			job.srt.Sort(job.win)
 		}
 		d := time.Since(t0)
 		e.ov.exit(stageSort)
-		e.sortedCh <- sortedWindow[T]{win: win, dur: d}
+		e.sortedCh <- sortedWindow[T]{win: job.win, dur: d}
 	}
 	close(e.sortedCh)
 }
@@ -209,6 +220,7 @@ func (c *Core[T]) runMerge() {
 		c.stats.SortedValues += int64(len(sw.win))
 		c.mergeFn(sw.win)
 		c.inflight--
+		c.retune()
 		c.cond.Broadcast()
 		c.mu.Unlock()
 		e.ov.exit(stageMerge)

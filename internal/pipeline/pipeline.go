@@ -95,6 +95,29 @@ func (s *Stats) Add(o Stats) {
 	}
 }
 
+// Knobs are the runtime-tunable execution parameters of a staged core: the
+// sorting backend and the window size. In a Tuner's return value a nil
+// Sorter or non-positive Window means "keep the current setting".
+type Knobs[T sorter.Value] struct {
+	Sorter sorter.Sorter[T]
+	Window int
+}
+
+// Tuner is the runtime controller consulted at every window boundary, right
+// after that window's merge completed. It receives the core's telemetry
+// snapshot and the currently active knobs and returns the knobs to use for
+// subsequent windows (ok false keeps everything unchanged). Retune runs
+// with the core lock held — on the merge-stage goroutine in async mode —
+// so implementations must be fast and must not call back into the core.
+//
+// Knob changes take effect at window boundaries only: the window currently
+// buffering and any window already in flight keep the sorter they were
+// sealed with, which is what keeps dynamic schedules eps-correct — every
+// value still passes through exactly one sorted window.
+type Tuner[T sorter.Value] interface {
+	Retune(st Stats, cur Knobs[T]) (next Knobs[T], ok bool)
+}
+
 // bufPools recycles window buffers across estimator lifetimes, one pool per
 // element type (generic package-level variables are not a thing, so the
 // per-type pools live behind a sync.Map keyed by reflect.Type). Entries
@@ -156,6 +179,10 @@ type Core[T sorter.Value] struct {
 	exec    *executor[T]
 	handoff bool // window being handed to the executor, mu released mid-emit
 	inflight int // windows between hand-off and merge completion
+
+	// tuner, when set, is consulted after every merged window and may swap
+	// the sorter and resize the window at that boundary (SetTuner).
+	tuner Tuner[T]
 }
 
 // NewCore returns a core buffering windows of the given size. The window
@@ -195,9 +222,69 @@ func (c *Core[T]) Lock() { c.mu.Lock() }
 // Unlock releases the core's ingestion/query mutex.
 func (c *Core[T]) Unlock() { c.mu.Unlock() }
 
-// WindowSize reports the buffered window length. It is immutable, so no
-// locking is needed.
-func (c *Core[T]) WindowSize() int { return c.window }
+// WindowSize reports the current window length. It is read under the lock:
+// a tuner may resize the window at any window boundary.
+func (c *Core[T]) WindowSize() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.window
+}
+
+// WindowSizeLocked is WindowSize for callers already holding the lock
+// (estimator sinks and query paths).
+func (c *Core[T]) WindowSizeLocked() int { return c.window }
+
+// SorterLocked returns the currently selected sorter. The caller must hold
+// the lock; in async mode it must additionally have passed BarrierLocked,
+// so the sort stage is quiescent and the instance is safe to reuse for
+// query-time partial-window sorts.
+func (c *Core[T]) SorterLocked() sorter.Sorter[T] { return c.srt }
+
+// Tuning reports the currently active knobs: the selected sorter and the
+// window size. On a plain-sink core the sorter is nil.
+func (c *Core[T]) Tuning() (sorter.Sorter[T], int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.srt, c.window
+}
+
+// SetTuner installs the runtime controller consulted after every merged
+// window. It must be called on a staged core before any value is ingested
+// (the same construction-time window StartAsync has); the tuner then owns
+// the sorter and window knobs for the core's lifetime. Retune runs with
+// the core lock held, so the tuner must not call back into the core.
+func (c *Core[T]) SetTuner(t Tuner[T]) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.srt == nil {
+		panic("pipeline: SetTuner requires a staged core")
+	}
+	if c.closed || c.count != 0 {
+		panic("pipeline: SetTuner must precede ingestion")
+	}
+	c.tuner = t
+}
+
+// retune consults the tuner after a window has been merged (lock held) and
+// applies the returned knobs. A sorter swap takes effect with the next
+// sealed window: the synchronous path reads c.srt at the next emit and the
+// async path snapshots the sorter into each hand-off, so a window already
+// in flight keeps the sorter it was sealed with.
+func (c *Core[T]) retune() {
+	if c.tuner == nil {
+		return
+	}
+	next, ok := c.tuner.Retune(c.StatsLocked(), Knobs[T]{Sorter: c.srt, Window: c.window})
+	if !ok {
+		return
+	}
+	if next.Sorter != nil {
+		c.srt = next.Sorter
+	}
+	if next.Window > 0 {
+		c.window = next.Window
+	}
+}
 
 // Count reports the total values ingested, including buffered ones.
 func (c *Core[T]) Count() int64 {
@@ -254,7 +341,7 @@ func (c *Core[T]) Process(v T) error {
 	}
 	c.count++
 	c.buf = append(c.buf, v)
-	if len(c.buf) == c.window {
+	if len(c.buf) >= c.window {
 		c.emit()
 	}
 	return nil
@@ -274,12 +361,18 @@ func (c *Core[T]) ProcessSlice(data []T) error {
 	c.count += int64(len(data))
 	for len(data) > 0 {
 		room := c.window - len(c.buf)
+		if room <= 0 {
+			// A retune shrank the window below the current fill: seal the
+			// buffered values as one (oversized) window and re-check.
+			c.emit()
+			continue
+		}
 		if room > len(data) {
 			room = len(data)
 		}
 		c.buf = append(c.buf, data[:room]...)
 		data = data[room:]
-		if len(c.buf) == c.window {
+		if len(c.buf) >= c.window {
 			c.emit()
 		}
 	}
@@ -366,10 +459,12 @@ func (c *Core[T]) emit() {
 		c.srt.Sort(c.buf)
 		c.AddSort(time.Since(t0), int64(len(c.buf)))
 		c.mergeFn(c.buf)
+		c.buf = c.buf[:0]
+		c.retune()
 	default:
 		c.sink(c.buf)
+		c.buf = c.buf[:0]
 	}
-	c.buf = c.buf[:0]
 }
 
 // AddSort records d spent in the sort stage over values sorted elements.

@@ -35,11 +35,10 @@ import (
 // concurrently.
 type Estimator[T sorter.Value] struct {
 	eps      float64
-	window   int
+	window   int // construction-time window, the floor of any tuned schedule
 	levels   int
 	pruneB   int
 	core     *pipeline.Core[T]
-	sorter   sorter.Sorter[T]
 	buckets  map[int]*summary.Summary[T]
 	n        int64 // elements folded into buckets (excludes buffered)
 	capacity int64
@@ -97,7 +96,6 @@ func NewEstimator[T sorter.Value](eps float64, capacity int64, s sorter.Sorter[T
 	e := &Estimator[T]{
 		eps:      eps,
 		window:   cfg.window,
-		sorter:   s,
 		buckets:  make(map[int]*summary.Summary[T]),
 		capacity: capacity,
 		mergeTmp: &summary.Summary[T]{},
@@ -122,8 +120,20 @@ func NewEstimator[T sorter.Value](eps float64, capacity int64, s sorter.Sorter[T
 // Eps reports the configured error bound.
 func (e *Estimator[T]) Eps() float64 { return e.eps }
 
-// WindowSize reports the buffered window length.
-func (e *Estimator[T]) WindowSize() int { return e.window }
+// WindowSize reports the current buffered window length. It equals the
+// construction-time window unless a tuner has rescheduled it.
+func (e *Estimator[T]) WindowSize() int { return e.core.WindowSize() }
+
+// SetTuner installs a runtime controller over the pipeline's sorter and
+// window knobs; it must be called before ingestion. Schedules must keep
+// windows >= the construction window: the level budget L was sized from
+// capacity/window, and growing windows only shortens cascade chains while
+// FromSortedWindow's eps/2 summary error is window-size independent, so
+// any such schedule stays within the eps bound.
+func (e *Estimator[T]) SetTuner(t pipeline.Tuner[T]) { e.core.SetTuner(t) }
+
+// Knobs reports the currently selected sorter and window size.
+func (e *Estimator[T]) Knobs() (sorter.Sorter[T], int) { return e.core.Tuning() }
 
 // Count reports the number of stream elements processed, including buffered
 // ones.
@@ -231,7 +241,7 @@ func (e *Estimator[T]) snapshotLocked() *summary.Summary[T] {
 	if e.core.BufferedLocked() > 0 {
 		tmp := append(e.core.Scratch(e.core.BufferedLocked()), e.core.Partial()...)
 		t0 := time.Now()
-		e.sorter.Sort(tmp)
+		e.core.SorterLocked().Sort(tmp)
 		partial = summary.FromSortedWindow(tmp, e.eps)
 		e.core.AddSort(time.Since(t0), 0)
 	}

@@ -1,0 +1,205 @@
+package samplesort
+
+import (
+	"encoding/binary"
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"gpustream/internal/sorter"
+)
+
+// distributions used across the correctness matrix. Each returns n values
+// with a distinct order structure: uniform random, heavy-duplicate zipf,
+// already sorted, reversed, and all-equal.
+func distributions(n int, rng *rand.Rand) map[string][]float32 {
+	uniform := make([]float32, n)
+	for i := range uniform {
+		uniform[i] = rng.Float32()*2000 - 1000
+	}
+	zipf := make([]float32, n)
+	z := rand.NewZipf(rng, 1.1, 1, uint64(n/50+10))
+	for i := range zipf {
+		zipf[i] = float32(z.Uint64())
+	}
+	sorted := make([]float32, n)
+	for i := range sorted {
+		sorted[i] = float32(i)
+	}
+	reversed := make([]float32, n)
+	for i := range reversed {
+		reversed[i] = float32(n - i)
+	}
+	equal := make([]float32, n)
+	for i := range equal {
+		equal[i] = 42
+	}
+	return map[string][]float32{
+		"uniform": uniform, "zipf": zipf, "sorted": sorted,
+		"reversed": reversed, "all-equal": equal,
+	}
+}
+
+func TestSortMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	s := NewSorter[float32]()
+	for _, n := range []int{0, 1, 2, 100, MinN - 1, MinN, MinN + 1, 10_000, 200_000} {
+		for name, data := range distributions(n, rng) {
+			want := append([]float32(nil), data...)
+			sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+			got := append([]float32(nil), data...)
+			s.Sort(got)
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("n=%d %s: mismatch at %d: got %v want %v", n, name, i, got[i], want[i])
+				}
+			}
+			if st := s.LastStats(); st.N != n || st.Buckets != Buckets(n) {
+				t.Fatalf("n=%d %s: stats header N=%d Buckets=%d", n, name, st.N, st.Buckets)
+			}
+		}
+	}
+}
+
+func TestSortIntegerTypes(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	n := 50_000
+	data := make([]uint64, n)
+	for i := range data {
+		data[i] = rng.Uint64()
+	}
+	want := append([]uint64(nil), data...)
+	sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+	s := NewSorter[uint64]()
+	s.Sort(data)
+	for i := range data {
+		if data[i] != want[i] {
+			t.Fatalf("uint64 mismatch at %d", i)
+		}
+	}
+}
+
+// TestSortStatsTypeInvariant pins the cost-model contract: sorting
+// order-isomorphic images of the same data as float32 and as uint64 must
+// produce identical operation counts. The uint64 image is the rank of each
+// element, which preserves every comparison outcome.
+func TestSortStatsTypeInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	n := 40_000
+	f := make([]float32, n)
+	for i := range f {
+		f[i] = rng.Float32()
+	}
+	// Build the order-isomorphic uint64 image: element i maps to its rank.
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return f[idx[a]] < f[idx[b]] })
+	u := make([]uint64, n)
+	for r, i := range idx {
+		u[i] = uint64(r)
+	}
+
+	sf := NewSorter[float32]()
+	sf.Sort(append([]float32(nil), f...))
+	su := NewSorter[uint64]()
+	su.Sort(u)
+	if sf.LastStats() != su.LastStats() {
+		t.Fatalf("op counts depend on element type:\nfloat32: %+v\nuint64:  %+v",
+			sf.LastStats(), su.LastStats())
+	}
+	st := sf.LastStats()
+	logk := int64(math.Log2(float64(st.Buckets)))
+	if st.ScatterCmps != int64(n)*logk {
+		t.Fatalf("ScatterCmps = %d, want n·log2(k) = %d", st.ScatterCmps, int64(n)*logk)
+	}
+	if st.MoveOps != int64(2*n) || st.BytesMoved != int64(8*n) {
+		t.Fatalf("MoveOps=%d BytesMoved=%d, want %d/%d", st.MoveOps, st.BytesMoved, 2*n, 8*n)
+	}
+}
+
+func TestSortDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	data := make([]float32, 30_000)
+	for i := range data {
+		data[i] = rng.Float32()
+	}
+	s := NewSorter[float32]()
+	s.Sort(append([]float32(nil), data...))
+	first := s.LastStats()
+	s.Sort(append([]float32(nil), data...))
+	if s.LastStats() != first {
+		t.Fatalf("same input, different op counts: %+v vs %+v", first, s.LastStats())
+	}
+	if s.Sorts() != 2 || s.TotalStats().N != 2*len(data) {
+		t.Fatalf("accumulation: sorts=%d totalN=%d", s.Sorts(), s.TotalStats().N)
+	}
+}
+
+func TestSortAsync(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	s := NewSorter[float32]()
+	data := make([]float32, 20_000)
+	for i := range data {
+		data[i] = rng.Float32()
+	}
+	want := append([]float32(nil), data...)
+	sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+	h := s.SortAsync(data)
+	h.Wait()
+	for i := range data {
+		if data[i] != want[i] {
+			t.Fatalf("async sort mismatch at %d", i)
+		}
+	}
+	var _ sorter.AsyncSorter[float32] = s
+}
+
+func TestBuckets(t *testing.T) {
+	cases := []struct{ n, k int }{
+		{0, 1}, {MinN - 1, 1}, {MinN, 2}, {4 * targetBucketLen, 4},
+		{1 << 20, 512}, {10 << 20, 512}, {1 << 30, 512},
+	}
+	for _, c := range cases {
+		if got := Buckets(c.n); got != c.k {
+			t.Errorf("Buckets(%d) = %d, want %d", c.n, got, c.k)
+		}
+		if k := Buckets(c.n); k&(k-1) != 0 {
+			t.Errorf("Buckets(%d) = %d not a power of two", c.n, k)
+		}
+	}
+}
+
+// FuzzSampleSort feeds arbitrary byte strings reinterpreted as float32
+// values (NaN excluded, as everywhere in the stack) through the sample
+// sorter and checks the result against the standard library sort.
+func FuzzSampleSort(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8})
+	seed := make([]byte, 4*MinN)
+	for i := 0; i < len(seed); i += 4 {
+		binary.LittleEndian.PutUint32(seed[i:], uint32(i*2654435761))
+	}
+	f.Add(seed)
+	srt := NewSorter[float32]()
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		n := len(raw) / 4
+		data := make([]float32, 0, n)
+		for i := 0; i < n; i++ {
+			v := math.Float32frombits(binary.LittleEndian.Uint32(raw[4*i:]))
+			if v != v { // skip NaN: the Value contract excludes it
+				continue
+			}
+			data = append(data, v)
+		}
+		want := append([]float32(nil), data...)
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		srt.Sort(data)
+		for i := range data {
+			if data[i] != want[i] {
+				t.Fatalf("mismatch at %d: got %v want %v", i, data[i], want[i])
+			}
+		}
+	})
+}

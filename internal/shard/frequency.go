@@ -26,9 +26,10 @@ import (
 // Queries and snapshots are safe against concurrent ingestion: each shard
 // estimator is internally synchronized by its pipeline core.
 type Frequency[T sorter.Value] struct {
-	pool *pool[T]
-	eps  float64
-	ests []*frequency.Estimator[T]
+	pool   *pool[T]
+	eps    float64
+	ests   []*frequency.Estimator[T]
+	tuners []pipeline.Tuner[T] // per-shard tuners, empty without WithTunerFactory
 
 	queryMergeOps atomic.Int64
 }
@@ -47,10 +48,19 @@ func NewFrequency[T sorter.Value](eps float64, shards int, newSorter func() sort
 	if cfg.async {
 		estOpts = append(estOpts, frequency.WithAsync())
 	}
+	if cfg.window > 0 {
+		estOpts = append(estOpts, frequency.WithWindow(cfg.window))
+	}
+	newTuner := shardTuner[T](cfg)
 	fq := &Frequency[T]{eps: eps}
 	procs := make([]func([]T), k)
 	for i := 0; i < k; i++ {
 		est := frequency.NewEstimator(eps, newSorter(), estOpts...)
+		if newTuner != nil {
+			t := newTuner()
+			est.SetTuner(t)
+			fq.tuners = append(fq.tuners, t)
+		}
 		fq.ests = append(fq.ests, est)
 		// The pool never closes shard estimators while workers still hand
 		// them batches, so ingestion here cannot fail.
@@ -66,6 +76,14 @@ func NewFrequency[T sorter.Value](eps float64, shards int, newSorter func() sort
 
 // Eps reports the configured error bound.
 func (fq *Frequency[T]) Eps() float64 { return fq.eps }
+
+// Knobs reports shard 0's currently selected sorter and window size (all
+// shards run the same configuration and converge on the same telemetry).
+func (fq *Frequency[T]) Knobs() (sorter.Sorter[T], int) { return fq.ests[0].Knobs() }
+
+// Tuners exposes the per-shard tuners attached via WithTunerFactory, in
+// shard order; empty when none were attached.
+func (fq *Frequency[T]) Tuners() []pipeline.Tuner[T] { return fq.tuners }
 
 // Shards reports the number of shard workers.
 func (fq *Frequency[T]) Shards() int { return fq.pool.Shards() }

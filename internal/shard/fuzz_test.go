@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"gpustream/internal/cpusort"
+	"gpustream/internal/samplesort"
 	"gpustream/internal/sorter"
 )
 
@@ -22,13 +23,14 @@ func rankDistOf[T sorter.Value](sortedRef []T, v T, r int64) int64 {
 	return 0
 }
 
-// checkShardedQuantile runs one sharded ingest at element type T and checks
-// the merged rank guarantee against a full sort.
-func checkShardedQuantile[T sorter.Value](t *testing.T, vals []T, k, batch int) {
+// checkShardedQuantile runs one sharded ingest at element type T with the
+// given per-shard sorter factory and checks the merged rank guarantee
+// against a full sort.
+func checkShardedQuantile[T sorter.Value](t *testing.T, vals []T, k, batch int, newSorter func() sorter.Sorter[T]) {
 	t.Helper()
 	const eps = 0.1
 	n := int64(len(vals))
-	q := NewQuantile(eps, n, k, func() sorter.Sorter[T] { return cpusort.QuicksortSorter[T]{} }, WithBatchSize(batch))
+	q := NewQuantile(eps, n, k, newSorter, WithBatchSize(batch))
 	q.ProcessSlice(vals)
 	q.Close()
 	if q.Count() != n {
@@ -88,6 +90,8 @@ func FuzzShardedQuantile(f *testing.F) {
 	f.Add([]byte{2, 3, 0, 1, 2, 3, 0, 1, 2, 3})
 	f.Add([]byte{3, 7, 1, 1, 1, 17, 2, 64, 3, 0})
 	f.Add([]byte{8, 2, 16, 0, 32, 1, 48, 2, 64, 3, 80})
+	// High bit of the batch byte set: sample-sort shards.
+	f.Add([]byte{5, 0x83, 9, 0, 1, 2, 3, 200, 100, 50})
 	f.Fuzz(func(t *testing.T, raw []byte) {
 		if len(raw) < 3 {
 			return
@@ -100,7 +104,14 @@ func FuzzShardedQuantile(f *testing.F) {
 			f32 = append(f32, float32(b%64))
 			u64 = append(u64, u64FromByte(b))
 		}
-		checkShardedQuantile(t, f32, k, batch)
-		checkShardedQuantile(t, u64, k, batch)
+		// The high bit of the batch byte selects the per-shard sorter, so
+		// the corpus exercises quicksort and sample-sort shards alike.
+		if raw[1]&0x80 != 0 {
+			checkShardedQuantile(t, f32, k, batch, func() sorter.Sorter[float32] { return samplesort.NewSorter[float32]() })
+			checkShardedQuantile(t, u64, k, batch, func() sorter.Sorter[uint64] { return samplesort.NewSorter[uint64]() })
+		} else {
+			checkShardedQuantile(t, f32, k, batch, func() sorter.Sorter[float32] { return cpusort.QuicksortSorter[float32]{} })
+			checkShardedQuantile(t, u64, k, batch, func() sorter.Sorter[uint64] { return cpusort.QuicksortSorter[uint64]{} })
+		}
 	})
 }

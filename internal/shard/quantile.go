@@ -25,9 +25,10 @@ import (
 // Queries and snapshots are safe against concurrent ingestion: each shard
 // estimator is internally synchronized by its pipeline core.
 type Quantile[T sorter.Value] struct {
-	pool *pool[T]
-	eps  float64
-	ests []*quantile.Estimator[T]
+	pool   *pool[T]
+	eps    float64
+	ests   []*quantile.Estimator[T]
+	tuners []pipeline.Tuner[T] // per-shard tuners, empty without WithTunerFactory
 
 	queryMergeOps atomic.Int64
 }
@@ -50,10 +51,19 @@ func NewQuantile[T sorter.Value](eps float64, capacity int64, shards int, newSor
 	if cfg.async {
 		estOpts = append(estOpts, quantile.WithAsync())
 	}
+	if cfg.window > 0 {
+		estOpts = append(estOpts, quantile.WithWindow(cfg.window))
+	}
+	newTuner := shardTuner[T](cfg)
 	q := &Quantile[T]{eps: eps}
 	procs := make([]func([]T), k)
 	for i := 0; i < k; i++ {
 		est := quantile.NewEstimator(shardEps, capacity, newSorter(), estOpts...)
+		if newTuner != nil {
+			t := newTuner()
+			est.SetTuner(t)
+			q.tuners = append(q.tuners, t)
+		}
 		q.ests = append(q.ests, est)
 		// The pool never closes shard estimators while workers still hand
 		// them batches, so ingestion here cannot fail.
@@ -198,6 +208,14 @@ func (q *Quantile[T]) PerShardStats() []pipeline.Stats {
 // QueryMergeOps reports the cumulative summary entries visited by
 // query-time cross-shard merges.
 func (q *Quantile[T]) QueryMergeOps() int64 { return q.queryMergeOps.Load() }
+
+// Knobs reports shard 0's currently selected sorter and window size (all
+// shards run the same configuration and converge on the same telemetry).
+func (q *Quantile[T]) Knobs() (sorter.Sorter[T], int) { return q.ests[0].Knobs() }
+
+// Tuners exposes the per-shard tuners attached via WithTunerFactory, in
+// shard order; empty when none were attached.
+func (q *Quantile[T]) Tuners() []pipeline.Tuner[T] { return q.tuners }
 
 // ModeledTime converts the per-shard counters into modeled 2004-testbed
 // time for a K-way sharded run: concurrent shard ingestion plus the serial

@@ -52,8 +52,13 @@ var errClosed = fmt.Errorf("shard: ingestion after Close: %w", pipeline.ErrClose
 type Option func(*config)
 
 type config struct {
-	batch int
-	async bool
+	batch  int
+	async  bool
+	window int
+	// tunerFactory, when set, holds a func() pipeline.Tuner[T] invoked
+	// once per shard (Option is not generic, so the factory is carried
+	// type-erased and asserted by the typed constructors).
+	tunerFactory any
 }
 
 // WithBatchSize overrides the hand-off batch size (default
@@ -74,6 +79,36 @@ func WithBatchSize(n int) Option {
 // estimator runs up to 2K pipeline stages concurrently. Answers stay
 // bit-identical to synchronous shards.
 func WithAsync() Option { return func(c *config) { c.async = true } }
+
+// WithWindow overrides the per-shard sort-window size. Values below a
+// family's eps floor are clamped up by the per-shard estimator.
+func WithWindow(n int) Option {
+	return func(c *config) {
+		if n <= 0 {
+			panic("shard: window must be positive")
+		}
+		c.window = n
+	}
+}
+
+// WithTunerFactory attaches a runtime tuner to every shard pipeline. f must
+// be a func() pipeline.Tuner[T] for the constructor's element type T; it is
+// called once per shard, so each shard gets its own controller (controllers
+// own per-pipeline sorter instances and must not be shared).
+func WithTunerFactory(f any) Option { return func(c *config) { c.tunerFactory = f } }
+
+// shardTuner resolves the type-erased tuner factory for element type T,
+// returning nil when no factory is configured.
+func shardTuner[T sorter.Value](cfg config) func() pipeline.Tuner[T] {
+	if cfg.tunerFactory == nil {
+		return nil
+	}
+	f, ok := cfg.tunerFactory.(func() pipeline.Tuner[T])
+	if !ok {
+		panic(fmt.Sprintf("shard: tuner factory is %T, want func() pipeline.Tuner[%T]", cfg.tunerFactory, *new(T)))
+	}
+	return f
+}
 
 // parseOptions folds opts over the default configuration.
 func parseOptions(opts []Option) config {

@@ -22,11 +22,10 @@ import (
 // One writer and any number of query goroutines may use the estimator
 // concurrently.
 type SlidingQuantile[T sorter.Value] struct {
-	eps    float64
-	w      int
-	core   *pipeline.Core[T]
-	sorter sorter.Sorter[T]
-	panes  []*summary.Summary[T] // oldest first
+	eps   float64
+	w     int
+	core  *pipeline.Core[T]
+	panes []*summary.Summary[T] // oldest first
 }
 
 // NewSlidingQuantile returns a sliding-window quantile estimator of window
@@ -36,7 +35,7 @@ func NewSlidingQuantile[T sorter.Value](eps float64, w int, s sorter.Sorter[T], 
 	for _, o := range opts {
 		o(&cfg)
 	}
-	q := &SlidingQuantile[T]{eps: eps, w: w, sorter: s}
+	q := &SlidingQuantile[T]{eps: eps, w: w}
 	q.core = pipeline.NewStagedCore(paneSize(eps, w), s, q.sealSorted)
 	if cfg.async {
 		q.core.StartAsync()
@@ -52,6 +51,15 @@ func (q *SlidingQuantile[T]) WindowSize() int { return q.w }
 
 // PaneSize reports the pane length.
 func (q *SlidingQuantile[T]) PaneSize() int { return q.core.WindowSize() }
+
+// SetTuner installs a runtime controller over the pipeline's sorter knob;
+// it must be called before ingestion. Sliding estimators adapt the backend
+// only: the pane size is query semantics (it fixes the eps*W error split),
+// so the engine configures window tuning off for this family.
+func (q *SlidingQuantile[T]) SetTuner(t pipeline.Tuner[T]) { q.core.SetTuner(t) }
+
+// Knobs reports the currently selected sorter and pane size.
+func (q *SlidingQuantile[T]) Knobs() (sorter.Sorter[T], int) { return q.core.Tuning() }
 
 // Count reports the number of elements processed so far (whole stream).
 func (q *SlidingQuantile[T]) Count() int64 { return q.core.Count() }
@@ -114,7 +122,7 @@ func (q *SlidingQuantile[T]) sealSorted(win []T) {
 	q.core.AddSort(time.Since(t0), 0)
 	q.panes = append(q.panes, s)
 
-	maxPanes := (q.w + q.core.WindowSize() - 1) / q.core.WindowSize()
+	maxPanes := (q.w + q.core.WindowSizeLocked() - 1) / q.core.WindowSizeLocked()
 	if len(q.panes) > maxPanes {
 		q.panes = q.panes[len(q.panes)-maxPanes:]
 	}
@@ -147,7 +155,7 @@ func (q *SlidingQuantile[T]) partialSummaryLocked() *summary.Summary[T] {
 		return nil
 	}
 	tmp := append(q.core.Scratch(q.core.BufferedLocked()), q.core.Partial()...)
-	q.sorter.Sort(tmp)
+	q.core.SorterLocked().Sort(tmp)
 	return summary.FromSortedWindow(tmp, q.eps)
 }
 

@@ -84,11 +84,10 @@ type freqPane[T sorter.Value] struct {
 // One writer and any number of query goroutines may use the estimator
 // concurrently.
 type SlidingFrequency[T sorter.Value] struct {
-	eps    float64
-	w      int
-	core   *pipeline.Core[T]
-	sorter sorter.Sorter[T]
-	panes  []freqPane[T] // oldest first
+	eps   float64
+	w     int
+	core  *pipeline.Core[T]
+	panes []freqPane[T] // oldest first
 	// binScratch is the reusable histogram scratch; binFree recycles the
 	// bins storage of expired panes so steady-state panes allocate nothing.
 	binScratch []histogram.Bin[T]
@@ -102,7 +101,7 @@ func NewSlidingFrequency[T sorter.Value](eps float64, w int, s sorter.Sorter[T],
 	for _, o := range opts {
 		o(&cfg)
 	}
-	f := &SlidingFrequency[T]{eps: eps, w: w, sorter: s}
+	f := &SlidingFrequency[T]{eps: eps, w: w}
 	f.core = pipeline.NewStagedCore(paneSize(eps, w), s, f.sealSorted)
 	if cfg.async {
 		f.core.StartAsync()
@@ -118,6 +117,15 @@ func (f *SlidingFrequency[T]) WindowSize() int { return f.w }
 
 // PaneSize reports the pane length.
 func (f *SlidingFrequency[T]) PaneSize() int { return f.core.WindowSize() }
+
+// SetTuner installs a runtime controller over the pipeline's sorter knob;
+// it must be called before ingestion. Sliding estimators adapt the backend
+// only: the pane size is query semantics (it fixes the eps*W error split),
+// so the engine configures window tuning off for this family.
+func (f *SlidingFrequency[T]) SetTuner(t pipeline.Tuner[T]) { f.core.SetTuner(t) }
+
+// Knobs reports the currently selected sorter and pane size.
+func (f *SlidingFrequency[T]) Knobs() (sorter.Sorter[T], int) { return f.core.Tuning() }
 
 // Count reports the number of elements processed so far (whole stream).
 func (f *SlidingFrequency[T]) Count() int64 { return f.core.Count() }
@@ -192,7 +200,7 @@ func (f *SlidingFrequency[T]) sealSorted(win []T) {
 
 	// Keep enough panes to cover W elements beyond the buffer. Bins aliased
 	// by a snapshot are abandoned to it rather than recycled.
-	maxPanes := (f.w + f.core.WindowSize() - 1) / f.core.WindowSize()
+	maxPanes := (f.w + f.core.WindowSizeLocked() - 1) / f.core.WindowSizeLocked()
 	if len(f.panes) > maxPanes {
 		for _, p := range f.panes[:len(f.panes)-maxPanes] {
 			if !p.shared {
@@ -257,7 +265,7 @@ func (f *SlidingFrequency[T]) partialBinsLocked() []histogram.Bin[T] {
 		return nil
 	}
 	tmp := append(f.core.Scratch(f.core.BufferedLocked()), f.core.Partial()...)
-	f.sorter.Sort(tmp)
+	f.core.SorterLocked().Sort(tmp)
 	return histogram.FromSorted(tmp)
 }
 

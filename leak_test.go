@@ -100,6 +100,24 @@ func TestCloseTerminatesGoroutines(t *testing.T) {
 			est.Close()
 			_ = est.Query(0.5)
 		})
+		// Auto-backend estimators carry adaptive controllers (which own no
+		// goroutines of their own) over pipelines that swap sorters at
+		// runtime; Close must still terminate every stage goroutine,
+		// including async helpers of sorters the controller probed in.
+		auto := gpustream.New(gpustream.BackendAuto)
+		leakScenario(t, "auto-quantile/"+mode.name, func(data []float32) {
+			est := auto.NewQuantileEstimator(0.01, int64(len(data)), mode.eopts...)
+			est.ProcessSlice(data)
+			_ = est.Query(0.5)
+			est.Close()
+		})
+		leakScenario(t, "auto-parallel-frequency/"+mode.name, func(data []float32) {
+			popts := append([]gpustream.ParallelOption{gpustream.WithBatchSize(512)}, mode.popts...)
+			est := auto.NewParallelFrequencyEstimator(0.005, 4, popts...)
+			est.ProcessSlice(data)
+			est.Close()
+			_ = est.Query(0.01)
+		})
 		// CloseContext with an already-expired deadline takes the
 		// abandoned-drain path: workers finish their queued batches on their
 		// own and the deferred cleanup must still close the per-shard

@@ -26,7 +26,7 @@ func matrixDistributions(n int) map[string][]float32 {
 
 func TestAcceptanceMatrix(t *testing.T) {
 	const n = 20000
-	backends := []Backend{BackendGPU, BackendCPU, BackendCPUParallel}
+	backends := []Backend{BackendGPU, BackendCPU, BackendCPUParallel, BackendSampleSort}
 	epsilons := []float64{0.02, 0.005}
 
 	for name, data := range matrixDistributions(n) {
@@ -85,7 +85,7 @@ func TestAcceptanceMatrixSliding(t *testing.T) {
 	const n, w = 20000, 4000
 	const eps = 0.01
 	for name, data := range matrixDistributions(n) {
-		for _, backend := range []Backend{BackendGPU, BackendCPU} {
+		for _, backend := range []Backend{BackendGPU, BackendCPU, BackendSampleSort} {
 			t.Run(name+"/"+backend.String(), func(t *testing.T) {
 				eng := New(backend)
 				sf := eng.NewSlidingFrequency(eps, w)
@@ -235,7 +235,7 @@ func typedMatrixCase[T Value](t *testing.T, data []T, backend Backend, eps float
 func TestAcceptanceMatrixTypedUint64(t *testing.T) {
 	const n = 20000
 	for name, data := range typedDistributionsU64(n) {
-		for _, backend := range []Backend{BackendGPU, BackendCPU} {
+		for _, backend := range []Backend{BackendGPU, BackendCPU, BackendSampleSort} {
 			t.Run(name+"/"+backend.String(), func(t *testing.T) {
 				typedMatrixCase(t, data, backend, 0.01)
 			})
@@ -246,7 +246,7 @@ func TestAcceptanceMatrixTypedUint64(t *testing.T) {
 func TestAcceptanceMatrixTypedFloat64(t *testing.T) {
 	const n = 20000
 	for name, data := range typedDistributionsF64(n) {
-		for _, backend := range []Backend{BackendGPU, BackendCPU} {
+		for _, backend := range []Backend{BackendGPU, BackendCPU, BackendSampleSort} {
 			t.Run(name+"/"+backend.String(), func(t *testing.T) {
 				typedMatrixCase(t, data, backend, 0.01)
 			})
@@ -255,12 +255,13 @@ func TestAcceptanceMatrixTypedFloat64(t *testing.T) {
 }
 
 // k1BitIdenticalCase pins the acceptance criterion that a K=1 sharded
-// estimator is bit-identical to its serial sibling at type T: same quantile
-// answers at every probe, same frequency estimates and heavy-hitter lists.
-func k1BitIdenticalCase[T Value](t *testing.T, data []T) {
+// estimator is bit-identical to its serial sibling at type T on the given
+// backend: same quantile answers at every probe, same frequency estimates
+// and heavy-hitter lists.
+func k1BitIdenticalCase[T Value](t *testing.T, backend Backend, data []T) {
 	n := int64(len(data))
 	const eps = 0.005
-	eng := NewOf[T](BackendCPU)
+	eng := NewOf[T](backend)
 
 	sq := eng.NewQuantileEstimator(eps, n)
 	sq.ProcessSlice(data)
@@ -292,20 +293,23 @@ func k1BitIdenticalCase[T Value](t *testing.T, data []T) {
 func TestShardK1BitIdenticalAcrossTypes(t *testing.T) {
 	const n = 30000
 	t.Run("float32", func(t *testing.T) {
-		k1BitIdenticalCase(t, stream.Zipf(n, 1.2, 300, 31))
+		k1BitIdenticalCase(t, BackendCPU, stream.Zipf(n, 1.2, 300, 31))
+	})
+	t.Run("float32-samplesort", func(t *testing.T) {
+		k1BitIdenticalCase(t, BackendSampleSort, stream.Zipf(n, 1.2, 300, 31))
 	})
 	t.Run("float64", func(t *testing.T) {
-		k1BitIdenticalCase(t, stream.ZipfOf[float64](n, 1.2, 300, 32))
+		k1BitIdenticalCase(t, BackendCPU, stream.ZipfOf[float64](n, 1.2, 300, 32))
 	})
 	t.Run("uint32", func(t *testing.T) {
-		k1BitIdenticalCase(t, stream.ZipfOf[uint32](n, 1.2, 300, 33))
+		k1BitIdenticalCase(t, BackendCPU, stream.ZipfOf[uint32](n, 1.2, 300, 33))
 	})
 	t.Run("uint64", func(t *testing.T) {
 		data := stream.ZipfOf[uint64](n, 1.2, 300, 34)
 		for i, v := range data {
 			data[i] = v << 40 // exercise the high bits
 		}
-		k1BitIdenticalCase(t, data)
+		k1BitIdenticalCase(t, BackendSampleSort, data)
 	})
 	t.Run("int64", func(t *testing.T) {
 		data := stream.ZipfOf[int64](n, 1.2, 300, 35)
@@ -314,6 +318,6 @@ func TestShardK1BitIdenticalAcrossTypes(t *testing.T) {
 				data[i] = -v // signed streams cross zero
 			}
 		}
-		k1BitIdenticalCase(t, data)
+		k1BitIdenticalCase(t, BackendCPU, data)
 	})
 }

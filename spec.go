@@ -157,8 +157,13 @@ type Spec struct {
 	// are the default query probes (cmd/streamd answers /quantile with
 	// them when the request names no phi). Frequency families take none.
 	Phis []float64 `json:"phis,omitempty"`
-	// Window is the sliding-window size in elements. Required (> 0) for
-	// the sliding families, zero for all others.
+	// Window is a window size in elements. For the sliding families it is
+	// the query window — required (> 0), part of the answer's semantics.
+	// For the whole-history frequency/quantile families (serial and
+	// parallel) a positive value overrides the sort-window size — a tuning
+	// knob, clamped up to the family's eps floor — and zero keeps the
+	// default (or, under backend "auto", lets the controller choose).
+	// Frugal takes none.
 	Window int `json:"window,omitempty"`
 	// Capacity is the expected stream length for the quantile families'
 	// bucket sizing; zero picks a generous default.
@@ -236,7 +241,12 @@ func (s Spec) Validate() error {
 			return fmt.Errorf("gpustream: family %v needs window > 0 (got %d)", s.Family, s.Window)
 		}
 	} else if s.Window != 0 {
-		return fmt.Errorf("gpustream: family %v takes no window (got %d)", s.Family, s.Window)
+		if s.Family == FamilyFrugal {
+			return fmt.Errorf("gpustream: family %v takes no window (got %d)", s.Family, s.Window)
+		}
+		if s.Window < 0 {
+			return fmt.Errorf("gpustream: spec window %d < 0 (zero keeps the default sort window)", s.Window)
+		}
 	}
 	if s.Family.Parallel() {
 		if s.Shards < 0 {
@@ -275,7 +285,8 @@ func (s Spec) Validate() error {
 		}
 	}
 	switch s.Backend {
-	case BackendGPU, BackendGPUBitonic, BackendCPU, BackendCPUParallel:
+	case BackendGPU, BackendGPUBitonic, BackendCPU, BackendCPUParallel,
+		BackendSampleSort, BackendAuto:
 	default:
 		return fmt.Errorf("gpustream: spec has unknown backend %v", s.Backend)
 	}
@@ -316,6 +327,10 @@ func (e *Engine[T]) NewFromSpec(spec Spec) (Estimator[T], error) {
 	if spec.Async {
 		eopts = append(eopts, WithAsyncIngestion())
 		popts = append(popts, WithAsyncShards())
+	}
+	if spec.Window > 0 && !spec.Family.Sliding() {
+		eopts = append(eopts, WithSortWindow(spec.Window))
+		popts = append(popts, WithShardSortWindow(spec.Window))
 	}
 	switch spec.Family {
 	case FamilyFrequency:

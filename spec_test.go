@@ -99,6 +99,8 @@ func TestSpecValidate(t *testing.T) {
 		{Family: gpustream.FamilyParallelQuantile, Eps: 0.001, Shards: 0, Async: true},
 		{Family: gpustream.FamilyFrugal, Phis: []float64{0.5}},
 		{Family: gpustream.FamilyQuantile, Eps: 0.001, Backend: gpustream.BackendCPU},
+		{Family: gpustream.FamilyQuantile, Eps: 0.001, Window: 5000, Backend: gpustream.BackendSampleSort},
+		{Family: gpustream.FamilyParallelFrequency, Eps: 0.01, Window: 2000, Backend: gpustream.BackendAuto},
 	}
 	for _, s := range valid {
 		if err := s.Validate(); err != nil {
@@ -118,7 +120,8 @@ func TestSpecValidate(t *testing.T) {
 		{"eps negative", gpustream.Spec{Family: gpustream.FamilyParallelQuantile, Eps: -0.5}, "out of (0, 1)"},
 		{"frugal with eps", gpustream.Spec{Family: gpustream.FamilyFrugal, Eps: 0.01}, "no eps bound"},
 		{"sliding without window", gpustream.Spec{Family: gpustream.FamilySlidingQuantile, Eps: 0.01}, "needs window"},
-		{"window on whole-history", gpustream.Spec{Family: gpustream.FamilyQuantile, Eps: 0.01, Window: 100}, "takes no window"},
+		{"window on frugal", gpustream.Spec{Family: gpustream.FamilyFrugal, Window: 100}, "takes no window"},
+		{"negative sort window", gpustream.Spec{Family: gpustream.FamilyQuantile, Eps: 0.01, Window: -5}, "window -5"},
 		{"shards on serial", gpustream.Spec{Family: gpustream.FamilyFrequency, Eps: 0.01, Shards: 4}, "does not shard"},
 		{"negative shards", gpustream.Spec{Family: gpustream.FamilyParallelQuantile, Eps: 0.01, Shards: -1}, "shards -1"},
 		{"capacity on frequency", gpustream.Spec{Family: gpustream.FamilyFrequency, Eps: 0.01, Capacity: 10}, "takes no capacity"},
