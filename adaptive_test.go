@@ -20,12 +20,14 @@ import (
 )
 
 // schedTuner is an adversarial pipeline.Tuner: at every window boundary it
-// cycles the sorter through a fixed ring and the window through a fixed
-// schedule, regardless of measurements — the worst case a buggy controller
-// could inflict within the legal knob envelope.
+// cycles the sorter through a fixed ring, the window through a fixed
+// schedule, and the execution mode through a sync/async flip ring,
+// regardless of measurements — the worst case a buggy controller could
+// inflict within the legal knob envelope.
 type schedTuner[T Value] struct {
 	sorters []Sorter[T]
 	windows []int
+	asyncs  []pipeline.AsyncKnob
 	i       int
 }
 
@@ -38,7 +40,21 @@ func (s *schedTuner[T]) Retune(_ Stats, _ pipeline.Knobs[T]) (pipeline.Knobs[T],
 	if len(s.windows) > 0 {
 		next.Window = s.windows[s.i%len(s.windows)]
 	}
+	if len(s.asyncs) > 0 {
+		next.Async = s.asyncs[s.i%len(s.asyncs)]
+	}
 	return next, true
+}
+
+// asyncFlipRing commands an executor transition at nearly every window
+// boundary: on, off, keep, on, off. Length 5 is coprime with the sorter
+// ring (3) and the window schedules (4 and 6), so every combination of
+// sorter x window x mode transition eventually occurs.
+func asyncFlipRing() []pipeline.AsyncKnob {
+	return []pipeline.AsyncKnob{
+		pipeline.AsyncOn, pipeline.AsyncOff, pipeline.AsyncKeep,
+		pipeline.AsyncOn, pipeline.AsyncOff,
+	}
 }
 
 // sorterRing builds one fresh sorter per backend for a single pipeline to
@@ -94,9 +110,12 @@ func checkFrequencyEps(t *testing.T, name string, est interface{ Estimate(float3
 }
 
 // TestMetamorphicDynamicWindows drives every sorter-backed family through
-// adversarial window/backend schedules — grow, shrink, oscillate × sync and
-// async ingestion × serial and K∈{1,4} sharded — and asserts the eps
-// guarantees hold under every one. The schedules never drop below the
+// adversarial window/backend/concurrency schedules — grow, shrink,
+// oscillate × sync and async construction × serial and K∈{1,4} sharded —
+// and asserts the eps guarantees hold under every one. Every tuner also
+// cycles the sync↔async execution knob at window boundaries, so executor
+// start/stop transitions interleave with sorter swaps and window resizes
+// regardless of the construction mode. The schedules never drop below the
 // construction window, which is the documented legality envelope.
 func TestMetamorphicDynamicWindows(t *testing.T) {
 	const n = 40_000
@@ -130,14 +149,14 @@ func TestMetamorphicDynamicWindows(t *testing.T) {
 
 				qe := eng.NewQuantileEstimator(eps, n, eopts...)
 				_, qw0 := qe.Knobs()
-				qe.SetTuner(&schedTuner[float32]{sorters: sorterRing[float32](), windows: windowSchedules(qw0)[schedName]})
+				qe.SetTuner(&schedTuner[float32]{sorters: sorterRing[float32](), windows: windowSchedules(qw0)[schedName], asyncs: asyncFlipRing()})
 				qe.ProcessSlice(data)
 				qe.Close()
 				checkQuantileEps(t, "quantile", qe, ref, eps)
 
 				fe := eng.NewFrequencyEstimator(eps, eopts...)
 				_, fw0 := fe.Knobs()
-				fe.SetTuner(&schedTuner[float32]{sorters: sorterRing[float32](), windows: windowSchedules(fw0)[schedName]})
+				fe.SetTuner(&schedTuner[float32]{sorters: sorterRing[float32](), windows: windowSchedules(fw0)[schedName], asyncs: asyncFlipRing()})
 				fe.ProcessSlice(data)
 				fe.Close()
 				checkFrequencyEps(t, "frequency", fe, exact, n, eps)
@@ -145,7 +164,7 @@ func TestMetamorphicDynamicWindows(t *testing.T) {
 				// Sliding families: backend cycling only — the pane size is
 				// the query's semantics, not a knob.
 				sq := eng.NewSlidingQuantile(eps, w, eopts...)
-				sq.SetTuner(&schedTuner[float32]{sorters: sorterRing[float32]()})
+				sq.SetTuner(&schedTuner[float32]{sorters: sorterRing[float32](), asyncs: asyncFlipRing()})
 				sq.ProcessSlice(data)
 				if d := rankError(winRef, sq.Query(0.5), w/2); float64(d) > eps*float64(w)+1 {
 					t.Fatalf("sliding median rank error %d", d)
@@ -153,7 +172,7 @@ func TestMetamorphicDynamicWindows(t *testing.T) {
 				sq.Close()
 
 				sf := eng.NewSlidingFrequency(eps, w, eopts...)
-				sf.SetTuner(&schedTuner[float32]{sorters: sorterRing[float32]()})
+				sf.SetTuner(&schedTuner[float32]{sorters: sorterRing[float32](), asyncs: asyncFlipRing()})
 				sf.ProcessSlice(data)
 				for v, truth := range winExact {
 					if got := sf.Estimate(v); math.Abs(float64(got-truth)) > eps*float64(w)+1e-9 {
@@ -165,7 +184,7 @@ func TestMetamorphicDynamicWindows(t *testing.T) {
 				for _, k := range []int{1, 4} {
 					sched := windowSchedules(qw0)[schedName]
 					factory := shard.WithTunerFactory(func() pipeline.Tuner[float32] {
-						return &schedTuner[float32]{sorters: sorterRing[float32](), windows: sched}
+						return &schedTuner[float32]{sorters: sorterRing[float32](), windows: sched, asyncs: asyncFlipRing()}
 					})
 					pq := eng.NewParallelQuantileEstimator(eps, n, k,
 						append([]ParallelOption{factory, WithBatchSize(1 << 12)}, popts...)...)
@@ -178,6 +197,110 @@ func TestMetamorphicDynamicWindows(t *testing.T) {
 					pf.ProcessSlice(data)
 					pf.Close()
 					checkFrequencyEps(t, "parallel-frequency", pf, exact, n, eps)
+				}
+			})
+		}
+	}
+}
+
+// scriptRescaler replays a fixed shard-count schedule: every `every`
+// ingested values it commands the next count from steps — the reshard
+// analogue of schedTuner, driving scale-ups and drain-and-fold scale-downs
+// at scripted points of the stream regardless of measured throughput.
+type scriptRescaler struct {
+	mu    sync.Mutex
+	steps []int
+	every int64
+	next  int64
+	i     int
+}
+
+func (r *scriptRescaler) Observe(total int64, shards int) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.i >= len(r.steps) || total < r.next {
+		return 0
+	}
+	r.next = total + r.every
+	cmd := r.steps[r.i]
+	r.i++
+	return cmd
+}
+
+func (r *scriptRescaler) executed() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.i
+}
+
+// TestMetamorphicElasticReshard drives the parallel families through
+// adversarial scripted reshard schedules — mid-stream scale-ups that spawn
+// fresh shards, scale-downs that drain retiring shards and fold their
+// snapshots into the retained accumulator, and oscillation between the two —
+// under sync and async shards. Answers must stay within eps of the serial
+// reference no matter when or how often the worker count moves, every
+// scripted command must actually execute, and the final live shard count
+// must match the last command.
+func TestMetamorphicElasticReshard(t *testing.T) {
+	const n = 40_000
+	const eps = 0.01
+	data := stream.Zipf(n, 1.2, n/100+5, 31)
+	ref := append([]float32(nil), data...)
+	cpusort.Quicksort(ref)
+	exact := map[float32]int64{}
+	for _, v := range data {
+		exact[v]++
+	}
+
+	schedules := []struct {
+		name  string
+		start int
+		steps []int
+	}{
+		{"grow", 1, []int{2, 3, 4}},
+		{"shrink", 4, []int{3, 2, 1}},
+		{"oscillate", 2, []int{4, 1, 3, 1, 4, 2}},
+	}
+	const batch = 1 << 11 // small batches so the rescaler is consulted often
+
+	for _, async := range []bool{false, true} {
+		mode := map[bool]string{false: "sync", true: "async"}[async]
+		for _, sc := range schedules {
+			t.Run(mode+"/"+sc.name, func(t *testing.T) {
+				mkOpts := func(r *scriptRescaler) []ParallelOption {
+					opts := []ParallelOption{shard.WithRescaler(r), WithBatchSize(batch)}
+					if async {
+						opts = append(opts, WithAsyncShards())
+					}
+					return opts
+				}
+				eng := New(BackendSampleSort)
+
+				qr := &scriptRescaler{steps: sc.steps, every: 2 * batch, next: 2 * batch}
+				pq := eng.NewParallelQuantileEstimator(eps, n, sc.start, mkOpts(qr)...)
+				pq.ProcessSlice(data)
+				pq.Close()
+				checkQuantileEps(t, "elastic-quantile", pq, ref, eps)
+				if got := qr.executed(); got != len(sc.steps) {
+					t.Fatalf("quantile: %d of %d reshard commands executed", got, len(sc.steps))
+				}
+				if got, want := pq.Shards(), sc.steps[len(sc.steps)-1]; got != want {
+					t.Fatalf("quantile: final shard count %d, want %d", got, want)
+				}
+				if c := pq.Count(); c != int64(n) {
+					t.Fatalf("quantile: Count=%d after resharding, want %d", c, n)
+				}
+
+				fr := &scriptRescaler{steps: sc.steps, every: 2 * batch, next: 2 * batch}
+				pf := eng.NewParallelFrequencyEstimator(eps, sc.start, mkOpts(fr)...)
+				pf.ProcessSlice(data)
+				pf.Close()
+				checkFrequencyEps(t, "elastic-frequency", pf, exact, n, eps)
+				if got := fr.executed(); got != len(sc.steps) {
+					t.Fatalf("frequency: %d of %d reshard commands executed", got, len(sc.steps))
+				}
+				if got, want := pf.Shards(), sc.steps[len(sc.steps)-1]; got != want {
+					t.Fatalf("frequency: final shard count %d, want %d", got, want)
 				}
 			})
 		}
@@ -240,7 +363,40 @@ func TestPinnedTunerBitIdentical(t *testing.T) {
 	pin("frugal",
 		run(static.NewFrugalEstimator()),
 		run(auto.NewFrugalEstimator()))
+
+	// Elastic axes pinned: requesting the concurrency knobs ("async":"auto",
+	// elastic shards) and then pinning every axis must be answer-invisible
+	// too. Serial families ask the controller to own the execution mode but
+	// pin the tuner; parallel families carry a rescaler that never moves
+	// plus pinned shard tuners. K=4 on both sides: construction budgets
+	// match (eps/2 for K>1 static and for any elastic estimator), so the
+	// comparison isolates the runtime machinery.
+	pin("frequency-pinned-async",
+		run(static.NewFrequencyEstimator(eps)),
+		run(auto.NewFrequencyEstimator(eps, withAutoAsync(), WithPinnedTuning())))
+	pin("quantile-pinned-async",
+		run(static.NewQuantileEstimator(eps, n)),
+		run(auto.NewQuantileEstimator(eps, n, withAutoAsync(), WithPinnedTuning())))
+	pin("sliding-quantile-pinned-async",
+		run(static.NewSlidingQuantile(eps, n/5)),
+		run(auto.NewSlidingQuantile(eps, n/5, withAutoAsync(), WithPinnedTuning())))
+	keep := keepRescaler{}
+	pin("parallel-frequency-pinned-elastic",
+		run(static.NewParallelFrequencyEstimator(eps, 4, WithBatchSize(2048))),
+		run(auto.newParallelFrequency(eps, 4, tuningSpec{autoAsync: true},
+			shard.WithRescaler(keep), WithBatchSize(2048), WithPinnedShardTuning[float32]())))
+	pin("parallel-quantile-pinned-elastic",
+		run(static.NewParallelQuantileEstimator(eps, n, 4, WithBatchSize(2048))),
+		run(auto.newParallelQuantile(eps, n, 4, tuningSpec{autoAsync: true},
+			shard.WithRescaler(keep), WithBatchSize(2048), WithPinnedShardTuning[float32]())))
 }
+
+// keepRescaler is the pinned concurrency axis: an elastic estimator whose
+// rescaler never commands a count must be byte-identical to the static
+// configuration at the same shard count.
+type keepRescaler struct{}
+
+func (keepRescaler) Observe(int64, int) int { return 0 }
 
 // TestAutoKnobsReported asserts the engine's telemetry surfaces the live
 // backend/window selection and, for auto estimators, the controller's

@@ -16,6 +16,9 @@
 //	benchreport                                  (full matrix at 1M and 10M)
 //	benchreport -sizes 100000 -o /tmp/smoke.json (CI smoke)
 //	benchreport -modes serial,async -types float32 ...
+//	benchreport -modes elastic -o BENCH_3.json   (elastic concurrency: shards
+//	                                              and execution mode owned by
+//	                                              the runtime controllers)
 package main
 
 import (
@@ -44,6 +47,12 @@ type Result struct {
 	Shards    int    `json:"shards,omitempty"`
 	Supported bool   `json:"supported"`
 	Reason    string `json:"reason,omitempty"`
+	// FinalShards and FinalAsync record where the elastic mode's runtime
+	// controllers landed by the end of the run; Rescales counts shard-count
+	// moves. Zero-valued outside the elastic mode.
+	FinalShards int  `json:"final_shards,omitempty"`
+	FinalAsync  bool `json:"final_async,omitempty"`
+	Rescales    int  `json:"rescales,omitempty"`
 
 	WallNs      int64   `json:"wall_ns,omitempty"`
 	NsPerOp     float64 `json:"ns_per_op,omitempty"`
@@ -72,7 +81,7 @@ type Report struct {
 func main() {
 	out := flag.String("o", "BENCH_1.json", "write the JSON report to this file")
 	sizes := flag.String("sizes", "1000000,10000000", "comma-separated stream lengths")
-	modes := flag.String("modes", "serial,sharded,async", "ingestion modes: serial|sharded|async")
+	modes := flag.String("modes", "serial,sharded,async", "ingestion modes: serial|sharded|async|elastic (elastic = shards:auto + async:auto, runtime-controlled)")
 	queries := flag.String("queries", "frequency,quantile,sliding", "query families: frequency|quantile|sliding")
 	types := flag.String("types", "float32,uint64", "element types: float32|uint64")
 	backendNames := flag.String("backends", "gpu", "comma-separated sorting backends: gpu|gpu-bitonic|cpu|cpu-parallel|samplesort|auto")
@@ -156,7 +165,7 @@ func main() {
 // staged pipelines comparable to synchronous ones.
 func runCell[T gpustream.Value](backend gpustream.Backend, mode, query, typ string, n int, eps, support float64, shards int, seed uint64) (Result, error) {
 	res := Result{Backend: backend.String(), Mode: mode, Query: query, Type: typ, N: n}
-	if mode == "sharded" && query == "sliding" {
+	if (mode == "sharded" || mode == "elastic") && query == "sliding" {
 		res.Reason = "sliding estimators are serial: the window order is the stream order, which sharding destroys"
 		return res, nil
 	}
@@ -168,20 +177,33 @@ func runCell[T gpustream.Value](backend gpustream.Backend, mode, query, typ stri
 	// Every cell is described declaratively and built through the one spec
 	// path the service uses, so the benchmark measures exactly what a
 	// streamd tenant would get.
-	spec := gpustream.Spec{Eps: eps, Backend: backend, Async: mode == "async"}
+	spec := gpustream.Spec{Eps: eps, Backend: backend}
+	switch mode {
+	case "async":
+		spec.Async = gpustream.AsyncOn
+	case "elastic":
+		// The elastic row hands both concurrency knobs to the runtime: the
+		// adaptive controller owns sync vs async, the scaler owns the count.
+		spec.Async = gpustream.AsyncAuto
+		spec.Shards = gpustream.ShardsAuto
+	}
 	switch query {
 	case "frequency":
 		spec.Family = gpustream.FamilyFrequency
 		if mode == "sharded" {
 			spec.Family = gpustream.FamilyParallelFrequency
-			spec.Shards = shards
+			spec.Shards = gpustream.ShardCount(shards)
+		} else if mode == "elastic" {
+			spec.Family = gpustream.FamilyParallelFrequency
 		}
 	case "quantile":
 		spec.Family = gpustream.FamilyQuantile
 		spec.Capacity = int64(n)
 		if mode == "sharded" {
 			spec.Family = gpustream.FamilyParallelQuantile
-			spec.Shards = shards
+			spec.Shards = gpustream.ShardCount(shards)
+		} else if mode == "elastic" {
+			spec.Family = gpustream.FamilyParallelQuantile
 		}
 	case "sliding":
 		spec.Family = gpustream.FamilySlidingQuantile
@@ -239,6 +261,17 @@ func runCell[T gpustream.Value](backend gpustream.Backend, mode, query, typ stri
 	res.ModeledTotalNs = bd.Total().Nanoseconds()
 	res.OverlapNs = st.Overlap.Nanoseconds()
 	res.StallNs = st.Stall.Nanoseconds()
+	if mode == "elastic" {
+		// The engine holds exactly this cell's estimator; its telemetry
+		// records where the runtime controllers landed.
+		if es := eng.Stats(); len(es) > 0 {
+			res.FinalAsync = es[0].Async
+			res.FinalShards = es[0].Shards
+			if es[0].Tuning != nil {
+				res.Rescales = es[0].Tuning.Rescales
+			}
+		}
+	}
 	return res, nil
 }
 

@@ -44,7 +44,7 @@ func main() {
 	scale := flag.Int("scale", 50, "divisor applied to the paper's 100M stream for measured runs")
 	measure := flag.Bool("measure", false, "run slow host measurements too")
 	async := flag.Bool("async", false, "run host measurements with staged asynchronous ingestion and report measured overlap")
-	backendsFlag := flag.String("backends", "gpu,cpu,samplesort", "comma-separated backends for the measured sliding-window runs")
+	backendsFlag := flag.String("backends", "gpu,cpu,samplesort", "comma-separated sorting backends for the measured sliding-window runs: gpu|gpu-bitonic|cpu|cpu-parallel|samplesort|auto")
 	flag.Parse()
 
 	if *scale < 1 {

@@ -30,7 +30,7 @@ func main() {
 	n := flag.Int("n", 1<<20, "number of values to sort")
 	dist := flag.String("dist", "uniform", "input distribution: uniform|zipf|sorted|reversed|gauss")
 	seed := flag.Uint64("seed", 1, "generator seed")
-	backends := flag.String("backends", "gpu,bitonic,cpu,cpu-ht,samplesort", "comma-separated backends")
+	backends := flag.String("backends", "gpu,bitonic,cpu,cpu-ht,samplesort", "comma-separated sorting backends: gpu|gpu-bitonic|cpu|cpu-parallel|samplesort|auto (aliases: bitonic, cpu-ht)")
 	flag.Parse()
 
 	var data []float32

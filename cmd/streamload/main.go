@@ -8,6 +8,12 @@
 //
 // With -inproc it spins the service up in-process on a loopback listener,
 // runs the load, and drains — no separate daemon needed (CI smoke mode).
+//
+// With -ramp the offered rate phase-shifts mid-run — the first and last
+// thirds of the run are paced at a trickle, the middle third goes full
+// throttle — so the elastic runtime knobs (-elastic: "async":"auto" plus,
+// for the parallel families, "shards":"auto") see both regimes on one
+// stream and have to move mid-ingest.
 package main
 
 import (
@@ -49,6 +55,9 @@ func main() {
 		eps      = flag.Float64("eps", 0.01, "estimator eps")
 		useBin   = flag.Bool("binary", false, "POST binary little-endian float32 rows instead of JSON")
 		seed     = flag.Int64("seed", 1, "base RNG seed")
+		elastic  = flag.Bool("elastic", false, "request elastic concurrency in every stream spec: async \"auto\", plus shards \"auto\" for the parallel families")
+		ramp     = flag.Bool("ramp", false, "phase-shifting load: pace the first and last thirds of the run at a trickle, full throttle in between")
+		rampGap  = flag.Duration("rampgap", 2*time.Millisecond, "pause inserted between batch rounds during the trickle phases of -ramp")
 	)
 	flag.Parse()
 
@@ -59,6 +68,15 @@ func main() {
 	spec := gpustream.Spec{Family: fam, Eps: *eps}
 	if fam == gpustream.FamilyFrugal {
 		spec.Eps = 0
+	}
+	if *elastic {
+		if fam == gpustream.FamilyFrugal {
+			log.Fatal("streamload: -elastic does not apply to the frugal family (it never sorts)")
+		}
+		spec.Async = gpustream.AsyncAuto
+		if fam.Parallel() {
+			spec.Shards = gpustream.ShardsAuto
+		}
 	}
 	if spec.Family.AnswersFrequencies() {
 		spec.Support = 0.01
@@ -82,11 +100,14 @@ func main() {
 	client := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: *workers}}
 
 	r := newRunner(client, base, spec, *batch, *skew, *card, *useBin, *seed)
+	if *ramp {
+		r.rampGap = *rampGap
+	}
 	if err := r.createStreams(*tenants, *streams, *workers); err != nil {
 		log.Fatal(err)
 	}
-	log.Printf("streamload: created %d streams (%d tenants x %d), family=%s batch=%d workers=%d",
-		*tenants**streams, *tenants, *streams, fam, *batch, *workers)
+	log.Printf("streamload: created %d streams (%d tenants x %d), family=%s batch=%d workers=%d elastic=%v ramp=%v",
+		*tenants**streams, *tenants, *streams, fam, *batch, *workers, *elastic, *ramp)
 
 	elapsed := r.run(*tenants, *streams, *batches, *duration, *workers)
 	rows := r.rows.Load()
@@ -125,6 +146,9 @@ type runner struct {
 	card   uint64
 	binary bool
 	seed   int64
+	// rampGap > 0 enables the phase-shifting load shape: batch rounds in
+	// the first and last thirds of the run are spaced by this pause.
+	rampGap time.Duration
 
 	requests atomic.Int64
 	rows     atomic.Int64
@@ -210,6 +234,12 @@ func (r *runner) run(tenants, streams, batches int, duration time.Duration, work
 	if duration > 0 {
 		deadline := time.Now().Add(duration)
 		for b := 0; time.Now().Before(deadline); b++ {
+			// Under -ramp the trickle covers the first and last thirds of
+			// the wall-clock budget.
+			into := duration - time.Until(deadline)
+			if r.rampGap > 0 && (into < duration/3 || into > 2*duration/3) {
+				time.Sleep(r.rampGap)
+			}
 			for t := 0; t < tenants && time.Now().Before(deadline); t++ {
 				for s := 0; s < streams; s++ {
 					jobs <- job{t, s}
@@ -218,6 +248,9 @@ func (r *runner) run(tenants, streams, batches int, duration time.Duration, work
 		}
 	} else {
 		for b := 0; b < batches; b++ {
+			if r.rampGap > 0 && (b < batches/3 || b >= 2*batches/3) {
+				time.Sleep(r.rampGap)
+			}
 			for t := 0; t < tenants; t++ {
 				for s := 0; s < streams; s++ {
 					jobs <- job{t, s}

@@ -14,8 +14,14 @@
 //	streammine -backend cpu ...                       (default gpu)
 //	streammine -shards 4 ...                          (parallel ingestion;
 //	                                                   -shards -1 = GOMAXPROCS)
+//	streammine -shards auto ...                       (elastic: a runtime scaler
+//	                                                   hill-climbs the count)
 //	streammine -async ...                             (staged co-processing:
 //	                                                   sort overlaps merge)
+//	streammine -async=auto ...                        (elastic: the adaptive
+//	                                                   controller owns the mode;
+//	                                                   note the =, -async alone
+//	                                                   means on)
 //	streammine -stats ...                             (per-stage pipeline report)
 //	streammine -snapshot part.snap ...                (write the final snapshot
 //	                                                   in the wire format; fan
@@ -54,8 +60,10 @@ func main() {
 	keyed := flag.Bool("keyed", false, "keyed estimation: per-key quantiles over a zipf-keyed stream (uint64 keys)")
 	nkeys := flag.Int("keys", 0, "keyed: key-space cardinality (0 = n/1000+10)")
 	keySkew := flag.Float64("keyskew", 1.2, "keyed: zipf skew of the key distribution")
-	shards := flag.Int("shards", 0, "parallel ingestion shards (0 = serial, <0 = GOMAXPROCS)")
-	async := flag.Bool("async", false, "staged asynchronous ingestion: overlap window sorting with merge/compress")
+	var shards shardsFlag
+	flag.Var(&shards, "shards", "parallel ingestion shards (0 = serial, <0 = GOMAXPROCS, auto = elastic runtime scaling)")
+	var async asyncFlag
+	flag.Var(&async, "async", "staged asynchronous ingestion, overlapping window sorting with merge/compress: on|off|auto (auto lets the adaptive controller own the mode)")
 	seed := flag.Uint64("seed", 1, "generator seed")
 	replayPath := flag.String("replay", "", "replay this trace file instead of generating")
 	top := flag.Int("top", 10, "max frequency items to print")
@@ -126,15 +134,18 @@ func main() {
 
 	eng := gpustream.New(backend)
 	mode := "sync"
-	if *async {
+	switch async.mode {
+	case gpustream.AsyncOn:
 		mode = "async"
+	case gpustream.AsyncAuto:
+		mode = "elastic (async auto)"
 	}
 	fmt.Printf("stream: %d %s values, eps=%g, backend=%v, %s ingestion\n", *n, *dist, *eps, backend, mode)
 
-	if *shards != 0 && *windowSize > 0 {
+	if shards.parallel() && *windowSize > 0 {
 		fatalf("-shards does not combine with -window (sliding estimators are serial)")
 	}
-	if *keyed && (*windowSize > 0 || *shards != 0 || *async) {
+	if *keyed && (*windowSize > 0 || shards.parallel() || async.mode != gpustream.AsyncOff) {
 		fatalf("-keyed does not combine with -window, -shards, or -async (the keyed front-end is serial; only its heavy-hitter oracle runs a sorting pipeline)")
 	}
 
@@ -142,7 +153,7 @@ func main() {
 	if *keyed {
 		runKeyed(eng, data, *nkeys, *keySkew, *eps, *support, *seed, parsePhis(*phis), *top, *snapPath, start)
 	} else {
-		runSpec(eng, backend, data, *query, *eps, *support, parsePhis(*phis), *windowSize, *shards, *async, *top, *snapPath, start)
+		runSpec(eng, backend, data, *query, *eps, *support, parsePhis(*phis), *windowSize, shards, async.mode, *top, *snapPath, start)
 	}
 
 	if *showStats {
@@ -155,15 +166,70 @@ func main() {
 	}
 }
 
+// shardsFlag parses -shards: an integer count (0 = serial, <0 = GOMAXPROCS)
+// or "auto" for elastic runtime scaling.
+type shardsFlag struct {
+	auto bool
+	n    int
+}
+
+func (f *shardsFlag) String() string {
+	if f.auto {
+		return "auto"
+	}
+	return strconv.Itoa(f.n)
+}
+
+func (f *shardsFlag) Set(s string) error {
+	if strings.EqualFold(strings.TrimSpace(s), "auto") {
+		f.auto, f.n = true, 0
+		return nil
+	}
+	n, err := strconv.Atoi(strings.TrimSpace(s))
+	if err != nil {
+		return fmt.Errorf("bad shard count %q (want an integer or auto)", s)
+	}
+	f.auto, f.n = false, n
+	return nil
+}
+
+// parallel reports whether the flag selects a parallel family at all.
+func (f *shardsFlag) parallel() bool { return f.auto || f.n != 0 }
+
+// asyncFlag parses -async as a boolean flag (bare -async means on) that also
+// accepts "auto" for controller-owned mode selection.
+type asyncFlag struct {
+	mode gpustream.AsyncMode
+}
+
+func (f *asyncFlag) String() string { return f.mode.String() }
+
+func (f *asyncFlag) Set(s string) error {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "", "true", "on", "1":
+		f.mode = gpustream.AsyncOn
+	case "false", "off", "0":
+		f.mode = gpustream.AsyncOff
+	case "auto":
+		f.mode = gpustream.AsyncAuto
+	default:
+		return fmt.Errorf("bad async mode %q (want on, off, or auto)", s)
+	}
+	return nil
+}
+
+// IsBoolFlag keeps the historical bare `-async` form working.
+func (f *asyncFlag) IsBoolFlag() bool { return true }
+
 // specFor maps the flag surface onto the declarative estimator spec — the
 // same description a streamd tenant would PUT, so the CLI and the service
 // construct identical estimators.
-func specFor(query string, backend gpustream.Backend, eps float64, n, windowSize, shards int, async bool) (gpustream.Spec, error) {
+func specFor(query string, backend gpustream.Backend, eps float64, n, windowSize int, shards shardsFlag, async gpustream.AsyncMode) (gpustream.Spec, error) {
 	spec := gpustream.Spec{Eps: eps, Backend: backend, Async: async}
 	switch query {
 	case "frequency":
 		switch {
-		case shards != 0:
+		case shards.parallel():
 			spec.Family = gpustream.FamilyParallelFrequency
 		case windowSize > 0:
 			spec.Family = gpustream.FamilySlidingFrequency
@@ -172,7 +238,7 @@ func specFor(query string, backend gpustream.Backend, eps float64, n, windowSize
 		}
 	case "quantile":
 		switch {
-		case shards != 0:
+		case shards.parallel():
 			spec.Family = gpustream.FamilyParallelQuantile
 			spec.Capacity = int64(n)
 		case windowSize > 0:
@@ -187,8 +253,13 @@ func specFor(query string, backend gpustream.Backend, eps float64, n, windowSize
 	if spec.Family.Sliding() {
 		spec.Window = windowSize
 	}
-	if spec.Family.Parallel() && shards > 0 {
-		spec.Shards = shards // <0 stays 0 in the spec: GOMAXPROCS
+	if spec.Family.Parallel() {
+		switch {
+		case shards.auto:
+			spec.Shards = gpustream.ShardsAuto
+		case shards.n > 0:
+			spec.Shards = gpustream.ShardCount(shards.n) // <0 stays 0 in the spec: GOMAXPROCS
+		}
 	}
 	return spec, spec.Validate()
 }
@@ -197,7 +268,7 @@ func specFor(query string, backend gpustream.Backend, eps float64, n, windowSize
 // spec path, ingests the stream, and answers the query from the final
 // snapshot view. Family-specific reporting (shard breakdowns, phase times)
 // is recovered by interface assertion rather than concrete types.
-func runSpec(eng *gpustream.Engine[float32], backend gpustream.Backend, data []float32, query string, eps, support float64, probes []float64, windowSize, shards int, async bool, top int, snapPath string, start time.Time) {
+func runSpec(eng *gpustream.Engine[float32], backend gpustream.Backend, data []float32, query string, eps, support float64, probes []float64, windowSize int, shards shardsFlag, async gpustream.AsyncMode, top int, snapPath string, start time.Time) {
 	spec, err := specFor(query, backend, eps, len(data), windowSize, shards, async)
 	if err != nil {
 		fatalf("%v", err)
@@ -367,12 +438,27 @@ func printStats(all []gpustream.EstimatorStats) {
 				"", st.Overlap, st.Stall, st.MaxInFlight)
 		}
 		if es.Backend != "" {
-			fmt.Printf("  %-18s backend=%s window=%d\n", "", es.Backend, es.Window)
+			mode := "sync"
+			if es.Async {
+				mode = "async"
+			}
+			fmt.Printf("  %-18s backend=%s window=%d mode=%s", "", es.Backend, es.Window, mode)
+			if es.Shards > 0 {
+				fmt.Printf(" shards=%d", es.Shards)
+			}
+			fmt.Println()
 		}
 		if es.Tuning != nil {
 			d := es.Tuning
-			fmt.Printf("  %-18s tuning: phase=%s selected=%s window=%d switches=%d\n",
+			fmt.Printf("  %-18s tuning: phase=%s selected=%s window=%d switches=%d",
 				"", d.Phase, d.Backend, d.Window, d.Switches)
+			if d.Async != "" {
+				fmt.Printf(" mode=%s", d.Async)
+			}
+			if d.ShardPhase != "" {
+				fmt.Printf(" shards=%d shardPhase=%s rescales=%d", d.Shards, d.ShardPhase, d.Rescales)
+			}
+			fmt.Println()
 		}
 		if es.Keyed != nil {
 			k := es.Keyed

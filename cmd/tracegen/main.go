@@ -28,7 +28,7 @@ func main() {
 	quantize := flag.Bool("half", false, "quantize values through 16-bit floats (paper's stream precision)")
 	sortIn := flag.String("sort", "", "externally sort this existing trace instead of generating")
 	runSize := flag.Int("runsize", 1<<20, "external-sort in-memory run size")
-	backend := flag.String("backend", "cpu", "external-sort run backend: gpu|gpu-bitonic|cpu|cpu-parallel|samplesort")
+	backend := flag.String("backend", "cpu", "external-sort run backend: gpu|gpu-bitonic|cpu|cpu-parallel|samplesort|auto (auto runs sample sort statically)")
 	flag.Parse()
 
 	if *sortIn != "" {

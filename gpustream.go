@@ -216,10 +216,20 @@ type EstimatorStats struct {
 	// Window is the pipeline's currently selected sort-window size in
 	// elements; zero for sorter-less families.
 	Window int
+	// Async reports whether the pipeline is currently ingesting through the
+	// staged asynchronous executor — under elastic concurrency
+	// ("async":"auto") this tracks the adaptive controller's live mode
+	// decision. Always false for sorter-less families.
+	Async bool
+	// Shards is the live worker count of the parallel families — under
+	// elastic sharding ("shards":"auto") this tracks the scaler's live
+	// count. Zero for serial families.
+	Shards int
 	// Tuning carries the adaptive controller's externally visible state for
-	// estimators created under BackendAuto (for parallel families, shard
-	// 0's controller — all shards see statistically identical substreams);
-	// nil for pinned or static backends.
+	// estimators created under BackendAuto or with elastic concurrency (for
+	// parallel families, shard 0's controller — all shards see
+	// statistically identical substreams); nil for pinned or fully static
+	// configurations.
 	Tuning *TuningDecision
 	// Keyed carries tier occupancy for "keyed" estimators (per-tier key
 	// counts, promotion rate); nil for every other kind.
@@ -240,9 +250,20 @@ type TuningDecision struct {
 	// Switches counts backend swaps the controller has scheduled,
 	// including probe cycling.
 	Switches int `json:"switches"`
+	// Async is the controller's live execution-mode observation ("sync" or
+	// "async"), empty until the first retune.
+	Async string `json:"async,omitempty"`
 	// NsPerValue holds the latest measured sort cost per value for every
 	// backend probed so far.
 	NsPerValue map[string]float64 `json:"ns_per_value,omitempty"`
+	// Shards, ShardPhase and Rescales carry the shard-count scaler's state
+	// for elastic parallel estimators ("shards":"auto"); zero otherwise.
+	Shards     int    `json:"shards,omitempty"`
+	ShardPhase string `json:"shard_phase,omitempty"`
+	Rescales   int    `json:"rescales,omitempty"`
+	// ShardNsPerValue holds the scaler's latest measured wall clock per
+	// value for every shard count tried so far, keyed by the decimal count.
+	ShardNsPerValue map[string]float64 `json:"shard_ns_per_value,omitempty"`
 }
 
 // Engine binds a sorting backend to the stream-mining algorithms over
@@ -264,6 +285,8 @@ type tracker struct {
 	kind   string
 	stats  func() Stats
 	knobs  func() (string, int)
+	async  func() bool
+	shards func() int
 	tuning func() *TuningDecision
 	keyed  func() KeyedTierStats
 }
@@ -275,24 +298,42 @@ func (e *Engine[T]) track(kind string, fn func() Stats) {
 	e.mu.Unlock()
 }
 
-// trackTuned registers a sorter-backed estimator's stats, live-knob, and
-// (when ctrl is non-nil) tuning-decision readers.
-func (e *Engine[T]) trackTuned(kind string, stats func() Stats, knobs func() (Sorter[T], int), ctrl *adaptive.Controller[T]) {
-	t := tracker{kind: kind, stats: stats}
+// trackTuned registers a sorter-backed estimator's stats, live-knob,
+// execution-mode, and (when ctrl is non-nil) tuning-decision readers.
+func (e *Engine[T]) trackTuned(kind string, stats func() Stats, knobs func() (Sorter[T], int), async func() bool, ctrl *adaptive.Controller[T]) {
+	e.trackElastic(kind, stats, knobs, async, nil, ctrl, nil)
+}
+
+// trackElastic is trackTuned plus the elastic-concurrency readers of the
+// parallel families: the live shard count and (when a Scaler drives it) the
+// scaler's decision, folded into the same TuningDecision as the
+// controller's.
+func (e *Engine[T]) trackElastic(kind string, stats func() Stats, knobs func() (Sorter[T], int), async func() bool, shards func() int, ctrl *adaptive.Controller[T], scaler *adaptive.Scaler) {
+	t := tracker{kind: kind, stats: stats, async: async, shards: shards}
 	t.knobs = func() (string, int) {
 		s, w := knobs()
 		return backendNameOf[T](s), w
 	}
-	if ctrl != nil {
+	if ctrl != nil || scaler != nil {
 		t.tuning = func() *TuningDecision {
-			d := ctrl.Decision()
-			return &TuningDecision{
-				Backend:    d.Backend,
-				Window:     d.Window,
-				Phase:      d.Phase,
-				Switches:   d.Switches,
-				NsPerValue: d.NsPerValue,
+			d := &TuningDecision{}
+			if ctrl != nil {
+				cd := ctrl.Decision()
+				d.Backend = cd.Backend
+				d.Window = cd.Window
+				d.Phase = cd.Phase
+				d.Switches = cd.Switches
+				d.Async = cd.Async
+				d.NsPerValue = cd.NsPerValue
 			}
+			if scaler != nil {
+				sd := scaler.Decision()
+				d.Shards = sd.Shards
+				d.ShardPhase = sd.Phase
+				d.Rescales = sd.Rescales
+				d.ShardNsPerValue = sd.NsPerValue
+			}
+			return d
 		}
 	}
 	e.mu.Lock()
@@ -321,6 +362,12 @@ func (e *Engine[T]) Stats() []EstimatorStats {
 		out[i] = EstimatorStats{Kind: t.kind, Stats: t.stats()}
 		if t.knobs != nil {
 			out[i].Backend, out[i].Window = t.knobs()
+		}
+		if t.async != nil {
+			out[i].Async = t.async()
+		}
+		if t.shards != nil {
+			out[i].Shards = t.shards()
 		}
 		if t.tuning != nil {
 			out[i].Tuning = t.tuning()
@@ -423,6 +470,19 @@ func autoCandidates[T Value](m perfmodel.Model) []adaptive.Candidate[T] {
 	}
 }
 
+// candidateFor resolves a static backend to its single adaptive candidate —
+// the probe set of an elastic-concurrency controller on a non-auto engine,
+// which tunes the execution mode but must never move the backend knob.
+func candidateFor[T Value](b Backend, m perfmodel.Model) adaptive.Candidate[T] {
+	name := b.String()
+	for _, c := range autoCandidates[T](m) {
+		if c.Backend == name {
+			return c
+		}
+	}
+	panic(fmt.Sprintf("gpustream: no adaptive candidate for backend %v", b))
+}
+
 // newBackendSorter is the engine-bound form of the package-level helper.
 func (e *Engine[T]) newBackendSorter() Sorter[T] { return newBackendSorter[T](e.backend) }
 
@@ -454,10 +514,18 @@ func WithPinnedShardTuning[T Value]() ParallelOption {
 type EstimatorOption func(*estimatorConfig)
 
 type estimatorConfig struct {
-	async  bool
-	window int
-	pinned bool
+	async     bool
+	autoAsync bool
+	window    int
+	pinned    bool
 }
+
+// withAutoAsync hands the execution mode (sync vs staged async ingestion) to
+// the adaptive controller: the concurrency phase measures both modes on the
+// live stream and commits to the faster one, re-probing on degradation. The
+// construction path of Spec{Async: AsyncAuto}; unexported because Spec is the
+// declarative surface for elastic concurrency.
+func withAutoAsync() EstimatorOption { return func(c *estimatorConfig) { c.autoAsync = true } }
 
 // WithAsyncIngestion enables staged asynchronous ingestion — the paper's
 // co-processing execution model: each full window is handed to a sort stage
@@ -505,16 +573,24 @@ type tunable[T Value] interface {
 }
 
 // attachTuner wires the estimator's pipeline to an adaptive controller
-// (BackendAuto), a pinned tuner (WithPinnedTuning), or nothing (static
-// backends). It returns the controller when one was attached, for telemetry
-// registration. tuneWindow gates the controller's window hill-climb — off
-// for the sliding families, whose pane size is query semantics.
+// (BackendAuto, or any backend with elastic concurrency), a pinned tuner
+// (WithPinnedTuning), or nothing (fully static configurations). It returns
+// the controller when one was attached, for telemetry registration.
+// tuneWindow gates the controller's window hill-climb — off for the sliding
+// families, whose pane size is query semantics. On a static backend with
+// autoAsync the controller sees exactly one candidate, so the probe phase
+// degenerates to a baseline measurement and only the execution mode moves.
 func (e *Engine[T]) attachTuner(est tunable[T], cfg estimatorConfig, tuneWindow bool) *adaptive.Controller[T] {
 	switch {
 	case cfg.pinned:
 		est.SetTuner(adaptive.Pinned[T]())
 	case e.backend == BackendAuto:
-		ctrl := adaptive.New(autoCandidates[T](e.model), adaptive.Config{TuneWindow: tuneWindow, ProbeFirst: "samplesort"})
+		ctrl := adaptive.New(autoCandidates[T](e.model), adaptive.Config{TuneWindow: tuneWindow, ProbeFirst: "samplesort", TuneAsync: cfg.autoAsync})
+		est.SetTuner(ctrl)
+		return ctrl
+	case cfg.autoAsync:
+		cand := candidateFor[T](e.backend, e.model)
+		ctrl := adaptive.New([]adaptive.Candidate[T]{cand}, adaptive.Config{ProbeFirst: cand.Backend, TuneAsync: true})
 		est.SetTuner(ctrl)
 		return ctrl
 	}
@@ -571,7 +647,7 @@ func (e *Engine[T]) NewFrequencyEstimator(eps float64, opts ...EstimatorOption) 
 	}
 	est := frequency.NewEstimator(eps, e.newBackendSorter(), fopts...)
 	ctrl := e.attachTuner(est, cfg, true)
-	e.trackTuned("frequency", est.Stats, est.Knobs, ctrl)
+	e.trackTuned("frequency", est.Stats, est.Knobs, est.Async, ctrl)
 	return est
 }
 
@@ -589,7 +665,7 @@ func (e *Engine[T]) NewQuantileEstimator(eps float64, capacity int64, opts ...Es
 	}
 	est := quantile.NewEstimator(eps, capacity, e.newBackendSorter(), qopts...)
 	ctrl := e.attachTuner(est, cfg, true)
-	e.trackTuned("quantile", est.Stats, est.Knobs, ctrl)
+	e.trackTuned("quantile", est.Stats, est.Knobs, est.Async, ctrl)
 	return est
 }
 
@@ -601,9 +677,13 @@ func (e *Engine[T]) NewQuantileEstimator(eps float64, capacity int64, opts ...Es
 // shard the output is bit-identical to NewQuantileEstimator. Call Flush to
 // make buffered values queryable and Close when ingestion ends.
 func (e *Engine[T]) NewParallelQuantileEstimator(eps float64, capacity int64, shards int, opts ...ParallelOption) *ParallelQuantileEstimator[T] {
-	opts, ctrl := e.shardTuning(opts)
+	return e.newParallelQuantile(eps, capacity, shards, tuningSpec{}, opts...)
+}
+
+func (e *Engine[T]) newParallelQuantile(eps float64, capacity int64, shards int, tn tuningSpec, opts ...ParallelOption) *ParallelQuantileEstimator[T] {
+	opts, ctrl, scaler := e.shardTuning(tn, opts)
 	est := shard.NewQuantile(eps, capacity, shards, e.newBackendSorter, opts...)
-	e.trackTuned("parallel-quantile", est.Stats, est.Knobs, ctrl())
+	e.trackElastic("parallel-quantile", est.Stats, est.Knobs, est.Async, est.Shards, ctrl(), scaler)
 	return est
 }
 
@@ -615,33 +695,71 @@ func (e *Engine[T]) NewParallelQuantileEstimator(eps float64, capacity int64, sh
 // no-false-negative guarantee; with one shard the output is bit-identical
 // to NewFrequencyEstimator.
 func (e *Engine[T]) NewParallelFrequencyEstimator(eps float64, shards int, opts ...ParallelOption) *ParallelFrequencyEstimator[T] {
-	opts, ctrl := e.shardTuning(opts)
+	return e.newParallelFrequency(eps, shards, tuningSpec{}, opts...)
+}
+
+func (e *Engine[T]) newParallelFrequency(eps float64, shards int, tn tuningSpec, opts ...ParallelOption) *ParallelFrequencyEstimator[T] {
+	opts, ctrl, scaler := e.shardTuning(tn, opts)
 	est := shard.NewFrequency(eps, shards, e.newBackendSorter, opts...)
-	e.trackTuned("parallel-frequency", est.Stats, est.Knobs, ctrl())
+	e.trackElastic("parallel-frequency", est.Stats, est.Knobs, est.Async, est.Shards, ctrl(), scaler)
 	return est
 }
 
+// tuningSpec names the elastic axes a Spec asked the runtime to own:
+// autoAsync hands each shard pipeline's execution mode to its adaptive
+// controller ("async":"auto"), autoShards installs a Scaler that hill-climbs
+// the worker count ("shards":"auto").
+type tuningSpec struct {
+	autoAsync  bool
+	autoShards bool
+}
+
 // shardTuning prepends the engine's adaptive tuner factory to the parallel
-// options under BackendAuto (prepended, so caller-supplied factories — e.g.
-// WithPinnedShardTuning — still win), and returns a getter for shard 0's
-// controller, valid once the sharded constructor has run the factory.
-func (e *Engine[T]) shardTuning(opts []ParallelOption) ([]ParallelOption, func() *adaptive.Controller[T]) {
-	if e.backend != BackendAuto {
-		return opts, func() *adaptive.Controller[T] { return nil }
+// options when the backend is auto or the spec asked for elastic concurrency
+// (prepended, so caller-supplied factories — e.g. WithPinnedShardTuning —
+// still win), installs the shard-count scaler under autoShards, and returns
+// a getter for shard 0's controller, valid once the sharded constructor has
+// run the factory. Shard 0 is never retired by a scale-down (the pool
+// removes workers from the tail and keeps at least one), so its controller
+// stays live for telemetry across any rescale schedule.
+func (e *Engine[T]) shardTuning(tn tuningSpec, opts []ParallelOption) ([]ParallelOption, func() *adaptive.Controller[T], *adaptive.Scaler) {
+	var scaler *adaptive.Scaler
+	if tn.autoShards {
+		scaler = adaptive.NewScaler(adaptive.ScalerConfig{})
+		opts = append([]ParallelOption{shard.WithRescaler(scaler)}, opts...)
 	}
-	var ctrls []*adaptive.Controller[T]
+	if e.backend != BackendAuto && !tn.autoAsync {
+		return opts, func() *adaptive.Controller[T] { return nil }, scaler
+	}
+	// The factory runs under the family's shard lock — at construction and
+	// again on every elastic scale-up — so guard the shard-0 capture with
+	// its own mutex against a concurrent Stats reader.
+	var (
+		mu    sync.Mutex
+		first *adaptive.Controller[T]
+	)
 	factory := func() pipeline.Tuner[T] {
-		c := adaptive.New(autoCandidates[T](e.model), adaptive.Config{TuneWindow: true, ProbeFirst: "samplesort"})
-		ctrls = append(ctrls, c)
+		cands := autoCandidates[T](e.model)
+		cfg := adaptive.Config{TuneWindow: true, ProbeFirst: "samplesort", TuneAsync: tn.autoAsync}
+		if e.backend != BackendAuto {
+			cand := candidateFor[T](e.backend, e.model)
+			cands = []adaptive.Candidate[T]{cand}
+			cfg = adaptive.Config{ProbeFirst: cand.Backend, TuneAsync: true}
+		}
+		c := adaptive.New(cands, cfg)
+		mu.Lock()
+		if first == nil {
+			first = c
+		}
+		mu.Unlock()
 		return c
 	}
 	opts = append([]ParallelOption{shard.WithTunerFactory(factory)}, opts...)
 	return opts, func() *adaptive.Controller[T] {
-		if len(ctrls) == 0 {
-			return nil
-		}
-		return ctrls[0]
-	}
+		mu.Lock()
+		defer mu.Unlock()
+		return first
+	}, scaler
 }
 
 // NewSlidingFrequency returns an eps-approximate frequency estimator over
@@ -654,7 +772,7 @@ func (e *Engine[T]) NewSlidingFrequency(eps float64, w int, opts ...EstimatorOpt
 	}
 	est := window.NewSlidingFrequency(eps, w, e.newBackendSorter(), wopts...)
 	ctrl := e.attachTuner(est, cfg, false)
-	e.trackTuned("sliding-frequency", est.Stats, est.Knobs, ctrl)
+	e.trackTuned("sliding-frequency", est.Stats, est.Knobs, est.Async, ctrl)
 	return est
 }
 
@@ -668,7 +786,7 @@ func (e *Engine[T]) NewSlidingQuantile(eps float64, w int, opts ...EstimatorOpti
 	}
 	est := window.NewSlidingQuantile(eps, w, e.newBackendSorter(), wopts...)
 	ctrl := e.attachTuner(est, cfg, false)
-	e.trackTuned("sliding-quantile", est.Stats, est.Knobs, ctrl)
+	e.trackTuned("sliding-quantile", est.Stats, est.Knobs, est.Async, ctrl)
 	return est
 }
 

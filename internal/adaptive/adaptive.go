@@ -28,6 +28,13 @@
 //	         start; bounded by [MinWindow, MaxWindow]. Skipped when
 //	         Config.TuneWindow is false (sliding families: the pane size
 //	         is query semantics, not an execution knob).
+//	conc   — with backend and window committed, measure one burst in the
+//	         incumbent execution mode and one with sync<->async flipped,
+//	         scored on critical-path time per value (sort + merge +
+//	         compress − overlap); commit to the argmin. Skipped unless
+//	         Config.TuneAsync. The pipeline applies mode flips between
+//	         merged windows only, so any flip schedule is bit-identical
+//	         to a fixed mode.
 //	steady — hold the choice, maintaining an EWMA of ns/value. If the
 //	         EWMA degrades past ReprobeFactor times the committed
 //	         measurement, re-enter probe (the stream's distribution or
@@ -77,6 +84,10 @@ type Config struct {
 	// TuneWindow enables the window hill-climb phase. Off, the controller
 	// adapts the backend only (the sliding families).
 	TuneWindow bool
+	// TuneAsync enables the concurrency phase: after backend (and window)
+	// have settled, the controller measures the incumbent execution mode,
+	// flips sync<->async, and commits to whichever moves the stream faster.
+	TuneAsync bool
 	// ProbeWindows is how many windows each candidate is measured for in
 	// the probe phase and each hill-climb trial; default 4.
 	ProbeWindows int
@@ -111,6 +122,7 @@ func (c *Config) defaults() {
 const (
 	PhaseProbe  = "probe"
 	PhaseWindow = "window"
+	PhaseConc   = "concurrency"
 	PhaseSteady = "steady"
 )
 
@@ -121,6 +133,9 @@ type Decision struct {
 	Window   int    `json:"window"`
 	Phase    string `json:"phase"`
 	Switches int    `json:"switches"`
+	// Async is the live execution mode ("sync" or "async"), empty until
+	// the first Retune has reported the pipeline's state.
+	Async string `json:"async,omitempty"`
 	// NsPerValue holds the latest measured sort cost per value for every
 	// backend that has been probed so far.
 	NsPerValue map[string]float64 `json:"ns_per_value,omitempty"`
@@ -143,8 +158,17 @@ type Controller[T sorter.Value] struct {
 
 	// Retune reads cumulative Stats; deltas against the previous call give
 	// the per-window measurement.
-	lastSort   time.Duration
-	lastValues int64
+	lastSort     time.Duration
+	lastMerge    time.Duration
+	lastCompress time.Duration
+	lastOverlap  time.Duration
+	lastValues   int64
+
+	// Concurrency-phase state.
+	async     bool    // live execution mode, mirrored from cur each Retune
+	seen      bool    // async has been observed at least once
+	concTrial int     // 0 measuring the incumbent mode, 1 measuring the flip
+	concBase  float64 // incumbent-mode statistic
 
 	// Measurement burst for the current probe step or window trial.
 	samples    []float64 // per-window ns/value of the current burst
@@ -234,8 +258,15 @@ func (c *Controller[T]) Retune(st pipeline.Stats, cur pipeline.Knobs[T]) (pipeli
 	defer c.mu.Unlock()
 
 	dSort := st.Sort - c.lastSort
+	dMerge := st.Merge - c.lastMerge
+	dCompress := st.Compress - c.lastCompress
+	dOverlap := st.Overlap - c.lastOverlap
 	dVals := st.SortedValues - c.lastValues
-	c.lastSort, c.lastValues = st.Sort, st.SortedValues
+	c.lastSort, c.lastMerge = st.Sort, st.Merge
+	c.lastCompress, c.lastOverlap = st.Compress, st.Overlap
+	c.lastValues = st.SortedValues
+	c.async = cur.Async == pipeline.AsyncOn
+	c.seen = true
 
 	// On an async pipeline (MaxInFlight > 0 from the first window) up to
 	// two windows sorted under the previous knobs may still be in flight
@@ -261,9 +292,67 @@ func (c *Controller[T]) Retune(st pipeline.Stats, cur pipeline.Knobs[T]) (pipeli
 		return c.probeStep(perValue)
 	case PhaseWindow:
 		return c.windowStep(perValue)
+	case PhaseConc:
+		// The mode decision is about the whole pipeline's critical path,
+		// not just the sort: busy time across all three stages minus the
+		// overlap the executor hid. Sync scores sort+merge+compress; async
+		// scores the same work minus what it ran concurrently.
+		critical := dSort + dMerge + dCompress - dOverlap
+		return c.concStep(float64(critical.Nanoseconds()) / float64(dVals))
 	default:
 		return c.steadyStep(perValue)
 	}
+}
+
+// settle leaves the backend/window phases: into the concurrency phase when
+// enabled, else straight to steady state. The concurrency phase starts by
+// measuring the incumbent mode, so no knob change is needed on entry.
+func (c *Controller[T]) settle() {
+	if c.cfg.TuneAsync {
+		c.phase = PhaseConc
+		c.concTrial = 0
+		c.concBase = 0
+		c.resetBurst()
+		return
+	}
+	c.phase = PhaseSteady
+}
+
+// concStep runs the concurrency phase: one burst in the incumbent execution
+// mode, one in the flipped mode, commit to the measured argmin. The probe
+// order is the modeled-cost order in miniature — the incumbent was chosen by
+// everything measured so far, so it is the reference the flip must beat by
+// the hysteresis margin.
+func (c *Controller[T]) concStep(perValue float64) (pipeline.Knobs[T], bool) {
+	if !c.burst(perValue) {
+		return pipeline.Knobs[T]{}, false
+	}
+	stat := c.statistic()
+	c.resetBurst()
+	if c.concTrial == 0 {
+		c.concBase = stat
+		c.concTrial = 1
+		c.switches++
+		return c.modeKnobs(!c.async), true
+	}
+	c.phase = PhaseSteady
+	if stat < c.concBase*(1-hysteresis) {
+		// The flipped mode (already active) wins; hold it.
+		return pipeline.Knobs[T]{}, false
+	}
+	c.switches++
+	return c.modeKnobs(!c.async), true
+}
+
+// modeKnobs materializes the current backend/window choice with an explicit
+// execution mode.
+func (c *Controller[T]) modeKnobs(async bool) pipeline.Knobs[T] {
+	k := c.knobs()
+	k.Async = pipeline.AsyncOff
+	if async {
+		k.Async = pipeline.AsyncOn
+	}
+	return k
 }
 
 // knobs materializes the controller's current choice.
@@ -335,7 +424,7 @@ func (c *Controller[T]) probeStep(perValue float64) (pipeline.Knobs[T], bool) {
 		c.prevWin = c.window
 		c.window *= 2
 	} else {
-		c.phase = PhaseSteady
+		c.settle()
 	}
 	return c.knobs(), true
 }
@@ -363,7 +452,7 @@ func (c *Controller[T]) windowStep(perValue float64) (pipeline.Knobs[T], bool) {
 			c.window = next
 			return c.knobs(), true
 		}
-		c.phase = PhaseSteady
+		c.settle()
 		return pipeline.Knobs[T]{}, false
 	}
 	// Trial regressed: revert, and if we were growing, try one halving
@@ -375,7 +464,7 @@ func (c *Controller[T]) windowStep(perValue float64) (pipeline.Knobs[T], bool) {
 		c.window /= 2
 		return c.knobs(), true
 	}
-	c.phase = PhaseSteady
+	c.settle()
 	return c.knobs(), true
 }
 
@@ -414,6 +503,12 @@ func (c *Controller[T]) Decision() Decision {
 	}
 	if !c.started {
 		d.Phase = PhaseProbe
+	}
+	if c.seen {
+		d.Async = "sync"
+		if c.async {
+			d.Async = "async"
+		}
 	}
 	for i, n := range c.ns {
 		if n > 0 {

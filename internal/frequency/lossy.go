@@ -116,6 +116,11 @@ func (e *Estimator[T]) SetTuner(t pipeline.Tuner[T]) { e.core.SetTuner(t) }
 // Knobs reports the currently selected sorter and window size.
 func (e *Estimator[T]) Knobs() (sorter.Sorter[T], int) { return e.core.Tuning() }
 
+// Async reports the commanded execution mode: overlapped staged execution
+// when true (WithAsync at construction or a tuner's AsyncOn), inline
+// synchronous execution otherwise.
+func (e *Estimator[T]) Async() bool { return e.core.Async() }
+
 // Eps reports the configured error bound.
 func (e *Estimator[T]) Eps() float64 { return e.eps }
 

@@ -108,8 +108,9 @@ func (o *overlapTracker) total() time.Duration {
 // subsequent full windows are handed to the sort stage goroutine and their
 // merge/compress runs on the merge stage goroutine while ingestion refills.
 // It must be called on a staged core (NewStagedCore), at most once, and
-// before any value is ingested — the mode is a construction-time choice, not
-// a runtime toggle. Close drains and terminates both stage goroutines.
+// before any value is ingested — it picks the initial mode; a Tuner owns
+// the mode at runtime through the Knobs.Async knob. Close drains and
+// terminates both stage goroutines.
 func (c *Core[T]) StartAsync() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -122,6 +123,15 @@ func (c *Core[T]) StartAsync() {
 	if c.closed || c.count != 0 {
 		panic("pipeline: StartAsync must precede ingestion")
 	}
+	c.asyncWant = true
+	c.startExecutorLocked()
+}
+
+// startExecutorLocked spins up the two stage goroutines. The caller must
+// hold the lock with no window mid-hand-off; starting between windows is
+// always safe because the executor begins empty — the very next sealed
+// window is simply handed off instead of sorted inline.
+func (c *Core[T]) startExecutorLocked() {
 	e := &executor[T]{
 		sortCh:   make(chan sortJob[T], 1),
 		sortedCh: make(chan sortedWindow[T], 1),
@@ -132,8 +142,32 @@ func (c *Core[T]) StartAsync() {
 	// at the first hand-off and the two then alternate through freeCh.
 	e.freeCh <- getBuf[T](c.window)
 	c.exec = e
-	go c.runSort()
-	go c.runMerge()
+	go c.runSort(e)
+	go c.runMerge(e)
+}
+
+// stopExecutorLocked quiesces and joins the stage goroutines, folding the
+// executor's overlap total into the base stats so nothing is lost across the
+// transition. The caller must hold the lock. Waiting for done while holding
+// the lock is safe: after BarrierLocked both stages are idle and blocked on
+// their channels, and the shutdown cascade (close sortCh -> sort stage
+// closes sortedCh -> merge stage closes done) takes no core lock because
+// neither range loop has an item left to process.
+func (c *Core[T]) stopExecutorLocked() {
+	c.BarrierLocked()
+	exec := c.exec
+	c.exec = nil
+	c.stats.Overlap += exec.ov.total()
+	close(exec.sortCh)
+	<-exec.done
+	for {
+		select {
+		case b := <-exec.freeCh:
+			putBuf(b)
+		default:
+			return
+		}
+	}
 }
 
 // emitAsync hands the full window to the executor and swaps in a recycled
@@ -190,9 +224,10 @@ func (c *Core[T]) BarrierLocked() {
 // runSort is the sort stage: it sorts windows one at a time in arrival
 // order with the sorter each job was sealed under, submitting through the
 // backend's async surface when it has one (the paper's non-blocking render
-// + readback).
-func (c *Core[T]) runSort() {
-	e := c.exec
+// + readback). The executor is passed explicitly: c.exec may already point
+// at a successor (or nil) by the time a stopped executor's goroutines wind
+// down.
+func (c *Core[T]) runSort(e *executor[T]) {
 	for job := range e.sortCh {
 		e.ov.enter(stageSort)
 		t0 := time.Now()
@@ -211,8 +246,7 @@ func (c *Core[T]) runSort() {
 // runMerge is the merge/compress stage: it folds sorted windows into the
 // summary state under the core lock (the same contract a synchronous sink
 // has), lands the sort stage's telemetry, and recycles the buffer.
-func (c *Core[T]) runMerge() {
-	e := c.exec
+func (c *Core[T]) runMerge(e *executor[T]) {
 	for sw := range e.sortedCh {
 		e.ov.enter(stageMerge)
 		c.mu.Lock()

@@ -198,6 +198,73 @@ func TestAsyncCloseIsIdempotentAndFinal(t *testing.T) {
 	}
 }
 
+// flipTuner commands an executor transition at almost every window
+// boundary — on, off, keep, on, off — exercising mid-stream mode changes in
+// both directions.
+type flipTuner struct{ i int }
+
+func (f *flipTuner) Retune(Stats, Knobs[float32]) (Knobs[float32], bool) {
+	ring := []AsyncKnob{AsyncOn, AsyncOff, AsyncKeep, AsyncOn, AsyncOff}
+	f.i++
+	return Knobs[float32]{Async: ring[f.i%len(ring)]}, true
+}
+
+// TestAsyncFlipMidStreamBitIdentical pins the elastic execution-mode knob
+// at the core level: a schedule of sync↔async flips must hand the merge
+// stage the same sorted windows in the same order as a fixed-mode run, from
+// either starting mode and for both slice and per-element ingestion — and
+// the executor must genuinely start and stop along the way, observed
+// between ingestion calls.
+func TestAsyncFlipMidStreamBitIdentical(t *testing.T) {
+	data := make([]float32, 64*40+17) // 40 full windows plus a partial tail
+	for i := range data {
+		data[i] = float32((i * 6007) % 997)
+	}
+	run := func(startAsync, flip, oneByOne bool) ([][]float32, map[bool]bool) {
+		c, wins := stagedCollect(64, startAsync)
+		if flip {
+			c.SetTuner(&flipTuner{})
+		}
+		modes := map[bool]bool{}
+		step := 160 // not a window multiple, so flips land mid-buffer too
+		if oneByOne {
+			step = 1
+		}
+		for off := 0; off < len(data); off += step {
+			end := min(off+step, len(data))
+			if oneByOne {
+				c.Process(data[off])
+			} else {
+				c.ProcessSlice(data[off:end])
+			}
+			// Reconcile exactly as the next ingestion entry would — barrier
+			// so every in-flight retune has landed, then apply the
+			// commanded mode — and record the live executor state.
+			c.mu.Lock()
+			c.BarrierLocked()
+			c.applyAsyncLocked()
+			modes[c.exec != nil] = true
+			c.mu.Unlock()
+		}
+		c.Close()
+		return *wins, modes
+	}
+	for _, oneByOne := range []bool{false, true} {
+		base, _ := run(false, false, oneByOne)
+		for _, startAsync := range []bool{false, true} {
+			got, modes := run(startAsync, true, oneByOne)
+			if !reflect.DeepEqual(base, got) {
+				t.Fatalf("oneByOne=%v startAsync=%v: flip schedule diverged from fixed sync (%d vs %d windows)",
+					oneByOne, startAsync, len(base), len(got))
+			}
+			if !modes[true] || !modes[false] {
+				t.Fatalf("oneByOne=%v startAsync=%v: executor never transitioned (observed modes %v)",
+					oneByOne, startAsync, modes)
+			}
+		}
+	}
+}
+
 func TestStartAsyncMisuse(t *testing.T) {
 	expectPanic := func(name string, f func()) {
 		t.Helper()

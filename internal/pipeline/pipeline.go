@@ -95,12 +95,26 @@ func (s *Stats) Add(o Stats) {
 	}
 }
 
+// AsyncKnob is the tri-state execution-mode knob. The zero value keeps the
+// current mode, matching the "zero means keep" convention of the other knob
+// fields, so tuners that only touch the sorter or window never flip modes by
+// accident.
+type AsyncKnob int8
+
+const (
+	AsyncKeep AsyncKnob = iota // keep the current execution mode
+	AsyncOn                    // staged overlapped execution (two stage goroutines)
+	AsyncOff                   // inline synchronous execution
+)
+
 // Knobs are the runtime-tunable execution parameters of a staged core: the
-// sorting backend and the window size. In a Tuner's return value a nil
-// Sorter or non-positive Window means "keep the current setting".
+// sorting backend, the window size, and the execution mode. In a Tuner's
+// return value a nil Sorter, non-positive Window, or AsyncKeep means "keep
+// the current setting".
 type Knobs[T sorter.Value] struct {
 	Sorter sorter.Sorter[T]
 	Window int
+	Async  AsyncKnob
 }
 
 // Tuner is the runtime controller consulted at every window boundary, right
@@ -179,6 +193,13 @@ type Core[T sorter.Value] struct {
 	exec    *executor[T]
 	handoff bool // window being handed to the executor, mu released mid-emit
 	inflight int // windows between hand-off and merge completion
+
+	// asyncWant is the commanded execution mode. It may disagree with the
+	// live mode (exec != nil) for a moment: a tuner flips it on the merge
+	// goroutine, where the executor cannot be stopped (stopping joins that
+	// very goroutine), and the next ingestion call applies it at a window
+	// boundary via applyAsyncLocked.
+	asyncWant bool
 
 	// tuner, when set, is consulted after every merged window and may swap
 	// the sorter and resize the window at that boundary (SetTuner).
@@ -269,12 +290,19 @@ func (c *Core[T]) SetTuner(t Tuner[T]) {
 // applies the returned knobs. A sorter swap takes effect with the next
 // sealed window: the synchronous path reads c.srt at the next emit and the
 // async path snapshots the sorter into each hand-off, so a window already
-// in flight keeps the sorter it was sealed with.
+// in flight keeps the sorter it was sealed with. An Async flip only records
+// the commanded mode here; applyAsyncLocked performs the actual executor
+// transition on an ingestion goroutine, never on the merge stage (which
+// could not join itself).
 func (c *Core[T]) retune() {
 	if c.tuner == nil {
 		return
 	}
-	next, ok := c.tuner.Retune(c.StatsLocked(), Knobs[T]{Sorter: c.srt, Window: c.window})
+	cur := Knobs[T]{Sorter: c.srt, Window: c.window, Async: AsyncOff}
+	if c.asyncWant {
+		cur.Async = AsyncOn
+	}
+	next, ok := c.tuner.Retune(c.StatsLocked(), cur)
 	if !ok {
 		return
 	}
@@ -283,6 +311,30 @@ func (c *Core[T]) retune() {
 	}
 	if next.Window > 0 {
 		c.window = next.Window
+	}
+	switch next.Async {
+	case AsyncOn:
+		c.asyncWant = true
+	case AsyncOff:
+		c.asyncWant = false
+	}
+}
+
+// applyAsyncLocked reconciles the live execution mode with the commanded
+// one. It runs on ingestion goroutines only (Process/ProcessSlice entry and
+// the synchronous emit path), with the lock held and no window mid-hand-off,
+// so transitions always happen between merged windows: stopping quiesces the
+// stages through BarrierLocked first, starting just spins the goroutines up.
+// Either way every value still passes through exactly one sorted window, so
+// a schedule of mode flips is bit-identical to any fixed mode.
+func (c *Core[T]) applyAsyncLocked() {
+	if c.closed || c.srt == nil || c.asyncWant == (c.exec != nil) {
+		return
+	}
+	if c.asyncWant {
+		c.startExecutorLocked()
+	} else {
+		c.stopExecutorLocked()
 	}
 }
 
@@ -339,6 +391,7 @@ func (c *Core[T]) Process(v T) error {
 	if c.closed {
 		return ErrClosed
 	}
+	c.applyAsyncLocked()
 	c.count++
 	c.buf = append(c.buf, v)
 	if len(c.buf) >= c.window {
@@ -358,6 +411,7 @@ func (c *Core[T]) ProcessSlice(data []T) error {
 	if c.closed {
 		return ErrClosed
 	}
+	c.applyAsyncLocked()
 	c.count += int64(len(data))
 	for len(data) > 0 {
 		room := c.window - len(c.buf)
@@ -410,36 +464,21 @@ func (c *Core[T]) FlushLocked() {
 // idempotent and always returns nil.
 func (c *Core[T]) Close() error {
 	c.mu.Lock()
+	defer c.mu.Unlock()
 	c.waitHandoff()
 	if c.closed {
-		c.mu.Unlock()
 		return nil
 	}
 	c.FlushLocked()
+	if c.exec != nil {
+		c.stopExecutorLocked()
+	}
 	c.closed = true
 	putBuf(c.buf)
 	c.buf = nil
 	if c.scratch != nil {
 		putBuf(c.scratch)
 		c.scratch = nil
-	}
-	exec := c.exec
-	c.mu.Unlock()
-	if exec != nil {
-		// The barrier inside FlushLocked drained every in-flight window, so
-		// both stage goroutines are idle; closing the submission channel
-		// cascades the shutdown (sort stage closes sortedCh, merge stage
-		// closes done) and the spare buffers return to the pool.
-		close(exec.sortCh)
-		<-exec.done
-		for {
-			select {
-			case b := <-exec.freeCh:
-				putBuf(b)
-			default:
-				return nil
-			}
-		}
 	}
 	return nil
 }
@@ -461,6 +500,9 @@ func (c *Core[T]) emit() {
 		c.mergeFn(c.buf)
 		c.buf = c.buf[:0]
 		c.retune()
+		// The sync path runs on an ingestion goroutine, so a sync->async
+		// decision can take effect immediately (mid-ProcessSlice even).
+		c.applyAsyncLocked()
 	default:
 		c.sink(c.buf)
 		c.buf = c.buf[:0]
@@ -500,11 +542,23 @@ func (c *Core[T]) Stats() Stats {
 	return c.StatsLocked()
 }
 
-// StatsLocked is Stats for callers already holding the lock.
+// StatsLocked is Stats for callers already holding the lock. Overlap
+// accumulated by executors already stopped lives in c.stats; the live
+// executor's running total is added on top, so mode flips never lose
+// overlap already earned.
 func (c *Core[T]) StatsLocked() Stats {
 	s := c.stats
 	if c.exec != nil {
-		s.Overlap = c.exec.ov.total()
+		s.Overlap += c.exec.ov.total()
 	}
 	return s
+}
+
+// Async reports the commanded execution mode: true when the staged executor
+// is running (or a tuner has committed to starting it at the next ingestion
+// call), false for inline synchronous execution.
+func (c *Core[T]) Async() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.asyncWant
 }

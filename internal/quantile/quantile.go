@@ -135,6 +135,11 @@ func (e *Estimator[T]) SetTuner(t pipeline.Tuner[T]) { e.core.SetTuner(t) }
 // Knobs reports the currently selected sorter and window size.
 func (e *Estimator[T]) Knobs() (sorter.Sorter[T], int) { return e.core.Tuning() }
 
+// Async reports the commanded execution mode: overlapped staged execution
+// when true (WithAsync at construction or a tuner's AsyncOn), inline
+// synchronous execution otherwise.
+func (e *Estimator[T]) Async() bool { return e.core.Async() }
+
 // Count reports the number of stream elements processed, including buffered
 // ones.
 func (e *Estimator[T]) Count() int64 { return e.core.Count() }

@@ -298,7 +298,7 @@ func TestServiceDrainSpill(t *testing.T) {
 	// sharded quantile, frequency, frugal.
 	specs := map[string]gpustream.Spec{
 		"quant":    {Family: gpustream.FamilyQuantile, Eps: 0.005},
-		"parallel": {Family: gpustream.FamilyParallelQuantile, Eps: 0.005, Shards: 2, Async: true},
+		"parallel": {Family: gpustream.FamilyParallelQuantile, Eps: 0.005, Shards: 2, Async: gpustream.AsyncOn},
 		"hits":     {Family: gpustream.FamilyFrequency, Eps: 0.005, Support: 0.01},
 		"frugal":   {Family: gpustream.FamilyFrugal, Phis: []float64{0.5}},
 	}

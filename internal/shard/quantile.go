@@ -3,6 +3,7 @@ package shard
 import (
 	"context"
 	"fmt"
+	"sync"
 	"sync/atomic"
 
 	"gpustream/internal/perfmodel"
@@ -25,10 +26,26 @@ import (
 // Queries and snapshots are safe against concurrent ingestion: each shard
 // estimator is internally synchronized by its pipeline core.
 type Quantile[T sorter.Value] struct {
-	pool   *pool[T]
-	eps    float64
-	ests   []*quantile.Estimator[T]
-	tuners []pipeline.Tuner[T] // per-shard tuners, empty without WithTunerFactory
+	pool *pool[T]
+	eps  float64
+
+	// mu guards the elastic shard set: ests/tuners mutate when a Rescaler
+	// commands a new count. Queries take the read side; rescales (rare, on
+	// the ingestion goroutine) take the write side. Lock order is always
+	// family mu -> pool mu -> estimator core locks.
+	mu       sync.RWMutex
+	ests     []*quantile.Estimator[T]
+	tuners   []pipeline.Tuner[T] // per-shard tuners, empty without WithTunerFactory
+	mkEst    func() *quantile.Estimator[T]
+	newTuner func() pipeline.Tuner[T]
+
+	// Elastic state: rescaler owns the shard count; retired accumulates the
+	// folded snapshots of drained shards (scale-down) and retiredStats their
+	// telemetry, so queries and stats cover the whole ingested stream.
+	rescaler     Rescaler
+	sinceObs     atomic.Int64
+	retired      *quantile.Snapshot[T]
+	retiredStats pipeline.Stats
 
 	queryMergeOps atomic.Int64
 }
@@ -42,11 +59,14 @@ func NewQuantile[T sorter.Value](eps float64, capacity int64, shards int, newSor
 		panic(fmt.Sprintf("shard: eps %v out of (0, 1)", eps))
 	}
 	k := Resolve(shards)
+	cfg := parseOptions(opts)
 	shardEps := eps
-	if k > 1 {
+	if k > 1 || cfg.rescaler != nil {
+		// The halved budget is what makes the merge rule eps-safe at any
+		// shard count, so an elastic estimator pays it from the start even
+		// at K=1: a later scale-up then never widens the merged error.
 		shardEps = eps / 2
 	}
-	cfg := parseOptions(opts)
 	var estOpts []quantile.Option
 	if cfg.async {
 		estOpts = append(estOpts, quantile.WithAsync())
@@ -54,22 +74,18 @@ func NewQuantile[T sorter.Value](eps float64, capacity int64, shards int, newSor
 	if cfg.window > 0 {
 		estOpts = append(estOpts, quantile.WithWindow(cfg.window))
 	}
-	newTuner := shardTuner[T](cfg)
-	q := &Quantile[T]{eps: eps}
+	q := &Quantile[T]{eps: eps, rescaler: cfg.rescaler}
+	q.newTuner = shardTuner[T](cfg)
+	q.mkEst = func() *quantile.Estimator[T] {
+		return quantile.NewEstimator(shardEps, capacity, newSorter(), estOpts...)
+	}
 	procs := make([]func([]T), k)
 	for i := 0; i < k; i++ {
-		est := quantile.NewEstimator(shardEps, capacity, newSorter(), estOpts...)
-		if newTuner != nil {
-			t := newTuner()
-			est.SetTuner(t)
-			q.tuners = append(q.tuners, t)
-		}
-		q.ests = append(q.ests, est)
-		// The pool never closes shard estimators while workers still hand
-		// them batches, so ingestion here cannot fail.
-		procs[i] = func(b []T) { _ = est.ProcessSlice(b) }
+		procs[i] = q.addShardLocked()
 	}
 	q.pool = newPool(procs, cfg, func() {
+		q.mu.RLock()
+		defer q.mu.RUnlock()
 		for _, est := range q.ests {
 			_ = est.Close()
 		}
@@ -77,11 +93,105 @@ func NewQuantile[T sorter.Value](eps float64, capacity int64, shards int, newSor
 	return q
 }
 
+// addShardLocked builds one shard estimator (plus its tuner when a factory
+// is configured) and returns the worker processor bound to it. The caller
+// holds mu (or is the constructor). The pool never closes shard estimators
+// while workers still hand them batches, so ingestion in the processor
+// cannot fail.
+func (q *Quantile[T]) addShardLocked() func([]T) {
+	est := q.mkEst()
+	if q.newTuner != nil {
+		t := q.newTuner()
+		est.SetTuner(t)
+		q.tuners = append(q.tuners, t)
+	}
+	q.ests = append(q.ests, est)
+	return func(b []T) { _ = est.ProcessSlice(b) }
+}
+
+// maybeRescale consults the rescaler roughly once per dispatched batch and
+// applies its command. It runs on the ingestion goroutine — the pool's
+// single writer — so removeWorkers' quiesce wait terminates: no new batches
+// arrive while it blocks.
+func (q *Quantile[T]) maybeRescale(n int64) {
+	if q.rescaler == nil {
+		return
+	}
+	if q.sinceObs.Add(n) < int64(q.pool.BatchSize()) {
+		return
+	}
+	q.sinceObs.Store(0)
+	if want := q.rescaler.Observe(q.pool.Count(), q.pool.Shards()); want > 0 {
+		q.rescale(want)
+	}
+}
+
+// rescale applies a commanded shard count. Scale-up spawns fresh shards at
+// the same eps/2 budget every shard already runs; scale-down quiesces the
+// pool, retires the tail shards through their close path, and folds their
+// snapshots into the retained accumulator with the GK sensor merge rule —
+// error-neutral, so the merged answer stays within eps under any schedule
+// (DESIGN.md §16).
+func (q *Quantile[T]) rescale(want int) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	cur := len(q.ests)
+	switch {
+	case want > cur:
+		procs := make([]func([]T), 0, want-cur)
+		for len(q.ests) < want {
+			procs = append(procs, q.addShardLocked())
+		}
+		if !q.pool.addWorkers(procs) {
+			for _, est := range q.ests[cur:] {
+				_ = est.Close()
+			}
+			q.ests = q.ests[:cur]
+			if len(q.tuners) > cur {
+				q.tuners = q.tuners[:cur]
+			}
+		}
+	case want < cur && want >= 1:
+		idle, ok := q.pool.removeWorkers(cur - want)
+		if !ok {
+			return
+		}
+		victims := q.ests[want:]
+		q.ests = q.ests[:want]
+		if len(q.tuners) > want {
+			q.tuners = q.tuners[:want]
+		}
+		for i, est := range victims {
+			_ = est.Flush()
+			snap := est.Snapshot().(*quantile.Snapshot[T])
+			st := est.Stats()
+			if i < len(idle) {
+				st.Idle += idle[i]
+			}
+			_ = est.Close()
+			q.retiredStats.Add(st)
+			if snap.Count() == 0 {
+				continue
+			}
+			if q.retired == nil {
+				q.retired = snap
+			} else {
+				q.retired = quantile.MergeSnapshots(q.retired, snap)
+			}
+		}
+	}
+}
+
 // Eps reports the configured end-to-end error bound.
 func (q *Quantile[T]) Eps() float64 { return q.eps }
 
-// ShardEps reports the per-shard error budget (eps/2 for K > 1).
-func (q *Quantile[T]) ShardEps() float64 { return q.ests[0].Eps() }
+// ShardEps reports the per-shard error budget (eps/2 for K > 1 and for any
+// elastic estimator).
+func (q *Quantile[T]) ShardEps() float64 {
+	q.mu.RLock()
+	defer q.mu.RUnlock()
+	return q.ests[0].Eps()
+}
 
 // Shards reports the number of shard workers.
 func (q *Quantile[T]) Shards() int { return q.pool.Shards() }
@@ -91,11 +201,33 @@ func (q *Quantile[T]) Count() int64 { return q.pool.Count() }
 
 // Process ingests one stream element. After Close it returns an error
 // wrapping pipeline.ErrClosed.
-func (q *Quantile[T]) Process(v T) error { return q.pool.Process(v) }
+func (q *Quantile[T]) Process(v T) error {
+	if err := q.pool.Process(v); err != nil {
+		return err
+	}
+	q.maybeRescale(1)
+	return nil
+}
 
 // ProcessSlice ingests a batch of stream elements. After Close it returns
-// an error wrapping pipeline.ErrClosed.
-func (q *Quantile[T]) ProcessSlice(data []T) error { return q.pool.ProcessSlice(data) }
+// an error wrapping pipeline.ErrClosed. An elastic estimator chunks the
+// slice at the dispatch batch size so the rescaler observes per-batch
+// throughput even when the caller hands the whole stream in one call.
+func (q *Quantile[T]) ProcessSlice(data []T) error {
+	if q.rescaler == nil {
+		return q.pool.ProcessSlice(data)
+	}
+	step := q.pool.BatchSize()
+	for len(data) > 0 {
+		n := min(step, len(data))
+		if err := q.pool.ProcessSlice(data[:n]); err != nil {
+			return err
+		}
+		q.maybeRescale(int64(n))
+		data = data[n:]
+	}
+	return nil
+}
 
 // Flush dispatches buffered values and waits until every shard has absorbed
 // its in-flight batches.
@@ -121,10 +253,12 @@ func (q *Quantile[T]) Summary() *summary.Summary[T] { return q.snapshot() }
 // against concurrent ingestion; the result is immutable.
 func (q *Quantile[T]) snapshot() *summary.Summary[T] {
 	q.pool.Flush()
-	if len(q.ests) == 1 {
+	q.mu.RLock()
+	defer q.mu.RUnlock()
+	if len(q.ests) == 1 && q.retired == nil {
 		return q.ests[0].Summary()
 	}
-	var acc *quantile.Snapshot[T]
+	acc := q.retired
 	var mergeOps int64
 	for _, est := range q.ests {
 		s := est.Snapshot().(*quantile.Snapshot[T])
@@ -172,12 +306,18 @@ func (q *Quantile[T]) QueryRank(r int64) T {
 	return s.QueryRank(r)
 }
 
-// SummaryEntries reports the total summary entries retained across shards,
-// the estimator's memory footprint.
+// SummaryEntries reports the total summary entries retained across shards
+// (plus the retired accumulator of an elastic estimator), the estimator's
+// memory footprint.
 func (q *Quantile[T]) SummaryEntries() int {
+	q.mu.RLock()
+	defer q.mu.RUnlock()
 	total := 0
 	for _, est := range q.ests {
 		total += est.SummaryEntries()
+	}
+	if q.retired != nil {
+		total += q.retired.Size()
 	}
 	return total
 }
@@ -190,16 +330,25 @@ func (q *Quantile[T]) Stats() pipeline.Stats {
 	for _, st := range q.PerShardStats() {
 		agg.Add(st)
 	}
+	q.mu.RLock()
+	agg.Add(q.retiredStats)
+	q.mu.RUnlock()
 	return agg
 }
 
-// PerShardStats exposes each shard's unified pipeline telemetry; the shard
-// worker's channel-wait time is folded in as Idle.
+// PerShardStats exposes each live shard's unified pipeline telemetry; the
+// shard worker's channel-wait time is folded in as Idle. Shards retired by
+// a scale-down are not listed — their totals live on in Stats.
 func (q *Quantile[T]) PerShardStats() []pipeline.Stats {
+	q.mu.RLock()
+	defer q.mu.RUnlock()
+	idle := q.pool.idleTimes()
 	out := make([]pipeline.Stats, len(q.ests))
 	for i, est := range q.ests {
 		st := est.Stats()
-		st.Idle += q.pool.workers[i].idleTime()
+		if i < len(idle) {
+			st.Idle += idle[i]
+		}
 		out[i] = st
 	}
 	return out
@@ -210,12 +359,28 @@ func (q *Quantile[T]) PerShardStats() []pipeline.Stats {
 func (q *Quantile[T]) QueryMergeOps() int64 { return q.queryMergeOps.Load() }
 
 // Knobs reports shard 0's currently selected sorter and window size (all
-// shards run the same configuration and converge on the same telemetry).
-func (q *Quantile[T]) Knobs() (sorter.Sorter[T], int) { return q.ests[0].Knobs() }
+// shards run the same configuration and converge on the same telemetry;
+// shard 0 is never retired by a rescale).
+func (q *Quantile[T]) Knobs() (sorter.Sorter[T], int) {
+	q.mu.RLock()
+	defer q.mu.RUnlock()
+	return q.ests[0].Knobs()
+}
 
-// Tuners exposes the per-shard tuners attached via WithTunerFactory, in
-// shard order; empty when none were attached.
-func (q *Quantile[T]) Tuners() []pipeline.Tuner[T] { return q.tuners }
+// Async reports shard 0's commanded execution mode.
+func (q *Quantile[T]) Async() bool {
+	q.mu.RLock()
+	defer q.mu.RUnlock()
+	return q.ests[0].Async()
+}
+
+// Tuners exposes the tuners of the live shards attached via
+// WithTunerFactory, in shard order; empty when none were attached.
+func (q *Quantile[T]) Tuners() []pipeline.Tuner[T] {
+	q.mu.RLock()
+	defer q.mu.RUnlock()
+	return append([]pipeline.Tuner[T](nil), q.tuners...)
+}
 
 // ModeledTime converts the per-shard counters into modeled 2004-testbed
 // time for a K-way sharded run: concurrent shard ingestion plus the serial

@@ -59,7 +59,26 @@ type config struct {
 	// once per shard (Option is not generic, so the factory is carried
 	// type-erased and asserted by the typed constructors).
 	tunerFactory any
+	rescaler     Rescaler
 }
+
+// Rescaler decides the worker count of an elastic sharded estimator. The
+// family consults it roughly once per dispatched batch with the cumulative
+// ingested count and the live shard count; a positive return commands that
+// count, zero keeps the current one. adaptive.Scaler satisfies this
+// structurally — the interface lives here so the shard package needs no
+// dependency on the controller package.
+type Rescaler interface {
+	Observe(totalValues int64, shards int) int
+}
+
+// WithRescaler makes the estimator elastic: the shard count becomes a
+// runtime knob owned by r. Every shard then runs at the merge-safe reduced
+// error budget from construction (quantile shards at eps/2 even when the
+// initial count is 1), so scale-up never widens the merged error, and
+// scale-down drains the retiring shards and folds their snapshots into a
+// retained accumulator via the MergeSnapshots rules (DESIGN.md §16).
+func WithRescaler(r Rescaler) Option { return func(c *config) { c.rescaler = r } }
 
 // WithBatchSize overrides the hand-off batch size (default
 // DefaultBatchSize). Smaller batches spread short streams across more
@@ -135,6 +154,10 @@ func Resolve(shards int) int {
 type worker[T sorter.Value] struct {
 	ch      chan []T
 	process func([]T)
+	// done is closed when the worker goroutine exits, so removeWorkers can
+	// join a retiring worker individually (the shared WaitGroup only joins
+	// the whole pool).
+	done chan struct{}
 	// idle accumulates nanoseconds the worker goroutine spent blocked
 	// waiting for a batch. It feeds pipeline.Stats.Idle so shard starvation
 	// is visible in the unified telemetry.
@@ -170,7 +193,7 @@ func newPool[T sorter.Value](processors []func([]T), cfg config, cleanup func())
 	p.cond = sync.NewCond(&p.mu)
 	p.cur = make([]T, 0, p.batch)
 	for _, proc := range processors {
-		w := &worker[T]{ch: make(chan []T, 2), process: proc}
+		w := &worker[T]{ch: make(chan []T, 2), process: proc, done: make(chan struct{})}
 		p.workers = append(p.workers, w)
 		p.wg.Add(1)
 		go p.run(w)
@@ -179,6 +202,7 @@ func newPool[T sorter.Value](processors []func([]T), cfg config, cleanup func())
 }
 
 func (p *pool[T]) run(w *worker[T]) {
+	defer close(w.done)
 	defer p.wg.Done()
 	for {
 		t0 := time.Now()
@@ -364,6 +388,72 @@ func (p *pool[T]) CloseContext(ctx context.Context) error {
 	return nil
 }
 
+// addWorkers grows the pool by one worker per processor. Safe against
+// concurrent dispatch (the append happens under p.mu, and round-robin
+// simply starts including the new shards); reports false on a closed pool.
+func (p *pool[T]) addWorkers(processors []func([]T)) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return false
+	}
+	for _, proc := range processors {
+		w := &worker[T]{ch: make(chan []T, 2), process: proc, done: make(chan struct{})}
+		p.workers = append(p.workers, w)
+		p.wg.Add(1)
+		go p.run(w)
+	}
+	return true
+}
+
+// removeWorkers retires the last n workers: it quiesces the pool (inflight
+// is incremented under p.mu before any channel send, so inflight == 0
+// observed under the lock means no batch is queued, mid-send, or being
+// processed), truncates the round-robin set so no new batch reaches the
+// victims, then closes their channels and joins them. It returns the
+// victims' accumulated idle time (the caller folds it into the retired
+// telemetry) and reports false when nothing was removed — pool closed,
+// n out of range, or fewer than n+1 workers. Like CloseContext it must not
+// race with Process/ProcessSlice; the elastic families call it from the
+// ingestion path itself.
+func (p *pool[T]) removeWorkers(n int) ([]time.Duration, bool) {
+	p.mu.Lock()
+	if p.closed || n <= 0 || n >= len(p.workers) {
+		p.mu.Unlock()
+		return nil, false
+	}
+	for p.inflight > 0 {
+		p.cond.Wait()
+	}
+	victims := p.workers[len(p.workers)-n:]
+	p.workers = p.workers[:len(p.workers)-n]
+	if p.next >= len(p.workers) {
+		p.next = 0
+	}
+	p.mu.Unlock()
+	idle := make([]time.Duration, 0, n)
+	for _, w := range victims {
+		// Quiesced and out of the round-robin set: the worker is blocked on
+		// an empty channel, so close makes it exit without touching p.mu.
+		close(w.ch)
+		<-w.done
+		idle = append(idle, w.idleTime())
+	}
+	return idle, true
+}
+
+// idleTimes snapshots every live worker's accumulated channel-wait time,
+// index-aligned with the shard estimators.
+func (p *pool[T]) idleTimes() []time.Duration {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]time.Duration, len(p.workers))
+	for i, w := range p.workers {
+		out[i] = w.idleTime()
+	}
+	return out
+}
+
 // Count reports the number of values ingested, including any still buffered
 // or in flight.
 func (p *pool[T]) Count() int64 {
@@ -372,8 +462,13 @@ func (p *pool[T]) Count() int64 {
 	return p.total
 }
 
-// Shards reports the number of shard workers.
-func (p *pool[T]) Shards() int { return len(p.workers) }
+// Shards reports the number of shard workers, which a Rescaler may change
+// at runtime.
+func (p *pool[T]) Shards() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.workers)
+}
 
 // BatchSize reports the hand-off batch size.
 func (p *pool[T]) BatchSize() int { return p.batch }

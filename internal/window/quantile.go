@@ -61,6 +61,9 @@ func (q *SlidingQuantile[T]) SetTuner(t pipeline.Tuner[T]) { q.core.SetTuner(t) 
 // Knobs reports the currently selected sorter and pane size.
 func (q *SlidingQuantile[T]) Knobs() (sorter.Sorter[T], int) { return q.core.Tuning() }
 
+// Async reports the commanded execution mode of the pane pipeline.
+func (q *SlidingQuantile[T]) Async() bool { return q.core.Async() }
+
 // Count reports the number of elements processed so far (whole stream).
 func (q *SlidingQuantile[T]) Count() int64 { return q.core.Count() }
 

@@ -127,6 +127,9 @@ func (f *SlidingFrequency[T]) SetTuner(t pipeline.Tuner[T]) { f.core.SetTuner(t)
 // Knobs reports the currently selected sorter and pane size.
 func (f *SlidingFrequency[T]) Knobs() (sorter.Sorter[T], int) { return f.core.Tuning() }
 
+// Async reports the commanded execution mode of the pane pipeline.
+func (f *SlidingFrequency[T]) Async() bool { return f.core.Async() }
+
 // Count reports the number of elements processed so far (whole stream).
 func (f *SlidingFrequency[T]) Count() int64 { return f.core.Count() }
 

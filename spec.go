@@ -119,6 +119,107 @@ func (f *Family) UnmarshalText(text []byte) error {
 	return nil
 }
 
+// AsyncMode selects an estimator's ingestion execution mode: synchronous
+// (the zero value — sort, merge and compress run inline), asynchronous (the
+// paper's co-processing model: a staged executor overlaps the sort of one
+// window with the merge/compress of the previous one), or automatic — the
+// adaptive controller measures both modes on the live stream and commits to
+// the faster one, re-probing on degradation. Mode flips only ever land at
+// window boundaries, so every schedule is bit-identical to a fixed mode.
+type AsyncMode int
+
+const (
+	// AsyncOff ingests synchronously (the default).
+	AsyncOff AsyncMode = iota
+	// AsyncOn ingests through the staged asynchronous executor.
+	AsyncOn
+	// AsyncAuto hands the mode to the adaptive controller at runtime.
+	AsyncAuto
+)
+
+// MarshalJSON encodes the mode in the Spec wire form: the booleans the
+// pre-elastic schema used for off/on, or the string "auto".
+func (a AsyncMode) MarshalJSON() ([]byte, error) {
+	switch a {
+	case AsyncOff:
+		return []byte("false"), nil
+	case AsyncOn:
+		return []byte("true"), nil
+	case AsyncAuto:
+		return []byte(`"auto"`), nil
+	}
+	return nil, fmt.Errorf("gpustream: cannot marshal invalid async mode %d", int(a))
+}
+
+// UnmarshalJSON accepts a boolean (the pre-elastic schema) or one of the
+// strings "auto", "on", "off".
+func (a *AsyncMode) UnmarshalJSON(data []byte) error {
+	switch strings.ToLower(strings.Trim(string(data), `"`)) {
+	case "false", "off":
+		*a = AsyncOff
+	case "true", "on":
+		*a = AsyncOn
+	case "auto":
+		*a = AsyncAuto
+	default:
+		return fmt.Errorf("gpustream: bad async mode %s (want true, false, or \"auto\")", data)
+	}
+	return nil
+}
+
+// String reports the mode in the -async flag vocabulary.
+func (a AsyncMode) String() string {
+	switch a {
+	case AsyncOn:
+		return "on"
+	case AsyncAuto:
+		return "auto"
+	}
+	return "off"
+}
+
+// ShardCount is a parallel family's worker count: a positive count, zero for
+// GOMAXPROCS, or ShardsAuto for elastic sharding — the estimator starts at
+// GOMAXPROCS workers and a runtime scaler hill-climbs the count against
+// measured throughput, spawning shards at the merge-safe eps/2 budget and
+// folding drained shards' summaries back on scale-down (DESIGN.md §16).
+type ShardCount int
+
+// ShardsAuto asks the runtime to own the shard count.
+const ShardsAuto ShardCount = -1
+
+// MarshalJSON encodes the count as a JSON number, or the string "auto" for
+// ShardsAuto.
+func (s ShardCount) MarshalJSON() ([]byte, error) {
+	if s == ShardsAuto {
+		return []byte(`"auto"`), nil
+	}
+	return json.Marshal(int(s))
+}
+
+// UnmarshalJSON accepts a JSON number (the pre-elastic schema) or the string
+// "auto".
+func (s *ShardCount) UnmarshalJSON(data []byte) error {
+	if strings.EqualFold(strings.Trim(string(data), `"`), "auto") {
+		*s = ShardsAuto
+		return nil
+	}
+	var n int
+	if err := json.Unmarshal(data, &n); err != nil {
+		return fmt.Errorf("gpustream: bad shard count %s (want a number or \"auto\")", data)
+	}
+	*s = ShardCount(n)
+	return nil
+}
+
+// String reports the count in the -shards flag vocabulary.
+func (s ShardCount) String() string {
+	if s == ShardsAuto {
+		return "auto"
+	}
+	return fmt.Sprintf("%d", int(s))
+}
+
 // MarshalText encodes the backend as its canonical name (the String form),
 // so Backend fields round-trip through JSON as strings — the symmetric
 // counterpart of ParseBackend. Unknown backend values fail.
@@ -169,11 +270,14 @@ type Spec struct {
 	// bucket sizing; zero picks a generous default.
 	Capacity int64 `json:"capacity,omitempty"`
 	// Shards is the worker count for the parallel families; zero selects
-	// GOMAXPROCS. Serial families take none.
-	Shards int `json:"shards,omitempty"`
-	// Async enables staged asynchronous ingestion (sort overlaps
-	// merge/compress). Not applicable to frugal, which never sorts.
-	Async bool `json:"async,omitempty"`
+	// GOMAXPROCS, and ShardsAuto ("auto" in JSON) hands the count to the
+	// runtime scaler. Serial families take none.
+	Shards ShardCount `json:"shards,omitempty"`
+	// Async selects the ingestion execution mode: synchronous (false, the
+	// default), staged asynchronous (true — sort overlaps merge/compress),
+	// or AsyncAuto ("auto" in JSON) — the adaptive controller owns the mode
+	// at runtime. Not applicable to frugal, which never sorts.
+	Async AsyncMode `json:"async,omitempty"`
 	// Backend is the sorting backend the estimator's pipeline runs on.
 	// The zero value is BackendGPU, so an omitted JSON field selects the
 	// paper's GPU sorter.
@@ -249,11 +353,11 @@ func (s Spec) Validate() error {
 		}
 	}
 	if s.Family.Parallel() {
-		if s.Shards < 0 {
-			return fmt.Errorf("gpustream: spec shards %d < 0 (zero selects GOMAXPROCS)", s.Shards)
+		if s.Shards < 0 && s.Shards != ShardsAuto {
+			return fmt.Errorf("gpustream: spec shards %d < 0 (zero selects GOMAXPROCS, \"auto\" enables elastic sharding)", int(s.Shards))
 		}
 	} else if s.Shards != 0 {
-		return fmt.Errorf("gpustream: family %v does not shard (got shards %d)", s.Family, s.Shards)
+		return fmt.Errorf("gpustream: family %v does not shard (got shards %v)", s.Family, s.Shards)
 	}
 	switch s.Family {
 	case FamilyQuantile, FamilyParallelQuantile:
@@ -265,7 +369,12 @@ func (s Spec) Validate() error {
 			return fmt.Errorf("gpustream: family %v takes no capacity (got %d)", s.Family, s.Capacity)
 		}
 	}
-	if s.Family == FamilyFrugal && s.Async {
+	switch s.Async {
+	case AsyncOff, AsyncOn, AsyncAuto:
+	default:
+		return fmt.Errorf("gpustream: spec has unknown async mode %d", int(s.Async))
+	}
+	if s.Family == FamilyFrugal && s.Async != AsyncOff {
 		return fmt.Errorf("gpustream: family frugal never sorts; async does not apply")
 	}
 	if len(s.Phis) > 0 && !s.Family.AnswersQuantiles() {
@@ -324,9 +433,21 @@ func (e *Engine[T]) NewFromSpec(spec Spec) (Estimator[T], error) {
 	}
 	var eopts []EstimatorOption
 	var popts []ParallelOption
-	if spec.Async {
+	var tn tuningSpec
+	switch spec.Async {
+	case AsyncOn:
 		eopts = append(eopts, WithAsyncIngestion())
 		popts = append(popts, WithAsyncShards())
+	case AsyncAuto:
+		eopts = append(eopts, withAutoAsync())
+		tn.autoAsync = true
+	}
+	shards := int(spec.Shards)
+	if spec.Shards == ShardsAuto {
+		// Elastic sharding starts at the GOMAXPROCS default; the scaler
+		// owns the count from the first observed batch on.
+		shards = 0
+		tn.autoShards = true
 	}
 	if spec.Window > 0 && !spec.Family.Sliding() {
 		eopts = append(eopts, WithSortWindow(spec.Window))
@@ -342,9 +463,9 @@ func (e *Engine[T]) NewFromSpec(spec Spec) (Estimator[T], error) {
 	case FamilySlidingQuantile:
 		return e.NewSlidingQuantile(spec.Eps, spec.Window, eopts...), nil
 	case FamilyParallelFrequency:
-		return e.NewParallelFrequencyEstimator(spec.Eps, spec.Shards, popts...), nil
+		return e.newParallelFrequency(spec.Eps, shards, tn, popts...), nil
 	case FamilyParallelQuantile:
-		return e.NewParallelQuantileEstimator(spec.Eps, spec.Capacity, spec.Shards, popts...), nil
+		return e.newParallelQuantile(spec.Eps, spec.Capacity, shards, tn, popts...), nil
 	case FamilyFrugal:
 		var fopts []FrugalOption
 		if len(spec.Phis) > 0 {

@@ -94,13 +94,16 @@ func TestSpecValidate(t *testing.T) {
 		{Family: gpustream.FamilyFrequency, Eps: 0.001, Support: 0.01},
 		{Family: gpustream.FamilyQuantile, Eps: 0.001, Capacity: 1 << 20, Phis: []float64{0.5, 0.99}},
 		{Family: gpustream.FamilySlidingFrequency, Eps: 0.01, Window: 1000},
-		{Family: gpustream.FamilySlidingQuantile, Eps: 0.01, Window: 1000, Async: true},
+		{Family: gpustream.FamilySlidingQuantile, Eps: 0.01, Window: 1000, Async: gpustream.AsyncOn},
 		{Family: gpustream.FamilyParallelFrequency, Eps: 0.001, Shards: 4},
-		{Family: gpustream.FamilyParallelQuantile, Eps: 0.001, Shards: 0, Async: true},
+		{Family: gpustream.FamilyParallelQuantile, Eps: 0.001, Shards: 0, Async: gpustream.AsyncOn},
 		{Family: gpustream.FamilyFrugal, Phis: []float64{0.5}},
 		{Family: gpustream.FamilyQuantile, Eps: 0.001, Backend: gpustream.BackendCPU},
 		{Family: gpustream.FamilyQuantile, Eps: 0.001, Window: 5000, Backend: gpustream.BackendSampleSort},
 		{Family: gpustream.FamilyParallelFrequency, Eps: 0.01, Window: 2000, Backend: gpustream.BackendAuto},
+		{Family: gpustream.FamilyParallelQuantile, Eps: 0.001, Shards: gpustream.ShardsAuto, Async: gpustream.AsyncAuto},
+		{Family: gpustream.FamilyQuantile, Eps: 0.001, Async: gpustream.AsyncAuto},
+		{Family: gpustream.FamilySlidingFrequency, Eps: 0.01, Window: 1000, Async: gpustream.AsyncAuto},
 	}
 	for _, s := range valid {
 		if err := s.Validate(); err != nil {
@@ -123,10 +126,13 @@ func TestSpecValidate(t *testing.T) {
 		{"window on frugal", gpustream.Spec{Family: gpustream.FamilyFrugal, Window: 100}, "takes no window"},
 		{"negative sort window", gpustream.Spec{Family: gpustream.FamilyQuantile, Eps: 0.01, Window: -5}, "window -5"},
 		{"shards on serial", gpustream.Spec{Family: gpustream.FamilyFrequency, Eps: 0.01, Shards: 4}, "does not shard"},
-		{"negative shards", gpustream.Spec{Family: gpustream.FamilyParallelQuantile, Eps: 0.01, Shards: -1}, "shards -1"},
+		{"negative shards", gpustream.Spec{Family: gpustream.FamilyParallelQuantile, Eps: 0.01, Shards: -2}, "shards -2"},
+		{"auto shards on serial", gpustream.Spec{Family: gpustream.FamilyQuantile, Eps: 0.01, Shards: gpustream.ShardsAuto}, "does not shard"},
+		{"frugal auto async", gpustream.Spec{Family: gpustream.FamilyFrugal, Async: gpustream.AsyncAuto}, "never sorts"},
+		{"bad async mode", gpustream.Spec{Family: gpustream.FamilyQuantile, Eps: 0.01, Async: gpustream.AsyncMode(7)}, "unknown async mode"},
 		{"capacity on frequency", gpustream.Spec{Family: gpustream.FamilyFrequency, Eps: 0.01, Capacity: 10}, "takes no capacity"},
 		{"negative capacity", gpustream.Spec{Family: gpustream.FamilyQuantile, Eps: 0.01, Capacity: -1}, "capacity -1"},
-		{"frugal async", gpustream.Spec{Family: gpustream.FamilyFrugal, Async: true}, "never sorts"},
+		{"frugal async", gpustream.Spec{Family: gpustream.FamilyFrugal, Async: gpustream.AsyncOn}, "never sorts"},
 		{"phis on frequency", gpustream.Spec{Family: gpustream.FamilyFrequency, Eps: 0.01, Phis: []float64{0.5}}, "phis do not apply"},
 		{"phi out of range", gpustream.Spec{Family: gpustream.FamilyQuantile, Eps: 0.01, Phis: []float64{1.5}}, "out of [0, 1]"},
 		{"support on quantile", gpustream.Spec{Family: gpustream.FamilyQuantile, Eps: 0.01, Support: 0.1}, "support does not apply"},
@@ -162,10 +168,11 @@ func TestNewFromSpecBackendMismatch(t *testing.T) {
 
 func TestSpecJSONRoundTrip(t *testing.T) {
 	specs := []gpustream.Spec{
-		{Family: gpustream.FamilyQuantile, Eps: 0.001, Capacity: 1 << 20, Phis: []float64{0.5, 0.99}, Async: true, Backend: gpustream.BackendCPU},
+		{Family: gpustream.FamilyQuantile, Eps: 0.001, Capacity: 1 << 20, Phis: []float64{0.5, 0.99}, Async: gpustream.AsyncOn, Backend: gpustream.BackendCPU},
 		{Family: gpustream.FamilyParallelFrequency, Eps: 0.01, Shards: 8, Support: 0.02},
 		{Family: gpustream.FamilySlidingQuantile, Eps: 0.01, Window: 4096},
 		{Family: gpustream.FamilyFrugal, Phis: []float64{0.25, 0.5, 0.75}},
+		{Family: gpustream.FamilyParallelQuantile, Eps: 0.001, Shards: gpustream.ShardsAuto, Async: gpustream.AsyncAuto},
 	}
 	for _, s := range specs {
 		blob, err := json.Marshal(s)
@@ -197,6 +204,36 @@ func TestSpecJSONRoundTrip(t *testing.T) {
 	}
 	if _, err := gpustream.ParseSpec([]byte(`{"family":"florble","eps":0.01}`)); err == nil {
 		t.Error("ParseSpec accepted an unknown family name")
+	}
+
+	// The elastic wire forms: "auto" strings for shards and async, and the
+	// legacy boolean/number forms, all through the same decoder.
+	got, err := gpustream.ParseSpec([]byte(`{"family":"parallel-quantile","eps":0.001,"shards":"auto","async":"auto"}`))
+	if err != nil {
+		t.Fatalf("ParseSpec(elastic): %v", err)
+	}
+	if got.Shards != gpustream.ShardsAuto || got.Async != gpustream.AsyncAuto {
+		t.Errorf("ParseSpec(elastic) = shards %v async %v, want auto/auto", got.Shards, got.Async)
+	}
+	blob, err = json.Marshal(got)
+	if err != nil {
+		t.Fatalf("Marshal(elastic): %v", err)
+	}
+	if !bytes.Contains(blob, []byte(`"shards":"auto"`)) || !bytes.Contains(blob, []byte(`"async":"auto"`)) {
+		t.Errorf("marshaled elastic spec %s does not carry the auto forms", blob)
+	}
+	got, err = gpustream.ParseSpec([]byte(`{"family":"parallel-quantile","eps":0.001,"shards":4,"async":true}`))
+	if err != nil {
+		t.Fatalf("ParseSpec(legacy): %v", err)
+	}
+	if got.Shards != 4 || got.Async != gpustream.AsyncOn {
+		t.Errorf("ParseSpec(legacy) = shards %v async %v, want 4/on", got.Shards, got.Async)
+	}
+	if _, err := gpustream.ParseSpec([]byte(`{"family":"quantile","eps":0.01,"async":"sideways"}`)); err == nil {
+		t.Error("ParseSpec accepted a bad async mode")
+	}
+	if _, err := gpustream.ParseSpec([]byte(`{"family":"parallel-quantile","eps":0.01,"shards":"many"}`)); err == nil {
+		t.Error("ParseSpec accepted a bad shard count")
 	}
 }
 
@@ -273,7 +310,7 @@ func TestNewFromSpecMatchesTypedConstructors(t *testing.T) {
 		// bit-identical to sync by construction, so spec-vs-typed stays
 		// byte-equal).
 		{
-			spec: gpustream.Spec{Family: gpustream.FamilyQuantile, Eps: 0.001, Capacity: n, Async: true},
+			spec: gpustream.Spec{Family: gpustream.FamilyQuantile, Eps: 0.001, Capacity: n, Async: gpustream.AsyncOn},
 			typed: func(eng *gpustream.Engine[float32]) gpustream.Estimator[float32] {
 				return eng.NewQuantileEstimator(0.001, n, gpustream.WithAsyncIngestion())
 			},
@@ -282,7 +319,7 @@ func TestNewFromSpecMatchesTypedConstructors(t *testing.T) {
 
 	for _, tc := range cases {
 		name := tc.spec.Family.String()
-		if tc.spec.Async {
+		if tc.spec.Async == gpustream.AsyncOn {
 			name += "-async"
 		}
 		t.Run(name, func(t *testing.T) {
